@@ -1,0 +1,32 @@
+// Section 4.4: the Citeseer-style citation dataset. Paper: 526,000 records,
+// 17 source columns (15 of them author columns from a single domain), 1%
+// samples; recovered citation = year[1-n] + title[1-n] + author1[1-n] in
+// under 20 minutes on a Sunfire v880.
+#include "bench/bench_util.h"
+
+using namespace mcsm;
+
+int main() {
+  bench::Banner("Section 4.4", "citation = year || title || author1 (1% samples)");
+  datagen::CitationOptions options;
+  options.rows = bench::ScaledRows(526000, 0.1);
+  datagen::Dataset data = datagen::MakeCitationDataset(options);
+
+  core::SearchOptions search_options;
+  search_options.sample_fraction = 0.01;  // the paper's 1% sampling
+  search_options.max_sample = 4000;
+
+  bench::Stopwatch watch;
+  auto d = core::DiscoverTranslation(data.source, data.target,
+                                     data.target_column, search_options);
+  if (!d.ok()) {
+    std::printf("search failed: %s\n", d.status().ToString().c_str());
+    return 1;
+  }
+  bench::ReportDiscovery(data, *d, watch.Seconds());
+  std::printf(
+      "# paper: citation = year[1-n] + title[1-n] + author1[1-n]\n"
+      "# (year[1-4] is the same formula: every year is 4 characters wide)\n"
+      "# paper runtime: <20 min at 526k rows on a 750MHz Sunfire v880.\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Figure 3: cumulative wall-clock time at the end of each step of the method
+// versus the fraction of the citation dataset processed. The paper's shape:
+// steps 1 and 2 are cheap; the FIRST refinement iteration dominates (few
+// constraints -> all columns searched); later iterations are cheaper again.
+#include "bench/bench_util.h"
+#include "core/search.h"
+
+using namespace mcsm;
+
+int main() {
+  bench::Banner("Figure 3", "cumulative time per step vs dataset fraction");
+  datagen::CitationOptions base;
+  base.rows = bench::ScaledRows(526000, 0.05);
+  datagen::Dataset full = datagen::MakeCitationDataset(base);
+
+  core::SearchOptions search_options;
+  search_options.sample_fraction = 0.01;
+  search_options.max_sample = 2000;
+  search_options.initial_candidates = 1;  // time the paper's single pass
+
+  std::printf("%-8s %10s %10s %10s %10s   (cumulative seconds)\n", "percent",
+              "step1", "step2", "iter1", "iter2");
+  for (int percent : {10, 30, 50, 70, 90}) {
+    size_t rows = base.rows * static_cast<size_t>(percent) / 100;
+    datagen::Dataset data;
+    data.source = full.source;
+    data.target = full.target;
+    data.source.Truncate(rows);
+    data.target.Truncate(rows);
+
+    core::TranslationSearch search(data.source, data.target, 0, search_options);
+    auto column = search.SelectStartColumn();
+    if (!column.ok()) continue;
+    auto formula = search.BuildInitialFormula(*column);
+    if (!formula.ok()) continue;
+    double step1 = search.stats().step1_seconds;
+    double step2 = step1 + search.stats().step2_seconds;
+    double iter1 = step2, iter2 = step2;
+    core::TranslationFormula f = *formula;
+    core::IterationInfo info;
+    auto improved = search.RefineOnce(&f, &info);
+    if (improved.ok()) {
+      iter1 += info.seconds;
+      iter2 = iter1;
+      if (*improved && !f.IsComplete()) {
+        core::IterationInfo info2;
+        auto improved2 = search.RefineOnce(&f, &info2);
+        if (improved2.ok()) iter2 += info2.seconds;
+      }
+    }
+    std::printf("%-8d %10.2f %10.2f %10.2f %10.2f\n", percent, step1, step2,
+                iter1, iter2);
+  }
+  std::printf(
+      "\n# paper shape (Fig. 3): step1/step2 nearly flat and cheap; the first\n"
+      "# refinement iteration dominates the cost and grows with dataset size;\n"
+      "# the second iteration adds much less (constraints prune the search).\n");
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Figure 4: histogram of candidate separator characters over relative
+// positions within the `full` column of the "last, first" dataset
+// (paper: 700,000 instances, ~15 relative positions; comma and space peak
+// together mid-string).
+#include <map>
+
+#include "bench/bench_util.h"
+#include "core/separator.h"
+
+using namespace mcsm;
+
+int main() {
+  bench::Banner("Figure 4", "separator histogram over relative positions");
+  datagen::MergedNamesOptions options;
+  options.rows = bench::ScaledRows(700000, 0.1);
+  options.distinct_names = std::max<size_t>(1000, options.rows / 10);
+  options.comma_separator = true;
+  datagen::Dataset data = datagen::MakeMergedNamesDataset(options);
+
+  auto histogram =
+      core::SeparatorDetector::BuildHistogram(data.target, data.target_column);
+  std::map<size_t, std::map<char, size_t>> by_position;
+  size_t max_position = 0;
+  for (const auto& e : histogram) {
+    by_position[e.position][e.separator] = e.count;
+    max_position = std::max(max_position, e.position);
+  }
+  std::printf("%-10s %12s %12s\n", "position", "comma", "space");
+  for (size_t pos = 1; pos <= max_position; ++pos) {
+    std::printf("%-10zu %12zu %12zu\n", pos, by_position[pos][','],
+                by_position[pos][' ']);
+  }
+
+  auto tmpl = core::SeparatorDetector::Detect(data.target, data.target_column);
+  std::printf("\nrecovered separator template: %s\n",
+              tmpl.has_value() ? tmpl->ToLikeString().c_str() : "(none)");
+  std::printf("# paper shape (Fig. 4): comma and space counts cluster over the\n"
+              "# middle relative positions; the threshold search recovers the\n"
+              "# template \"%%, %%\".\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Section 6.2: many-to-many translations (Table 12). One translation
+// (login) is already known; its row linkage constrains the search for the
+// second target column (DOB), which the paper reports "dramatically
+// reduce[s] the number of instances to be evaluated".
+#include "bench/bench_util.h"
+
+using namespace mcsm;
+
+int main() {
+  bench::Banner("Section 6.2", "many-to-many targets: login is known, find DOB");
+  datagen::UserIdOptions options;
+  options.rows = bench::ScaledRows(6000, 1.0);
+  options.with_dates = true;
+  datagen::Dataset data = datagen::MakeUserIdDataset(options);
+  const size_t login_col = 0, dob_col = 1;
+
+  // Step 1: discover (or accept from the integration framework) the login
+  // translation, build the row linkage it induces.
+  auto login = core::DiscoverTranslation(data.source, data.target, login_col, {});
+  if (!login.ok()) {
+    std::printf("login search failed: %s\n", login.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("known translation: login = %s (links %zu rows)\n",
+              login->formula().ToString(data.source.schema()).c_str(),
+              login->coverage.matched_rows());
+  auto linkage =
+      core::BuildLinkage(login->formula(), data.source, data.target, login_col);
+
+  core::SearchOptions so;
+  so.detect_separators = true;
+
+  // Step 2a: DOB search WITH the linkage constraint.
+  bench::Stopwatch watch;
+  core::TranslationSearch linked(data.source, data.target, dob_col, so);
+  linked.SetLinkage(linkage);
+  auto linked_result = linked.Run();
+  double linked_seconds = watch.Seconds();
+
+  // Step 2b: the same search WITHOUT the linkage, for comparison.
+  watch.Reset();
+  core::TranslationSearch unlinked(data.source, data.target, dob_col, so);
+  auto unlinked_result = unlinked.Run();
+  double unlinked_seconds = watch.Seconds();
+
+  std::printf("\n%-12s %-44s %10s %12s %10s\n", "mode", "dob formula",
+              "coverage", "recipes", "seconds");
+  for (int mode = 0; mode < 2; ++mode) {
+    const auto& result = mode == 0 ? linked_result : unlinked_result;
+    const auto& search = mode == 0 ? linked : unlinked;
+    double seconds = mode == 0 ? linked_seconds : unlinked_seconds;
+    if (!result.ok()) {
+      std::printf("%-12s (failed: %s)\n", mode == 0 ? "linked" : "unlinked",
+                  result.status().ToString().c_str());
+      continue;
+    }
+    auto coverage = core::TranslationSearch::ComputeCoverage(
+        result->formula, data.source, data.target, dob_col);
+    std::printf("%-12s %-44s %10zu %12zu %10.2f\n",
+                mode == 0 ? "linked" : "unlinked",
+                result->formula.ToString(data.source.schema()).c_str(),
+                coverage.matched_rows(), search.stats().recipes_built, seconds);
+  }
+  std::printf(
+      "\n# paper claim: the known translation's row linkage constrains the\n"
+      "# instance retrieval, dramatically reducing the instances evaluated\n"
+      "# (compare the recipes column) while finding the same translation\n"
+      "# dob = birth[1-2] + \"/\" + birth[4-5] + \"/\" + birth[9-10].\n");
+  return 0;
+}

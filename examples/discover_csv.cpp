@@ -1,0 +1,128 @@
+// Command-line discovery over the user's own data:
+//
+//   discover_csv <source.csv> <target.csv> <target-column>
+//                [--separators] [--fraction F] [--all]
+//
+// Loads two CSV files (header row = column names, all columns TEXT), runs
+// the multi-column substring search and prints the discovered translation
+// formula, its coverage, and the equivalent SQL. With --all, runs the
+// match-and-remove loop and reports every dominant formula plus the merged
+// rule (Section 7). Without arguments, writes a small demo pair of CSV
+// files and runs on those.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/matcher.h"
+#include "core/rule_merger.h"
+#include "datagen/datasets.h"
+#include "relational/csv.h"
+
+using namespace mcsm;
+
+int RealMain(int argc, const char** argv);
+
+namespace {
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int RunDemo() {
+  std::printf("no arguments: writing demo CSVs and running on them\n");
+  datagen::UserIdOptions options;
+  options.rows = 1500;
+  datagen::Dataset data = datagen::MakeUserIdDataset(options);
+  Status st = relational::WriteCsvFile(data.source, "demo_people.csv");
+  if (!st.ok()) return Fail(st);
+  st = relational::WriteCsvFile(data.target, "demo_logins.csv");
+  if (!st.ok()) return Fail(st);
+  std::printf("wrote demo_people.csv and demo_logins.csv; now run e.g.\n"
+              "  discover_csv demo_people.csv demo_logins.csv login --all\n\n");
+  const char* argv[] = {"discover_csv", "demo_people.csv", "demo_logins.csv",
+                        "login", "--all"};
+  return RealMain(5, argv);
+}
+
+}  // namespace
+
+int RealMain(int argc, const char** argv) {
+  if (argc < 4) {
+    std::fprintf(stderr,
+                 "usage: %s <source.csv> <target.csv> <target-column> "
+                 "[--separators] [--fraction F] [--all]\n",
+                 argv[0]);
+    return 2;
+  }
+  auto source = relational::ReadCsvFile(argv[1]);
+  if (!source.ok()) return Fail(source.status());
+  auto target = relational::ReadCsvFile(argv[2]);
+  if (!target.ok()) return Fail(target.status());
+  auto column = target->schema().FindColumn(argv[3]);
+  if (!column.has_value()) {
+    std::fprintf(stderr, "error: no column '%s' in %s\n", argv[3], argv[2]);
+    return 2;
+  }
+
+  core::SearchOptions options;
+  bool all = false;
+  for (int i = 4; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--separators") == 0) {
+      options.detect_separators = true;
+    } else if (std::strcmp(argv[i], "--fraction") == 0 && i + 1 < argc) {
+      options.sample_fraction = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--all") == 0) {
+      all = true;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  std::printf("source: %zu rows x %zu columns; target column '%s' (%zu rows)\n",
+              source->num_rows(), source->num_columns(), argv[3],
+              target->num_rows());
+
+  core::SqlEmitter::Options sql_options;
+  sql_options.source_table = "t1";
+
+  if (!all) {
+    auto d = core::DiscoverTranslation(*source, *target, *column, options,
+                                       sql_options);
+    if (!d.ok()) return Fail(d.status());
+    std::printf("formula : %s\n",
+                d->formula().ToString(source->schema()).c_str());
+    std::printf("coverage: %zu / %zu rows\n", d->coverage.matched_rows(),
+                target->num_rows());
+    std::printf("sql     : %s\n", d->sql.c_str());
+    return 0;
+  }
+
+  auto rounds = core::DiscoverAllTranslations(*source, *target, *column,
+                                              options, 4, 5);
+  if (!rounds.ok()) return Fail(rounds.status());
+  std::vector<core::TranslationFormula> formulas;
+  for (size_t i = 0; i < rounds->size(); ++i) {
+    const auto& d = (*rounds)[i];
+    std::printf("formula %zu: %-44s covers %zu rows\n", i + 1,
+                d.formula().ToString(source->schema()).c_str(),
+                d.coverage.matched_rows());
+    std::printf("  sql: %s\n", d.sql.c_str());
+    formulas.push_back(d.formula());
+  }
+  if (formulas.size() > 1) {
+    for (const auto& rule : core::MergeRules(formulas)) {
+      auto coverage = rule.ComputeCoverage(*source, *target, *column);
+      std::printf("merged rule: %-40s covers %zu rows\n",
+                  rule.ToString(source->schema()).c_str(),
+                  coverage.matched_rows());
+    }
+  }
+  return 0;
+}
+
+int main(int argc, const char** argv) {
+  if (argc == 1) return RunDemo();
+  return RealMain(argc, argv);
+}

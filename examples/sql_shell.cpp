@@ -1,0 +1,50 @@
+// A tiny interactive shell over the embedded SQL engine — the substrate the
+// matcher runs against. Preloads the UserID experiment tables (t1 = people,
+// t2 = logins) so discovered translation queries can be tried by hand:
+//
+//   mcsm> select substring(first from 1 for 1) || last as login from t1
+//         where first is not null and last is not null limit 5
+//
+// Reads one statement per line; empty line or EOF quits.
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "datagen/datasets.h"
+#include "relational/database.h"
+#include "sql/engine.h"
+
+int main() {
+  using namespace mcsm;
+
+  relational::Database db;
+  datagen::UserIdOptions options;
+  options.rows = 2000;
+  datagen::Dataset data = datagen::MakeUserIdDataset(options);
+  if (!db.CreateTable("t1", std::move(data.source)).ok() ||
+      !db.CreateTable("t2", std::move(data.target)).ok()) {
+    std::printf("failed to set up tables\n");
+    return 1;
+  }
+  sql::Engine engine(&db);
+
+  std::printf("mcsm SQL shell — tables: t1 (people + noise), t2 (logins)\n");
+  std::printf("one statement per line; empty line quits.\n");
+  std::string line;
+  while (true) {
+    std::printf("mcsm> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line) || line.empty()) break;
+    auto result = engine.Execute(line);
+    if (!result.ok()) {
+      std::printf("error: %s\n", result.status().ToString().c_str());
+      continue;
+    }
+    if (result->num_columns() == 0) {
+      std::printf("ok\n");
+    } else {
+      std::printf("%s", result->ToString(25).c_str());
+    }
+  }
+  return 0;
+}

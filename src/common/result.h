@@ -1,0 +1,87 @@
+#ifndef MCSM_COMMON_RESULT_H_
+#define MCSM_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace mcsm {
+
+/// \brief Either a value of type T or an error Status.
+///
+/// Mirrors arrow::Result / absl::StatusOr. Constructing from an OK status is
+/// a programming error (asserted in debug builds, converted to an Internal
+/// error otherwise).
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (implicit, like arrow::Result).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+
+  /// Constructs from an error status (implicit, to allow `return st;`).
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    if (this->status().ok()) {
+      assert(false && "Result constructed from OK status");
+      repr_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) return kOk;
+    return std::get<Status>(repr_);
+  }
+
+  /// Returns the contained value; must only be called when ok().
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(repr_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `alternative` if this holds an error.
+  T ValueOr(T alternative) const {
+    return ok() ? value() : std::move(alternative);
+  }
+
+ private:
+  std::variant<Status, T> repr_;
+};
+
+}  // namespace mcsm
+
+#define MCSM_CONCAT_IMPL(x, y) x##y
+#define MCSM_CONCAT(x, y) MCSM_CONCAT_IMPL(x, y)
+
+/// Evaluates `rexpr` (a Result<T>), propagating an error to the caller or
+/// move-assigning the value into `lhs`, which may be a declaration.
+#define MCSM_ASSIGN_OR_RETURN(lhs, rexpr)                          \
+  MCSM_ASSIGN_OR_RETURN_IMPL(MCSM_CONCAT(_res_, __LINE__), lhs, rexpr)
+
+#define MCSM_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                               \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value();
+
+#endif  // MCSM_COMMON_RESULT_H_

@@ -1,0 +1,116 @@
+#ifndef MCSM_COMMON_STATUS_H_
+#define MCSM_COMMON_STATUS_H_
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace mcsm {
+
+/// Error categories used across the library. The set follows the usual
+/// embedded-database convention (RocksDB/Arrow style): a small closed set of
+/// codes plus a free-form message.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kNotImplemented,
+  kParseError,
+  kTypeError,
+  kInternal,
+};
+
+/// Returns a human-readable name for a status code ("OK", "InvalidArgument"...).
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Operation outcome carrying an error code and message.
+///
+/// `Status` is the library-wide error-reporting mechanism: no exceptions are
+/// thrown across public API boundaries. The OK state is represented without
+/// allocation; error states carry a heap-allocated code+message record.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : state_(code == StatusCode::kOk
+                   ? nullptr
+                   : std::make_shared<State>(State{code, std::move(message)})) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return state_ ? state_->message : kEmpty;
+  }
+
+  bool IsInvalidArgument() const { return code() == StatusCode::kInvalidArgument; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code() == StatusCode::kAlreadyExists; }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsNotImplemented() const { return code() == StatusCode::kNotImplemented; }
+  bool IsParseError() const { return code() == StatusCode::kParseError; }
+  bool IsTypeError() const { return code() == StatusCode::kTypeError; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+
+  /// Renders as "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string message;
+  };
+  // Shared so that Status is cheaply copyable; error paths are cold.
+  std::shared_ptr<const State> state_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+}  // namespace mcsm
+
+/// Propagates an error Status from an expression to the caller.
+#define MCSM_RETURN_IF_ERROR(expr)              \
+  do {                                          \
+    ::mcsm::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                  \
+  } while (false)
+
+#endif  // MCSM_COMMON_STATUS_H_

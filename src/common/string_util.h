@@ -1,0 +1,42 @@
+#ifndef MCSM_COMMON_STRING_UTIL_H_
+#define MCSM_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mcsm {
+
+/// Returns `s` lower-cased (ASCII only).
+std::string ToLower(std::string_view s);
+
+/// Returns `s` upper-cased (ASCII only).
+std::string ToUpper(std::string_view s);
+
+/// Returns true iff `c` is an ASCII alphanumeric character.
+bool IsAlnumAscii(char c);
+
+/// Splits `s` on `delim`; empty fields are preserved.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// Returns true iff `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Returns true iff `s` ends with `suffix`.
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Pads integer `v` with leading zeros to `width` digits (v >= 0).
+std::string ZeroPad(int v, int width);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace mcsm
+
+#endif  // MCSM_COMMON_STRING_UTIL_H_

@@ -1,0 +1,74 @@
+#include "core/autotune.h"
+
+#include <algorithm>
+
+namespace mcsm::core {
+
+namespace {
+
+struct Probe {
+  double fraction;
+  size_t start_column;
+  std::string initial_formula;  // empty when no formula reached support
+};
+
+Result<Probe> RunProbe(const relational::Table& source,
+                       const relational::Table& target, size_t target_column,
+                       SearchOptions options, double fraction) {
+  options.sample_fraction = fraction;
+  Probe probe;
+  probe.fraction = fraction;
+  TranslationSearch search(source, target, target_column, options);
+  MCSM_ASSIGN_OR_RETURN(probe.start_column, search.SelectStartColumn());
+  auto formula = search.BuildInitialFormula(probe.start_column);
+  if (formula.ok()) probe.initial_formula = formula->ToString();
+  return probe;
+}
+
+}  // namespace
+
+Result<AutoTuneResult> AutoTuneSampleFraction(
+    const relational::Table& source, const relational::Table& target,
+    size_t target_column, const SearchOptions& base_options,
+    double min_fraction, double max_fraction) {
+  if (min_fraction <= 0 || min_fraction > max_fraction) {
+    return Status::InvalidArgument("invalid fraction range");
+  }
+  std::vector<Probe> probes;
+  AutoTuneResult result;
+  for (double fraction = min_fraction; fraction <= max_fraction * 1.0001;
+       fraction *= 2.0) {
+    fraction = std::min(fraction, max_fraction);
+    MCSM_ASSIGN_OR_RETURN(
+        Probe probe, RunProbe(source, target, target_column, base_options,
+                              fraction));
+    result.probed_fractions.push_back(fraction);
+    probes.push_back(std::move(probe));
+    // Stable once two consecutive probes agree on column and formula.
+    if (probes.size() >= 2) {
+      const Probe& prev = probes[probes.size() - 2];
+      const Probe& cur = probes.back();
+      if (!prev.initial_formula.empty() &&
+          prev.start_column == cur.start_column &&
+          prev.initial_formula == cur.initial_formula) {
+        result.sample_fraction = prev.fraction;
+        result.start_column = prev.start_column;
+        result.initial_formula = prev.initial_formula;
+        return result;
+      }
+    }
+    if (fraction >= max_fraction) break;
+  }
+  // Nothing stabilized: fall back to the largest probe.
+  const Probe& last = probes.back();
+  if (last.initial_formula.empty()) {
+    return Status::NotFound(
+        "no sample fraction produced a supported initial formula");
+  }
+  result.sample_fraction = last.fraction;
+  result.start_column = last.start_column;
+  result.initial_formula = last.initial_formula;
+  return result;
+}
+
+}  // namespace mcsm::core

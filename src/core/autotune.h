@@ -1,0 +1,38 @@
+#ifndef MCSM_CORE_AUTOTUNE_H_
+#define MCSM_CORE_AUTOTUNE_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "core/search.h"
+
+namespace mcsm::core {
+
+/// \brief Section 7 (future work), implemented: automating the selection of
+/// the sampling parameter.
+///
+/// The paper: "we are currently working on automating the selection of q and
+/// of sampling parameters". The stability criterion follows Figures 1/2:
+/// the sample is large enough once the Step-1 column ranking and the Step-2
+/// initial-formula winner stop changing as the sample grows.
+struct AutoTuneResult {
+  double sample_fraction;     ///< smallest stable fraction found
+  size_t start_column;        ///< the stable start column
+  std::string initial_formula;  ///< the stable initial formula (rendered)
+  /// The fractions probed and whether each agreed with the next one.
+  std::vector<double> probed_fractions;
+};
+
+/// Probes geometrically growing sample fractions (from `min_fraction` up to
+/// `max_fraction`) and returns the smallest one whose start column and
+/// initial formula agree with the next larger probe. Falls back to
+/// `max_fraction` when nothing stabilizes. All other options are taken from
+/// `base_options`.
+Result<AutoTuneResult> AutoTuneSampleFraction(
+    const relational::Table& source, const relational::Table& target,
+    size_t target_column, const SearchOptions& base_options = {},
+    double min_fraction = 0.005, double max_fraction = 0.32);
+
+}  // namespace mcsm::core
+
+#endif  // MCSM_CORE_AUTOTUNE_H_

@@ -1,0 +1,45 @@
+#include "core/column_scorer.h"
+
+#include <cmath>
+
+#include "relational/sampler.h"
+#include "text/qgram.h"
+
+namespace mcsm::core {
+
+double ColumnScorer::ScoreKeys(const std::vector<std::string>& keys,
+                               const relational::ColumnIndex& target_index,
+                               const Options& options) {
+  if (keys.empty()) return 0.0;
+  const size_t q = target_index.q();
+  double hit_count = 0.0;
+  for (const auto& key : keys) {
+    if (key.empty()) continue;
+    double localc = 0.0;
+    if (options.mode == CountMode::kTotalHits) {
+      if (options.excluded_chars.empty()) {
+        localc = static_cast<double>(target_index.TotalQGramHits(key));
+      } else {
+        for (const auto& gram :
+             text::QGramsExcluding(key, q, options.excluded_chars)) {
+          localc += target_index.DocumentFrequency(gram);
+        }
+      }
+    } else {
+      localc = static_cast<double>(target_index.RowsWithAnyQGram(key));
+    }
+    hit_count += localc / static_cast<double>(key.size());
+  }
+  double average_overlap = hit_count / static_cast<double>(keys.size());
+  return std::pow(average_overlap, static_cast<double>(q));
+}
+
+double ColumnScorer::ScoreColumn(const relational::ColumnIndex& source_index,
+                                 const relational::ColumnIndex& target_index,
+                                 const Options& options) {
+  std::vector<std::string> keys = relational::SampleDistinctValues(
+      source_index, options.sample_fraction, options.min_sample);
+  return ScoreKeys(keys, target_index, options);
+}
+
+}  // namespace mcsm::core

@@ -1,0 +1,169 @@
+#include "core/formula.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace mcsm::core {
+
+TranslationFormula::TranslationFormula(std::vector<Region> regions) {
+  // Normalize: merge adjacent regions that denote the same thing.
+  for (auto& r : regions) {
+    if (!regions_.empty()) {
+      Region& last = regions_.back();
+      if (r.kind == Region::Kind::kUnknown &&
+          last.kind == Region::Kind::kUnknown) {
+        // %% == %; sized unknowns accumulate, mixing with an unsized one
+        // degrades to unsized.
+        if (last.unknown_width > 0 && r.unknown_width > 0) {
+          last.unknown_width += r.unknown_width;
+        } else {
+          last.unknown_width = 0;
+        }
+        continue;
+      }
+      if (r.kind == Region::Kind::kLiteral &&
+          last.kind == Region::Kind::kLiteral) {
+        last.literal += r.literal;
+        continue;
+      }
+      if (r.kind == Region::Kind::kColumnSpan &&
+          last.kind == Region::Kind::kColumnSpan && !last.to_end &&
+          last.column == r.column && r.start == last.end + 1) {
+        // Contiguous spans of the same column, e.g. [1-3][4-6] -> [1-6].
+        last.end = r.end;
+        last.to_end = r.to_end;
+        continue;
+      }
+    }
+    regions_.push_back(std::move(r));
+  }
+}
+
+bool TranslationFormula::IsComplete() const {
+  return UnknownCount() == 0 && !regions_.empty();
+}
+
+size_t TranslationFormula::UnknownCount() const {
+  size_t count = 0;
+  for (const auto& r : regions_) {
+    if (r.kind == Region::Kind::kUnknown) ++count;
+  }
+  return count;
+}
+
+size_t TranslationFormula::KnownFixedChars() const {
+  size_t total = 0;
+  for (const auto& r : regions_) {
+    auto len = r.FixedLength();
+    if (len.has_value()) total += *len;
+  }
+  return total;
+}
+
+std::string TranslationFormula::ToString() const {
+  return ToString(relational::Schema{});
+}
+
+std::string TranslationFormula::ToString(const relational::Schema& schema) const {
+  std::string out;
+  for (const auto& r : regions_) {
+    switch (r.kind) {
+      case Region::Kind::kUnknown:
+        if (r.unknown_width > 0) {
+          out += StrFormat("%%{%zu}", r.unknown_width);
+        } else {
+          out += "%";
+        }
+        break;
+      case Region::Kind::kColumnSpan: {
+        std::string name = r.column < schema.num_columns()
+                               ? schema.column(r.column).name
+                               : StrFormat("B%zu", r.column + 1);
+        if (r.to_end) {
+          out += StrFormat("%s[%zu-n]", name.c_str(), r.start);
+        } else {
+          out += StrFormat("%s[%zu-%zu]", name.c_str(), r.start, r.end);
+        }
+        break;
+      }
+      case Region::Kind::kLiteral:
+        out += "\"" + r.literal + "\"";
+        break;
+    }
+  }
+  return out;
+}
+
+std::optional<std::string> TranslationFormula::Apply(
+    const relational::Table& source, size_t row) const {
+  std::string out;
+  for (const auto& r : regions_) {
+    switch (r.kind) {
+      case Region::Kind::kUnknown:
+        return std::nullopt;  // incomplete formulas cannot be applied
+      case Region::Kind::kLiteral:
+        out += r.literal;
+        break;
+      case Region::Kind::kColumnSpan: {
+        std::string_view value = source.CellText(row, r.column);
+        if (r.to_end) {
+          // Needs at least one character from `start`.
+          if (value.size() < r.start) return std::nullopt;
+          out += value.substr(r.start - 1);
+        } else {
+          // The span must be fully available (the emitted SQL guards with
+          // char_length(substring(...)) = width).
+          if (value.size() < r.end) return std::nullopt;
+          out += value.substr(r.start - 1, r.end - r.start + 1);
+        }
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::optional<relational::SearchPattern> TranslationFormula::BuildPattern(
+    const relational::Table& source, size_t row) const {
+  std::vector<relational::SearchPattern::Segment> segments;
+  for (const auto& r : regions_) {
+    switch (r.kind) {
+      case Region::Kind::kUnknown:
+        // An Unknown region stands for at least one unexplained character;
+        // on fixed-width targets its exact width is known.
+        segments.push_back({true, true, r.unknown_width, ""});
+        break;
+      case Region::Kind::kLiteral:
+        segments.push_back({false, false, 0, r.literal});
+        break;
+      case Region::Kind::kColumnSpan: {
+        std::string_view value = source.CellText(row, r.column);
+        if (r.to_end) {
+          if (value.size() < r.start) return std::nullopt;
+          segments.push_back(
+              {false, false, 0, std::string(value.substr(r.start - 1))});
+        } else {
+          if (value.size() < r.end) return std::nullopt;
+          segments.push_back({false, false, 0,
+                              std::string(value.substr(
+                                  r.start - 1, r.end - r.start + 1))});
+        }
+        break;
+      }
+    }
+  }
+  return relational::SearchPattern(std::move(segments));
+}
+
+std::vector<size_t> TranslationFormula::ReferencedColumns() const {
+  std::vector<size_t> cols;
+  for (const auto& r : regions_) {
+    if (r.kind == Region::Kind::kColumnSpan) cols.push_back(r.column);
+  }
+  std::sort(cols.begin(), cols.end());
+  cols.erase(std::unique(cols.begin(), cols.end()), cols.end());
+  return cols;
+}
+
+}  // namespace mcsm::core

@@ -1,0 +1,130 @@
+#ifndef MCSM_CORE_FORMULA_H_
+#define MCSM_CORE_FORMULA_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "relational/pattern.h"
+#include "relational/table.h"
+
+namespace mcsm::core {
+
+/// \brief One region omega_i of a translation formula (Section 3.1/3.3.3).
+///
+/// A region is one of:
+///  - Unknown ("%"): a target segment not yet explained;
+///  - ColumnSpan: characters [start..end] (1-based, inclusive) of a source
+///    column, or [start..n] to end-of-string when `to_end` is set;
+///  - Literal: a fixed separator string not copied from any source column
+///    (Section 6.1).
+struct Region {
+  enum class Kind { kUnknown, kColumnSpan, kLiteral };
+
+  Kind kind = Kind::kUnknown;
+  size_t column = 0;    ///< source column index (kColumnSpan)
+  size_t start = 1;     ///< 1-based first char (kColumnSpan)
+  size_t end = 0;       ///< 1-based last char, used when !to_end (kColumnSpan)
+  bool to_end = false;  ///< span runs to the end of the value ("[x-n]")
+  std::string literal;  ///< kLiteral payload
+  /// For kUnknown on fixed-width target columns: the exact number of
+  /// unexplained characters (0 = unsized, variable-width). The paper notes
+  /// that fixed-field recipes align by absolute location (Section 3.3.3);
+  /// sizing the unknowns is what preserves that alignment, so "X at
+  /// positions 3-4" and "X at positions 5-6" stay distinct candidates.
+  size_t unknown_width = 0;
+
+  static Region Unknown() { return Region{}; }
+  static Region SizedUnknown(size_t width) {
+    Region r;
+    r.unknown_width = width;
+    return r;
+  }
+  static Region Span(size_t column, size_t start, size_t end) {
+    Region r;
+    r.kind = Kind::kColumnSpan;
+    r.column = column;
+    r.start = start;
+    r.end = end;
+    return r;
+  }
+  static Region SpanToEnd(size_t column, size_t start) {
+    Region r;
+    r.kind = Kind::kColumnSpan;
+    r.column = column;
+    r.start = start;
+    r.to_end = true;
+    return r;
+  }
+  static Region Literal(std::string text) {
+    Region r;
+    r.kind = Kind::kLiteral;
+    r.literal = std::move(text);
+    return r;
+  }
+
+  /// Fixed character count of the region; nullopt for Unknown and to_end
+  /// spans (whose width depends on the instance).
+  std::optional<size_t> FixedLength() const {
+    if (kind == Kind::kLiteral) return literal.size();
+    if (kind == Kind::kColumnSpan && !to_end) return end - start + 1;
+    return std::nullopt;
+  }
+
+  bool operator==(const Region&) const = default;
+};
+
+/// \brief A translation formula: the ordered concatenation of regions that
+/// produces a target value from one source row (A = w1 + w2 + ... + wk).
+///
+/// Formulas are value types with structural equality; candidate formulas are
+/// collated and voted on by their normalized form (adjacent unknowns merged,
+/// adjacent contiguous same-column spans merged, adjacent literals merged).
+class TranslationFormula {
+ public:
+  TranslationFormula() = default;
+  explicit TranslationFormula(std::vector<Region> regions);
+
+  const std::vector<Region>& regions() const { return regions_; }
+  bool empty() const { return regions_.empty(); }
+
+  /// True when no Unknown region remains (the search succeeded fully).
+  bool IsComplete() const;
+
+  size_t UnknownCount() const;
+
+  /// Number of characters explained by fixed spans/literals (a tie-break
+  /// heuristic: more explained characters = more specific formula).
+  size_t KnownFixedChars() const;
+
+  /// Paper-style rendering, e.g. "%B3[1-n]" or "first[1-1]last[1-n]" when a
+  /// schema provides column names. Literal regions render in quotes.
+  std::string ToString() const;
+  std::string ToString(const relational::Schema& schema) const;
+
+  /// Applies the formula to `row` of `source`. Requires IsComplete().
+  /// Returns nullopt when a span is unsatisfiable for the row (NULL value or
+  /// value shorter than the span requires).
+  std::optional<std::string> Apply(const relational::Table& source,
+                                   size_t row) const;
+
+  /// Builds the retrieval pattern for `row`: known regions instantiated from
+  /// the row's values, Unknown regions as '%' wildcards (Section 3.4.1).
+  /// Returns nullopt when a known region is unsatisfiable for the row.
+  std::optional<relational::SearchPattern> BuildPattern(
+      const relational::Table& source, size_t row) const;
+
+  /// The source columns referenced by ColumnSpan regions, deduplicated.
+  std::vector<size_t> ReferencedColumns() const;
+
+  bool operator==(const TranslationFormula& other) const {
+    return regions_ == other.regions_;
+  }
+
+ private:
+  std::vector<Region> regions_;
+};
+
+}  // namespace mcsm::core
+
+#endif  // MCSM_CORE_FORMULA_H_

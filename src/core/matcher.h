@@ -1,0 +1,54 @@
+#ifndef MCSM_CORE_MATCHER_H_
+#define MCSM_CORE_MATCHER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/column_scorer.h"
+#include "core/formula.h"
+#include "core/recipe.h"
+#include "core/search.h"
+#include "core/separator.h"
+#include "core/sql_emitter.h"
+#include "relational/table.h"
+
+namespace mcsm::core {
+
+/// \brief One discovered translation, packaged with its evidence.
+struct DiscoveredTranslation {
+  SearchResult search;
+  Coverage coverage;   ///< source/target rows the formula links
+  std::string sql;     ///< emitted SQL (empty when the formula is incomplete)
+
+  const TranslationFormula& formula() const { return search.formula; }
+};
+
+/// Runs the full search once and packages formula + coverage + SQL.
+/// `sql_options.output_column` defaults to the target column's name.
+Result<DiscoveredTranslation> DiscoverTranslation(
+    const relational::Table& source, const relational::Table& target,
+    size_t target_column, const SearchOptions& options = {},
+    const SqlEmitter::Options& sql_options = {});
+
+/// Match-and-remove loop (Section 4.1): discovers a translation, removes the
+/// rows it covers from both tables, and repeats — returning the dominant
+/// formulas in decreasing coverage order. Stops after `max_formulas`, when a
+/// search fails, or when a formula covers fewer than `min_matched_rows` rows.
+/// Copies of the tables are consumed internally; the originals are untouched.
+Result<std::vector<DiscoveredTranslation>> DiscoverAllTranslations(
+    relational::Table source, relational::Table target, size_t target_column,
+    const SearchOptions& options = {}, size_t max_formulas = 4,
+    size_t min_matched_rows = 2);
+
+/// Builds a source-row -> target-row linkage from a known (complete)
+/// translation for `known_target_column` — the Section 6.2 prerequisite for
+/// constraining the search for a second target column.
+std::vector<size_t> BuildLinkage(const TranslationFormula& known_formula,
+                                 const relational::Table& source,
+                                 const relational::Table& target,
+                                 size_t known_target_column);
+
+}  // namespace mcsm::core
+
+#endif  // MCSM_CORE_MATCHER_H_

@@ -1,0 +1,66 @@
+#ifndef MCSM_CORE_RECIPE_H_
+#define MCSM_CORE_RECIPE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "core/formula.h"
+#include "relational/pattern.h"
+#include "text/alignment.h"
+
+namespace mcsm::core {
+
+/// \brief Which positions of a specific target instance are already explained
+/// by fixed regions (the partial translation's known regions and/or separator
+/// literals), before a new candidate column is aligned against the remainder.
+struct FixedCoverage {
+  /// cover[i] = index into `regions` of the fixed region covering target
+  /// position i, or -1 when the position is free.
+  std::vector<int> cover;
+  /// The fixed regions in target order (known column spans, literals).
+  std::vector<Region> regions;
+
+  /// No fixed coverage (the very first, bootstrap recipe).
+  static FixedCoverage None(size_t target_length) {
+    FixedCoverage f;
+    f.cover.assign(target_length, -1);
+    return f;
+  }
+
+  /// Builds coverage from a pattern capture: `spans` are the literal-segment
+  /// spans captured on the target instance, pairing 1:1 (in order) with
+  /// `fixed_regions` — the non-Unknown regions of the partial formula.
+  static Result<FixedCoverage> FromCapture(size_t target_length,
+                                           const std::vector<relational::Span>& spans,
+                                           std::vector<Region> fixed_regions);
+
+  /// Mask usable by the alignment: true = position free for matching.
+  std::vector<bool> FreeMask() const {
+    std::vector<bool> mask(cover.size());
+    for (size_t i = 0; i < cover.size(); ++i) mask[i] = cover[i] < 0;
+    return mask;
+  }
+};
+
+/// \brief Algorithm 4 / Section 3.4.3: converts one recipe (an alignment of a
+/// candidate-column key against a target instance, plus the target's fixed
+/// coverage) into the candidate translation formulas it supports.
+///
+/// Every maximal matched run becomes a ColumnSpan of `key_column`; fixed
+/// regions are copied through; uncovered stretches become Unknown regions. A
+/// run that ends exactly at the key's last character forks an end-of-string
+/// clone ("[x-n]") to support variable-width columns; all fork combinations
+/// are produced, capped at `max_variants` formulas.
+/// When `sized_unknowns` is set (fixed-width target columns), Unknown
+/// regions carry their exact width so recipes align by absolute location
+/// (Section 3.3.3's fixed-field case).
+std::vector<TranslationFormula> BuildFormulasFromRecipe(
+    std::string_view target, const FixedCoverage& fixed,
+    const text::RecipeAlignment& alignment, size_t key_column,
+    size_t key_length, size_t max_variants, bool sized_unknowns = false);
+
+}  // namespace mcsm::core
+
+#endif  // MCSM_CORE_RECIPE_H_

@@ -1,0 +1,65 @@
+#include "core/report.h"
+
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace mcsm::core {
+
+TranslationReport EvaluateTranslation(const TranslationFormula& formula,
+                                      const relational::Table& source,
+                                      const relational::Table& target,
+                                      size_t target_column) {
+  TranslationReport report;
+  report.source_rows = source.num_rows();
+  report.target_rows = target.num_rows();
+
+  std::unordered_map<std::string_view, std::vector<size_t>> by_value;
+  size_t usable_targets = 0;
+  for (size_t row = target.num_rows(); row > 0; --row) {
+    std::string_view v = target.CellText(row - 1, target_column);
+    if (v.empty()) continue;
+    by_value[v].push_back(row - 1);
+    ++usable_targets;
+  }
+
+  const bool complete = formula.IsComplete();
+  for (size_t row = 0; row < source.num_rows(); ++row) {
+    if (!complete) {
+      ++report.unsatisfiable;
+      continue;
+    }
+    auto produced = formula.Apply(source, row);
+    if (!produced.has_value() || produced->empty()) {
+      ++report.unsatisfiable;
+      continue;
+    }
+    auto it = by_value.find(std::string_view(*produced));
+    if (it == by_value.end() || it->second.empty()) {
+      ++report.produced_unmatched;
+      continue;
+    }
+    it->second.pop_back();
+    ++report.covered;
+  }
+  report.target_unexplained = report.target_rows - report.covered;
+  return report;
+}
+
+std::string TranslationReport::ToString() const {
+  std::string out;
+  out += StrFormat("source rows          %zu\n", source_rows);
+  out += StrFormat("target rows          %zu\n", target_rows);
+  out += StrFormat("covered              %zu (%.1f%% of target)\n", covered,
+                   100.0 * CoverageFraction());
+  out += StrFormat("unsatisfiable        %zu (excluded by the SQL WHERE)\n",
+                   unsatisfiable);
+  out += StrFormat("produced, unmatched  %zu (precision %.1f%%)\n",
+                   produced_unmatched, 100.0 * Precision());
+  out += StrFormat("target unexplained   %zu\n", target_unexplained);
+  return out;
+}
+
+}  // namespace mcsm::core

@@ -1,0 +1,561 @@
+#include "core/search.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cmath>
+#include <map>
+#include <unordered_map>
+
+#include "common/string_util.h"
+#include "core/separator.h"
+#include "relational/sampler.h"
+#include "text/alignment.h"
+#include "text/qgram.h"
+
+namespace mcsm::core {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+TranslationSearch::TranslationSearch(const relational::Table& source,
+                                     const relational::Table& target,
+                                     size_t target_column,
+                                     SearchOptions options)
+    : source_(source),
+      target_(target),
+      target_column_(target_column),
+      options_(options),
+      source_indexes_(source.num_columns()) {
+  relational::ColumnIndex::Options idx_options;
+  idx_options.q = options_.q;
+  idx_options.build_postings = true;
+  target_index_ = std::make_unique<relational::ColumnIndex>(
+      target_, target_column_, idx_options);
+
+  if (options_.detect_separators) {
+    separator_template_ = SeparatorDetector::Detect(target_, target_column_);
+    if (separator_template_.has_value()) {
+      separator_chars_ =
+          SeparatorDetector::TemplateSeparatorChars(*separator_template_);
+    }
+  }
+}
+
+TranslationSearch::~TranslationSearch() = default;
+
+const relational::ColumnIndex& TranslationSearch::SourceIndex(size_t column) {
+  if (!source_indexes_[column]) {
+    relational::ColumnIndex::Options idx_options;
+    idx_options.q = options_.q;
+    idx_options.build_postings = false;
+    source_indexes_[column] = std::make_unique<relational::ColumnIndex>(
+        source_, column, idx_options);
+  }
+  return *source_indexes_[column];
+}
+
+size_t TranslationSearch::SampleCount(size_t distinct) const {
+  if (distinct == 0) return 0;
+  size_t t = static_cast<size_t>(
+      std::ceil(options_.sample_fraction * static_cast<double>(distinct)));
+  t = std::max(t, options_.min_sample);
+  t = std::min(t, options_.max_sample);
+  return std::min(t, distinct);
+}
+
+std::vector<std::string> TranslationSearch::SampleKeys(size_t column) const {
+  const auto& index = const_cast<TranslationSearch*>(this)->SourceIndex(column);
+  const auto& distinct = index.sorted_distinct();
+  size_t t = SampleCount(distinct.size());
+  std::vector<std::string> keys;
+  keys.reserve(t);
+  for (size_t idx : relational::EquidistantIndices(distinct.size(), t)) {
+    keys.push_back(distinct[idx]);
+  }
+  return keys;
+}
+
+std::vector<size_t> TranslationSearch::SampleSourceRows(size_t column) const {
+  const auto& index = const_cast<TranslationSearch*>(this)->SourceIndex(column);
+  size_t t = SampleCount(index.distinct_count());
+  return relational::SampleRows(source_.num_rows(), t);
+}
+
+std::vector<uint32_t> TranslationSearch::SimilarTargetRows(
+    std::string_view key) {
+  std::vector<relational::ColumnIndex::ScoredRow> scored;
+  if (options_.pair_mode == SearchOptions::PairScoreMode::kTfIdf) {
+    scored = target_index_->SimilarRows(key, options_.pair_score_threshold,
+                                        options_.top_r_pairs, separator_chars_);
+  } else {
+    scored = target_index_->SimilarRowsByCount(
+        key, options_.pair_score_threshold, options_.top_r_pairs);
+  }
+  stats_.pairs_scored += scored.size();
+  std::vector<uint32_t> rows;
+  rows.reserve(scored.size());
+  for (const auto& s : scored) rows.push_back(s.row);
+  return rows;
+}
+
+void TranslationSearch::VoteRecipe(std::string_view key,
+                                   std::string_view target,
+                                   const FixedCoverage& fixed,
+                                   size_t key_column, VoteMap* votes,
+                                   double* total) {
+  std::vector<bool> mask = fixed.FreeMask();
+  text::RecipeAlignment alignment = text::AlignLcsAnchored(
+      key, target, &mask, text::EditCosts{}, options_.lcs_tie_break);
+  ++stats_.recipes_built;
+  auto formulas = BuildFormulasFromRecipe(
+      target, fixed, alignment, key_column, key.size(),
+      options_.max_variants_per_recipe, target_index_->fixed_width());
+  // Votes are weighted by the number of characters the recipe explains: a
+  // k-character serendipitous match is exponentially less probable than a
+  // 1-character one (the same decay Eq. 1 models by raising to the power q),
+  // so longer systematic matches must outrank shorter coincidences.
+  const double weight =
+      static_cast<double>(std::max<size_t>(alignment.matched_chars(), 1));
+  for (auto& f : formulas) {
+    ++stats_.formulas_considered;
+    *total += weight;
+    // Keyed by (parent column, formula): Eq. 5 normalizes per parent column,
+    // so the same rendering produced by different candidate columns (the
+    // unchanged formula, typically) must not pool its votes.
+    std::string rendered = StrFormat("c%zu|", key_column) + f.ToString();
+    auto it = votes->find(rendered);
+    if (it == votes->end()) {
+      FormulaVotes entry;
+      entry.formula = std::move(f);
+      entry.count = 1;
+      entry.weighted_count = weight;
+      entry.column = key_column;
+      votes->emplace(std::move(rendered), std::move(entry));
+    } else {
+      ++it->second.count;
+      it->second.weighted_count += weight;
+    }
+  }
+}
+
+Result<size_t> TranslationSearch::SelectStartColumn(
+    std::vector<double>* scores_out) {
+  auto start = Clock::now();
+  if (scores_out != nullptr) {
+    scores_out->assign(source_.num_columns(), 0.0);
+  }
+  double best_score = 0.0;
+  size_t best_column = std::numeric_limits<size_t>::max();
+  for (size_t col = 0; col < source_.num_columns(); ++col) {
+    if (source_.schema().column(col).type != relational::ColumnType::kText) {
+      continue;
+    }
+    ColumnScorer::Options scorer_options;
+    scorer_options.mode = options_.count_mode;
+    scorer_options.excluded_chars = separator_chars_;
+    std::vector<std::string> keys = SampleKeys(col);
+    double score = ColumnScorer::ScoreKeys(keys, *target_index_, scorer_options);
+    if (scores_out != nullptr) (*scores_out)[col] = score;
+    if (score > best_score) {
+      best_score = score;
+      best_column = col;
+    }
+  }
+  stats_.step1_seconds += SecondsSince(start);
+  if (best_column == std::numeric_limits<size_t>::max()) {
+    return Status::NotFound("no source column shares q-grams with the target");
+  }
+  return best_column;
+}
+
+Result<std::vector<TranslationFormula>> TranslationSearch::BuildInitialFormulas(
+    size_t column, size_t k) {
+  auto start = Clock::now();
+  VoteMap votes;
+  double total = 0;
+
+  auto vote_pair = [&](std::string_view key, uint32_t target_row) {
+    std::string_view target = target_.CellText(target_row, target_column_);
+    if (target.empty()) return;
+    FixedCoverage fixed = FixedCoverage::None(target.size());
+    if (separator_template_.has_value()) {
+      auto spans = separator_template_->CaptureLiterals(target);
+      if (!spans.has_value()) return;  // separator template must hold
+      std::vector<Region> literal_regions;
+      const auto& segments = separator_template_->segments();
+      size_t span_idx = 0;
+      for (const auto& seg : segments) {
+        if (!seg.is_wildcard) {
+          (void)span_idx;
+          literal_regions.push_back(Region::Literal(seg.literal));
+        }
+      }
+      auto built = FixedCoverage::FromCapture(target.size(), *spans,
+                                              std::move(literal_regions));
+      if (!built.ok()) return;
+      fixed = std::move(built).value();
+    }
+    VoteRecipe(key, target, fixed, column, &votes, &total);
+  };
+
+  if (!linkage_.empty()) {
+    // Section 6.2: candidate pairs come from the known row linkage.
+    for (size_t row : SampleSourceRows(column)) {
+      std::string_view key = source_.CellText(row, column);
+      if (key.empty()) continue;
+      if (row >= linkage_.size() || linkage_[row] == kNoLink) continue;
+      vote_pair(key, static_cast<uint32_t>(linkage_[row]));
+    }
+  } else {
+    for (const std::string& key : SampleKeys(column)) {
+      if (key.empty()) continue;
+      for (uint32_t target_row : SimilarTargetRows(key)) {
+        vote_pair(key, target_row);
+      }
+    }
+  }
+
+  // Rank candidates: most frequent first; ties break toward the formula
+  // explaining more characters, then lexicographically (determinism).
+  struct Ranked {
+    const FormulaVotes* entry;
+    const std::string* key;
+  };
+  std::vector<Ranked> ranked;
+  for (const auto& [rendered, entry] : votes) {
+    bool informative = false;
+    for (const auto& r : entry.formula.regions()) {
+      if (r.kind == Region::Kind::kColumnSpan) {
+        informative = true;
+        break;
+      }
+    }
+    if (!informative) continue;  // span-free formula carries no information
+    if (entry.count < options_.min_support) continue;
+    ranked.push_back({&entry, &rendered});
+  }
+  std::sort(ranked.begin(), ranked.end(), [](const Ranked& a, const Ranked& b) {
+    if (a.entry->weighted_count != b.entry->weighted_count) {
+      return a.entry->weighted_count > b.entry->weighted_count;
+    }
+    size_t ka = a.entry->formula.KnownFixedChars();
+    size_t kb = b.entry->formula.KnownFixedChars();
+    if (ka != kb) return ka > kb;
+    return *a.key < *b.key;
+  });
+  std::vector<TranslationFormula> out;
+  for (const Ranked& r : ranked) {
+    out.push_back(r.entry->formula);
+    if (out.size() >= k) break;
+  }
+  stats_.step2_seconds += SecondsSince(start);
+  if (out.empty()) {
+    return Status::NotFound(StrFormat(
+        "no initial translation formula reached min_support=%zu for column %zu",
+        options_.min_support, column));
+  }
+  return out;
+}
+
+Result<TranslationFormula> TranslationSearch::BuildInitialFormula(
+    size_t column) {
+  MCSM_ASSIGN_OR_RETURN(auto formulas, BuildInitialFormulas(column, 1));
+  return formulas[0];
+}
+
+Result<bool> TranslationSearch::RefineOnce(TranslationFormula* formula,
+                                           IterationInfo* info) {
+  auto start = Clock::now();
+  if (formula->empty()) {
+    return Status::InvalidArgument("cannot refine an empty formula");
+  }
+  const std::string current_rendered = formula->ToString();
+
+  // The formula's non-Unknown regions, in order (they pair with the pattern's
+  // literal captures).
+  std::vector<Region> fixed_regions;
+  for (const auto& r : formula->regions()) {
+    if (r.kind != Region::Kind::kUnknown) fixed_regions.push_back(r);
+  }
+
+  VoteMap votes;
+  std::vector<double> column_totals(source_.num_columns(), 0);
+  size_t candidates_considered = 0;
+
+  // Text columns eligible as candidates.
+  std::vector<size_t> text_columns;
+  for (size_t col = 0; col < source_.num_columns(); ++col) {
+    if (source_.schema().column(col).type == relational::ColumnType::kText) {
+      text_columns.push_back(col);
+    }
+  }
+
+  // One equidistant row sample for the whole iteration: every candidate
+  // column sees the identical (source row, target instance) pairs, so vote
+  // counts are comparable across columns, and the expensive pattern
+  // retrieval runs once per row instead of once per (row, column).
+  size_t t = SampleCount(source_.num_rows());
+  for (size_t row : relational::SampleRows(source_.num_rows(), t)) {
+    auto pattern = formula->BuildPattern(source_, row);
+    if (!pattern.has_value() || pattern->IsUniversal()) continue;
+
+    std::vector<uint32_t> target_rows;
+    if (!linkage_.empty()) {
+      if (row < linkage_.size() && linkage_[row] != kNoLink) {
+        uint32_t linked = static_cast<uint32_t>(linkage_[row]);
+        if (pattern->Matches(target_.CellText(linked, target_column_))) {
+          target_rows.push_back(linked);
+        }
+      }
+    } else {
+      target_rows = target_index_->RowsMatchingPattern(*pattern);
+    }
+
+    // Per-candidate fixed coverage (shared by all columns); invalid captures
+    // are dropped up front.
+    struct Candidate {
+      uint32_t row;
+      std::string_view target;
+      FixedCoverage fixed;
+      std::vector<bool> free_mask;
+    };
+    std::vector<Candidate> candidates;
+    candidates.reserve(target_rows.size());
+    for (uint32_t t_row : target_rows) {
+      std::string_view target = target_.CellText(t_row, target_column_);
+      auto spans = pattern->CaptureLiterals(target);
+      if (!spans.has_value()) continue;
+      auto fixed =
+          FixedCoverage::FromCapture(target.size(), *spans, fixed_regions);
+      if (!fixed.ok()) continue;
+      Candidate cand{t_row, target, std::move(fixed).value(), {}};
+      cand.free_mask = cand.fixed.FreeMask();
+      candidates.push_back(std::move(cand));
+    }
+
+    // Algorithm 6's "and contains q-grams of key", realized as row-level
+    // record-linkage ranking: when more candidates match the pattern than
+    // the cap admits, keep the ones sharing the most q-grams with the WHOLE
+    // source row (summed over all candidate columns). The truly linked
+    // target instance shares several fields and rises to the top, while a
+    // candidate that matches one field by coincidence ranks below it — the
+    // "primitive form of record linkage" of Section 2.
+    if (candidates.size() > options_.max_pattern_rows) {
+      std::vector<long long> row_similarity(candidates.size(), 0);
+      for (size_t ci = 0; ci < candidates.size(); ++ci) {
+        for (size_t col : text_columns) {
+          std::string_view key = source_.CellText(row, col);
+          if (key.size() >= options_.q) {
+            row_similarity[ci] += text::SharedQGramsMasked(
+                key, candidates[ci].target, candidates[ci].free_mask,
+                options_.q);
+          }
+        }
+      }
+      std::vector<size_t> order(candidates.size());
+      for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+      std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        return row_similarity[a] > row_similarity[b];
+      });
+      order.resize(options_.max_pattern_rows);
+      std::sort(order.begin(), order.end());
+      std::vector<Candidate> kept;
+      kept.reserve(order.size());
+      for (size_t i : order) kept.push_back(std::move(candidates[i]));
+      candidates = std::move(kept);
+    }
+
+    for (size_t col : text_columns) {
+      std::string_view key = source_.CellText(row, col);
+      if (key.empty()) continue;
+      // Algorithm 6's "and contains q-grams of key" (see RefinementFilter).
+      bool filter = options_.refinement_filter !=
+                        SearchOptions::RefinementFilter::kOff &&
+                    key.size() >= options_.q;
+      // Sharing is measured against the candidate's *unexplained* portion:
+      // the key's contribution has to land there, and testing the whole
+      // string would make the filter vacuous for columns whose value the
+      // pattern already pins (every "04%" match contains "04").
+      std::vector<bool> sharing(candidates.size(), true);
+      if (filter) {
+        for (size_t ci = 0; ci < candidates.size(); ++ci) {
+          sharing[ci] = text::SharedQGramsMasked(key, candidates[ci].target,
+                                                 candidates[ci].free_mask,
+                                                 options_.q) > 0;
+        }
+        if (options_.refinement_filter ==
+                SearchOptions::RefinementFilter::kPreferSharing &&
+            std::none_of(sharing.begin(), sharing.end(),
+                         [](bool b) { return b; })) {
+          filter = false;  // waive rather than starve
+        }
+      }
+      for (size_t ci = 0; ci < candidates.size(); ++ci) {
+        if (filter && !sharing[ci]) continue;
+        VoteRecipe(key, candidates[ci].target, candidates[ci].fixed, col,
+                   &votes, &column_totals[col]);
+      }
+    }
+  }
+
+  // Score candidates (Eq. 5) and adopt the best true refinement.
+  const bool debug_votes = std::getenv("MCSM_DEBUG_VOTES") != nullptr;
+  double global_total = 0;
+  for (double ct : column_totals) global_total += ct;
+  const FormulaVotes* best = nullptr;
+  double best_score = 0.0;
+  for (const auto& [rendered, entry] : votes) {
+    if (debug_votes && entry.count >= 2) {
+      std::fprintf(stderr, "vote %-40s col=%zu count=%zu w=%.0f total=%.0f\n",
+                   rendered.c_str(), entry.column, entry.count,
+                   entry.weighted_count, column_totals[entry.column]);
+    }
+    ++candidates_considered;
+    if (entry.formula.ToString() == current_rendered) {
+      continue;  // no new information
+    }
+    if (entry.count < options_.min_support) continue;
+    double norm =
+        options_.score_normalization ==
+                SearchOptions::ScoreNormalization::kPerColumn
+            ? column_totals[entry.column]
+            : global_total;
+    double frequency = entry.weighted_count / std::max(norm, 1.0);
+    double denominator = 1.0;
+    if (!options_.disable_width_penalty) {
+      const auto& idx = SourceIndex(entry.column);
+      denominator = std::max(1.0, idx.avg_length() - options_.sigma);
+    }
+    double score = frequency / denominator;
+    if (best == nullptr || score > best_score ||
+        (score == best_score &&
+         entry.formula.KnownFixedChars() > best->formula.KnownFixedChars())) {
+      best = &entry;
+      best_score = score;
+    }
+  }
+
+  double seconds = SecondsSince(start);
+  stats_.iteration_seconds.push_back(seconds);
+  if (info != nullptr) {
+    info->seconds = seconds;
+    info->candidates_considered = candidates_considered;
+  }
+  if (best == nullptr) {
+    if (info != nullptr) info->formula = current_rendered;
+    return false;
+  }
+  *formula = best->formula;
+  if (info != nullptr) {
+    info->chosen_column = best->column;
+    info->formula = formula->ToString();
+    info->support = best->count;
+    info->score = best_score;
+  }
+  return true;
+}
+
+Result<SearchResult> TranslationSearch::Run() {
+  std::vector<double> scores;
+  MCSM_RETURN_IF_ERROR(SelectStartColumn(&scores).status());
+
+  // Start columns in descending Step-1 score order (zero scores skipped).
+  std::vector<size_t> start_columns;
+  for (size_t c = 0; c < scores.size(); ++c) {
+    if (scores[c] > 0.0) start_columns.push_back(c);
+  }
+  std::sort(start_columns.begin(), start_columns.end(),
+            [&](size_t a, size_t b) { return scores[a] > scores[b]; });
+  if (start_columns.size() > std::max<size_t>(1, options_.start_column_candidates)) {
+    start_columns.resize(std::max<size_t>(1, options_.start_column_candidates));
+  }
+
+  // A completed branch must actually translate rows; otherwise restart from
+  // the next-best initial formula, then from the next-best start column
+  // (coverage acts as the integration-system feedback the paper assumes is
+  // unavailable — see SearchOptions).
+  const size_t coverage_floor = std::max<size_t>(
+      options_.min_support,
+      static_cast<size_t>(options_.min_coverage_fraction *
+                          static_cast<double>(std::min(source_.num_rows(),
+                                                       target_.num_rows()))));
+
+  SearchResult best_attempt;
+  size_t best_attempt_coverage = 0;
+  bool have_attempt = false;
+  Status last_error = Status::NotFound("no start column produced a formula");
+  for (size_t start_column : start_columns) {
+    auto initial_formulas = BuildInitialFormulas(
+        start_column, std::max<size_t>(1, options_.initial_candidates));
+    if (!initial_formulas.ok()) {
+      last_error = initial_formulas.status();
+      continue;
+    }
+    for (const TranslationFormula& initial : *initial_formulas) {
+      SearchResult attempt;
+      attempt.start_column = start_column;
+      attempt.formula = initial;
+      for (size_t iter = 0;
+           iter < options_.max_iterations && !attempt.formula.IsComplete();
+           ++iter) {
+        IterationInfo info;
+        MCSM_ASSIGN_OR_RETURN(bool improved,
+                              RefineOnce(&attempt.formula, &info));
+        attempt.iterations.push_back(std::move(info));
+        if (!improved) break;
+      }
+      size_t covered = 0;
+      if (attempt.formula.IsComplete()) {
+        covered = ComputeCoverage(attempt.formula, source_, target_,
+                                  target_column_)
+                      .matched_rows();
+      }
+      if (covered >= coverage_floor) {
+        attempt.stats = stats_;
+        return attempt;
+      }
+      if (!have_attempt || covered > best_attempt_coverage) {
+        best_attempt = std::move(attempt);
+        best_attempt_coverage = covered;
+        have_attempt = true;
+      }
+    }
+  }
+  if (!have_attempt) return last_error;
+  best_attempt.stats = stats_;
+  return best_attempt;
+}
+
+Coverage TranslationSearch::ComputeCoverage(const TranslationFormula& formula,
+                                            const relational::Table& source,
+                                            const relational::Table& target,
+                                            size_t target_column) {
+  Coverage coverage;
+  if (!formula.IsComplete()) return coverage;
+  // Target value -> queue of unused rows holding it.
+  std::unordered_map<std::string_view, std::vector<size_t>> by_value;
+  for (size_t row = target.num_rows(); row > 0; --row) {
+    std::string_view v = target.CellText(row - 1, target_column);
+    if (!v.empty()) by_value[v].push_back(row - 1);
+  }
+  for (size_t row = 0; row < source.num_rows(); ++row) {
+    auto produced = formula.Apply(source, row);
+    if (!produced.has_value() || produced->empty()) continue;
+    auto it = by_value.find(std::string_view(*produced));
+    if (it == by_value.end() || it->second.empty()) continue;
+    coverage.matches.push_back({row, it->second.back()});
+    it->second.pop_back();
+  }
+  return coverage;
+}
+
+}  // namespace mcsm::core

@@ -1,0 +1,255 @@
+#include "core/separator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/string_util.h"
+
+namespace mcsm::core {
+
+namespace {
+
+using relational::SearchPattern;
+
+// Builds a SearchPattern from a per-position character template where '\0'
+// stands for a free position ('%').
+SearchPattern TemplateFromChars(const std::vector<char>& chars) {
+  std::vector<SearchPattern::Segment> segments;
+  for (char c : chars) {
+    if (c == '\0') {
+      segments.push_back({true, false, 0, ""});
+    } else {
+      segments.push_back({false, false, 0, std::string(1, c)});
+    }
+  }
+  return SearchPattern(std::move(segments));
+}
+
+bool MatchesAll(const relational::Table& table, size_t column,
+                const SearchPattern& pattern) {
+  for (size_t row = 0; row < table.num_rows(); ++row) {
+    const relational::Value& v = table.cell(row, column);
+    if (!v.is_text()) continue;
+    if (!pattern.Matches(v.text())) return false;
+  }
+  return true;
+}
+
+// Tries to grow each literal segment of `pattern` by one separator character
+// at a time: when every instance carries the same separator character
+// immediately before/after the captured literal, the template is extended
+// (recovers ", " from "%,%" when the space's dominant relative position
+// rounds away from the comma's). Extension repeats until a fixed point.
+SearchPattern ExtendTemplate(const relational::Table& table, size_t column,
+                             SearchPattern pattern) {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    const auto& segments = pattern.segments();
+    for (size_t seg = 0; seg < segments.size(); ++seg) {
+      if (segments[seg].is_wildcard) continue;
+      // Which literal (in capture order) is this?
+      size_t literal_index = 0;
+      for (size_t k = 0; k < seg; ++k) {
+        if (!segments[k].is_wildcard) ++literal_index;
+      }
+      for (int direction : {+1, -1}) {
+        char candidate = '\0';
+        bool consistent = true;
+        for (size_t row = 0; row < table.num_rows() && consistent; ++row) {
+          const relational::Value& v = table.cell(row, column);
+          if (!v.is_text()) continue;
+          auto spans = pattern.CaptureLiterals(v.text());
+          if (!spans.has_value()) {
+            consistent = false;
+            break;
+          }
+          const relational::Span& span = (*spans)[literal_index];
+          size_t pos;  // position of the adjacent character
+          if (direction > 0) {
+            pos = span.end();
+            if (pos >= v.text().size()) {
+              consistent = false;
+              break;
+            }
+          } else {
+            if (span.start == 0) {
+              consistent = false;
+              break;
+            }
+            pos = span.start - 1;
+          }
+          char c = v.text()[pos];
+          if (!SeparatorDetector::IsSeparatorChar(c)) {
+            consistent = false;
+          } else if (candidate == '\0') {
+            candidate = c;
+          } else if (candidate != c) {
+            consistent = false;
+          }
+        }
+        if (!consistent || candidate == '\0') continue;
+        // Build the extended pattern and verify it still matches everything.
+        std::vector<SearchPattern::Segment> extended = segments;
+        if (direction > 0) {
+          extended[seg].literal += candidate;
+        } else {
+          extended[seg].literal.insert(extended[seg].literal.begin(), candidate);
+        }
+        SearchPattern grown(std::move(extended));
+        if (MatchesAll(table, column, grown)) {
+          pattern = std::move(grown);
+          changed = true;
+          break;  // segment indices may have shifted; restart scan
+        }
+      }
+      if (changed) break;
+    }
+  }
+  return pattern;
+}
+
+}  // namespace
+
+bool SeparatorDetector::IsSeparatorChar(char c) { return !IsAlnumAscii(c); }
+
+size_t SeparatorDetector::AverageLength(const relational::Table& table,
+                                        size_t column) {
+  size_t total = 0, count = 0;
+  for (size_t row = 0; row < table.num_rows(); ++row) {
+    const relational::Value& v = table.cell(row, column);
+    if (!v.is_text()) continue;
+    total += v.text().size();
+    ++count;
+  }
+  if (count == 0) return 0;
+  return static_cast<size_t>(std::llround(static_cast<double>(total) /
+                                          static_cast<double>(count)));
+}
+
+std::optional<relational::SearchPattern> SeparatorDetector::DetectFixedWidth(
+    const relational::Table& table, size_t column) {
+  // Algorithm 7: require a fixed width, then keep positions where every
+  // instance carries the same separator character.
+  size_t width = 0;
+  bool first = true;
+  for (size_t row = 0; row < table.num_rows(); ++row) {
+    const relational::Value& v = table.cell(row, column);
+    if (!v.is_text()) continue;
+    if (first) {
+      width = v.text().size();
+      first = false;
+    } else if (v.text().size() != width) {
+      return std::nullopt;
+    }
+  }
+  if (first || width == 0) return std::nullopt;
+
+  std::vector<char> tmpl(width, '\0');
+  for (size_t j = 0; j < width; ++j) {
+    char candidate = '\0';
+    bool consistent = true;
+    for (size_t row = 0; row < table.num_rows(); ++row) {
+      const relational::Value& v = table.cell(row, column);
+      if (!v.is_text()) continue;
+      char c = v.text()[j];
+      if (!IsSeparatorChar(c)) {
+        consistent = false;
+        break;
+      }
+      if (candidate == '\0') {
+        candidate = c;
+      } else if (candidate != c) {
+        consistent = false;
+        break;
+      }
+    }
+    if (consistent && candidate != '\0') tmpl[j] = candidate;
+  }
+  if (std::all_of(tmpl.begin(), tmpl.end(), [](char c) { return c == '\0'; })) {
+    return std::nullopt;
+  }
+  return TemplateFromChars(tmpl);
+}
+
+std::vector<SeparatorDetector::HistogramEntry> SeparatorDetector::BuildHistogram(
+    const relational::Table& table, size_t column) {
+  std::vector<HistogramEntry> out;
+  const size_t avg = AverageLength(table, column);
+  if (avg == 0) return out;
+
+  // counts[j][c] over relative positions 1..avg.
+  std::vector<std::map<char, size_t>> counts(avg + 1);
+  for (size_t row = 0; row < table.num_rows(); ++row) {
+    const relational::Value& v = table.cell(row, column);
+    if (!v.is_text() || v.text().empty()) continue;
+    const std::string& s = v.text();
+    for (size_t j = 1; j <= avg; ++j) {
+      // Relative position j maps to character round(j/avg * len), clamped.
+      size_t idx = static_cast<size_t>(std::llround(
+          static_cast<double>(j) * static_cast<double>(s.size()) /
+          static_cast<double>(avg)));
+      idx = std::clamp<size_t>(idx, 1, s.size());
+      char c = s[idx - 1];
+      if (IsSeparatorChar(c)) counts[j][c]++;
+    }
+  }
+  for (size_t j = 1; j <= avg; ++j) {
+    for (const auto& [c, n] : counts[j]) out.push_back({j, c, n});
+  }
+  return out;
+}
+
+std::optional<relational::SearchPattern> SeparatorDetector::Detect(
+    const relational::Table& table, size_t column) {
+  const size_t avg = AverageLength(table, column);
+  if (avg == 0) return std::nullopt;
+  auto histogram = BuildHistogram(table, column);
+  if (histogram.empty()) return std::nullopt;
+
+  // Per relative position, the dominant separator and its count.
+  std::vector<char> best_char(avg + 1, '\0');
+  std::vector<size_t> best_count(avg + 1, 0);
+  for (const auto& entry : histogram) {
+    if (entry.count > best_count[entry.position]) {
+      best_count[entry.position] = entry.count;
+      best_char[entry.position] = entry.separator;
+    }
+  }
+
+  // Thresholds: the distinct dominant counts, descending (equivalent to the
+  // paper's unit-decrement loop, without the dead iterations).
+  std::set<size_t, std::greater<>> thresholds;
+  for (size_t j = 1; j <= avg; ++j) {
+    if (best_count[j] > 0) thresholds.insert(best_count[j]);
+  }
+
+  std::optional<relational::SearchPattern> best_template;
+  for (size_t threshold : thresholds) {
+    std::vector<char> tmpl(avg, '\0');
+    for (size_t j = 1; j <= avg; ++j) {
+      if (best_count[j] >= threshold) tmpl[j - 1] = best_char[j];
+    }
+    SearchPattern pattern = TemplateFromChars(tmpl);
+    if (!MatchesAll(table, column, pattern)) break;
+    best_template = std::move(pattern);
+  }
+  if (best_template.has_value()) {
+    best_template = ExtendTemplate(table, column, std::move(*best_template));
+  }
+  return best_template;
+}
+
+std::string SeparatorDetector::TemplateSeparatorChars(
+    const relational::SearchPattern& pattern) {
+  std::set<char> chars;
+  for (const auto& seg : pattern.segments()) {
+    if (!seg.is_wildcard) {
+      for (char c : seg.literal) chars.insert(c);
+    }
+  }
+  return std::string(chars.begin(), chars.end());
+}
+
+}  // namespace mcsm::core

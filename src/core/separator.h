@@ -1,0 +1,68 @@
+#ifndef MCSM_CORE_SEPARATOR_H_
+#define MCSM_CORE_SEPARATOR_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "relational/pattern.h"
+#include "relational/table.h"
+
+namespace mcsm::core {
+
+/// \brief Separator discovery in target columns (Section 6.1).
+///
+/// Separators are non-alphanumeric characters present in *all* target
+/// instances and not copied from any source column (dates "2/15/2005", times
+/// "11:45:34", "last, first" name lists...). Two detectors are provided:
+/// the simple fixed-width per-position scan (Algorithm 7) and the general
+/// relative-position histogram with threshold-lowering template search
+/// (Algorithm 8), which also handles variable-width columns.
+class SeparatorDetector {
+ public:
+  /// A histogram cell: how many instances have separator char `c` at
+  /// relative position `position` (1-based, over the column's rounded
+  /// average length).
+  struct HistogramEntry {
+    size_t position;
+    char separator;
+    size_t count;
+  };
+
+  /// True for characters the detectors treat as potential separators
+  /// (non-alphanumeric ASCII).
+  static bool IsSeparatorChar(char c);
+
+  /// Algorithm 7: fixed-width detection. Returns the template (e.g.
+  /// "%:%:%") when every instance has the same length and shares separator
+  /// characters at fixed positions; nullopt when the column is not
+  /// fixed-width or no separator is found.
+  static std::optional<relational::SearchPattern> DetectFixedWidth(
+      const relational::Table& table, size_t column);
+
+  /// Builds the Algorithm 8 relative-position histogram (Figure 4's data):
+  /// one entry per (position, separator char) with a non-zero count.
+  static std::vector<HistogramEntry> BuildHistogram(
+      const relational::Table& table, size_t column);
+
+  /// Algorithm 8: general detection. Starting from the most frequent
+  /// (position, char) pairs and lowering the inclusion threshold, keeps the
+  /// largest template that still matches every instance. Returns nullopt
+  /// when no separator-bearing template matches all instances.
+  static std::optional<relational::SearchPattern> Detect(
+      const relational::Table& table, size_t column);
+
+  /// All distinct separator characters appearing in a template.
+  static std::string TemplateSeparatorChars(
+      const relational::SearchPattern& pattern);
+
+ private:
+  /// Rounded average instance length ("relative positions 1..AvgLength").
+  static size_t AverageLength(const relational::Table& table, size_t column);
+};
+
+}  // namespace mcsm::core
+
+#endif  // MCSM_CORE_SEPARATOR_H_

@@ -1,0 +1,86 @@
+#include "core/sql_emitter.h"
+
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace mcsm::core {
+
+namespace {
+
+std::string QuoteSqlString(const std::string& s) {
+  std::string out = "'";
+  for (char c : s) {
+    out += c;
+    if (c == '\'') out += '\'';
+  }
+  out += "'";
+  return out;
+}
+
+}  // namespace
+
+Result<std::string> SqlEmitter::ToSql(const TranslationFormula& formula,
+                                      const relational::Schema& schema,
+                                      const Options& options) {
+  if (!formula.IsComplete()) {
+    return Status::InvalidArgument(
+        "cannot emit SQL for a formula with unknown regions: " +
+        formula.ToString(schema));
+  }
+  if (formula.empty()) {
+    return Status::InvalidArgument("cannot emit SQL for an empty formula");
+  }
+
+  std::vector<std::string> selects;
+  std::vector<std::string> wheres;
+  for (const auto& r : formula.regions()) {
+    switch (r.kind) {
+      case Region::Kind::kLiteral:
+        selects.push_back(QuoteSqlString(r.literal));
+        break;
+      case Region::Kind::kColumnSpan: {
+        if (r.column >= schema.num_columns()) {
+          return Status::OutOfRange(
+              StrFormat("formula references column %zu beyond schema (%zu)",
+                        r.column, schema.num_columns()));
+        }
+        const std::string& name = schema.column(r.column).name;
+        if (r.to_end) {
+          if (r.start == 1) {
+            selects.push_back(name);
+            wheres.push_back(
+                StrFormat("%s is not null and char_length(%s) >= 1",
+                          name.c_str(), name.c_str()));
+          } else {
+            selects.push_back(StrFormat("substring(%s from %zu)", name.c_str(),
+                                        r.start));
+            wheres.push_back(StrFormat(
+                "%s is not null and char_length(%s) >= %zu", name.c_str(),
+                name.c_str(), r.start));
+          }
+        } else {
+          size_t width = r.end - r.start + 1;
+          std::string extract = StrFormat("substring(%s from %zu for %zu)",
+                                          name.c_str(), r.start, width);
+          selects.push_back(extract);
+          wheres.push_back(StrFormat(
+              "%s is not null and char_length(%s) = %zu", name.c_str(),
+              extract.c_str(), width));
+        }
+        break;
+      }
+      case Region::Kind::kUnknown:
+        return Status::Internal("unknown region survived IsComplete() check");
+    }
+  }
+
+  std::string sql = "select " + Join(selects, " || ") + " as " +
+                    options.output_column + " from " + options.source_table;
+  if (!wheres.empty()) {
+    sql += " where " + Join(wheres, " and ");
+  }
+  return sql;
+}
+
+}  // namespace mcsm::core

@@ -1,0 +1,38 @@
+#ifndef MCSM_CORE_SQL_EMITTER_H_
+#define MCSM_CORE_SQL_EMITTER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "core/formula.h"
+#include "relational/table.h"
+
+namespace mcsm::core {
+
+/// \brief Renders a complete translation formula as an executable SQL query
+/// (the paper's Section 4.1-4.3 output format), e.g.:
+///
+///   select substring(first from 1 for 1) || last as login from t1
+///   where first is not null
+///     and char_length(substring(first from 1 for 1)) = 1
+///     and last is not null and char_length(last) >= 1
+///
+/// The WHERE clauses guard exactly the rows the formula covers: fixed spans
+/// require the full width to be present, end-of-string spans require at
+/// least one character from their start position.
+class SqlEmitter {
+ public:
+  struct Options {
+    std::string source_table = "t1";
+    std::string output_column = "translated";
+  };
+
+  /// Fails with InvalidArgument when the formula still has Unknown regions.
+  static Result<std::string> ToSql(const TranslationFormula& formula,
+                                   const relational::Schema& schema,
+                                   const Options& options);
+};
+
+}  // namespace mcsm::core
+
+#endif  // MCSM_CORE_SQL_EMITTER_H_

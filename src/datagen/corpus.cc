@@ -1,0 +1,165 @@
+#include "datagen/corpus.h"
+
+#include <set>
+
+namespace mcsm::datagen {
+
+const std::vector<std::string>& FirstNames() {
+  static const std::vector<std::string>* kNames = new std::vector<std::string>{
+      "robert",  "kyle",    "norma",   "amy",     "josh",    "john",
+      "mary",    "james",   "patricia", "michael", "linda",  "william",
+      "elizabeth", "david", "barbara", "richard", "susan",   "joseph",
+      "jessica", "thomas",  "sarah",   "charles", "karen",   "christopher",
+      "nancy",   "daniel",  "lisa",    "matthew", "betty",   "anthony",
+      "margaret", "mark",   "sandra",  "donald",  "ashley",  "steven",
+      "kimberly", "paul",   "emily",   "andrew",  "donna",   "joshua",
+      "michelle", "kenneth", "dorothy", "kevin",  "carol",   "brian",
+      "amanda",  "george",  "melissa", "edward",  "deborah", "ronald",
+      "stephanie", "timothy", "rebecca", "jason", "sharon",  "jeffrey",
+      "laura",   "ryan",    "cynthia", "jacob",   "kathleen", "gary",
+      "helen",   "nicholas", "amber",  "eric",    "shirley", "jonathan",
+      "angela",  "stephen", "anna",    "larry",   "brenda",  "justin",
+      "pamela",  "scott",   "emma",    "brandon", "nicole",  "benjamin",
+      "ruth",    "samuel",  "katherine", "gregory", "samantha", "frank",
+      "christine", "alexander", "catherine", "raymond", "virginia", "patrick",
+      "debra",   "jack",    "rachel",  "dennis",  "janet",   "jerry",
+      "maria",   "tyler",   "heather", "aaron",   "diane",   "jose",
+      "julie",   "adam",    "joyce",   "henry",   "victoria", "nathan",
+      "kelly",   "douglas", "christina", "zachary", "joan",  "peter",
+      "evelyn",  "kirk",    "lauren",  "walter",  "judith",  "ethan",
+      "olivia",  "jeremy",  "frances", "harold",  "martha",  "keith",
+      "cheryl",  "christian", "megan", "roger",   "andrea",  "noah",
+      "hannah",  "gerald",  "jacqueline", "carl", "ann",     "terry",
+      "jean",    "sean",    "alice",   "austin",  "kathryn", "arthur",
+      "gloria",  "lawrence", "teresa", "jesse",   "doris",   "dylan",
+      "sara",    "bryan",   "janice",  "joe",     "julia",   "jordan",
+      "otto",    "norman",  "wanda",   "billy",   "marie",   "bruce",
+  };
+  return *kNames;
+}
+
+const std::vector<std::string>& LastNames() {
+  static const std::vector<std::string>* kNames = new std::vector<std::string>{
+      "kerry",    "norman",   "wiseman", "case",     "alderman", "malton",
+      "smith",    "johnson",  "williams", "brown",   "jones",    "garcia",
+      "miller",   "davis",    "rodriguez", "martinez", "hernandez", "lopez",
+      "gonzalez", "wilson",   "anderson", "thomas",  "taylor",   "moore",
+      "jackson",  "martin",   "lee",      "perez",   "thompson", "white",
+      "harris",   "sanchez",  "clark",    "ramirez", "lewis",    "robinson",
+      "walker",   "young",    "allen",    "king",    "wright",   "scott",
+      "torres",   "nguyen",   "hill",     "flores",  "green",    "adams",
+      "nelson",   "baker",    "hall",     "rivera",  "campbell", "mitchell",
+      "carter",   "roberts",  "gomez",    "phillips", "evans",   "turner",
+      "diaz",     "parker",   "cruz",     "edwards", "collins",  "reyes",
+      "stewart",  "morris",   "morales",  "murphy",  "cook",     "rogers",
+      "gutierrez", "ortiz",   "morgan",   "cooper",  "peterson", "bailey",
+      "reed",     "kelly",    "howard",   "ramos",   "kim",      "cox",
+      "ward",     "richardson", "watson", "brooks",  "chavez",   "wood",
+      "james",    "bennett",  "gray",     "mendoza", "ruiz",     "hughes",
+      "price",    "alvarez",  "castillo", "sanders", "patel",    "myers",
+      "long",     "ross",     "foster",   "jimenez", "powell",   "jenkins",
+      "perry",    "russell",  "sullivan", "bell",    "coleman",  "butler",
+      "henderson", "barnes",  "gonzales", "fisher",  "vasquez",  "simmons",
+      "romero",   "jordan",   "patterson", "alexander", "hamilton", "graham",
+      "reynolds", "griffin",  "wallace",  "moreno",  "west",     "cole",
+      "hayes",    "bryant",   "herrera",  "gibson",  "ellis",    "tran",
+      "medina",   "aguilar",  "stevens",  "murray",  "ford",     "castro",
+      "marshall", "owens",    "harrison", "fernandez", "mcdonald", "woods",
+      "washington", "kennedy", "wells",   "vargas",  "henry",    "chen",
+      "freeman",  "webb",     "tucker",   "guzman",  "burns",    "crawford",
+      "olson",    "simpson",  "porter",   "hunter",  "gordon",   "mendez",
+      "silva",    "shaw",     "snyder",   "mason",   "dixon",    "munoz",
+      "hunt",     "hicks",    "holmes",   "palmer",  "wagner",   "black",
+      "warner",   "warder",   "karer",    "laramy",  "rose",     "wang",
+      "wayne",    "tompa",    "warren",   "galt",    "alder",    "okmoan",
+  };
+  return *kNames;
+}
+
+const std::vector<std::string>& StreetNames() {
+  static const std::vector<std::string>* kNames = new std::vector<std::string>{
+      "main",   "oak",     "pine",    "maple",  "cedar",   "elm",
+      "view",   "washington", "lake",  "hill",   "park",    "sunset",
+      "railroad", "church", "willow", "mill",   "river",   "spring",
+      "ridge",  "valley",  "forest",  "meadow", "columbia", "university",
+      "college", "highland", "prospect", "franklin", "chestnut", "walnut",
+  };
+  return *kNames;
+}
+
+const std::vector<std::string>& TitleWords() {
+  static const std::vector<std::string>* kWords = new std::vector<std::string>{
+      "adaptive",   "algorithms", "analysis",   "approach",    "automatic",
+      "bayesian",   "caching",    "classification", "clustering", "compilers",
+      "complexity", "compression", "computing", "concurrent",  "constraints",
+      "databases",  "datamining", "decision",   "detection",   "distributed",
+      "dynamic",    "efficient",  "estimation", "evaluation",  "experimental",
+      "fast",       "framework",  "graphs",     "heuristics",  "hierarchical",
+      "indexing",   "inference",  "integration", "intelligent", "interactive",
+      "knowledge",  "language",   "learning",   "logic",       "matching",
+      "memory",     "methods",    "mining",     "mobile",      "modeling",
+      "networks",   "neural",     "optimal",    "optimization", "parallel",
+      "performance", "planning",  "prediction", "probabilistic", "processing",
+      "protocols",  "queries",    "randomized", "reasoning",   "recognition",
+      "recovery",   "relational", "reliable",   "retrieval",   "robust",
+      "scalable",   "scheduling", "schema",     "search",      "secure",
+      "semantic",   "semantics",  "sensor",     "similarity",  "simulation",
+      "software",   "spatial",    "statistical", "storage",    "streams",
+      "structures", "substring",  "synthesis",  "systems",     "temporal",
+      "theory",     "transactions", "translation", "verification", "visual",
+  };
+  return *kWords;
+}
+
+std::string SyllableName(Rng& rng) {
+  static const char* kOnsets[] = {"b",  "br", "c",  "ch", "d",  "f",  "g",
+                                  "gr", "h",  "j",  "k",  "kl", "l",  "m",
+                                  "n",  "p",  "r",  "s",  "st", "t",  "tr",
+                                  "v",  "w",  "z",  "sh", "th"};
+  static const char* kVowels[] = {"a", "e", "i", "o", "u", "ai", "ee", "ou", "ia"};
+  static const char* kCodas[] = {"",  "n", "r", "s", "l", "m",  "t",
+                                 "ck", "nd", "rt", "x", "ss", "y"};
+  // Mostly two syllables (real given/surnames average ~6 characters; the
+  // Eq. 5 width-penalty calibration assumes realistic name widths).
+  size_t syllables = 2 + (rng.Bernoulli(0.10) ? 1 : 0);
+  std::string out;
+  for (size_t i = 0; i < syllables; ++i) {
+    // Single-char onsets dominate; the multi-char ones appear occasionally.
+    if (rng.Bernoulli(0.75)) {
+      static const char* kSimpleOnsets[] = {"b", "c", "d", "f", "g", "h",
+                                            "j", "k", "l", "m", "n", "p",
+                                            "r", "s", "t", "v", "w", "z"};
+      out += kSimpleOnsets[rng.Uniform(std::size(kSimpleOnsets))];
+    } else {
+      out += kOnsets[rng.Uniform(std::size(kOnsets))];
+    }
+    static const char* kSimpleVowels[] = {"a", "e", "i", "o", "u"};
+    if (rng.Bernoulli(0.8)) {
+      out += kSimpleVowels[rng.Uniform(std::size(kSimpleVowels))];
+    } else {
+      out += kVowels[rng.Uniform(std::size(kVowels))];
+    }
+    if (i + 1 == syllables && rng.Bernoulli(0.6)) {
+      out += kCodas[rng.Uniform(std::size(kCodas))];
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> DistinctNamePool(Rng& rng, size_t count,
+                                          const std::vector<std::string>& base) {
+  std::set<std::string> pool;
+  for (const auto& n : base) {
+    if (pool.size() >= count) break;
+    pool.insert(n);
+  }
+  while (pool.size() < count) {
+    pool.insert(SyllableName(rng));
+  }
+  std::vector<std::string> out(pool.begin(), pool.end());
+  rng.Shuffle(out);
+  if (out.size() > count) out.resize(count);
+  return out;
+}
+
+}  // namespace mcsm::datagen

@@ -1,0 +1,40 @@
+#ifndef MCSM_DATAGEN_CORPUS_H_
+#define MCSM_DATAGEN_CORPUS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace mcsm::datagen {
+
+/// \brief Deterministic corpora used by the dataset generators.
+///
+/// Small embedded lists cover the 6k-row experiments; the syllable-based
+/// generators scale to the paper's 700k-row datasets with ~70k distinct
+/// values per column without shipping external name files.
+
+/// ~160 common first names (lower-case).
+const std::vector<std::string>& FirstNames();
+
+/// ~180 common surnames (lower-case).
+const std::vector<std::string>& LastNames();
+
+/// Street-name words for address generation.
+const std::vector<std::string>& StreetNames();
+
+/// Words for citation-title generation.
+const std::vector<std::string>& TitleWords();
+
+/// Generates a pronounceable synthetic name of 2-4 syllables. Deterministic
+/// under the supplied RNG.
+std::string SyllableName(Rng& rng);
+
+/// Generates `count` *distinct* name-like strings (syllable-based, seeded by
+/// `rng`; embeds the embedded lists first for realism).
+std::vector<std::string> DistinctNamePool(Rng& rng, size_t count,
+                                          const std::vector<std::string>& base);
+
+}  // namespace mcsm::datagen
+
+#endif  // MCSM_DATAGEN_CORPUS_H_

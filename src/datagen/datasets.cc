@@ -1,0 +1,394 @@
+#include "datagen/datasets.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "datagen/corpus.h"
+#include "datagen/noise.h"
+
+namespace mcsm::datagen {
+
+namespace {
+
+using relational::ColumnDef;
+using relational::ColumnType;
+using relational::Schema;
+using relational::Table;
+using relational::Value;
+
+Schema TextSchema(std::vector<std::string> names) {
+  std::vector<ColumnDef> defs;
+  defs.reserve(names.size());
+  for (auto& n : names) defs.push_back({std::move(n), ColumnType::kText});
+  return Schema(std::move(defs));
+}
+
+void MustAppend(Table* table, std::vector<Value> row) {
+  Status st = table->AppendRow(std::move(row));
+  assert(st.ok());
+  (void)st;
+}
+
+/// A synthetic citation record.
+struct CitationRecord {
+  std::string year;
+  std::string title;
+  std::vector<std::string> authors;
+
+  std::string Citation() const { return year + title + authors[0]; }
+};
+
+std::string MakeAuthor(Rng& rng, const std::vector<std::string>& last_pool) {
+  char initial = static_cast<char>('a' + rng.Uniform(26));
+  return std::string(1, initial) + ". " + last_pool[rng.Uniform(last_pool.size())];
+}
+
+CitationRecord MakeCitationRecord(Rng& rng,
+                                  const std::vector<std::string>& last_pool,
+                                  const std::vector<std::string>& word_pool,
+                                  size_t max_authors) {
+  CitationRecord rec;
+  rec.year = std::to_string(1970 + rng.Uniform(36));
+  // 5-10 words: long enough that one title is (combinatorially) never a
+  // substring of another — the search relies on that, since a title
+  // contained in another citation manufactures a false pattern match.
+  size_t word_count = 5 + rng.Uniform(6);
+  for (size_t w = 0; w < word_count; ++w) {
+    if (w > 0) rec.title += " ";
+    rec.title += word_pool[rng.Uniform(word_pool.size())];
+  }
+  // Author count: mostly small, occasionally large (up to max_authors).
+  size_t count = 1;
+  while (count < max_authors && rng.Bernoulli(0.45)) ++count;
+  for (size_t a = 0; a < count; ++a) {
+    rec.authors.push_back(MakeAuthor(rng, last_pool));
+  }
+  return rec;
+}
+
+Table CitationSourceTable(const std::vector<CitationRecord>& records,
+                          size_t max_authors) {
+  std::vector<std::string> names = {"year", "title"};
+  for (size_t a = 1; a <= max_authors; ++a) {
+    names.push_back(StrFormat("author%zu", a));
+  }
+  Table table{TextSchema(std::move(names))};
+  for (const auto& rec : records) {
+    std::vector<Value> row;
+    row.emplace_back(rec.year);
+    row.emplace_back(rec.title);
+    for (size_t a = 0; a < max_authors; ++a) {
+      if (a < rec.authors.size()) {
+        row.emplace_back(rec.authors[a]);
+      } else {
+        row.push_back(Value::MakeNull());
+      }
+    }
+    MustAppend(&table, std::move(row));
+  }
+  return table;
+}
+
+// Title vocabulary: the embedded CS word list. Kept small deliberately —
+// high per-word document frequency is what makes the title column's Step-1
+// score dominate (as with real english stopword-heavy titles); synthetic
+// syllable words would instead collide with author-name q-grams.
+std::vector<std::string> MakeWordPool(Rng& rng, size_t size) {
+  (void)rng;
+  (void)size;
+  return TitleWords();
+}
+
+}  // namespace
+
+Dataset MakeUserIdDataset(const UserIdOptions& options) {
+  Rng rng(options.seed);
+  Dataset out;
+  out.expected_formulas = {"first[1-1]last[1-n]",
+                           "first[1-1]middle[1-1]last[1-n]"};
+
+  std::vector<std::string> source_columns = {"first", "middle", "last"};
+  if (options.with_dates) source_columns.push_back("birth");
+  for (const auto& n : NoiseColumnNames()) source_columns.push_back(n);
+  out.source = Table{TextSchema(source_columns)};
+
+  struct TargetRow {
+    std::string login;
+    std::string dob;
+  };
+  std::vector<TargetRow> target_rows;
+
+  // Name pools sized like real enrolment data: most surnames occur only a
+  // handful of times, first names repeat more often.
+  Rng pool_rng(options.seed ^ 0x5EEDF00D);
+  const size_t total_rows = options.rows + options.extra_unmatched_rows;
+  std::vector<std::string> firsts = DistinctNamePool(
+      pool_rng, std::max<size_t>(FirstNames().size(), total_rows / 8),
+      FirstNames());
+  std::vector<std::string> lasts = DistinctNamePool(
+      pool_rng, std::max<size_t>(LastNames().size(), total_rows / 2),
+      LastNames());
+  for (size_t i = 0; i < total_rows; ++i) {
+    std::string first = firsts[rng.Uniform(firsts.size())];
+    std::string middle(1, static_cast<char>('a' + rng.Uniform(26)));
+    std::string last = lasts[rng.Uniform(lasts.size())];
+
+    std::string birth, dob;
+    if (options.with_dates) {
+      Date d = RandomDate(rng);
+      birth = StrFormat("%02d-%02d-%04d", d.month, d.day, d.year);
+      dob = StrFormat("%02d/%02d/%02d", d.month, d.day, d.year % 100);
+    }
+
+    std::vector<Value> row;
+    row.emplace_back(first);
+    row.emplace_back(middle);
+    row.emplace_back(last);
+    if (options.with_dates) row.emplace_back(birth);
+    for (auto& v : NoiseRow(rng)) row.emplace_back(std::move(v));
+    MustAppend(&out.source, std::move(row));
+
+    if (i >= options.rows) continue;  // extra source rows have no target
+
+    double dice = rng.UniformDouble();
+    std::string login;
+    if (dice < options.dominant_fraction) {
+      login = first.substr(0, 1) + last;
+    } else if (dice < options.dominant_fraction + options.secondary_fraction) {
+      login = first.substr(0, 1) + middle + last;
+    } else {
+      // No dominant pattern: an unrelated login.
+      login = RandomText(rng, 6, 9);
+    }
+    target_rows.push_back({std::move(login), std::move(dob)});
+  }
+
+  rng.Shuffle(target_rows);
+  std::vector<std::string> target_columns = {"login"};
+  if (options.with_dates) target_columns.push_back("dob");
+  out.target = Table{TextSchema(target_columns)};
+  for (auto& tr : target_rows) {
+    std::vector<Value> row;
+    row.emplace_back(std::move(tr.login));
+    if (options.with_dates) row.emplace_back(std::move(tr.dob));
+    MustAppend(&out.target, std::move(row));
+  }
+  out.target_column = 0;
+  return out;
+}
+
+Dataset MakeTimeDataset(const TimeOptions& options) {
+  Rng rng(options.seed);
+  Dataset out;
+  out.expected_formulas = {"hrs[1-2]mins[1-2]secs[1-2]",
+                           "hrs[1-n]mins[1-n]secs[1-n]"};
+
+  std::vector<std::string> source_columns = {"secs", "mins", "hrs"};
+  for (const auto& n : NoiseColumnNames()) source_columns.push_back(n);
+  out.source = Table{TextSchema(source_columns)};
+
+  std::vector<std::string> times;
+  times.reserve(options.rows);
+  for (size_t i = 0; i < options.rows; ++i) {
+    TimeOfDay t = RandomTimeOfDay(rng);
+    std::vector<Value> row;
+    row.emplace_back(t.seconds);
+    row.emplace_back(t.minutes);
+    row.emplace_back(t.hours);
+    for (auto& v : NoiseRow(rng)) row.emplace_back(std::move(v));
+    MustAppend(&out.source, std::move(row));
+    times.push_back(t.hours + t.minutes + t.seconds);
+  }
+  rng.Shuffle(times);
+  out.target = Table{TextSchema({"time"})};
+  for (auto& t : times) MustAppend(&out.target, {Value(std::move(t))});
+  out.target_column = 0;
+  return out;
+}
+
+Dataset MakeMergedNamesDataset(const MergedNamesOptions& options) {
+  Rng rng(options.seed);
+  Dataset out;
+  out.expected_formulas = {options.comma_separator
+                               ? "last[1-n]\", \"first[1-n]"
+                               : "first[1-n]last[1-n]"};
+
+  Rng pool_rng(options.seed ^ 0xABCDEF);
+  std::vector<std::string> firsts =
+      DistinctNamePool(pool_rng, options.distinct_names, FirstNames());
+  std::vector<std::string> lasts =
+      DistinctNamePool(pool_rng, options.distinct_names, LastNames());
+
+  std::vector<std::string> source_columns = {"first", "last"};
+  for (const auto& n : NoiseColumnNames()) source_columns.push_back(n);
+  out.source = Table{TextSchema(source_columns)};
+
+  std::vector<std::string> fulls;
+  fulls.reserve(options.rows);
+  for (size_t i = 0; i < options.rows; ++i) {
+    const std::string& first = firsts[rng.Uniform(firsts.size())];
+    const std::string& last = lasts[rng.Uniform(lasts.size())];
+    std::vector<Value> row;
+    row.emplace_back(first);
+    row.emplace_back(last);
+    for (auto& v : NoiseRow(rng)) row.emplace_back(std::move(v));
+    MustAppend(&out.source, std::move(row));
+    fulls.push_back(options.comma_separator ? last + ", " + first
+                                            : first + last);
+  }
+  rng.Shuffle(fulls);
+  out.target = Table{TextSchema({"full"})};
+  for (auto& f : fulls) MustAppend(&out.target, {Value(std::move(f))});
+  out.target_column = 0;
+  return out;
+}
+
+Dataset MakeCitationDataset(const CitationOptions& options) {
+  Rng rng(options.seed);
+  Dataset out;
+  out.expected_formulas = {"year[1-n]title[1-n]author1[1-n]"};
+
+  Rng pool_rng(options.seed ^ 0x517EC0DE);
+  std::vector<std::string> last_pool = DistinctNamePool(
+      pool_rng, std::max<size_t>(200, options.rows / 50), LastNames());
+  std::vector<std::string> word_pool =
+      MakeWordPool(pool_rng, std::max<size_t>(600, options.rows / 100));
+
+  std::vector<CitationRecord> records;
+  records.reserve(options.rows);
+  for (size_t i = 0; i < options.rows; ++i) {
+    records.push_back(
+        MakeCitationRecord(rng, last_pool, word_pool, options.max_authors));
+  }
+  out.source = CitationSourceTable(records, options.max_authors);
+
+  std::vector<std::string> citations;
+  citations.reserve(records.size());
+  for (const auto& rec : records) citations.push_back(rec.Citation());
+  rng.Shuffle(citations);
+  out.target = Table{TextSchema({"citation"})};
+  for (auto& c : citations) MustAppend(&out.target, {Value(std::move(c))});
+  out.target_column = 0;
+  return out;
+}
+
+Dataset MakeCrossCitationDataset(const CrossCitationOptions& options) {
+  Rng rng(options.seed);
+  Dataset out;
+  out.expected_formulas = {"year[1-n]title[1-n]author1[1-n]",
+                           "year[1-n]title[1-n]author2[1-n]"};
+
+  Rng pool_rng(options.seed ^ 0xD8167ULL);
+  std::vector<std::string> last_pool = DistinctNamePool(
+      pool_rng, std::max<size_t>(200, options.source_rows / 50), LastNames());
+  std::vector<std::string> word_pool =
+      MakeWordPool(pool_rng, std::max<size_t>(600, options.source_rows / 100));
+
+  // The DBLP-style source corpus.
+  std::vector<CitationRecord> source_records;
+  source_records.reserve(options.source_rows);
+  for (size_t i = 0; i < options.source_rows; ++i) {
+    source_records.push_back(
+        MakeCitationRecord(rng, last_pool, word_pool, options.max_authors));
+  }
+  out.source = CitationSourceTable(source_records, options.max_authors);
+
+  // The Citeseer-style target: a thin overlap with the source (some exact,
+  // some with the first two authors swapped), the rest disjoint.
+  std::vector<std::string> citations;
+  citations.reserve(options.target_rows);
+  size_t exact_needed = options.exact_overlap;
+  size_t swapped_needed = options.swapped_overlap;
+  for (size_t i = 0; i < source_records.size() &&
+                     (exact_needed > 0 || swapped_needed > 0);
+       ++i) {
+    CitationRecord rec = source_records[i];
+    if (swapped_needed > 0 && rec.authors.size() >= 2) {
+      std::swap(rec.authors[0], rec.authors[1]);
+      citations.push_back(rec.Citation());
+      --swapped_needed;
+    } else if (exact_needed > 0) {
+      citations.push_back(rec.Citation());
+      --exact_needed;
+    }
+  }
+  Rng disjoint_rng(options.seed ^ 0xDEADBEEF);
+  std::vector<std::string> disjoint_pool = DistinctNamePool(
+      disjoint_rng, std::max<size_t>(200, options.target_rows / 50),
+      LastNames());
+  std::vector<std::string> disjoint_words =
+      MakeWordPool(disjoint_rng, std::max<size_t>(600, options.target_rows / 100));
+  while (citations.size() < options.target_rows) {
+    citations.push_back(MakeCitationRecord(disjoint_rng, disjoint_pool,
+                                           disjoint_words, options.max_authors)
+                            .Citation());
+  }
+  rng.Shuffle(citations);
+  out.target = Table{TextSchema({"citation"})};
+  for (auto& c : citations) MustAppend(&out.target, {Value(std::move(c))});
+  out.target_column = 0;
+  return out;
+}
+
+Dataset MakePartNumberDataset(const PartNumberOptions& options) {
+  Rng rng(options.seed);
+  Dataset out;
+  out.expected_formulas = {"plant[1-n]\"-\"serial[1-n]\"-\"year[1-n]",
+                           "plant[1-3]\"-\"serial[1-5]\"-\"year[1-4]"};
+
+  std::vector<std::string> source_columns = {"plant", "serial", "year"};
+  for (const auto& n : NoiseColumnNames()) source_columns.push_back(n);
+  out.source = Table{TextSchema(source_columns)};
+
+  static const char* kPlants[] = {"FRU", "ASM", "PWR", "CHS", "MEM",
+                                  "CPU", "FAN", "PSU"};
+  std::vector<std::string> targets;
+  targets.reserve(options.rows);
+  for (size_t i = 0; i < options.rows; ++i) {
+    std::string plant = kPlants[rng.Uniform(std::size(kPlants))];
+    std::string serial = ZeroPad(static_cast<int>(rng.Uniform(100000)), 5);
+    std::string year = std::to_string(1995 + rng.Uniform(12));
+    std::vector<Value> row;
+    row.emplace_back(plant);
+    row.emplace_back(serial);
+    row.emplace_back(year);
+    for (auto& v : NoiseRow(rng)) row.emplace_back(std::move(v));
+    MustAppend(&out.source, std::move(row));
+    targets.push_back(plant + "-" + serial + "-" + year);
+  }
+  rng.Shuffle(targets);
+  out.target = Table{TextSchema({"part"})};
+  for (auto& t : targets) MustAppend(&out.target, {Value(std::move(t))});
+  out.target_column = 0;
+  return out;
+}
+
+Dataset MakeDateFormatDataset(const DateFormatOptions& options) {
+  Rng rng(options.seed);
+  Dataset out;
+  out.expected_formulas = {"date[6-7]\"/\"date[9-10]\"/\"date[1-4]"};
+
+  std::vector<std::string> source_columns = {"date"};
+  for (const auto& n : NoiseColumnNames()) source_columns.push_back(n);
+  out.source = Table{TextSchema(source_columns)};
+
+  std::vector<std::string> targets;
+  targets.reserve(options.rows);
+  for (size_t i = 0; i < options.rows; ++i) {
+    Date d = RandomDate(rng);
+    std::vector<Value> row;
+    row.emplace_back(StrFormat("%04d/%02d/%02d", d.year, d.month, d.day));
+    for (auto& v : NoiseRow(rng)) row.emplace_back(std::move(v));
+    MustAppend(&out.source, std::move(row));
+    targets.push_back(StrFormat("%02d/%02d/%04d", d.month, d.day, d.year));
+  }
+  rng.Shuffle(targets);
+  out.target = Table{TextSchema({"usdate"})};
+  for (auto& t : targets) MustAppend(&out.target, {Value(std::move(t))});
+  out.target_column = 0;
+  return out;
+}
+
+}  // namespace mcsm::datagen

@@ -1,0 +1,108 @@
+#ifndef MCSM_DATAGEN_DATASETS_H_
+#define MCSM_DATAGEN_DATASETS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "relational/table.h"
+
+namespace mcsm::datagen {
+
+/// A generated experiment dataset: unlinked source table T1 and target table
+/// T2 with the aggregate column to translate to.
+struct Dataset {
+  relational::Table source;
+  relational::Table target;
+  size_t target_column = 0;
+  /// The formula(s) actually used during generation, rendered with source
+  /// column names (ground truth for the experiments).
+  std::vector<std::string> expected_formulas;
+};
+
+/// \brief Section 4.1 — the UserID dataset.
+///
+/// Source: first, middle, last (+ the four standard noise columns).
+/// Target: login, shuffled. ~50% of logins use first[1-1]+last[1-n], ~20%
+/// use first[1-1]+middle[1-1]+last[1-n], the remainder follows no dominant
+/// pattern. `extra_unmatched_rows` appends source rows with no target
+/// counterpart (the Section 4.1 robustness sweep). `with_dates` adds the
+/// Table 12 many-to-many columns: source "birth" (mm-dd-yyyy) and target
+/// "dob" (mm/dd/yy).
+struct UserIdOptions {
+  size_t rows = 6000;
+  size_t extra_unmatched_rows = 0;
+  double dominant_fraction = 0.50;
+  double secondary_fraction = 0.20;
+  bool with_dates = false;
+  uint64_t seed = 1;
+};
+Dataset MakeUserIdDataset(const UserIdOptions& options);
+
+/// \brief Section 4.2 — the Time dataset. Source: secs, mins, hrs 2-char
+/// columns (+ noise); target: time = hrs||mins||secs, shuffled.
+struct TimeOptions {
+  size_t rows = 10000;
+  uint64_t seed = 2;
+};
+Dataset MakeTimeDataset(const TimeOptions& options);
+
+/// \brief Sections 4.3 / 6.1 and Figure 2 — merged names.
+///
+/// Source: first, last (+ noise); target: full = first||last (paper Table 9),
+/// or full = last||", "||first when `comma_separator` (paper Table 11).
+struct MergedNamesOptions {
+  size_t rows = 700000;
+  size_t distinct_names = 70000;
+  bool comma_separator = false;
+  uint64_t seed = 3;
+};
+Dataset MakeMergedNamesDataset(const MergedNamesOptions& options);
+
+/// \brief Section 4.4 — the Citeseer-style citation dataset.
+///
+/// Source: year, title, author1..author15 (17 columns, 15 from one domain);
+/// target: citation = year||title||author1, shuffled.
+struct CitationOptions {
+  size_t rows = 526000;
+  size_t max_authors = 15;
+  uint64_t seed = 4;
+};
+Dataset MakeCitationDataset(const CitationOptions& options);
+
+/// \brief Section 4.5 — the cross-dataset (Citeseer vs DBLP) problem.
+///
+/// Source: the DBLP-style table (year/title/author1..15). Target: the
+/// Citeseer-style citation column. Only `exact_overlap` target records match
+/// a source row exactly and `swapped_overlap` match with authors 1 and 2
+/// reversed; everything else is disjoint.
+struct CrossCitationOptions {
+  size_t target_rows = 52600;   ///< Citeseer side (paper: 526,000)
+  size_t source_rows = 23300;   ///< DBLP side (paper: 233,000)
+  size_t exact_overlap = 71;    ///< paper: 714
+  size_t swapped_overlap = 38;  ///< paper: 378
+  size_t max_authors = 15;
+  uint64_t seed = 5;
+};
+Dataset MakeCrossCitationDataset(const CrossCitationOptions& options);
+
+/// \brief Motivation-section date format translation: source date
+/// "yyyy/mm/dd" (+ noise); target "mm/dd/yyyy", shuffled.
+struct DateFormatOptions {
+  size_t rows = 8000;
+  uint64_t seed = 6;
+};
+Dataset MakeDateFormatDataset(const DateFormatOptions& options);
+
+/// \brief Section 6.1's manufacturing part-number example
+/// ("FRU-13423-2005"): source plant code, serial and year columns
+/// (+ noise); target part = plant||"-"||serial||"-"||year, shuffled.
+struct PartNumberOptions {
+  size_t rows = 6000;
+  uint64_t seed = 7;
+};
+Dataset MakePartNumberDataset(const PartNumberOptions& options);
+
+}  // namespace mcsm::datagen
+
+#endif  // MCSM_DATAGEN_DATASETS_H_

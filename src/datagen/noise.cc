@@ -1,0 +1,85 @@
+#include "datagen/noise.h"
+
+#include "common/string_util.h"
+#include "datagen/corpus.h"
+
+namespace mcsm::datagen {
+
+namespace {
+
+constexpr const char kAlnum[] = "abcdefghijklmnopqrstuvwxyz0123456789";
+constexpr const char kDigits[] = "0123456789";
+
+int DaysInMonth(int year, int month) {
+  static const int kDays[] = {31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31};
+  if (month == 2 &&
+      (year % 4 == 0 && (year % 100 != 0 || year % 400 == 0))) {
+    return 29;
+  }
+  return kDays[month - 1];
+}
+
+}  // namespace
+
+std::string RandomText(Rng& rng, size_t min_len, size_t max_len) {
+  size_t len = min_len + rng.Uniform(max_len - min_len + 1);
+  return rng.RandomString(len, kAlnum);
+}
+
+std::string RandomNumber(Rng& rng) {
+  size_t len = 3 + rng.Uniform(7);
+  std::string out = rng.RandomString(len, kDigits);
+  if (out[0] == '0') out[0] = '1' + static_cast<char>(rng.Uniform(9));
+  return out;
+}
+
+std::string RandomAddress(Rng& rng) {
+  static const char* kSuffixes[] = {"street", "avenue", "road", "lane",
+                                    "drive",  "court",  "boulevard"};
+  int number = 1 + static_cast<int>(rng.Uniform(9999));
+  const auto& streets = StreetNames();
+  return StrFormat("%d %s %s", number,
+                   streets[rng.Uniform(streets.size())].c_str(),
+                   kSuffixes[rng.Uniform(std::size(kSuffixes))]);
+}
+
+std::string RandomRfc2822Timestamp(Rng& rng) {
+  static const char* kWeekdays[] = {"Mon", "Tue", "Wed", "Thu",
+                                    "Fri", "Sat", "Sun"};
+  static const char* kMonths[] = {"Jan", "Feb", "Mar", "Apr", "May", "Jun",
+                                  "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"};
+  Date d = RandomDate(rng);
+  TimeOfDay t = RandomTimeOfDay(rng);
+  return StrFormat("%s, %02d %s %d %s:%s:%s +0000",
+                   kWeekdays[rng.Uniform(7)], d.day, kMonths[d.month - 1],
+                   d.year, t.hours.c_str(), t.minutes.c_str(),
+                   t.seconds.c_str());
+}
+
+TimeOfDay RandomTimeOfDay(Rng& rng) {
+  TimeOfDay t;
+  t.hours = ZeroPad(static_cast<int>(rng.Uniform(24)), 2);
+  t.minutes = ZeroPad(static_cast<int>(rng.Uniform(60)), 2);
+  t.seconds = ZeroPad(static_cast<int>(rng.Uniform(60)), 2);
+  return t;
+}
+
+Date RandomDate(Rng& rng) {
+  Date d;
+  d.year = 1920 + static_cast<int>(rng.Uniform(90));
+  d.month = 1 + static_cast<int>(rng.Uniform(12));
+  d.day = 1 + static_cast<int>(rng.Uniform(
+                  static_cast<uint64_t>(DaysInMonth(d.year, d.month))));
+  return d;
+}
+
+std::vector<std::string> NoiseColumnNames() {
+  return {"text", "time", "numb", "addr"};
+}
+
+std::vector<std::string> NoiseRow(Rng& rng) {
+  return {RandomText(rng), RandomRfc2822Timestamp(rng), RandomNumber(rng),
+          RandomAddress(rng)};
+}
+
+}  // namespace mcsm::datagen

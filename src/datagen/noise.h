@@ -1,0 +1,54 @@
+#ifndef MCSM_DATAGEN_NOISE_H_
+#define MCSM_DATAGEN_NOISE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "relational/table.h"
+
+namespace mcsm::datagen {
+
+/// \brief The paper's standard noise columns (Section 4): every experiment's
+/// source table carries extraneous columns so the column selection is not
+/// trivialised — random alphanumeric text, random numbers, street addresses,
+/// and full RFC-2822 timestamps.
+
+/// Random lower-case alphanumeric string, length in [min_len, max_len].
+std::string RandomText(Rng& rng, size_t min_len = 6, size_t max_len = 14);
+
+/// Random decimal number string (up to 9 digits).
+std::string RandomNumber(Rng& rng);
+
+/// Random street address, e.g. "742 maple street".
+std::string RandomAddress(Rng& rng);
+
+/// Random RFC-2822 timestamp, e.g. "Mon, 15 Aug 2005 14:31:25 +0000".
+std::string RandomRfc2822Timestamp(Rng& rng);
+
+/// Random time-of-day fields; two-digit zero-padded strings.
+struct TimeOfDay {
+  std::string hours;    ///< "00".."23"
+  std::string minutes;  ///< "00".."59"
+  std::string seconds;  ///< "00".."59"
+};
+TimeOfDay RandomTimeOfDay(Rng& rng);
+
+/// Random calendar date (1920-2009).
+struct Date {
+  int year;
+  int month;
+  int day;
+};
+Date RandomDate(Rng& rng);
+
+/// Names of the standard noise columns, in order: text, time (RFC-2822),
+/// numb, addr.
+std::vector<std::string> NoiseColumnNames();
+
+/// One row of noise-column values matching NoiseColumnNames().
+std::vector<std::string> NoiseRow(Rng& rng);
+
+}  // namespace mcsm::datagen
+
+#endif  // MCSM_DATAGEN_NOISE_H_

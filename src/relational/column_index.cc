@@ -1,0 +1,222 @@
+#include "relational/column_index.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+
+#include "text/qgram.h"
+
+namespace mcsm::relational {
+
+ColumnIndex::ColumnIndex(const Table& table, size_t col, Options options)
+    : table_(table), col_(col), options_(options) {
+  const size_t q = options_.q;
+  std::set<std::string> distinct;
+  size_t non_null = 0;
+  size_t total_length = 0;
+  row_count_ = table.num_rows();
+
+  for (size_t row = 0; row < row_count_; ++row) {
+    const Value& v = table.cell(row, col);
+    if (!v.is_text()) continue;
+    const std::string& s = v.text();
+    ++non_null;
+    total_length += s.size();
+    if (non_null == 1) {
+      min_length_ = max_length_ = s.size();
+    } else {
+      min_length_ = std::min(min_length_, s.size());
+      max_length_ = std::max(max_length_, s.size());
+    }
+    distinct.insert(s);
+
+    if (q > 0 && s.size() >= q) {
+      // Per-row q-gram profile feeds both df and (optionally) postings.
+      std::unordered_map<std::string, uint32_t> profile;
+      for (size_t i = 0; i + q <= s.size(); ++i) profile[s.substr(i, q)]++;
+      for (const auto& [gram, tf] : profile) {
+        document_frequency_[gram]++;
+        if (options_.build_postings) {
+          postings_[gram].push_back({static_cast<uint32_t>(row), tf});
+        }
+      }
+    }
+  }
+
+  avg_length_ = non_null == 0
+                    ? 0.0
+                    : static_cast<double>(total_length) / static_cast<double>(non_null);
+  sorted_distinct_.assign(distinct.begin(), distinct.end());
+  tfidf_ = std::make_unique<text::TfIdfModel>(document_frequency_, non_null, q);
+}
+
+int ColumnIndex::DocumentFrequency(std::string_view gram) const {
+  auto it = document_frequency_.find(std::string(gram));
+  return it == document_frequency_.end() ? 0 : it->second;
+}
+
+const std::vector<ColumnIndex::Posting>* ColumnIndex::postings(
+    std::string_view gram) const {
+  auto it = postings_.find(std::string(gram));
+  return it == postings_.end() ? nullptr : &it->second;
+}
+
+long long ColumnIndex::TotalQGramHits(std::string_view key) const {
+  long long total = 0;
+  const size_t q = options_.q;
+  if (q == 0 || key.size() < q) return 0;
+  for (size_t i = 0; i + q <= key.size(); ++i) {
+    total += DocumentFrequency(key.substr(i, q));
+  }
+  return total;
+}
+
+size_t ColumnIndex::RowsWithAnyQGram(std::string_view key) const {
+  const size_t q = options_.q;
+  if (q == 0 || key.size() < q) return 0;
+  std::unordered_set<uint32_t> rows;
+  std::unordered_set<std::string> seen;
+  for (size_t i = 0; i + q <= key.size(); ++i) {
+    std::string gram(key.substr(i, q));
+    if (!seen.insert(gram).second) continue;
+    const auto* plist = postings(gram);
+    if (plist == nullptr) continue;
+    for (const Posting& p : *plist) rows.insert(p.row);
+  }
+  return rows.size();
+}
+
+std::vector<uint32_t> ColumnIndex::RowsMatchingPattern(
+    const SearchPattern& pattern) const {
+  std::vector<uint32_t> out;
+  const size_t q = options_.q;
+  std::string_view literal = pattern.LongestLiteral();
+
+  // Index-assisted path: the rarest q-gram of the longest literal must occur
+  // in every matching row.
+  if (options_.build_postings && q > 0 && literal.size() >= q) {
+    std::string_view best_gram;
+    int best_df = -1;
+    for (size_t i = 0; i + q <= literal.size(); ++i) {
+      std::string_view gram = literal.substr(i, q);
+      int df = DocumentFrequency(gram);
+      if (best_df < 0 || df < best_df) {
+        best_df = df;
+        best_gram = gram;
+      }
+    }
+    if (best_df == 0) return out;  // literal can appear in no row
+    const auto* plist = postings(best_gram);
+    if (plist != nullptr) {
+      for (const Posting& p : *plist) {
+        if (pattern.Matches(table_.CellText(p.row, col_))) out.push_back(p.row);
+      }
+      return out;
+    }
+    return out;
+  }
+
+  // Fallback: full scan.
+  for (size_t row = 0; row < row_count_; ++row) {
+    if (pattern.Matches(table_.CellText(row, col_))) {
+      out.push_back(static_cast<uint32_t>(row));
+    }
+  }
+  return out;
+}
+
+std::vector<ColumnIndex::ScoredRow> ColumnIndex::SimilarRows(
+    std::string_view key, double threshold, size_t top_r,
+    std::string_view exclude_chars) const {
+  std::vector<ScoredRow> out;
+  const size_t q = options_.q;
+  if (!options_.build_postings || q == 0 || key.size() < q) return out;
+
+  // Key q-gram profile and weights (tf * idf). q-grams containing excluded
+  // (separator) characters are not used as search keys.
+  std::unordered_map<std::string, uint32_t> profile;
+  for (size_t i = 0; i + q <= key.size(); ++i) {
+    std::string_view gram = key.substr(i, q);
+    bool clean = true;
+    for (char c : gram) {
+      if (exclude_chars.find(c) != std::string_view::npos) {
+        clean = false;
+        break;
+      }
+    }
+    if (clean) profile[std::string(gram)]++;
+  }
+  // Accumulate Eq. 4 dot products row by row via the postings, rarest gram
+  // first, within the per-key posting budget.
+  std::vector<std::pair<int, const std::string*>> by_df;
+  by_df.reserve(profile.size());
+  for (const auto& [gram, key_tf] : profile) {
+    by_df.emplace_back(DocumentFrequency(gram), &gram);
+  }
+  std::sort(by_df.begin(), by_df.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::unordered_map<uint32_t, double> scores;
+  size_t budget = options_.posting_budget;
+  for (const auto& [df, gram_ptr] : by_df) {
+    if (static_cast<size_t>(df) > budget) break;
+    double idf = tfidf_->Idf(*gram_ptr);
+    if (idf <= 0.0) continue;
+    const auto* plist = postings(*gram_ptr);
+    if (plist == nullptr) continue;
+    budget -= plist->size();
+    const double key_weight =
+        static_cast<double>(profile.at(*gram_ptr)) * idf;
+    for (const Posting& p : *plist) {
+      scores[p.row] += key_weight * (static_cast<double>(p.tf) * idf);
+    }
+  }
+  for (const auto& [row, score] : scores) {
+    if (score >= threshold) out.push_back({row, score});
+  }
+  std::sort(out.begin(), out.end(), [](const ScoredRow& a, const ScoredRow& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.row < b.row;
+  });
+  if (out.size() > top_r) out.resize(top_r);
+  return out;
+}
+
+std::vector<ColumnIndex::ScoredRow> ColumnIndex::SimilarRowsByCount(
+    std::string_view key, double threshold, size_t top_r) const {
+  std::vector<ScoredRow> out;
+  const size_t q = options_.q;
+  if (!options_.build_postings || q == 0 || key.size() < q) return out;
+
+  std::unordered_set<std::string> grams;
+  for (size_t i = 0; i + q <= key.size(); ++i) {
+    grams.insert(std::string(key.substr(i, q)));
+  }
+  // Rarest grams first, within the posting budget (as in SimilarRows).
+  std::vector<std::pair<int, const std::string*>> by_df;
+  by_df.reserve(grams.size());
+  for (const auto& gram : grams) {
+    by_df.emplace_back(DocumentFrequency(gram), &gram);
+  }
+  std::sort(by_df.begin(), by_df.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::unordered_map<uint32_t, double> scores;
+  size_t budget = options_.posting_budget;
+  for (const auto& [df, gram_ptr] : by_df) {
+    if (static_cast<size_t>(df) > budget) break;
+    const auto* plist = postings(*gram_ptr);
+    if (plist == nullptr) continue;
+    budget -= plist->size();
+    for (const Posting& p : *plist) scores[p.row] += 1.0;
+  }
+  for (const auto& [row, score] : scores) {
+    if (score >= threshold) out.push_back({row, score});
+  }
+  std::sort(out.begin(), out.end(), [](const ScoredRow& a, const ScoredRow& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.row < b.row;
+  });
+  if (out.size() > top_r) out.resize(top_r);
+  return out;
+}
+
+}  // namespace mcsm::relational

@@ -1,0 +1,128 @@
+#ifndef MCSM_RELATIONAL_COLUMN_INDEX_H_
+#define MCSM_RELATIONAL_COLUMN_INDEX_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "relational/pattern.h"
+#include "relational/table.h"
+#include "text/tfidf.h"
+
+namespace mcsm::relational {
+
+/// \brief Per-column auxiliary structures used by the matcher: the sorted
+/// distinct-value list (sampling cursor surrogate for a B-tree index), q-gram
+/// document frequencies, and an optional q-gram inverted index over rows.
+///
+/// The paper manipulates data "with basic SQL commands" against PostgreSQL;
+/// this class is the equivalent access path in the embedded engine. Postings
+/// make the two hot retrieval operations index-assisted rather than
+/// full-scan: tf-idf similarity retrieval (Section 3.3.1) and LIKE-pattern
+/// candidate retrieval (Section 3.4.1).
+class ColumnIndex {
+ public:
+  struct Options {
+    size_t q = 2;                ///< q-gram length (paper uses bi-grams)
+    bool build_postings = false; ///< build the row-level inverted index
+    /// Per-key budget of posting entries scanned during similarity
+    /// retrieval. Grams are processed rarest-first (highest idf — the
+    /// discriminative ones), so the budget prunes only the low-signal tail
+    /// of very common grams.
+    size_t posting_budget = 20000;
+  };
+
+  /// An inverted-index entry: the row and the q-gram's term frequency there.
+  struct Posting {
+    uint32_t row;
+    uint32_t tf;
+  };
+
+  ColumnIndex(const Table& table, size_t col, Options options);
+
+  size_t q() const { return options_.q; }
+  size_t row_count() const { return row_count_; }
+  size_t column() const { return col_; }
+
+  /// Number of distinct non-null values.
+  size_t distinct_count() const { return sorted_distinct_.size(); }
+
+  /// Distinct values in sorted order (the "B-tree cursor" for equidistant
+  /// sampling).
+  const std::vector<std::string>& sorted_distinct() const {
+    return sorted_distinct_;
+  }
+
+  /// Average length of non-null instances (0 when the column is empty).
+  double avg_length() const { return avg_length_; }
+
+  /// True when every non-null instance has the same (non-zero) length —
+  /// a fixed-width column (Section 3.3.3's fixed-field case).
+  bool fixed_width() const { return min_length_ == max_length_ && max_length_ > 0; }
+
+  /// Number of rows containing `gram` at least once.
+  int DocumentFrequency(std::string_view gram) const;
+
+  /// Posting list for `gram`, or nullptr (also when postings were not built).
+  const std::vector<Posting>* postings(std::string_view gram) const;
+
+  /// Sum over the key's q-grams (with multiplicity) of their document
+  /// frequency — the "count T2 where A includes q-grams of key" reading (a)
+  /// used by the column scorer.
+  long long TotalQGramHits(std::string_view key) const;
+
+  /// Number of distinct rows containing at least one q-gram of `key` —
+  /// reading (b). Requires postings.
+  size_t RowsWithAnyQGram(std::string_view key) const;
+
+  /// tf-idf model over the column's instances (document frequencies shared
+  /// with this index).
+  const text::TfIdfModel& tfidf() const { return *tfidf_; }
+
+  /// Rows whose value matches `pattern`, filtered through the inverted index
+  /// when possible (rarest q-gram of the pattern's longest literal), verified
+  /// exactly. Falls back to a scan when no usable literal exists or postings
+  /// were not built.
+  std::vector<uint32_t> RowsMatchingPattern(const SearchPattern& pattern) const;
+
+  /// A row id together with its tf-idf similarity score against a key.
+  struct ScoredRow {
+    uint32_t row;
+    double score;
+  };
+
+  /// Rows similar to `key` under the Eq. 4 tf-idf dot product, retrieved via
+  /// the inverted index. Rows scoring below `threshold` are dropped; at most
+  /// `top_r` rows are returned (best first). Requires postings. q-grams
+  /// containing any character from `exclude_chars` are not used as search
+  /// keys (separator handling, Section 6.1).
+  std::vector<ScoredRow> SimilarRows(std::string_view key, double threshold,
+                                     size_t top_r,
+                                     std::string_view exclude_chars = {}) const;
+
+  /// Per-row term-frequency-weighted *raw q-gram count* score (paper Eq. 2):
+  /// the number of the key's distinct q-grams present in each candidate row.
+  /// Kept for the pair-scoring ablation. Requires postings.
+  std::vector<ScoredRow> SimilarRowsByCount(std::string_view key,
+                                            double threshold, size_t top_r) const;
+
+ private:
+  const Table& table_;
+  size_t col_;
+  Options options_;
+  size_t row_count_ = 0;
+  double avg_length_ = 0;
+  size_t min_length_ = 0;
+  size_t max_length_ = 0;
+  std::vector<std::string> sorted_distinct_;
+  std::unordered_map<std::string, int> document_frequency_;
+  std::unordered_map<std::string, std::vector<Posting>> postings_;
+  std::unique_ptr<text::TfIdfModel> tfidf_;
+};
+
+}  // namespace mcsm::relational
+
+#endif  // MCSM_RELATIONAL_COLUMN_INDEX_H_

@@ -1,0 +1,199 @@
+#include "relational/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace mcsm::relational {
+
+namespace {
+
+/// One parsed field: its text plus whether it was quoted (quoted empties are
+/// empty strings, unquoted empties may become NULL).
+struct Field {
+  std::string text;
+  bool quoted = false;
+};
+
+/// Streaming CSV record reader over a string.
+class CsvReader {
+ public:
+  CsvReader(std::string_view text, char delimiter)
+      : text_(text), delimiter_(delimiter) {}
+
+  bool AtEnd() const { return pos_ >= text_.size(); }
+
+  /// Reads one record (handles quoted fields spanning newlines). Returns
+  /// ParseError for unterminated quotes or stray quote characters.
+  Result<std::vector<Field>> ReadRecord() {
+    std::vector<Field> fields;
+    Field current;
+    bool in_quotes = false;
+    bool saw_any = false;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (in_quotes) {
+        if (c == '"') {
+          if (pos_ + 1 < text_.size() && text_[pos_ + 1] == '"') {
+            current.text.push_back('"');
+            pos_ += 2;
+          } else {
+            in_quotes = false;
+            ++pos_;
+          }
+        } else {
+          current.text.push_back(c);
+          ++pos_;
+        }
+        continue;
+      }
+      if (c == '"') {
+        if (!current.text.empty()) {
+          return Status::ParseError(
+              StrFormat("stray quote at offset %zu", pos_));
+        }
+        current.quoted = true;
+        in_quotes = true;
+        ++pos_;
+        saw_any = true;
+        continue;
+      }
+      if (c == delimiter_) {
+        fields.push_back(std::move(current));
+        current = Field{};
+        ++pos_;
+        saw_any = true;
+        continue;
+      }
+      if (c == '\n' || c == '\r') {
+        // Consume the line ending (\r\n or \n or \r).
+        if (c == '\r' && pos_ + 1 < text_.size() && text_[pos_ + 1] == '\n') {
+          ++pos_;
+        }
+        ++pos_;
+        fields.push_back(std::move(current));
+        return fields;
+      }
+      current.text.push_back(c);
+      ++pos_;
+      saw_any = true;
+    }
+    if (in_quotes) {
+      return Status::ParseError("unterminated quoted field at end of input");
+    }
+    if (saw_any || !current.text.empty() || current.quoted) {
+      fields.push_back(std::move(current));
+    }
+    return fields;
+  }
+
+ private:
+  std::string_view text_;
+  char delimiter_;
+  size_t pos_ = 0;
+};
+
+std::string EscapeField(const std::string& field, char delimiter) {
+  bool needs_quoting = field.find(delimiter) != std::string::npos ||
+                       field.find('"') != std::string::npos ||
+                       field.find('\n') != std::string::npos ||
+                       field.find('\r') != std::string::npos ||
+                       field.empty();
+  if (!needs_quoting) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    out.push_back(c);
+    if (c == '"') out.push_back('"');
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace
+
+Result<Table> ReadCsv(std::string_view text, const CsvOptions& options) {
+  CsvReader reader(text, options.delimiter);
+  if (reader.AtEnd()) {
+    return Status::InvalidArgument("empty CSV input (no header row)");
+  }
+  MCSM_ASSIGN_OR_RETURN(auto header, reader.ReadRecord());
+  if (header.empty()) {
+    return Status::InvalidArgument("empty CSV header row");
+  }
+  std::vector<std::string> names;
+  names.reserve(header.size());
+  for (const auto& f : header) {
+    if (f.text.empty()) {
+      return Status::InvalidArgument("empty column name in CSV header");
+    }
+    names.push_back(f.text);
+  }
+  Table table = Table::WithTextColumns(names);
+
+  size_t line = 1;
+  while (!reader.AtEnd()) {
+    ++line;
+    MCSM_ASSIGN_OR_RETURN(auto record, reader.ReadRecord());
+    if (record.empty()) continue;  // trailing blank line
+    if (record.size() == 1 && record[0].text.empty() && !record[0].quoted) {
+      continue;  // blank line
+    }
+    if (record.size() != names.size()) {
+      return Status::ParseError(
+          StrFormat("record %zu has %zu fields, header has %zu", line,
+                    record.size(), names.size()));
+    }
+    std::vector<Value> row;
+    row.reserve(record.size());
+    for (auto& f : record) {
+      if (options.empty_as_null && f.text.empty() && !f.quoted) {
+        row.push_back(Value::MakeNull());
+      } else {
+        row.emplace_back(std::move(f.text));
+      }
+    }
+    MCSM_RETURN_IF_ERROR(table.AppendRow(std::move(row)));
+  }
+  return table;
+}
+
+Result<Table> ReadCsvFile(const std::string& path, const CsvOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open CSV file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ReadCsv(buffer.str(), options);
+}
+
+std::string WriteCsv(const Table& table, const CsvOptions& options) {
+  std::string out;
+  const auto& schema = table.schema();
+  for (size_t c = 0; c < schema.num_columns(); ++c) {
+    if (c) out.push_back(options.delimiter);
+    out += EscapeField(schema.column(c).name, options.delimiter);
+  }
+  out.push_back('\n');
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t c = 0; c < schema.num_columns(); ++c) {
+      if (c) out.push_back(options.delimiter);
+      const Value& v = table.cell(r, c);
+      if (v.is_null()) continue;  // NULL -> empty unquoted field
+      out += EscapeField(v.is_text() ? v.text() : v.ToDisplayString(),
+                         options.delimiter);
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+Status WriteCsvFile(const Table& table, const std::string& path,
+                    const CsvOptions& options) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::InvalidArgument("cannot open for writing: " + path);
+  out << WriteCsv(table, options);
+  if (!out) return Status::Internal("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace mcsm::relational

@@ -1,0 +1,43 @@
+#ifndef MCSM_RELATIONAL_CSV_H_
+#define MCSM_RELATIONAL_CSV_H_
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "relational/table.h"
+
+namespace mcsm::relational {
+
+/// \brief RFC-4180-style CSV import/export for tables, so the matcher can be
+/// pointed at real exported data (see examples/discover_csv).
+///
+/// Dialect: comma-separated, double-quote quoting with "" escapes, optional
+/// CRLF line endings, first row is the header. All columns import as TEXT;
+/// empty unquoted fields import as NULL (a quoted empty string "" imports as
+/// an empty TEXT value).
+struct CsvOptions {
+  char delimiter = ',';
+  /// Import empty unquoted fields as NULL rather than "".
+  bool empty_as_null = true;
+};
+
+/// Parses CSV text into a table (header row defines the schema).
+Result<Table> ReadCsv(std::string_view text, const CsvOptions& options = {});
+
+/// Reads a CSV file from disk.
+Result<Table> ReadCsvFile(const std::string& path, const CsvOptions& options = {});
+
+/// Serializes a table as CSV (header + rows). NULLs serialize as empty
+/// unquoted fields; fields containing the delimiter, quotes or newlines are
+/// quoted.
+std::string WriteCsv(const Table& table, const CsvOptions& options = {});
+
+/// Writes a table to a CSV file.
+Status WriteCsvFile(const Table& table, const std::string& path,
+                    const CsvOptions& options = {});
+
+}  // namespace mcsm::relational
+
+#endif  // MCSM_RELATIONAL_CSV_H_

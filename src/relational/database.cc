@@ -1,0 +1,45 @@
+#include "relational/database.h"
+
+#include "common/string_util.h"
+
+namespace mcsm::relational {
+
+std::string Database::Key(std::string_view name) const { return ToLower(name); }
+
+Status Database::CreateTable(std::string_view name, Table table) {
+  std::string key = Key(name);
+  if (tables_.count(key) != 0) {
+    return Status::AlreadyExists("table already exists: " + std::string(name));
+  }
+  tables_[key] = std::make_unique<Table>(std::move(table));
+  return Status::OK();
+}
+
+Status Database::DropTable(std::string_view name) {
+  if (tables_.erase(Key(name)) == 0) {
+    return Status::NotFound("no such table: " + std::string(name));
+  }
+  return Status::OK();
+}
+
+bool Database::HasTable(std::string_view name) const {
+  return tables_.count(Key(name)) != 0;
+}
+
+Result<Table*> Database::GetTable(std::string_view name) {
+  auto it = tables_.find(Key(name));
+  if (it == tables_.end()) {
+    return Status::NotFound("no such table: " + std::string(name));
+  }
+  return it->second.get();
+}
+
+Result<const Table*> Database::GetTable(std::string_view name) const {
+  auto it = tables_.find(Key(name));
+  if (it == tables_.end()) {
+    return Status::NotFound("no such table: " + std::string(name));
+  }
+  return const_cast<const Table*>(it->second.get());
+}
+
+}  // namespace mcsm::relational

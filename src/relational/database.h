@@ -1,0 +1,46 @@
+#ifndef MCSM_RELATIONAL_DATABASE_H_
+#define MCSM_RELATIONAL_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "relational/table.h"
+
+namespace mcsm::relational {
+
+/// \brief A named collection of tables — the catalog the SQL engine executes
+/// against.
+class Database {
+ public:
+  Database() = default;
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+  Database(Database&&) = default;
+  Database& operator=(Database&&) = default;
+
+  /// Registers a table; fails if the (case-insensitive) name exists.
+  Status CreateTable(std::string_view name, Table table);
+
+  /// Removes a table; fails when absent.
+  Status DropTable(std::string_view name);
+
+  bool HasTable(std::string_view name) const;
+
+  /// Looks up a table by case-insensitive name.
+  Result<Table*> GetTable(std::string_view name);
+  Result<const Table*> GetTable(std::string_view name) const;
+
+  size_t num_tables() const { return tables_.size(); }
+
+ private:
+  std::string Key(std::string_view name) const;
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+};
+
+}  // namespace mcsm::relational
+
+#endif  // MCSM_RELATIONAL_DATABASE_H_

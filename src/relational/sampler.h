@@ -1,0 +1,36 @@
+#ifndef MCSM_RELATIONAL_SAMPLER_H_
+#define MCSM_RELATIONAL_SAMPLER_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "relational/column_index.h"
+
+namespace mcsm::relational {
+
+/// \brief Equidistant ("interleaved") sampling, after Gravano et al.: values
+/// are taken at equally spaced positions of the ordered sequence, which a
+/// database can serve with a single cursor sweep (cheaper than random
+/// sampling, empirically as good — paper Section 3.2).
+
+/// Returns ceil(fraction * population), clamped to [min_count, population].
+size_t SampleSize(size_t population, double fraction, size_t min_count);
+
+/// Equidistant positions: t indices spread over [0, population).
+std::vector<size_t> EquidistantIndices(size_t population, size_t t);
+
+/// Samples `fraction` of the column's *distinct* values equidistantly from
+/// its sorted distinct list (distinctness prevents the value distribution
+/// from biasing match counts — Section 3.2). At least `min_count` values are
+/// returned when the column has that many.
+std::vector<std::string> SampleDistinctValues(const ColumnIndex& index,
+                                              double fraction,
+                                              size_t min_count = 1);
+
+/// Samples `t` row indices equidistantly over [0, num_rows).
+std::vector<size_t> SampleRows(size_t num_rows, size_t t);
+
+}  // namespace mcsm::relational
+
+#endif  // MCSM_RELATIONAL_SAMPLER_H_

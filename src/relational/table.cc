@@ -1,0 +1,132 @@
+#include "relational/table.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace mcsm::relational {
+
+std::optional<size_t> Schema::FindColumn(std::string_view name) const {
+  std::string lowered = ToLower(name);
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (ToLower(columns_[i].name) == lowered) return i;
+  }
+  return std::nullopt;
+}
+
+Table Table::WithTextColumns(const std::vector<std::string>& names) {
+  std::vector<ColumnDef> defs;
+  defs.reserve(names.size());
+  for (const auto& n : names) defs.push_back({n, ColumnType::kText});
+  return Table(Schema(std::move(defs)));
+}
+
+Status Table::AppendRow(std::vector<Value> row) {
+  if (row.size() != schema_.num_columns()) {
+    return Status::InvalidArgument(
+        StrFormat("row has %zu values, table has %zu columns", row.size(),
+                  schema_.num_columns()));
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    Value& v = row[i];
+    if (v.is_null()) continue;
+    switch (schema_.column(i).type) {
+      case ColumnType::kText:
+        if (!v.is_text()) {
+          return Status::TypeError("non-text value for TEXT column " +
+                                   schema_.column(i).name);
+        }
+        break;
+      case ColumnType::kInteger:
+        if (!v.is_integer()) {
+          return Status::TypeError("non-integer value for INTEGER column " +
+                                   schema_.column(i).name);
+        }
+        break;
+      case ColumnType::kReal:
+        if (v.is_integer()) {
+          v = Value(static_cast<double>(v.integer()));
+        } else if (!v.is_real()) {
+          return Status::TypeError("non-numeric value for REAL column " +
+                                   schema_.column(i).name);
+        }
+        break;
+    }
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    columns_[i].push_back(std::move(row[i]));
+  }
+  return Status::OK();
+}
+
+Status Table::AppendTextRow(const std::vector<std::string>& row) {
+  std::vector<Value> values;
+  values.reserve(row.size());
+  for (const auto& s : row) values.emplace_back(s);
+  return AppendRow(std::move(values));
+}
+
+Status Table::SetCell(size_t row, size_t col, Value value) {
+  if (col >= schema_.num_columns() || row >= num_rows()) {
+    return Status::OutOfRange("cell index out of range");
+  }
+  if (!value.is_null()) {
+    switch (schema_.column(col).type) {
+      case ColumnType::kText:
+        if (!value.is_text()) {
+          return Status::TypeError("non-text value for TEXT column " +
+                                   schema_.column(col).name);
+        }
+        break;
+      case ColumnType::kInteger:
+        if (!value.is_integer()) {
+          return Status::TypeError("non-integer value for INTEGER column " +
+                                   schema_.column(col).name);
+        }
+        break;
+      case ColumnType::kReal:
+        if (value.is_integer()) {
+          value = Value(static_cast<double>(value.integer()));
+        } else if (!value.is_real()) {
+          return Status::TypeError("non-numeric value for REAL column " +
+                                   schema_.column(col).name);
+        }
+        break;
+    }
+  }
+  columns_[col][row] = std::move(value);
+  return Status::OK();
+}
+
+std::vector<Value> Table::GetRow(size_t row) const {
+  std::vector<Value> out;
+  out.reserve(columns_.size());
+  for (const auto& col : columns_) out.push_back(col[row]);
+  return out;
+}
+
+void Table::RemoveRows(const std::vector<size_t>& rows) {
+  if (rows.empty()) return;
+  std::vector<bool> remove(num_rows(), false);
+  for (size_t r : rows) {
+    if (r < remove.size()) remove[r] = true;
+  }
+  for (auto& col : columns_) {
+    size_t write = 0;
+    for (size_t read = 0; read < col.size(); ++read) {
+      if (!remove[read]) {
+        if (write != read) col[write] = std::move(col[read]);
+        ++write;
+      }
+    }
+    col.resize(write);
+  }
+}
+
+void Table::Truncate(size_t n) {
+  for (auto& col : columns_) {
+    if (col.size() > n) col.resize(n);
+  }
+}
+
+}  // namespace mcsm::relational

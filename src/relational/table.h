@@ -1,0 +1,96 @@
+#ifndef MCSM_RELATIONAL_TABLE_H_
+#define MCSM_RELATIONAL_TABLE_H_
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "relational/value.h"
+
+namespace mcsm::relational {
+
+/// Definition of a single column: name and declared type.
+struct ColumnDef {
+  std::string name;
+  ColumnType type = ColumnType::kText;
+};
+
+/// \brief Ordered list of column definitions with name lookup.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<ColumnDef> columns) : columns_(std::move(columns)) {}
+
+  size_t num_columns() const { return columns_.size(); }
+  const ColumnDef& column(size_t i) const { return columns_[i]; }
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+
+  /// Case-insensitive column lookup; returns nullopt when absent.
+  std::optional<size_t> FindColumn(std::string_view name) const;
+
+ private:
+  std::vector<ColumnDef> columns_;
+};
+
+/// \brief Column-oriented in-memory table.
+///
+/// Storage is one Value vector per column; all columns have the same length.
+/// Appends validate value types against the schema (integers are accepted
+/// into REAL columns and widened).
+class Table {
+ public:
+  Table() = default;
+  explicit Table(Schema schema)
+      : schema_(std::move(schema)), columns_(schema_.num_columns()) {}
+
+  /// Convenience: builds an all-TEXT schema from column names.
+  static Table WithTextColumns(const std::vector<std::string>& names);
+
+  const Schema& schema() const { return schema_; }
+  size_t num_rows() const { return columns_.empty() ? 0 : columns_[0].size(); }
+  size_t num_columns() const { return schema_.num_columns(); }
+
+  /// Appends a row; `row.size()` must equal num_columns() and each value must
+  /// be NULL or match the column type.
+  Status AppendRow(std::vector<Value> row);
+
+  /// Appends a row of TEXT values (schema must be all-TEXT).
+  Status AppendTextRow(const std::vector<std::string>& row);
+
+  /// Replaces one cell; the value must be NULL or match the column type
+  /// (integers widen into REAL columns).
+  Status SetCell(size_t row, size_t col, Value value);
+
+  const Value& cell(size_t row, size_t col) const { return columns_[col][row]; }
+
+  /// TEXT cell accessed as a view; empty view for NULL or non-text cells.
+  std::string_view CellText(size_t row, size_t col) const {
+    const Value& v = columns_[col][row];
+    return v.is_text() ? std::string_view(v.text()) : std::string_view();
+  }
+
+  /// Entire column (column-oriented access).
+  const std::vector<Value>& column(size_t col) const { return columns_[col]; }
+
+  /// Returns a copy of row `row`.
+  std::vector<Value> GetRow(size_t row) const;
+
+  /// Removes the rows whose indices appear in `rows` (need not be sorted;
+  /// duplicates ignored). Used by match-and-remove re-runs (Section 4.1).
+  void RemoveRows(const std::vector<size_t>& rows);
+
+  /// Keeps only rows [0, n) — used by the scaling benchmark (Fig. 3).
+  void Truncate(size_t n);
+
+ private:
+  Schema schema_;
+  std::vector<std::vector<Value>> columns_;
+};
+
+}  // namespace mcsm::relational
+
+#endif  // MCSM_RELATIONAL_TABLE_H_

@@ -1,0 +1,128 @@
+#ifndef MCSM_SQL_AST_H_
+#define MCSM_SQL_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "relational/table.h"
+#include "relational/value.h"
+
+namespace mcsm::sql {
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// Expression node kinds.
+enum class ExprKind {
+  kLiteral,    ///< value
+  kColumnRef,  ///< name
+  kUnary,      ///< op in {"-", "not"}, args[0]
+  kBinary,     ///< op in {"+","-","*","/","||","=","<>","<","<=",">",">=","and","or"}
+  kLike,       ///< args[0] LIKE args[1], possibly negated
+  kIsNull,     ///< args[0] IS [NOT] NULL
+  kFunction,   ///< name(args...) — scalar function
+  kSubstring,  ///< substring(args[0] from args[1] [for args[2]])
+  kPosition,   ///< position(args[0] in args[1])
+  kAggregate,  ///< name in {count,sum,avg,min,max}; args empty = count(*)
+};
+
+/// \brief A SQL expression tree node.
+///
+/// A single struct with a kind discriminator keeps the parser and evaluator
+/// compact; the fields used depend on `kind` as documented above.
+struct Expr {
+  ExprKind kind;
+  relational::Value literal;      // kLiteral
+  std::string name;               // kColumnRef, kFunction, kAggregate
+  std::string op;                 // kUnary, kBinary
+  std::vector<ExprPtr> args;
+  bool negated = false;           // kLike, kIsNull
+  bool distinct = false;          // kAggregate: count(distinct x)
+
+  static ExprPtr Literal(relational::Value v) {
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::kLiteral;
+    e->literal = std::move(v);
+    return e;
+  }
+  static ExprPtr Column(std::string name) {
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::kColumnRef;
+    e->name = std::move(name);
+    return e;
+  }
+  static ExprPtr Binary(std::string op, ExprPtr lhs, ExprPtr rhs) {
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::kBinary;
+    e->op = std::move(op);
+    e->args.push_back(std::move(lhs));
+    e->args.push_back(std::move(rhs));
+    return e;
+  }
+};
+
+/// One item of a select list: expression plus optional alias, or '*'.
+struct SelectItem {
+  ExprPtr expr;       // null when is_star
+  std::string alias;  // empty = derive from expression
+  bool is_star = false;
+};
+
+struct OrderItem {
+  ExprPtr expr;
+  bool ascending = true;
+};
+
+struct SelectStatement {
+  bool distinct = false;   ///< SELECT DISTINCT
+  std::vector<SelectItem> items;
+  std::string from_table;  ///< empty for table-less SELECT (expression eval)
+  ExprPtr where;           ///< may be null
+  std::vector<ExprPtr> group_by;
+  ExprPtr having;          ///< may be null; requires group_by or aggregates
+  std::vector<OrderItem> order_by;
+  std::optional<size_t> limit;
+};
+
+struct CreateTableStatement {
+  std::string table;
+  std::vector<relational::ColumnDef> columns;
+};
+
+struct InsertStatement {
+  std::string table;
+  /// Each row is a list of expressions (evaluated without a row context, so
+  /// effectively constants).
+  std::vector<std::vector<ExprPtr>> rows;
+};
+
+struct UpdateStatement {
+  std::string table;
+  std::vector<std::pair<std::string, ExprPtr>> assignments;
+  ExprPtr where;  ///< may be null (updates every row)
+};
+
+struct DeleteStatement {
+  std::string table;
+  ExprPtr where;  ///< may be null (deletes every row)
+};
+
+struct DropTableStatement {
+  std::string table;
+};
+
+/// A parsed statement (exactly one of the pointers is set).
+struct Statement {
+  std::unique_ptr<SelectStatement> select;
+  std::unique_ptr<CreateTableStatement> create_table;
+  std::unique_ptr<InsertStatement> insert;
+  std::unique_ptr<UpdateStatement> update;
+  std::unique_ptr<DeleteStatement> del;
+  std::unique_ptr<DropTableStatement> drop_table;
+};
+
+}  // namespace mcsm::sql
+
+#endif  // MCSM_SQL_AST_H_

@@ -1,0 +1,381 @@
+#include "sql/engine.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/string_util.h"
+#include "sql/evaluator.h"
+#include "sql/parser.h"
+
+namespace mcsm::sql {
+
+using relational::Table;
+using relational::Value;
+
+Result<Value> ResultSet::ScalarValue() const {
+  if (rows.size() != 1 || rows[0].size() != 1) {
+    return Status::InvalidArgument(
+        StrFormat("expected a 1x1 result, got %zux%zu", rows.size(),
+                  rows.empty() ? 0 : rows[0].size()));
+  }
+  return rows[0][0];
+}
+
+std::string ResultSet::ToString(size_t max_rows) const {
+  std::vector<size_t> widths(columns.size());
+  for (size_t c = 0; c < columns.size(); ++c) widths[c] = columns[c].size();
+  size_t shown = std::min(max_rows, rows.size());
+  for (size_t r = 0; r < shown; ++r) {
+    for (size_t c = 0; c < columns.size(); ++c) {
+      widths[c] = std::max(widths[c], rows[r][c].ToDisplayString().size());
+    }
+  }
+  std::string out;
+  auto append_row = [&](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < cells.size(); ++c) {
+      out += "| ";
+      out += cells[c];
+      out += std::string(widths[c] - cells[c].size() + 1, ' ');
+    }
+    out += "|\n";
+  };
+  append_row(columns);
+  std::string sep;
+  for (size_t c = 0; c < columns.size(); ++c) {
+    sep += "+" + std::string(widths[c] + 2, '-');
+  }
+  sep += "+\n";
+  out = sep + out + sep;
+  for (size_t r = 0; r < shown; ++r) {
+    std::vector<std::string> cells;
+    cells.reserve(columns.size());
+    for (size_t c = 0; c < columns.size(); ++c) {
+      cells.push_back(rows[r][c].ToDisplayString());
+    }
+    append_row(cells);
+  }
+  if (rows.size() > shown) {
+    out += StrFormat("... (%zu more rows)\n", rows.size() - shown);
+  }
+  out += sep;
+  return out;
+}
+
+Result<ResultSet> Engine::Execute(std::string_view sql) {
+  MCSM_ASSIGN_OR_RETURN(Statement stmt, Parse(sql));
+  return ExecuteStatement(stmt);
+}
+
+Result<ResultSet> Engine::ExecuteStatement(const Statement& stmt) {
+  if (stmt.select) return ExecuteSelect(*stmt.select);
+  if (stmt.create_table) return ExecuteCreateTable(*stmt.create_table);
+  if (stmt.insert) return ExecuteInsert(*stmt.insert);
+  if (stmt.update) return ExecuteUpdate(*stmt.update);
+  if (stmt.del) return ExecuteDelete(*stmt.del);
+  if (stmt.drop_table) {
+    MCSM_RETURN_IF_ERROR(db_->DropTable(stmt.drop_table->table));
+    return ResultSet{};
+  }
+  return Status::Internal("empty statement");
+}
+
+Result<ResultSet> Engine::ExecuteCreateTable(const CreateTableStatement& create) {
+  Table table{relational::Schema(create.columns)};
+  MCSM_RETURN_IF_ERROR(db_->CreateTable(create.table, std::move(table)));
+  return ResultSet{};
+}
+
+Result<ResultSet> Engine::ExecuteInsert(const InsertStatement& insert) {
+  MCSM_ASSIGN_OR_RETURN(Table * table, db_->GetTable(insert.table));
+  for (const auto& row_exprs : insert.rows) {
+    std::vector<Value> row;
+    row.reserve(row_exprs.size());
+    for (const auto& e : row_exprs) {
+      MCSM_ASSIGN_OR_RETURN(Value v, EvalScalar(*e, nullptr, 0));
+      row.push_back(std::move(v));
+    }
+    MCSM_RETURN_IF_ERROR(table->AppendRow(std::move(row)));
+  }
+  return ResultSet{};
+}
+
+Result<ResultSet> Engine::ExecuteUpdate(const UpdateStatement& update) {
+  MCSM_ASSIGN_OR_RETURN(Table * table, db_->GetTable(update.table));
+  // Resolve assignment targets up front.
+  std::vector<size_t> columns;
+  for (const auto& [name, expr] : update.assignments) {
+    auto col = table->schema().FindColumn(name);
+    if (!col.has_value()) return Status::NotFound("no such column: " + name);
+    columns.push_back(*col);
+  }
+  for (size_t row = 0; row < table->num_rows(); ++row) {
+    if (update.where) {
+      MCSM_ASSIGN_OR_RETURN(bool hit, EvalPredicate(*update.where, table, row));
+      if (!hit) continue;
+    }
+    // Evaluate every right-hand side against the pre-update row, then write.
+    std::vector<Value> values;
+    for (const auto& [name, expr] : update.assignments) {
+      MCSM_ASSIGN_OR_RETURN(Value v, EvalScalar(*expr, table, row));
+      values.push_back(std::move(v));
+    }
+    for (size_t i = 0; i < columns.size(); ++i) {
+      MCSM_RETURN_IF_ERROR(table->SetCell(row, columns[i], std::move(values[i])));
+    }
+  }
+  return ResultSet{};
+}
+
+Result<ResultSet> Engine::ExecuteDelete(const DeleteStatement& del) {
+  MCSM_ASSIGN_OR_RETURN(Table * table, db_->GetTable(del.table));
+  std::vector<size_t> doomed;
+  for (size_t row = 0; row < table->num_rows(); ++row) {
+    if (del.where) {
+      MCSM_ASSIGN_OR_RETURN(bool hit, EvalPredicate(*del.where, table, row));
+      if (!hit) continue;
+    }
+    doomed.push_back(row);
+  }
+  table->RemoveRows(doomed);
+  return ResultSet{};
+}
+
+namespace {
+
+// A grouping key: rendered values with a type tag so 1 and '1' differ.
+std::string GroupKey(const std::vector<Value>& values) {
+  std::string key;
+  for (const Value& v : values) {
+    if (v.is_null()) {
+      key += "n|";
+    } else if (v.is_text()) {
+      key += "t" + v.text() + "|";
+    } else {
+      key += "d" + v.ToDisplayString() + "|";
+    }
+    key += '\x1f';
+  }
+  return key;
+}
+
+}  // namespace
+
+Result<ResultSet> Engine::ExecuteSelect(const SelectStatement& select) {
+  const Table* table = nullptr;
+  if (!select.from_table.empty()) {
+    MCSM_ASSIGN_OR_RETURN(table, static_cast<const relational::Database*>(db_)
+                                     ->GetTable(select.from_table));
+  }
+
+  // Expand the select list (resolve '*').
+  struct OutputColumn {
+    const Expr* expr = nullptr;  // null for direct column pass-through
+    size_t direct_column = 0;    // valid when expr == nullptr
+    std::string name;
+  };
+  std::vector<OutputColumn> outputs;
+  bool any_aggregate = false;
+  for (const auto& item : select.items) {
+    if (item.is_star) {
+      if (table == nullptr) {
+        return Status::InvalidArgument("SELECT * requires a FROM table");
+      }
+      for (size_t c = 0; c < table->schema().num_columns(); ++c) {
+        outputs.push_back({nullptr, c, table->schema().column(c).name});
+      }
+      continue;
+    }
+    OutputColumn out;
+    out.expr = item.expr.get();
+    out.name = !item.alias.empty() ? item.alias : ExprToString(*item.expr);
+    if (ContainsAggregate(*item.expr)) any_aggregate = true;
+    outputs.push_back(std::move(out));
+  }
+  if (any_aggregate && select.group_by.empty()) {
+    for (const auto& out : outputs) {
+      if (out.expr == nullptr || !ContainsAggregate(*out.expr)) {
+        return Status::InvalidArgument(
+            "mixing aggregate and non-aggregate select items requires GROUP BY");
+      }
+    }
+  }
+
+  // Filter phase.
+  std::vector<size_t> selected_rows;
+  const size_t num_rows = table ? table->num_rows() : 1;
+  for (size_t r = 0; r < num_rows; ++r) {
+    if (select.where) {
+      MCSM_ASSIGN_OR_RETURN(bool keep, EvalPredicate(*select.where, table, r));
+      if (!keep) continue;
+    }
+    selected_rows.push_back(r);
+  }
+
+  ResultSet result;
+  for (const auto& out : outputs) result.columns.push_back(out.name);
+
+  // ORDER BY may name a select-list alias (standard SQL): map each order
+  // item that is a bare identifier matching an output name to that output's
+  // projected value.
+  std::vector<int> order_alias(select.order_by.size(), -1);
+  for (size_t k = 0; k < select.order_by.size(); ++k) {
+    const Expr& e = *select.order_by[k].expr;
+    if (e.kind != ExprKind::kColumnRef) continue;
+    // A real table column of the same name takes precedence.
+    if (table != nullptr && table->schema().FindColumn(e.name).has_value()) {
+      continue;
+    }
+    for (size_t o = 0; o < outputs.size(); ++o) {
+      if (ToLower(outputs[o].name) == e.name) {
+        order_alias[k] = static_cast<int>(o);
+        break;
+      }
+    }
+  }
+
+  const bool grouped = !select.group_by.empty() || any_aggregate ||
+                       (select.having != nullptr);
+  // Sort keys evaluated alongside projection so ORDER BY works uniformly
+  // over plain, grouped and aggregated selects.
+  std::vector<std::vector<Value>> sort_keys;
+
+  if (grouped) {
+    // Partition the selected rows into groups (one group when GROUP BY is
+    // absent — plain aggregation).
+    std::map<std::string, std::vector<size_t>> groups;
+    if (select.group_by.empty()) {
+      groups[""] = selected_rows;
+    } else {
+      for (size_t r : selected_rows) {
+        std::vector<Value> key_values;
+        for (const auto& e : select.group_by) {
+          MCSM_ASSIGN_OR_RETURN(Value v, EvalScalar(*e, table, r));
+          key_values.push_back(std::move(v));
+        }
+        groups[GroupKey(key_values)].push_back(r);
+      }
+    }
+
+    for (const auto& [key, rows] : groups) {
+      if (rows.empty() && !select.group_by.empty()) continue;
+      // HAVING: aggregate predicates run over the group, scalar ones over
+      // the representative row.
+      if (select.having) {
+        Value verdict;
+        if (ContainsAggregate(*select.having)) {
+          MCSM_ASSIGN_OR_RETURN(verdict,
+                                EvalAggregate(*select.having, table, rows));
+        } else if (!rows.empty()) {
+          MCSM_ASSIGN_OR_RETURN(verdict,
+                                EvalScalar(*select.having, table, rows[0]));
+        }
+        if (verdict.is_null() || !verdict.is_numeric() ||
+            verdict.AsDouble() == 0.0) {
+          continue;
+        }
+      }
+      std::vector<Value> row;
+      for (const auto& out : outputs) {
+        if (out.expr == nullptr) {
+          if (rows.empty()) return Status::InvalidArgument(
+              "SELECT * over an empty aggregate group");
+          row.push_back(table->cell(rows[0], out.direct_column));
+        } else if (ContainsAggregate(*out.expr)) {
+          MCSM_ASSIGN_OR_RETURN(Value v, EvalAggregate(*out.expr, table, rows));
+          row.push_back(std::move(v));
+        } else {
+          // Non-aggregate item under grouping: evaluated on the group's
+          // representative row (lenient, SQLite-style; meaningful when the
+          // item is one of the GROUP BY expressions).
+          if (rows.empty()) {
+            row.push_back(Value::MakeNull());
+          } else {
+            MCSM_ASSIGN_OR_RETURN(Value v, EvalScalar(*out.expr, table, rows[0]));
+            row.push_back(std::move(v));
+          }
+        }
+      }
+      std::vector<Value> keys;
+      for (size_t k = 0; k < select.order_by.size(); ++k) {
+        if (order_alias[k] >= 0) {
+          keys.push_back(row[static_cast<size_t>(order_alias[k])]);
+          continue;
+        }
+        const auto& item = select.order_by[k];
+        Value v;
+        if (ContainsAggregate(*item.expr)) {
+          MCSM_ASSIGN_OR_RETURN(v, EvalAggregate(*item.expr, table, rows));
+        } else if (!rows.empty()) {
+          MCSM_ASSIGN_OR_RETURN(v, EvalScalar(*item.expr, table, rows[0]));
+        }
+        keys.push_back(std::move(v));
+      }
+      result.rows.push_back(std::move(row));
+      sort_keys.push_back(std::move(keys));
+    }
+  } else {
+    for (size_t r : selected_rows) {
+      std::vector<Value> row;
+      row.reserve(outputs.size());
+      for (const auto& out : outputs) {
+        if (out.expr == nullptr) {
+          row.push_back(table->cell(r, out.direct_column));
+        } else {
+          MCSM_ASSIGN_OR_RETURN(Value v, EvalScalar(*out.expr, table, r));
+          row.push_back(std::move(v));
+        }
+      }
+      std::vector<Value> keys;
+      for (size_t k = 0; k < select.order_by.size(); ++k) {
+        if (order_alias[k] >= 0) {
+          keys.push_back(row[static_cast<size_t>(order_alias[k])]);
+          continue;
+        }
+        MCSM_ASSIGN_OR_RETURN(Value v,
+                              EvalScalar(*select.order_by[k].expr, table, r));
+        keys.push_back(std::move(v));
+      }
+      result.rows.push_back(std::move(row));
+      sort_keys.push_back(std::move(keys));
+    }
+  }
+
+  // DISTINCT: dedupe projected rows (first occurrence wins).
+  if (select.distinct) {
+    std::set<std::string> seen;
+    std::vector<std::vector<Value>> rows;
+    std::vector<std::vector<Value>> keys;
+    for (size_t i = 0; i < result.rows.size(); ++i) {
+      if (seen.insert(GroupKey(result.rows[i])).second) {
+        rows.push_back(std::move(result.rows[i]));
+        keys.push_back(std::move(sort_keys[i]));
+      }
+    }
+    result.rows = std::move(rows);
+    sort_keys = std::move(keys);
+  }
+
+  if (!select.order_by.empty()) {
+    std::vector<size_t> order(result.rows.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      for (size_t k = 0; k < select.order_by.size(); ++k) {
+        int cmp = sort_keys[a][k].Compare(sort_keys[b][k]);
+        if (cmp != 0) return select.order_by[k].ascending ? cmp < 0 : cmp > 0;
+      }
+      return false;
+    });
+    std::vector<std::vector<Value>> sorted;
+    sorted.reserve(result.rows.size());
+    for (size_t i : order) sorted.push_back(std::move(result.rows[i]));
+    result.rows = std::move(sorted);
+  }
+
+  if (select.limit.has_value() && result.rows.size() > *select.limit) {
+    result.rows.resize(*select.limit);
+  }
+  return result;
+}
+
+}  // namespace mcsm::sql

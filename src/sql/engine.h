@@ -1,0 +1,61 @@
+#ifndef MCSM_SQL_ENGINE_H_
+#define MCSM_SQL_ENGINE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/database.h"
+#include "relational/value.h"
+#include "sql/ast.h"
+
+namespace mcsm::sql {
+
+/// \brief Tabular query result: column names plus row-major values.
+struct ResultSet {
+  std::vector<std::string> columns;
+  std::vector<std::vector<relational::Value>> rows;
+
+  size_t num_rows() const { return rows.size(); }
+  size_t num_columns() const { return columns.size(); }
+
+  /// Convenience for single-cell results (e.g. count(*) queries).
+  Result<relational::Value> ScalarValue() const;
+
+  /// Renders an ASCII table for display.
+  std::string ToString(size_t max_rows = 20) const;
+};
+
+/// \brief Executes parsed or textual SQL statements against a Database.
+///
+/// Execution is row-at-a-time over the in-memory tables: filter (WHERE) →
+/// group (GROUP BY/HAVING) → project/aggregate → dedupe (DISTINCT) → sort
+/// (ORDER BY) → LIMIT, plus UPDATE/DELETE/DROP. This is the "basic SQL
+/// facility" the paper assumes of the co-operating DBMS.
+class Engine {
+ public:
+  explicit Engine(relational::Database* db) : db_(db) {}
+
+  /// Parses and executes one statement. CREATE/INSERT/UPDATE/DELETE/DROP
+  /// return an empty ResultSet ("rows affected" is not modeled).
+  Result<ResultSet> Execute(std::string_view sql);
+
+  /// Executes an already-parsed statement.
+  Result<ResultSet> ExecuteStatement(const Statement& stmt);
+
+  relational::Database* database() { return db_; }
+
+ private:
+  Result<ResultSet> ExecuteSelect(const SelectStatement& select);
+  Result<ResultSet> ExecuteCreateTable(const CreateTableStatement& create);
+  Result<ResultSet> ExecuteInsert(const InsertStatement& insert);
+  Result<ResultSet> ExecuteUpdate(const UpdateStatement& update);
+  Result<ResultSet> ExecuteDelete(const DeleteStatement& del);
+
+  relational::Database* db_;
+};
+
+}  // namespace mcsm::sql
+
+#endif  // MCSM_SQL_ENGINE_H_

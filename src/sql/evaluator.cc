@@ -1,0 +1,445 @@
+#include "sql/evaluator.h"
+
+#include <algorithm>
+#include <set>
+#include <cmath>
+
+#include "common/string_util.h"
+#include "relational/pattern.h"
+
+namespace mcsm::sql {
+
+using relational::Value;
+
+namespace {
+
+// Three-valued logic encoding: -1 unknown (NULL), 0 false, 1 true.
+int ToTruth(const Value& v) {
+  if (v.is_null()) return -1;
+  if (v.is_numeric()) return v.AsDouble() != 0.0 ? 1 : 0;
+  return -1;
+}
+
+Result<Value> EvalBinary(const Expr& expr, const Value& lhs, const Value& rhs) {
+  const std::string& op = expr.op;
+  if (op == "and" || op == "or") {
+    int a = ToTruth(lhs), b = ToTruth(rhs);
+    if (op == "and") {
+      if (a == 0 || b == 0) return Value(static_cast<int64_t>(0));
+      if (a == 1 && b == 1) return Value(static_cast<int64_t>(1));
+      return Value::MakeNull();
+    }
+    if (a == 1 || b == 1) return Value(static_cast<int64_t>(1));
+    if (a == 0 && b == 0) return Value(static_cast<int64_t>(0));
+    return Value::MakeNull();
+  }
+  if (lhs.is_null() || rhs.is_null()) return Value::MakeNull();
+  if (op == "||") {
+    std::string a = lhs.is_text() ? lhs.text() : lhs.ToDisplayString();
+    std::string b = rhs.is_text() ? rhs.text() : rhs.ToDisplayString();
+    return Value(a + b);
+  }
+  if (op == "+" || op == "-" || op == "*" || op == "/") {
+    if (!lhs.is_numeric() || !rhs.is_numeric()) {
+      return Status::TypeError("arithmetic on non-numeric value");
+    }
+    if (lhs.is_integer() && rhs.is_integer() && op != "/") {
+      int64_t a = lhs.integer(), b = rhs.integer();
+      if (op == "+") return Value(a + b);
+      if (op == "-") return Value(a - b);
+      return Value(a * b);
+    }
+    double a = lhs.AsDouble(), b = rhs.AsDouble();
+    if (op == "+") return Value(a + b);
+    if (op == "-") return Value(a - b);
+    if (op == "*") return Value(a * b);
+    if (b == 0.0) return Status::InvalidArgument("division by zero");
+    if (lhs.is_integer() && rhs.is_integer()) {
+      return Value(lhs.integer() / rhs.integer());
+    }
+    return Value(a / b);
+  }
+  // Comparisons.
+  int cmp;
+  if (lhs.is_numeric() && rhs.is_numeric()) {
+    double a = lhs.AsDouble(), b = rhs.AsDouble();
+    cmp = a < b ? -1 : (a > b ? 1 : 0);
+  } else if (lhs.is_text() && rhs.is_text()) {
+    int c = lhs.text().compare(rhs.text());
+    cmp = c < 0 ? -1 : (c > 0 ? 1 : 0);
+  } else {
+    return Status::TypeError("cannot compare " + lhs.ToDisplayString() + " with " +
+                             rhs.ToDisplayString());
+  }
+  bool result;
+  if (op == "=") {
+    result = cmp == 0;
+  } else if (op == "<>") {
+    result = cmp != 0;
+  } else if (op == "<") {
+    result = cmp < 0;
+  } else if (op == "<=") {
+    result = cmp <= 0;
+  } else if (op == ">") {
+    result = cmp > 0;
+  } else if (op == ">=") {
+    result = cmp >= 0;
+  } else {
+    return Status::Internal("unknown binary operator: " + op);
+  }
+  return Value(static_cast<int64_t>(result ? 1 : 0));
+}
+
+Result<Value> EvalFunction(const Expr& expr, const std::vector<Value>& args) {
+  const std::string& name = expr.name;
+  auto require_args = [&](size_t n) -> Status {
+    if (args.size() != n) {
+      return Status::InvalidArgument(
+          StrFormat("%s() expects %zu argument(s), got %zu", name.c_str(), n,
+                    args.size()));
+    }
+    return Status::OK();
+  };
+  if (name == "char_length" || name == "length") {
+    MCSM_RETURN_IF_ERROR(require_args(1));
+    if (args[0].is_null()) return Value::MakeNull();
+    if (!args[0].is_text()) return Status::TypeError(name + "() expects TEXT");
+    return Value(static_cast<int64_t>(args[0].text().size()));
+  }
+  if (name == "lower" || name == "upper") {
+    MCSM_RETURN_IF_ERROR(require_args(1));
+    if (args[0].is_null()) return Value::MakeNull();
+    if (!args[0].is_text()) return Status::TypeError(name + "() expects TEXT");
+    return Value(name == "lower" ? ToLower(args[0].text())
+                                 : ToUpper(args[0].text()));
+  }
+  if (name == "concat") {
+    std::string out;
+    for (const auto& a : args) {
+      if (a.is_null()) continue;  // concat() skips NULLs (PostgreSQL semantics)
+      out += a.is_text() ? a.text() : a.ToDisplayString();
+    }
+    return Value(out);
+  }
+  if (name == "replace") {
+    MCSM_RETURN_IF_ERROR(require_args(3));
+    for (const auto& a : args) {
+      if (a.is_null()) return Value::MakeNull();
+      if (!a.is_text()) return Status::TypeError("replace() expects TEXT");
+    }
+    const std::string& subject = args[0].text();
+    const std::string& needle = args[1].text();
+    const std::string& repl = args[2].text();
+    if (needle.empty()) return Value(subject);
+    std::string out;
+    size_t pos = 0;
+    while (true) {
+      size_t found = subject.find(needle, pos);
+      if (found == std::string::npos) {
+        out += subject.substr(pos);
+        break;
+      }
+      out += subject.substr(pos, found - pos);
+      out += repl;
+      pos = found + needle.size();
+    }
+    return Value(out);
+  }
+  if (name == "abs") {
+    MCSM_RETURN_IF_ERROR(require_args(1));
+    if (args[0].is_null()) return Value::MakeNull();
+    if (args[0].is_integer()) return Value(std::abs(args[0].integer()));
+    if (args[0].is_real()) return Value(std::abs(args[0].real()));
+    return Status::TypeError("abs() expects a numeric value");
+  }
+  return Status::NotImplemented("unknown function: " + name);
+}
+
+}  // namespace
+
+Result<Value> EvalScalar(const Expr& expr, const relational::Table* table,
+                         size_t row) {
+  switch (expr.kind) {
+    case ExprKind::kLiteral:
+      return expr.literal;
+    case ExprKind::kColumnRef: {
+      if (table == nullptr) {
+        return Status::InvalidArgument("column reference without a table: " +
+                                       expr.name);
+      }
+      auto col = table->schema().FindColumn(expr.name);
+      if (!col.has_value()) {
+        return Status::NotFound("no such column: " + expr.name);
+      }
+      return table->cell(row, *col);
+    }
+    case ExprKind::kUnary: {
+      MCSM_ASSIGN_OR_RETURN(Value v, EvalScalar(*expr.args[0], table, row));
+      if (expr.op == "not") {
+        int t = ToTruth(v);
+        if (t < 0) return Value::MakeNull();
+        return Value(static_cast<int64_t>(t == 0 ? 1 : 0));
+      }
+      if (expr.op == "-") {
+        if (v.is_null()) return Value::MakeNull();
+        if (v.is_integer()) return Value(-v.integer());
+        if (v.is_real()) return Value(-v.real());
+        return Status::TypeError("unary minus on non-numeric value");
+      }
+      return Status::Internal("unknown unary operator: " + expr.op);
+    }
+    case ExprKind::kBinary: {
+      // AND/OR need lazy-ish handling for three-valued logic but both sides
+      // are side-effect free, so evaluating eagerly is fine.
+      MCSM_ASSIGN_OR_RETURN(Value lhs, EvalScalar(*expr.args[0], table, row));
+      MCSM_ASSIGN_OR_RETURN(Value rhs, EvalScalar(*expr.args[1], table, row));
+      return EvalBinary(expr, lhs, rhs);
+    }
+    case ExprKind::kLike: {
+      MCSM_ASSIGN_OR_RETURN(Value subject, EvalScalar(*expr.args[0], table, row));
+      MCSM_ASSIGN_OR_RETURN(Value pattern, EvalScalar(*expr.args[1], table, row));
+      if (subject.is_null() || pattern.is_null()) return Value::MakeNull();
+      if (!subject.is_text() || !pattern.is_text()) {
+        return Status::TypeError("LIKE expects TEXT operands");
+      }
+      bool matched = relational::LikeMatch(subject.text(), pattern.text());
+      if (expr.negated) matched = !matched;
+      return Value(static_cast<int64_t>(matched ? 1 : 0));
+    }
+    case ExprKind::kIsNull: {
+      MCSM_ASSIGN_OR_RETURN(Value v, EvalScalar(*expr.args[0], table, row));
+      bool is_null = v.is_null();
+      if (expr.negated) is_null = !is_null;
+      return Value(static_cast<int64_t>(is_null ? 1 : 0));
+    }
+    case ExprKind::kFunction: {
+      std::vector<Value> args;
+      args.reserve(expr.args.size());
+      for (const auto& a : expr.args) {
+        MCSM_ASSIGN_OR_RETURN(Value v, EvalScalar(*a, table, row));
+        args.push_back(std::move(v));
+      }
+      return EvalFunction(expr, args);
+    }
+    case ExprKind::kSubstring: {
+      MCSM_ASSIGN_OR_RETURN(Value subject, EvalScalar(*expr.args[0], table, row));
+      MCSM_ASSIGN_OR_RETURN(Value from, EvalScalar(*expr.args[1], table, row));
+      Value count;
+      if (expr.args.size() > 2) {
+        MCSM_ASSIGN_OR_RETURN(count, EvalScalar(*expr.args[2], table, row));
+      }
+      if (subject.is_null() || from.is_null() ||
+          (expr.args.size() > 2 && count.is_null())) {
+        return Value::MakeNull();
+      }
+      if (!subject.is_text() || !from.is_integer() ||
+          (expr.args.size() > 2 && !count.is_integer())) {
+        return Status::TypeError("substring(TEXT from INT [for INT])");
+      }
+      const std::string& s = subject.text();
+      // SQL-standard semantics (as in PostgreSQL): the result is the
+      // intersection of [from, from+count) with [1, len+1), 1-based.
+      int64_t start = from.integer();
+      int64_t end;  // exclusive, 1-based
+      if (expr.args.size() > 2) {
+        if (count.integer() < 0) {
+          return Status::InvalidArgument("negative substring length");
+        }
+        end = start + count.integer();
+      } else {
+        end = static_cast<int64_t>(s.size()) + 1;
+      }
+      int64_t lo = std::max<int64_t>(start, 1);
+      int64_t hi = std::min<int64_t>(end, static_cast<int64_t>(s.size()) + 1);
+      if (lo >= hi) return Value(std::string());
+      return Value(s.substr(static_cast<size_t>(lo - 1),
+                            static_cast<size_t>(hi - lo)));
+    }
+    case ExprKind::kPosition: {
+      MCSM_ASSIGN_OR_RETURN(Value needle, EvalScalar(*expr.args[0], table, row));
+      MCSM_ASSIGN_OR_RETURN(Value hay, EvalScalar(*expr.args[1], table, row));
+      if (needle.is_null() || hay.is_null()) return Value::MakeNull();
+      if (!needle.is_text() || !hay.is_text()) {
+        return Status::TypeError("position(TEXT in TEXT)");
+      }
+      size_t found = hay.text().find(needle.text());
+      return Value(static_cast<int64_t>(
+          found == std::string::npos ? 0 : found + 1));
+    }
+    case ExprKind::kAggregate:
+      return Status::InvalidArgument(
+          "aggregate used in a scalar context: " + expr.name);
+  }
+  return Status::Internal("unhandled expression kind");
+}
+
+Result<bool> EvalPredicate(const Expr& expr, const relational::Table* table,
+                           size_t row) {
+  MCSM_ASSIGN_OR_RETURN(Value v, EvalScalar(expr, table, row));
+  return ToTruth(v) == 1;
+}
+
+Result<Value> EvalAggregate(const Expr& expr, const relational::Table* table,
+                            const std::vector<size_t>& rows) {
+  if (expr.kind == ExprKind::kAggregate) {
+    if (expr.args.empty()) {
+      // count(*)
+      return Value(static_cast<int64_t>(rows.size()));
+    }
+    const Expr& arg = *expr.args[0];
+    if (expr.name == "count") {
+      if (expr.distinct) {
+        std::set<std::string> seen_text;
+        std::set<double> seen_num;
+        int64_t count = 0;
+        for (size_t r : rows) {
+          MCSM_ASSIGN_OR_RETURN(Value v, EvalScalar(arg, table, r));
+          if (v.is_null()) continue;
+          if (v.is_text()) {
+            if (seen_text.insert(v.text()).second) ++count;
+          } else {
+            if (seen_num.insert(v.AsDouble()).second) ++count;
+          }
+        }
+        return Value(count);
+      }
+      int64_t count = 0;
+      for (size_t r : rows) {
+        MCSM_ASSIGN_OR_RETURN(Value v, EvalScalar(arg, table, r));
+        if (!v.is_null()) ++count;
+      }
+      return Value(count);
+    }
+    if (expr.name == "sum" || expr.name == "avg") {
+      double total = 0;
+      int64_t count = 0;
+      bool all_int = true;
+      for (size_t r : rows) {
+        MCSM_ASSIGN_OR_RETURN(Value v, EvalScalar(arg, table, r));
+        if (v.is_null()) continue;
+        if (!v.is_numeric()) {
+          return Status::TypeError(expr.name + "() expects numeric values");
+        }
+        if (!v.is_integer()) all_int = false;
+        total += v.AsDouble();
+        ++count;
+      }
+      if (count == 0) return Value::MakeNull();
+      if (expr.name == "avg") return Value(total / static_cast<double>(count));
+      if (all_int) return Value(static_cast<int64_t>(total));
+      return Value(total);
+    }
+    if (expr.name == "min" || expr.name == "max") {
+      Value best;
+      for (size_t r : rows) {
+        MCSM_ASSIGN_OR_RETURN(Value v, EvalScalar(arg, table, r));
+        if (v.is_null()) continue;
+        if (best.is_null()) {
+          best = std::move(v);
+          continue;
+        }
+        int cmp = v.Compare(best);
+        if ((expr.name == "min" && cmp < 0) || (expr.name == "max" && cmp > 0)) {
+          best = std::move(v);
+        }
+      }
+      return best;
+    }
+    return Status::NotImplemented("unknown aggregate: " + expr.name);
+  }
+
+  if (!ContainsAggregate(expr)) {
+    // Constant subtree (no row context available at aggregation level).
+    return EvalScalar(expr, nullptr, 0);
+  }
+
+  switch (expr.kind) {
+    case ExprKind::kBinary: {
+      MCSM_ASSIGN_OR_RETURN(Value lhs, EvalAggregate(*expr.args[0], table, rows));
+      MCSM_ASSIGN_OR_RETURN(Value rhs, EvalAggregate(*expr.args[1], table, rows));
+      return EvalBinary(expr, lhs, rhs);
+    }
+    case ExprKind::kUnary: {
+      MCSM_ASSIGN_OR_RETURN(Value v, EvalAggregate(*expr.args[0], table, rows));
+      if (expr.op == "-") {
+        if (v.is_null()) return Value::MakeNull();
+        if (v.is_integer()) return Value(-v.integer());
+        if (v.is_real()) return Value(-v.real());
+        return Status::TypeError("unary minus on non-numeric value");
+      }
+      int t = ToTruth(v);
+      if (t < 0) return Value::MakeNull();
+      return Value(static_cast<int64_t>(t == 0 ? 1 : 0));
+    }
+    default:
+      return Status::NotImplemented(
+          "aggregates may only be composed with scalar operators");
+  }
+}
+
+bool ContainsAggregate(const Expr& expr) {
+  if (expr.kind == ExprKind::kAggregate) return true;
+  for (const auto& a : expr.args) {
+    if (a && ContainsAggregate(*a)) return true;
+  }
+  return false;
+}
+
+std::string ExprToString(const Expr& expr) {
+  switch (expr.kind) {
+    case ExprKind::kLiteral:
+      if (expr.literal.is_text()) {
+        std::string escaped;
+        for (char c : expr.literal.text()) {
+          escaped += c;
+          if (c == '\'') escaped += '\'';
+        }
+        return "'" + escaped + "'";
+      }
+      return expr.literal.ToDisplayString();
+    case ExprKind::kColumnRef:
+      return expr.name;
+    case ExprKind::kUnary:
+      return expr.op == "not" ? "not " + ExprToString(*expr.args[0])
+                              : "-" + ExprToString(*expr.args[0]);
+    case ExprKind::kBinary:
+      return "(" + ExprToString(*expr.args[0]) + " " + expr.op + " " +
+             ExprToString(*expr.args[1]) + ")";
+    case ExprKind::kLike:
+      return ExprToString(*expr.args[0]) + (expr.negated ? " not like " : " like ") +
+             ExprToString(*expr.args[1]);
+    case ExprKind::kIsNull:
+      return ExprToString(*expr.args[0]) +
+             (expr.negated ? " is not null" : " is null");
+    case ExprKind::kFunction: {
+      std::string out = expr.name + "(";
+      for (size_t i = 0; i < expr.args.size(); ++i) {
+        if (i) out += ", ";
+        out += ExprToString(*expr.args[i]);
+      }
+      return out + ")";
+    }
+    case ExprKind::kSubstring: {
+      std::string out = "substring(" + ExprToString(*expr.args[0]) + " from " +
+                        ExprToString(*expr.args[1]);
+      if (expr.args.size() > 2) out += " for " + ExprToString(*expr.args[2]);
+      return out + ")";
+    }
+    case ExprKind::kPosition:
+      return "position(" + ExprToString(*expr.args[0]) + " in " +
+             ExprToString(*expr.args[1]) + ")";
+    case ExprKind::kAggregate: {
+      std::string out = expr.name + "(";
+      if (expr.args.empty()) {
+        out += "*";
+      } else {
+        if (expr.distinct) out += "distinct ";
+        out += ExprToString(*expr.args[0]);
+      }
+      return out + ")";
+    }
+  }
+  return "?";
+}
+
+}  // namespace mcsm::sql

@@ -1,0 +1,45 @@
+#ifndef MCSM_SQL_EVALUATOR_H_
+#define MCSM_SQL_EVALUATOR_H_
+
+#include <cstddef>
+
+#include "common/result.h"
+#include "relational/table.h"
+#include "sql/ast.h"
+
+namespace mcsm::sql {
+
+/// \brief Scalar expression evaluation against one row of a table.
+///
+/// SQL NULL semantics: any NULL operand yields NULL for scalar operators and
+/// functions; AND/OR use three-valued logic; comparisons with NULL yield
+/// NULL. Booleans are represented as INTEGER 0/1 (NULL for unknown).
+///
+/// `table` may be null for table-less evaluation (constant expressions);
+/// column references then fail with InvalidArgument.
+Result<relational::Value> EvalScalar(const Expr& expr,
+                                     const relational::Table* table,
+                                     size_t row);
+
+/// Evaluates `expr` as a WHERE predicate: true only when the value is a
+/// non-null, non-zero numeric.
+Result<bool> EvalPredicate(const Expr& expr, const relational::Table* table,
+                           size_t row);
+
+/// True when the expression tree contains an aggregate node.
+bool ContainsAggregate(const Expr& expr);
+
+/// Evaluates an expression containing aggregates over the given row set
+/// (single-group aggregation). Non-aggregate subtrees must be constant.
+/// Supports count(*) / count(x) / count(distinct x) / sum / avg / min / max,
+/// composed with scalar operators (e.g. `count(*) * 2`).
+Result<relational::Value> EvalAggregate(const Expr& expr,
+                                        const relational::Table* table,
+                                        const std::vector<size_t>& rows);
+
+/// Renders an expression back to SQL text (for error messages and display).
+std::string ExprToString(const Expr& expr);
+
+}  // namespace mcsm::sql
+
+#endif  // MCSM_SQL_EVALUATOR_H_

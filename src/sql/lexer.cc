@@ -1,0 +1,147 @@
+#include "sql/lexer.h"
+
+#include <array>
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace mcsm::sql {
+
+namespace {
+
+bool IsKeywordWord(const std::string& lower) {
+  static constexpr std::array<std::string_view, 44> kKeywords = {
+      "select", "from",   "where",  "and",    "or",     "not",    "as",
+      "like",   "is",     "null",   "order",  "by",     "asc",    "desc",
+      "limit",  "create", "table",  "insert", "into",   "values", "distinct",
+      "count",  "sum",    "avg",    "min",    "max",    "substring", "for",
+      "text",   "integer", "real",  "char_length", "length", "lower", "upper",
+      "position", "in",   "offset", "group",  "having", "update", "set",
+      "delete", "drop",
+  };
+  for (auto k : kKeywords) {
+    if (lower == k) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(std::string_view sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    size_t start = i;
+    // Line comments.
+    if (c == '-' && i + 1 < n && sql[i + 1] == '-') {
+      while (i < n && sql[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '\'') {
+      // String literal with '' escape.
+      std::string value;
+      ++i;
+      bool closed = false;
+      while (i < n) {
+        if (sql[i] == '\'') {
+          if (i + 1 < n && sql[i + 1] == '\'') {
+            value.push_back('\'');
+            i += 2;
+          } else {
+            ++i;
+            closed = true;
+            break;
+          }
+        } else {
+          value.push_back(sql[i]);
+          ++i;
+        }
+      }
+      if (!closed) {
+        return Status::ParseError(
+            StrFormat("unterminated string literal at offset %zu", start));
+      }
+      tokens.push_back({TokenType::kString, std::move(value), 0, 0, start});
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n && std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      size_t end = i;
+      bool is_real = false;
+      while (end < n && (std::isdigit(static_cast<unsigned char>(sql[end])) ||
+                         sql[end] == '.')) {
+        if (sql[end] == '.') is_real = true;
+        ++end;
+      }
+      std::string text(sql.substr(i, end - i));
+      Token tok;
+      tok.position = start;
+      tok.text = text;
+      if (is_real) {
+        tok.type = TokenType::kReal;
+        tok.real = std::stod(text);
+      } else {
+        tok.type = TokenType::kInteger;
+        tok.integer = std::stoll(text);
+      }
+      tokens.push_back(std::move(tok));
+      i = end;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t end = i;
+      while (end < n && (std::isalnum(static_cast<unsigned char>(sql[end])) ||
+                         sql[end] == '_')) {
+        ++end;
+      }
+      std::string lower = ToLower(sql.substr(i, end - i));
+      TokenType type =
+          IsKeywordWord(lower) ? TokenType::kKeyword : TokenType::kIdentifier;
+      tokens.push_back({type, std::move(lower), 0, 0, start});
+      i = end;
+      continue;
+    }
+    // Symbols, longest-first.
+    auto push_symbol = [&](std::string sym) {
+      size_t len = sym.size();
+      tokens.push_back({TokenType::kSymbol, std::move(sym), 0, 0, start});
+      i += len;
+    };
+    if (c == '|' && i + 1 < n && sql[i + 1] == '|') {
+      push_symbol("||");
+      continue;
+    }
+    if (c == '<' && i + 1 < n && sql[i + 1] == '>') {
+      push_symbol("<>");
+      continue;
+    }
+    if (c == '!' && i + 1 < n && sql[i + 1] == '=') {
+      push_symbol("<>");  // normalize != to <>
+      continue;
+    }
+    if (c == '<' && i + 1 < n && sql[i + 1] == '=') {
+      push_symbol("<=");
+      continue;
+    }
+    if (c == '>' && i + 1 < n && sql[i + 1] == '=') {
+      push_symbol(">=");
+      continue;
+    }
+    if (std::string_view("()*,=<>+-/.;").find(c) != std::string_view::npos) {
+      push_symbol(std::string(1, c));
+      continue;
+    }
+    return Status::ParseError(
+        StrFormat("unexpected character '%c' at offset %zu", c, start));
+  }
+  tokens.push_back({TokenType::kEnd, "", 0, 0, n});
+  return tokens;
+}
+
+}  // namespace mcsm::sql

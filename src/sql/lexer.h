@@ -1,0 +1,43 @@
+#ifndef MCSM_SQL_LEXER_H_
+#define MCSM_SQL_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace mcsm::sql {
+
+enum class TokenType {
+  kIdentifier,  ///< bare word that is not a keyword (normalized lower-case)
+  kKeyword,     ///< SQL keyword (normalized lower-case)
+  kString,      ///< 'single quoted', with '' as the quote escape
+  kInteger,
+  kReal,
+  kSymbol,      ///< operator/punctuation: ( ) , * = <> <= >= < > + - / || .
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;     ///< normalized text (keywords/identifiers lower-cased)
+  int64_t integer = 0;  ///< valid when type == kInteger
+  double real = 0;      ///< valid when type == kReal
+  size_t position = 0;  ///< byte offset in the input, for error messages
+
+  bool Is(TokenType t, std::string_view s) const {
+    return type == t && text == s;
+  }
+  bool IsKeyword(std::string_view s) const { return Is(TokenType::kKeyword, s); }
+  bool IsSymbol(std::string_view s) const { return Is(TokenType::kSymbol, s); }
+};
+
+/// Tokenizes a SQL string. Keywords are recognized case-insensitively.
+/// Returns ParseError on malformed input (unterminated string, stray char).
+Result<std::vector<Token>> Tokenize(std::string_view sql);
+
+}  // namespace mcsm::sql
+
+#endif  // MCSM_SQL_LEXER_H_

@@ -1,0 +1,494 @@
+#include "sql/parser.h"
+
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace mcsm::sql {
+
+namespace {
+
+/// Recursive-descent parser over the token stream.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Statement> ParseStatement() {
+    Statement stmt;
+    if (Peek().IsKeyword("select")) {
+      MCSM_ASSIGN_OR_RETURN(auto select, ParseSelect());
+      stmt.select = std::make_unique<SelectStatement>(std::move(select));
+    } else if (Peek().IsKeyword("create")) {
+      MCSM_ASSIGN_OR_RETURN(auto create, ParseCreateTable());
+      stmt.create_table =
+          std::make_unique<CreateTableStatement>(std::move(create));
+    } else if (Peek().IsKeyword("insert")) {
+      MCSM_ASSIGN_OR_RETURN(auto insert, ParseInsert());
+      stmt.insert = std::make_unique<InsertStatement>(std::move(insert));
+    } else if (Peek().IsKeyword("update")) {
+      MCSM_ASSIGN_OR_RETURN(auto update, ParseUpdate());
+      stmt.update = std::make_unique<UpdateStatement>(std::move(update));
+    } else if (Peek().IsKeyword("delete")) {
+      MCSM_ASSIGN_OR_RETURN(auto del, ParseDelete());
+      stmt.del = std::make_unique<DeleteStatement>(std::move(del));
+    } else if (Peek().IsKeyword("drop")) {
+      MCSM_RETURN_IF_ERROR(Expect(TokenType::kKeyword, "drop"));
+      MCSM_RETURN_IF_ERROR(Expect(TokenType::kKeyword, "table"));
+      DropTableStatement drop;
+      MCSM_ASSIGN_OR_RETURN(drop.table, ExpectIdentifier());
+      stmt.drop_table =
+          std::make_unique<DropTableStatement>(std::move(drop));
+    } else {
+      return ErrorHere(
+          "expected SELECT, CREATE, INSERT, UPDATE, DELETE or DROP");
+    }
+    if (Peek().IsSymbol(";")) Advance();
+    if (Peek().type != TokenType::kEnd) {
+      return ErrorHere("trailing input after statement");
+    }
+    return stmt;
+  }
+
+  Result<ExprPtr> ParseStandaloneExpression() {
+    MCSM_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+    if (Peek().type != TokenType::kEnd) {
+      return ErrorHere("trailing input after expression");
+    }
+    return e;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t idx = pos_ + ahead;
+    return idx < tokens_.size() ? tokens_[idx] : tokens_.back();
+  }
+  const Token& Advance() { return tokens_[pos_++]; }
+  bool Accept(TokenType type, std::string_view text) {
+    if (Peek().Is(type, text)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  bool AcceptKeyword(std::string_view kw) {
+    return Accept(TokenType::kKeyword, kw);
+  }
+  bool AcceptSymbol(std::string_view sym) {
+    return Accept(TokenType::kSymbol, sym);
+  }
+  Status Expect(TokenType type, std::string_view text) {
+    if (!Accept(type, text)) {
+      return Status::ParseError(StrFormat("expected '%s' at offset %zu, got '%s'",
+                                          std::string(text).c_str(),
+                                          Peek().position, Peek().text.c_str()));
+    }
+    return Status::OK();
+  }
+  Status ErrorHere(std::string_view what) const {
+    return Status::ParseError(StrFormat("%s at offset %zu (near '%s')",
+                                        std::string(what).c_str(),
+                                        Peek().position, Peek().text.c_str()));
+  }
+
+  Result<std::string> ExpectIdentifier() {
+    if (Peek().type != TokenType::kIdentifier) {
+      return Status::ParseError(StrFormat("expected identifier at offset %zu",
+                                          Peek().position));
+    }
+    return Advance().text;
+  }
+
+  Result<SelectStatement> ParseSelect() {
+    MCSM_RETURN_IF_ERROR(Expect(TokenType::kKeyword, "select"));
+    SelectStatement select;
+    select.distinct = AcceptKeyword("distinct");
+    // Select list.
+    do {
+      SelectItem item;
+      if (Peek().IsSymbol("*")) {
+        Advance();
+        item.is_star = true;
+      } else {
+        MCSM_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        if (AcceptKeyword("as")) {
+          MCSM_ASSIGN_OR_RETURN(item.alias, ExpectIdentifier());
+        } else if (Peek().type == TokenType::kIdentifier) {
+          // Bare alias.
+          item.alias = Advance().text;
+        }
+      }
+      select.items.push_back(std::move(item));
+    } while (AcceptSymbol(","));
+
+    if (AcceptKeyword("from")) {
+      MCSM_ASSIGN_OR_RETURN(select.from_table, ExpectIdentifier());
+    }
+    if (AcceptKeyword("where")) {
+      MCSM_ASSIGN_OR_RETURN(select.where, ParseExpr());
+    }
+    if (AcceptKeyword("group")) {
+      MCSM_RETURN_IF_ERROR(Expect(TokenType::kKeyword, "by"));
+      do {
+        MCSM_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+        select.group_by.push_back(std::move(e));
+      } while (AcceptSymbol(","));
+    }
+    if (AcceptKeyword("having")) {
+      MCSM_ASSIGN_OR_RETURN(select.having, ParseExpr());
+    }
+    if (AcceptKeyword("order")) {
+      MCSM_RETURN_IF_ERROR(Expect(TokenType::kKeyword, "by"));
+      do {
+        OrderItem item;
+        MCSM_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        if (AcceptKeyword("desc")) {
+          item.ascending = false;
+        } else {
+          AcceptKeyword("asc");
+        }
+        select.order_by.push_back(std::move(item));
+      } while (AcceptSymbol(","));
+    }
+    if (AcceptKeyword("limit")) {
+      if (Peek().type != TokenType::kInteger) {
+        return ErrorHere("expected integer after LIMIT");
+      }
+      select.limit = static_cast<size_t>(Advance().integer);
+    }
+    return select;
+  }
+
+  Result<CreateTableStatement> ParseCreateTable() {
+    MCSM_RETURN_IF_ERROR(Expect(TokenType::kKeyword, "create"));
+    MCSM_RETURN_IF_ERROR(Expect(TokenType::kKeyword, "table"));
+    CreateTableStatement create;
+    MCSM_ASSIGN_OR_RETURN(create.table, ExpectIdentifier());
+    MCSM_RETURN_IF_ERROR(Expect(TokenType::kSymbol, "("));
+    do {
+      relational::ColumnDef def;
+      MCSM_ASSIGN_OR_RETURN(def.name, ExpectIdentifier());
+      if (AcceptKeyword("text")) {
+        def.type = relational::ColumnType::kText;
+      } else if (AcceptKeyword("integer")) {
+        def.type = relational::ColumnType::kInteger;
+      } else if (AcceptKeyword("real")) {
+        def.type = relational::ColumnType::kReal;
+      } else {
+        return ErrorHere("expected column type (TEXT, INTEGER, REAL)");
+      }
+      create.columns.push_back(std::move(def));
+    } while (AcceptSymbol(","));
+    MCSM_RETURN_IF_ERROR(Expect(TokenType::kSymbol, ")"));
+    return create;
+  }
+
+  Result<InsertStatement> ParseInsert() {
+    MCSM_RETURN_IF_ERROR(Expect(TokenType::kKeyword, "insert"));
+    MCSM_RETURN_IF_ERROR(Expect(TokenType::kKeyword, "into"));
+    InsertStatement insert;
+    MCSM_ASSIGN_OR_RETURN(insert.table, ExpectIdentifier());
+    MCSM_RETURN_IF_ERROR(Expect(TokenType::kKeyword, "values"));
+    do {
+      MCSM_RETURN_IF_ERROR(Expect(TokenType::kSymbol, "("));
+      std::vector<ExprPtr> row;
+      do {
+        MCSM_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+        row.push_back(std::move(e));
+      } while (AcceptSymbol(","));
+      MCSM_RETURN_IF_ERROR(Expect(TokenType::kSymbol, ")"));
+      insert.rows.push_back(std::move(row));
+    } while (AcceptSymbol(","));
+    return insert;
+  }
+
+  Result<UpdateStatement> ParseUpdate() {
+    MCSM_RETURN_IF_ERROR(Expect(TokenType::kKeyword, "update"));
+    UpdateStatement update;
+    MCSM_ASSIGN_OR_RETURN(update.table, ExpectIdentifier());
+    MCSM_RETURN_IF_ERROR(Expect(TokenType::kKeyword, "set"));
+    do {
+      std::string column;
+      MCSM_ASSIGN_OR_RETURN(column, ExpectIdentifier());
+      MCSM_RETURN_IF_ERROR(Expect(TokenType::kSymbol, "="));
+      MCSM_ASSIGN_OR_RETURN(ExprPtr value, ParseExpr());
+      update.assignments.emplace_back(std::move(column), std::move(value));
+    } while (AcceptSymbol(","));
+    if (AcceptKeyword("where")) {
+      MCSM_ASSIGN_OR_RETURN(update.where, ParseExpr());
+    }
+    return update;
+  }
+
+  Result<DeleteStatement> ParseDelete() {
+    MCSM_RETURN_IF_ERROR(Expect(TokenType::kKeyword, "delete"));
+    MCSM_RETURN_IF_ERROR(Expect(TokenType::kKeyword, "from"));
+    DeleteStatement del;
+    MCSM_ASSIGN_OR_RETURN(del.table, ExpectIdentifier());
+    if (AcceptKeyword("where")) {
+      MCSM_ASSIGN_OR_RETURN(del.where, ParseExpr());
+    }
+    return del;
+  }
+
+  // Expression grammar, lowest precedence first.
+  Result<ExprPtr> ParseExpr() { return ParseOr(); }
+
+  Result<ExprPtr> ParseOr() {
+    MCSM_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd());
+    while (AcceptKeyword("or")) {
+      MCSM_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAnd());
+      lhs = Expr::Binary("or", std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    MCSM_ASSIGN_OR_RETURN(ExprPtr lhs, ParseNot());
+    while (AcceptKeyword("and")) {
+      MCSM_ASSIGN_OR_RETURN(ExprPtr rhs, ParseNot());
+      lhs = Expr::Binary("and", std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseNot() {
+    if (AcceptKeyword("not")) {
+      MCSM_ASSIGN_OR_RETURN(ExprPtr operand, ParseNot());
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kUnary;
+      e->op = "not";
+      e->args.push_back(std::move(operand));
+      return ExprPtr(std::move(e));
+    }
+    return ParseComparison();
+  }
+
+  Result<ExprPtr> ParseComparison() {
+    MCSM_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAdditive());
+    // IS [NOT] NULL
+    if (AcceptKeyword("is")) {
+      bool negated = AcceptKeyword("not");
+      MCSM_RETURN_IF_ERROR(Expect(TokenType::kKeyword, "null"));
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kIsNull;
+      e->negated = negated;
+      e->args.push_back(std::move(lhs));
+      return ExprPtr(std::move(e));
+    }
+    // [NOT] LIKE
+    bool negated = false;
+    if (Peek().IsKeyword("not") && Peek(1).IsKeyword("like")) {
+      Advance();
+      negated = true;
+    }
+    if (AcceptKeyword("like")) {
+      MCSM_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdditive());
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kLike;
+      e->negated = negated;
+      e->args.push_back(std::move(lhs));
+      e->args.push_back(std::move(rhs));
+      return ExprPtr(std::move(e));
+    }
+    if (negated) return ErrorHere("expected LIKE after NOT");
+    for (const char* op : {"=", "<>", "<=", ">=", "<", ">"}) {
+      if (AcceptSymbol(op)) {
+        MCSM_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdditive());
+        return ExprPtr(Expr::Binary(op, std::move(lhs), std::move(rhs)));
+      }
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAdditive() {
+    MCSM_ASSIGN_OR_RETURN(ExprPtr lhs, ParseMultiplicative());
+    while (true) {
+      const char* op = nullptr;
+      if (Peek().IsSymbol("+")) {
+        op = "+";
+      } else if (Peek().IsSymbol("-")) {
+        op = "-";
+      } else if (Peek().IsSymbol("||")) {
+        op = "||";
+      } else {
+        break;
+      }
+      Advance();
+      MCSM_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMultiplicative());
+      lhs = Expr::Binary(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseMultiplicative() {
+    MCSM_ASSIGN_OR_RETURN(ExprPtr lhs, ParseUnary());
+    while (true) {
+      const char* op = nullptr;
+      if (Peek().IsSymbol("*")) {
+        op = "*";
+      } else if (Peek().IsSymbol("/")) {
+        op = "/";
+      } else {
+        break;
+      }
+      Advance();
+      MCSM_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary());
+      lhs = Expr::Binary(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseUnary() {
+    if (AcceptSymbol("-")) {
+      MCSM_ASSIGN_OR_RETURN(ExprPtr operand, ParseUnary());
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kUnary;
+      e->op = "-";
+      e->args.push_back(std::move(operand));
+      return ExprPtr(std::move(e));
+    }
+    return ParsePrimary();
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    const Token& tok = Peek();
+    if (tok.type == TokenType::kInteger) {
+      Advance();
+      return ExprPtr(Expr::Literal(relational::Value(tok.integer)));
+    }
+    if (tok.type == TokenType::kReal) {
+      Advance();
+      return ExprPtr(Expr::Literal(relational::Value(tok.real)));
+    }
+    if (tok.type == TokenType::kString) {
+      Advance();
+      return ExprPtr(Expr::Literal(relational::Value(tok.text)));
+    }
+    if (tok.IsKeyword("null")) {
+      Advance();
+      return ExprPtr(Expr::Literal(relational::Value::MakeNull()));
+    }
+    if (tok.IsSymbol("(")) {
+      Advance();
+      MCSM_ASSIGN_OR_RETURN(ExprPtr inner, ParseExpr());
+      MCSM_RETURN_IF_ERROR(Expect(TokenType::kSymbol, ")"));
+      return inner;
+    }
+    if (tok.IsKeyword("substring")) {
+      Advance();
+      return ParseSubstringCall();
+    }
+    if (tok.IsKeyword("position")) {
+      Advance();
+      MCSM_RETURN_IF_ERROR(Expect(TokenType::kSymbol, "("));
+      MCSM_ASSIGN_OR_RETURN(ExprPtr needle, ParseExpr());
+      MCSM_RETURN_IF_ERROR(Expect(TokenType::kKeyword, "in"));
+      MCSM_ASSIGN_OR_RETURN(ExprPtr haystack, ParseExpr());
+      MCSM_RETURN_IF_ERROR(Expect(TokenType::kSymbol, ")"));
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kPosition;
+      e->args.push_back(std::move(needle));
+      e->args.push_back(std::move(haystack));
+      return ExprPtr(std::move(e));
+    }
+    // Aggregates.
+    for (const char* agg : {"count", "sum", "avg", "min", "max"}) {
+      if (tok.IsKeyword(agg)) {
+        Advance();
+        MCSM_RETURN_IF_ERROR(Expect(TokenType::kSymbol, "("));
+        auto e = std::make_unique<Expr>();
+        e->kind = ExprKind::kAggregate;
+        e->name = agg;
+        if (AcceptSymbol("*")) {
+          if (e->name != "count") return ErrorHere("'*' only valid in count(*)");
+        } else {
+          e->distinct = AcceptKeyword("distinct");
+          MCSM_ASSIGN_OR_RETURN(ExprPtr arg, ParseExpr());
+          e->args.push_back(std::move(arg));
+        }
+        MCSM_RETURN_IF_ERROR(Expect(TokenType::kSymbol, ")"));
+        return ExprPtr(std::move(e));
+      }
+    }
+    // Scalar functions spelled as keywords.
+    for (const char* fn : {"char_length", "length", "lower", "upper"}) {
+      if (tok.IsKeyword(fn)) {
+        Advance();
+        MCSM_RETURN_IF_ERROR(Expect(TokenType::kSymbol, "("));
+        auto e = std::make_unique<Expr>();
+        e->kind = ExprKind::kFunction;
+        e->name = tok.text;
+        MCSM_ASSIGN_OR_RETURN(ExprPtr arg, ParseExpr());
+        e->args.push_back(std::move(arg));
+        MCSM_RETURN_IF_ERROR(Expect(TokenType::kSymbol, ")"));
+        return ExprPtr(std::move(e));
+      }
+    }
+    if (tok.type == TokenType::kIdentifier) {
+      Advance();
+      // Function call or column ref.
+      if (Peek().IsSymbol("(")) {
+        Advance();
+        auto e = std::make_unique<Expr>();
+        e->kind = ExprKind::kFunction;
+        e->name = tok.text;
+        if (!Peek().IsSymbol(")")) {
+          do {
+            MCSM_ASSIGN_OR_RETURN(ExprPtr arg, ParseExpr());
+            e->args.push_back(std::move(arg));
+          } while (AcceptSymbol(","));
+        }
+        MCSM_RETURN_IF_ERROR(Expect(TokenType::kSymbol, ")"));
+        return ExprPtr(std::move(e));
+      }
+      return ExprPtr(Expr::Column(tok.text));
+    }
+    return ErrorHere("expected expression");
+  }
+
+  Result<ExprPtr> ParseSubstringCall() {
+    MCSM_RETURN_IF_ERROR(Expect(TokenType::kSymbol, "("));
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::kSubstring;
+    MCSM_ASSIGN_OR_RETURN(ExprPtr subject, ParseExpr());
+    e->args.push_back(std::move(subject));
+    if (AcceptKeyword("from")) {
+      MCSM_ASSIGN_OR_RETURN(ExprPtr from, ParseExpr());
+      e->args.push_back(std::move(from));
+      if (AcceptKeyword("for")) {
+        MCSM_ASSIGN_OR_RETURN(ExprPtr count, ParseExpr());
+        e->args.push_back(std::move(count));
+      }
+    } else if (AcceptSymbol(",")) {
+      MCSM_ASSIGN_OR_RETURN(ExprPtr from, ParseExpr());
+      e->args.push_back(std::move(from));
+      if (AcceptSymbol(",")) {
+        MCSM_ASSIGN_OR_RETURN(ExprPtr count, ParseExpr());
+        e->args.push_back(std::move(count));
+      }
+    } else {
+      return ErrorHere("expected FROM or ',' in substring()");
+    }
+    MCSM_RETURN_IF_ERROR(Expect(TokenType::kSymbol, ")"));
+    return ExprPtr(std::move(e));
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Statement> Parse(std::string_view sql) {
+  MCSM_ASSIGN_OR_RETURN(auto tokens, Tokenize(sql));
+  Parser parser(std::move(tokens));
+  return parser.ParseStatement();
+}
+
+Result<ExprPtr> ParseExpression(std::string_view expr) {
+  MCSM_ASSIGN_OR_RETURN(auto tokens, Tokenize(expr));
+  Parser parser(std::move(tokens));
+  return parser.ParseStandaloneExpression();
+}
+
+}  // namespace mcsm::sql

@@ -1,0 +1,25 @@
+#ifndef MCSM_SQL_PARSER_H_
+#define MCSM_SQL_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "sql/ast.h"
+#include "sql/lexer.h"
+
+namespace mcsm::sql {
+
+/// Parses a single SQL statement (optionally ';'-terminated). Supported:
+///   SELECT items FROM t [WHERE e] [ORDER BY e [ASC|DESC], ...] [LIMIT n]
+///   SELECT items                       -- table-less expression evaluation
+///   CREATE TABLE t (col TYPE, ...)
+///   INSERT INTO t VALUES (...), (...)
+Result<Statement> Parse(std::string_view sql);
+
+/// Parses a standalone expression (used by tests and by programmatic query
+/// construction).
+Result<ExprPtr> ParseExpression(std::string_view expr);
+
+}  // namespace mcsm::sql
+
+#endif  // MCSM_SQL_PARSER_H_

@@ -1,0 +1,95 @@
+#include "text/alignment.h"
+
+#include <algorithm>
+
+namespace mcsm::text {
+
+std::vector<MatchedRun> RunsFromScript(const std::vector<EditStep>& script) {
+  std::vector<MatchedRun> runs;
+  for (const auto& step : script) {
+    if (step.op != EditOp::kMatch) continue;
+    if (!runs.empty()) {
+      MatchedRun& last = runs.back();
+      if (last.source_start + last.length == step.source_pos &&
+          last.target_start + last.length == step.target_pos) {
+        ++last.length;
+        continue;
+      }
+    }
+    runs.push_back({step.source_pos, step.target_pos, 1});
+  }
+  return runs;
+}
+
+RecipeAlignment AlignLcsAnchored(std::string_view source, std::string_view target,
+                                 const std::vector<bool>* target_allowed,
+                                 const EditCosts& costs, LcsTieBreak tie) {
+  RecipeAlignment result;
+  if (source.empty() || target.empty()) return result;
+
+  CommonSubstring anchor =
+      target_allowed == nullptr
+          ? LongestCommonSubstring(source, target, tie)
+          : MaskedLongestCommonSubstring(source, target, *target_allowed, tie);
+  if (anchor.length == 0) return result;
+
+  // Prefix: everything before the anchor in both strings.
+  std::string_view src_prefix = source.substr(0, anchor.source_start);
+  std::string_view tgt_prefix = target.substr(0, anchor.target_start);
+  std::vector<EditStep> prefix_script;
+  if (!src_prefix.empty() && !tgt_prefix.empty()) {
+    if (target_allowed != nullptr) {
+      std::vector<bool> mask(target_allowed->begin(),
+                             target_allowed->begin() +
+                                 static_cast<ptrdiff_t>(anchor.target_start));
+      prefix_script = MaskedEditScript(src_prefix, tgt_prefix, mask, costs);
+    } else {
+      prefix_script = EditScript(src_prefix, tgt_prefix, costs);
+    }
+  }
+  for (const auto& run : RunsFromScript(prefix_script)) result.runs.push_back(run);
+
+  // The anchor itself.
+  result.runs.push_back({anchor.source_start, anchor.target_start, anchor.length});
+
+  // Suffix: everything after the anchor.
+  size_t src_after = anchor.source_start + anchor.length;
+  size_t tgt_after = anchor.target_start + anchor.length;
+  std::string_view src_suffix = source.substr(src_after);
+  std::string_view tgt_suffix = target.substr(tgt_after);
+  std::vector<EditStep> suffix_script;
+  if (!src_suffix.empty() && !tgt_suffix.empty()) {
+    if (target_allowed != nullptr) {
+      std::vector<bool> mask(target_allowed->begin() +
+                                 static_cast<ptrdiff_t>(tgt_after),
+                             target_allowed->end());
+      suffix_script = MaskedEditScript(src_suffix, tgt_suffix, mask, costs);
+    } else {
+      suffix_script = EditScript(src_suffix, tgt_suffix, costs);
+    }
+  }
+  for (auto run : RunsFromScript(suffix_script)) {
+    run.source_start += src_after;
+    run.target_start += tgt_after;
+    result.runs.push_back(run);
+  }
+
+  // Merge runs that became adjacent across the anchor boundary (e.g. the
+  // anchor ends where a suffix match begins with consecutive indices).
+  std::vector<MatchedRun> merged;
+  for (const auto& run : result.runs) {
+    if (!merged.empty()) {
+      MatchedRun& last = merged.back();
+      if (last.source_start + last.length == run.source_start &&
+          last.target_start + last.length == run.target_start) {
+        last.length += run.length;
+        continue;
+      }
+    }
+    merged.push_back(run);
+  }
+  result.runs = std::move(merged);
+  return result;
+}
+
+}  // namespace mcsm::text

@@ -1,0 +1,60 @@
+#ifndef MCSM_TEXT_ALIGNMENT_H_
+#define MCSM_TEXT_ALIGNMENT_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "text/edit_distance.h"
+#include "text/lcs.h"
+
+namespace mcsm::text {
+
+/// A maximal run of characters copied verbatim from the source string into
+/// the target string: source[source_start, source_start+length) appears at
+/// target[target_start, target_start+length), with both index ranges
+/// consecutive. All indices 0-based.
+struct MatchedRun {
+  size_t source_start;
+  size_t target_start;
+  size_t length;
+
+  bool operator==(const MatchedRun&) const = default;
+};
+
+/// \brief The result of aligning a source key against a target instance
+/// (the paper's "recipe" ingredient, Sections 3.3.2 and 3.4.2).
+///
+/// The alignment is anchored on the leftmost longest common substring; the
+/// regions before and after the anchor are completed with a minimum-cost edit
+/// script (unit costs), whose Match steps contribute further runs. With a
+/// target mask, masked positions can neither anchor nor match (Table 6).
+struct RecipeAlignment {
+  /// Matched runs in target order (strictly increasing target_start, and by
+  /// construction strictly increasing source_start).
+  std::vector<MatchedRun> runs;
+
+  /// Total number of matched characters.
+  size_t matched_chars() const {
+    size_t total = 0;
+    for (const auto& r : runs) total += r.length;
+    return total;
+  }
+};
+
+/// Aligns `source` (a value from a candidate source column — the "key")
+/// against `target` (an instance of the aggregate column). If
+/// `target_allowed` is non-null it must have target.size() entries; positions
+/// with false are excluded from matching.
+RecipeAlignment AlignLcsAnchored(std::string_view source, std::string_view target,
+                                 const std::vector<bool>* target_allowed = nullptr,
+                                 const EditCosts& costs = EditCosts{},
+                                 LcsTieBreak tie = LcsTieBreak::kLeftmost);
+
+/// Extracts matched runs from an arbitrary edit script (maximal runs of
+/// kMatch steps with consecutive source and target positions).
+std::vector<MatchedRun> RunsFromScript(const std::vector<EditStep>& script);
+
+}  // namespace mcsm::text
+
+#endif  // MCSM_TEXT_ALIGNMENT_H_

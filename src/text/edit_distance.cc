@@ -1,0 +1,116 @@
+#include "text/edit_distance.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace mcsm::text {
+
+namespace {
+
+constexpr int kInfinity = std::numeric_limits<int>::max() / 4;
+
+// Full DP table for script extraction. dp[i][j] = min cost to transform
+// source[0,i) into target[0,j).
+std::vector<std::vector<int>> BuildTable(std::string_view source,
+                                         std::string_view target,
+                                         const std::vector<bool>* target_allowed,
+                                         const EditCosts& costs) {
+  const size_t n = source.size(), m = target.size();
+  std::vector<std::vector<int>> dp(n + 1, std::vector<int>(m + 1, 0));
+  for (size_t i = 1; i <= n; ++i) dp[i][0] = dp[i - 1][0] + costs.del;
+  for (size_t j = 1; j <= m; ++j) dp[0][j] = dp[0][j - 1] + costs.insert;
+  for (size_t i = 1; i <= n; ++i) {
+    for (size_t j = 1; j <= m; ++j) {
+      const bool allowed = target_allowed == nullptr || (*target_allowed)[j - 1];
+      int best = kInfinity;
+      if (allowed && source[i - 1] == target[j - 1]) {
+        best = dp[i - 1][j - 1];  // match, cost 0
+      } else if (allowed) {
+        best = dp[i - 1][j - 1] + costs.replace;
+      }
+      best = std::min(best, dp[i][j - 1] + costs.insert);
+      best = std::min(best, dp[i - 1][j] + costs.del);
+      dp[i][j] = best;
+    }
+  }
+  return dp;
+}
+
+std::vector<EditStep> Backtrace(std::string_view source, std::string_view target,
+                                const std::vector<std::vector<int>>& dp,
+                                const std::vector<bool>* target_allowed,
+                                const EditCosts& costs) {
+  std::vector<EditStep> script;
+  size_t i = source.size(), j = target.size();
+  while (i > 0 || j > 0) {
+    const bool allowed =
+        j > 0 && (target_allowed == nullptr || (*target_allowed)[j - 1]);
+    // Preference order on ties: match, replace, insert, delete.
+    if (i > 0 && j > 0 && allowed && source[i - 1] == target[j - 1] &&
+        dp[i][j] == dp[i - 1][j - 1]) {
+      script.push_back({EditOp::kMatch, i - 1, j - 1});
+      --i;
+      --j;
+    } else if (i > 0 && j > 0 && allowed &&
+               dp[i][j] == dp[i - 1][j - 1] + costs.replace &&
+               source[i - 1] != target[j - 1]) {
+      script.push_back({EditOp::kReplace, i - 1, j - 1});
+      --i;
+      --j;
+    } else if (j > 0 && dp[i][j] == dp[i][j - 1] + costs.insert) {
+      script.push_back({EditOp::kInsert, i, j - 1});
+      --j;
+    } else {
+      script.push_back({EditOp::kDelete, i - 1, j});
+      --i;
+    }
+  }
+  std::reverse(script.begin(), script.end());
+  return script;
+}
+
+}  // namespace
+
+int LevenshteinDistance(std::string_view source, std::string_view target,
+                        const EditCosts& costs) {
+  // Two-row DP: O(min(|s|,|t|)) space. Note replace/insert/delete costs are
+  // not symmetric in general, so we do not swap the operands.
+  const size_t n = source.size(), m = target.size();
+  std::vector<int> prev(m + 1), cur(m + 1);
+  for (size_t j = 0; j <= m; ++j) prev[j] = static_cast<int>(j) * costs.insert;
+  for (size_t i = 1; i <= n; ++i) {
+    cur[0] = static_cast<int>(i) * costs.del;
+    for (size_t j = 1; j <= m; ++j) {
+      int best = prev[j - 1] +
+                 (source[i - 1] == target[j - 1] ? 0 : costs.replace);
+      best = std::min(best, cur[j - 1] + costs.insert);
+      best = std::min(best, prev[j] + costs.del);
+      cur[j] = best;
+    }
+    std::swap(prev, cur);
+  }
+  return prev[m];
+}
+
+std::vector<EditStep> EditScript(std::string_view source, std::string_view target,
+                                 const EditCosts& costs) {
+  auto dp = BuildTable(source, target, nullptr, costs);
+  return Backtrace(source, target, dp, nullptr, costs);
+}
+
+std::vector<EditStep> MaskedEditScript(std::string_view source,
+                                       std::string_view target,
+                                       const std::vector<bool>& target_allowed,
+                                       const EditCosts& costs) {
+  auto dp = BuildTable(source, target, &target_allowed, costs);
+  return Backtrace(source, target, dp, &target_allowed, costs);
+}
+
+std::string EditScriptToString(const std::vector<EditStep>& script) {
+  std::string out;
+  out.reserve(script.size());
+  for (const auto& step : script) out.push_back(static_cast<char>(step.op));
+  return out;
+}
+
+}  // namespace mcsm::text

@@ -1,0 +1,67 @@
+#ifndef MCSM_TEXT_EDIT_DISTANCE_H_
+#define MCSM_TEXT_EDIT_DISTANCE_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mcsm::text {
+
+/// Edit operations in an alignment script between a source string and a
+/// target string, in the sense of Levenshtein / Monge-Elkan.
+enum class EditOp : char {
+  kMatch = '=',    ///< source char copied to target unchanged
+  kReplace = 'R',  ///< source char replaced by a different target char
+  kInsert = 'I',   ///< target char not present in source
+  kDelete = 'D',   ///< source char absent from target
+};
+
+/// One step of an edit script. Positions are 0-based indices into the source
+/// and target strings; for kInsert `source_pos` is the position *before*
+/// which the insertion happens (and is not consumed), symmetrically for
+/// kDelete and `target_pos`.
+struct EditStep {
+  EditOp op;
+  size_t source_pos;
+  size_t target_pos;
+
+  bool operator==(const EditStep&) const = default;
+};
+
+/// Unit costs for the three mutating operations. The paper found cost values
+/// non-critical and used 1 for all (Section 4, citing Monge & Elkan).
+struct EditCosts {
+  int replace = 1;
+  int insert = 1;
+  int del = 1;
+};
+
+/// Levenshtein distance between `source` and `target` (O(|s|*|t|) time,
+/// O(min) space).
+int LevenshteinDistance(std::string_view source, std::string_view target,
+                        const EditCosts& costs = EditCosts{});
+
+/// Computes a minimum-cost edit script transforming `source` into `target`.
+/// When several minimum-cost scripts exist, matches are preferred, then
+/// replaces, then inserts, then deletes — this keeps matched runs maximal and
+/// deterministic.
+std::vector<EditStep> EditScript(std::string_view source, std::string_view target,
+                                 const EditCosts& costs = EditCosts{});
+
+/// As EditScript, but a match at target position j is only permitted when
+/// `target_allowed[j]` is true (Table 6 in the paper: positions already
+/// covered by the partial translation are masked out). Replaces at masked
+/// positions are likewise disallowed (the masked char must be produced by an
+/// insertion). `target_allowed.size()` must equal `target.size()`.
+std::vector<EditStep> MaskedEditScript(std::string_view source,
+                                       std::string_view target,
+                                       const std::vector<bool>& target_allowed,
+                                       const EditCosts& costs = EditCosts{});
+
+/// Renders the operation matrix row for debugging, e.g. "=RRII".
+std::string EditScriptToString(const std::vector<EditStep>& script);
+
+}  // namespace mcsm::text
+
+#endif  // MCSM_TEXT_EDIT_DISTANCE_H_

@@ -1,0 +1,210 @@
+#include "text/lcs.h"
+
+#include <algorithm>
+#include <array>
+#include <limits>
+
+namespace mcsm::text {
+
+namespace {
+
+// FNV-1a over the two strings; used by the kHashed tie-break.
+uint64_t PairHash(std::string_view a, std::string_view b) {
+  uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](std::string_view s) {
+    for (unsigned char c : s) {
+      h ^= c;
+      h *= 1099511628211ULL;
+    }
+  };
+  mix(a);
+  h ^= 0xFF;
+  h *= 1099511628211ULL;
+  mix(b);
+  return h;
+}
+
+// Shared implementation for the (optionally masked) longest common substring.
+CommonSubstring LcsubImpl(std::string_view source, std::string_view target,
+                          const std::vector<bool>* target_allowed,
+                          LcsTieBreak tie) {
+  const size_t n = source.size(), m = target.size();
+  CommonSubstring best;
+  if (n == 0 || m == 0) return best;
+  // Candidates achieving the current maximum length (capped — diffusing ties
+  // over up to 64 choices is enough, and pathological inputs stay bounded).
+  constexpr size_t kMaxTieCandidates = 64;
+  std::vector<CommonSubstring> ties;
+  // run[j] = length of common suffix of source[0,i) and target[0,j).
+  std::vector<size_t> prev(m + 1, 0), cur(m + 1, 0);
+  for (size_t i = 1; i <= n; ++i) {
+    for (size_t j = 1; j <= m; ++j) {
+      const bool allowed = target_allowed == nullptr || (*target_allowed)[j - 1];
+      if (allowed && source[i - 1] == target[j - 1]) {
+        cur[j] = prev[j - 1] + 1;
+        if (cur[j] > best.length) {
+          best.length = cur[j];
+          best.source_start = i - cur[j];
+          best.target_start = j - cur[j];
+          ties.clear();
+          ties.push_back(best);
+        } else if (cur[j] == best.length && best.length > 0 &&
+                   ties.size() < kMaxTieCandidates) {
+          // Runs extend one char at a time, so a run of the maximum length
+          // is recorded exactly once (when it first reaches that length).
+          ties.push_back({i - cur[j], j - cur[j], cur[j]});
+        }
+      } else {
+        cur[j] = 0;
+      }
+    }
+    std::swap(prev, cur);
+  }
+  if (best.length == 0 || ties.size() <= 1) return best;
+  if (tie == LcsTieBreak::kLeftmost) {
+    // Smallest source start, then smallest target start. The scan above
+    // visits (i, j) in order of increasing END positions, so re-scan.
+    CommonSubstring leftmost = ties[0];
+    for (const auto& c : ties) {
+      if (c.source_start < leftmost.source_start ||
+          (c.source_start == leftmost.source_start &&
+           c.target_start < leftmost.target_start)) {
+        leftmost = c;
+      }
+    }
+    return leftmost;
+  }
+  return ties[PairHash(source, target) % ties.size()];
+}
+
+// Classic LCS length DP row: lengths[j] = LCS(source, target[0,j)).
+std::vector<size_t> LcsLengthRow(std::string_view source, std::string_view target) {
+  const size_t m = target.size();
+  std::vector<size_t> prev(m + 1, 0), cur(m + 1, 0);
+  for (size_t i = 1; i <= source.size(); ++i) {
+    for (size_t j = 1; j <= m; ++j) {
+      if (source[i - 1] == target[j - 1]) {
+        cur[j] = prev[j - 1] + 1;
+      } else {
+        cur[j] = std::max(prev[j], cur[j - 1]);
+      }
+    }
+    std::swap(prev, cur);
+  }
+  return prev;
+}
+
+void HirschbergRec(std::string_view source, std::string_view target,
+                   size_t source_off, size_t target_off,
+                   std::vector<std::pair<size_t, size_t>>* out) {
+  const size_t n = source.size();
+  if (n == 0 || target.empty()) return;
+  if (n == 1) {
+    size_t pos = target.find(source[0]);
+    if (pos != std::string_view::npos) {
+      out->emplace_back(source_off, target_off + pos);
+    }
+    return;
+  }
+  const size_t mid = n / 2;
+  std::string_view top = source.substr(0, mid);
+  std::string_view bottom = source.substr(mid);
+  std::string rev_bottom(bottom.rbegin(), bottom.rend());
+  std::string rev_target(target.rbegin(), target.rend());
+
+  std::vector<size_t> left = LcsLengthRow(top, target);
+  std::vector<size_t> right = LcsLengthRow(rev_bottom, rev_target);
+
+  size_t best_j = 0, best_val = 0;
+  const size_t m = target.size();
+  for (size_t j = 0; j <= m; ++j) {
+    size_t val = left[j] + right[m - j];
+    if (val > best_val) {
+      best_val = val;
+      best_j = j;
+    }
+  }
+  HirschbergRec(top, target.substr(0, best_j), source_off, target_off, out);
+  HirschbergRec(bottom, target.substr(best_j), source_off + mid,
+                target_off + best_j, out);
+}
+
+}  // namespace
+
+CommonSubstring LongestCommonSubstring(std::string_view source,
+                                       std::string_view target,
+                                       LcsTieBreak tie) {
+  return LcsubImpl(source, target, nullptr, tie);
+}
+
+CommonSubstring MaskedLongestCommonSubstring(
+    std::string_view source, std::string_view target,
+    const std::vector<bool>& target_allowed, LcsTieBreak tie) {
+  return LcsubImpl(source, target, &target_allowed, tie);
+}
+
+std::vector<std::pair<size_t, size_t>> HirschbergLcs(std::string_view source,
+                                                     std::string_view target) {
+  std::vector<std::pair<size_t, size_t>> out;
+  HirschbergRec(source, target, 0, 0, &out);
+  return out;
+}
+
+std::vector<std::pair<size_t, size_t>> HuntSzymanskiLcs(std::string_view source,
+                                                        std::string_view target) {
+  const size_t n = source.size(), m = target.size();
+  std::vector<std::pair<size_t, size_t>> out;
+  if (n == 0 || m == 0) return out;
+
+  // matchlist[c] = positions of character c in target, descending.
+  std::array<std::vector<size_t>, 256> matchlist;
+  for (size_t j = m; j > 0; --j) {
+    matchlist[static_cast<unsigned char>(target[j - 1])].push_back(j - 1);
+  }
+
+  // thresh[k] = smallest target index ending a common subsequence of length k
+  // with the source prefix processed so far. link records predecessors for
+  // reconstruction.
+  struct Node {
+    size_t i, j;
+    int prev;  // index into nodes, -1 for none
+  };
+  std::vector<size_t> thresh;            // strictly increasing target indices
+  std::vector<int> thresh_node;          // node index achieving thresh[k]
+  std::vector<Node> nodes;
+
+  for (size_t i = 0; i < n; ++i) {
+    const auto& positions = matchlist[static_cast<unsigned char>(source[i])];
+    // Descending j guarantees each j is considered against the state from the
+    // previous source positions only.
+    for (size_t j : positions) {
+      // Find k = first index with thresh[k] >= j.
+      auto it = std::lower_bound(thresh.begin(), thresh.end(), j);
+      size_t k = static_cast<size_t>(it - thresh.begin());
+      if (it == thresh.end()) {
+        thresh.push_back(j);
+        thresh_node.push_back(-1);
+      } else {
+        *it = j;
+      }
+      int prev = (k == 0) ? -1 : thresh_node[k - 1];
+      nodes.push_back({i, j, prev});
+      thresh_node[k] = static_cast<int>(nodes.size()) - 1;
+    }
+  }
+
+  if (thresh.empty()) return out;
+  int cur = thresh_node.back();
+  while (cur != -1) {
+    out.emplace_back(nodes[cur].i, nodes[cur].j);
+    cur = nodes[cur].prev;
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+size_t LcsLength(std::string_view source, std::string_view target) {
+  return LcsLengthRow(source, target).back();
+}
+
+}  // namespace mcsm::text

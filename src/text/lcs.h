@@ -1,0 +1,68 @@
+#ifndef MCSM_TEXT_LCS_H_
+#define MCSM_TEXT_LCS_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mcsm::text {
+
+/// Result of a longest-common-substring search: a run of `length` characters
+/// equal between the two strings, starting at `source_start` / `target_start`
+/// (0-based). length == 0 means no common character.
+struct CommonSubstring {
+  size_t source_start = 0;
+  size_t target_start = 0;
+  size_t length = 0;
+
+  bool operator==(const CommonSubstring&) const = default;
+};
+
+/// Tie-breaking policy when several common substrings share the maximum
+/// length. The paper "arbitrarily select[s] the leftmost" (Section 3.3.2).
+enum class LcsTieBreak {
+  /// Smallest source start, then smallest target start (paper's examples,
+  /// Tables 5 and 6).
+  kLeftmost,
+  /// Deterministic pseudo-random choice keyed on the string pair. Used by
+  /// the search: serendipitous one/two-character matches between unrelated
+  /// strings then spread across positions instead of piling onto the
+  /// leftmost one and outvoting genuine translations (see DESIGN.md).
+  kHashed,
+};
+
+/// Finds the longest common *substring* (contiguous) of `source` and
+/// `target`. O(|s|*|t|) time, O(|t|) space.
+CommonSubstring LongestCommonSubstring(std::string_view source,
+                                       std::string_view target,
+                                       LcsTieBreak tie = LcsTieBreak::kLeftmost);
+
+/// Masked variant: target positions j with target_allowed[j] == false cannot
+/// participate in the common substring (Table 6: regions already covered by
+/// the partial translation are excluded). `target_allowed.size()` must equal
+/// `target.size()`.
+CommonSubstring MaskedLongestCommonSubstring(
+    std::string_view source, std::string_view target,
+    const std::vector<bool>& target_allowed,
+    LcsTieBreak tie = LcsTieBreak::kLeftmost);
+
+/// Longest common *subsequence* via Hirschberg's linear-space algorithm
+/// (Hirschberg 1975, cited by the paper). Returns the pairs of (source,
+/// target) indices of the subsequence, in order.
+std::vector<std::pair<size_t, size_t>> HirschbergLcs(std::string_view source,
+                                                     std::string_view target);
+
+/// Longest common subsequence via Hunt & Szymanski (1977), O((n+R) log n)
+/// where R is the number of matching position pairs. Returns index pairs as
+/// HirschbergLcs. Efficient when the strings share few characters.
+std::vector<std::pair<size_t, size_t>> HuntSzymanskiLcs(std::string_view source,
+                                                        std::string_view target);
+
+/// Length-only LCS (classic DP, O(min) space) — used by tests to
+/// cross-validate the two subsequence algorithms.
+size_t LcsLength(std::string_view source, std::string_view target);
+
+}  // namespace mcsm::text
+
+#endif  // MCSM_TEXT_LCS_H_

@@ -1,0 +1,85 @@
+#include "text/qgram.h"
+
+#include <algorithm>
+
+namespace mcsm::text {
+
+std::vector<std::string> QGrams(std::string_view s, size_t q) {
+  std::vector<std::string> out;
+  if (q == 0 || s.size() < q) return out;
+  out.reserve(s.size() - q + 1);
+  for (size_t i = 0; i + q <= s.size(); ++i) {
+    out.emplace_back(s.substr(i, q));
+  }
+  return out;
+}
+
+std::unordered_map<std::string, int> QGramProfile(std::string_view s, size_t q) {
+  std::unordered_map<std::string, int> profile;
+  if (q == 0 || s.size() < q) return profile;
+  for (size_t i = 0; i + q <= s.size(); ++i) {
+    profile[std::string(s.substr(i, q))]++;
+  }
+  return profile;
+}
+
+size_t QGramCount(size_t len, size_t q) {
+  if (q == 0 || len < q) return 0;
+  return len - q + 1;
+}
+
+std::vector<std::string> QGramsExcluding(std::string_view s, size_t q,
+                                         std::string_view excluded) {
+  std::vector<std::string> out;
+  if (q == 0 || s.size() < q) return out;
+  for (size_t i = 0; i + q <= s.size(); ++i) {
+    std::string_view gram = s.substr(i, q);
+    bool clean = true;
+    for (char c : gram) {
+      if (excluded.find(c) != std::string_view::npos) {
+        clean = false;
+        break;
+      }
+    }
+    if (clean) out.emplace_back(gram);
+  }
+  return out;
+}
+
+int SharedQGramsMasked(std::string_view a, std::string_view b,
+                       const std::vector<bool>& b_allowed, size_t q) {
+  if (q == 0 || a.size() < q || b.size() < q) return 0;
+  auto pa = QGramProfile(a, q);
+  std::unordered_map<std::string, int> pb;
+  for (size_t i = 0; i + q <= b.size(); ++i) {
+    bool free = true;
+    for (size_t j = i; j < i + q; ++j) {
+      if (!b_allowed[j]) {
+        free = false;
+        break;
+      }
+    }
+    if (free) pb[std::string(b.substr(i, q))]++;
+  }
+  int shared = 0;
+  for (const auto& [gram, count] : pb) {
+    auto it = pa.find(gram);
+    if (it != pa.end()) shared += std::min(count, it->second);
+  }
+  return shared;
+}
+
+int SharedQGrams(std::string_view a, std::string_view b, size_t q) {
+  auto pa = QGramProfile(a, q);
+  auto pb = QGramProfile(b, q);
+  // Iterate over the smaller profile.
+  if (pb.size() < pa.size()) std::swap(pa, pb);
+  int shared = 0;
+  for (const auto& [gram, count] : pa) {
+    auto it = pb.find(gram);
+    if (it != pb.end()) shared += std::min(count, it->second);
+  }
+  return shared;
+}
+
+}  // namespace mcsm::text

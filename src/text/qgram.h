@@ -1,0 +1,46 @@
+#ifndef MCSM_TEXT_QGRAM_H_
+#define MCSM_TEXT_QGRAM_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace mcsm::text {
+
+/// \brief q-gram utilities (Ukkonen, "Approximate string-matching with
+/// q-grams and maximal matches").
+///
+/// A string of length n has n-q+1 q-grams; strings shorter than q have none.
+/// The paper uses bi-grams (q=2) throughout but the library is generic in q.
+
+/// Returns the list of q-grams of `s`, in order, with multiplicity.
+std::vector<std::string> QGrams(std::string_view s, size_t q);
+
+/// Returns the q-gram profile of `s`: q-gram -> occurrence count.
+std::unordered_map<std::string, int> QGramProfile(std::string_view s, size_t q);
+
+/// Returns the number of q-grams in a string of length `len` (0 if len < q).
+size_t QGramCount(size_t len, size_t q);
+
+/// Returns q-grams of `s` that contain no character from `excluded`.
+/// Used when a separator template is active: search keys must not contain
+/// separator characters (Section 6.1).
+std::vector<std::string> QGramsExcluding(std::string_view s, size_t q,
+                                         std::string_view excluded);
+
+/// Returns the number of q-grams shared between `a` and `b`, counting
+/// multiplicity (the min of the two profiles, summed).
+int SharedQGrams(std::string_view a, std::string_view b, size_t q);
+
+/// As SharedQGrams, but only q-grams of `b` lying entirely within positions
+/// where `b_allowed` is true are considered (`b_allowed.size() == b.size()`).
+/// Used by the refinement filter: the key must share material with the
+/// *unexplained* portion of the target instance.
+int SharedQGramsMasked(std::string_view a, std::string_view b,
+                       const std::vector<bool>& b_allowed, size_t q);
+
+}  // namespace mcsm::text
+
+#endif  // MCSM_TEXT_QGRAM_H_

@@ -1,0 +1,94 @@
+#include "text/similarity.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/string_util.h"
+#include "text/edit_distance.h"
+#include "text/qgram.h"
+
+namespace mcsm::text {
+
+double NormalizedEditSimilarity(std::string_view a, std::string_view b) {
+  size_t longest = std::max(a.size(), b.size());
+  if (longest == 0) return 1.0;
+  int distance = LevenshteinDistance(a, b);
+  return 1.0 - static_cast<double>(distance) / static_cast<double>(longest);
+}
+
+std::vector<std::string> Tokenize(std::string_view s) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (char c : s) {
+    if (IsAlnumAscii(c)) {
+      current.push_back(c);
+    } else if (!current.empty()) {
+      tokens.push_back(std::move(current));
+      current.clear();
+    }
+  }
+  if (!current.empty()) tokens.push_back(std::move(current));
+  return tokens;
+}
+
+double MongeElkanSimilarity(std::string_view a, std::string_view b) {
+  auto tokens_a = Tokenize(a);
+  auto tokens_b = Tokenize(b);
+  if (tokens_a.empty()) return tokens_b.empty() ? 1.0 : 0.0;
+  if (tokens_b.empty()) return 0.0;
+  double total = 0.0;
+  for (const auto& ta : tokens_a) {
+    double best = 0.0;
+    for (const auto& tb : tokens_b) {
+      best = std::max(best, NormalizedEditSimilarity(ta, tb));
+    }
+    total += best;
+  }
+  return total / static_cast<double>(tokens_a.size());
+}
+
+double MongeElkanSymmetric(std::string_view a, std::string_view b) {
+  return (MongeElkanSimilarity(a, b) + MongeElkanSimilarity(b, a)) / 2.0;
+}
+
+namespace {
+
+std::unordered_set<std::string> GramSet(std::string_view s, size_t q) {
+  std::unordered_set<std::string> set;
+  if (q == 0 || s.size() < q) return set;
+  for (size_t i = 0; i + q <= s.size(); ++i) set.insert(std::string(s.substr(i, q)));
+  return set;
+}
+
+size_t Intersection(const std::unordered_set<std::string>& a,
+                    const std::unordered_set<std::string>& b) {
+  const auto& small = a.size() <= b.size() ? a : b;
+  const auto& large = a.size() <= b.size() ? b : a;
+  size_t shared = 0;
+  for (const auto& g : small) {
+    if (large.count(g) != 0) ++shared;
+  }
+  return shared;
+}
+
+}  // namespace
+
+double JaccardQGramSimilarity(std::string_view a, std::string_view b, size_t q) {
+  auto sa = GramSet(a, q);
+  auto sb = GramSet(b, q);
+  if (sa.empty() && sb.empty()) return 1.0;
+  size_t shared = Intersection(sa, sb);
+  return static_cast<double>(shared) /
+         static_cast<double>(sa.size() + sb.size() - shared);
+}
+
+double OverlapQGramCoefficient(std::string_view a, std::string_view b, size_t q) {
+  auto sa = GramSet(a, q);
+  auto sb = GramSet(b, q);
+  if (sa.empty() || sb.empty()) return sa.empty() && sb.empty() ? 1.0 : 0.0;
+  size_t shared = Intersection(sa, sb);
+  return static_cast<double>(shared) /
+         static_cast<double>(std::min(sa.size(), sb.size()));
+}
+
+}  // namespace mcsm::text

@@ -1,0 +1,35 @@
+#ifndef MCSM_TEXT_SIMILARITY_H_
+#define MCSM_TEXT_SIMILARITY_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mcsm::text {
+
+/// \brief Normalized string similarities used for record-linkage style
+/// comparisons (Monge & Elkan 1997, the paper's citation [14], and the
+/// q-gram measures of the Gravano/Koudas line of work).
+
+/// 1 - LevenshteinDistance / max(|a|, |b|); 1.0 for two empty strings.
+double NormalizedEditSimilarity(std::string_view a, std::string_view b);
+
+/// Splits on non-alphanumeric characters, dropping empty tokens.
+std::vector<std::string> Tokenize(std::string_view s);
+
+/// Monge-Elkan similarity: mean over a's tokens of the best
+/// NormalizedEditSimilarity against any of b's tokens. Asymmetric by
+/// definition; MongeElkanSymmetric averages both directions.
+double MongeElkanSimilarity(std::string_view a, std::string_view b);
+double MongeElkanSymmetric(std::string_view a, std::string_view b);
+
+/// Jaccard similarity of the two q-gram sets (distinct grams).
+double JaccardQGramSimilarity(std::string_view a, std::string_view b, size_t q);
+
+/// Overlap coefficient of the two q-gram sets: |A ∩ B| / min(|A|, |B|).
+double OverlapQGramCoefficient(std::string_view a, std::string_view b, size_t q);
+
+}  // namespace mcsm::text
+
+#endif  // MCSM_TEXT_SIMILARITY_H_

@@ -1,0 +1,76 @@
+#include "text/tfidf.h"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "text/qgram.h"
+
+namespace mcsm::text {
+
+TfIdfModel::TfIdfModel(const std::vector<std::string>& corpus, size_t q)
+    : q_(q), corpus_size_(corpus.size()) {
+  for (const auto& s : corpus) {
+    std::unordered_set<std::string> seen;
+    for (size_t i = 0; q > 0 && i + q <= s.size(); ++i) {
+      seen.insert(s.substr(i, q));
+    }
+    for (const auto& gram : seen) document_frequency_[gram]++;
+  }
+}
+
+TfIdfModel::TfIdfModel(std::unordered_map<std::string, int> document_frequency,
+                       size_t corpus_size, size_t q)
+    : q_(q),
+      corpus_size_(corpus_size),
+      document_frequency_(std::move(document_frequency)) {}
+
+int TfIdfModel::DocumentFrequency(std::string_view gram) const {
+  auto it = document_frequency_.find(std::string(gram));
+  return it == document_frequency_.end() ? 0 : it->second;
+}
+
+double TfIdfModel::Idf(std::string_view gram) const {
+  int n = DocumentFrequency(gram);
+  if (n <= 0 || corpus_size_ == 0) return 0.0;
+  return std::log2(static_cast<double>(corpus_size_) / static_cast<double>(n));
+}
+
+std::unordered_map<std::string, double> TfIdfModel::WeightVector(
+    std::string_view s) const {
+  std::unordered_map<std::string, double> weights;
+  auto profile = QGramProfile(s, q_);
+  for (const auto& [gram, tf] : profile) {
+    double idf = Idf(gram);
+    if (idf > 0.0) weights[gram] = static_cast<double>(tf) * idf;
+  }
+  return weights;
+}
+
+double TfIdfModel::ScorePair(std::string_view a, std::string_view b) const {
+  auto wa = WeightVector(a);
+  auto wb = WeightVector(b);
+  if (wb.size() < wa.size()) std::swap(wa, wb);
+  double score = 0.0;
+  for (const auto& [gram, w] : wa) {
+    auto it = wb.find(gram);
+    if (it != wb.end()) score += w * it->second;
+  }
+  return score;
+}
+
+double TfIdfModel::CosinePair(std::string_view a, std::string_view b) const {
+  auto wa = WeightVector(a);
+  auto wb = WeightVector(b);
+  double dot = 0.0;
+  for (const auto& [gram, w] : wa) {
+    auto it = wb.find(gram);
+    if (it != wb.end()) dot += w * it->second;
+  }
+  double na = 0.0, nb = 0.0;
+  for (const auto& [gram, w] : wa) na += w * w;
+  for (const auto& [gram, w] : wb) nb += w * w;
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+}  // namespace mcsm::text

@@ -1,0 +1,117 @@
+#include "text/alignment.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace mcsm::text {
+namespace {
+
+TEST(AlignmentTest, ExactSuffixMatch) {
+  // "warner" -> "rhwarner": single run covering the whole key (Table 5's
+  // %B3[123456] / %B3[1-n]).
+  auto alignment = AlignLcsAnchored("warner", "rhwarner");
+  ASSERT_EQ(alignment.runs.size(), 1u);
+  EXPECT_EQ(alignment.runs[0], (MatchedRun{0, 2, 6}));
+}
+
+TEST(AlignmentTest, KlwarderProducesTwoRuns) {
+  // "warner" -> "klwarder": anchor "war", edit suffix matches "er"
+  // (Table 5's %B3[123]%B3[56]).
+  auto alignment = AlignLcsAnchored("warner", "klwarder");
+  ASSERT_EQ(alignment.runs.size(), 2u);
+  EXPECT_EQ(alignment.runs[0], (MatchedRun{0, 2, 3}));  // "war"
+  EXPECT_EQ(alignment.runs[1], (MatchedRun{4, 6, 2}));  // "er"
+}
+
+TEST(AlignmentTest, GhkarerCase) {
+  // "warner" -> "ghkarer": anchor "ar", suffix matches "er"
+  // (Table 5's %B3[23]B3[56]).
+  auto alignment = AlignLcsAnchored("warner", "ghkarer");
+  ASSERT_EQ(alignment.runs.size(), 2u);
+  EXPECT_EQ(alignment.runs[0], (MatchedRun{1, 3, 2}));  // "ar"
+  EXPECT_EQ(alignment.runs[1], (MatchedRun{4, 5, 2}));  // "er"
+}
+
+TEST(AlignmentTest, MaskedTable6Case) {
+  // Table 6: "henry" against "rhwarner" with "warner" masked out; the
+  // leftmost 1-char anchor is 'h' at target position 1.
+  std::string target = "rhwarner";
+  std::vector<bool> allowed = {true, true, false, false,
+                               false, false, false, false};
+  auto alignment = AlignLcsAnchored("henry", target, &allowed);
+  ASSERT_EQ(alignment.runs.size(), 1u);
+  EXPECT_EQ(alignment.runs[0], (MatchedRun{0, 1, 1}));  // 'h' -> position 1
+}
+
+TEST(AlignmentTest, NoCommonCharactersYieldsNoRuns) {
+  auto alignment = AlignLcsAnchored("abc", "xyz");
+  EXPECT_TRUE(alignment.runs.empty());
+  EXPECT_EQ(alignment.matched_chars(), 0u);
+}
+
+TEST(AlignmentTest, EmptyInputs) {
+  EXPECT_TRUE(AlignLcsAnchored("", "abc").runs.empty());
+  EXPECT_TRUE(AlignLcsAnchored("abc", "").runs.empty());
+}
+
+TEST(AlignmentTest, AdjacentRunsMerge) {
+  // If prefix/suffix matches extend the anchor contiguously they merge into
+  // one run.
+  auto alignment = AlignLcsAnchored("abcdef", "abcdef");
+  ASSERT_EQ(alignment.runs.size(), 1u);
+  EXPECT_EQ(alignment.runs[0], (MatchedRun{0, 0, 6}));
+}
+
+TEST(AlignmentTest, RunsFromScriptGroupsConsecutiveMatches) {
+  auto script = EditScript("warner", "klwarder");
+  auto runs = RunsFromScript(script);
+  // Every run must copy equal characters at consecutive positions.
+  for (const auto& run : runs) {
+    EXPECT_EQ(std::string_view("warner").substr(run.source_start, run.length),
+              std::string_view("klwarder").substr(run.target_start, run.length));
+  }
+}
+
+class AlignmentProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(AlignmentProperty, RunsAreValidOrderedAndDisjoint) {
+  Rng rng(GetParam() * 7717);
+  for (int trial = 0; trial < 80; ++trial) {
+    std::string key = rng.RandomString(1 + rng.Uniform(12), "abcd");
+    std::string target = rng.RandomString(1 + rng.Uniform(16), "abcd");
+    std::vector<bool> mask(target.size());
+    for (size_t i = 0; i < mask.size(); ++i) mask[i] = rng.Bernoulli(0.7);
+    auto alignment = AlignLcsAnchored(key, target, &mask);
+    size_t prev_src_end = 0, prev_tgt_end = 0;
+    for (const auto& run : alignment.runs) {
+      ASSERT_GT(run.length, 0u);
+      ASSERT_LE(run.source_start + run.length, key.size());
+      ASSERT_LE(run.target_start + run.length, target.size());
+      // Characters equal and target positions unmasked.
+      for (size_t k = 0; k < run.length; ++k) {
+        EXPECT_EQ(key[run.source_start + k], target[run.target_start + k]);
+        EXPECT_TRUE(mask[run.target_start + k]);
+      }
+      // Strictly ordered and disjoint in both strings.
+      EXPECT_GE(run.source_start, prev_src_end);
+      EXPECT_GE(run.target_start, prev_tgt_end);
+      prev_src_end = run.source_start + run.length;
+      prev_tgt_end = run.target_start + run.length;
+    }
+  }
+}
+
+TEST_P(AlignmentProperty, IdenticalStringsFullyMatch) {
+  Rng rng(GetParam() * 13);
+  for (int trial = 0; trial < 40; ++trial) {
+    std::string s = rng.RandomString(1 + rng.Uniform(20), "abcdef");
+    auto alignment = AlignLcsAnchored(s, s);
+    EXPECT_EQ(alignment.matched_chars(), s.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AlignmentProperty, ::testing::Values(1, 2, 3));
+
+}  // namespace
+}  // namespace mcsm::text

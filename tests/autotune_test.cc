@@ -1,0 +1,65 @@
+#include "core/autotune.h"
+
+#include <gtest/gtest.h>
+
+#include "core/matcher.h"
+
+#include "datagen/datasets.h"
+
+namespace mcsm::core {
+namespace {
+
+TEST(AutoTuneTest, FindsStableFractionOnUserId) {
+  datagen::UserIdOptions o;
+  o.rows = 3000;
+  auto data = datagen::MakeUserIdDataset(o);
+  auto result = AutoTuneSampleFraction(data.source, data.target, 0);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_GT(result->sample_fraction, 0.0);
+  EXPECT_LE(result->sample_fraction, 0.32);
+  EXPECT_FALSE(result->initial_formula.empty());
+  EXPECT_GE(result->probed_fractions.size(), 2u);
+  // The tuned fraction must actually drive a successful search.
+  SearchOptions so;
+  so.sample_fraction = result->sample_fraction;
+  auto d = DiscoverTranslation(data.source, data.target, 0, so);
+  ASSERT_TRUE(d.ok()) << d.status();
+  EXPECT_TRUE(d->formula().IsComplete());
+}
+
+TEST(AutoTuneTest, StableWellBelowTenPercentOnLargeData) {
+  // Figure 2's claim: very small samples already rank/bootstrap correctly on
+  // large datasets.
+  datagen::MergedNamesOptions o;
+  o.rows = 30000;
+  o.distinct_names = 3000;
+  auto data = datagen::MakeMergedNamesDataset(o);
+  auto result = AutoTuneSampleFraction(data.source, data.target, 0);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_LE(result->sample_fraction, 0.08);
+}
+
+TEST(AutoTuneTest, InvalidRangeRejected) {
+  datagen::UserIdOptions o;
+  o.rows = 200;
+  auto data = datagen::MakeUserIdDataset(o);
+  EXPECT_TRUE(AutoTuneSampleFraction(data.source, data.target, 0, {}, 0.0, 0.1)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(AutoTuneSampleFraction(data.source, data.target, 0, {}, 0.5, 0.1)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(AutoTuneTest, HopelessDataFails) {
+  relational::Table source = relational::Table::WithTextColumns({"a"});
+  relational::Table target = relational::Table::WithTextColumns({"t"});
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(source.AppendTextRow({"aaaa"}).ok());
+    ASSERT_TRUE(target.AppendTextRow({"zzzz"}).ok());
+  }
+  EXPECT_FALSE(AutoTuneSampleFraction(source, target, 0).ok());
+}
+
+}  // namespace
+}  // namespace mcsm::core

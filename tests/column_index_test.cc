@@ -1,0 +1,171 @@
+#include "relational/column_index.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "relational/sampler.h"
+
+namespace mcsm::relational {
+namespace {
+
+Table MakeTable(const std::vector<std::string>& values) {
+  Table t = Table::WithTextColumns({"a"});
+  for (const auto& v : values) EXPECT_TRUE(t.AppendTextRow({v}).ok());
+  return t;
+}
+
+ColumnIndex::Options WithPostings() {
+  ColumnIndex::Options o;
+  o.build_postings = true;
+  return o;
+}
+
+TEST(ColumnIndexTest, DistinctValuesSortedAndDeduplicated) {
+  Table t = MakeTable({"pear", "apple", "pear", "fig"});
+  ColumnIndex idx(t, 0, {});
+  EXPECT_EQ(idx.distinct_count(), 3u);
+  EXPECT_EQ(idx.sorted_distinct(),
+            (std::vector<std::string>{"apple", "fig", "pear"}));
+}
+
+TEST(ColumnIndexTest, NullsIgnored) {
+  Table t = Table::WithTextColumns({"a"});
+  ASSERT_TRUE(t.AppendRow({Value("x")}).ok());
+  ASSERT_TRUE(t.AppendRow({Value::MakeNull()}).ok());
+  ColumnIndex idx(t, 0, {});
+  EXPECT_EQ(idx.distinct_count(), 1u);
+  EXPECT_DOUBLE_EQ(idx.avg_length(), 1.0);
+}
+
+TEST(ColumnIndexTest, DocumentFrequencyCountsRows) {
+  Table t = MakeTable({"banana", "bandana", "fig"});
+  ColumnIndex idx(t, 0, {});
+  EXPECT_EQ(idx.DocumentFrequency("an"), 2);  // once per row despite repeats
+  EXPECT_EQ(idx.DocumentFrequency("fi"), 1);
+  EXPECT_EQ(idx.DocumentFrequency("zz"), 0);
+}
+
+TEST(ColumnIndexTest, PostingsCarryTermFrequency) {
+  Table t = MakeTable({"banana", "fig"});
+  ColumnIndex idx(t, 0, WithPostings());
+  const auto* plist = idx.postings("an");
+  ASSERT_NE(plist, nullptr);
+  ASSERT_EQ(plist->size(), 1u);
+  EXPECT_EQ((*plist)[0].row, 0u);
+  EXPECT_EQ((*plist)[0].tf, 2u);
+  EXPECT_EQ(idx.postings("zz"), nullptr);
+}
+
+TEST(ColumnIndexTest, TotalQGramHitsSumsDf) {
+  Table t = MakeTable({"abx", "aby", "cd"});
+  ColumnIndex idx(t, 0, {});
+  // "ab" grams of key "ab": df(ab) = 2.
+  EXPECT_EQ(idx.TotalQGramHits("ab"), 2);
+  // key "abx": ab (2) + bx (1) = 3.
+  EXPECT_EQ(idx.TotalQGramHits("abx"), 3);
+  EXPECT_EQ(idx.TotalQGramHits("a"), 0);  // shorter than q
+}
+
+TEST(ColumnIndexTest, RowsWithAnyQGram) {
+  Table t = MakeTable({"abx", "aby", "cd"});
+  ColumnIndex idx(t, 0, WithPostings());
+  EXPECT_EQ(idx.RowsWithAnyQGram("ab"), 2u);
+  EXPECT_EQ(idx.RowsWithAnyQGram("cd"), 1u);
+  EXPECT_EQ(idx.RowsWithAnyQGram("zz"), 0u);
+}
+
+TEST(ColumnIndexTest, FixedWidthDetection) {
+  EXPECT_TRUE(ColumnIndex(MakeTable({"ab", "cd", "ef"}), 0, {}).fixed_width());
+  EXPECT_FALSE(ColumnIndex(MakeTable({"ab", "abc"}), 0, {}).fixed_width());
+  EXPECT_FALSE(ColumnIndex(MakeTable({}), 0, {}).fixed_width());
+}
+
+TEST(ColumnIndexTest, RowsMatchingPatternAgreesWithScan) {
+  Rng rng(17);
+  std::vector<std::string> values;
+  for (int i = 0; i < 200; ++i) values.push_back(rng.RandomString(6, "abc"));
+  Table t = MakeTable(values);
+  ColumnIndex indexed(t, 0, WithPostings());
+  ColumnIndex scanned(t, 0, {});  // no postings: falls back to scanning
+  for (const char* like : {"%ab", "ab%", "%abc%", "a%c", "%zz%"}) {
+    auto pattern = SearchPattern::FromLikeString(like);
+    auto a = indexed.RowsMatchingPattern(pattern);
+    auto b = scanned.RowsMatchingPattern(pattern);
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    EXPECT_EQ(a, b) << like;
+    // Cross-check against direct evaluation.
+    for (uint32_t row : a) {
+      EXPECT_TRUE(pattern.Matches(values[row]));
+    }
+  }
+}
+
+TEST(ColumnIndexTest, SimilarRowsRanksExactMatchFirst) {
+  Table t = MakeTable({"rhwarner", "klwarder", "zzzzzz", "warner"});
+  ColumnIndex idx(t, 0, WithPostings());
+  auto rows = idx.SimilarRows("warner", 0.0, 10);
+  ASSERT_GE(rows.size(), 2u);
+  // "warner" and "rhwarner" both contain every gram of the key and tie for
+  // the top score; both must precede the partial match.
+  std::set<uint32_t> top = {rows[0].row, rows[1].row};
+  EXPECT_TRUE(top.count(3u) == 1 && top.count(0u) == 1);
+  EXPECT_DOUBLE_EQ(rows[0].score, rows[1].score);
+  // The disjoint instance must not appear.
+  for (const auto& r : rows) EXPECT_NE(r.row, 2u);
+}
+
+TEST(ColumnIndexTest, SimilarRowsHonorsTopR) {
+  // Varied suffixes keep the shared grams informative (a gram occurring in
+  // every instance has idf 0 and is rightly ignored).
+  std::vector<std::string> values;
+  for (int i = 0; i < 20; ++i) values.push_back("abc" + std::to_string(i));
+  values.push_back("zzzz");
+  Table t = MakeTable(values);
+  ColumnIndex idx(t, 0, WithPostings());
+  EXPECT_EQ(idx.SimilarRows("abc", 0.0, 5).size(), 5u);
+}
+
+TEST(ColumnIndexTest, SimilarRowsIgnoresUbiquitousGrams) {
+  // Every instance identical: all grams have idf 0 and nothing is retrieved
+  // — trivial overlap carries no linkage information.
+  std::vector<std::string> values(20, "abcab");
+  Table t = MakeTable(values);
+  ColumnIndex idx(t, 0, WithPostings());
+  EXPECT_TRUE(idx.SimilarRows("abc", 0.0, 5).empty());
+}
+
+TEST(ColumnIndexTest, SimilarRowsExcludesSeparatorGrams) {
+  Table t = MakeTable({"11:45", "45:11", "xx:yy"});
+  ColumnIndex idx(t, 0, WithPostings());
+  // Excluding ':' drops the ":4"/"5:"-style grams; "45" still retrieves.
+  auto rows = idx.SimilarRows("45", 0.0, 10, ":");
+  ASSERT_FALSE(rows.empty());
+  for (const auto& r : rows) EXPECT_NE(r.row, 2u);
+}
+
+TEST(ColumnIndexTest, SimilarRowsByCountUsesRawCounts) {
+  Table t = MakeTable({"abcd", "abxx", "zzzz"});
+  ColumnIndex idx(t, 0, WithPostings());
+  auto rows = idx.SimilarRowsByCount("abcd", 1.0, 10);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].row, 0u);
+  EXPECT_DOUBLE_EQ(rows[0].score, 3.0);  // ab, bc, cd
+  EXPECT_DOUBLE_EQ(rows[1].score, 1.0);  // ab
+}
+
+TEST(ColumnIndexTest, SampleDistinctValuesUsesSortedOrder) {
+  Table t = MakeTable({"d", "b", "a", "c", "e", "f"});
+  ColumnIndex idx(t, 0, {});
+  auto sample = SampleDistinctValues(idx, 0.5, 1);
+  ASSERT_EQ(sample.size(), 3u);
+  EXPECT_EQ(sample[0], "a");  // equidistant over sorted distinct values
+  EXPECT_EQ(sample[1], "c");
+  EXPECT_EQ(sample[2], "e");
+}
+
+}  // namespace
+}  // namespace mcsm::relational

@@ -1,0 +1,106 @@
+#include "core/column_scorer.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "datagen/corpus.h"
+#include "datagen/noise.h"
+
+namespace mcsm::core {
+namespace {
+
+using relational::ColumnIndex;
+using relational::Table;
+
+// Source columns: last names (contained in the target), random noise.
+// Target: "<first-initial><last>" logins.
+struct ScoringFixture {
+  Table source = Table::WithTextColumns({"last", "noise"});
+  Table target = Table::WithTextColumns({"login"});
+
+  explicit ScoringFixture(size_t rows) {
+    Rng rng(42);
+    const auto& firsts = datagen::FirstNames();
+    const auto& lasts = datagen::LastNames();
+    for (size_t i = 0; i < rows; ++i) {
+      std::string first = firsts[rng.Uniform(firsts.size())];
+      std::string last = lasts[rng.Uniform(lasts.size())];
+      EXPECT_TRUE(
+          source.AppendTextRow({last, datagen::RandomText(rng)}).ok());
+      EXPECT_TRUE(target.AppendTextRow({first.substr(0, 1) + last}).ok());
+    }
+  }
+};
+
+TEST(ColumnScorerTest, RelatedColumnOutscoresNoise) {
+  ScoringFixture data(400);
+  ColumnIndex::Options opts;
+  ColumnIndex target_index(data.target, 0, opts);
+  ColumnIndex last_index(data.source, 0, opts);
+  ColumnIndex noise_index(data.source, 1, opts);
+
+  ColumnScorer::Options scorer;
+  double last_score =
+      ColumnScorer::ScoreColumn(last_index, target_index, scorer);
+  double noise_score =
+      ColumnScorer::ScoreColumn(noise_index, target_index, scorer);
+  EXPECT_GT(last_score, 10 * noise_score);
+}
+
+TEST(ColumnScorerTest, RowsHitModeAlsoRanksCorrectly) {
+  ScoringFixture data(400);
+  ColumnIndex::Options opts;
+  opts.build_postings = true;  // kRowsHit needs postings
+  ColumnIndex target_index(data.target, 0, opts);
+  ColumnIndex last_index(data.source, 0, {});
+  ColumnIndex noise_index(data.source, 1, {});
+
+  ColumnScorer::Options scorer;
+  scorer.mode = ColumnScorer::CountMode::kRowsHit;
+  double last_score =
+      ColumnScorer::ScoreColumn(last_index, target_index, scorer);
+  double noise_score =
+      ColumnScorer::ScoreColumn(noise_index, target_index, scorer);
+  EXPECT_GT(last_score, noise_score);
+}
+
+TEST(ColumnScorerTest, EmptyKeysScoreZero) {
+  ScoringFixture data(50);
+  ColumnIndex target_index(data.target, 0, {});
+  EXPECT_DOUBLE_EQ(ColumnScorer::ScoreKeys({}, target_index, {}), 0.0);
+  EXPECT_DOUBLE_EQ(ColumnScorer::ScoreKeys({""}, target_index, {}), 0.0);
+}
+
+TEST(ColumnScorerTest, ScoreGrowsWithSampleOnlySlowly) {
+  // Figure 1's stability claim: the score is roughly flat in the sample
+  // fraction once a handful of keys are used.
+  ScoringFixture data(600);
+  ColumnIndex target_index(data.target, 0, {});
+  ColumnIndex last_index(data.source, 0, {});
+  ColumnScorer::Options small, large;
+  small.sample_fraction = 0.10;
+  large.sample_fraction = 0.50;
+  double s = ColumnScorer::ScoreColumn(last_index, target_index, small);
+  double l = ColumnScorer::ScoreColumn(last_index, target_index, large);
+  EXPECT_GT(s, 0.0);
+  EXPECT_LT(std::abs(s - l) / std::max(s, l), 0.5);
+}
+
+TEST(ColumnScorerTest, ExcludedCharactersSkipSeparatorGrams) {
+  Table target = Table::WithTextColumns({"t"});
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(target.AppendTextRow({"ab:cd"}).ok());
+  }
+  ColumnIndex target_index(target, 0, {});
+  ColumnScorer::Options with_exclusion;
+  with_exclusion.excluded_chars = ":";
+  // Key "b:c" has grams b:, :c — all contain ':' and are excluded.
+  double excluded =
+      ColumnScorer::ScoreKeys({"b:c"}, target_index, with_exclusion);
+  EXPECT_DOUBLE_EQ(excluded, 0.0);
+  double included = ColumnScorer::ScoreKeys({"b:c"}, target_index, {});
+  EXPECT_GT(included, 0.0);
+}
+
+}  // namespace
+}  // namespace mcsm::core

@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include "common/env.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/string_util.h"
+
+namespace mcsm {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::NotFound("missing table");
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsNotFound());
+  EXPECT_EQ(st.message(), "missing table");
+  EXPECT_EQ(st.ToString(), "NotFound: missing table");
+}
+
+TEST(StatusTest, CopyPreservesState) {
+  Status st = Status::InvalidArgument("bad");
+  Status copy = st;
+  EXPECT_TRUE(copy.IsInvalidArgument());
+  EXPECT_EQ(copy.message(), "bad");
+}
+
+TEST(StatusTest, AllFactoriesProduceMatchingPredicates) {
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::NotImplemented("x").IsNotImplemented());
+  EXPECT_TRUE(Status::ParseError("x").IsParseError());
+  EXPECT_TRUE(Status::TypeError("x").IsTypeError());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.ValueOr(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.ValueOr(7), 7);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("hello"));
+  std::string v = std::move(r).value();
+  EXPECT_EQ(v, "hello");
+}
+
+Result<int> HalveEven(int v) {
+  if (v % 2 != 0) return Status::InvalidArgument("odd");
+  return v / 2;
+}
+
+Result<int> QuarterViaMacro(int v) {
+  MCSM_ASSIGN_OR_RETURN(int half, HalveEven(v));
+  MCSM_ASSIGN_OR_RETURN(int quarter, HalveEven(half));
+  return quarter;
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(*QuarterViaMacro(8), 2);
+  EXPECT_TRUE(QuarterViaMacro(6).status().IsInvalidArgument());
+  EXPECT_TRUE(QuarterViaMacro(7).status().IsInvalidArgument());
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next64(), b.Next64());
+}
+
+TEST(RngTest, SeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next64() == b.Next64()) ++equal;
+  }
+  EXPECT_LT(equal, 4);
+}
+
+TEST(RngTest, UniformWithinBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+    int64_t v = rng.UniformInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+    double d = rng.UniformDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, UniformCoversRange) {
+  Rng rng(9);
+  std::vector<int> hits(6, 0);
+  for (int i = 0; i < 6000; ++i) hits[rng.Uniform(6)]++;
+  for (int h : hits) {
+    EXPECT_GT(h, 700);
+    EXPECT_LT(h, 1300);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(3);
+  EXPECT_FALSE(rng.Bernoulli(0.0));
+  EXPECT_TRUE(rng.Bernoulli(1.0));
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(5);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+  auto sorted = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(StringUtilTest, CaseConversion) {
+  EXPECT_EQ(ToLower("AbC123"), "abc123");
+  EXPECT_EQ(ToUpper("AbC123"), "ABC123");
+}
+
+TEST(StringUtilTest, SplitAndJoin) {
+  auto parts = Split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(Join(parts, "|"), "a|b||c");
+  EXPECT_EQ(Split("", ',').size(), 1u);
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(Trim("  x \t\n"), "x");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+}
+
+TEST(StringUtilTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("foobar", "foo"));
+  EXPECT_FALSE(StartsWith("fo", "foo"));
+  EXPECT_TRUE(EndsWith("foobar", "bar"));
+  EXPECT_FALSE(EndsWith("ar", "bar"));
+}
+
+TEST(StringUtilTest, ZeroPad) {
+  EXPECT_EQ(ZeroPad(7, 2), "07");
+  EXPECT_EQ(ZeroPad(123, 2), "123");
+  EXPECT_EQ(ZeroPad(0, 4), "0000");
+}
+
+TEST(StringUtilTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 3, "x"), "3-x");
+  EXPECT_EQ(StrFormat("%05.1f", 2.25), "002.2");
+}
+
+TEST(StringUtilTest, IsAlnumAscii) {
+  EXPECT_TRUE(IsAlnumAscii('a'));
+  EXPECT_TRUE(IsAlnumAscii('Z'));
+  EXPECT_TRUE(IsAlnumAscii('5'));
+  EXPECT_FALSE(IsAlnumAscii(' '));
+  EXPECT_FALSE(IsAlnumAscii(':'));
+  EXPECT_FALSE(IsAlnumAscii('-'));
+}
+
+TEST(EnvTest, FallbacksWhenUnset) {
+  unsetenv("MCSM_TEST_VAR");
+  EXPECT_DOUBLE_EQ(GetEnvDouble("MCSM_TEST_VAR", 1.5), 1.5);
+  EXPECT_EQ(GetEnvInt("MCSM_TEST_VAR", 42), 42);
+  EXPECT_EQ(GetEnvString("MCSM_TEST_VAR", "d"), "d");
+}
+
+TEST(EnvTest, ParsesWhenSet) {
+  setenv("MCSM_TEST_VAR", "2.75", 1);
+  EXPECT_DOUBLE_EQ(GetEnvDouble("MCSM_TEST_VAR", 0), 2.75);
+  setenv("MCSM_TEST_VAR", "17", 1);
+  EXPECT_EQ(GetEnvInt("MCSM_TEST_VAR", 0), 17);
+  unsetenv("MCSM_TEST_VAR");
+}
+
+}  // namespace
+}  // namespace mcsm

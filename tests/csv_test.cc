@@ -1,0 +1,118 @@
+#include "relational/csv.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+namespace mcsm::relational {
+namespace {
+
+TEST(CsvTest, ParsesHeaderAndRows) {
+  auto table = ReadCsv("first,last\nrobert,kerry\nkyle,norman\n");
+  ASSERT_TRUE(table.ok()) << table.status();
+  EXPECT_EQ(table->num_rows(), 2u);
+  EXPECT_EQ(table->schema().column(0).name, "first");
+  EXPECT_EQ(table->CellText(1, 1), "norman");
+}
+
+TEST(CsvTest, HandlesQuotingAndEscapes) {
+  auto table = ReadCsv("name,quote\n\"smith, jr\",\"he said \"\"hi\"\"\"\n");
+  ASSERT_TRUE(table.ok()) << table.status();
+  EXPECT_EQ(table->CellText(0, 0), "smith, jr");
+  EXPECT_EQ(table->CellText(0, 1), "he said \"hi\"");
+}
+
+TEST(CsvTest, QuotedFieldMaySpanLines) {
+  auto table = ReadCsv("a,b\n\"line1\nline2\",x\n");
+  ASSERT_TRUE(table.ok()) << table.status();
+  EXPECT_EQ(table->CellText(0, 0), "line1\nline2");
+}
+
+TEST(CsvTest, CrlfLineEndings) {
+  auto table = ReadCsv("a,b\r\n1,2\r\n3,4\r\n");
+  ASSERT_TRUE(table.ok()) << table.status();
+  EXPECT_EQ(table->num_rows(), 2u);
+  EXPECT_EQ(table->CellText(1, 1), "4");
+}
+
+TEST(CsvTest, EmptyUnquotedFieldsBecomeNull) {
+  auto table = ReadCsv("a,b\nx,\n,y\n");
+  ASSERT_TRUE(table.ok()) << table.status();
+  EXPECT_TRUE(table->cell(0, 1).is_null());
+  EXPECT_TRUE(table->cell(1, 0).is_null());
+  // Quoted empty stays an empty string.
+  auto quoted = ReadCsv("a,b\n\"\",y\n");
+  ASSERT_TRUE(quoted.ok());
+  ASSERT_TRUE(quoted->cell(0, 0).is_text());
+  EXPECT_EQ(quoted->cell(0, 0).text(), "");
+}
+
+TEST(CsvTest, EmptyAsNullCanBeDisabled) {
+  CsvOptions options;
+  options.empty_as_null = false;
+  auto table = ReadCsv("a,b\nx,\n", options);
+  ASSERT_TRUE(table.ok());
+  ASSERT_TRUE(table->cell(0, 1).is_text());
+  EXPECT_EQ(table->cell(0, 1).text(), "");
+}
+
+TEST(CsvTest, CustomDelimiter) {
+  CsvOptions options;
+  options.delimiter = ';';
+  auto table = ReadCsv("a;b\n1,5;2\n", options);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->CellText(0, 0), "1,5");
+}
+
+TEST(CsvTest, MissingNewlineAtEof) {
+  auto table = ReadCsv("a,b\n1,2");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->num_rows(), 1u);
+  EXPECT_EQ(table->CellText(0, 1), "2");
+}
+
+TEST(CsvTest, BlankLinesSkipped) {
+  auto table = ReadCsv("a,b\n1,2\n\n3,4\n");
+  ASSERT_TRUE(table.ok()) << table.status();
+  EXPECT_EQ(table->num_rows(), 2u);
+}
+
+TEST(CsvTest, Errors) {
+  EXPECT_TRUE(ReadCsv("").status().IsInvalidArgument());
+  EXPECT_TRUE(ReadCsv("a,b\n\"unterminated").status().IsParseError());
+  EXPECT_TRUE(ReadCsv("a,b\n1,2,3\n").status().IsParseError());
+  EXPECT_TRUE(ReadCsv("a,b\nx\"y,2\n").status().IsParseError());
+  EXPECT_TRUE(ReadCsv(",b\n").status().IsInvalidArgument());
+}
+
+TEST(CsvTest, RoundTrip) {
+  Table t = Table::WithTextColumns({"name", "note"});
+  ASSERT_TRUE(t.AppendTextRow({"smith, jr", "said \"hi\""}).ok());
+  ASSERT_TRUE(t.AppendRow({Value("plain"), Value::MakeNull()}).ok());
+  ASSERT_TRUE(t.AppendTextRow({"multi\nline", ""}).ok());
+
+  std::string csv = WriteCsv(t);
+  auto back = ReadCsv(csv);
+  ASSERT_TRUE(back.ok()) << back.status();
+  ASSERT_EQ(back->num_rows(), t.num_rows());
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    for (size_t c = 0; c < t.num_columns(); ++c) {
+      EXPECT_EQ(back->cell(r, c), t.cell(r, c)) << r << "," << c;
+    }
+  }
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  Table t = Table::WithTextColumns({"a"});
+  ASSERT_TRUE(t.AppendTextRow({"hello"}).ok());
+  std::string path = ::testing::TempDir() + "/mcsm_csv_test.csv";
+  ASSERT_TRUE(WriteCsvFile(t, path).ok());
+  auto back = ReadCsvFile(path);
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(back->CellText(0, 0), "hello");
+  std::remove(path.c_str());
+  EXPECT_TRUE(ReadCsvFile("/nonexistent/file.csv").status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace mcsm::relational

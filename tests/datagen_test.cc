@@ -1,0 +1,265 @@
+#include "datagen/datasets.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "datagen/corpus.h"
+#include "datagen/noise.h"
+
+namespace mcsm::datagen {
+namespace {
+
+TEST(CorpusTest, NamePoolsNonEmptyAndLowercase) {
+  for (const auto* pool : {&FirstNames(), &LastNames(), &StreetNames(),
+                           &TitleWords()}) {
+    ASSERT_GT(pool->size(), 20u);
+    for (const auto& n : *pool) {
+      for (char c : n) {
+        EXPECT_TRUE((c >= 'a' && c <= 'z')) << n;
+      }
+    }
+  }
+}
+
+TEST(CorpusTest, DistinctNamePoolHasRequestedSize) {
+  Rng rng(1);
+  auto pool = DistinctNamePool(rng, 5000, FirstNames());
+  EXPECT_EQ(pool.size(), 5000u);
+  std::set<std::string> unique(pool.begin(), pool.end());
+  EXPECT_EQ(unique.size(), 5000u);
+}
+
+TEST(CorpusTest, SyllableNamesAreShortAndAlphabetic) {
+  Rng rng(2);
+  double total = 0;
+  for (int i = 0; i < 500; ++i) {
+    std::string n = SyllableName(rng);
+    EXPECT_GE(n.size(), 2u);
+    EXPECT_LE(n.size(), 14u);
+    total += n.size();
+  }
+  // Average close to real-world name lengths (the sigma calibration relies
+  // on name columns averaging ~5-7 characters).
+  EXPECT_GT(total / 500, 4.0);
+  EXPECT_LT(total / 500, 8.0);
+}
+
+TEST(NoiseTest, Rfc2822TimestampShape) {
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    std::string ts = RandomRfc2822Timestamp(rng);
+    // e.g. "Mon, 15 Aug 2005 14:31:25 +0000"
+    ASSERT_EQ(ts.size(), 31u) << ts;
+    EXPECT_EQ(ts[3], ',');
+    EXPECT_EQ(ts.substr(ts.size() - 5), "+0000");
+    EXPECT_EQ(ts[19], ':' + 0) << ts;
+  }
+}
+
+TEST(NoiseTest, TimeOfDayZeroPadded) {
+  Rng rng(4);
+  for (int i = 0; i < 200; ++i) {
+    TimeOfDay t = RandomTimeOfDay(rng);
+    ASSERT_EQ(t.hours.size(), 2u);
+    ASSERT_EQ(t.minutes.size(), 2u);
+    ASSERT_EQ(t.seconds.size(), 2u);
+    EXPECT_LT(std::stoi(t.hours), 24);
+    EXPECT_LT(std::stoi(t.minutes), 60);
+    EXPECT_LT(std::stoi(t.seconds), 60);
+  }
+}
+
+TEST(NoiseTest, DatesValid) {
+  Rng rng(5);
+  for (int i = 0; i < 500; ++i) {
+    Date d = RandomDate(rng);
+    EXPECT_GE(d.month, 1);
+    EXPECT_LE(d.month, 12);
+    EXPECT_GE(d.day, 1);
+    EXPECT_LE(d.day, 31);
+  }
+}
+
+TEST(NoiseTest, NoiseRowMatchesColumnNames) {
+  Rng rng(6);
+  EXPECT_EQ(NoiseRow(rng).size(), NoiseColumnNames().size());
+}
+
+TEST(DatasetTest, GeneratorsAreDeterministic) {
+  UserIdOptions o;
+  o.rows = 200;
+  auto a = MakeUserIdDataset(o);
+  auto b = MakeUserIdDataset(o);
+  ASSERT_EQ(a.source.num_rows(), b.source.num_rows());
+  for (size_t r = 0; r < a.source.num_rows(); ++r) {
+    for (size_t c = 0; c < a.source.num_columns(); ++c) {
+      EXPECT_EQ(a.source.cell(r, c), b.source.cell(r, c));
+    }
+  }
+  for (size_t r = 0; r < a.target.num_rows(); ++r) {
+    EXPECT_EQ(a.target.cell(r, 0), b.target.cell(r, 0));
+  }
+}
+
+TEST(DatasetTest, DifferentSeedsDiffer) {
+  UserIdOptions o1, o2;
+  o1.rows = o2.rows = 100;
+  o2.seed = 999;
+  auto a = MakeUserIdDataset(o1);
+  auto b = MakeUserIdDataset(o2);
+  int differing = 0;
+  for (size_t r = 0; r < 100; ++r) {
+    if (!(a.source.cell(r, 0) == b.source.cell(r, 0))) ++differing;
+  }
+  EXPECT_GT(differing, 50);
+}
+
+TEST(DatasetTest, UserIdHasExpectedStructure) {
+  UserIdOptions o;
+  o.rows = 1000;
+  auto data = MakeUserIdDataset(o);
+  EXPECT_EQ(data.source.num_rows(), 1000u);
+  EXPECT_EQ(data.target.num_rows(), 1000u);
+  EXPECT_EQ(data.source.num_columns(), 7u);  // 3 names + 4 noise
+  // Roughly half the logins follow first[1]+last.
+  size_t dominant = 0;
+  std::multiset<std::string> logins;
+  for (size_t r = 0; r < data.target.num_rows(); ++r) {
+    logins.insert(std::string(data.target.CellText(r, 0)));
+  }
+  for (size_t r = 0; r < data.source.num_rows(); ++r) {
+    std::string expected =
+        std::string(data.source.CellText(r, 0).substr(0, 1)) +
+        std::string(data.source.CellText(r, 2));
+    auto it = logins.find(expected);
+    if (it != logins.end()) {
+      logins.erase(it);
+      ++dominant;
+    }
+  }
+  EXPECT_GT(dominant, 400u);
+  EXPECT_LT(dominant, 700u);
+}
+
+TEST(DatasetTest, UserIdExtraRowsHaveNoTargets) {
+  UserIdOptions o;
+  o.rows = 100;
+  o.extra_unmatched_rows = 40;
+  auto data = MakeUserIdDataset(o);
+  EXPECT_EQ(data.source.num_rows(), 140u);
+  EXPECT_EQ(data.target.num_rows(), 100u);
+}
+
+TEST(DatasetTest, UserIdWithDatesAddsColumns) {
+  UserIdOptions o;
+  o.rows = 50;
+  o.with_dates = true;
+  auto data = MakeUserIdDataset(o);
+  EXPECT_TRUE(data.source.schema().FindColumn("birth").has_value());
+  EXPECT_TRUE(data.target.schema().FindColumn("dob").has_value());
+  // birth is mm-dd-yyyy (10 chars), dob is mm/dd/yy (8 chars).
+  EXPECT_EQ(data.source.CellText(0, *data.source.schema().FindColumn("birth"))
+                .size(),
+            10u);
+  EXPECT_EQ(data.target.CellText(0, 1).size(), 8u);
+}
+
+TEST(DatasetTest, TimeTargetIsConcatenation) {
+  TimeOptions o;
+  o.rows = 300;
+  auto data = MakeTimeDataset(o);
+  std::multiset<std::string> times;
+  for (size_t r = 0; r < data.target.num_rows(); ++r) {
+    times.insert(std::string(data.target.CellText(r, 0)));
+  }
+  // Every source row's hrs||mins||secs appears in the target.
+  for (size_t r = 0; r < data.source.num_rows(); ++r) {
+    std::string expected = std::string(data.source.CellText(r, 2)) +
+                           std::string(data.source.CellText(r, 1)) +
+                           std::string(data.source.CellText(r, 0));
+    auto it = times.find(expected);
+    ASSERT_NE(it, times.end()) << expected;
+    times.erase(it);
+  }
+  EXPECT_TRUE(times.empty());
+}
+
+TEST(DatasetTest, MergedNamesVariants) {
+  MergedNamesOptions o;
+  o.rows = 200;
+  o.distinct_names = 50;
+  auto plain = MakeMergedNamesDataset(o);
+  EXPECT_EQ(plain.target.num_rows(), 200u);
+  o.comma_separator = true;
+  auto comma = MakeMergedNamesDataset(o);
+  for (size_t r = 0; r < comma.target.num_rows(); ++r) {
+    EXPECT_NE(comma.target.CellText(r, 0).find(", "), std::string_view::npos);
+  }
+}
+
+TEST(DatasetTest, CitationHasSeventeenColumns) {
+  CitationOptions o;
+  o.rows = 100;
+  auto data = MakeCitationDataset(o);
+  EXPECT_EQ(data.source.num_columns(), 17u);
+  EXPECT_EQ(data.target.num_rows(), 100u);
+  // citation = year || title || author1 for every record.
+  std::multiset<std::string> citations;
+  for (size_t r = 0; r < data.target.num_rows(); ++r) {
+    citations.insert(std::string(data.target.CellText(r, 0)));
+  }
+  for (size_t r = 0; r < data.source.num_rows(); ++r) {
+    std::string expected = std::string(data.source.CellText(r, 0)) +
+                           std::string(data.source.CellText(r, 1)) +
+                           std::string(data.source.CellText(r, 2));
+    EXPECT_NE(citations.find(expected), citations.end());
+  }
+}
+
+TEST(DatasetTest, CrossCitationOverlapCounts) {
+  CrossCitationOptions o;
+  o.source_rows = 500;
+  o.target_rows = 1000;
+  o.exact_overlap = 20;
+  o.swapped_overlap = 10;
+  auto data = MakeCrossCitationDataset(o);
+  EXPECT_EQ(data.source.num_rows(), 500u);
+  EXPECT_EQ(data.target.num_rows(), 1000u);
+
+  std::multiset<std::string> citations;
+  for (size_t r = 0; r < data.target.num_rows(); ++r) {
+    citations.insert(std::string(data.target.CellText(r, 0)));
+  }
+  size_t exact = 0, swapped = 0;
+  for (size_t r = 0; r < data.source.num_rows(); ++r) {
+    std::string year(data.source.CellText(r, 0));
+    std::string title(data.source.CellText(r, 1));
+    std::string a1(data.source.CellText(r, 2));
+    std::string a2(data.source.CellText(r, 3));
+    if (citations.count(year + title + a1) != 0) ++exact;
+    if (!a2.empty() && citations.count(year + title + a2) != 0) ++swapped;
+  }
+  EXPECT_EQ(exact, 20u);
+  EXPECT_EQ(swapped, 10u);
+}
+
+TEST(DatasetTest, DateFormatExpectedTranslationHolds) {
+  DateFormatOptions o;
+  o.rows = 150;
+  auto data = MakeDateFormatDataset(o);
+  std::multiset<std::string> targets;
+  for (size_t r = 0; r < data.target.num_rows(); ++r) {
+    targets.insert(std::string(data.target.CellText(r, 0)));
+  }
+  for (size_t r = 0; r < data.source.num_rows(); ++r) {
+    std::string d(data.source.CellText(r, 0));  // yyyy/mm/dd
+    std::string expected = d.substr(5, 2) + "/" + d.substr(8, 2) + "/" +
+                           d.substr(0, 4);
+    EXPECT_NE(targets.find(expected), targets.end()) << d;
+  }
+}
+
+}  // namespace
+}  // namespace mcsm::datagen

@@ -1,0 +1,150 @@
+#include "text/edit_distance.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace mcsm::text {
+namespace {
+
+// Applies an edit script to `source` and returns the produced string; used
+// to validate script correctness.
+std::string ApplyScript(std::string_view source, std::string_view target,
+                        const std::vector<EditStep>& script) {
+  std::string out;
+  for (const auto& step : script) {
+    switch (step.op) {
+      case EditOp::kMatch:
+        EXPECT_EQ(source[step.source_pos], target[step.target_pos]);
+        out.push_back(source[step.source_pos]);
+        break;
+      case EditOp::kReplace:
+        out.push_back(target[step.target_pos]);
+        break;
+      case EditOp::kInsert:
+        out.push_back(target[step.target_pos]);
+        break;
+      case EditOp::kDelete:
+        break;
+    }
+  }
+  return out;
+}
+
+int ScriptCost(const std::vector<EditStep>& script, const EditCosts& costs) {
+  int total = 0;
+  for (const auto& step : script) {
+    switch (step.op) {
+      case EditOp::kMatch:
+        break;
+      case EditOp::kReplace:
+        total += costs.replace;
+        break;
+      case EditOp::kInsert:
+        total += costs.insert;
+        break;
+      case EditOp::kDelete:
+        total += costs.del;
+        break;
+    }
+  }
+  return total;
+}
+
+TEST(EditDistanceTest, ClassicCases) {
+  EXPECT_EQ(LevenshteinDistance("kitten", "sitting"), 3);
+  EXPECT_EQ(LevenshteinDistance("", ""), 0);
+  EXPECT_EQ(LevenshteinDistance("abc", ""), 3);
+  EXPECT_EQ(LevenshteinDistance("", "abc"), 3);
+  EXPECT_EQ(LevenshteinDistance("same", "same"), 0);
+}
+
+TEST(EditDistanceTest, PaperPair) {
+  // "rhwarner" vs "warner": two insertions (Table 4's matrix).
+  EXPECT_EQ(LevenshteinDistance("warner", "rhwarner"), 2);
+}
+
+TEST(EditDistanceTest, AsymmetricCosts) {
+  EditCosts costs;
+  costs.insert = 5;
+  costs.del = 1;
+  EXPECT_EQ(LevenshteinDistance("ab", "abc", costs), 5);  // one insert
+  EXPECT_EQ(LevenshteinDistance("abc", "ab", costs), 1);  // one delete
+}
+
+TEST(EditDistanceTest, ScriptTransformsSourceIntoTarget) {
+  auto script = EditScript("warner", "rhwarner");
+  EXPECT_EQ(ApplyScript("warner", "rhwarner", script), "rhwarner");
+  EXPECT_EQ(ScriptCost(script, EditCosts{}), 2);
+}
+
+TEST(EditDistanceTest, ScriptPrefersMatchRuns) {
+  auto script = EditScript("abc", "abc");
+  ASSERT_EQ(script.size(), 3u);
+  for (const auto& step : script) EXPECT_EQ(step.op, EditOp::kMatch);
+}
+
+TEST(EditDistanceTest, MaskedScriptNeverMatchesMaskedPositions) {
+  // Table 6: target positions already covered by the partial translation are
+  // excluded from matching.
+  std::string source = "henry";
+  std::string target = "rhwarner";
+  std::vector<bool> allowed = {true, true, false, false,
+                               false, false, false, false};
+  auto script = MaskedEditScript(source, target, allowed);
+  for (const auto& step : script) {
+    if (step.op == EditOp::kMatch || step.op == EditOp::kReplace) {
+      EXPECT_TRUE(allowed[step.target_pos])
+          << "illegal " << static_cast<char>(step.op) << " at masked position "
+          << step.target_pos;
+    }
+  }
+  EXPECT_EQ(ApplyScript(source, target, script), target);
+}
+
+TEST(EditDistanceTest, FullyMaskedForcesInsertions) {
+  std::vector<bool> none(3, false);
+  auto script = MaskedEditScript("abc", "abc", none);
+  EXPECT_EQ(ApplyScript("abc", "abc", script), "abc");
+  for (const auto& step : script) EXPECT_NE(step.op, EditOp::kMatch);
+}
+
+TEST(EditDistanceTest, ScriptToStringRendersOps) {
+  auto script = EditScript("abc", "axc");
+  EXPECT_EQ(EditScriptToString(script), "=R=");
+}
+
+class EditDistanceProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(EditDistanceProperty, ScriptCostEqualsDistanceOnRandomPairs) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 60; ++trial) {
+    std::string a = rng.RandomString(rng.Uniform(15), "abcd");
+    std::string b = rng.RandomString(rng.Uniform(15), "abcd");
+    int distance = LevenshteinDistance(a, b);
+    auto script = EditScript(a, b);
+    EXPECT_EQ(ScriptCost(script, EditCosts{}), distance) << a << " -> " << b;
+    EXPECT_EQ(ApplyScript(a, b, script), b) << a << " -> " << b;
+    // Unit-cost distance is symmetric.
+    EXPECT_EQ(distance, LevenshteinDistance(b, a)) << a << " <-> " << b;
+    // Distance bounded by max length, and by replace-all + size difference.
+    EXPECT_LE(distance, static_cast<int>(std::max(a.size(), b.size())));
+  }
+}
+
+TEST_P(EditDistanceProperty, TriangleInequality) {
+  Rng rng(GetParam() + 1000);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::string a = rng.RandomString(rng.Uniform(10), "ab");
+    std::string b = rng.RandomString(rng.Uniform(10), "ab");
+    std::string c = rng.RandomString(rng.Uniform(10), "ab");
+    EXPECT_LE(LevenshteinDistance(a, c),
+              LevenshteinDistance(a, b) + LevenshteinDistance(b, c));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EditDistanceProperty,
+                         ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace mcsm::text

@@ -1,0 +1,162 @@
+#include "core/formula.h"
+
+#include <gtest/gtest.h>
+
+namespace mcsm::core {
+namespace {
+
+using relational::Table;
+
+Table SampleTable() {
+  Table t = Table::WithTextColumns({"first", "middle", "last"});
+  EXPECT_TRUE(t.AppendTextRow({"robert", "h", "kerry"}).ok());
+  EXPECT_TRUE(t.AppendTextRow({"amy", "l", "case"}).ok());
+  EXPECT_TRUE(t.AppendRow({relational::Value("kyle"),
+                           relational::Value::MakeNull(),
+                           relational::Value("no")}).ok());
+  return t;
+}
+
+TEST(FormulaTest, ToStringRendersPaperStyle) {
+  TranslationFormula f({Region::Unknown(), Region::SpanToEnd(2, 1)});
+  EXPECT_EQ(f.ToString(SampleTable().schema()), "%last[1-n]");
+  TranslationFormula g({Region::Span(0, 1, 1), Region::Span(1, 1, 1),
+                        Region::SpanToEnd(2, 1)});
+  EXPECT_EQ(g.ToString(SampleTable().schema()),
+            "first[1-1]middle[1-1]last[1-n]");
+  EXPECT_EQ(g.ToString(), "B1[1-1]B2[1-1]B3[1-n]");
+}
+
+TEST(FormulaTest, LiteralRendering) {
+  TranslationFormula f({Region::SpanToEnd(2, 1), Region::Literal(", "),
+                        Region::SpanToEnd(0, 1)});
+  EXPECT_EQ(f.ToString(SampleTable().schema()), "last[1-n]\", \"first[1-n]");
+}
+
+TEST(FormulaTest, SizedUnknownRendering) {
+  TranslationFormula f({Region::SizedUnknown(2), Region::Span(0, 1, 2)});
+  EXPECT_EQ(f.ToString(), "%{2}B1[1-2]");
+}
+
+TEST(FormulaTest, NormalizationMergesAdjacentUnknowns) {
+  TranslationFormula f({Region::Unknown(), Region::Unknown(),
+                        Region::Span(0, 1, 2)});
+  EXPECT_EQ(f.regions().size(), 2u);
+  EXPECT_EQ(f.UnknownCount(), 1u);
+}
+
+TEST(FormulaTest, NormalizationSumsSizedUnknowns) {
+  TranslationFormula f({Region::SizedUnknown(2), Region::SizedUnknown(3)});
+  ASSERT_EQ(f.regions().size(), 1u);
+  EXPECT_EQ(f.regions()[0].unknown_width, 5u);
+  // Mixing sized and unsized degrades to unsized.
+  TranslationFormula g({Region::SizedUnknown(2), Region::Unknown()});
+  ASSERT_EQ(g.regions().size(), 1u);
+  EXPECT_EQ(g.regions()[0].unknown_width, 0u);
+}
+
+TEST(FormulaTest, NormalizationMergesContiguousSpans) {
+  TranslationFormula f({Region::Span(0, 1, 3), Region::Span(0, 4, 6)});
+  ASSERT_EQ(f.regions().size(), 1u);
+  EXPECT_EQ(f.regions()[0].start, 1u);
+  EXPECT_EQ(f.regions()[0].end, 6u);
+  // Different columns never merge.
+  TranslationFormula g({Region::Span(0, 1, 3), Region::Span(1, 4, 6)});
+  EXPECT_EQ(g.regions().size(), 2u);
+  // Non-contiguous spans never merge.
+  TranslationFormula h({Region::Span(0, 1, 3), Region::Span(0, 5, 6)});
+  EXPECT_EQ(h.regions().size(), 2u);
+}
+
+TEST(FormulaTest, NormalizationMergesLiterals) {
+  TranslationFormula f({Region::Literal(","), Region::Literal(" ")});
+  ASSERT_EQ(f.regions().size(), 1u);
+  EXPECT_EQ(f.regions()[0].literal, ", ");
+}
+
+TEST(FormulaTest, CompletenessAndCounts) {
+  TranslationFormula incomplete({Region::Unknown(), Region::SpanToEnd(2, 1)});
+  EXPECT_FALSE(incomplete.IsComplete());
+  EXPECT_EQ(incomplete.UnknownCount(), 1u);
+  TranslationFormula complete({Region::Span(0, 1, 1), Region::SpanToEnd(2, 1)});
+  EXPECT_TRUE(complete.IsComplete());
+  EXPECT_EQ(complete.KnownFixedChars(), 1u);  // to_end spans are not fixed
+  EXPECT_FALSE(TranslationFormula{}.IsComplete());
+}
+
+TEST(FormulaTest, ApplyProducesTargetValue) {
+  Table t = SampleTable();
+  TranslationFormula f({Region::Span(0, 1, 1), Region::Span(1, 1, 1),
+                        Region::SpanToEnd(2, 1)});
+  EXPECT_EQ(f.Apply(t, 0).value(), "rhkerry");
+  EXPECT_EQ(f.Apply(t, 1).value(), "alcase");
+  // Row 2 has NULL middle: unsatisfiable.
+  EXPECT_FALSE(f.Apply(t, 2).has_value());
+}
+
+TEST(FormulaTest, ApplyWithLiterals) {
+  Table t = SampleTable();
+  TranslationFormula f({Region::SpanToEnd(2, 1), Region::Literal(", "),
+                        Region::SpanToEnd(0, 1)});
+  EXPECT_EQ(f.Apply(t, 0).value(), "kerry, robert");
+}
+
+TEST(FormulaTest, ApplyRequiresFullSpanWidth) {
+  Table t = SampleTable();
+  // last of row 2 is "no" (2 chars): a [1-4] span is unsatisfiable.
+  TranslationFormula f({Region::Span(2, 1, 4)});
+  EXPECT_TRUE(f.Apply(t, 0).has_value());
+  EXPECT_FALSE(f.Apply(t, 2).has_value());
+  // to_end from position 3 needs >= 3 chars.
+  TranslationFormula g({Region::SpanToEnd(2, 3)});
+  EXPECT_EQ(g.Apply(t, 0).value(), "rry");
+  EXPECT_FALSE(g.Apply(t, 2).has_value());
+}
+
+TEST(FormulaTest, ApplyIncompleteReturnsNothing) {
+  Table t = SampleTable();
+  TranslationFormula f({Region::Unknown(), Region::SpanToEnd(2, 1)});
+  EXPECT_FALSE(f.Apply(t, 0).has_value());
+}
+
+TEST(FormulaTest, BuildPatternInstantiatesKnownRegions) {
+  Table t = SampleTable();
+  TranslationFormula f({Region::Unknown(), Region::SpanToEnd(2, 1)});
+  auto p = f.BuildPattern(t, 0);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->ToLikeString(), "_%kerry");
+  EXPECT_TRUE(p->Matches("rhkerry"));
+  EXPECT_FALSE(p->Matches("kerry"));  // unknowns are non-empty
+}
+
+TEST(FormulaTest, BuildPatternSizedUnknown) {
+  Table t = SampleTable();
+  TranslationFormula f({Region::SizedUnknown(2), Region::Span(2, 1, 2)});
+  auto p = f.BuildPattern(t, 0);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->ToLikeString(), "__ke");
+}
+
+TEST(FormulaTest, BuildPatternFailsOnShortValues) {
+  Table t = SampleTable();
+  TranslationFormula f({Region::Span(2, 1, 4), Region::Unknown()});
+  EXPECT_TRUE(f.BuildPattern(t, 0).has_value());
+  EXPECT_FALSE(f.BuildPattern(t, 2).has_value());  // "no" too short
+}
+
+TEST(FormulaTest, ReferencedColumnsDeduplicated) {
+  TranslationFormula f({Region::Span(2, 1, 2), Region::Unknown(),
+                        Region::Span(0, 1, 1), Region::SpanToEnd(2, 3)});
+  EXPECT_EQ(f.ReferencedColumns(), (std::vector<size_t>{0, 2}));
+}
+
+TEST(FormulaTest, EqualityIsStructural) {
+  TranslationFormula a({Region::Span(0, 1, 2), Region::Unknown()});
+  TranslationFormula b({Region::Span(0, 1, 2), Region::Unknown()});
+  TranslationFormula c({Region::Span(0, 1, 3), Region::Unknown()});
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+}
+
+}  // namespace
+}  // namespace mcsm::core

@@ -1,0 +1,180 @@
+#include "text/lcs.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace mcsm::text {
+namespace {
+
+TEST(LongestCommonSubstringTest, PaperAnchor) {
+  // "rhwarner" vs "warner": the whole of "warner" (Table 4, underlined).
+  auto result = LongestCommonSubstring("warner", "rhwarner");
+  EXPECT_EQ(result.length, 6u);
+  EXPECT_EQ(result.source_start, 0u);
+  EXPECT_EQ(result.target_start, 2u);
+}
+
+TEST(LongestCommonSubstringTest, GhkarerCase) {
+  // "warner" vs "ghkarer": "ar" (leftmost of the length-2 ties; Table 5
+  // derives %B3[23]B3[56] from this pair).
+  auto result = LongestCommonSubstring("warner", "ghkarer");
+  EXPECT_EQ(result.length, 2u);
+  EXPECT_EQ(result.source_start, 1u);  // "ar" in w-a-r-n-e-r
+  EXPECT_EQ(result.target_start, 3u);  // "ar" in g-h-k-a-r-e-r
+}
+
+TEST(LongestCommonSubstringTest, LeftmostTieBreakPrefersSmallestSourceStart) {
+  // "henry" vs "rh": both "h" (src 0) and "r" (src 3) have length 1; the
+  // paper's Table 6 picks "h" — smallest source position.
+  auto result = LongestCommonSubstring("henry", "rh");
+  EXPECT_EQ(result.length, 1u);
+  EXPECT_EQ(result.source_start, 0u);
+  EXPECT_EQ(result.target_start, 1u);
+}
+
+TEST(LongestCommonSubstringTest, NoCommonCharacter) {
+  auto result = LongestCommonSubstring("abc", "xyz");
+  EXPECT_EQ(result.length, 0u);
+}
+
+TEST(LongestCommonSubstringTest, EmptyInputs) {
+  EXPECT_EQ(LongestCommonSubstring("", "abc").length, 0u);
+  EXPECT_EQ(LongestCommonSubstring("abc", "").length, 0u);
+}
+
+TEST(LongestCommonSubstringTest, MaskedPositionsExcluded) {
+  // "warner" appears in the target but is fully masked; only "rh" is free.
+  std::string target = "rhwarner";
+  std::vector<bool> allowed = {true, true, false, false,
+                               false, false, false, false};
+  auto result = MaskedLongestCommonSubstring("henry", target, allowed);
+  EXPECT_EQ(result.length, 1u);
+  EXPECT_EQ(result.source_start, 0u);  // 'h'
+  EXPECT_EQ(result.target_start, 1u);
+}
+
+TEST(LongestCommonSubstringTest, MaskSplitsRuns) {
+  // The common substring may not straddle a masked position.
+  std::string target = "abcdef";
+  std::vector<bool> allowed = {true, true, false, true, true, true};
+  auto result = MaskedLongestCommonSubstring("abcdef", target, allowed);
+  EXPECT_EQ(result.length, 3u);  // "def"
+  EXPECT_EQ(result.target_start, 3u);
+}
+
+TEST(LongestCommonSubstringTest, HashedTieBreakIsDeterministic) {
+  auto a = LongestCommonSubstring("henry", "rh", LcsTieBreak::kHashed);
+  auto b = LongestCommonSubstring("henry", "rh", LcsTieBreak::kHashed);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.length, 1u);
+}
+
+TEST(LongestCommonSubstringTest, HashedTieBreakDiffusesAcrossPairs) {
+  // Across many all-tie pairs the hashed choice must not always pick the
+  // same source position — that concentration is exactly what it exists to
+  // prevent (DESIGN.md item 4).
+  Rng rng(99);
+  std::vector<int> position_hits(8, 0);
+  for (int trial = 0; trial < 300; ++trial) {
+    const std::string source = "abcdefgh";
+    std::string target(1, source[rng.Uniform(source.size())]);
+    target += rng.RandomString(3, "0123456789");
+    auto res = LongestCommonSubstring(source, target, LcsTieBreak::kHashed);
+    ASSERT_EQ(res.length, 1u);
+    EXPECT_EQ(source[res.source_start], target[res.target_start]);
+    position_hits[res.source_start]++;
+  }
+  int total = 0;
+  for (int h : position_hits) total += h;
+  EXPECT_EQ(total, 300);
+}
+
+TEST(LongestCommonSubstringTest, HashedTieBreakUsesDifferentCandidates) {
+  // Source with the same char at several positions; single-char target. All
+  // occurrences tie, and across different salts the chosen source position
+  // must vary.
+  std::set<size_t> chosen;
+  for (int salt = 0; salt < 64; ++salt) {
+    std::string source = "xaxbxcxd";  // 'x' at 0, 2, 4, 6
+    std::string target = "x" + std::to_string(salt) + "!!";
+    auto res = LongestCommonSubstring(source, target, LcsTieBreak::kHashed);
+    ASSERT_EQ(res.length, 1u);
+    chosen.insert(res.source_start);
+  }
+  EXPECT_GT(chosen.size(), 1u);
+}
+
+TEST(LcsSubsequenceTest, HirschbergMatchesKnownCase) {
+  auto pairs = HirschbergLcs("ABCBDAB", "BDCABA");
+  EXPECT_EQ(pairs.size(), 4u);  // classic LCS length 4
+  // Pairs must be strictly increasing in both coordinates and match chars.
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    EXPECT_EQ(std::string("ABCBDAB")[pairs[i].first],
+              std::string("BDCABA")[pairs[i].second]);
+    if (i > 0) {
+      EXPECT_GT(pairs[i].first, pairs[i - 1].first);
+      EXPECT_GT(pairs[i].second, pairs[i - 1].second);
+    }
+  }
+}
+
+TEST(LcsSubsequenceTest, HuntSzymanskiMatchesKnownCase) {
+  auto pairs = HuntSzymanskiLcs("ABCBDAB", "BDCABA");
+  EXPECT_EQ(pairs.size(), 4u);
+}
+
+class LcsCrossValidation : public ::testing::TestWithParam<int> {};
+
+TEST_P(LcsCrossValidation, AllThreeAlgorithmsAgreeOnLength) {
+  Rng rng(GetParam() * 31337);
+  for (int trial = 0; trial < 60; ++trial) {
+    std::string a = rng.RandomString(rng.Uniform(25), "abcd");
+    std::string b = rng.RandomString(rng.Uniform(25), "abcd");
+    size_t reference = LcsLength(a, b);
+    auto hirschberg = HirschbergLcs(a, b);
+    auto hunt = HuntSzymanskiLcs(a, b);
+    EXPECT_EQ(hirschberg.size(), reference) << a << " / " << b;
+    EXPECT_EQ(hunt.size(), reference) << a << " / " << b;
+    // Validity: every reported pair matches and is strictly increasing.
+    for (auto* pairs : {&hirschberg, &hunt}) {
+      for (size_t i = 0; i < pairs->size(); ++i) {
+        EXPECT_EQ(a[(*pairs)[i].first], b[(*pairs)[i].second]);
+        if (i > 0) {
+          EXPECT_GT((*pairs)[i].first, (*pairs)[i - 1].first);
+          EXPECT_GT((*pairs)[i].second, (*pairs)[i - 1].second);
+        }
+      }
+    }
+  }
+}
+
+TEST_P(LcsCrossValidation, SubstringIsValidAndMaximal) {
+  Rng rng(GetParam() * 7 + 5);
+  for (int trial = 0; trial < 60; ++trial) {
+    std::string a = rng.RandomString(1 + rng.Uniform(20), "abc");
+    std::string b = rng.RandomString(1 + rng.Uniform(20), "abc");
+    auto result = LongestCommonSubstring(a, b);
+    if (result.length > 0) {
+      EXPECT_EQ(a.substr(result.source_start, result.length),
+                b.substr(result.target_start, result.length));
+    }
+    // Brute-force maximality check.
+    size_t best = 0;
+    for (size_t i = 0; i < a.size(); ++i) {
+      for (size_t j = 0; j < b.size(); ++j) {
+        size_t k = 0;
+        while (i + k < a.size() && j + k < b.size() && a[i + k] == b[j + k]) ++k;
+        best = std::max(best, k);
+      }
+    }
+    EXPECT_EQ(result.length, best) << a << " / " << b;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LcsCrossValidation, ::testing::Values(1, 2, 3));
+
+}  // namespace
+}  // namespace mcsm::text

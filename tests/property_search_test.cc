@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/matcher.h"
+
+namespace mcsm::core {
+namespace {
+
+using relational::Table;
+using relational::Value;
+
+// Generative end-to-end property: plant a random translation formula over a
+// random source table, produce the (shuffled) target column with it, and
+// require the search to recover a formula that translates most rows. The
+// discovered formula need not be syntactically identical — several formulas
+// can denote the same translation — so the assertion is on coverage.
+struct Planted {
+  Table source;
+  Table target;
+  TranslationFormula formula;
+};
+
+Planted MakePlanted(uint64_t seed, size_t rows, size_t columns) {
+  Rng rng(seed);
+  const std::string alphabet = "abcdefghijklmnopqrst";
+
+  std::vector<std::string> names;
+  for (size_t c = 0; c < columns; ++c) names.push_back("c" + std::to_string(c));
+  Planted planted;
+  planted.source = Table::WithTextColumns(names);
+
+  // Values: word-like strings, 4-9 chars, drawn from per-column pools so
+  // distinct counts resemble real columns.
+  std::vector<std::vector<std::string>> pools(columns);
+  for (size_t c = 0; c < columns; ++c) {
+    size_t pool_size = 20 + rng.Uniform(rows / 2 + 1);
+    for (size_t i = 0; i < pool_size; ++i) {
+      pools[c].push_back(rng.RandomString(4 + rng.Uniform(6), alphabet));
+    }
+  }
+  for (size_t r = 0; r < rows; ++r) {
+    std::vector<std::string> row;
+    for (size_t c = 0; c < columns; ++c) {
+      row.push_back(pools[c][rng.Uniform(pools[c].size())]);
+    }
+    EXPECT_TRUE(planted.source.AppendTextRow(row).ok());
+  }
+
+  // Random complete formula: 2-3 regions over distinct columns — at least
+  // one to-end span (so targets are several characters wide; a formula of
+  // nothing but 1-char spans produces 2-char targets that are genuinely
+  // unidentifiable — every experiment in the paper has a wide region too).
+  size_t region_count = 2 + rng.Uniform(2);
+  std::vector<size_t> cols;
+  for (size_t c = 0; c < columns; ++c) cols.push_back(c);
+  rng.Shuffle(cols);
+  size_t wide = rng.Uniform(std::min(region_count, cols.size()));
+  std::vector<Region> regions;
+  for (size_t i = 0; i < region_count && i < cols.size(); ++i) {
+    if (i == wide || rng.Bernoulli(0.5)) {
+      regions.push_back(Region::SpanToEnd(cols[i], 1));
+    } else {
+      regions.push_back(Region::Span(cols[i], 1, 1 + rng.Uniform(3)));
+    }
+  }
+  planted.formula = TranslationFormula(std::move(regions));
+
+  std::vector<std::string> produced;
+  for (size_t r = 0; r < rows; ++r) {
+    auto v = planted.formula.Apply(planted.source, r);
+    if (v.has_value()) produced.push_back(*v);
+  }
+  rng.Shuffle(produced);
+  planted.target = Table::WithTextColumns({"a"});
+  for (auto& v : produced) {
+    EXPECT_TRUE(planted.target.AppendTextRow({v}).ok());
+  }
+  return planted;
+}
+
+class PlantedFormulaRecovery : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PlantedFormulaRecovery, SearchTranslatesMostRows) {
+  Planted planted = MakePlanted(GetParam(), 1200, 4);
+  ASSERT_GT(planted.target.num_rows(), 1000u);
+
+  SearchOptions options;
+  auto d = DiscoverTranslation(planted.source, planted.target, 0, options);
+  ASSERT_TRUE(d.ok()) << d.status();
+  EXPECT_TRUE(d->formula().IsComplete())
+      << d->formula().ToString(planted.source.schema());
+  // The planted formula covers every target row; the discovered one must
+  // cover the large majority (it may legitimately differ syntactically,
+  // e.g. [1-4] vs [1-n] on width-4 values, or pick an equivalent column).
+  double fraction = static_cast<double>(d->coverage.matched_rows()) /
+                    static_cast<double>(planted.target.num_rows());
+  EXPECT_GE(fraction, 0.9)
+      << "planted " << planted.formula.ToString() << ", found "
+      << d->formula().ToString() << " covering " << d->coverage.matched_rows()
+      << "/" << planted.target.num_rows();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlantedFormulaRecovery,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88));
+
+// Consistency property: for a complete formula, the retrieval pattern built
+// from a row matches exactly the value Apply produces for that row.
+class PatternApplyConsistency : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PatternApplyConsistency, PatternMatchesAppliedValue) {
+  Planted planted = MakePlanted(GetParam() + 1000, 120, 5);
+  for (size_t r = 0; r < planted.source.num_rows(); ++r) {
+    auto value = planted.formula.Apply(planted.source, r);
+    auto pattern = planted.formula.BuildPattern(planted.source, r);
+    ASSERT_EQ(value.has_value(), pattern.has_value());
+    if (!value.has_value()) continue;
+    EXPECT_TRUE(pattern->Matches(*value))
+        << planted.formula.ToString() << " row " << r << " value " << *value;
+    // A complete formula's pattern has no wildcards: it matches nothing else.
+    EXPECT_FALSE(pattern->Matches(*value + "x"));
+    if (!value->empty()) {
+      EXPECT_FALSE(pattern->Matches(value->substr(1)));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PatternApplyConsistency,
+                         ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace mcsm::core

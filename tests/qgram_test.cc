@@ -1,0 +1,117 @@
+#include "text/qgram.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace mcsm::text {
+namespace {
+
+TEST(QGramTest, PaperExample) {
+  // "the string possible contains five 4-grams, namely poss, ossi, ssib,
+  // sibl and ible" (Section 3.2).
+  auto grams = QGrams("possible", 4);
+  ASSERT_EQ(grams.size(), 5u);
+  EXPECT_EQ(grams[0], "poss");
+  EXPECT_EQ(grams[1], "ossi");
+  EXPECT_EQ(grams[2], "ssib");
+  EXPECT_EQ(grams[3], "sibl");
+  EXPECT_EQ(grams[4], "ible");
+}
+
+TEST(QGramTest, BigramsOfShortStrings) {
+  EXPECT_TRUE(QGrams("", 2).empty());
+  EXPECT_TRUE(QGrams("a", 2).empty());
+  auto grams = QGrams("ab", 2);
+  ASSERT_EQ(grams.size(), 1u);
+  EXPECT_EQ(grams[0], "ab");
+}
+
+TEST(QGramTest, ZeroQYieldsNothing) {
+  EXPECT_TRUE(QGrams("abc", 0).empty());
+  EXPECT_EQ(QGramCount(3, 0), 0u);
+}
+
+TEST(QGramTest, ProfileCountsMultiplicity) {
+  auto profile = QGramProfile("banana", 2);
+  EXPECT_EQ(profile["an"], 2);
+  EXPECT_EQ(profile["na"], 2);
+  EXPECT_EQ(profile["ba"], 1);
+  EXPECT_EQ(profile.size(), 3u);
+}
+
+TEST(QGramTest, ExcludingSeparatorCharacters) {
+  // Section 6.1: "we would not use a search key such as ':4' to search a
+  // timestamp column".
+  auto grams = QGramsExcluding("11:45:34", 2, ":");
+  for (const auto& g : grams) {
+    EXPECT_EQ(g.find(':'), std::string::npos) << g;
+  }
+  EXPECT_EQ(grams.size(), 3u);  // "11", "45", "34"
+}
+
+TEST(QGramTest, SharedCountsMinOfMultiplicities) {
+  EXPECT_EQ(SharedQGrams("banana", "anan", 2), 3);   // an x2? an:2/2, na:2/1
+  EXPECT_EQ(SharedQGrams("abc", "xyz", 2), 0);
+  EXPECT_EQ(SharedQGrams("abc", "abc", 2), 2);
+}
+
+TEST(QGramTest, SharedMaskedRespectsMask) {
+  // "04" is present in the target but masked out.
+  std::vector<bool> mask = {false, false, true, true, true, true};
+  EXPECT_EQ(SharedQGramsMasked("04", "040423", mask, 2), 1);  // only pos 2-3
+  std::vector<bool> none(6, false);
+  EXPECT_EQ(SharedQGramsMasked("04", "040423", none, 2), 0);
+  std::vector<bool> all(6, true);
+  // min-of-multiplicities: the key holds "04" once, so one shared gram even
+  // though the target holds it twice.
+  EXPECT_EQ(SharedQGramsMasked("04", "040423", all, 2), 1);
+}
+
+TEST(QGramTest, SharedMaskedGramMustBeFullyFree) {
+  // A gram straddling a masked boundary does not count.
+  std::vector<bool> mask = {true, false, true};
+  EXPECT_EQ(SharedQGramsMasked("ab", "abb", mask, 2), 0);
+}
+
+class QGramCountProperty : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(QGramCountProperty, CountMatchesFormulaOnRandomStrings) {
+  const size_t q = GetParam();
+  Rng rng(q * 7919);
+  for (int trial = 0; trial < 50; ++trial) {
+    size_t len = rng.Uniform(30);
+    std::string s = rng.RandomString(len, "abcd");
+    auto grams = QGrams(s, q);
+    EXPECT_EQ(grams.size(), QGramCount(len, q));
+    // Profile total equals gram count.
+    size_t total = 0;
+    for (const auto& [g, c] : QGramProfile(s, q)) total += c;
+    EXPECT_EQ(total, grams.size());
+    // Every gram has length q and occurs in s.
+    for (const auto& g : grams) {
+      EXPECT_EQ(g.size(), q);
+      EXPECT_NE(s.find(g), std::string::npos);
+    }
+  }
+}
+
+TEST_P(QGramCountProperty, SharedIsSymmetricAndBounded) {
+  const size_t q = GetParam();
+  Rng rng(q * 104729);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::string a = rng.RandomString(rng.Uniform(20), "abc");
+    std::string b = rng.RandomString(rng.Uniform(20), "abc");
+    int shared = SharedQGrams(a, b, q);
+    EXPECT_EQ(shared, SharedQGrams(b, a, q));
+    EXPECT_LE(shared, static_cast<int>(QGramCount(a.size(), q)));
+    EXPECT_LE(shared, static_cast<int>(QGramCount(b.size(), q)));
+    EXPECT_EQ(SharedQGrams(a, a, q), static_cast<int>(QGramCount(a.size(), q)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, QGramCountProperty,
+                         ::testing::Values(1, 2, 3, 4, 7));
+
+}  // namespace
+}  // namespace mcsm::text

@@ -1,0 +1,150 @@
+#include "core/recipe.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "text/alignment.h"
+
+namespace mcsm::core {
+namespace {
+
+std::vector<std::string> Render(const std::vector<TranslationFormula>& fs) {
+  std::vector<std::string> out;
+  for (const auto& f : fs) out.push_back(f.ToString());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool Contains(const std::vector<TranslationFormula>& fs, const std::string& s) {
+  for (const auto& f : fs) {
+    if (f.ToString() == s) return true;
+  }
+  return false;
+}
+
+TEST(FixedCoverageTest, NoneIsAllFree) {
+  auto f = FixedCoverage::None(4);
+  EXPECT_EQ(f.cover, (std::vector<int>{-1, -1, -1, -1}));
+  EXPECT_EQ(f.FreeMask(), (std::vector<bool>{true, true, true, true}));
+}
+
+TEST(FixedCoverageTest, FromCapturePairsSpansWithRegions) {
+  std::vector<relational::Span> spans = {{0, 1}, {2, 5}};
+  auto f = FixedCoverage::FromCapture(
+      7, spans, {Region::Span(0, 1, 1), Region::SpanToEnd(2, 1)});
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(f->cover, (std::vector<int>{0, -1, 1, 1, 1, 1, 1}));
+  EXPECT_EQ(f->FreeMask(),
+            (std::vector<bool>{false, true, false, false, false, false, false}));
+}
+
+TEST(FixedCoverageTest, MismatchedArityFails) {
+  std::vector<relational::Span> spans = {{0, 1}};
+  EXPECT_TRUE(FixedCoverage::FromCapture(3, spans, {}).status()
+                  .IsInvalidArgument());
+}
+
+TEST(FixedCoverageTest, SpanBeyondTargetFails) {
+  std::vector<relational::Span> spans = {{2, 5}};
+  EXPECT_TRUE(FixedCoverage::FromCapture(3, spans, {Region::Literal("x")})
+                  .status()
+                  .IsOutOfRange());
+}
+
+// Recreates Table 5's recipe derivations via alignment + formula building.
+TEST(RecipeTest, Table5WarnerToRhwarner) {
+  // Key "warner" (column B3 = index 2) against target "rhwarner".
+  auto alignment = text::AlignLcsAnchored("warner", "rhwarner");
+  auto formulas = BuildFormulasFromRecipe(
+      "rhwarner", FixedCoverage::None(8), alignment, 2, 6, 8);
+  // Both the fixed span and the end-of-string clone (Table 5's first row).
+  EXPECT_EQ(Render(formulas),
+            (std::vector<std::string>{"%B3[1-6]", "%B3[1-n]"}));
+}
+
+TEST(RecipeTest, Table5WarnerToKlwarder) {
+  auto alignment = text::AlignLcsAnchored("warner", "klwarder");
+  auto formulas = BuildFormulasFromRecipe(
+      "klwarder", FixedCoverage::None(8), alignment, 2, 6, 8);
+  // Table 5: %B3[123]%B3[56] or %B3[123]%B3[5-n].
+  EXPECT_TRUE(Contains(formulas, "%B3[1-3]%B3[5-6]"));
+  EXPECT_TRUE(Contains(formulas, "%B3[1-3]%B3[5-n]"));
+}
+
+TEST(RecipeTest, Table5AmyToAmyrose) {
+  // Key "amy" against "amyrose": B3[123]% / B3[1-n]%.
+  auto alignment = text::AlignLcsAnchored("amy", "amyrose");
+  auto formulas = BuildFormulasFromRecipe(
+      "amyrose", FixedCoverage::None(7), alignment, 2, 3, 8);
+  EXPECT_EQ(Render(formulas),
+            (std::vector<std::string>{"B3[1-3]%", "B3[1-n]%"}));
+}
+
+TEST(RecipeTest, Table5AmyToCamyro) {
+  auto alignment = text::AlignLcsAnchored("amy", "camyro");
+  auto formulas = BuildFormulasFromRecipe(
+      "camyro", FixedCoverage::None(6), alignment, 2, 3, 8);
+  EXPECT_EQ(Render(formulas),
+            (std::vector<std::string>{"%B3[1-3]%", "%B3[1-n]%"}));
+}
+
+TEST(RecipeTest, RefinementWithFixedRegions) {
+  // Table 6/7: key "robert" (B1 = 0) against "rhkerry" whose "kerry" suffix
+  // is already explained by %B3[1-n].
+  std::vector<relational::Span> spans = {{2, 5}};
+  auto fixed = FixedCoverage::FromCapture(7, spans, {Region::SpanToEnd(2, 1)});
+  ASSERT_TRUE(fixed.ok());
+  auto mask = fixed->FreeMask();
+  auto alignment = text::AlignLcsAnchored("robert", "rhkerry", &mask);
+  auto formulas =
+      BuildFormulasFromRecipe("rhkerry", *fixed, alignment, 0, 6, 8);
+  // Table 7's candidate: B1[1]%B3[1-n].
+  EXPECT_TRUE(Contains(formulas, "B1[1-1]%B3[1-n]"));
+}
+
+TEST(RecipeTest, NoRunsReproducesFixedStructure) {
+  std::vector<relational::Span> spans = {{2, 5}};
+  auto fixed = FixedCoverage::FromCapture(7, spans, {Region::SpanToEnd(2, 1)});
+  ASSERT_TRUE(fixed.ok());
+  text::RecipeAlignment empty;
+  auto formulas = BuildFormulasFromRecipe("rhkerry", *fixed, empty, 0, 6, 8);
+  ASSERT_EQ(formulas.size(), 1u);
+  EXPECT_EQ(formulas[0].ToString(), "%B3[1-n]");
+}
+
+TEST(RecipeTest, SizedUnknownsOnFixedWidthTargets) {
+  // Key "04" matching "0423" at positions 0-1 with sized unknowns.
+  auto alignment = text::AlignLcsAnchored("04", "0423");
+  auto formulas = BuildFormulasFromRecipe(
+      "0423", FixedCoverage::None(4), alignment, 1, 2, 8, /*sized=*/true);
+  EXPECT_TRUE(Contains(formulas, "B2[1-2]%{2}"));
+}
+
+TEST(RecipeTest, ForkExpansionCapped) {
+  // Alignment with two forkable runs would produce 4 variants; cap at 2.
+  text::RecipeAlignment alignment;
+  alignment.runs = {{1, 0, 2}, {1, 4, 2}};  // both end at key length 3
+  auto capped = BuildFormulasFromRecipe("abcdef", FixedCoverage::None(6),
+                                        alignment, 0, 3, 2);
+  EXPECT_LE(capped.size(), 2u);
+  auto full = BuildFormulasFromRecipe("abcdef", FixedCoverage::None(6),
+                                      alignment, 0, 3, 8);
+  EXPECT_EQ(full.size(), 4u);
+}
+
+TEST(RecipeTest, LiteralFixedRegionsPassThrough) {
+  // Separator scenario: target "kerry, robert", the ", " literal fixed.
+  std::vector<relational::Span> spans = {{5, 2}};
+  auto fixed = FixedCoverage::FromCapture(13, spans, {Region::Literal(", ")});
+  ASSERT_TRUE(fixed.ok());
+  auto mask = fixed->FreeMask();
+  auto alignment = text::AlignLcsAnchored("kerry", "kerry, robert", &mask);
+  auto formulas = BuildFormulasFromRecipe("kerry, robert", *fixed, alignment,
+                                          2, 5, 8);
+  EXPECT_TRUE(Contains(formulas, "B3[1-n]\", \"%"));
+  EXPECT_TRUE(Contains(formulas, "B3[1-5]\", \"%"));
+}
+
+}  // namespace
+}  // namespace mcsm::core

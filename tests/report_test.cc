@@ -1,0 +1,79 @@
+#include "core/report.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/datasets.h"
+
+namespace mcsm::core {
+namespace {
+
+using relational::Table;
+using relational::Value;
+
+TEST(ReportTest, CountsEveryRowOnce) {
+  Table source = Table::WithTextColumns({"a"});
+  Table target = Table::WithTextColumns({"t"});
+  ASSERT_TRUE(source.AppendTextRow({"x"}).ok());      // covered
+  ASSERT_TRUE(source.AppendTextRow({"y"}).ok());      // produced, unmatched
+  ASSERT_TRUE(source.AppendRow({Value::MakeNull()}).ok());  // unsatisfiable
+  ASSERT_TRUE(target.AppendTextRow({"x"}).ok());
+  ASSERT_TRUE(target.AppendTextRow({"z"}).ok());      // unexplained
+
+  TranslationFormula f({Region::SpanToEnd(0, 1)});
+  auto report = EvaluateTranslation(f, source, target, 0);
+  EXPECT_EQ(report.source_rows, 3u);
+  EXPECT_EQ(report.target_rows, 2u);
+  EXPECT_EQ(report.covered, 1u);
+  EXPECT_EQ(report.produced_unmatched, 1u);
+  EXPECT_EQ(report.unsatisfiable, 1u);
+  EXPECT_EQ(report.target_unexplained, 1u);
+  EXPECT_DOUBLE_EQ(report.CoverageFraction(), 0.5);
+  EXPECT_DOUBLE_EQ(report.Precision(), 0.5);
+  // Every source row lands in exactly one bucket.
+  EXPECT_EQ(report.covered + report.produced_unmatched + report.unsatisfiable,
+            report.source_rows);
+}
+
+TEST(ReportTest, IncompleteFormulaAllUnsatisfiable) {
+  Table source = Table::WithTextColumns({"a"});
+  Table target = Table::WithTextColumns({"t"});
+  ASSERT_TRUE(source.AppendTextRow({"x"}).ok());
+  ASSERT_TRUE(target.AppendTextRow({"x"}).ok());
+  TranslationFormula f({Region::Unknown()});
+  auto report = EvaluateTranslation(f, source, target, 0);
+  EXPECT_EQ(report.unsatisfiable, 1u);
+  EXPECT_EQ(report.covered, 0u);
+}
+
+TEST(ReportTest, UserIdDominantFormulaPrecision) {
+  datagen::UserIdOptions o;
+  o.rows = 2000;
+  auto data = datagen::MakeUserIdDataset(o);
+  TranslationFormula dominant({Region::Span(0, 1, 1), Region::SpanToEnd(2, 1)});
+  auto report = EvaluateTranslation(dominant, data.source, data.target, 0);
+  // ~half the logins follow the dominant formula; the other produced values
+  // (secondary/random logins) do not match.
+  EXPECT_GT(report.CoverageFraction(), 0.4);
+  EXPECT_LT(report.CoverageFraction(), 0.65);
+  EXPECT_EQ(report.unsatisfiable, 0u);  // every row has first+last
+  EXPECT_EQ(report.covered + report.produced_unmatched, report.source_rows);
+  std::string rendered = report.ToString();
+  EXPECT_NE(rendered.find("covered"), std::string::npos);
+  EXPECT_NE(rendered.find("precision"), std::string::npos);
+}
+
+TEST(ReportTest, ReportMatchesCoverageComputation) {
+  datagen::TimeOptions o;
+  o.rows = 500;
+  auto data = datagen::MakeTimeDataset(o);
+  TranslationFormula f({Region::Span(2, 1, 2), Region::Span(1, 1, 2),
+                        Region::Span(0, 1, 2)});
+  auto report = EvaluateTranslation(f, data.source, data.target, 0);
+  auto coverage =
+      TranslationSearch::ComputeCoverage(f, data.source, data.target, 0);
+  EXPECT_EQ(report.covered, coverage.matched_rows());
+  EXPECT_EQ(report.covered, 500u);
+}
+
+}  // namespace
+}  // namespace mcsm::core

@@ -1,0 +1,133 @@
+#include "core/rule_merger.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/datasets.h"
+
+namespace mcsm::core {
+namespace {
+
+using relational::Table;
+
+TranslationFormula LoginDominant() {
+  // first[1-1] + last[1-n]
+  return TranslationFormula({Region::Span(0, 1, 1), Region::SpanToEnd(2, 1)});
+}
+
+TranslationFormula LoginSecondary() {
+  // first[1-1] + middle[1-1] + last[1-n]
+  return TranslationFormula(
+      {Region::Span(0, 1, 1), Region::Span(1, 1, 1), Region::SpanToEnd(2, 1)});
+}
+
+TEST(MergedRuleTest, PaperSection7Example) {
+  // "login = first[1-1]+middle[1-1]+last[1-n] would also encompass the rule
+  // login = first[1-1]+last[1-n]".
+  auto rule = MergedRule::Merge(LoginSecondary(), LoginDominant());
+  ASSERT_TRUE(rule.has_value());
+  EXPECT_EQ(rule->OptionalCount(), 1u);
+  Table t = Table::WithTextColumns({"first", "middle", "last"});
+  EXPECT_EQ(rule->ToString(t.schema()),
+            "first[1-1](middle[1-1])?last[1-n]");
+}
+
+TEST(MergedRuleTest, MergeIsSymmetric) {
+  auto a = MergedRule::Merge(LoginDominant(), LoginSecondary());
+  auto b = MergedRule::Merge(LoginSecondary(), LoginDominant());
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(a->ToString(), b->ToString());
+}
+
+TEST(MergedRuleTest, NonEmbeddableFormulasDoNotMerge) {
+  TranslationFormula other({Region::Span(3, 1, 2), Region::SpanToEnd(2, 1)});
+  EXPECT_FALSE(MergedRule::Merge(LoginDominant(), other).has_value());
+}
+
+TEST(MergedRuleTest, IncompleteFormulasDoNotMerge) {
+  TranslationFormula incomplete({Region::Unknown(), Region::SpanToEnd(2, 1)});
+  EXPECT_FALSE(MergedRule::Merge(incomplete, LoginDominant()).has_value());
+}
+
+TEST(MergedRuleTest, ExpansionsEnumerateBothFormulas) {
+  auto rule = MergedRule::Merge(LoginSecondary(), LoginDominant());
+  ASSERT_TRUE(rule.has_value());
+  auto expansions = rule->Expansions();
+  ASSERT_EQ(expansions.size(), 2u);
+  EXPECT_EQ(expansions[0], LoginSecondary());  // most specific first
+  EXPECT_EQ(expansions[1], LoginDominant());
+}
+
+TEST(MergedRuleTest, ExpansionCapRespected) {
+  // Four optional regions -> 16 expansions, capped to 4.
+  MergedRule rule = MergedRule::FromFormula(TranslationFormula(
+      {Region::Span(0, 1, 1), Region::Span(1, 1, 1), Region::Span(2, 1, 1),
+       Region::Span(3, 1, 1), Region::Span(4, 1, 1)}));
+  auto merged = rule.MergedWith(TranslationFormula({Region::Span(0, 1, 1)}));
+  ASSERT_TRUE(merged.has_value());
+  EXPECT_EQ(merged->OptionalCount(), 4u);
+  EXPECT_LE(merged->Expansions(4).size(), 4u);
+}
+
+TEST(MergedRuleTest, SingletonRuleExpandsToItself) {
+  MergedRule rule = MergedRule::FromFormula(LoginDominant());
+  auto expansions = rule.Expansions();
+  ASSERT_EQ(expansions.size(), 1u);
+  EXPECT_EQ(expansions[0], LoginDominant());
+}
+
+TEST(MergedRuleTest, UnionCoverageEqualsSumOnUserId) {
+  // The merged login rule must cover (at least) the union of what the two
+  // formulas cover individually — the "greater coverage" the paper is after.
+  datagen::UserIdOptions o;
+  o.rows = 2000;
+  auto data = datagen::MakeUserIdDataset(o);
+  auto dominant_coverage = TranslationSearch::ComputeCoverage(
+      LoginDominant(), data.source, data.target, 0);
+  auto secondary_coverage = TranslationSearch::ComputeCoverage(
+      LoginSecondary(), data.source, data.target, 0);
+  auto rule = MergedRule::Merge(LoginDominant(), LoginSecondary());
+  ASSERT_TRUE(rule.has_value());
+  auto merged_coverage = rule->ComputeCoverage(data.source, data.target, 0);
+  EXPECT_GE(merged_coverage.matched_rows(),
+            std::max(dominant_coverage.matched_rows(),
+                     secondary_coverage.matched_rows()));
+  // The two login populations are disjoint, so the union is close to the sum
+  // (a few collisions are possible via coincidental logins).
+  EXPECT_GT(merged_coverage.matched_rows(),
+            (dominant_coverage.matched_rows() +
+             secondary_coverage.matched_rows()) * 9 / 10);
+}
+
+TEST(MergedRuleTest, CoverageUsesEachTargetRowOnce) {
+  Table source = Table::WithTextColumns({"a", "b"});
+  Table target = Table::WithTextColumns({"t"});
+  ASSERT_TRUE(source.AppendTextRow({"x", "y"}).ok());
+  ASSERT_TRUE(target.AppendTextRow({"xy"}).ok());
+  // Rule (a[1-1])?(b[1-1])? with both parts... merge "xy" formula with "x".
+  TranslationFormula both({Region::Span(0, 1, 1), Region::Span(1, 1, 1)});
+  TranslationFormula first_only({Region::Span(0, 1, 1)});
+  auto rule = MergedRule::Merge(both, first_only);
+  ASSERT_TRUE(rule.has_value());
+  auto coverage = rule->ComputeCoverage(source, target, 0);
+  EXPECT_EQ(coverage.matched_rows(), 1u);  // "xy" matches, "x" not needed
+}
+
+TEST(MergeRulesTest, FoldsEmbeddableFormulas) {
+  auto rules = MergeRules({LoginDominant(), LoginSecondary()});
+  ASSERT_EQ(rules.size(), 1u);
+  EXPECT_EQ(rules[0].OptionalCount(), 1u);
+}
+
+TEST(MergeRulesTest, KeepsUnrelatedFormulasSeparate) {
+  TranslationFormula other({Region::SpanToEnd(5, 1)});
+  auto rules = MergeRules({LoginDominant(), other});
+  EXPECT_EQ(rules.size(), 2u);
+}
+
+TEST(MergeRulesTest, EmptyInput) {
+  EXPECT_TRUE(MergeRules({}).empty());
+}
+
+}  // namespace
+}  // namespace mcsm::core

@@ -1,0 +1,262 @@
+#include "core/search.h"
+
+#include <gtest/gtest.h>
+
+#include "core/matcher.h"
+#include "datagen/datasets.h"
+
+namespace mcsm::core {
+namespace {
+
+// Small-scale end-to-end searches over the paper's scenarios. The full-size
+// runs live in bench/; these guard the pipeline at ctest-friendly sizes.
+
+SearchOptions FastOptions() {
+  SearchOptions o;
+  o.sample_fraction = 0.10;
+  return o;
+}
+
+TEST(SearchTest, UserIdDominantFormula) {
+  datagen::UserIdOptions o;
+  o.rows = 2000;
+  auto data = datagen::MakeUserIdDataset(o);
+  auto d = DiscoverTranslation(data.source, data.target, 0, FastOptions());
+  ASSERT_TRUE(d.ok()) << d.status();
+  std::string formula = d->formula().ToString(data.source.schema());
+  EXPECT_TRUE(formula == "first[1-1]last[1-n]" ||
+              formula == "first[1-1]middle[1-1]last[1-n]")
+      << formula;
+  EXPECT_GT(d->coverage.matched_rows(), 300u);
+  EXPECT_FALSE(d->sql.empty());
+}
+
+TEST(SearchTest, UserIdMatchAndRemoveFindsBothFormulas) {
+  datagen::UserIdOptions o;
+  o.rows = 3000;
+  auto data = datagen::MakeUserIdDataset(o);
+  auto all = DiscoverAllTranslations(data.source, data.target, 0,
+                                     FastOptions(), 4, 50);
+  ASSERT_TRUE(all.ok());
+  std::set<std::string> found;
+  for (const auto& d : *all) {
+    found.insert(d.formula().ToString(data.source.schema()));
+  }
+  EXPECT_TRUE(found.count("first[1-1]last[1-n]") == 1) << all->size();
+  EXPECT_TRUE(found.count("first[1-1]middle[1-1]last[1-n]") == 1);
+}
+
+TEST(SearchTest, TimeConcatenation) {
+  datagen::TimeOptions o;
+  o.rows = 3000;
+  auto data = datagen::MakeTimeDataset(o);
+  auto d = DiscoverTranslation(data.source, data.target, 0, FastOptions());
+  ASSERT_TRUE(d.ok()) << d.status();
+  EXPECT_EQ(d->formula().ToString(data.source.schema()),
+            "hrs[1-2]mins[1-2]secs[1-2]");
+  EXPECT_EQ(d->coverage.matched_rows(), data.target.num_rows());
+}
+
+TEST(SearchTest, MergedNamesConcatenation) {
+  datagen::MergedNamesOptions o;
+  o.rows = 4000;
+  o.distinct_names = 800;
+  auto data = datagen::MakeMergedNamesDataset(o);
+  auto d = DiscoverTranslation(data.source, data.target, 0, FastOptions());
+  ASSERT_TRUE(d.ok()) << d.status();
+  EXPECT_EQ(d->formula().ToString(data.source.schema()),
+            "first[1-n]last[1-n]");
+  EXPECT_EQ(d->coverage.matched_rows(), data.target.num_rows());
+}
+
+TEST(SearchTest, CommaSeparatorRecovered) {
+  datagen::MergedNamesOptions o;
+  o.rows = 3000;
+  o.distinct_names = 600;
+  o.comma_separator = true;
+  auto data = datagen::MakeMergedNamesDataset(o);
+  SearchOptions so = FastOptions();
+  so.detect_separators = true;
+  auto d = DiscoverTranslation(data.source, data.target, 0, so);
+  ASSERT_TRUE(d.ok()) << d.status();
+  EXPECT_EQ(d->formula().ToString(data.source.schema()),
+            "last[1-n]\", \"first[1-n]");
+  EXPECT_EQ(d->coverage.matched_rows(), data.target.num_rows());
+}
+
+TEST(SearchTest, DateFormatTranslation) {
+  datagen::DateFormatOptions o;
+  o.rows = 3000;
+  auto data = datagen::MakeDateFormatDataset(o);
+  SearchOptions so = FastOptions();
+  so.detect_separators = true;
+  auto d = DiscoverTranslation(data.source, data.target, 0, so);
+  ASSERT_TRUE(d.ok()) << d.status();
+  EXPECT_EQ(d->formula().ToString(data.source.schema()),
+            "date[6-7]\"/\"date[9-10]\"/\"date[1-4]");
+  EXPECT_EQ(d->coverage.matched_rows(), data.target.num_rows());
+}
+
+TEST(SearchTest, PartNumberSeparators) {
+  // Section 6.1's "FRU-13423-2005" example: two hyphens, three fields.
+  datagen::PartNumberOptions o;
+  o.rows = 3000;
+  auto data = datagen::MakePartNumberDataset(o);
+  SearchOptions so = FastOptions();
+  so.detect_separators = true;
+  auto d = DiscoverTranslation(data.source, data.target, 0, so);
+  ASSERT_TRUE(d.ok()) << d.status();
+  std::string formula = d->formula().ToString(data.source.schema());
+  // All three fields are fixed width, so the sized rendering ([1-3] etc.)
+  // denotes the same translation as the to-end one.
+  EXPECT_TRUE(formula == "plant[1-n]\"-\"serial[1-n]\"-\"year[1-n]" ||
+              formula == "plant[1-3]\"-\"serial[1-5]\"-\"year[1-4]")
+      << formula;
+  EXPECT_EQ(d->coverage.matched_rows(), data.target.num_rows());
+}
+
+TEST(SearchTest, CitationConcatenation) {
+  datagen::CitationOptions o;
+  o.rows = 5000;
+  auto data = datagen::MakeCitationDataset(o);
+  SearchOptions so;
+  so.sample_fraction = 0.02;
+  auto d = DiscoverTranslation(data.source, data.target, 0, so);
+  ASSERT_TRUE(d.ok()) << d.status();
+  std::string formula = d->formula().ToString(data.source.schema());
+  // year[1-4] and year[1-n] are observationally identical (years are 4
+  // chars); accept either rendering.
+  EXPECT_TRUE(formula == "year[1-4]title[1-n]author1[1-n]" ||
+              formula == "year[1-n]title[1-n]author1[1-n]")
+      << formula;
+  EXPECT_EQ(d->coverage.matched_rows(), data.target.num_rows());
+}
+
+TEST(SearchTest, StepwiseApiReportsScores) {
+  datagen::UserIdOptions o;
+  o.rows = 1000;
+  auto data = datagen::MakeUserIdDataset(o);
+  TranslationSearch search(data.source, data.target, 0, FastOptions());
+  std::vector<double> scores;
+  auto col = search.SelectStartColumn(&scores);
+  ASSERT_TRUE(col.ok());
+  ASSERT_EQ(scores.size(), data.source.num_columns());
+  // The name columns must outscore every noise column (Table 2's shape;
+  // the paper's own first/last scores are within 15%% of each other, so the
+  // argmax between them is sample-dependent).
+  size_t last = *data.source.schema().FindColumn("last");
+  size_t first = *data.source.schema().FindColumn("first");
+  for (size_t c = 0; c < scores.size(); ++c) {
+    std::string name = data.source.schema().column(c).name;
+    if (name == "text" || name == "time" || name == "numb" || name == "addr") {
+      EXPECT_GT(scores[last], scores[c]) << name;
+      EXPECT_GT(scores[first], scores[c]) << name;
+    }
+  }
+  EXPECT_TRUE(*col == last || *col == first);
+}
+
+TEST(SearchTest, InitialFormulaFromStartColumn) {
+  datagen::UserIdOptions o;
+  o.rows = 1000;
+  auto data = datagen::MakeUserIdDataset(o);
+  TranslationSearch search(data.source, data.target, 0, FastOptions());
+  auto f = search.BuildInitialFormula(
+      *data.source.schema().FindColumn("last"));
+  ASSERT_TRUE(f.ok()) << f.status();
+  EXPECT_EQ(f->ToString(data.source.schema()), "%last[1-n]");
+}
+
+TEST(SearchTest, LinkageConstrainsAndAccelerates) {
+  datagen::UserIdOptions o;
+  o.rows = 1500;
+  o.with_dates = true;
+  auto data = datagen::MakeUserIdDataset(o);
+
+  // Known login translation provides the row linkage (Section 6.2).
+  TranslationFormula login({Region::Span(0, 1, 1), Region::SpanToEnd(2, 1)});
+  auto linkage = BuildLinkage(login, data.source, data.target, 0);
+  size_t linked = 0;
+  for (size_t l : linkage) {
+    if (l != TranslationSearch::kNoLink) ++linked;
+  }
+  EXPECT_GT(linked, 400u);
+
+  SearchOptions so = FastOptions();
+  so.detect_separators = true;
+  TranslationSearch dob(data.source, data.target, 1, so);
+  dob.SetLinkage(linkage);
+  auto result = dob.Run();
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->formula.ToString(data.source.schema()),
+            "birth[1-2]\"/\"birth[4-5]\"/\"birth[9-10]");
+  auto coverage =
+      TranslationSearch::ComputeCoverage(result->formula, data.source,
+                                         data.target, 1);
+  EXPECT_EQ(coverage.matched_rows(), data.target.num_rows());
+}
+
+TEST(SearchTest, CoverageLinksEachTargetRowOnce) {
+  relational::Table source = relational::Table::WithTextColumns({"a"});
+  relational::Table target = relational::Table::WithTextColumns({"t"});
+  // Two source rows produce "x", but only one target "x" exists.
+  ASSERT_TRUE(source.AppendTextRow({"x"}).ok());
+  ASSERT_TRUE(source.AppendTextRow({"x"}).ok());
+  ASSERT_TRUE(target.AppendTextRow({"x"}).ok());
+  TranslationFormula f({Region::SpanToEnd(0, 1)});
+  auto coverage = TranslationSearch::ComputeCoverage(f, source, target, 0);
+  EXPECT_EQ(coverage.matched_rows(), 1u);
+}
+
+TEST(SearchTest, CoverageOfIncompleteFormulaIsEmpty) {
+  relational::Table source = relational::Table::WithTextColumns({"a"});
+  relational::Table target = relational::Table::WithTextColumns({"t"});
+  ASSERT_TRUE(source.AppendTextRow({"x"}).ok());
+  ASSERT_TRUE(target.AppendTextRow({"x"}).ok());
+  TranslationFormula f({Region::Unknown()});
+  EXPECT_EQ(TranslationSearch::ComputeCoverage(f, source, target, 0)
+                .matched_rows(),
+            0u);
+}
+
+TEST(SearchTest, RobustnessToUnmatchedRows) {
+  // Section 4.1's sweep: with a moderate number of extra unmatched source
+  // rows the dominant formula is still found.
+  datagen::UserIdOptions o;
+  o.rows = 1500;
+  o.extra_unmatched_rows = 500;
+  auto data = datagen::MakeUserIdDataset(o);
+  auto d = DiscoverTranslation(data.source, data.target, 0, FastOptions());
+  ASSERT_TRUE(d.ok()) << d.status();
+  EXPECT_TRUE(d->formula().IsComplete());
+  EXPECT_GT(d->coverage.matched_rows(), 200u);
+}
+
+TEST(SearchTest, NoSharedContentFails) {
+  relational::Table source = relational::Table::WithTextColumns({"a"});
+  relational::Table target = relational::Table::WithTextColumns({"t"});
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(source.AppendTextRow({"aaaa"}).ok());
+    ASSERT_TRUE(target.AppendTextRow({"zzzz"}).ok());
+  }
+  TranslationSearch search(source, target, 0, FastOptions());
+  auto result = search.Run();
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(SearchTest, StatsAreRecorded) {
+  datagen::UserIdOptions o;
+  o.rows = 800;
+  auto data = datagen::MakeUserIdDataset(o);
+  TranslationSearch search(data.source, data.target, 0, FastOptions());
+  auto result = search.Run();
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->stats.step1_seconds, 0.0);
+  EXPECT_GT(result->stats.step2_seconds, 0.0);
+  EXPECT_GT(result->stats.recipes_built, 0u);
+  EXPECT_GT(result->stats.pairs_scored, 0u);
+  EXPECT_GT(result->stats.total_seconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace mcsm::core

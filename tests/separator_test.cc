@@ -1,0 +1,134 @@
+#include "core/separator.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "datagen/corpus.h"
+
+namespace mcsm::core {
+namespace {
+
+using relational::Table;
+
+Table ColumnOf(const std::vector<std::string>& values) {
+  Table t = Table::WithTextColumns({"a"});
+  for (const auto& v : values) EXPECT_TRUE(t.AppendTextRow({v}).ok());
+  return t;
+}
+
+TEST(SeparatorTest, IsSeparatorChar) {
+  EXPECT_TRUE(SeparatorDetector::IsSeparatorChar(':'));
+  EXPECT_TRUE(SeparatorDetector::IsSeparatorChar(' '));
+  EXPECT_TRUE(SeparatorDetector::IsSeparatorChar('-'));
+  EXPECT_FALSE(SeparatorDetector::IsSeparatorChar('a'));
+  EXPECT_FALSE(SeparatorDetector::IsSeparatorChar('7'));
+}
+
+TEST(SeparatorTest, FixedWidthTimestamps) {
+  // Section 6.1: "given a column of instances of timestamps of the form
+  // '11:45:34', the algorithm would return '%:%:%'".
+  Table t = ColumnOf({"11:45:34", "04:12:53", "23:59:59"});
+  auto tmpl = SeparatorDetector::DetectFixedWidth(t, 0);
+  ASSERT_TRUE(tmpl.has_value());
+  EXPECT_EQ(tmpl->ToLikeString(), "%:%:%");
+}
+
+TEST(SeparatorTest, FixedWidthRejectsVariableWidth) {
+  Table t = ColumnOf({"11:45:34", "1:2:3"});
+  EXPECT_FALSE(SeparatorDetector::DetectFixedWidth(t, 0).has_value());
+}
+
+TEST(SeparatorTest, FixedWidthRejectsInconsistentSeparator) {
+  Table t = ColumnOf({"11:45", "11-45"});
+  EXPECT_FALSE(SeparatorDetector::DetectFixedWidth(t, 0).has_value());
+}
+
+TEST(SeparatorTest, FixedWidthNoSeparators) {
+  Table t = ColumnOf({"abcd", "efgh"});
+  EXPECT_FALSE(SeparatorDetector::DetectFixedWidth(t, 0).has_value());
+}
+
+TEST(SeparatorTest, GeneralDetectorOnFixedWidth) {
+  Table t = ColumnOf({"11:45:34", "04:12:53", "23:59:59"});
+  auto tmpl = SeparatorDetector::Detect(t, 0);
+  ASSERT_TRUE(tmpl.has_value());
+  EXPECT_EQ(tmpl->ToLikeString(), "%:%:%");
+}
+
+TEST(SeparatorTest, VariableWidthCommaSpace) {
+  // Table 11: "last, first" with variable lengths must recover "%, %".
+  Rng rng(21);
+  std::vector<std::string> values;
+  const auto& firsts = datagen::FirstNames();
+  const auto& lasts = datagen::LastNames();
+  for (int i = 0; i < 500; ++i) {
+    values.push_back(lasts[rng.Uniform(lasts.size())] + ", " +
+                     firsts[rng.Uniform(firsts.size())]);
+  }
+  Table t = ColumnOf(values);
+  auto tmpl = SeparatorDetector::Detect(t, 0);
+  ASSERT_TRUE(tmpl.has_value());
+  EXPECT_EQ(tmpl->ToLikeString(), "%, %");
+  // Every instance matches the recovered template.
+  for (const auto& v : values) EXPECT_TRUE(tmpl->Matches(v));
+}
+
+TEST(SeparatorTest, DateSlashes) {
+  Rng rng(5);
+  std::vector<std::string> values;
+  for (int i = 0; i < 300; ++i) {
+    values.push_back(StrFormat("%02d/%02d/%04d", 1 + (int)rng.Uniform(12),
+                               1 + (int)rng.Uniform(28),
+                               1920 + (int)rng.Uniform(90)));
+  }
+  Table t = ColumnOf(values);
+  auto tmpl = SeparatorDetector::Detect(t, 0);
+  ASSERT_TRUE(tmpl.has_value());
+  EXPECT_EQ(tmpl->ToLikeString(), "%/%/%");
+}
+
+TEST(SeparatorTest, NoSeparatorColumnReturnsNothing) {
+  Rng rng(9);
+  std::vector<std::string> values;
+  for (int i = 0; i < 200; ++i) values.push_back(rng.RandomString(8, "abc"));
+  Table t = ColumnOf(values);
+  EXPECT_FALSE(SeparatorDetector::Detect(t, 0).has_value());
+}
+
+TEST(SeparatorTest, SeparatorMissingFromSomeInstancesRejected) {
+  // The template must match ALL instances; one exception kills it.
+  std::vector<std::string> values(50, "ab-cd");
+  values.push_back("abcde");
+  Table t = ColumnOf(values);
+  EXPECT_FALSE(SeparatorDetector::Detect(t, 0).has_value());
+}
+
+TEST(SeparatorTest, HistogramCountsRelativePositions) {
+  // Figure 4's data: comma and space counts clustered mid-string.
+  Table t = ColumnOf({"ab, cd", "xy, zw"});
+  auto histogram = SeparatorDetector::BuildHistogram(t, 0);
+  size_t comma_total = 0, space_total = 0;
+  for (const auto& e : histogram) {
+    if (e.separator == ',') comma_total += e.count;
+    if (e.separator == ' ') space_total += e.count;
+  }
+  EXPECT_EQ(comma_total, 2u);
+  EXPECT_EQ(space_total, 2u);
+}
+
+TEST(SeparatorTest, TemplateSeparatorChars) {
+  Table t = ColumnOf({"11:45:34", "04:12:53"});
+  auto tmpl = SeparatorDetector::Detect(t, 0);
+  ASSERT_TRUE(tmpl.has_value());
+  EXPECT_EQ(SeparatorDetector::TemplateSeparatorChars(*tmpl), ":");
+}
+
+TEST(SeparatorTest, EmptyColumn) {
+  Table t = Table::WithTextColumns({"a"});
+  EXPECT_FALSE(SeparatorDetector::Detect(t, 0).has_value());
+  EXPECT_FALSE(SeparatorDetector::DetectFixedWidth(t, 0).has_value());
+}
+
+}  // namespace
+}  // namespace mcsm::core

@@ -1,0 +1,87 @@
+#include "text/similarity.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace mcsm::text {
+namespace {
+
+TEST(SimilarityTest, NormalizedEditSimilarityRange) {
+  EXPECT_DOUBLE_EQ(NormalizedEditSimilarity("abc", "abc"), 1.0);
+  EXPECT_DOUBLE_EQ(NormalizedEditSimilarity("abc", "xyz"), 0.0);
+  EXPECT_DOUBLE_EQ(NormalizedEditSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(NormalizedEditSimilarity("abcd", "abcx"), 0.75);
+}
+
+TEST(SimilarityTest, TokenizeSplitsOnNonAlnum) {
+  EXPECT_EQ(Tokenize("j. smith, jr"),
+            (std::vector<std::string>{"j", "smith", "jr"}));
+  EXPECT_TRUE(Tokenize("...").empty());
+  EXPECT_EQ(Tokenize("word"), (std::vector<std::string>{"word"}));
+}
+
+TEST(SimilarityTest, MongeElkanMatchesReorderedTokens) {
+  // The field-level behaviour that motivated Monge-Elkan: reordered name
+  // parts still score high.
+  double reordered = MongeElkanSymmetric("robert kerry", "kerry, robert");
+  EXPECT_GT(reordered, 0.95);
+  double unrelated = MongeElkanSymmetric("robert kerry", "alice zzz");
+  EXPECT_LT(unrelated, 0.5);
+}
+
+TEST(SimilarityTest, MongeElkanAsymmetry) {
+  // Every token of "smith" matches into "john smith" perfectly; the reverse
+  // direction pays for the unmatched "john".
+  EXPECT_DOUBLE_EQ(MongeElkanSimilarity("smith", "john smith"), 1.0);
+  EXPECT_LT(MongeElkanSimilarity("john smith", "smith"), 1.0);
+}
+
+TEST(SimilarityTest, MongeElkanEmptyInputs) {
+  EXPECT_DOUBLE_EQ(MongeElkanSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(MongeElkanSimilarity("", "abc"), 0.0);
+  EXPECT_DOUBLE_EQ(MongeElkanSimilarity("abc", ""), 0.0);
+}
+
+TEST(SimilarityTest, JaccardCases) {
+  EXPECT_DOUBLE_EQ(JaccardQGramSimilarity("abc", "abc", 2), 1.0);
+  EXPECT_DOUBLE_EQ(JaccardQGramSimilarity("abc", "xyz", 2), 0.0);
+  // "abcd" grams {ab,bc,cd}, "abce" grams {ab,bc,ce}: 2 shared of 4 total.
+  EXPECT_DOUBLE_EQ(JaccardQGramSimilarity("abcd", "abce", 2), 0.5);
+  EXPECT_DOUBLE_EQ(JaccardQGramSimilarity("", "", 2), 1.0);
+}
+
+TEST(SimilarityTest, OverlapCoefficientCases) {
+  // "ab" ({ab}) fully inside "abcd" ({ab,bc,cd}).
+  EXPECT_DOUBLE_EQ(OverlapQGramCoefficient("ab", "abcd", 2), 1.0);
+  EXPECT_DOUBLE_EQ(OverlapQGramCoefficient("ab", "xy", 2), 0.0);
+  EXPECT_DOUBLE_EQ(OverlapQGramCoefficient("a", "abc", 2), 0.0);  // no grams
+}
+
+class SimilarityProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimilarityProperty, AllMeasuresBoundedAndReflexive) {
+  Rng rng(GetParam() * 271);
+  for (int trial = 0; trial < 60; ++trial) {
+    std::string a = rng.RandomString(rng.Uniform(12), "abc ");
+    std::string b = rng.RandomString(rng.Uniform(12), "abc ");
+    for (double v : {NormalizedEditSimilarity(a, b), MongeElkanSymmetric(a, b),
+                     JaccardQGramSimilarity(a, b, 2),
+                     OverlapQGramCoefficient(a, b, 2)}) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0 + 1e-12);
+    }
+    EXPECT_DOUBLE_EQ(NormalizedEditSimilarity(a, a), 1.0);
+    EXPECT_DOUBLE_EQ(JaccardQGramSimilarity(a, a, 2), 1.0);
+    EXPECT_DOUBLE_EQ(MongeElkanSymmetric(a, a), 1.0);
+    // Symmetric variants are symmetric.
+    EXPECT_DOUBLE_EQ(MongeElkanSymmetric(a, b), MongeElkanSymmetric(b, a));
+    EXPECT_DOUBLE_EQ(JaccardQGramSimilarity(a, b, 2),
+                     JaccardQGramSimilarity(b, a, 2));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimilarityProperty, ::testing::Values(1, 2, 3));
+
+}  // namespace
+}  // namespace mcsm::text

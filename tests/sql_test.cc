@@ -1,0 +1,375 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+#include "relational/database.h"
+#include "sql/engine.h"
+#include "sql/evaluator.h"
+#include "sql/lexer.h"
+#include "sql/parser.h"
+
+namespace mcsm::sql {
+namespace {
+
+using relational::Value;
+
+TEST(LexerTest, TokenizesKeywordsIdentifiersAndSymbols) {
+  auto tokens = Tokenize("SELECT first FROM t1 WHERE x <> 3.5");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 9u);  // incl. kEnd
+  EXPECT_TRUE((*tokens)[0].IsKeyword("select"));
+  EXPECT_EQ((*tokens)[1].type, TokenType::kIdentifier);
+  EXPECT_EQ((*tokens)[1].text, "first");
+  EXPECT_TRUE((*tokens)[6].IsSymbol("<>"));
+  EXPECT_EQ((*tokens)[7].type, TokenType::kReal);
+  EXPECT_DOUBLE_EQ((*tokens)[7].real, 3.5);
+}
+
+TEST(LexerTest, StringLiteralsWithQuoteEscape) {
+  auto tokens = Tokenize("'it''s'");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].type, TokenType::kString);
+  EXPECT_EQ((*tokens)[0].text, "it's");
+}
+
+TEST(LexerTest, ErrorsOnUnterminatedString) {
+  EXPECT_TRUE(Tokenize("'oops").status().IsParseError());
+}
+
+TEST(LexerTest, NormalizesNotEquals) {
+  auto tokens = Tokenize("a != b");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_TRUE((*tokens)[1].IsSymbol("<>"));
+}
+
+TEST(LexerTest, LineComments) {
+  auto tokens = Tokenize("select -- comment\n 1");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[1].type, TokenType::kInteger);
+}
+
+TEST(ParserTest, RejectsGarbage) {
+  EXPECT_TRUE(Parse("TRUNCATE t").status().IsParseError());
+  EXPECT_TRUE(Parse("select from").status().IsParseError());
+  EXPECT_TRUE(Parse("select 1 extra garbage ,").status().IsParseError());
+  EXPECT_TRUE(Parse("update t").status().IsParseError());
+  EXPECT_TRUE(Parse("delete t").status().IsParseError());
+  EXPECT_TRUE(Parse("drop t").status().IsParseError());
+}
+
+TEST(ParserTest, ExpressionPrecedence) {
+  auto e = ParseExpression("1 + 2 * 3 = 7 and not 0 > 1");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(ExprToString(**e), "(((1 + (2 * 3)) = 7) and not (0 > 1))");
+}
+
+TEST(ParserTest, SubstringBothSyntaxes) {
+  auto a = ParseExpression("substring(x from 1 for 2)");
+  ASSERT_TRUE(a.ok());
+  auto b = ParseExpression("substring(x, 1, 2)");
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(ExprToString(**a), ExprToString(**b));
+}
+
+// Fixture with a small database for evaluation tests.
+class EngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    engine_ = std::make_unique<Engine>(&db_);
+    Exec("create table people (first text, last text, age integer)");
+    Exec("insert into people values ('robert', 'kerry', 30), "
+         "('kyle', 'norman', 25), ('norma', 'wiseman', 41), "
+         "('amy', null, 19)");
+  }
+
+  ResultSet Exec(const std::string& sql) {
+    auto result = engine_->Execute(sql);
+    EXPECT_TRUE(result.ok()) << sql << " -> " << result.status();
+    return result.ok() ? std::move(result).value() : ResultSet{};
+  }
+
+  Value Scalar(const std::string& sql) {
+    auto rs = Exec(sql);
+    auto v = rs.ScalarValue();
+    EXPECT_TRUE(v.ok()) << sql;
+    return v.ok() ? std::move(v).value() : Value();
+  }
+
+  relational::Database db_;
+  std::unique_ptr<Engine> engine_;
+};
+
+TEST_F(EngineTest, SelectStar) {
+  auto rs = Exec("select * from people");
+  EXPECT_EQ(rs.num_rows(), 4u);
+  EXPECT_EQ(rs.columns, (std::vector<std::string>{"first", "last", "age"}));
+}
+
+TEST_F(EngineTest, WhereFilters) {
+  auto rs = Exec("select first from people where age > 24 and age < 40");
+  ASSERT_EQ(rs.num_rows(), 2u);
+}
+
+TEST_F(EngineTest, ConcatenationOperator) {
+  auto v = Scalar("select first || last from people where first = 'robert'");
+  EXPECT_EQ(v.text(), "robertkerry");
+}
+
+TEST_F(EngineTest, SubstringSemantics) {
+  EXPECT_EQ(Scalar("select substring('abcdef' from 2 for 3)").text(), "bcd");
+  EXPECT_EQ(Scalar("select substring('abcdef' from 4)").text(), "def");
+  // SQL-standard clamping: from 0 for 2 yields first char only.
+  EXPECT_EQ(Scalar("select substring('abcdef' from 0 for 2)").text(), "a");
+  EXPECT_EQ(Scalar("select substring('abc' from 10 for 2)").text(), "");
+  EXPECT_EQ(Scalar("select substring('abc' from -2)").text(), "abc");
+}
+
+TEST_F(EngineTest, SubstringNegativeLengthErrors) {
+  auto result = engine_->Execute("select substring('abc' from 1 for -1)");
+  EXPECT_FALSE(result.ok());
+}
+
+TEST_F(EngineTest, CharLengthAndCase) {
+  EXPECT_EQ(Scalar("select char_length('abcd')").integer(), 4);
+  EXPECT_EQ(Scalar("select upper('ab')").text(), "AB");
+  EXPECT_EQ(Scalar("select lower('AB')").text(), "ab");
+}
+
+TEST_F(EngineTest, PositionFunction) {
+  EXPECT_EQ(Scalar("select position('an' in 'banana')").integer(), 2);
+  EXPECT_EQ(Scalar("select position('zz' in 'banana')").integer(), 0);
+}
+
+TEST_F(EngineTest, LikePredicate) {
+  auto rs = Exec("select first from people where last like '%man'");
+  EXPECT_EQ(rs.num_rows(), 2u);  // norman, wiseman
+  rs = Exec("select first from people where last not like '%man'");
+  EXPECT_EQ(rs.num_rows(), 1u);  // kerry (NULL last is neither)
+}
+
+TEST_F(EngineTest, NullSemantics) {
+  // NULL comparisons are unknown -> filtered out.
+  EXPECT_EQ(Exec("select * from people where last = last").num_rows(), 3u);
+  EXPECT_EQ(Exec("select * from people where last is null").num_rows(), 1u);
+  EXPECT_EQ(Exec("select * from people where last is not null").num_rows(), 3u);
+  // NULL propagates through concatenation.
+  auto rs = Exec("select first || last from people where first = 'amy'");
+  EXPECT_TRUE(rs.rows[0][0].is_null());
+}
+
+TEST_F(EngineTest, ThreeValuedLogic) {
+  // NULL or TRUE = TRUE; NULL and TRUE = NULL (row dropped).
+  EXPECT_EQ(
+      Exec("select * from people where last = 'x' or first = 'amy'").num_rows(),
+      1u);
+  EXPECT_EQ(
+      Exec("select * from people where last like '%' and first = 'amy'")
+          .num_rows(),
+      0u);  // NULL like '%' is NULL, NULL and TRUE -> NULL
+}
+
+TEST_F(EngineTest, Aggregates) {
+  EXPECT_EQ(Scalar("select count(*) from people").integer(), 4);
+  EXPECT_EQ(Scalar("select count(last) from people").integer(), 3);
+  EXPECT_EQ(Scalar("select count(distinct substring(first from 1 for 1)) "
+                   "from people")
+                .integer(),
+            4);  // r, k, n, a
+  EXPECT_EQ(Scalar("select sum(age) from people").integer(), 115);
+  EXPECT_EQ(Scalar("select min(age) from people").integer(), 19);
+  EXPECT_EQ(Scalar("select max(first) from people").text(), "robert");
+  EXPECT_DOUBLE_EQ(Scalar("select avg(age) from people").real(), 115.0 / 4);
+  EXPECT_EQ(Scalar("select count(*) * 2 from people").integer(), 8);
+}
+
+TEST_F(EngineTest, MixedAggregateAndScalarRejected) {
+  EXPECT_FALSE(engine_->Execute("select first, count(*) from people").ok());
+}
+
+TEST_F(EngineTest, OrderByAndLimit) {
+  auto rs = Exec("select first from people order by age desc limit 2");
+  ASSERT_EQ(rs.num_rows(), 2u);
+  EXPECT_EQ(rs.rows[0][0].text(), "norma");
+  EXPECT_EQ(rs.rows[1][0].text(), "robert");
+  rs = Exec("select first from people order by first");
+  EXPECT_EQ(rs.rows[0][0].text(), "amy");
+}
+
+TEST_F(EngineTest, OrderByExpression) {
+  auto rs = Exec("select first from people where last is not null "
+                 "order by char_length(last), first");
+  EXPECT_EQ(rs.rows[0][0].text(), "robert");  // kerry (5)
+}
+
+TEST_F(EngineTest, Aliases) {
+  auto rs = Exec("select first as f, age a from people limit 1");
+  EXPECT_EQ(rs.columns, (std::vector<std::string>{"f", "a"}));
+}
+
+TEST_F(EngineTest, TableLessSelect) {
+  EXPECT_EQ(Scalar("select 1 + 2").integer(), 3);
+  EXPECT_EQ(Scalar("select 'a' || 'b'").text(), "ab");
+}
+
+TEST_F(EngineTest, UnknownColumnAndTableErrors) {
+  EXPECT_TRUE(engine_->Execute("select nope from people").status().IsNotFound());
+  EXPECT_TRUE(engine_->Execute("select * from ghosts").status().IsNotFound());
+}
+
+TEST_F(EngineTest, DivisionByZero) {
+  EXPECT_FALSE(engine_->Execute("select 1 / 0").ok());
+}
+
+TEST_F(EngineTest, PaperTranslationQuery) {
+  // The Section 4.1 output query shape runs end to end.
+  auto rs = Exec(
+      "select substring(first from 1 for 1) || last as login from people "
+      "where first is not null and "
+      "char_length(substring(first from 1 for 1)) = 1 and "
+      "last is not null and char_length(last) >= 1");
+  ASSERT_EQ(rs.num_rows(), 3u);
+  EXPECT_EQ(rs.columns[0], "login");
+  EXPECT_EQ(rs.rows[0][0].text(), "rkerry");
+  EXPECT_EQ(rs.rows[1][0].text(), "knorman");
+  EXPECT_EQ(rs.rows[2][0].text(), "nwiseman");
+}
+
+TEST_F(EngineTest, ResultSetToStringRenders) {
+  auto rs = Exec("select first from people limit 1");
+  std::string rendered = rs.ToString();
+  EXPECT_NE(rendered.find("first"), std::string::npos);
+  EXPECT_NE(rendered.find("robert"), std::string::npos);
+}
+
+TEST_F(EngineTest, GroupByCountsPerKey) {
+  auto rs = Exec(
+      "select substring(first from 1 for 1) as initial, count(*) as n "
+      "from people group by substring(first from 1 for 1) "
+      "order by initial");
+  ASSERT_EQ(rs.num_rows(), 4u);  // a, k, n, r
+  EXPECT_EQ(rs.rows[0][0].text(), "a");
+  EXPECT_EQ(rs.rows[0][1].integer(), 1);
+}
+
+TEST_F(EngineTest, GroupByWithHaving) {
+  Exec("insert into people values ('rachel', 'ross', 28)");
+  auto rs = Exec(
+      "select substring(first from 1 for 1) as initial, count(*) as n "
+      "from people group by substring(first from 1 for 1) "
+      "having count(*) > 1 order by initial");
+  ASSERT_EQ(rs.num_rows(), 1u);
+  EXPECT_EQ(rs.rows[0][0].text(), "r");  // robert + rachel
+  EXPECT_EQ(rs.rows[0][1].integer(), 2);
+}
+
+TEST_F(EngineTest, GroupByAggregatesPerGroup) {
+  auto rs = Exec("select char_length(first) as len, max(age) from people "
+                 "group by char_length(first) order by len");
+  // lengths: 3 (amy), 4 (kyle), 5 (norma), 6 (robert)
+  ASSERT_EQ(rs.num_rows(), 4u);
+  EXPECT_EQ(rs.rows[0][1].integer(), 19);
+  EXPECT_EQ(rs.rows[3][1].integer(), 30);
+}
+
+TEST_F(EngineTest, SelectDistinct) {
+  Exec("insert into people values ('robert', 'doe', 50)");
+  auto rs = Exec("select distinct first from people order by first");
+  EXPECT_EQ(rs.num_rows(), 4u);  // robert deduped
+}
+
+TEST_F(EngineTest, OrderByAggregateUnderGrouping) {
+  auto rs = Exec(
+      "select substring(first from 1 for 1) as initial from people "
+      "group by substring(first from 1 for 1) order by count(*) desc, initial");
+  ASSERT_EQ(rs.num_rows(), 4u);
+}
+
+TEST_F(EngineTest, UpdateRewritesMatchingRows) {
+  Exec("update people set age = age + 1 where first = 'amy'");
+  EXPECT_EQ(Scalar("select age from people where first = 'amy'").integer(),
+            20);
+  // Unconditional update touches every row.
+  Exec("update people set last = upper(first)");
+  EXPECT_EQ(Scalar("select last from people where first = 'amy'").text(),
+            "AMY");
+}
+
+TEST_F(EngineTest, UpdateUsesPreUpdateValues) {
+  Exec("create table sw (a text, b text)");
+  Exec("insert into sw values ('x', 'y')");
+  Exec("update sw set a = b, b = a");  // swap, not clobber
+  auto rs = Exec("select a, b from sw");
+  EXPECT_EQ(rs.rows[0][0].text(), "y");
+  EXPECT_EQ(rs.rows[0][1].text(), "x");
+}
+
+TEST_F(EngineTest, UpdateErrors) {
+  EXPECT_FALSE(engine_->Execute("update people set nope = 1").ok());
+  EXPECT_FALSE(engine_->Execute("update people set age = 'text'").ok());
+}
+
+TEST_F(EngineTest, DeleteRemovesMatchingRows) {
+  Exec("delete from people where age < 26");
+  EXPECT_EQ(Scalar("select count(*) from people").integer(), 2);
+  Exec("delete from people");
+  EXPECT_EQ(Scalar("select count(*) from people").integer(), 0);
+}
+
+TEST_F(EngineTest, DropTable) {
+  Exec("drop table people");
+  EXPECT_TRUE(engine_->Execute("select * from people").status().IsNotFound());
+  EXPECT_TRUE(engine_->Execute("drop table people").status().IsNotFound());
+}
+
+TEST_F(EngineTest, ReplaceAndConcatFunctions) {
+  EXPECT_EQ(Scalar("select replace('2005/05/29', '/', '-')").text(),
+            "2005-05-29");
+  EXPECT_EQ(Scalar("select concat('a', null, 'b')").text(), "ab");
+  EXPECT_EQ(Scalar("select abs(-4)").integer(), 4);
+}
+
+TEST(ParserFuzzTest, RandomTokenSoupNeverCrashes) {
+  // Robustness: arbitrary token sequences must produce a Status, never a
+  // crash or hang.
+  mcsm::Rng rng(2024);
+  const std::vector<std::string> vocab = {
+      "select", "from",  "where", "and",  "or",   "not",   "like", "(",
+      ")",      ",",     "*",     "||",   "=",    "<>",    "<",    ">",
+      "substring", "for", "count", "distinct", "order", "by",  "limit",
+      "'x'",    "1",     "2.5",   "t1",   "first", "null", "is",  ";"};
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string sql;
+    size_t len = rng.Uniform(12);
+    for (size_t i = 0; i < len; ++i) {
+      sql += vocab[rng.Uniform(vocab.size())];
+      sql += " ";
+    }
+    auto result = Parse(sql);
+    (void)result;  // ok or ParseError are both fine; crashing is not
+  }
+}
+
+TEST(EngineFuzzTest, RandomQueriesAgainstTableNeverCrash) {
+  relational::Database db;
+  Engine engine(&db);
+  ASSERT_TRUE(engine.Execute("create table t (a text, b integer)").ok());
+  ASSERT_TRUE(engine.Execute("insert into t values ('x', 1), (null, 2)").ok());
+  mcsm::Rng rng(4048);
+  const std::vector<std::string> vocab = {
+      "select", "a",  "b",  "from", "t", "where", "=", "'x'", "1", "||",
+      "substring", "(", ")", "for", "count", "*", ",", "is", "null",
+      "char_length", "like", "'%x%'", "order", "by", "limit", "2"};
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string sql = "select ";
+    size_t len = rng.Uniform(10);
+    for (size_t i = 0; i < len; ++i) {
+      sql += vocab[rng.Uniform(vocab.size())];
+      sql += " ";
+    }
+    auto result = engine.Execute(sql);
+    (void)result;
+  }
+}
+
+}  // namespace
+}  // namespace mcsm::sql
