@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_citeseer.dir/bench_citeseer.cpp.o"
+  "CMakeFiles/bench_citeseer.dir/bench_citeseer.cpp.o.d"
+  "bench_citeseer"
+  "bench_citeseer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_citeseer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

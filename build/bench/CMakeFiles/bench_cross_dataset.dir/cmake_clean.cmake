@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cross_dataset.dir/bench_cross_dataset.cpp.o"
+  "CMakeFiles/bench_cross_dataset.dir/bench_cross_dataset.cpp.o.d"
+  "bench_cross_dataset"
+  "bench_cross_dataset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cross_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

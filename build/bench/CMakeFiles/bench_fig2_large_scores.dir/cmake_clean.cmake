@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_large_scores.dir/bench_fig2_large_scores.cpp.o"
+  "CMakeFiles/bench_fig2_large_scores.dir/bench_fig2_large_scores.cpp.o.d"
+  "bench_fig2_large_scores"
+  "bench_fig2_large_scores.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_large_scores.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

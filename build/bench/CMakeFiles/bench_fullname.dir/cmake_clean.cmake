@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fullname.dir/bench_fullname.cpp.o"
+  "CMakeFiles/bench_fullname.dir/bench_fullname.cpp.o.d"
+  "bench_fullname"
+  "bench_fullname.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fullname.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

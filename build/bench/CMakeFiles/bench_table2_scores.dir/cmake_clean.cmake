@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_scores.dir/bench_table2_scores.cpp.o"
+  "CMakeFiles/bench_table2_scores.dir/bench_table2_scores.cpp.o.d"
+  "bench_table2_scores"
+  "bench_table2_scores.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_scores.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_recipes.dir/bench_table5_recipes.cpp.o"
+  "CMakeFiles/bench_table5_recipes.dir/bench_table5_recipes.cpp.o.d"
+  "bench_table5_recipes"
+  "bench_table5_recipes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_recipes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

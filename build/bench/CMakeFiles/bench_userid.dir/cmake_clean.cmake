@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_userid.dir/bench_userid.cpp.o"
+  "CMakeFiles/bench_userid.dir/bench_userid.cpp.o.d"
+  "bench_userid"
+  "bench_userid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_userid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

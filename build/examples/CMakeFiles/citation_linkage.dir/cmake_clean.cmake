@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/citation_linkage.dir/citation_linkage.cpp.o"
+  "CMakeFiles/citation_linkage.dir/citation_linkage.cpp.o.d"
+  "citation_linkage"
+  "citation_linkage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/citation_linkage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

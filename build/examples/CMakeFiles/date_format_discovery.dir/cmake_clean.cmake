@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/date_format_discovery.dir/date_format_discovery.cpp.o"
+  "CMakeFiles/date_format_discovery.dir/date_format_discovery.cpp.o.d"
+  "date_format_discovery"
+  "date_format_discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/date_format_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discover_csv.dir/discover_csv.cpp.o"
+  "CMakeFiles/discover_csv.dir/discover_csv.cpp.o.d"
+  "discover_csv"
+  "discover_csv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discover_csv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

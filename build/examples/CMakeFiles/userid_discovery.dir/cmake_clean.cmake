@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/userid_discovery.dir/userid_discovery.cpp.o"
+  "CMakeFiles/userid_discovery.dir/userid_discovery.cpp.o.d"
+  "userid_discovery"
+  "userid_discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/userid_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

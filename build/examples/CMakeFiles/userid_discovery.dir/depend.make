@@ -1,0 +1,2 @@
+# Empty dependencies file for userid_discovery.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcsm_common.dir/env.cc.o"
+  "CMakeFiles/mcsm_common.dir/env.cc.o.d"
+  "CMakeFiles/mcsm_common.dir/rng.cc.o"
+  "CMakeFiles/mcsm_common.dir/rng.cc.o.d"
+  "CMakeFiles/mcsm_common.dir/status.cc.o"
+  "CMakeFiles/mcsm_common.dir/status.cc.o.d"
+  "CMakeFiles/mcsm_common.dir/string_util.cc.o"
+  "CMakeFiles/mcsm_common.dir/string_util.cc.o.d"
+  "libmcsm_common.a"
+  "libmcsm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcsm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/autotune.cc" "src/core/CMakeFiles/mcsm_core.dir/autotune.cc.o" "gcc" "src/core/CMakeFiles/mcsm_core.dir/autotune.cc.o.d"
+  "/root/repo/src/core/column_scorer.cc" "src/core/CMakeFiles/mcsm_core.dir/column_scorer.cc.o" "gcc" "src/core/CMakeFiles/mcsm_core.dir/column_scorer.cc.o.d"
+  "/root/repo/src/core/formula.cc" "src/core/CMakeFiles/mcsm_core.dir/formula.cc.o" "gcc" "src/core/CMakeFiles/mcsm_core.dir/formula.cc.o.d"
+  "/root/repo/src/core/matcher.cc" "src/core/CMakeFiles/mcsm_core.dir/matcher.cc.o" "gcc" "src/core/CMakeFiles/mcsm_core.dir/matcher.cc.o.d"
+  "/root/repo/src/core/recipe.cc" "src/core/CMakeFiles/mcsm_core.dir/recipe.cc.o" "gcc" "src/core/CMakeFiles/mcsm_core.dir/recipe.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/core/CMakeFiles/mcsm_core.dir/report.cc.o" "gcc" "src/core/CMakeFiles/mcsm_core.dir/report.cc.o.d"
+  "/root/repo/src/core/rule_merger.cc" "src/core/CMakeFiles/mcsm_core.dir/rule_merger.cc.o" "gcc" "src/core/CMakeFiles/mcsm_core.dir/rule_merger.cc.o.d"
+  "/root/repo/src/core/search.cc" "src/core/CMakeFiles/mcsm_core.dir/search.cc.o" "gcc" "src/core/CMakeFiles/mcsm_core.dir/search.cc.o.d"
+  "/root/repo/src/core/separator.cc" "src/core/CMakeFiles/mcsm_core.dir/separator.cc.o" "gcc" "src/core/CMakeFiles/mcsm_core.dir/separator.cc.o.d"
+  "/root/repo/src/core/sql_emitter.cc" "src/core/CMakeFiles/mcsm_core.dir/sql_emitter.cc.o" "gcc" "src/core/CMakeFiles/mcsm_core.dir/sql_emitter.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mcsm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/mcsm_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/mcsm_relational.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

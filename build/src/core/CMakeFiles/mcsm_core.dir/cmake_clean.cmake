@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcsm_core.dir/autotune.cc.o"
+  "CMakeFiles/mcsm_core.dir/autotune.cc.o.d"
+  "CMakeFiles/mcsm_core.dir/column_scorer.cc.o"
+  "CMakeFiles/mcsm_core.dir/column_scorer.cc.o.d"
+  "CMakeFiles/mcsm_core.dir/formula.cc.o"
+  "CMakeFiles/mcsm_core.dir/formula.cc.o.d"
+  "CMakeFiles/mcsm_core.dir/matcher.cc.o"
+  "CMakeFiles/mcsm_core.dir/matcher.cc.o.d"
+  "CMakeFiles/mcsm_core.dir/recipe.cc.o"
+  "CMakeFiles/mcsm_core.dir/recipe.cc.o.d"
+  "CMakeFiles/mcsm_core.dir/report.cc.o"
+  "CMakeFiles/mcsm_core.dir/report.cc.o.d"
+  "CMakeFiles/mcsm_core.dir/rule_merger.cc.o"
+  "CMakeFiles/mcsm_core.dir/rule_merger.cc.o.d"
+  "CMakeFiles/mcsm_core.dir/search.cc.o"
+  "CMakeFiles/mcsm_core.dir/search.cc.o.d"
+  "CMakeFiles/mcsm_core.dir/separator.cc.o"
+  "CMakeFiles/mcsm_core.dir/separator.cc.o.d"
+  "CMakeFiles/mcsm_core.dir/sql_emitter.cc.o"
+  "CMakeFiles/mcsm_core.dir/sql_emitter.cc.o.d"
+  "libmcsm_core.a"
+  "libmcsm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcsm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

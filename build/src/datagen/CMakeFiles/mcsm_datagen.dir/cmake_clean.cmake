@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcsm_datagen.dir/corpus.cc.o"
+  "CMakeFiles/mcsm_datagen.dir/corpus.cc.o.d"
+  "CMakeFiles/mcsm_datagen.dir/datasets.cc.o"
+  "CMakeFiles/mcsm_datagen.dir/datasets.cc.o.d"
+  "CMakeFiles/mcsm_datagen.dir/noise.cc.o"
+  "CMakeFiles/mcsm_datagen.dir/noise.cc.o.d"
+  "libmcsm_datagen.a"
+  "libmcsm_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcsm_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/relational/column_index.cc" "src/relational/CMakeFiles/mcsm_relational.dir/column_index.cc.o" "gcc" "src/relational/CMakeFiles/mcsm_relational.dir/column_index.cc.o.d"
+  "/root/repo/src/relational/csv.cc" "src/relational/CMakeFiles/mcsm_relational.dir/csv.cc.o" "gcc" "src/relational/CMakeFiles/mcsm_relational.dir/csv.cc.o.d"
+  "/root/repo/src/relational/database.cc" "src/relational/CMakeFiles/mcsm_relational.dir/database.cc.o" "gcc" "src/relational/CMakeFiles/mcsm_relational.dir/database.cc.o.d"
+  "/root/repo/src/relational/pattern.cc" "src/relational/CMakeFiles/mcsm_relational.dir/pattern.cc.o" "gcc" "src/relational/CMakeFiles/mcsm_relational.dir/pattern.cc.o.d"
+  "/root/repo/src/relational/sampler.cc" "src/relational/CMakeFiles/mcsm_relational.dir/sampler.cc.o" "gcc" "src/relational/CMakeFiles/mcsm_relational.dir/sampler.cc.o.d"
+  "/root/repo/src/relational/table.cc" "src/relational/CMakeFiles/mcsm_relational.dir/table.cc.o" "gcc" "src/relational/CMakeFiles/mcsm_relational.dir/table.cc.o.d"
+  "/root/repo/src/relational/value.cc" "src/relational/CMakeFiles/mcsm_relational.dir/value.cc.o" "gcc" "src/relational/CMakeFiles/mcsm_relational.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mcsm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/mcsm_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcsm_relational.dir/column_index.cc.o"
+  "CMakeFiles/mcsm_relational.dir/column_index.cc.o.d"
+  "CMakeFiles/mcsm_relational.dir/csv.cc.o"
+  "CMakeFiles/mcsm_relational.dir/csv.cc.o.d"
+  "CMakeFiles/mcsm_relational.dir/database.cc.o"
+  "CMakeFiles/mcsm_relational.dir/database.cc.o.d"
+  "CMakeFiles/mcsm_relational.dir/pattern.cc.o"
+  "CMakeFiles/mcsm_relational.dir/pattern.cc.o.d"
+  "CMakeFiles/mcsm_relational.dir/sampler.cc.o"
+  "CMakeFiles/mcsm_relational.dir/sampler.cc.o.d"
+  "CMakeFiles/mcsm_relational.dir/table.cc.o"
+  "CMakeFiles/mcsm_relational.dir/table.cc.o.d"
+  "CMakeFiles/mcsm_relational.dir/value.cc.o"
+  "CMakeFiles/mcsm_relational.dir/value.cc.o.d"
+  "libmcsm_relational.a"
+  "libmcsm_relational.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcsm_relational.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

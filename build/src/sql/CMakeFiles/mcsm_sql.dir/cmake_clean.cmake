@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcsm_sql.dir/engine.cc.o"
+  "CMakeFiles/mcsm_sql.dir/engine.cc.o.d"
+  "CMakeFiles/mcsm_sql.dir/evaluator.cc.o"
+  "CMakeFiles/mcsm_sql.dir/evaluator.cc.o.d"
+  "CMakeFiles/mcsm_sql.dir/lexer.cc.o"
+  "CMakeFiles/mcsm_sql.dir/lexer.cc.o.d"
+  "CMakeFiles/mcsm_sql.dir/parser.cc.o"
+  "CMakeFiles/mcsm_sql.dir/parser.cc.o.d"
+  "libmcsm_sql.a"
+  "libmcsm_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcsm_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

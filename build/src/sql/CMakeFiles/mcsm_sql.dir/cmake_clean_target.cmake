@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmcsm_sql.a"
+)

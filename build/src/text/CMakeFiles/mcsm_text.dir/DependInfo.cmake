@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/text/alignment.cc" "src/text/CMakeFiles/mcsm_text.dir/alignment.cc.o" "gcc" "src/text/CMakeFiles/mcsm_text.dir/alignment.cc.o.d"
+  "/root/repo/src/text/edit_distance.cc" "src/text/CMakeFiles/mcsm_text.dir/edit_distance.cc.o" "gcc" "src/text/CMakeFiles/mcsm_text.dir/edit_distance.cc.o.d"
+  "/root/repo/src/text/lcs.cc" "src/text/CMakeFiles/mcsm_text.dir/lcs.cc.o" "gcc" "src/text/CMakeFiles/mcsm_text.dir/lcs.cc.o.d"
+  "/root/repo/src/text/qgram.cc" "src/text/CMakeFiles/mcsm_text.dir/qgram.cc.o" "gcc" "src/text/CMakeFiles/mcsm_text.dir/qgram.cc.o.d"
+  "/root/repo/src/text/similarity.cc" "src/text/CMakeFiles/mcsm_text.dir/similarity.cc.o" "gcc" "src/text/CMakeFiles/mcsm_text.dir/similarity.cc.o.d"
+  "/root/repo/src/text/tfidf.cc" "src/text/CMakeFiles/mcsm_text.dir/tfidf.cc.o" "gcc" "src/text/CMakeFiles/mcsm_text.dir/tfidf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mcsm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcsm_text.dir/alignment.cc.o"
+  "CMakeFiles/mcsm_text.dir/alignment.cc.o.d"
+  "CMakeFiles/mcsm_text.dir/edit_distance.cc.o"
+  "CMakeFiles/mcsm_text.dir/edit_distance.cc.o.d"
+  "CMakeFiles/mcsm_text.dir/lcs.cc.o"
+  "CMakeFiles/mcsm_text.dir/lcs.cc.o.d"
+  "CMakeFiles/mcsm_text.dir/qgram.cc.o"
+  "CMakeFiles/mcsm_text.dir/qgram.cc.o.d"
+  "CMakeFiles/mcsm_text.dir/similarity.cc.o"
+  "CMakeFiles/mcsm_text.dir/similarity.cc.o.d"
+  "CMakeFiles/mcsm_text.dir/tfidf.cc.o"
+  "CMakeFiles/mcsm_text.dir/tfidf.cc.o.d"
+  "libmcsm_text.a"
+  "libmcsm_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcsm_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

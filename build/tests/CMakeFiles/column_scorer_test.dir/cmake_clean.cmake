@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/column_scorer_test.dir/column_scorer_test.cc.o"
+  "CMakeFiles/column_scorer_test.dir/column_scorer_test.cc.o.d"
+  "column_scorer_test"
+  "column_scorer_test.pdb"
+  "column_scorer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/column_scorer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

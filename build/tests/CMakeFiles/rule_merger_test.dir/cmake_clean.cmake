@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rule_merger_test.dir/rule_merger_test.cc.o"
+  "CMakeFiles/rule_merger_test.dir/rule_merger_test.cc.o.d"
+  "rule_merger_test"
+  "rule_merger_test.pdb"
+  "rule_merger_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rule_merger_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

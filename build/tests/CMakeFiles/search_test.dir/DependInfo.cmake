@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/search_test.cc" "tests/CMakeFiles/search_test.dir/search_test.cc.o" "gcc" "tests/CMakeFiles/search_test.dir/search_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mcsm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/mcsm_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/mcsm_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/mcsm_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/mcsm_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mcsm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sql_emitter_test.dir/sql_emitter_test.cc.o"
+  "CMakeFiles/sql_emitter_test.dir/sql_emitter_test.cc.o.d"
+  "sql_emitter_test"
+  "sql_emitter_test.pdb"
+  "sql_emitter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sql_emitter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/qgram_test[1]_include.cmake")
+include("/root/repo/build/tests/tfidf_test[1]_include.cmake")
+include("/root/repo/build/tests/edit_distance_test[1]_include.cmake")
+include("/root/repo/build/tests/lcs_test[1]_include.cmake")
+include("/root/repo/build/tests/alignment_test[1]_include.cmake")
+include("/root/repo/build/tests/relational_test[1]_include.cmake")
+include("/root/repo/build/tests/pattern_test[1]_include.cmake")
+include("/root/repo/build/tests/column_index_test[1]_include.cmake")
+include("/root/repo/build/tests/sql_test[1]_include.cmake")
+include("/root/repo/build/tests/formula_test[1]_include.cmake")
+include("/root/repo/build/tests/recipe_test[1]_include.cmake")
+include("/root/repo/build/tests/separator_test[1]_include.cmake")
+include("/root/repo/build/tests/column_scorer_test[1]_include.cmake")
+include("/root/repo/build/tests/sql_emitter_test[1]_include.cmake")
+include("/root/repo/build/tests/datagen_test[1]_include.cmake")
+include("/root/repo/build/tests/search_test[1]_include.cmake")
+include("/root/repo/build/tests/rule_merger_test[1]_include.cmake")
+include("/root/repo/build/tests/autotune_test[1]_include.cmake")
+include("/root/repo/build/tests/csv_test[1]_include.cmake")
+include("/root/repo/build/tests/property_search_test[1]_include.cmake")
+include("/root/repo/build/tests/similarity_test[1]_include.cmake")
+include("/root/repo/build/tests/report_test[1]_include.cmake")
