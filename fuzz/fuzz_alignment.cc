@@ -1,0 +1,128 @@
+// Fuzz harness for the alignment → recipe pipeline (the paper's Algorithms
+// 4-6): LIKE-pattern capture, masked LCS anchoring, edit-script completion,
+// and formula construction. Besides "no crash / no UB", it checks two
+// algorithmic invariants on every input:
+//   - HuntSzymanskiLcs and HirschbergLcs both recover a subsequence of the
+//     exact LCS length computed by the DP row;
+//   - every matched run produced by AlignLcsAnchored stays inside both
+//     strings and copies identical characters.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/check.h"
+#include "core/formula.h"
+#include "core/recipe.h"
+#include "relational/pattern.h"
+#include "text/alignment.h"
+#include "text/lcs.h"
+
+namespace {
+
+// Splits the input into (source, target, like-pattern) on 0xFF separators,
+// with caps that keep the O(n*m) DP and the pattern backtracking cheap.
+struct Parts {
+  std::string source;
+  std::string target;
+  std::string pattern;
+};
+
+Parts SplitInput(std::string_view input) {
+  Parts parts;
+  std::string* fields[3] = {&parts.source, &parts.target, &parts.pattern};
+  size_t field = 0;
+  for (char c : input) {
+    if (static_cast<unsigned char>(c) == 0xFF) {
+      if (++field == 3) break;
+      continue;
+    }
+    fields[field]->push_back(c);
+  }
+  if (parts.source.size() > 192) parts.source.resize(192);
+  if (parts.target.size() > 192) parts.target.resize(192);
+  if (parts.pattern.size() > 12) parts.pattern.resize(12);
+  // Bound the wildcard count: SearchPattern::TryMatch backtracks per
+  // wildcard-literal pair, which is exponential in the number of pairs.
+  size_t wildcards = 0;
+  for (char& c : parts.pattern) {
+    if (c == '%' && ++wildcards > 4) c = '_';
+  }
+  return parts;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  if (size > 4096) return 0;
+  const Parts parts =
+      SplitInput(std::string_view(reinterpret_cast<const char*>(data), size));
+  const std::string_view source = parts.source;
+  const std::string_view target = parts.target;
+
+  // LCS invariant: both subsequence reconstructions hit the DP length.
+  const size_t lcs_len = mcsm::text::LcsLength(source, target);
+  const auto hs = mcsm::text::HuntSzymanskiLcs(source, target);
+  const auto hb = mcsm::text::HirschbergLcs(source, target);
+  MCSM_CHECK(hs.size() == lcs_len)
+      << "HuntSzymanski found " << hs.size() << ", DP says " << lcs_len;
+  MCSM_CHECK(hb.size() == lcs_len)
+      << "Hirschberg found " << hb.size() << ", DP says " << lcs_len;
+
+  // LIKE capture → free mask → masked alignment, as in Algorithm 6.
+  const mcsm::relational::SearchPattern like =
+      mcsm::relational::SearchPattern::FromLikeString(parts.pattern);
+  (void)mcsm::relational::LikeMatch(target, parts.pattern);
+  std::vector<bool> mask;
+  const std::vector<bool>* mask_ptr = nullptr;
+  auto captured = like.FreeMask(target);
+  if (captured.has_value()) {
+    mask = std::move(*captured);
+    mask_ptr = &mask;
+  }
+
+  const mcsm::text::RecipeAlignment alignment =
+      mcsm::text::AlignLcsAnchored(source, target, mask_ptr);
+  for (const auto& run : alignment.runs) {
+    MCSM_CHECK(run.length > 0);
+    MCSM_CHECK(run.source_start + run.length <= source.size());
+    MCSM_CHECK(run.target_start + run.length <= target.size());
+    MCSM_CHECK(mcsm::SafeSubstr(source, run.source_start, run.length) ==
+               mcsm::SafeSubstr(target, run.target_start, run.length))
+        << "matched run copies different characters";
+  }
+
+  // Recipe → formulas. Fixed regions come from the captured literals, as in
+  // TranslationSearch; without a capture the coverage is all-free.
+  mcsm::core::FixedCoverage fixed;
+  fixed.cover.assign(target.size(), -1);
+  if (mask_ptr != nullptr) {
+    auto spans = like.CaptureLiterals(target);
+    if (spans.has_value()) {
+      std::vector<mcsm::core::Region> literal_regions;
+      for (const auto& seg : like.segments()) {
+        if (!seg.is_wildcard) {
+          literal_regions.push_back(mcsm::core::Region::Literal(seg.literal));
+        }
+      }
+      auto built = mcsm::core::FixedCoverage::FromCapture(
+          target.size(), *spans, std::move(literal_regions));
+      MCSM_CHECK(built.ok()) << "capture spans from our own match must fit: "
+                             << built.status().ToString();
+      fixed = std::move(built).value();
+    }
+  }
+
+  const auto formulas = mcsm::core::BuildFormulasFromRecipe(
+      target, fixed, alignment, /*key_column=*/0, source.size(),
+      /*max_variants=*/16, /*sized_unknowns=*/(size & 1) != 0);
+  for (const auto& formula : formulas) {
+    (void)formula.ToString();
+    (void)formula.UnknownCount();
+    (void)formula.KnownFixedChars();
+    (void)formula.ReferencedColumns();
+  }
+  return 0;
+}

@@ -1,0 +1,22 @@
+#include "common/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace mcsm::internal {
+
+void CheckFailed(const std::string& message) {
+  std::fprintf(stderr, "%s\n", message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+CheckFailureStream::CheckFailureStream(const char* kind, const char* file,
+                                       int line, const char* condition) {
+  stream_ << file << ":" << line << ": " << kind << " failed: " << condition
+          << " ";
+}
+
+CheckFailureStream::~CheckFailureStream() { CheckFailed(stream_.str()); }
+
+}  // namespace mcsm::internal

@@ -1,0 +1,121 @@
+#ifndef MCSM_COMMON_CHECK_H_
+#define MCSM_COMMON_CHECK_H_
+
+#include <cstddef>
+#include <sstream>
+#include <string_view>
+
+namespace mcsm {
+namespace internal {
+
+/// Terminates the process after printing `message` (already fully formatted
+/// by the CheckFailureStream destructor) to stderr. Out-of-line so the fatal
+/// path costs one call in the macro expansion.
+[[noreturn]] void CheckFailed(const std::string& message);
+
+/// \brief Collects the failure message for a failed MCSM_CHECK and aborts in
+/// its destructor (glog-style). Instances only ever exist on the failure
+/// path, so the stringstream allocation is irrelevant.
+class CheckFailureStream {
+ public:
+  CheckFailureStream(const char* kind, const char* file, int line,
+                     const char* condition);
+  [[noreturn]] ~CheckFailureStream();
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Lets the macro below swallow the ostream expression into a void so the
+/// ternary's two arms have a common type.
+struct Voidify {
+  void operator&&(std::ostream&) const {}
+};
+
+/// Uniform access to the Status of either a Status or a Result<T>, without
+/// this header depending on either type.
+template <typename T>
+const auto& GetStatus(const T& v) {
+  if constexpr (requires { v.status(); }) {
+    return v.status();
+  } else {
+    return v;
+  }
+}
+
+}  // namespace internal
+
+/// \brief Always-on invariant check. On failure, prints the condition, the
+/// source location and any streamed context, then aborts:
+///
+///   MCSM_CHECK(rows == cols) << "matrix must be square, got " << rows;
+///
+/// Use for API contracts and internal invariants whose violation means the
+/// process state is wrong — not for errors caused by user input (return a
+/// Status for those).
+#define MCSM_CHECK(condition)                                         \
+  (condition) ? (void)0                                               \
+              : ::mcsm::internal::Voidify{} &&                        \
+                    ::mcsm::internal::CheckFailureStream(             \
+                        "CHECK", __FILE__, __LINE__, #condition)      \
+                        .stream()
+
+/// Checks that a Status (or Result) expression is ok(), printing the status
+/// message on failure.
+#define MCSM_CHECK_OK(expr)                                            \
+  MCSM_CHECK_OK_IMPL(MCSM_CHECK_CONCAT(_check_st_, __LINE__), (expr))
+#define MCSM_CHECK_OK_IMPL(var, expr)              \
+  if (const auto& var = expr; var.ok()) {          \
+  } else /* NOLINT */                              \
+    ::mcsm::internal::Voidify{} &&                 \
+        ::mcsm::internal::CheckFailureStream("CHECK_OK", __FILE__, \
+                                             __LINE__, #expr)      \
+            .stream()                                              \
+        << ::mcsm::internal::GetStatus(var).ToString() << " "
+
+#define MCSM_CHECK_CONCAT_IMPL(a, b) a##b
+#define MCSM_CHECK_CONCAT(a, b) MCSM_CHECK_CONCAT_IMPL(a, b)
+
+/// Bounds-check helper: aborts unless 0 <= index < size. Reads as
+///   MCSM_CHECK_BOUNDS(i, values.size());
+#define MCSM_CHECK_BOUNDS(index, size)                                     \
+  MCSM_CHECK(::mcsm::internal::IndexInBounds(                              \
+      static_cast<size_t>(index), static_cast<size_t>(size)))              \
+      << "index " << (index) << " out of bounds for size " << (size) << " "
+
+namespace internal {
+constexpr bool IndexInBounds(size_t index, size_t size) { return index < size; }
+}  // namespace internal
+
+/// \brief Debug-only check: same syntax as MCSM_CHECK, compiled out (condition
+/// not evaluated) in NDEBUG builds unless MCSM_FORCE_DCHECKS is defined.
+/// Sanitizer CI builds define MCSM_FORCE_DCHECKS so ASan/UBSan runs exercise
+/// every contract.
+#if !defined(NDEBUG) || defined(MCSM_FORCE_DCHECKS)
+#define MCSM_DCHECK_IS_ON 1
+#define MCSM_DCHECK(condition) MCSM_CHECK(condition)
+#define MCSM_DCHECK_BOUNDS(index, size) MCSM_CHECK_BOUNDS(index, size)
+#else
+#define MCSM_DCHECK_IS_ON 0
+#define MCSM_DCHECK(condition) \
+  while (false) MCSM_CHECK(condition)
+#define MCSM_DCHECK_BOUNDS(index, size) \
+  while (false) MCSM_CHECK_BOUNDS(index, size)
+#endif
+
+/// \brief Bounds-clamped substring: the total function the hot paths use
+/// instead of std::string_view::substr, which throws std::out_of_range when
+/// pos > size. `pos` past the end yields an empty view anchored at the end;
+/// `count` is clamped to the available characters. Never throws, never reads
+/// out of bounds.
+constexpr std::string_view SafeSubstr(
+    std::string_view s, size_t pos,
+    size_t count = std::string_view::npos) noexcept {
+  if (pos >= s.size()) return std::string_view(s.data() + s.size(), 0);
+  return s.substr(pos, count);  // count > size - pos is well-defined (clamped)
+}
+
+}  // namespace mcsm
+
+#endif  // MCSM_COMMON_CHECK_H_

@@ -1,10 +1,10 @@
 #ifndef MCSM_COMMON_RESULT_H_
 #define MCSM_COMMON_RESULT_H_
 
-#include <cassert>
 #include <utility>
 #include <variant>
 
+#include "common/check.h"
 #include "common/status.h"
 
 namespace mcsm {
@@ -12,10 +12,13 @@ namespace mcsm {
 /// \brief Either a value of type T or an error Status.
 ///
 /// Mirrors arrow::Result / absl::StatusOr. Constructing from an OK status is
-/// a programming error (asserted in debug builds, converted to an Internal
-/// error otherwise).
+/// a programming error (a debug-check, converted to an Internal error in
+/// release builds). Accessing value() on an error Result is a contract
+/// violation and aborts with the carried status message.
+///
+/// Like Status, Result is [[nodiscard]]: a dropped Result hides an error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Constructs from a value (implicit, like arrow::Result).
   Result(T value) : repr_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
@@ -23,7 +26,8 @@ class Result {
   /// Constructs from an error status (implicit, to allow `return st;`).
   Result(Status status) : repr_(std::move(status)) {  // NOLINT
     if (this->status().ok()) {
-      assert(false && "Result constructed from OK status");
+      MCSM_DCHECK(!this->status().ok())
+          << "Result constructed from OK status";
       repr_ = Status::Internal("Result constructed from OK status");
     }
   }
@@ -41,17 +45,18 @@ class Result {
     return std::get<Status>(repr_);
   }
 
-  /// Returns the contained value; must only be called when ok().
+  /// Returns the contained value; aborts when !ok() (the ValueOrDie
+  /// discipline — callers must test ok() or use MCSM_ASSIGN_OR_RETURN).
   const T& value() const& {
-    assert(ok());
+    CheckHoldsValue();
     return std::get<T>(repr_);
   }
   T& value() & {
-    assert(ok());
+    CheckHoldsValue();
     return std::get<T>(repr_);
   }
   T&& value() && {
-    assert(ok());
+    CheckHoldsValue();
     return std::get<T>(std::move(repr_));
   }
 
@@ -66,6 +71,10 @@ class Result {
   }
 
  private:
+  void CheckHoldsValue() const {
+    MCSM_CHECK(ok()) << "Result::value() on error: " << status().ToString();
+  }
+
   std::variant<Status, T> repr_;
 };
 

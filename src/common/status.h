@@ -31,7 +31,11 @@ const char* StatusCodeToString(StatusCode code);
 /// `Status` is the library-wide error-reporting mechanism: no exceptions are
 /// thrown across public API boundaries. The OK state is represented without
 /// allocation; error states carry a heap-allocated code+message record.
-class Status {
+///
+/// The class is [[nodiscard]]: silently dropping a returned Status is a lint
+/// and compile error — handle it, propagate it with MCSM_RETURN_IF_ERROR, or
+/// assert it with MCSM_CHECK_OK.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() = default;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/check.h"
 #include "common/string_util.h"
 
 namespace mcsm::core {
@@ -106,16 +107,18 @@ std::optional<std::string> TranslationFormula::Apply(
         out += r.literal;
         break;
       case Region::Kind::kColumnSpan: {
+        MCSM_DCHECK(r.start >= 1);
         std::string_view value = source.CellText(row, r.column);
         if (r.to_end) {
           // Needs at least one character from `start`.
           if (value.size() < r.start) return std::nullopt;
-          out += value.substr(r.start - 1);
+          out += SafeSubstr(value, r.start - 1);
         } else {
           // The span must be fully available (the emitted SQL guards with
           // char_length(substring(...)) = width).
+          MCSM_DCHECK(r.end >= r.start);
           if (value.size() < r.end) return std::nullopt;
-          out += value.substr(r.start - 1, r.end - r.start + 1);
+          out += SafeSubstr(value, r.start - 1, r.end - r.start + 1);
         }
         break;
       }
@@ -138,16 +141,18 @@ std::optional<relational::SearchPattern> TranslationFormula::BuildPattern(
         segments.push_back({false, false, 0, r.literal});
         break;
       case Region::Kind::kColumnSpan: {
+        MCSM_DCHECK(r.start >= 1);
         std::string_view value = source.CellText(row, r.column);
         if (r.to_end) {
           if (value.size() < r.start) return std::nullopt;
           segments.push_back(
-              {false, false, 0, std::string(value.substr(r.start - 1))});
+              {false, false, 0, std::string(SafeSubstr(value, r.start - 1))});
         } else {
+          MCSM_DCHECK(r.end >= r.start);
           if (value.size() < r.end) return std::nullopt;
           segments.push_back({false, false, 0,
-                              std::string(value.substr(
-                                  r.start - 1, r.end - r.start + 1))});
+                              std::string(SafeSubstr(
+                                  value, r.start - 1, r.end - r.start + 1))});
         }
         break;
       }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/check.h"
 #include "common/string_util.h"
 
 namespace mcsm::core {
@@ -33,6 +34,9 @@ std::vector<TranslationFormula> BuildFormulasFromRecipe(
     const text::RecipeAlignment& alignment, size_t key_column,
     size_t key_length, size_t max_variants, bool sized_unknowns) {
   const size_t len = target.size();
+  MCSM_CHECK(fixed.cover.size() == len)
+      << "fixed coverage built for length " << fixed.cover.size()
+      << " but target has length " << len;
 
   // run_at[i] = index of the matched run starting at target position i.
   std::vector<int> run_at(len, -1);
@@ -53,6 +57,7 @@ std::vector<TranslationFormula> BuildFormulasFromRecipe(
   while (i < len) {
     if (fixed.cover[i] >= 0) {
       int idx = fixed.cover[i];
+      MCSM_DCHECK_BOUNDS(static_cast<size_t>(idx), fixed.regions.size());
       chain.push_back({fixed.regions[static_cast<size_t>(idx)], false});
       while (i < len && fixed.cover[i] == idx) ++i;
       continue;
@@ -60,6 +65,11 @@ std::vector<TranslationFormula> BuildFormulasFromRecipe(
     if (run_at[i] >= 0) {
       const text::MatchedRun& run =
           alignment.runs[static_cast<size_t>(run_at[i])];
+      MCSM_DCHECK(run.length > 0);
+      MCSM_DCHECK(run.source_start + run.length <= key_length)
+          << "matched run [" << run.source_start << ", "
+          << run.source_start + run.length << ") exceeds key length "
+          << key_length;
       Region span = Region::Span(key_column, run.source_start + 1,
                                  run.source_start + run.length);
       bool forkable = (run.source_start + run.length == key_length);

@@ -1,8 +1,8 @@
 #include "datagen/datasets.h"
 
 #include <algorithm>
-#include <cassert>
 
+#include "common/check.h"
 #include "common/rng.h"
 #include "common/string_util.h"
 #include "datagen/corpus.h"
@@ -26,9 +26,7 @@ Schema TextSchema(std::vector<std::string> names) {
 }
 
 void MustAppend(Table* table, std::vector<Value> row) {
-  Status st = table->AppendRow(std::move(row));
-  assert(st.ok());
-  (void)st;
+  MCSM_CHECK_OK(table->AppendRow(std::move(row)));
 }
 
 /// A synthetic citation record.

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/check.h"
+
 namespace mcsm::relational {
 
 bool LikeMatch(std::string_view text, std::string_view pattern) {
@@ -85,8 +87,9 @@ bool SearchPattern::TryMatch(std::string_view text, size_t pos, size_t seg,
   const Segment& s = segments_[seg];
   if (!s.is_wildcard) {
     const std::string& lit = s.literal;
-    if (pos + lit.size() > text.size()) return false;
-    if (text.compare(pos, lit.size(), lit) != 0) return false;
+    // SafeSubstr clamps, so a literal overhanging the end compares unequal
+    // instead of reading past it.
+    if (SafeSubstr(text, pos, lit.size()) != lit) return false;
     spans->push_back({pos, lit.size()});
     if (TryMatch(text, pos + lit.size(), seg + 1, spans)) return true;
     spans->pop_back();
@@ -102,6 +105,9 @@ bool SearchPattern::TryMatch(std::string_view text, size_t pos, size_t seg,
   if (seg + 1 == segments_.size()) return true;  // absorbs the rest
   // The next segment is a literal (normalization guarantees alternation):
   // try each occurrence left to right.
+  MCSM_DCHECK_BOUNDS(seg + 1, segments_.size());
+  MCSM_DCHECK(!segments_[seg + 1].is_wildcard)
+      << "normalization must leave no adjacent wildcards";
   const std::string& lit = segments_[seg + 1].literal;
   size_t search_from = pos + (s.min_one ? 1 : 0);
   while (true) {
@@ -127,6 +133,7 @@ std::optional<std::vector<bool>> SearchPattern::FreeMask(
   if (!spans.has_value()) return std::nullopt;
   std::vector<bool> mask(text.size(), true);
   for (const Span& span : *spans) {
+    MCSM_DCHECK(span.end() <= text.size());
     for (size_t i = span.start; i < span.end(); ++i) mask[i] = false;
   }
   return mask;

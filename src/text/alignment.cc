@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/check.h"
+
 namespace mcsm::text {
 
 std::vector<MatchedRun> RunsFromScript(const std::vector<EditStep>& script) {
@@ -25,6 +27,11 @@ RecipeAlignment AlignLcsAnchored(std::string_view source, std::string_view targe
                                  const std::vector<bool>* target_allowed,
                                  const EditCosts& costs, LcsTieBreak tie) {
   RecipeAlignment result;
+  if (target_allowed != nullptr) {
+    MCSM_CHECK(target_allowed->size() == target.size())
+        << "target mask has " << target_allowed->size()
+        << " entries for a target of length " << target.size();
+  }
   if (source.empty() || target.empty()) return result;
 
   CommonSubstring anchor =
@@ -32,10 +39,12 @@ RecipeAlignment AlignLcsAnchored(std::string_view source, std::string_view targe
           ? LongestCommonSubstring(source, target, tie)
           : MaskedLongestCommonSubstring(source, target, *target_allowed, tie);
   if (anchor.length == 0) return result;
+  MCSM_DCHECK(anchor.source_start + anchor.length <= source.size());
+  MCSM_DCHECK(anchor.target_start + anchor.length <= target.size());
 
   // Prefix: everything before the anchor in both strings.
-  std::string_view src_prefix = source.substr(0, anchor.source_start);
-  std::string_view tgt_prefix = target.substr(0, anchor.target_start);
+  std::string_view src_prefix = SafeSubstr(source, 0, anchor.source_start);
+  std::string_view tgt_prefix = SafeSubstr(target, 0, anchor.target_start);
   std::vector<EditStep> prefix_script;
   if (!src_prefix.empty() && !tgt_prefix.empty()) {
     if (target_allowed != nullptr) {
@@ -55,8 +64,8 @@ RecipeAlignment AlignLcsAnchored(std::string_view source, std::string_view targe
   // Suffix: everything after the anchor.
   size_t src_after = anchor.source_start + anchor.length;
   size_t tgt_after = anchor.target_start + anchor.length;
-  std::string_view src_suffix = source.substr(src_after);
-  std::string_view tgt_suffix = target.substr(tgt_after);
+  std::string_view src_suffix = SafeSubstr(source, src_after);
+  std::string_view tgt_suffix = SafeSubstr(target, tgt_after);
   std::vector<EditStep> suffix_script;
   if (!src_suffix.empty() && !tgt_suffix.empty()) {
     if (target_allowed != nullptr) {

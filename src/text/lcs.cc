@@ -4,6 +4,8 @@
 #include <array>
 #include <limits>
 
+#include "common/check.h"
+
 namespace mcsm::text {
 
 namespace {
@@ -29,6 +31,11 @@ CommonSubstring LcsubImpl(std::string_view source, std::string_view target,
                           const std::vector<bool>* target_allowed,
                           LcsTieBreak tie) {
   const size_t n = source.size(), m = target.size();
+  if (target_allowed != nullptr) {
+    MCSM_CHECK(target_allowed->size() == m)
+        << "target mask has " << target_allowed->size()
+        << " entries for a target of length " << m;
+  }
   CommonSubstring best;
   if (n == 0 || m == 0) return best;
   // Candidates achieving the current maximum length (capped — diffusing ties
@@ -107,8 +114,8 @@ void HirschbergRec(std::string_view source, std::string_view target,
     return;
   }
   const size_t mid = n / 2;
-  std::string_view top = source.substr(0, mid);
-  std::string_view bottom = source.substr(mid);
+  std::string_view top = SafeSubstr(source, 0, mid);
+  std::string_view bottom = SafeSubstr(source, mid);
   std::string rev_bottom(bottom.rbegin(), bottom.rend());
   std::string rev_target(target.rbegin(), target.rend());
 
@@ -124,8 +131,9 @@ void HirschbergRec(std::string_view source, std::string_view target,
       best_j = j;
     }
   }
-  HirschbergRec(top, target.substr(0, best_j), source_off, target_off, out);
-  HirschbergRec(bottom, target.substr(best_j), source_off + mid,
+  MCSM_DCHECK(best_j <= m);
+  HirschbergRec(top, SafeSubstr(target, 0, best_j), source_off, target_off, out);
+  HirschbergRec(bottom, SafeSubstr(target, best_j), source_off + mid,
                 target_off + best_j, out);
 }
 
@@ -187,6 +195,7 @@ std::vector<std::pair<size_t, size_t>> HuntSzymanskiLcs(std::string_view source,
       } else {
         *it = j;
       }
+      MCSM_DCHECK_BOUNDS(k, thresh_node.size());
       int prev = (k == 0) ? -1 : thresh_node[k - 1];
       nodes.push_back({i, j, prev});
       thresh_node[k] = static_cast<int>(nodes.size()) - 1;

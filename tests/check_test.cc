@@ -1,0 +1,121 @@
+#include "common/check.h"
+
+#include <string>
+#include <string_view>
+
+#include <gtest/gtest.h>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace mcsm {
+namespace {
+
+// ---- MCSM_CHECK --------------------------------------------------------
+
+TEST(CheckTest, PassingCheckIsSilent) {
+  MCSM_CHECK(1 + 1 == 2);
+  MCSM_CHECK(true) << "message is never evaluated on the passing path";
+}
+
+TEST(CheckDeathTest, FailingCheckAbortsWithConditionText) {
+  EXPECT_DEATH(MCSM_CHECK(2 + 2 == 5), "CHECK failed: 2 \\+ 2 == 5");
+}
+
+TEST(CheckDeathTest, FailureMessageIncludesStreamedContext) {
+  int rows = 3;
+  EXPECT_DEATH(MCSM_CHECK(rows == 4) << "got " << rows << " rows",
+               "CHECK failed: rows == 4 got 3 rows");
+}
+
+TEST(CheckDeathTest, FailureMessageIncludesSourceLocation) {
+  EXPECT_DEATH(MCSM_CHECK(false), "check_test\\.cc");
+}
+
+TEST(CheckTest, ConditionEvaluatedExactlyOnce) {
+  int calls = 0;
+  MCSM_CHECK([&] { return ++calls; }() > 0);
+  EXPECT_EQ(calls, 1);
+}
+
+// ---- MCSM_CHECK_OK -----------------------------------------------------
+
+TEST(CheckTest, CheckOkAcceptsOkStatusAndOkResult) {
+  MCSM_CHECK_OK(Status::OK());
+  Result<int> r(7);
+  MCSM_CHECK_OK(r);
+}
+
+TEST(CheckDeathTest, CheckOkAbortsWithStatusMessage) {
+  EXPECT_DEATH(MCSM_CHECK_OK(Status::NotFound("no such table")),
+               "CHECK_OK failed: .*NotFound: no such table");
+}
+
+TEST(CheckDeathTest, CheckOkAbortsOnErrorResult) {
+  Result<int> r(Status::ParseError("bad digit"));
+  EXPECT_DEATH(MCSM_CHECK_OK(r), "ParseError: bad digit");
+}
+
+// ---- MCSM_CHECK_BOUNDS / MCSM_DCHECK -----------------------------------
+
+TEST(CheckTest, BoundsCheckAcceptsValidIndices) {
+  MCSM_CHECK_BOUNDS(0, 1);
+  MCSM_CHECK_BOUNDS(9, 10);
+}
+
+TEST(CheckDeathTest, BoundsCheckAbortsAndPrintsBothValues) {
+  EXPECT_DEATH(MCSM_CHECK_BOUNDS(5, 5), "index 5 out of bounds for size 5");
+}
+
+TEST(CheckDeathTest, DcheckFiresExactlyWhenEnabled) {
+  // Active in debug builds and whenever MCSM_FORCE_DCHECKS is defined (the
+  // sanitizer presets); compiled out otherwise.
+#if MCSM_DCHECK_IS_ON
+  EXPECT_DEATH(MCSM_DCHECK(false) << "contract", "contract");
+#else
+  MCSM_DCHECK(false) << "contract";  // must be a silent no-op
+#endif
+}
+
+TEST(CheckTest, DcheckCompilesInControlFlow) {
+  // MCSM_DCHECK must behave as a single statement in unbraced contexts.
+  if (1 > 0)
+    MCSM_DCHECK(true);
+  else
+    MCSM_DCHECK(true);
+}
+
+// ---- SafeSubstr --------------------------------------------------------
+
+TEST(SafeSubstrTest, InRangeBehavesLikeSubstr) {
+  std::string_view s = "abcdef";
+  EXPECT_EQ(SafeSubstr(s, 0), "abcdef");
+  EXPECT_EQ(SafeSubstr(s, 2), "cdef");
+  EXPECT_EQ(SafeSubstr(s, 1, 3), "bcd");
+  EXPECT_EQ(SafeSubstr(s, 5, 1), "f");
+}
+
+TEST(SafeSubstrTest, PosAtOrPastEndYieldsEmpty) {
+  std::string_view s = "abc";
+  EXPECT_EQ(SafeSubstr(s, 3), "");
+  EXPECT_EQ(SafeSubstr(s, 4), "");
+  EXPECT_EQ(SafeSubstr(s, std::string_view::npos), "");
+  EXPECT_EQ(SafeSubstr(std::string_view{}, 0), "");
+  EXPECT_EQ(SafeSubstr(std::string_view{}, 1), "");
+}
+
+TEST(SafeSubstrTest, CountClampsToAvailableCharacters) {
+  std::string_view s = "abc";
+  EXPECT_EQ(SafeSubstr(s, 1, 100), "bc");
+  EXPECT_EQ(SafeSubstr(s, 0, std::string_view::npos), "abc");
+  EXPECT_EQ(SafeSubstr(s, 2, 0), "");
+}
+
+TEST(SafeSubstrTest, ResultViewsAliasTheInput) {
+  std::string_view s = "abcdef";
+  std::string_view sub = SafeSubstr(s, 2, 2);
+  EXPECT_EQ(sub.data(), s.data() + 2);  // a view, not a copy
+}
+
+}  // namespace
+}  // namespace mcsm

@@ -1,0 +1,124 @@
+// Error-path coverage for Status/Result: propagation through Result<T>
+// chains (MCSM_ASSIGN_OR_RETURN / MCSM_RETURN_IF_ERROR), Result constructed
+// from a non-OK status, and the abort behavior of unchecked access now that
+// value() enforces the ValueOrDie discipline.
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace mcsm {
+namespace {
+
+Result<int> ParsePositive(int raw) {
+  if (raw <= 0) return Status::InvalidArgument("not positive");
+  return raw;
+}
+
+Result<int> Doubled(int raw) {
+  MCSM_ASSIGN_OR_RETURN(int value, ParsePositive(raw));
+  return value * 2;
+}
+
+Result<std::string> Rendered(int raw) {
+  MCSM_ASSIGN_OR_RETURN(int doubled, Doubled(raw));
+  return std::to_string(doubled);
+}
+
+Status Validate(int raw) {
+  MCSM_RETURN_IF_ERROR(ParsePositive(raw).status());
+  return Status::OK();
+}
+
+TEST(ResultChainTest, ValuePropagatesThroughChain) {
+  Result<std::string> r = Rendered(21);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, "42");
+}
+
+TEST(ResultChainTest, ErrorShortCircuitsChainAndKeepsCodeAndMessage) {
+  Result<std::string> r = Rendered(-3);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+  EXPECT_EQ(r.status().message(), "not positive");
+}
+
+TEST(ResultChainTest, ReturnIfErrorPropagatesAndPassesOk) {
+  EXPECT_TRUE(Validate(5).ok());
+  Status st = Validate(0);
+  EXPECT_TRUE(st.IsInvalidArgument());
+}
+
+TEST(ResultChainTest, AssignOrReturnIntoExistingVariable) {
+  auto f = [](int raw) -> Result<int> {
+    int out = 0;
+    MCSM_ASSIGN_OR_RETURN(out, ParsePositive(raw));
+    return out + 1;
+  };
+  ASSERT_TRUE(f(4).ok());
+  EXPECT_EQ(*f(4), 5);
+  EXPECT_TRUE(f(-1).status().IsInvalidArgument());
+}
+
+TEST(ResultFromStatusTest, NonOkStatusProducesErrorResult) {
+  Result<std::vector<int>> r(Status::OutOfRange("span past end"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsOutOfRange());
+  EXPECT_EQ(r.status().message(), "span past end");
+  EXPECT_TRUE(r.ValueOr({1, 2}).size() == 2);
+}
+
+TEST(ResultFromStatusTest, EveryErrorCodeRoundTrips) {
+  const Status statuses[] = {
+      Status::InvalidArgument("a"), Status::NotFound("b"),
+      Status::AlreadyExists("c"),   Status::OutOfRange("d"),
+      Status::NotImplemented("e"),  Status::ParseError("f"),
+      Status::TypeError("g"),       Status::Internal("h"),
+  };
+  for (const Status& st : statuses) {
+    Result<int> r(st);
+    EXPECT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), st.code());
+    EXPECT_EQ(r.status().message(), st.message());
+  }
+}
+
+TEST(ResultFromStatusDeathTest, OkStatusIsAContractViolation) {
+  // Debug and sanitizer builds (MCSM_DCHECK_IS_ON) abort; plain release
+  // builds degrade to an Internal-error Result rather than a
+  // half-initialized value.
+#if MCSM_DCHECK_IS_ON
+  EXPECT_DEATH((void)Result<int>{Status::OK()},
+               "Result constructed from OK status");
+#else
+  Result<int> r{Status::OK()};
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInternal());
+#endif
+}
+
+TEST(ResultAccessDeathTest, ValueOnErrorAbortsWithCarriedStatus) {
+  Result<int> r(Status::NotFound("row 7"));
+  EXPECT_DEATH((void)r.value(), "NotFound: row 7");  // lint: allow(VD001)
+}
+
+TEST(ResultAccessDeathTest, DereferenceOnErrorAborts) {
+  Result<std::string> r(Status::ParseError("unterminated quote"));
+  EXPECT_DEATH((void)*r, "Result::value\\(\\) on error");
+  EXPECT_DEATH((void)r->size(), "ParseError: unterminated quote");
+}
+
+TEST(ResultMoveTest, MoveOutPreservesValueSemantics) {
+  Result<std::vector<int>> r(std::vector<int>{1, 2, 3});
+  ASSERT_TRUE(r.ok());
+  std::vector<int> taken = std::move(r).value();
+  EXPECT_EQ(taken.size(), 3u);
+}
+
+}  // namespace
+}  // namespace mcsm

@@ -1,0 +1,174 @@
+#!/usr/bin/env python3
+"""Custom lint for the mcsm error-handling discipline.
+
+Rules (each suppressible on a specific line with `// lint: allow(<RULE>)`):
+
+  ND001  src/common/status.h and src/common/result.h must keep their
+         [[nodiscard]] class annotations (the compiler enforces call sites;
+         this guards the declarations themselves).
+  AS001  bare assert() is banned outside src/common/ — use MCSM_CHECK /
+         MCSM_DCHECK from common/check.h, which print context and fire in
+         sanitizer builds.
+  VD001  ValueOrDie-style access: `.value()` / `*result` on a Result must be
+         dominated by an ok() test, MCSM_ASSIGN_OR_RETURN, or MCSM_CHECK_OK
+         within the surrounding lines. This is a heuristic (line-based, not
+         AST-based); suppress deliberate uses with the marker above.
+  SS001  files that adopted bounds-clamped substring access (listed in
+         SAFE_SUBSTR_FILES) must not reintroduce raw `.substr(`.
+
+Usage: tools/lint.py [--root DIR] [paths...]   (default: src/)
+Exit status: 0 clean, 1 findings, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+SUPPRESS_RE = re.compile(r"//\s*lint:\s*allow\((?P<rules>[A-Z0-9, ]+)\)")
+
+# Files that must declare [[nodiscard]] on their main class.
+NODISCARD_FILES = {
+    "src/common/status.h": r"class\s+\[\[nodiscard\]\]\s+Status",
+    "src/common/result.h": r"class\s+\[\[nodiscard\]\]\s+Result",
+}
+
+# Files where SafeSubstr replaced raw substring access (rule SS001).
+SAFE_SUBSTR_FILES = {
+    "src/text/alignment.cc",
+    "src/text/lcs.cc",
+    "src/core/recipe.cc",
+    "src/core/formula.cc",
+    "src/relational/pattern.cc",
+}
+
+ASSERT_RE = re.compile(r"(?<![\w.])assert\s*\(")
+VALUE_CALL_RE = re.compile(r"\.\s*value\s*\(\s*\)")
+SUBSTR_RE = re.compile(r"\.\s*substr\s*\(")
+# Evidence within the lookback window that the access is guarded.
+VALUE_GUARD_RE = re.compile(
+    r"\.ok\s*\(\s*\)|MCSM_ASSIGN_OR_RETURN|MCSM_CHECK_OK|MCSM_RETURN_IF_ERROR"
+    r"|ASSERT_TRUE|ASSERT_OK|EXPECT_TRUE"
+)
+VALUE_GUARD_LOOKBACK = 12
+
+COMMENT_RE = re.compile(r"//.*$")
+STRING_RE = re.compile(r'"(?:[^"\\]|\\.)*"')
+
+
+class Finding:
+    def __init__(self, path: str, line: int, rule: str, message: str):
+        self.path, self.line, self.rule, self.message = path, line, rule, message
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_noise(line: str) -> str:
+    """Removes string literals and // comments so patterns match code only."""
+    return COMMENT_RE.sub("", STRING_RE.sub('""', line))
+
+
+def suppressed(line: str, rule: str) -> bool:
+    m = SUPPRESS_RE.search(line)
+    return bool(m) and rule in [r.strip() for r in m.group("rules").split(",")]
+
+
+def lint_file(root: Path, path: Path) -> list[Finding]:
+    rel = path.relative_to(root).as_posix()
+    try:
+        text = path.read_text(encoding="utf-8", errors="replace")
+    except OSError as err:
+        return [Finding(rel, 0, "IO", f"unreadable: {err}")]
+    lines = text.splitlines()
+    findings: list[Finding] = []
+
+    # ND001 — required [[nodiscard]] declarations.
+    pattern = NODISCARD_FILES.get(rel)
+    if pattern is not None and not re.search(pattern, text):
+        findings.append(
+            Finding(rel, 1, "ND001",
+                    f"expected declaration matching /{pattern}/ — "
+                    "do not drop the [[nodiscard]] annotation"))
+
+    in_common = rel.startswith("src/common/")
+    check_substr = rel in SAFE_SUBSTR_FILES
+
+    for i, raw in enumerate(lines, start=1):
+        code = strip_noise(raw)
+
+        # AS001 — bare assert outside common/.
+        if not in_common and ASSERT_RE.search(code):
+            if not suppressed(raw, "AS001"):
+                findings.append(
+                    Finding(rel, i, "AS001",
+                            "bare assert(); use MCSM_CHECK or MCSM_DCHECK "
+                            "from common/check.h"))
+
+        # VD001 — unchecked .value() access.
+        if VALUE_CALL_RE.search(code) and not in_common:
+            window = "\n".join(
+                strip_noise(l)
+                for l in lines[max(0, i - 1 - VALUE_GUARD_LOOKBACK):i])
+            if not VALUE_GUARD_RE.search(window):
+                if not suppressed(raw, "VD001"):
+                    findings.append(
+                        Finding(rel, i, "VD001",
+                                ".value() without a visible ok() guard in the "
+                                f"previous {VALUE_GUARD_LOOKBACK} lines; test "
+                                "ok(), use MCSM_ASSIGN_OR_RETURN, or mark "
+                                "// lint: allow(VD001)"))
+
+        # SS001 — raw substr in SafeSubstr-adopted files.
+        if check_substr and SUBSTR_RE.search(code):
+            if not suppressed(raw, "SS001"):
+                findings.append(
+                    Finding(rel, i, "SS001",
+                            "raw .substr() in a SafeSubstr-adopted file; use "
+                            "mcsm::SafeSubstr (clamping, never throws)"))
+
+    return findings
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--root", default=None,
+                        help="repository root (default: parent of tools/)")
+    parser.add_argument("paths", nargs="*", default=[],
+                        help="files or directories to lint (default: src/)")
+    args = parser.parse_args()
+
+    root = Path(args.root) if args.root else Path(__file__).resolve().parent.parent
+    root = root.resolve()
+    targets = [root / p for p in args.paths] if args.paths else [root / "src"]
+
+    files: list[Path] = []
+    for target in targets:
+        if target.is_dir():
+            files.extend(sorted(p for p in target.rglob("*")
+                                if p.suffix in {".h", ".cc", ".cpp"}))
+        elif target.is_file():
+            files.append(target)
+        else:
+            print(f"lint.py: no such path: {target}", file=sys.stderr)
+            return 2
+
+    findings: list[Finding] = []
+    for f in files:
+        findings.extend(lint_file(root, f))
+
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"lint.py: {len(findings)} finding(s) in {len(files)} file(s)",
+              file=sys.stderr)
+        return 1
+    print(f"lint.py: clean ({len(files)} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
