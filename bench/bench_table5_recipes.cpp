@@ -24,13 +24,17 @@ int main() {
   for (const auto& p : pairs) {
     auto alignment = text::AlignLcsAnchored(
         p.key, p.target, nullptr, text::EditCosts{}, text::LcsTieBreak::kLeftmost);
-    auto formulas = core::BuildFormulasFromRecipe(
+    auto formulas_or = core::BuildFormulasFromRecipe(
         p.target, core::FixedCoverage::None(std::string(p.target).size()),
         alignment, 2, std::string(p.key).size(), 8);
     std::string rendered;
-    for (size_t i = 0; i < formulas.size(); ++i) {
-      if (i) rendered += "  or  ";
-      rendered += formulas[i].ToString();
+    if (!formulas_or.ok()) {
+      rendered = formulas_or.status().ToString();
+    } else {
+      for (size_t i = 0; i < formulas_or->size(); ++i) {
+        if (i) rendered += "  or  ";
+        rendered += (*formulas_or)[i].ToString();
+      }
     }
     std::printf("%-8s %-10s  %s\n", p.key, p.target, rendered.c_str());
   }

@@ -2,14 +2,19 @@
 //
 //   discover_csv <source.csv> <target.csv> <target-column>
 //                [--separators] [--fraction F] [--all]
+//                [--permissive] [--deadline-ms N]
 //
 // Loads two CSV files (header row = column names, all columns TEXT), runs
 // the multi-column substring search and prints the discovered translation
 // formula, its coverage, and the equivalent SQL. With --all, runs the
 // match-and-remove loop and reports every dominant formula plus the merged
-// rule (Section 7). Without arguments, writes a small demo pair of CSV
-// files and runs on those.
+// rule (Section 7). --permissive skips malformed CSV rows (reporting how
+// many were dropped) instead of rejecting the file; --deadline-ms bounds the
+// search wall-clock — on expiry the best partial formula found so far is
+// printed, marked TRUNCATED. Without arguments, writes a small demo pair of
+// CSV files and runs on those.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
@@ -51,21 +56,14 @@ int RealMain(int argc, const char** argv) {
   if (argc < 4) {
     std::fprintf(stderr,
                  "usage: %s <source.csv> <target.csv> <target-column> "
-                 "[--separators] [--fraction F] [--all]\n",
+                 "[--separators] [--fraction F] [--all] "
+                 "[--permissive] [--deadline-ms N]\n",
                  argv[0]);
-    return 2;
-  }
-  auto source = relational::ReadCsvFile(argv[1]);
-  if (!source.ok()) return Fail(source.status());
-  auto target = relational::ReadCsvFile(argv[2]);
-  if (!target.ok()) return Fail(target.status());
-  auto column = target->schema().FindColumn(argv[3]);
-  if (!column.has_value()) {
-    std::fprintf(stderr, "error: no column '%s' in %s\n", argv[3], argv[2]);
     return 2;
   }
 
   core::SearchOptions options;
+  relational::CsvOptions csv_options;
   bool all = false;
   for (int i = 4; i < argc; ++i) {
     if (std::strcmp(argv[i], "--separators") == 0) {
@@ -74,10 +72,36 @@ int RealMain(int argc, const char** argv) {
       options.sample_fraction = std::atof(argv[++i]);
     } else if (std::strcmp(argv[i], "--all") == 0) {
       all = true;
+    } else if (std::strcmp(argv[i], "--permissive") == 0) {
+      csv_options.permissive = true;
+    } else if (std::strcmp(argv[i], "--deadline-ms") == 0 && i + 1 < argc) {
+      options.budget.wall_ms = std::atol(argv[++i]);
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
       return 2;
     }
+  }
+
+  auto report_drops = [](const char* path,
+                         const relational::CsvReadReport& report) {
+    if (report.rows_dropped == 0) return;
+    std::printf("%s: dropped %zu malformed row(s), kept %zu\n", path,
+                report.rows_dropped, report.rows_kept);
+    for (const auto& example : report.first_errors) {
+      std::printf("  e.g. %s\n", example.c_str());
+    }
+  };
+  relational::CsvReadReport source_report, target_report;
+  auto source = relational::ReadCsvFile(argv[1], csv_options, &source_report);
+  if (!source.ok()) return Fail(source.status());
+  report_drops(argv[1], source_report);
+  auto target = relational::ReadCsvFile(argv[2], csv_options, &target_report);
+  if (!target.ok()) return Fail(target.status());
+  report_drops(argv[2], target_report);
+  auto column = target->schema().FindColumn(argv[3]);
+  if (!column.has_value()) {
+    std::fprintf(stderr, "error: no column '%s' in %s\n", argv[3], argv[2]);
+    return 2;
   }
 
   std::printf("source: %zu rows x %zu columns; target column '%s' (%zu rows)\n",
@@ -91,6 +115,10 @@ int RealMain(int argc, const char** argv) {
     auto d = core::DiscoverTranslation(*source, *target, *column, options,
                                        sql_options);
     if (!d.ok()) return Fail(d.status());
+    if (d->truncated()) {
+      std::printf("TRUNCATED: %s budget exhausted; best partial result:\n",
+                  BudgetTripName(d->search.budget_trip));
+    }
     std::printf("formula : %s\n",
                 d->formula().ToString(source->schema()).c_str());
     std::printf("coverage: %zu / %zu rows\n", d->coverage.matched_rows(),
@@ -105,10 +133,12 @@ int RealMain(int argc, const char** argv) {
   std::vector<core::TranslationFormula> formulas;
   for (size_t i = 0; i < rounds->size(); ++i) {
     const auto& d = (*rounds)[i];
-    std::printf("formula %zu: %-44s covers %zu rows\n", i + 1,
+    std::printf("formula %zu: %-44s covers %zu rows%s\n", i + 1,
                 d.formula().ToString(source->schema()).c_str(),
-                d.coverage.matched_rows());
+                d.coverage.matched_rows(),
+                d.truncated() ? "  [TRUNCATED]" : "");
     std::printf("  sql: %s\n", d.sql.c_str());
+    if (d.truncated()) continue;  // partial formula: not mergeable
     formulas.push_back(d.formula());
   }
   if (formulas.size() > 1) {

@@ -115,10 +115,13 @@ extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
     }
   }
 
-  const auto formulas = mcsm::core::BuildFormulasFromRecipe(
+  const auto formulas_or = mcsm::core::BuildFormulasFromRecipe(
       target, fixed, alignment, /*key_column=*/0, source.size(),
       /*max_variants=*/16, /*sized_unknowns=*/(size & 1) != 0);
-  for (const auto& formula : formulas) {
+  // The coverage above is built against `target` itself, so it is always
+  // self-consistent; an error status here would be a harness bug.
+  MCSM_CHECK(formulas_or.ok()) << formulas_or.status().ToString();
+  for (const auto& formula : *formulas_or) {
     (void)formula.ToString();
     (void)formula.UnknownCount();
     (void)formula.KnownFixedChars();

@@ -1,13 +1,22 @@
 // Fuzz harness for the CSV reader (relational/csv.h): arbitrary bytes must
 // either parse into a table or come back as an error Status — never crash,
 // leak, or read out of bounds. Parsed tables additionally round-trip through
-// WriteCsv/ReadCsv with the column count preserved.
+// WriteCsv/ReadCsv with the column count preserved, and every input is also
+// fed through permissive mode, whose kept/dropped accounting must stay
+// consistent with the produced table.
+//
+// The harness is failpoint-aware: CI runs it once more with
+// MCSM_FAILPOINTS="csv.read=error@5" armed (see fuzz/CMakeLists.txt), which
+// interleaves injected I/O faults with real parses. Consistency checks that
+// compare two reads of the same input are skipped in that mode — with a
+// stride the two reads see different injection phases.
 
 #include <cstddef>
 #include <cstdint>
 #include <string_view>
 
 #include "common/check.h"
+#include "common/failpoint.h"
 #include "relational/csv.h"
 
 extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
@@ -21,17 +30,47 @@ extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
     options.empty_as_null = (text[0] & 2) != 0;
     text.remove_prefix(1);
   }
+  const bool injecting = mcsm::failpoint::Enabled();
 
   auto parsed = mcsm::relational::ReadCsv(text, options);
+
+  // Permissive mode must accept at least everything strict mode accepts, and
+  // its report must account for exactly the rows that landed in the table.
+  mcsm::relational::CsvOptions permissive = options;
+  permissive.permissive = true;
+  mcsm::relational::CsvReadReport report;
+  auto lenient = mcsm::relational::ReadCsv(text, permissive, &report);
+  if (lenient.ok()) {
+    MCSM_CHECK(report.rows_kept == lenient->num_rows())
+        << report.rows_kept << " kept vs " << lenient->num_rows() << " rows";
+    MCSM_CHECK(report.first_errors.size() <=
+               mcsm::relational::CsvReadReport::kMaxErrorExamples);
+    if (report.rows_dropped == 0) {
+      MCSM_CHECK(report.first_errors.empty());
+    }
+  }
+  if (!injecting && parsed.ok()) {
+    // Strict success means no malformed rows existed: permissive mode must
+    // agree row-for-row and drop nothing.
+    MCSM_CHECK(lenient.ok()) << lenient.status().ToString();
+    MCSM_CHECK(report.rows_dropped == 0);
+    MCSM_CHECK(lenient->num_rows() == parsed->num_rows());
+  }
+
   if (!parsed.ok()) return 0;
 
   // Round-trip: whatever ReadCsv accepted, WriteCsv must serialize into
   // something ReadCsv accepts again, with the schema width intact. (Values
-  // are not compared: empty-vs-NULL intentionally normalizes.)
-  const std::string serialized = mcsm::relational::WriteCsv(*parsed, options);
-  auto reparsed = mcsm::relational::ReadCsv(serialized, options);
-  MCSM_CHECK(reparsed.ok()) << "WriteCsv output rejected by ReadCsv: "
-                            << reparsed.status().ToString();
-  MCSM_CHECK(reparsed->schema().num_columns() == parsed->schema().num_columns());
+  // are not compared: empty-vs-NULL intentionally normalizes.) Skipped under
+  // injection: the reparse may legitimately hit an armed fault.
+  if (!injecting) {
+    const std::string serialized =
+        mcsm::relational::WriteCsv(*parsed, options);
+    auto reparsed = mcsm::relational::ReadCsv(serialized, options);
+    MCSM_CHECK(reparsed.ok()) << "WriteCsv output rejected by ReadCsv: "
+                              << reparsed.status().ToString();
+    MCSM_CHECK(reparsed->schema().num_columns() ==
+               parsed->schema().num_columns());
+  }
   return 0;
 }

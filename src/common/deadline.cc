@@ -1,0 +1,78 @@
+#include "common/deadline.h"
+
+namespace mcsm {
+
+const char* BudgetTripName(BudgetTrip trip) {
+  switch (trip) {
+    case BudgetTrip::kNone:
+      return "none";
+    case BudgetTrip::kWallClock:
+      return "wall-clock";
+    case BudgetTrip::kPostings:
+      return "postings";
+    case BudgetTrip::kPairs:
+      return "pairs";
+    case BudgetTrip::kFormulas:
+      return "formulas";
+  }
+  return "unknown";
+}
+
+RunBudget::RunBudget(const BudgetLimits& limits) : limits_(limits) {
+  if (limits_.wall_ms > 0) {
+    has_deadline_ = true;
+    deadline_ = Clock::now() + std::chrono::milliseconds(limits_.wall_ms);
+  }
+}
+
+RunBudget RunBudget::ForMillis(int64_t wall_ms) {
+  BudgetLimits limits;
+  limits.wall_ms = wall_ms;
+  return RunBudget(limits);
+}
+
+bool RunBudget::CheckDeadline() {
+  if (trip_ != BudgetTrip::kNone) return false;
+  if (has_deadline_ && Clock::now() >= deadline_) {
+    trip_ = BudgetTrip::kWallClock;
+    return false;
+  }
+  return true;
+}
+
+bool RunBudget::ChargePostings(uint64_t n) {
+  postings_scanned_ += n;
+  if (!CheckDeadline()) return false;
+  if (limits_.max_postings_scanned != 0 &&
+      postings_scanned_ > limits_.max_postings_scanned) {
+    trip_ = BudgetTrip::kPostings;
+    return false;
+  }
+  return true;
+}
+
+bool RunBudget::ChargePairs(uint64_t n) {
+  pairs_aligned_ += n;
+  if (!CheckDeadline()) return false;
+  if (limits_.max_pairs_aligned != 0 &&
+      pairs_aligned_ > limits_.max_pairs_aligned) {
+    trip_ = BudgetTrip::kPairs;
+    return false;
+  }
+  return true;
+}
+
+bool RunBudget::ChargeFormulas(uint64_t n) {
+  candidate_formulas_ += n;
+  if (!CheckDeadline()) return false;
+  if (limits_.max_candidate_formulas != 0 &&
+      candidate_formulas_ > limits_.max_candidate_formulas) {
+    trip_ = BudgetTrip::kFormulas;
+    return false;
+  }
+  return true;
+}
+
+bool RunBudget::Exhausted() { return !CheckDeadline(); }
+
+}  // namespace mcsm

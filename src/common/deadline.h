@@ -1,0 +1,105 @@
+#ifndef MCSM_COMMON_DEADLINE_H_
+#define MCSM_COMMON_DEADLINE_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace mcsm {
+
+/// Which budget axis tripped first (kNone = still within budget).
+enum class BudgetTrip : uint8_t {
+  kNone = 0,
+  kWallClock,   ///< wall-clock deadline elapsed
+  kPostings,    ///< posting-entry scan cap reached (index retrieval)
+  kPairs,       ///< pair-alignment cap reached (recipes built)
+  kFormulas,    ///< candidate-formula cap reached
+};
+
+/// Human-readable axis name ("wall-clock", "postings", ...).
+const char* BudgetTripName(BudgetTrip trip);
+
+/// \brief Cost caps for one search run. Default-constructed limits are
+/// unlimited (every field 0 = off), so existing call sites pay nothing.
+///
+/// The wall-clock deadline bounds the latency a caller observes; the
+/// work-unit caps bound cost deterministically (useful in tests and when a
+/// run must be reproducible regardless of machine speed). The first axis to
+/// trip wins and is reported via RunBudget::trip().
+struct BudgetLimits {
+  /// Wall-clock deadline in milliseconds from RunBudget construction
+  /// (0 = unlimited). The deadline covers index construction too: it starts
+  /// when the search object is created, not at the first retrieval.
+  int64_t wall_ms = 0;
+  /// Cap on posting entries scanned across all index retrievals
+  /// (0 = unlimited).
+  uint64_t max_postings_scanned = 0;
+  /// Cap on (key, target instance) pairs aligned into recipes (0 = unlimited).
+  uint64_t max_pairs_aligned = 0;
+  /// Cap on candidate formulas generated (0 = unlimited).
+  uint64_t max_candidate_formulas = 0;
+
+  bool unlimited() const {
+    return wall_ms == 0 && max_postings_scanned == 0 &&
+           max_pairs_aligned == 0 && max_candidate_formulas == 0;
+  }
+};
+
+/// \brief Deadline + work-unit meter for one anytime-search run.
+///
+/// A RunBudget is created by the component that owns the run (the
+/// translation search) and threaded as a nullable pointer through the layers
+/// that do metered work — index retrieval, sampling, recipe voting. Each
+/// layer charges the units it consumed and stops early once the budget is
+/// exhausted, returning whatever it produced so far; the search layer then
+/// tags the overall result `truncated` instead of erroring out.
+///
+/// Exhaustion is sticky: once any axis trips, Exhausted() stays true and
+/// trip() keeps reporting the first axis that tripped. All charging is
+/// single-threaded (one budget per search run).
+class RunBudget {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Unlimited budget.
+  RunBudget() = default;
+
+  /// Starts the wall clock now (when a deadline is configured).
+  explicit RunBudget(const BudgetLimits& limits);
+
+  /// Convenience for tests/tools: wall-clock deadline only.
+  static RunBudget ForMillis(int64_t wall_ms);
+
+  /// Charges `n` posting entries; returns true while within budget.
+  bool ChargePostings(uint64_t n);
+  /// Charges `n` aligned pairs; returns true while within budget.
+  bool ChargePairs(uint64_t n = 1);
+  /// Charges `n` candidate formulas; returns true while within budget.
+  bool ChargeFormulas(uint64_t n = 1);
+
+  /// True once any axis has tripped. Checks the wall clock (cheap: one
+  /// steady_clock read when a deadline is set), so it is safe in loop heads.
+  bool Exhausted();
+
+  /// The first axis that tripped, without re-reading the clock.
+  BudgetTrip trip() const { return trip_; }
+
+  uint64_t postings_scanned() const { return postings_scanned_; }
+  uint64_t pairs_aligned() const { return pairs_aligned_; }
+  uint64_t candidate_formulas() const { return candidate_formulas_; }
+  const BudgetLimits& limits() const { return limits_; }
+
+ private:
+  bool CheckDeadline();
+
+  BudgetLimits limits_;
+  Clock::time_point deadline_{};
+  bool has_deadline_ = false;
+  BudgetTrip trip_ = BudgetTrip::kNone;
+  uint64_t postings_scanned_ = 0;
+  uint64_t pairs_aligned_ = 0;
+  uint64_t candidate_formulas_ = 0;
+};
+
+}  // namespace mcsm
+
+#endif  // MCSM_COMMON_DEADLINE_H_

@@ -36,8 +36,23 @@ Result<std::vector<DiscoveredTranslation>> DiscoverAllTranslations(
     if (source.num_rows() == 0 || target.num_rows() == 0) break;
     auto discovered =
         DiscoverTranslation(source, target, target_column, options);
-    if (!discovered.ok()) break;  // no further dominant formula
+    if (!discovered.ok()) {
+      // First round: the caller's input never produced anything — a real
+      // error, not an exhausted match-and-remove loop. Later rounds: NotFound
+      // is the expected "no further dominant formula" terminator; anything
+      // else (I/O fault, injected failure) still propagates.
+      if (round == 0 || !discovered.status().IsNotFound()) {
+        return discovered.status();
+      }
+      break;
+    }
     DiscoveredTranslation& d = *discovered;
+    if (d.search.truncated) {
+      // Anytime semantics: surface the partial round and stop — the tripped
+      // budget would trip again immediately on the leftover rows.
+      out.push_back(std::move(d));
+      break;
+    }
     if (!d.formula().IsComplete() ||
         d.coverage.matched_rows() < min_matched_rows) {
       break;  // no further dominant formula

@@ -22,6 +22,9 @@ struct DiscoveredTranslation {
   std::string sql;     ///< emitted SQL (empty when the formula is incomplete)
 
   const TranslationFormula& formula() const { return search.formula; }
+  /// True when the run budget tripped and `search.formula` is the best
+  /// partial found before the trip (see SearchOptions::budget).
+  bool truncated() const { return search.truncated; }
 };
 
 /// Runs the full search once and packages formula + coverage + SQL.
@@ -33,9 +36,19 @@ Result<DiscoveredTranslation> DiscoverTranslation(
 
 /// Match-and-remove loop (Section 4.1): discovers a translation, removes the
 /// rows it covers from both tables, and repeats — returning the dominant
-/// formulas in decreasing coverage order. Stops after `max_formulas`, when a
-/// search fails, or when a formula covers fewer than `min_matched_rows` rows.
-/// Copies of the tables are consumed internally; the originals are untouched.
+/// formulas in decreasing coverage order.
+///
+/// Error contract: a failure on the FIRST round is a real error (bad input or
+/// a broken pipeline) and propagates. On LATER rounds a NotFound merely means
+/// the leftover rows support no further dominant formula — the expected loop
+/// terminator — so the formulas found so far are returned; any other error
+/// code still propagates. The loop also stops cleanly after `max_formulas`
+/// rounds, when a formula covers fewer than `min_matched_rows` rows, when a
+/// table runs out of rows, or when a round comes back truncated (the
+/// truncated partial IS appended, so callers can inspect the last element's
+/// truncated() — a tripped budget would trip again immediately on the
+/// leftovers). Copies of the tables are consumed internally; the originals
+/// are untouched.
 Result<std::vector<DiscoveredTranslation>> DiscoverAllTranslations(
     relational::Table source, relational::Table target, size_t target_column,
     const SearchOptions& options = {}, size_t max_formulas = 4,

@@ -29,14 +29,26 @@ Result<FixedCoverage> FixedCoverage::FromCapture(
   return f;
 }
 
-std::vector<TranslationFormula> BuildFormulasFromRecipe(
+Result<std::vector<TranslationFormula>> BuildFormulasFromRecipe(
     std::string_view target, const FixedCoverage& fixed,
     const text::RecipeAlignment& alignment, size_t key_column,
     size_t key_length, size_t max_variants, bool sized_unknowns) {
   const size_t len = target.size();
-  MCSM_CHECK(fixed.cover.size() == len)
-      << "fixed coverage built for length " << fixed.cover.size()
-      << " but target has length " << len;
+  // Coverage/target mismatches arise from malformed intermediate data (a
+  // recipe built against a different instance); degrade, don't abort.
+  if (fixed.cover.size() != len) {
+    return Status::InvalidArgument(
+        StrFormat("fixed coverage built for length %zu but target has "
+                  "length %zu",
+                  fixed.cover.size(), len));
+  }
+  for (int c : fixed.cover) {
+    if (c >= 0 && static_cast<size_t>(c) >= fixed.regions.size()) {
+      return Status::InvalidArgument(
+          StrFormat("fixed coverage entry %d exceeds %zu regions", c,
+                    fixed.regions.size()));
+    }
+  }
 
   // run_at[i] = index of the matched run starting at target position i.
   std::vector<int> run_at(len, -1);

@@ -56,7 +56,11 @@ struct FixedCoverage {
 /// When `sized_unknowns` is set (fixed-width target columns), Unknown
 /// regions carry their exact width so recipes align by absolute location
 /// (Section 3.3.3's fixed-field case).
-std::vector<TranslationFormula> BuildFormulasFromRecipe(
+/// A `fixed` coverage inconsistent with `target` (wrong length, or cover
+/// entries pointing past the region list) is a data error, not an invariant
+/// violation: it returns InvalidArgument so a malformed intermediate recipe
+/// degrades to a skipped vote instead of aborting the process.
+Result<std::vector<TranslationFormula>> BuildFormulasFromRecipe(
     std::string_view target, const FixedCoverage& fixed,
     const text::RecipeAlignment& alignment, size_t key_column,
     size_t key_length, size_t max_variants, bool sized_unknowns = false);

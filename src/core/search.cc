@@ -8,6 +8,7 @@
 #include <map>
 #include <unordered_map>
 
+#include "common/failpoint.h"
 #include "common/string_util.h"
 #include "core/separator.h"
 #include "relational/sampler.h"
@@ -34,6 +35,7 @@ TranslationSearch::TranslationSearch(const relational::Table& source,
       target_(target),
       target_column_(target_column),
       options_(options),
+      budget_(options_.budget),
       source_indexes_(source.num_columns()) {
   relational::ColumnIndex::Options idx_options;
   idx_options.q = options_.q;
@@ -84,21 +86,23 @@ std::vector<std::string> TranslationSearch::SampleKeys(size_t column) const {
   return keys;
 }
 
-std::vector<size_t> TranslationSearch::SampleSourceRows(size_t column) const {
-  const auto& index = const_cast<TranslationSearch*>(this)->SourceIndex(column);
+std::vector<size_t> TranslationSearch::SampleSourceRows(size_t column) {
+  const auto& index = SourceIndex(column);
   size_t t = SampleCount(index.distinct_count());
-  return relational::SampleRows(source_.num_rows(), t);
+  return relational::SampleRows(source_.num_rows(), t, &budget_);
 }
 
-std::vector<uint32_t> TranslationSearch::SimilarTargetRows(
+Result<std::vector<uint32_t>> TranslationSearch::SimilarTargetRows(
     std::string_view key) {
+  MCSM_FAILPOINT(failpoint::kIndexSimilar);
   std::vector<relational::ColumnIndex::ScoredRow> scored;
   if (options_.pair_mode == SearchOptions::PairScoreMode::kTfIdf) {
     scored = target_index_->SimilarRows(key, options_.pair_score_threshold,
-                                        options_.top_r_pairs, separator_chars_);
+                                        options_.top_r_pairs, separator_chars_,
+                                        &budget_);
   } else {
     scored = target_index_->SimilarRowsByCount(
-        key, options_.pair_score_threshold, options_.top_r_pairs);
+        key, options_.pair_score_threshold, options_.top_r_pairs, &budget_);
   }
   stats_.pairs_scored += scored.size();
   std::vector<uint32_t> rows;
@@ -116,9 +120,13 @@ void TranslationSearch::VoteRecipe(std::string_view key,
   text::RecipeAlignment alignment = text::AlignLcsAnchored(
       key, target, &mask, text::EditCosts{}, options_.lcs_tie_break);
   ++stats_.recipes_built;
-  auto formulas = BuildFormulasFromRecipe(
+  (void)budget_.ChargePairs();
+  auto formulas_or = BuildFormulasFromRecipe(
       target, fixed, alignment, key_column, key.size(),
       options_.max_variants_per_recipe, target_index_->fixed_width());
+  if (!formulas_or.ok()) return;  // malformed recipe: skipped vote (see recipe.h)
+  std::vector<TranslationFormula>& formulas = *formulas_or;
+  (void)budget_.ChargeFormulas(formulas.size());
   // Votes are weighted by the number of characters the recipe explains: a
   // k-character serendipitous match is exponentially less probable than a
   // 1-character one (the same decay Eq. 1 models by raising to the power q),
@@ -156,6 +164,7 @@ Result<size_t> TranslationSearch::SelectStartColumn(
   double best_score = 0.0;
   size_t best_column = std::numeric_limits<size_t>::max();
   for (size_t col = 0; col < source_.num_columns(); ++col) {
+    if (budget_.Exhausted()) break;
     if (source_.schema().column(col).type != relational::ColumnType::kText) {
       continue;
     }
@@ -180,6 +189,7 @@ Result<size_t> TranslationSearch::SelectStartColumn(
 Result<std::vector<TranslationFormula>> TranslationSearch::BuildInitialFormulas(
     size_t column, size_t k) {
   auto start = Clock::now();
+  MCSM_FAILPOINT(failpoint::kSamplerSample);
   VoteMap votes;
   double total = 0;
 
@@ -210,6 +220,7 @@ Result<std::vector<TranslationFormula>> TranslationSearch::BuildInitialFormulas(
   if (!linkage_.empty()) {
     // Section 6.2: candidate pairs come from the known row linkage.
     for (size_t row : SampleSourceRows(column)) {
+      if (budget_.Exhausted()) break;
       std::string_view key = source_.CellText(row, column);
       if (key.empty()) continue;
       if (row >= linkage_.size() || linkage_[row] == kNoLink) continue;
@@ -217,8 +228,11 @@ Result<std::vector<TranslationFormula>> TranslationSearch::BuildInitialFormulas(
     }
   } else {
     for (const std::string& key : SampleKeys(column)) {
+      if (budget_.Exhausted()) break;
       if (key.empty()) continue;
-      for (uint32_t target_row : SimilarTargetRows(key)) {
+      MCSM_ASSIGN_OR_RETURN(std::vector<uint32_t> target_rows,
+                            SimilarTargetRows(key));
+      for (uint32_t target_row : target_rows) {
         vote_pair(key, target_row);
       }
     }
@@ -278,6 +292,9 @@ Result<bool> TranslationSearch::RefineOnce(TranslationFormula* formula,
   if (formula->empty()) {
     return Status::InvalidArgument("cannot refine an empty formula");
   }
+  // Fires once per refinement pass, not per row, so a delay spec slows the
+  // search instead of multiplying into an apparent hang.
+  MCSM_FAILPOINT(failpoint::kIndexPattern);
   const std::string current_rendered = formula->ToString();
 
   // The formula's non-Unknown regions, in order (they pair with the pattern's
@@ -304,7 +321,8 @@ Result<bool> TranslationSearch::RefineOnce(TranslationFormula* formula,
   // counts are comparable across columns, and the expensive pattern
   // retrieval runs once per row instead of once per (row, column).
   size_t t = SampleCount(source_.num_rows());
-  for (size_t row : relational::SampleRows(source_.num_rows(), t)) {
+  for (size_t row : relational::SampleRows(source_.num_rows(), t, &budget_)) {
+    if (budget_.Exhausted()) break;
     auto pattern = formula->BuildPattern(source_, row);
     if (!pattern.has_value() || pattern->IsUniversal()) continue;
 
@@ -317,7 +335,7 @@ Result<bool> TranslationSearch::RefineOnce(TranslationFormula* formula,
         }
       }
     } else {
-      target_rows = target_index_->RowsMatchingPattern(*pattern);
+      target_rows = target_index_->RowsMatchingPattern(*pattern, &budget_);
     }
 
     // Per-candidate fixed coverage (shared by all columns); invalid captures
@@ -464,9 +482,23 @@ Result<bool> TranslationSearch::RefineOnce(TranslationFormula* formula,
   return true;
 }
 
+SearchResult TranslationSearch::TruncatedResult(SearchResult attempt) {
+  attempt.truncated = true;
+  attempt.budget_trip = budget_.trip();
+  stats_.postings_scanned = static_cast<size_t>(budget_.postings_scanned());
+  attempt.stats = stats_;
+  return attempt;
+}
+
 Result<SearchResult> TranslationSearch::Run() {
   std::vector<double> scores;
-  MCSM_RETURN_IF_ERROR(SelectStartColumn(&scores).status());
+  auto start_column_or = SelectStartColumn(&scores);
+  if (!start_column_or.ok()) {
+    // Anytime contract: a budget trip never surfaces as an error — return
+    // whatever was found so far (here: nothing) tagged truncated.
+    if (budget_.Exhausted()) return TruncatedResult(SearchResult{});
+    return start_column_or.status();
+  }
 
   // Start columns in descending Step-1 score order (zero scores skipped).
   std::vector<size_t> start_columns;
@@ -494,6 +526,7 @@ Result<SearchResult> TranslationSearch::Run() {
   bool have_attempt = false;
   Status last_error = Status::NotFound("no start column produced a formula");
   for (size_t start_column : start_columns) {
+    if (budget_.Exhausted()) break;
     auto initial_formulas = BuildInitialFormulas(
         start_column, std::max<size_t>(1, options_.initial_candidates));
     if (!initial_formulas.ok()) {
@@ -501,11 +534,13 @@ Result<SearchResult> TranslationSearch::Run() {
       continue;
     }
     for (const TranslationFormula& initial : *initial_formulas) {
+      if (budget_.Exhausted()) break;
       SearchResult attempt;
       attempt.start_column = start_column;
       attempt.formula = initial;
       for (size_t iter = 0;
-           iter < options_.max_iterations && !attempt.formula.IsComplete();
+           iter < options_.max_iterations && !attempt.formula.IsComplete() &&
+           !budget_.Exhausted();
            ++iter) {
         IterationInfo info;
         MCSM_ASSIGN_OR_RETURN(bool improved,
@@ -520,6 +555,11 @@ Result<SearchResult> TranslationSearch::Run() {
                       .matched_rows();
       }
       if (covered >= coverage_floor) {
+        // A formula that passes coverage validation is a full success even
+        // when the budget tripped on the way: nothing was cut short that a
+        // longer run would have improved.
+        stats_.postings_scanned =
+            static_cast<size_t>(budget_.postings_scanned());
         attempt.stats = stats_;
         return attempt;
       }
@@ -530,7 +570,12 @@ Result<SearchResult> TranslationSearch::Run() {
       }
     }
   }
+  if (budget_.Exhausted()) {
+    return TruncatedResult(have_attempt ? std::move(best_attempt)
+                                        : SearchResult{});
+  }
   if (!have_attempt) return last_error;
+  stats_.postings_scanned = static_cast<size_t>(budget_.postings_scanned());
   best_attempt.stats = stats_;
   return best_attempt;
 }

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/result.h"
 #include "core/column_scorer.h"
 #include "core/formula.h"
@@ -116,6 +117,14 @@ struct SearchOptions {
   /// A completed formula must cover at least this fraction of the smaller
   /// table (and at least min_support rows) to be accepted without restart.
   double min_coverage_fraction = 0.001;
+
+  /// Cost caps for the run (wall-clock deadline + work-unit counters).
+  /// Default: unlimited — the paper's open-ended greedy loop. When any axis
+  /// trips, the search stops where it is and returns the best partial
+  /// formula found so far with SearchResult::truncated set (anytime
+  /// semantics) instead of erroring. The deadline clock starts when the
+  /// TranslationSearch is constructed, so index building counts against it.
+  BudgetLimits budget;
 };
 
 /// One refinement iteration's outcome (Algorithm 5 pass).
@@ -136,6 +145,7 @@ struct SearchStats {
   size_t pairs_scored = 0;
   size_t recipes_built = 0;
   size_t formulas_considered = 0;
+  size_t postings_scanned = 0;  ///< index posting entries examined
 
   double total_seconds() const {
     double total = step1_seconds + step2_seconds;
@@ -162,6 +172,12 @@ struct SearchResult {
   size_t start_column = std::numeric_limits<size_t>::max();
   std::vector<IterationInfo> iterations;
   SearchStats stats;
+  /// True when the run budget (SearchOptions::budget) tripped before the
+  /// search finished: `formula` is then the best partial (possibly
+  /// incomplete, possibly empty) formula found before the trip.
+  bool truncated = false;
+  /// Which budget axis tripped (kNone unless `truncated`).
+  BudgetTrip budget_trip = BudgetTrip::kNone;
 };
 
 /// \brief The multi-column substring matching search (Algorithm 1).
@@ -218,6 +234,9 @@ class TranslationSearch {
   const SearchStats& stats() const { return stats_; }
   const relational::ColumnIndex& target_index() const { return *target_index_; }
 
+  /// The run budget (counters + trip state) for this search.
+  const RunBudget& budget() const { return budget_; }
+
   /// Applies a complete formula to every source row, greedily pairing each
   /// produced value with an unused matching target row.
   static Coverage ComputeCoverage(const TranslationFormula& formula,
@@ -228,11 +247,16 @@ class TranslationSearch {
  private:
   size_t SampleCount(size_t distinct) const;
   std::vector<std::string> SampleKeys(size_t column) const;
-  std::vector<size_t> SampleSourceRows(size_t column) const;
+  std::vector<size_t> SampleSourceRows(size_t column);
   const relational::ColumnIndex& SourceIndex(size_t column);
 
   /// Candidate target rows similar to `key` (initial phase retrieval).
-  std::vector<uint32_t> SimilarTargetRows(std::string_view key);
+  /// Errors only from the index.similar failpoint; budget exhaustion
+  /// truncates the result instead.
+  Result<std::vector<uint32_t>> SimilarTargetRows(std::string_view key);
+
+  /// Packages the current best attempt as a truncated anytime result.
+  SearchResult TruncatedResult(SearchResult attempt);
 
   /// Collates formulas from one recipe into `counter`.
   struct FormulaVotes {
@@ -251,6 +275,7 @@ class TranslationSearch {
   size_t target_column_;
   SearchOptions options_;
   SearchStats stats_;
+  RunBudget budget_;
 
   std::unique_ptr<relational::ColumnIndex> target_index_;
   std::vector<std::unique_ptr<relational::ColumnIndex>> source_indexes_;

@@ -87,7 +87,7 @@ size_t ColumnIndex::RowsWithAnyQGram(std::string_view key) const {
 }
 
 std::vector<uint32_t> ColumnIndex::RowsMatchingPattern(
-    const SearchPattern& pattern) const {
+    const SearchPattern& pattern, RunBudget* budget) const {
   std::vector<uint32_t> out;
   const size_t q = options_.q;
   std::string_view literal = pattern.LongestLiteral();
@@ -108,18 +108,33 @@ std::vector<uint32_t> ColumnIndex::RowsMatchingPattern(
     if (best_df == 0) return out;  // literal can appear in no row
     const auto* plist = postings(best_gram);
     if (plist != nullptr) {
-      for (const Posting& p : *plist) {
-        if (pattern.Matches(table_.CellText(p.row, col_))) out.push_back(p.row);
+      // Verification is charged in blocks so a huge posting list cannot
+      // overshoot a small budget by much.
+      constexpr size_t kBlock = 256;
+      for (size_t i = 0; i < plist->size(); i += kBlock) {
+        size_t end = std::min(i + kBlock, plist->size());
+        if (budget != nullptr && !budget->ChargePostings(end - i)) break;
+        for (size_t j = i; j < end; ++j) {
+          const Posting& p = (*plist)[j];
+          if (pattern.Matches(table_.CellText(p.row, col_))) {
+            out.push_back(p.row);
+          }
+        }
       }
       return out;
     }
     return out;
   }
 
-  // Fallback: full scan.
-  for (size_t row = 0; row < row_count_; ++row) {
-    if (pattern.Matches(table_.CellText(row, col_))) {
-      out.push_back(static_cast<uint32_t>(row));
+  // Fallback: full scan, charged in blocks against the budget.
+  constexpr size_t kBlock = 256;
+  for (size_t start = 0; start < row_count_; start += kBlock) {
+    size_t end = std::min(start + kBlock, row_count_);
+    if (budget != nullptr && !budget->ChargePostings(end - start)) break;
+    for (size_t row = start; row < end; ++row) {
+      if (pattern.Matches(table_.CellText(row, col_))) {
+        out.push_back(static_cast<uint32_t>(row));
+      }
     }
   }
   return out;
@@ -127,7 +142,7 @@ std::vector<uint32_t> ColumnIndex::RowsMatchingPattern(
 
 std::vector<ColumnIndex::ScoredRow> ColumnIndex::SimilarRows(
     std::string_view key, double threshold, size_t top_r,
-    std::string_view exclude_chars) const {
+    std::string_view exclude_chars, RunBudget* budget) const {
   std::vector<ScoredRow> out;
   const size_t q = options_.q;
   if (!options_.build_postings || q == 0 || key.size() < q) return out;
@@ -156,14 +171,17 @@ std::vector<ColumnIndex::ScoredRow> ColumnIndex::SimilarRows(
   std::sort(by_df.begin(), by_df.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
   std::unordered_map<uint32_t, double> scores;
-  size_t budget = options_.posting_budget;
+  size_t per_key_budget = options_.posting_budget;
   for (const auto& [df, gram_ptr] : by_df) {
-    if (static_cast<size_t>(df) > budget) break;
+    if (static_cast<size_t>(df) > per_key_budget) break;
     double idf = tfidf_->Idf(*gram_ptr);
     if (idf <= 0.0) continue;
     const auto* plist = postings(*gram_ptr);
     if (plist == nullptr) continue;
-    budget -= plist->size();
+    per_key_budget -= plist->size();
+    // The run budget prunes the same way the per-key budget does: the
+    // remaining grams are the most common (least informative) ones.
+    if (budget != nullptr && !budget->ChargePostings(plist->size())) break;
     const double key_weight =
         static_cast<double>(profile.at(*gram_ptr)) * idf;
     for (const Posting& p : *plist) {
@@ -182,7 +200,8 @@ std::vector<ColumnIndex::ScoredRow> ColumnIndex::SimilarRows(
 }
 
 std::vector<ColumnIndex::ScoredRow> ColumnIndex::SimilarRowsByCount(
-    std::string_view key, double threshold, size_t top_r) const {
+    std::string_view key, double threshold, size_t top_r,
+    RunBudget* budget) const {
   std::vector<ScoredRow> out;
   const size_t q = options_.q;
   if (!options_.build_postings || q == 0 || key.size() < q) return out;
@@ -200,12 +219,13 @@ std::vector<ColumnIndex::ScoredRow> ColumnIndex::SimilarRowsByCount(
   std::sort(by_df.begin(), by_df.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
   std::unordered_map<uint32_t, double> scores;
-  size_t budget = options_.posting_budget;
+  size_t per_key_budget = options_.posting_budget;
   for (const auto& [df, gram_ptr] : by_df) {
-    if (static_cast<size_t>(df) > budget) break;
+    if (static_cast<size_t>(df) > per_key_budget) break;
     const auto* plist = postings(*gram_ptr);
     if (plist == nullptr) continue;
-    budget -= plist->size();
+    per_key_budget -= plist->size();
+    if (budget != nullptr && !budget->ChargePostings(plist->size())) break;
     for (const Posting& p : *plist) scores[p.row] += 1.0;
   }
   for (const auto& [row, score] : scores) {

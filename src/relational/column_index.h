@@ -8,6 +8,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/deadline.h"
 #include "relational/pattern.h"
 #include "relational/table.h"
 #include "text/tfidf.h"
@@ -85,8 +86,11 @@ class ColumnIndex {
   /// Rows whose value matches `pattern`, filtered through the inverted index
   /// when possible (rarest q-gram of the pattern's longest literal), verified
   /// exactly. Falls back to a scan when no usable literal exists or postings
-  /// were not built.
-  std::vector<uint32_t> RowsMatchingPattern(const SearchPattern& pattern) const;
+  /// were not built. `budget`, when given, is charged per row/posting
+  /// examined; on exhaustion the scan stops and the rows found so far are
+  /// returned (anytime semantics — the caller reports truncation).
+  std::vector<uint32_t> RowsMatchingPattern(const SearchPattern& pattern,
+                                            RunBudget* budget = nullptr) const;
 
   /// A row id together with its tf-idf similarity score against a key.
   struct ScoredRow {
@@ -98,16 +102,22 @@ class ColumnIndex {
   /// the inverted index. Rows scoring below `threshold` are dropped; at most
   /// `top_r` rows are returned (best first). Requires postings. q-grams
   /// containing any character from `exclude_chars` are not used as search
-  /// keys (separator handling, Section 6.1).
+  /// keys (separator handling, Section 6.1). `budget`, when given, is
+  /// charged per posting entry scanned; on exhaustion the remaining (most
+  /// common, least informative) gram lists are skipped and the rows scored
+  /// so far are returned.
   std::vector<ScoredRow> SimilarRows(std::string_view key, double threshold,
                                      size_t top_r,
-                                     std::string_view exclude_chars = {}) const;
+                                     std::string_view exclude_chars = {},
+                                     RunBudget* budget = nullptr) const;
 
   /// Per-row term-frequency-weighted *raw q-gram count* score (paper Eq. 2):
   /// the number of the key's distinct q-grams present in each candidate row.
-  /// Kept for the pair-scoring ablation. Requires postings.
+  /// Kept for the pair-scoring ablation. Requires postings. `budget` as in
+  /// SimilarRows.
   std::vector<ScoredRow> SimilarRowsByCount(std::string_view key,
-                                            double threshold, size_t top_r) const;
+                                            double threshold, size_t top_r,
+                                            RunBudget* budget = nullptr) const;
 
  private:
   const Table& table_;

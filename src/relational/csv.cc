@@ -3,6 +3,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/failpoint.h"
 #include "common/string_util.h"
 
 namespace mcsm::relational {
@@ -88,6 +89,24 @@ class CsvReader {
     return fields;
   }
 
+  /// Error recovery for permissive mode: skips to just past the next line
+  /// ending, abandoning the malformed record. After an unterminated quote
+  /// the quoting state is unknowable, so resyncing on a raw newline is the
+  /// best available heuristic (it may split a quoted field — that fragment
+  /// then fails the field-count check and is dropped too, still accounted).
+  void SkipToNextRecord() {
+    while (pos_ < text_.size() && text_[pos_] != '\n' && text_[pos_] != '\r') {
+      ++pos_;
+    }
+    if (pos_ < text_.size()) {
+      if (text_[pos_] == '\r' && pos_ + 1 < text_.size() &&
+          text_[pos_ + 1] == '\n') {
+        ++pos_;
+      }
+      ++pos_;
+    }
+  }
+
  private:
   std::string_view text_;
   char delimiter_;
@@ -112,11 +131,19 @@ std::string EscapeField(const std::string& field, char delimiter) {
 
 }  // namespace
 
-Result<Table> ReadCsv(std::string_view text, const CsvOptions& options) {
+Result<Table> ReadCsv(std::string_view text, const CsvOptions& options,
+                      CsvReadReport* report) {
+  MCSM_FAILPOINT(failpoint::kCsvRead);
+  CsvReadReport local_report;
+  if (report == nullptr) report = &local_report;
+  *report = CsvReadReport{};
+
   CsvReader reader(text, options.delimiter);
   if (reader.AtEnd()) {
     return Status::InvalidArgument("empty CSV input (no header row)");
   }
+  // Header errors stay fatal in both modes: without a schema, no row can be
+  // kept, so "permissively" continuing would just drop the whole file.
   MCSM_ASSIGN_OR_RETURN(auto header, reader.ReadRecord());
   if (header.empty()) {
     return Status::InvalidArgument("empty CSV header row");
@@ -134,15 +161,28 @@ Result<Table> ReadCsv(std::string_view text, const CsvOptions& options) {
   size_t line = 1;
   while (!reader.AtEnd()) {
     ++line;
-    MCSM_ASSIGN_OR_RETURN(auto record, reader.ReadRecord());
+    auto record_or = reader.ReadRecord();
+    if (!record_or.ok()) {
+      if (!options.permissive) return record_or.status();
+      ++report->rows_dropped;
+      report->RecordError(StrFormat("record %zu: %s", line,
+                                    record_or.status().message().c_str()));
+      reader.SkipToNextRecord();
+      continue;
+    }
+    auto& record = *record_or;
     if (record.empty()) continue;  // trailing blank line
     if (record.size() == 1 && record[0].text.empty() && !record[0].quoted) {
       continue;  // blank line
     }
     if (record.size() != names.size()) {
-      return Status::ParseError(
+      Status st = Status::ParseError(
           StrFormat("record %zu has %zu fields, header has %zu", line,
                     record.size(), names.size()));
+      if (!options.permissive) return st;
+      ++report->rows_dropped;
+      report->RecordError(st.message());
+      continue;
     }
     std::vector<Value> row;
     row.reserve(record.size());
@@ -153,17 +193,21 @@ Result<Table> ReadCsv(std::string_view text, const CsvOptions& options) {
         row.emplace_back(std::move(f.text));
       }
     }
+    // All columns are TEXT, so AppendRow can only fail on arity — checked
+    // above. Propagate rather than drop: a failure here is an internal bug.
     MCSM_RETURN_IF_ERROR(table.AppendRow(std::move(row)));
+    ++report->rows_kept;
   }
   return table;
 }
 
-Result<Table> ReadCsvFile(const std::string& path, const CsvOptions& options) {
+Result<Table> ReadCsvFile(const std::string& path, const CsvOptions& options,
+                          CsvReadReport* report) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::NotFound("cannot open CSV file: " + path);
   std::ostringstream buffer;
   buffer << in.rdbuf();
-  return ReadCsv(buffer.str(), options);
+  return ReadCsv(buffer.str(), options, report);
 }
 
 std::string WriteCsv(const Table& table, const CsvOptions& options) {
@@ -189,6 +233,7 @@ std::string WriteCsv(const Table& table, const CsvOptions& options) {
 
 Status WriteCsvFile(const Table& table, const std::string& path,
                     const CsvOptions& options) {
+  MCSM_FAILPOINT(failpoint::kCsvWrite);
   std::ofstream out(path, std::ios::binary);
   if (!out) return Status::InvalidArgument("cannot open for writing: " + path);
   out << WriteCsv(table, options);

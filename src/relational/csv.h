@@ -4,6 +4,7 @@
 #include <iosfwd>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/result.h"
 #include "relational/table.h"
@@ -21,13 +22,42 @@ struct CsvOptions {
   char delimiter = ',';
   /// Import empty unquoted fields as NULL rather than "".
   bool empty_as_null = true;
+  /// Permissive mode: a malformed data row (wrong field count, stray quote,
+  /// unterminated quote) is skipped — and accounted for in CsvReadReport —
+  /// instead of failing the whole file. Header errors stay fatal: without a
+  /// header there is no schema to keep rows under.
+  bool permissive = false;
 };
 
-/// Parses CSV text into a table (header row defines the schema).
-Result<Table> ReadCsv(std::string_view text, const CsvOptions& options = {});
+/// \brief Accounting for one ReadCsv call: how many data rows made it into
+/// the table, how many were dropped (permissive mode), and what the first
+/// few errors looked like. Every non-blank data record is counted exactly
+/// once, as kept or dropped.
+struct CsvReadReport {
+  size_t rows_kept = 0;
+  size_t rows_dropped = 0;
+  /// First error examples ("record 7 has 3 fields, header has 2"), capped at
+  /// kMaxErrorExamples so a million-row dirty file cannot balloon memory.
+  std::vector<std::string> first_errors;
+  static constexpr size_t kMaxErrorExamples = 5;
+
+  void RecordError(std::string message) {
+    if (first_errors.size() < kMaxErrorExamples) {
+      first_errors.push_back(std::move(message));
+    }
+  }
+};
+
+/// Parses CSV text into a table (header row defines the schema). `report`,
+/// when given, receives kept/dropped-row accounting for both strict and
+/// permissive mode.
+Result<Table> ReadCsv(std::string_view text, const CsvOptions& options = {},
+                      CsvReadReport* report = nullptr);
 
 /// Reads a CSV file from disk.
-Result<Table> ReadCsvFile(const std::string& path, const CsvOptions& options = {});
+Result<Table> ReadCsvFile(const std::string& path,
+                          const CsvOptions& options = {},
+                          CsvReadReport* report = nullptr);
 
 /// Serializes a table as CSV (header + rows). NULLs serialize as empty
 /// unquoted fields; fields containing the delimiter, quotes or newlines are

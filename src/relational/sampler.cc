@@ -27,18 +27,21 @@ std::vector<size_t> EquidistantIndices(size_t population, size_t t) {
 
 std::vector<std::string> SampleDistinctValues(const ColumnIndex& index,
                                               double fraction,
-                                              size_t min_count) {
+                                              size_t min_count,
+                                              RunBudget* budget) {
   const auto& distinct = index.sorted_distinct();
   size_t t = SampleSize(distinct.size(), fraction, min_count);
   std::vector<std::string> out;
   out.reserve(t);
   for (size_t idx : EquidistantIndices(distinct.size(), t)) {
+    if (budget != nullptr && budget->Exhausted()) break;
     out.push_back(distinct[idx]);
   }
   return out;
 }
 
-std::vector<size_t> SampleRows(size_t num_rows, size_t t) {
+std::vector<size_t> SampleRows(size_t num_rows, size_t t, RunBudget* budget) {
+  if (budget != nullptr && budget->Exhausted()) return {};
   return EquidistantIndices(num_rows, t);
 }
 

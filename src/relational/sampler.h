@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/deadline.h"
 #include "relational/column_index.h"
 
 namespace mcsm::relational {
@@ -23,13 +24,17 @@ std::vector<size_t> EquidistantIndices(size_t population, size_t t);
 /// Samples `fraction` of the column's *distinct* values equidistantly from
 /// its sorted distinct list (distinctness prevents the value distribution
 /// from biasing match counts — Section 3.2). At least `min_count` values are
-/// returned when the column has that many.
+/// returned when the column has that many. When `budget` is given and
+/// already exhausted, a truncated (possibly empty) sample is returned.
 std::vector<std::string> SampleDistinctValues(const ColumnIndex& index,
                                               double fraction,
-                                              size_t min_count = 1);
+                                              size_t min_count = 1,
+                                              RunBudget* budget = nullptr);
 
-/// Samples `t` row indices equidistantly over [0, num_rows).
-std::vector<size_t> SampleRows(size_t num_rows, size_t t);
+/// Samples `t` row indices equidistantly over [0, num_rows). `budget` as in
+/// SampleDistinctValues.
+std::vector<size_t> SampleRows(size_t num_rows, size_t t,
+                               RunBudget* budget = nullptr);
 
 }  // namespace mcsm::relational
 

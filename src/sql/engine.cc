@@ -4,6 +4,7 @@
 #include <map>
 #include <set>
 
+#include "common/failpoint.h"
 #include "common/string_util.h"
 #include "sql/evaluator.h"
 #include "sql/parser.h"
@@ -63,6 +64,7 @@ std::string ResultSet::ToString(size_t max_rows) const {
 }
 
 Result<ResultSet> Engine::Execute(std::string_view sql) {
+  MCSM_FAILPOINT(failpoint::kSqlExecute);
   MCSM_ASSIGN_OR_RETURN(Statement stmt, Parse(sql));
   return ExecuteStatement(stmt);
 }

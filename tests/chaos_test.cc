@@ -1,0 +1,139 @@
+// Chaos suite: runs the discovery pipeline (CSV I/O -> translation search ->
+// SQL execution) with faults injected at every registered failpoint site and
+// asserts the pipeline always either returns a clean error Status or a
+// degraded-but-valid result — never crashes, hangs, or aborts.
+//
+// The suite is also run by CI with MCSM_FAILPOINTS set (one site per matrix
+// leg), so every assertion must hold regardless of which sites the
+// environment arms on top of the programmatic ones.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/failpoint.h"
+#include "core/matcher.h"
+#include "datagen/datasets.h"
+#include "relational/csv.h"
+#include "relational/database.h"
+#include "sql/engine.h"
+
+namespace mcsm {
+namespace {
+
+// One shared small dataset: chaos runs exercise control flow, not accuracy.
+const datagen::Dataset& ChaosDataset() {
+  static const datagen::Dataset* dataset = [] {
+    datagen::UserIdOptions o;
+    o.rows = 400;
+    return new datagen::Dataset(datagen::MakeUserIdDataset(o));
+  }();
+  return *dataset;
+}
+
+core::SearchOptions ChaosSearchOptions() {
+  core::SearchOptions o;
+  o.sample_fraction = 0.10;
+  return o;
+}
+
+// The full pipeline a client would run: persist the source table as CSV,
+// read it back permissively, discover a translation, and execute a query.
+// Any failure must surface as a Status from here, nothing else.
+Status RunPipeline() {
+  const datagen::Dataset& data = ChaosDataset();
+
+  const std::string path = ::testing::TempDir() + "mcsm_chaos.csv";
+  MCSM_RETURN_IF_ERROR(relational::WriteCsvFile(data.source, path));
+
+  relational::CsvOptions csv_options;
+  csv_options.permissive = true;
+  relational::CsvReadReport report;
+  MCSM_ASSIGN_OR_RETURN(relational::Table source,
+                        relational::ReadCsvFile(path, csv_options, &report));
+  // Permissive-mode invariant: every kept row landed in the table.
+  EXPECT_EQ(report.rows_kept, source.num_rows());
+
+  MCSM_ASSIGN_OR_RETURN(
+      core::DiscoveredTranslation discovered,
+      core::DiscoverTranslation(source, data.target, data.target_column,
+                                ChaosSearchOptions()));
+  // A truncated or incomplete result is valid degraded output; only a
+  // complete formula carries SQL worth executing.
+  if (!discovered.sql.empty()) {
+    relational::Database db;
+    MCSM_RETURN_IF_ERROR(db.CreateTable("t1", std::move(source)));
+    sql::Engine engine(&db);
+    MCSM_RETURN_IF_ERROR(
+        engine.Execute("select count(*) from t1").status());
+  }
+  return Status::OK();
+}
+
+class ChaosTest : public ::testing::Test {
+ protected:
+  // Restore whatever MCSM_FAILPOINTS specifies (nothing, in local runs) so
+  // tests neither leak programmatic arms nor clobber the CI matrix state.
+  void SetUp() override { failpoint::ReloadFromEnv(); }
+  void TearDown() override { failpoint::ReloadFromEnv(); }
+};
+
+TEST_F(ChaosTest, PipelineUnderEnvironmentFailpoints) {
+  // Runs under whatever the environment armed (the CI chaos matrix); with a
+  // clean environment this is the baseline green path.
+  Status st = RunPipeline();
+  EXPECT_TRUE(st.ok() || !st.ToString().empty());
+}
+
+TEST_F(ChaosTest, ErrorInjectionAtEverySiteDegradesCleanly) {
+  for (const std::string& site : failpoint::RegisteredSites()) {
+    SCOPED_TRACE(site);
+    failpoint::DisarmAll();
+    ASSERT_TRUE(failpoint::Arm(site, "error:injected by chaos suite").ok());
+    Status st = RunPipeline();
+    // Either the fault was swallowed by a degradation path (permissive CSV,
+    // anytime search) or it surfaced as the injected Internal error.
+    EXPECT_TRUE(st.ok() || st.IsInternal()) << st.ToString();
+  }
+}
+
+TEST_F(ChaosTest, StridedErrorInjectionStillCompletes) {
+  for (const std::string& site : failpoint::RegisteredSites()) {
+    SCOPED_TRACE(site);
+    failpoint::DisarmAll();
+    ASSERT_TRUE(failpoint::Arm(site, "error@3").ok());
+    Status st = RunPipeline();
+    EXPECT_TRUE(st.ok() || st.IsInternal()) << st.ToString();
+  }
+}
+
+TEST_F(ChaosTest, DelayInjectionNeverAltersTheOutcome) {
+  // Baseline (no injection beyond the environment's).
+  failpoint::DisarmAll();
+  Status baseline = RunPipeline();
+  for (const std::string& site : failpoint::RegisteredSites()) {
+    SCOPED_TRACE(site);
+    failpoint::DisarmAll();
+    ASSERT_TRUE(failpoint::Arm(site, "delay:5ms").ok());
+    Status st = RunPipeline();
+    // A delay is not an error: the pipeline's verdict must match the
+    // uninjected run (delays only matter once a deadline budget is set).
+    EXPECT_EQ(st.ok(), baseline.ok()) << st.ToString();
+  }
+}
+
+TEST_F(ChaosTest, DelayPlusDeadlineYieldsTruncatedNotError) {
+  failpoint::DisarmAll();
+  ASSERT_TRUE(failpoint::Arm(failpoint::kIndexPattern, "delay:50ms").ok());
+  core::SearchOptions options = ChaosSearchOptions();
+  options.budget.wall_ms = 75;
+  const datagen::Dataset& data = ChaosDataset();
+  auto d = core::DiscoverTranslation(data.source, data.target,
+                                     data.target_column, options);
+  // The injected latency eats the deadline; anytime semantics demand a
+  // result (possibly truncated), not an error and not a hang.
+  ASSERT_TRUE(d.ok()) << d.status().ToString();
+}
+
+}  // namespace
+}  // namespace mcsm

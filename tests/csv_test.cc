@@ -114,5 +114,82 @@ TEST(CsvTest, FileRoundTrip) {
   EXPECT_TRUE(ReadCsvFile("/nonexistent/file.csv").status().IsNotFound());
 }
 
+CsvOptions Permissive() {
+  CsvOptions o;
+  o.permissive = true;
+  return o;
+}
+
+TEST(CsvPermissiveTest, SkipsRowsWithWrongFieldCount) {
+  CsvReadReport report;
+  auto table = ReadCsv("a,b\n1,2\nonly_one\n3,4,5\n6,7\n", Permissive(),
+                       &report);
+  ASSERT_TRUE(table.ok()) << table.status();
+  EXPECT_EQ(table->num_rows(), 2u);
+  EXPECT_EQ(table->CellText(0, 0), "1");
+  EXPECT_EQ(table->CellText(1, 1), "7");
+  EXPECT_EQ(report.rows_kept, 2u);
+  EXPECT_EQ(report.rows_dropped, 2u);
+  ASSERT_EQ(report.first_errors.size(), 2u);
+  EXPECT_NE(report.first_errors[0].find("fields"), std::string::npos);
+}
+
+TEST(CsvPermissiveTest, ResyncsAfterStrayQuote) {
+  // Row 2 has a stray quote mid-field; permissive mode drops it and resumes
+  // on the next line.
+  CsvReadReport report;
+  auto table =
+      ReadCsv("a,b\nx,y\nbad\"row,z\np,q\n", Permissive(), &report);
+  ASSERT_TRUE(table.ok()) << table.status();
+  EXPECT_EQ(table->num_rows(), 2u);
+  EXPECT_EQ(table->CellText(1, 0), "p");
+  EXPECT_EQ(report.rows_dropped, 1u);
+  EXPECT_NE(report.first_errors[0].find("quote"), std::string::npos);
+}
+
+TEST(CsvPermissiveTest, UnterminatedQuoteAtEofIsDroppedNotFatal) {
+  CsvReadReport report;
+  auto table = ReadCsv("a,b\nx,y\n\"never closed,z\n", Permissive(), &report);
+  ASSERT_TRUE(table.ok()) << table.status();
+  EXPECT_EQ(table->num_rows(), 1u);
+  EXPECT_EQ(report.rows_kept, 1u);
+  EXPECT_EQ(report.rows_dropped, 1u);
+}
+
+TEST(CsvPermissiveTest, HeaderErrorsStayFatal) {
+  // Without a parseable header there is no schema to keep rows under, so
+  // permissive mode still rejects the file.
+  EXPECT_FALSE(ReadCsv("\"unterminated\n1,2\n", Permissive()).ok());
+  EXPECT_FALSE(ReadCsv("", Permissive()).ok());
+  EXPECT_FALSE(ReadCsv("a,,c\n1,2,3\n", Permissive()).ok());
+}
+
+TEST(CsvPermissiveTest, ErrorExamplesAreCapped) {
+  std::string text = "a,b\n";
+  for (int i = 0; i < 20; ++i) text += "short\n";
+  CsvReadReport report;
+  auto table = ReadCsv(text, Permissive(), &report);
+  ASSERT_TRUE(table.ok()) << table.status();
+  EXPECT_EQ(report.rows_dropped, 20u);
+  EXPECT_EQ(report.first_errors.size(), CsvReadReport::kMaxErrorExamples);
+}
+
+TEST(CsvPermissiveTest, CleanInputReportsNoDrops) {
+  CsvReadReport report;
+  auto table = ReadCsv("a,b\n1,2\n3,4\n", Permissive(), &report);
+  ASSERT_TRUE(table.ok()) << table.status();
+  EXPECT_EQ(report.rows_kept, table->num_rows());
+  EXPECT_EQ(report.rows_dropped, 0u);
+  EXPECT_TRUE(report.first_errors.empty());
+}
+
+TEST(CsvPermissiveTest, StrictModeStillFailsAndReportIsReset) {
+  CsvReadReport report;
+  report.rows_kept = 99;  // stale values must be cleared by ReadCsv
+  auto table = ReadCsv("a,b\nonly_one\n", CsvOptions{}, &report);
+  EXPECT_TRUE(table.status().IsParseError());
+  EXPECT_EQ(report.rows_kept, 0u);
+}
+
 }  // namespace
 }  // namespace mcsm::relational

@@ -1,0 +1,99 @@
+#include "common/deadline.h"
+
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace mcsm {
+namespace {
+
+TEST(BudgetLimitsTest, DefaultIsUnlimited) {
+  BudgetLimits limits;
+  EXPECT_TRUE(limits.unlimited());
+  limits.wall_ms = 5;
+  EXPECT_FALSE(limits.unlimited());
+}
+
+TEST(RunBudgetTest, UnlimitedNeverTrips) {
+  RunBudget budget;
+  EXPECT_TRUE(budget.ChargePostings(1'000'000));
+  EXPECT_TRUE(budget.ChargePairs(1'000'000));
+  EXPECT_TRUE(budget.ChargeFormulas(1'000'000));
+  EXPECT_FALSE(budget.Exhausted());
+  EXPECT_EQ(budget.trip(), BudgetTrip::kNone);
+}
+
+TEST(RunBudgetTest, CountersAccumulate) {
+  RunBudget budget;
+  budget.ChargePostings(10);
+  budget.ChargePostings(5);
+  budget.ChargePairs();
+  budget.ChargeFormulas(3);
+  EXPECT_EQ(budget.postings_scanned(), 15u);
+  EXPECT_EQ(budget.pairs_aligned(), 1u);
+  EXPECT_EQ(budget.candidate_formulas(), 3u);
+}
+
+TEST(RunBudgetTest, PostingsCapTrips) {
+  BudgetLimits limits;
+  limits.max_postings_scanned = 10;
+  RunBudget budget(limits);
+  EXPECT_TRUE(budget.ChargePostings(9));
+  EXPECT_FALSE(budget.ChargePostings(5));
+  EXPECT_TRUE(budget.Exhausted());
+  EXPECT_EQ(budget.trip(), BudgetTrip::kPostings);
+}
+
+TEST(RunBudgetTest, PairsCapTrips) {
+  BudgetLimits limits;
+  limits.max_pairs_aligned = 2;
+  RunBudget budget(limits);
+  EXPECT_TRUE(budget.ChargePairs(2));
+  EXPECT_FALSE(budget.ChargePairs());
+  EXPECT_EQ(budget.trip(), BudgetTrip::kPairs);
+}
+
+TEST(RunBudgetTest, FormulasCapTrips) {
+  BudgetLimits limits;
+  limits.max_candidate_formulas = 4;
+  RunBudget budget(limits);
+  EXPECT_TRUE(budget.ChargeFormulas(3));
+  EXPECT_FALSE(budget.ChargeFormulas(3));
+  EXPECT_EQ(budget.trip(), BudgetTrip::kFormulas);
+}
+
+TEST(RunBudgetTest, ExhaustionIsSticky) {
+  BudgetLimits limits;
+  limits.max_pairs_aligned = 1;
+  RunBudget budget(limits);
+  EXPECT_FALSE(budget.ChargePairs(5));
+  // A later trip on another axis must not overwrite the first.
+  limits.max_postings_scanned = 1;
+  EXPECT_FALSE(budget.ChargePostings(5));
+  EXPECT_EQ(budget.trip(), BudgetTrip::kPairs);
+  EXPECT_TRUE(budget.Exhausted());
+}
+
+TEST(RunBudgetTest, WallClockDeadlineTrips) {
+  RunBudget budget = RunBudget::ForMillis(1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_TRUE(budget.Exhausted());
+  EXPECT_EQ(budget.trip(), BudgetTrip::kWallClock);
+}
+
+TEST(RunBudgetTest, GenerousDeadlineDoesNotTrip) {
+  RunBudget budget = RunBudget::ForMillis(60'000);
+  EXPECT_FALSE(budget.Exhausted());
+  EXPECT_TRUE(budget.ChargePostings(1));
+}
+
+TEST(RunBudgetTest, TripNames) {
+  EXPECT_STREQ(BudgetTripName(BudgetTrip::kNone), "none");
+  EXPECT_STREQ(BudgetTripName(BudgetTrip::kWallClock), "wall-clock");
+  EXPECT_STREQ(BudgetTripName(BudgetTrip::kPostings), "postings");
+  EXPECT_STREQ(BudgetTripName(BudgetTrip::kPairs), "pairs");
+  EXPECT_STREQ(BudgetTripName(BudgetTrip::kFormulas), "formulas");
+}
+
+}  // namespace
+}  // namespace mcsm

@@ -1,0 +1,143 @@
+#include "core/matcher.h"
+
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "datagen/datasets.h"
+#include "relational/table.h"
+
+namespace mcsm::core {
+namespace {
+
+SearchOptions FastOptions() {
+  SearchOptions o;
+  o.sample_fraction = 0.10;
+  return o;
+}
+
+TEST(DiscoverAllTest, MaxFormulasCapsRounds) {
+  datagen::UserIdOptions o;
+  o.rows = 2000;
+  auto data = datagen::MakeUserIdDataset(o);
+  // The dataset supports two dominant formulas; a cap of 1 stops after one.
+  auto all = DiscoverAllTranslations(data.source, data.target, 0,
+                                     FastOptions(), /*max_formulas=*/1,
+                                     /*min_matched_rows=*/2);
+  ASSERT_TRUE(all.ok()) << all.status().ToString();
+  EXPECT_EQ(all->size(), 1u);
+  EXPECT_FALSE(all->front().truncated());
+}
+
+TEST(DiscoverAllTest, MinMatchedRowsStopsCleanly) {
+  datagen::UserIdOptions o;
+  o.rows = 1000;
+  auto data = datagen::MakeUserIdDataset(o);
+  // No formula can cover more rows than the table holds: the first round's
+  // coverage misses the floor and the loop returns cleanly with no results.
+  auto all = DiscoverAllTranslations(data.source, data.target, 0,
+                                     FastOptions(), 4,
+                                     /*min_matched_rows=*/100000);
+  ASSERT_TRUE(all.ok()) << all.status().ToString();
+  EXPECT_TRUE(all->empty());
+}
+
+TEST(DiscoverAllTest, FullCoverageEmptiesTablesAndStops) {
+  datagen::TimeOptions o;
+  o.rows = 1500;
+  auto data = datagen::MakeTimeDataset(o);
+  // hrs||mins||secs covers every target row; after removal the target table
+  // is empty and the loop must stop without a second (failing) search.
+  auto all = DiscoverAllTranslations(data.source, data.target, 0,
+                                     FastOptions(), 4, /*min_matched_rows=*/2);
+  ASSERT_TRUE(all.ok()) << all.status().ToString();
+  ASSERT_GE(all->size(), 1u);
+  EXPECT_EQ(all->front().coverage.matched_rows(), data.target.num_rows());
+}
+
+TEST(DiscoverAllTest, FirstRoundOutOfRangePropagates) {
+  datagen::UserIdOptions o;
+  o.rows = 200;
+  auto data = datagen::MakeUserIdDataset(o);
+  auto all = DiscoverAllTranslations(data.source, data.target,
+                                     data.target.num_columns() + 5,
+                                     FastOptions());
+  EXPECT_TRUE(all.status().IsOutOfRange());
+}
+
+TEST(DiscoverAllTest, FirstRoundNotFoundPropagates) {
+  // Disjoint alphabets: no source column shares a q-gram with the target, so
+  // even the FIRST round finds nothing. That is a real error for the caller
+  // (their input can never produce a translation), not a clean empty result.
+  auto source = relational::Table::WithTextColumns({"a"});
+  auto target = relational::Table::WithTextColumns({"b"});
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(source
+                    .AppendRow({relational::Value(std::string("abcdef") +
+                                                  static_cast<char>('a' + i))})
+                    .ok());
+    ASSERT_TRUE(target
+                    .AppendRow({relational::Value(std::string("012345") +
+                                                  static_cast<char>('0' + i % 10))})
+                    .ok());
+  }
+  auto all = DiscoverAllTranslations(source, target, 0, FastOptions());
+  EXPECT_TRUE(all.status().IsNotFound()) << all.status().ToString();
+}
+
+TEST(DiscoverTranslationTest, TinyWorkBudgetReturnsTruncated) {
+  datagen::UserIdOptions o;
+  o.rows = 2000;
+  auto data = datagen::MakeUserIdDataset(o);
+  SearchOptions options = FastOptions();
+  options.budget.max_pairs_aligned = 1;  // trips on the second alignment
+  auto d = DiscoverTranslation(data.source, data.target, 0, options);
+  ASSERT_TRUE(d.ok()) << d.status().ToString();
+  EXPECT_TRUE(d->truncated());
+  EXPECT_EQ(d->search.budget_trip, BudgetTrip::kPairs);
+}
+
+TEST(DiscoverTranslationTest, TinyFormulaBudgetReturnsTruncated) {
+  datagen::UserIdOptions o;
+  o.rows = 2000;
+  auto data = datagen::MakeUserIdDataset(o);
+  SearchOptions options = FastOptions();
+  options.budget.max_candidate_formulas = 2;
+  auto d = DiscoverTranslation(data.source, data.target, 0, options);
+  ASSERT_TRUE(d.ok()) << d.status().ToString();
+  EXPECT_TRUE(d->truncated());
+  EXPECT_EQ(d->search.budget_trip, BudgetTrip::kFormulas);
+}
+
+TEST(DiscoverAllTest, TruncatedRoundIsSurfacedAndStopsTheLoop) {
+  datagen::UserIdOptions o;
+  o.rows = 2000;
+  auto data = datagen::MakeUserIdDataset(o);
+  SearchOptions options = FastOptions();
+  options.budget.max_pairs_aligned = 1;
+  auto all = DiscoverAllTranslations(data.source, data.target, 0, options);
+  ASSERT_TRUE(all.ok()) << all.status().ToString();
+  ASSERT_EQ(all->size(), 1u);
+  EXPECT_TRUE(all->front().truncated());
+}
+
+// Acceptance criterion: a 50 ms deadline on a CiteSeer-style dataset returns
+// a truncated partial result — not an error, not an abort, not an unbounded
+// run. The deadline clock starts at search construction, so indexing the
+// long citation strings alone exhausts it.
+TEST(DiscoverTranslationTest, CitationDeadline50msTruncates) {
+  datagen::CitationOptions o;
+  o.rows = 30000;
+  auto data = datagen::MakeCitationDataset(o);
+  SearchOptions options = FastOptions();
+  options.budget.wall_ms = 50;
+  auto d = DiscoverTranslation(data.source, data.target, data.target_column,
+                               options);
+  ASSERT_TRUE(d.ok()) << d.status().ToString();
+  EXPECT_TRUE(d->truncated());
+  EXPECT_EQ(d->search.budget_trip, BudgetTrip::kWallClock);
+}
+
+}  // namespace
+}  // namespace mcsm::core

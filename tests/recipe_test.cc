@@ -23,6 +23,19 @@ bool Contains(const std::vector<TranslationFormula>& fs, const std::string& s) {
   return false;
 }
 
+// Unwraps BuildFormulasFromRecipe, failing the test on error status.
+std::vector<TranslationFormula> MustBuild(
+    std::string_view target, const FixedCoverage& fixed,
+    const text::RecipeAlignment& alignment, size_t key_column,
+    size_t key_length, size_t max_variants, bool sized_unknowns = false) {
+  auto formulas = BuildFormulasFromRecipe(target, fixed, alignment, key_column,
+                                          key_length, max_variants,
+                                          sized_unknowns);
+  EXPECT_TRUE(formulas.ok()) << formulas.status().ToString();
+  if (!formulas.ok()) return {};
+  return *std::move(formulas);
+}
+
 TEST(FixedCoverageTest, NoneIsAllFree) {
   auto f = FixedCoverage::None(4);
   EXPECT_EQ(f.cover, (std::vector<int>{-1, -1, -1, -1}));
@@ -56,7 +69,7 @@ TEST(FixedCoverageTest, SpanBeyondTargetFails) {
 TEST(RecipeTest, Table5WarnerToRhwarner) {
   // Key "warner" (column B3 = index 2) against target "rhwarner".
   auto alignment = text::AlignLcsAnchored("warner", "rhwarner");
-  auto formulas = BuildFormulasFromRecipe(
+  auto formulas = MustBuild(
       "rhwarner", FixedCoverage::None(8), alignment, 2, 6, 8);
   // Both the fixed span and the end-of-string clone (Table 5's first row).
   EXPECT_EQ(Render(formulas),
@@ -65,7 +78,7 @@ TEST(RecipeTest, Table5WarnerToRhwarner) {
 
 TEST(RecipeTest, Table5WarnerToKlwarder) {
   auto alignment = text::AlignLcsAnchored("warner", "klwarder");
-  auto formulas = BuildFormulasFromRecipe(
+  auto formulas = MustBuild(
       "klwarder", FixedCoverage::None(8), alignment, 2, 6, 8);
   // Table 5: %B3[123]%B3[56] or %B3[123]%B3[5-n].
   EXPECT_TRUE(Contains(formulas, "%B3[1-3]%B3[5-6]"));
@@ -75,7 +88,7 @@ TEST(RecipeTest, Table5WarnerToKlwarder) {
 TEST(RecipeTest, Table5AmyToAmyrose) {
   // Key "amy" against "amyrose": B3[123]% / B3[1-n]%.
   auto alignment = text::AlignLcsAnchored("amy", "amyrose");
-  auto formulas = BuildFormulasFromRecipe(
+  auto formulas = MustBuild(
       "amyrose", FixedCoverage::None(7), alignment, 2, 3, 8);
   EXPECT_EQ(Render(formulas),
             (std::vector<std::string>{"B3[1-3]%", "B3[1-n]%"}));
@@ -83,7 +96,7 @@ TEST(RecipeTest, Table5AmyToAmyrose) {
 
 TEST(RecipeTest, Table5AmyToCamyro) {
   auto alignment = text::AlignLcsAnchored("amy", "camyro");
-  auto formulas = BuildFormulasFromRecipe(
+  auto formulas = MustBuild(
       "camyro", FixedCoverage::None(6), alignment, 2, 3, 8);
   EXPECT_EQ(Render(formulas),
             (std::vector<std::string>{"%B3[1-3]%", "%B3[1-n]%"}));
@@ -98,7 +111,7 @@ TEST(RecipeTest, RefinementWithFixedRegions) {
   auto mask = fixed->FreeMask();
   auto alignment = text::AlignLcsAnchored("robert", "rhkerry", &mask);
   auto formulas =
-      BuildFormulasFromRecipe("rhkerry", *fixed, alignment, 0, 6, 8);
+      MustBuild("rhkerry", *fixed, alignment, 0, 6, 8);
   // Table 7's candidate: B1[1]%B3[1-n].
   EXPECT_TRUE(Contains(formulas, "B1[1-1]%B3[1-n]"));
 }
@@ -108,7 +121,7 @@ TEST(RecipeTest, NoRunsReproducesFixedStructure) {
   auto fixed = FixedCoverage::FromCapture(7, spans, {Region::SpanToEnd(2, 1)});
   ASSERT_TRUE(fixed.ok());
   text::RecipeAlignment empty;
-  auto formulas = BuildFormulasFromRecipe("rhkerry", *fixed, empty, 0, 6, 8);
+  auto formulas = MustBuild("rhkerry", *fixed, empty, 0, 6, 8);
   ASSERT_EQ(formulas.size(), 1u);
   EXPECT_EQ(formulas[0].ToString(), "%B3[1-n]");
 }
@@ -116,7 +129,7 @@ TEST(RecipeTest, NoRunsReproducesFixedStructure) {
 TEST(RecipeTest, SizedUnknownsOnFixedWidthTargets) {
   // Key "04" matching "0423" at positions 0-1 with sized unknowns.
   auto alignment = text::AlignLcsAnchored("04", "0423");
-  auto formulas = BuildFormulasFromRecipe(
+  auto formulas = MustBuild(
       "0423", FixedCoverage::None(4), alignment, 1, 2, 8, /*sized=*/true);
   EXPECT_TRUE(Contains(formulas, "B2[1-2]%{2}"));
 }
@@ -125,10 +138,10 @@ TEST(RecipeTest, ForkExpansionCapped) {
   // Alignment with two forkable runs would produce 4 variants; cap at 2.
   text::RecipeAlignment alignment;
   alignment.runs = {{1, 0, 2}, {1, 4, 2}};  // both end at key length 3
-  auto capped = BuildFormulasFromRecipe("abcdef", FixedCoverage::None(6),
+  auto capped = MustBuild("abcdef", FixedCoverage::None(6),
                                         alignment, 0, 3, 2);
   EXPECT_LE(capped.size(), 2u);
-  auto full = BuildFormulasFromRecipe("abcdef", FixedCoverage::None(6),
+  auto full = MustBuild("abcdef", FixedCoverage::None(6),
                                       alignment, 0, 3, 8);
   EXPECT_EQ(full.size(), 4u);
 }
@@ -140,10 +153,27 @@ TEST(RecipeTest, LiteralFixedRegionsPassThrough) {
   ASSERT_TRUE(fixed.ok());
   auto mask = fixed->FreeMask();
   auto alignment = text::AlignLcsAnchored("kerry", "kerry, robert", &mask);
-  auto formulas = BuildFormulasFromRecipe("kerry, robert", *fixed, alignment,
+  auto formulas = MustBuild("kerry, robert", *fixed, alignment,
                                           2, 5, 8);
   EXPECT_TRUE(Contains(formulas, "B3[1-n]\", \"%"));
   EXPECT_TRUE(Contains(formulas, "B3[1-5]\", \"%"));
+}
+
+// Malformed intermediate data degrades to an error status, not an abort
+// (robustness satellite: former MCSM_CHECK on data-dependent input).
+TEST(RecipeTest, CoverageLengthMismatchIsInvalidArgument) {
+  auto alignment = text::AlignLcsAnchored("amy", "amyrose");
+  auto formulas = BuildFormulasFromRecipe(
+      "amyrose", FixedCoverage::None(5) /* wrong length */, alignment, 2, 3, 8);
+  EXPECT_TRUE(formulas.status().IsInvalidArgument());
+}
+
+TEST(RecipeTest, CoverageEntryBeyondRegionsIsInvalidArgument) {
+  FixedCoverage fixed = FixedCoverage::None(4);
+  fixed.cover[1] = 2;  // no region 2 exists
+  text::RecipeAlignment empty;
+  auto formulas = BuildFormulasFromRecipe("abcd", fixed, empty, 0, 3, 8);
+  EXPECT_TRUE(formulas.status().IsInvalidArgument());
 }
 
 }  // namespace
