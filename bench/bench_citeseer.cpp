@@ -6,7 +6,8 @@
 
 using namespace mcsm;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchCli cli(argc, argv, "bench_citeseer");
   bench::Banner("Section 4.4", "citation = year || title || author1 (1% samples)");
   datagen::CitationOptions options;
   options.rows = bench::ScaledRows(526000, 0.1);
@@ -15,6 +16,7 @@ int main() {
   core::SearchOptions search_options;
   search_options.sample_fraction = 0.01;  // the paper's 1% sampling
   search_options.max_sample = 4000;
+  search_options.num_threads = cli.threads();
 
   bench::Stopwatch watch;
   auto d = core::DiscoverTranslation(data.source, data.target,
@@ -24,6 +26,7 @@ int main() {
     return 1;
   }
   bench::ReportDiscovery(data, *d, watch.Seconds());
+  cli.Row("citeseer", watch.Seconds() * 1000.0);
   std::printf(
       "# paper: citation = year[1-n] + title[1-n] + author1[1-n]\n"
       "# (year[1-4] is the same formula: every year is 4 characters wide)\n"

@@ -5,21 +5,26 @@
 
 using namespace mcsm;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchCli cli(argc, argv, "bench_fullname");
   bench::Banner("Section 4.3", "merged names: full = first || last (700k rows)");
   datagen::MergedNamesOptions options;
   options.rows = bench::ScaledRows(700000, 0.5);
   options.distinct_names = std::max<size_t>(1000, options.rows / 10);
   datagen::Dataset data = datagen::MakeMergedNamesDataset(options);
 
+  core::SearchOptions search_options;
+  search_options.num_threads = cli.threads();
+
   bench::Stopwatch watch;
   auto d = core::DiscoverTranslation(data.source, data.target,
-                                     data.target_column, {});
+                                     data.target_column, search_options);
   if (!d.ok()) {
     std::printf("search failed: %s\n", d.status().ToString().c_str());
     return 1;
   }
   bench::ReportDiscovery(data, *d, watch.Seconds());
+  cli.Row("fullname", watch.Seconds() * 1000.0);
   std::printf("# paper: full = first[1-n] + last[1-n], i.e.\n"
               "#   select first || last as full from table where ...\n");
   return 0;

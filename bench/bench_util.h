@@ -3,13 +3,81 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <string_view>
+#include <thread>
 
 #include "common/env.h"
 #include "core/matcher.h"
 #include "datagen/datasets.h"
 
 namespace mcsm::bench {
+
+/// Common benchmark CLI: `--json <path>` (or `--json=<path>`) appends one
+/// machine-readable result row per measurement, and `--threads <N>` sets the
+/// search worker count (default: MCSM_THREADS, else hardware concurrency).
+/// Unknown flags are ignored so each bench keeps its own knobs.
+class BenchCli {
+ public:
+  BenchCli(int argc, char** argv, std::string bench)
+      : bench_(std::move(bench)),
+        threads_(static_cast<size_t>(
+            std::max<int64_t>(GetEnvInt("MCSM_THREADS", 0), 0))) {
+    for (int i = 1; i < argc; ++i) {
+      std::string value;
+      if (Consume("--json", argc, argv, &i, &value)) {
+        json_path_ = value;
+      } else if (Consume("--threads", argc, argv, &i, &value)) {
+        threads_ = static_cast<size_t>(std::strtoull(value.c_str(), nullptr, 10));
+      }
+    }
+    if (threads_ == 0) {
+      threads_ = std::thread::hardware_concurrency();
+      if (threads_ == 0) threads_ = 1;
+    }
+  }
+
+  /// Resolved worker count; feed into SearchOptions::num_threads.
+  size_t threads() const { return threads_; }
+
+  /// Appends `{"bench": ..., "dataset": ..., "wall_ms": ..., "threads": ...}`
+  /// to the --json file (no-op when --json was not given).
+  void Row(const std::string& dataset, double wall_ms) const {
+    if (json_path_.empty()) return;
+    std::FILE* f = std::fopen(json_path_.c_str(), "a");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench: cannot open %s for append\n",
+                   json_path_.c_str());
+      return;
+    }
+    std::fprintf(f,
+                 "{\"bench\": \"%s\", \"dataset\": \"%s\", \"wall_ms\": %.3f, "
+                 "\"threads\": %zu}\n",
+                 bench_.c_str(), dataset.c_str(), wall_ms, threads_);
+    std::fclose(f);
+  }
+
+ private:
+  static bool Consume(std::string_view flag, int argc, char** argv, int* i,
+                      std::string* value) {
+    std::string_view arg = argv[*i];
+    if (arg.size() > flag.size() + 1 && arg.substr(0, flag.size()) == flag &&
+        arg[flag.size()] == '=') {
+      *value = std::string(arg.substr(flag.size() + 1));
+      return true;
+    }
+    if (arg == flag && *i + 1 < argc) {
+      *value = argv[++*i];
+      return true;
+    }
+    return false;
+  }
+
+  std::string bench_;
+  std::string json_path_;
+  size_t threads_ = 0;
+};
 
 /// Wall-clock stopwatch for experiment phases.
 class Stopwatch {

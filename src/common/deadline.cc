@@ -31,43 +31,50 @@ RunBudget RunBudget::ForMillis(int64_t wall_ms) {
   return RunBudget(limits);
 }
 
+void RunBudget::TripOnce(BudgetTrip axis) {
+  BudgetTrip expected = BudgetTrip::kNone;
+  trip_.compare_exchange_strong(expected, axis, std::memory_order_relaxed);
+}
+
 bool RunBudget::CheckDeadline() {
-  if (trip_ != BudgetTrip::kNone) return false;
+  if (trip_.load(std::memory_order_relaxed) != BudgetTrip::kNone) return false;
   if (has_deadline_ && Clock::now() >= deadline_) {
-    trip_ = BudgetTrip::kWallClock;
+    TripOnce(BudgetTrip::kWallClock);
     return false;
   }
   return true;
 }
 
 bool RunBudget::ChargePostings(uint64_t n) {
-  postings_scanned_ += n;
+  const uint64_t total =
+      postings_scanned_.fetch_add(n, std::memory_order_relaxed) + n;
   if (!CheckDeadline()) return false;
   if (limits_.max_postings_scanned != 0 &&
-      postings_scanned_ > limits_.max_postings_scanned) {
-    trip_ = BudgetTrip::kPostings;
+      total > limits_.max_postings_scanned) {
+    TripOnce(BudgetTrip::kPostings);
     return false;
   }
   return true;
 }
 
 bool RunBudget::ChargePairs(uint64_t n) {
-  pairs_aligned_ += n;
+  const uint64_t total =
+      pairs_aligned_.fetch_add(n, std::memory_order_relaxed) + n;
   if (!CheckDeadline()) return false;
-  if (limits_.max_pairs_aligned != 0 &&
-      pairs_aligned_ > limits_.max_pairs_aligned) {
-    trip_ = BudgetTrip::kPairs;
+  if (limits_.max_pairs_aligned != 0 && total > limits_.max_pairs_aligned) {
+    TripOnce(BudgetTrip::kPairs);
     return false;
   }
   return true;
 }
 
 bool RunBudget::ChargeFormulas(uint64_t n) {
-  candidate_formulas_ += n;
+  const uint64_t total =
+      candidate_formulas_.fetch_add(n, std::memory_order_relaxed) + n;
   if (!CheckDeadline()) return false;
   if (limits_.max_candidate_formulas != 0 &&
-      candidate_formulas_ > limits_.max_candidate_formulas) {
-    trip_ = BudgetTrip::kFormulas;
+      total > limits_.max_candidate_formulas) {
+    TripOnce(BudgetTrip::kFormulas);
     return false;
   }
   return true;

@@ -1,6 +1,7 @@
 #ifndef MCSM_COMMON_DEADLINE_H_
 #define MCSM_COMMON_DEADLINE_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 
@@ -54,8 +55,12 @@ struct BudgetLimits {
 /// tags the overall result `truncated` instead of erroring out.
 ///
 /// Exhaustion is sticky: once any axis trips, Exhausted() stays true and
-/// trip() keeps reporting the first axis that tripped. All charging is
-/// single-threaded (one budget per search run).
+/// trip() keeps reporting the first axis that tripped. Charging is
+/// thread-safe: the search's worker pool charges one shared budget from
+/// every thread. Counters accumulate with relaxed atomics (only the total
+/// matters), and the trip is recorded once via compare-and-swap, so even
+/// when two axes exhaust in the same instant on different threads exactly
+/// one of them is reported and every later Exhausted()/trip() agrees.
 class RunBudget {
  public:
   using Clock = std::chrono::steady_clock;
@@ -65,6 +70,10 @@ class RunBudget {
 
   /// Starts the wall clock now (when a deadline is configured).
   explicit RunBudget(const BudgetLimits& limits);
+
+  /// One budget meters one run; it is shared by pointer, never copied.
+  RunBudget(const RunBudget&) = delete;
+  RunBudget& operator=(const RunBudget&) = delete;
 
   /// Convenience for tests/tools: wall-clock deadline only.
   static RunBudget ForMillis(int64_t wall_ms);
@@ -81,23 +90,32 @@ class RunBudget {
   bool Exhausted();
 
   /// The first axis that tripped, without re-reading the clock.
-  BudgetTrip trip() const { return trip_; }
+  BudgetTrip trip() const { return trip_.load(std::memory_order_relaxed); }
 
-  uint64_t postings_scanned() const { return postings_scanned_; }
-  uint64_t pairs_aligned() const { return pairs_aligned_; }
-  uint64_t candidate_formulas() const { return candidate_formulas_; }
+  uint64_t postings_scanned() const {
+    return postings_scanned_.load(std::memory_order_relaxed);
+  }
+  uint64_t pairs_aligned() const {
+    return pairs_aligned_.load(std::memory_order_relaxed);
+  }
+  uint64_t candidate_formulas() const {
+    return candidate_formulas_.load(std::memory_order_relaxed);
+  }
   const BudgetLimits& limits() const { return limits_; }
 
  private:
   bool CheckDeadline();
+  /// Records `axis` as the trip cause iff nothing tripped yet (CAS), so the
+  /// first axis wins under concurrent charging and stays sticky.
+  void TripOnce(BudgetTrip axis);
 
   BudgetLimits limits_;
   Clock::time_point deadline_{};
   bool has_deadline_ = false;
-  BudgetTrip trip_ = BudgetTrip::kNone;
-  uint64_t postings_scanned_ = 0;
-  uint64_t pairs_aligned_ = 0;
-  uint64_t candidate_formulas_ = 0;
+  std::atomic<BudgetTrip> trip_{BudgetTrip::kNone};
+  std::atomic<uint64_t> postings_scanned_{0};
+  std::atomic<uint64_t> pairs_aligned_{0};
+  std::atomic<uint64_t> candidate_formulas_{0};
 };
 
 }  // namespace mcsm

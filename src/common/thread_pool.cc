@@ -1,0 +1,109 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <memory>
+
+namespace mcsm {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::thread::hardware_concurrency();
+    if (num_threads == 0) num_threads = 1;
+  }
+  size_ = num_threads;
+  // The calling thread participates in ParallelFor, so N-1 workers suffice.
+  workers_.reserve(size_ - 1);
+  for (size_t i = 0; i + 1 < size_; ++i) {
+    // Tasks must not throw (class contract); an escaping exception would
+    // cross the thread boundary and terminate, which is the intended
+    // fail-fast behaviour — hence the suppressed escape warning.
+    workers_.emplace_back([this] { WorkerLoop(); });  // NOLINT(bugprone-exception-escape)
+  }
+}
+
+// std::mutex::lock / std::thread::join throw only on usage errors (deadlock,
+// double join) that cannot occur in this teardown sequence.
+ThreadPool::~ThreadPool() {  // NOLINT(bugprone-exception-escape)
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  if (workers_.empty()) {
+    task();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to drain
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  const size_t helpers = std::min(workers_.size(), n - 1);
+  if (helpers == 0) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  // Shared scheduling state outlives this frame via shared_ptr: a helper task
+  // may still be dequeued after the loop completed (every index already
+  // claimed); it then sees next >= n and only touches `shared`.
+  struct Shared {
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> active;
+    std::mutex mu;
+    std::condition_variable done;
+    explicit Shared(size_t helpers) : active(helpers) {}
+  };
+  auto shared = std::make_shared<Shared>(helpers);
+
+  for (size_t h = 0; h < helpers; ++h) {
+    // fn is copied into the task: the copy (not the caller's frame) keeps the
+    // callable alive, and the caller blocks below until active == 0, so
+    // anything fn captures by reference stays valid while helpers run it.
+    Submit([shared, fn, n] {
+      size_t i;
+      while ((i = shared->next.fetch_add(1, std::memory_order_relaxed)) < n) {
+        fn(i);
+      }
+      if (shared->active.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        // Lock before notifying so the caller cannot miss the wakeup between
+        // its predicate check and its wait.
+        std::lock_guard<std::mutex> lock(shared->mu);
+        shared->done.notify_all();
+      }
+    });
+  }
+
+  size_t i;
+  while ((i = shared->next.fetch_add(1, std::memory_order_relaxed)) < n) {
+    fn(i);
+  }
+  std::unique_lock<std::mutex> lock(shared->mu);
+  shared->done.wait(lock, [&shared] {
+    return shared->active.load(std::memory_order_acquire) == 0;
+  });
+}
+
+}  // namespace mcsm

@@ -1,0 +1,59 @@
+#ifndef MCSM_COMMON_THREAD_POOL_H_
+#define MCSM_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mcsm {
+
+/// \brief A small fixed-size work-queue thread pool.
+///
+/// Built for the search pipeline's embarrassingly parallel stages (per-column
+/// scoring, per-key retrieval+alignment, per-sampled-row refinement voting):
+/// the calling thread participates in every ParallelFor, so a pool of size N
+/// spawns N-1 workers and a pool of size 1 spawns none and runs everything
+/// inline. Tasks must not throw — failures travel through Status, and an
+/// escaping exception would terminate the worker.
+class ThreadPool {
+ public:
+  /// `num_threads` == 0 picks std::thread::hardware_concurrency() (at least
+  /// 1 when that reports 0).
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total threads that run ParallelFor bodies (workers + the caller).
+  size_t size() const { return size_; }
+
+  /// Enqueues one task. Runs it inline when the pool has no workers.
+  void Submit(std::function<void()> task);
+
+  /// Runs fn(0) ... fn(n-1) on the calling thread plus the workers and
+  /// returns when every call finished. Scheduling is dynamic (an atomic
+  /// index counter), but which thread runs which index cannot affect results
+  /// when fn(i) writes only to slot i — the pattern every caller here uses;
+  /// determinism then comes from merging the slots in index order afterwards.
+  /// Not reentrant: must not be called from inside a pool task.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  size_t size_ = 1;
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+};
+
+}  // namespace mcsm
+
+#endif  // MCSM_COMMON_THREAD_POOL_H_

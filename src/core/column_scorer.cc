@@ -3,7 +3,6 @@
 #include <cmath>
 
 #include "relational/sampler.h"
-#include "text/qgram.h"
 
 namespace mcsm::core {
 
@@ -17,14 +16,8 @@ double ColumnScorer::ScoreKeys(const std::vector<std::string>& keys,
     if (key.empty()) continue;
     double localc = 0.0;
     if (options.mode == CountMode::kTotalHits) {
-      if (options.excluded_chars.empty()) {
-        localc = static_cast<double>(target_index.TotalQGramHits(key));
-      } else {
-        for (const auto& gram :
-             text::QGramsExcluding(key, q, options.excluded_chars)) {
-          localc += target_index.DocumentFrequency(gram);
-        }
-      }
+      localc = static_cast<double>(
+          target_index.TotalQGramHits(key, options.excluded_chars));
     } else {
       localc = static_cast<double>(target_index.RowsWithAnyQGram(key));
     }

@@ -8,6 +8,7 @@
 #include <map>
 #include <unordered_map>
 
+#include "common/env.h"
 #include "common/failpoint.h"
 #include "common/string_util.h"
 #include "core/separator.h"
@@ -54,6 +55,17 @@ TranslationSearch::TranslationSearch(const relational::Table& source,
 
 TranslationSearch::~TranslationSearch() = default;
 
+ThreadPool& TranslationSearch::pool() {
+  if (!pool_) {
+    size_t n = options_.num_threads;
+    if (n == 0) {
+      n = static_cast<size_t>(std::max<int64_t>(GetEnvInt("MCSM_THREADS", 0), 0));
+    }
+    pool_ = std::make_unique<ThreadPool>(n);
+  }
+  return *pool_;
+}
+
 const relational::ColumnIndex& TranslationSearch::SourceIndex(size_t column) {
   if (!source_indexes_[column]) {
     relational::ColumnIndex::Options idx_options;
@@ -74,8 +86,8 @@ size_t TranslationSearch::SampleCount(size_t distinct) const {
   return std::min(t, distinct);
 }
 
-std::vector<std::string> TranslationSearch::SampleKeys(size_t column) const {
-  const auto& index = const_cast<TranslationSearch*>(this)->SourceIndex(column);
+std::vector<std::string> TranslationSearch::SampleKeys(size_t column) {
+  const auto& index = SourceIndex(column);
   const auto& distinct = index.sorted_distinct();
   size_t t = SampleCount(distinct.size());
   std::vector<std::string> keys;
@@ -93,7 +105,7 @@ std::vector<size_t> TranslationSearch::SampleSourceRows(size_t column) {
 }
 
 Result<std::vector<uint32_t>> TranslationSearch::SimilarTargetRows(
-    std::string_view key) {
+    std::string_view key, size_t* pairs_scored) {
   MCSM_FAILPOINT(failpoint::kIndexSimilar);
   std::vector<relational::ColumnIndex::ScoredRow> scored;
   if (options_.pair_mode == SearchOptions::PairScoreMode::kTfIdf) {
@@ -104,7 +116,7 @@ Result<std::vector<uint32_t>> TranslationSearch::SimilarTargetRows(
     scored = target_index_->SimilarRowsByCount(
         key, options_.pair_score_threshold, options_.top_r_pairs, &budget_);
   }
-  stats_.pairs_scored += scored.size();
+  *pairs_scored += scored.size();
   std::vector<uint32_t> rows;
   rows.reserve(scored.size());
   for (const auto& s : scored) rows.push_back(s.row);
@@ -114,12 +126,11 @@ Result<std::vector<uint32_t>> TranslationSearch::SimilarTargetRows(
 void TranslationSearch::VoteRecipe(std::string_view key,
                                    std::string_view target,
                                    const FixedCoverage& fixed,
-                                   size_t key_column, VoteMap* votes,
-                                   double* total) {
+                                   size_t key_column, VoteBatch* batch) {
   std::vector<bool> mask = fixed.FreeMask();
   text::RecipeAlignment alignment = text::AlignLcsAnchored(
       key, target, &mask, text::EditCosts{}, options_.lcs_tie_break);
-  ++stats_.recipes_built;
+  ++batch->recipes_built;
   (void)budget_.ChargePairs();
   auto formulas_or = BuildFormulasFromRecipe(
       target, fixed, alignment, key_column, key.size(),
@@ -134,23 +145,36 @@ void TranslationSearch::VoteRecipe(std::string_view key,
   const double weight =
       static_cast<double>(std::max<size_t>(alignment.matched_chars(), 1));
   for (auto& f : formulas) {
-    ++stats_.formulas_considered;
-    *total += weight;
+    ++batch->formulas_considered;
     // Keyed by (parent column, formula): Eq. 5 normalizes per parent column,
     // so the same rendering produced by different candidate columns (the
     // unchanged formula, typically) must not pool its votes.
     std::string rendered = StrFormat("c%zu|", key_column) + f.ToString();
-    auto it = votes->find(rendered);
+    batch->votes.push_back(
+        {std::move(rendered), std::move(f), weight, key_column});
+  }
+}
+
+void TranslationSearch::MergeBatch(VoteBatch&& batch, VoteMap* votes,
+                                   std::vector<double>* column_totals,
+                                   double* total) {
+  stats_.recipes_built += batch.recipes_built;
+  stats_.formulas_considered += batch.formulas_considered;
+  stats_.pairs_scored += batch.pairs_scored;
+  for (PendingVote& vote : batch.votes) {
+    if (total != nullptr) *total += vote.weight;
+    if (column_totals != nullptr) (*column_totals)[vote.column] += vote.weight;
+    auto it = votes->find(vote.rendered);
     if (it == votes->end()) {
       FormulaVotes entry;
-      entry.formula = std::move(f);
+      entry.formula = std::move(vote.formula);
       entry.count = 1;
-      entry.weighted_count = weight;
-      entry.column = key_column;
-      votes->emplace(std::move(rendered), std::move(entry));
+      entry.weighted_count = vote.weight;
+      entry.column = vote.column;
+      votes->emplace(std::move(vote.rendered), std::move(entry));
     } else {
       ++it->second.count;
-      it->second.weighted_count += weight;
+      it->second.weighted_count += vote.weight;
     }
   }
 }
@@ -161,22 +185,34 @@ Result<size_t> TranslationSearch::SelectStartColumn(
   if (scores_out != nullptr) {
     scores_out->assign(source_.num_columns(), 0.0);
   }
-  double best_score = 0.0;
-  size_t best_column = std::numeric_limits<size_t>::max();
+  std::vector<size_t> text_columns;
   for (size_t col = 0; col < source_.num_columns(); ++col) {
-    if (budget_.Exhausted()) break;
-    if (source_.schema().column(col).type != relational::ColumnType::kText) {
-      continue;
+    if (source_.schema().column(col).type == relational::ColumnType::kText) {
+      text_columns.push_back(col);
     }
+  }
+  // One slot per text column (Algorithm 2's loop). Each worker builds and
+  // scores only its own column — SourceIndex writes a distinct
+  // source_indexes_ entry per column — and the winner is picked serially in
+  // column order below, so the choice is identical for every thread count.
+  std::vector<double> column_scores(text_columns.size(), 0.0);
+  pool().ParallelFor(text_columns.size(), [&](size_t i) {
+    if (budget_.Exhausted()) return;
+    const size_t col = text_columns[i];
     ColumnScorer::Options scorer_options;
     scorer_options.mode = options_.count_mode;
     scorer_options.excluded_chars = separator_chars_;
     std::vector<std::string> keys = SampleKeys(col);
-    double score = ColumnScorer::ScoreKeys(keys, *target_index_, scorer_options);
-    if (scores_out != nullptr) (*scores_out)[col] = score;
-    if (score > best_score) {
-      best_score = score;
-      best_column = col;
+    column_scores[i] =
+        ColumnScorer::ScoreKeys(keys, *target_index_, scorer_options);
+  });
+  double best_score = 0.0;
+  size_t best_column = std::numeric_limits<size_t>::max();
+  for (size_t i = 0; i < text_columns.size(); ++i) {
+    if (scores_out != nullptr) (*scores_out)[text_columns[i]] = column_scores[i];
+    if (column_scores[i] > best_score) {
+      best_score = column_scores[i];
+      best_column = text_columns[i];
     }
   }
   stats_.step1_seconds += SecondsSince(start);
@@ -193,7 +229,8 @@ Result<std::vector<TranslationFormula>> TranslationSearch::BuildInitialFormulas(
   VoteMap votes;
   double total = 0;
 
-  auto vote_pair = [&](std::string_view key, uint32_t target_row) {
+  auto vote_pair = [&](std::string_view key, uint32_t target_row,
+                       VoteBatch* batch) {
     std::string_view target = target_.CellText(target_row, target_column_);
     if (target.empty()) return;
     FixedCoverage fixed = FixedCoverage::None(target.size());
@@ -214,28 +251,50 @@ Result<std::vector<TranslationFormula>> TranslationSearch::BuildInitialFormulas(
       if (!built.ok()) return;
       fixed = std::move(built).value();
     }
-    VoteRecipe(key, target, fixed, column, &votes, &total);
+    VoteRecipe(key, target, fixed, column, batch);
   };
 
+  // One slot per sampled key (or linked pair): retrieval + alignment run in
+  // parallel, and the slots are merged in sample order below so the vote
+  // tallies never depend on scheduling.
+  std::vector<VoteBatch> batches;
   if (!linkage_.empty()) {
-    // Section 6.2: candidate pairs come from the known row linkage.
+    // Section 6.2: candidate pairs come from the known row linkage. Sampling
+    // stays serial (it charges the budget in a deterministic order).
+    std::vector<std::pair<std::string_view, uint32_t>> pairs;
     for (size_t row : SampleSourceRows(column)) {
       if (budget_.Exhausted()) break;
       std::string_view key = source_.CellText(row, column);
       if (key.empty()) continue;
       if (row >= linkage_.size() || linkage_[row] == kNoLink) continue;
-      vote_pair(key, static_cast<uint32_t>(linkage_[row]));
+      pairs.emplace_back(key, static_cast<uint32_t>(linkage_[row]));
     }
+    batches.resize(pairs.size());
+    pool().ParallelFor(pairs.size(), [&](size_t i) {
+      if (budget_.Exhausted()) return;
+      vote_pair(pairs[i].first, pairs[i].second, &batches[i]);
+    });
   } else {
-    for (const std::string& key : SampleKeys(column)) {
-      if (budget_.Exhausted()) break;
-      if (key.empty()) continue;
-      MCSM_ASSIGN_OR_RETURN(std::vector<uint32_t> target_rows,
-                            SimilarTargetRows(key));
-      for (uint32_t target_row : target_rows) {
-        vote_pair(key, target_row);
+    std::vector<std::string> keys = SampleKeys(column);
+    batches.resize(keys.size());
+    pool().ParallelFor(keys.size(), [&](size_t i) {
+      if (budget_.Exhausted()) return;
+      const std::string& key = keys[i];
+      if (key.empty()) return;
+      VoteBatch& batch = batches[i];
+      auto rows_or = SimilarTargetRows(key, &batch.pairs_scored);
+      if (!rows_or.ok()) {
+        batch.status = rows_or.status();
+        return;
       }
-    }
+      for (uint32_t target_row : *rows_or) vote_pair(key, target_row, &batch);
+    });
+  }
+  for (VoteBatch& batch : batches) {
+    // First failing slot in sample order — the same error a serial run
+    // returns.
+    if (!batch.status.ok()) return batch.status;
+    MergeBatch(std::move(batch), &votes, nullptr, &total);
   }
 
   // Rank candidates: most frequent first; ties break toward the formula
@@ -304,8 +363,6 @@ Result<bool> TranslationSearch::RefineOnce(TranslationFormula* formula,
     if (r.kind != Region::Kind::kUnknown) fixed_regions.push_back(r);
   }
 
-  VoteMap votes;
-  std::vector<double> column_totals(source_.num_columns(), 0);
   size_t candidates_considered = 0;
 
   // Text columns eligible as candidates.
@@ -319,12 +376,18 @@ Result<bool> TranslationSearch::RefineOnce(TranslationFormula* formula,
   // One equidistant row sample for the whole iteration: every candidate
   // column sees the identical (source row, target instance) pairs, so vote
   // counts are comparable across columns, and the expensive pattern
-  // retrieval runs once per row instead of once per (row, column).
+  // retrieval runs once per row instead of once per (row, column). Rows are
+  // processed in parallel, one slot each, merged in sample order below.
   size_t t = SampleCount(source_.num_rows());
-  for (size_t row : relational::SampleRows(source_.num_rows(), t, &budget_)) {
-    if (budget_.Exhausted()) break;
+  std::vector<size_t> sampled =
+      relational::SampleRows(source_.num_rows(), t, &budget_);
+  std::vector<VoteBatch> batches(sampled.size());
+  pool().ParallelFor(sampled.size(), [&](size_t slot) {
+    if (budget_.Exhausted()) return;
+    const size_t row = sampled[slot];
+    VoteBatch& batch = batches[slot];
     auto pattern = formula->BuildPattern(source_, row);
-    if (!pattern.has_value() || pattern->IsUniversal()) continue;
+    if (!pattern.has_value() || pattern->IsUniversal()) return;
 
     std::vector<uint32_t> target_rows;
     if (!linkage_.empty()) {
@@ -420,9 +483,15 @@ Result<bool> TranslationSearch::RefineOnce(TranslationFormula* formula,
       for (size_t ci = 0; ci < candidates.size(); ++ci) {
         if (filter && !sharing[ci]) continue;
         VoteRecipe(key, candidates[ci].target, candidates[ci].fixed, col,
-                   &votes, &column_totals[col]);
+                   &batch);
       }
     }
+  });
+
+  VoteMap votes;
+  std::vector<double> column_totals(source_.num_columns(), 0);
+  for (VoteBatch& batch : batches) {
+    MergeBatch(std::move(batch), &votes, &column_totals, nullptr);
   }
 
   // Score candidates (Eq. 5) and adopt the best true refinement.

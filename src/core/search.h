@@ -10,6 +10,7 @@
 
 #include "common/deadline.h"
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "core/column_scorer.h"
 #include "core/formula.h"
 #include "core/recipe.h"
@@ -117,6 +118,16 @@ struct SearchOptions {
   /// A completed formula must cover at least this fraction of the smaller
   /// table (and at least min_support rows) to be accepted without restart.
   double min_coverage_fraction = 0.001;
+
+  /// Threads for the parallel pipeline stages (per-column scoring, per-key
+  /// retrieval+alignment, per-sampled-row refinement voting). 0 resolves to
+  /// the MCSM_THREADS environment variable, else
+  /// std::thread::hardware_concurrency(); 1 runs everything inline. The
+  /// discovered formula, scores, and report are identical for every value:
+  /// workers fill pre-sized slots that are merged in index order, so vote
+  /// counts and floating-point accumulation order never depend on
+  /// scheduling (see DESIGN.md).
+  size_t num_threads = 0;
 
   /// Cost caps for the run (wall-clock deadline + work-unit counters).
   /// Default: unlimited — the paper's open-ended greedy loop. When any axis
@@ -246,14 +257,40 @@ class TranslationSearch {
 
  private:
   size_t SampleCount(size_t distinct) const;
-  std::vector<std::string> SampleKeys(size_t column) const;
+  std::vector<std::string> SampleKeys(size_t column);
   std::vector<size_t> SampleSourceRows(size_t column);
   const relational::ColumnIndex& SourceIndex(size_t column);
 
+  /// The worker pool, created on first use with SearchOptions::num_threads.
+  ThreadPool& pool();
+
+  /// One vote produced inside a worker slot, buffered until the ordered
+  /// merge.
+  struct PendingVote {
+    std::string rendered;  ///< "c<col>|" + rendering — the vote-map key
+    TranslationFormula formula;
+    double weight;       ///< matched-chars weight of the producing recipe
+    size_t column = 0;   ///< parent column (Eq. 5 normalization)
+  };
+
+  /// Everything one worker slot produces: its votes, its share of the
+  /// instrumentation counters, and the first error it hit. Slots are merged
+  /// in index order, so vote counts, floating-point accumulation order, and
+  /// which error propagates are identical for every thread count.
+  struct VoteBatch {
+    std::vector<PendingVote> votes;
+    size_t recipes_built = 0;
+    size_t formulas_considered = 0;
+    size_t pairs_scored = 0;
+    Status status = Status::OK();
+  };
+
   /// Candidate target rows similar to `key` (initial phase retrieval).
   /// Errors only from the index.similar failpoint; budget exhaustion
-  /// truncates the result instead.
-  Result<std::vector<uint32_t>> SimilarTargetRows(std::string_view key);
+  /// truncates the result instead. Thread-safe: retrieved pair counts go to
+  /// `pairs_scored` (the caller's slot), not the shared stats.
+  Result<std::vector<uint32_t>> SimilarTargetRows(std::string_view key,
+                                                  size_t* pairs_scored);
 
   /// Packages the current best attempt as a truncated anytime result.
   SearchResult TruncatedResult(SearchResult attempt);
@@ -268,7 +305,13 @@ class TranslationSearch {
   using VoteMap = std::map<std::string, FormulaVotes>;
   void VoteRecipe(std::string_view key, std::string_view target,
                   const FixedCoverage& fixed, size_t key_column,
-                  VoteMap* votes, double* total);
+                  VoteBatch* batch);
+
+  /// Folds one slot's votes and counters into the shared vote map and stats.
+  /// Per-vote weight goes to `*total` and/or `(*column_totals)[column]`
+  /// (pass nullptr for the one not in use).
+  void MergeBatch(VoteBatch&& batch, VoteMap* votes,
+                  std::vector<double>* column_totals, double* total);
 
   const relational::Table& source_;
   const relational::Table& target_;
@@ -277,6 +320,7 @@ class TranslationSearch {
   SearchStats stats_;
   RunBudget budget_;
 
+  std::unique_ptr<ThreadPool> pool_;
   std::unique_ptr<relational::ColumnIndex> target_index_;
   std::vector<std::unique_ptr<relational::ColumnIndex>> source_indexes_;
   std::optional<relational::SearchPattern> separator_template_;

@@ -1,20 +1,62 @@
 #include "relational/column_index.h"
 
 #include <algorithm>
-#include <set>
-#include <unordered_set>
-
-#include "text/qgram.h"
 
 namespace mcsm::relational {
 
+namespace {
+
+/// Dense per-row score accumulator reused across retrieval calls. Epoch
+/// tagging makes "clearing" O(1) and the touched list makes result
+/// collection O(candidate rows) instead of O(table rows) or a hash map.
+/// thread_local storage keeps concurrent retrieval from the search's worker
+/// pool race-free without locking: each thread accumulates into its own
+/// scratch while the index itself is only read.
+struct ScoreScratch {
+  std::vector<double> scores;
+  std::vector<uint64_t> epochs;
+  std::vector<uint32_t> touched;
+  uint64_t epoch = 0;
+
+  void Begin(size_t rows) {
+    if (scores.size() < rows) {
+      scores.resize(rows, 0.0);
+      epochs.resize(rows, 0);
+    }
+    ++epoch;
+    touched.clear();
+  }
+
+  void Add(uint32_t row, double value) {
+    if (epochs[row] != epoch) {
+      epochs[row] = epoch;
+      scores[row] = value;
+      touched.push_back(row);
+    } else {
+      scores[row] += value;
+    }
+  }
+};
+
+thread_local ScoreScratch t_scratch;
+
+}  // namespace
+
 ColumnIndex::ColumnIndex(const Table& table, size_t col, Options options)
-    : table_(table), col_(col), options_(options) {
+    : table_(table),
+      col_(col),
+      options_(options),
+      dict_(std::make_shared<text::QGramDictionary>(options.q)) {
   const size_t q = options_.q;
-  std::set<std::string> distinct;
+  row_count_ = table.num_rows();
   size_t non_null = 0;
   size_t total_length = 0;
-  row_count_ = table.num_rows();
+  // Scratch views into the table's stable cell storage; sort+unique below
+  // replaces the former std::set (one pass, no node allocations).
+  std::vector<std::string_view> values;
+  values.reserve(row_count_);
+  std::vector<uint32_t> row_ids;  // gram ids of the current row
+  std::vector<int> df;            // document frequency by gram id
 
   for (size_t row = 0; row < row_count_; ++row) {
     const Value& v = table.cell(row, col);
@@ -28,17 +70,26 @@ ColumnIndex::ColumnIndex(const Table& table, size_t col, Options options)
       min_length_ = std::min(min_length_, s.size());
       max_length_ = std::max(max_length_, s.size());
     }
-    distinct.insert(s);
+    values.push_back(s);
 
     if (q > 0 && s.size() >= q) {
-      // Per-row q-gram profile feeds both df and (optionally) postings.
-      std::unordered_map<std::string, uint32_t> profile;
-      for (size_t i = 0; i + q <= s.size(); ++i) profile[s.substr(i, q)]++;
-      for (const auto& [gram, tf] : profile) {
-        document_frequency_[gram]++;
+      row_ids.clear();
+      dict_->InternIds(s, &row_ids);
+      df.resize(dict_->size(), 0);
+      if (options_.build_postings) postings_.resize(dict_->size());
+      // Sorting makes equal ids adjacent: the per-row term frequency falls
+      // out of one run scan instead of a per-row hash map.
+      std::sort(row_ids.begin(), row_ids.end());
+      for (size_t i = 0; i < row_ids.size();) {
+        const uint32_t id = row_ids[i];
+        size_t j = i + 1;
+        while (j < row_ids.size() && row_ids[j] == id) ++j;
+        df[id]++;
         if (options_.build_postings) {
-          postings_[gram].push_back({static_cast<uint32_t>(row), tf});
+          postings_[id].push_back(
+              {static_cast<uint32_t>(row), static_cast<uint32_t>(j - i)});
         }
+        i = j;
       }
     }
   }
@@ -46,44 +97,50 @@ ColumnIndex::ColumnIndex(const Table& table, size_t col, Options options)
   avg_length_ = non_null == 0
                     ? 0.0
                     : static_cast<double>(total_length) / static_cast<double>(non_null);
-  sorted_distinct_.assign(distinct.begin(), distinct.end());
-  tfidf_ = std::make_unique<text::TfIdfModel>(document_frequency_, non_null, q);
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+  sorted_distinct_.reserve(values.size());
+  for (std::string_view value : values) sorted_distinct_.emplace_back(value);
+  tfidf_ = std::make_unique<text::TfIdfModel>(dict_, std::move(df), non_null);
 }
 
 int ColumnIndex::DocumentFrequency(std::string_view gram) const {
-  auto it = document_frequency_.find(std::string(gram));
-  return it == document_frequency_.end() ? 0 : it->second;
+  return tfidf_->DocumentFrequencyById(dict_->Find(gram));
 }
 
 const std::vector<ColumnIndex::Posting>* ColumnIndex::postings(
     std::string_view gram) const {
-  auto it = postings_.find(std::string(gram));
-  return it == postings_.end() ? nullptr : &it->second;
+  const uint32_t id = dict_->Find(gram);
+  if (id == text::QGramDictionary::kNoGram || id >= postings_.size()) {
+    return nullptr;
+  }
+  const std::vector<Posting>& plist = postings_[id];
+  return plist.empty() ? nullptr : &plist;
 }
 
-long long ColumnIndex::TotalQGramHits(std::string_view key) const {
+long long ColumnIndex::TotalQGramHits(std::string_view key,
+                                      std::string_view exclude_chars) const {
   long long total = 0;
   const size_t q = options_.q;
   if (q == 0 || key.size() < q) return 0;
   for (size_t i = 0; i + q <= key.size(); ++i) {
-    total += DocumentFrequency(key.substr(i, q));
+    std::string_view gram = key.substr(i, q);
+    if (!exclude_chars.empty() &&
+        gram.find_first_of(exclude_chars) != std::string_view::npos) {
+      continue;
+    }
+    total += tfidf_->DocumentFrequencyById(dict_->Find(gram));
   }
   return total;
 }
 
 size_t ColumnIndex::RowsWithAnyQGram(std::string_view key) const {
-  const size_t q = options_.q;
-  if (q == 0 || key.size() < q) return 0;
-  std::unordered_set<uint32_t> rows;
-  std::unordered_set<std::string> seen;
-  for (size_t i = 0; i + q <= key.size(); ++i) {
-    std::string gram(key.substr(i, q));
-    if (!seen.insert(gram).second) continue;
-    const auto* plist = postings(gram);
-    if (plist == nullptr) continue;
-    for (const Posting& p : *plist) rows.insert(p.row);
+  if (postings_.empty()) return 0;
+  t_scratch.Begin(row_count_);
+  for (const KeyTerm& term : BuildKeyTerms(key, {})) {
+    for (const Posting& p : postings_[term.id]) t_scratch.Add(p.row, 1.0);
   }
-  return rows.size();
+  return t_scratch.touched.size();
 }
 
 std::vector<uint32_t> ColumnIndex::RowsMatchingPattern(
@@ -140,55 +197,76 @@ std::vector<uint32_t> ColumnIndex::RowsMatchingPattern(
   return out;
 }
 
-std::vector<ColumnIndex::ScoredRow> ColumnIndex::SimilarRows(
-    std::string_view key, double threshold, size_t top_r,
-    std::string_view exclude_chars, RunBudget* budget) const {
-  std::vector<ScoredRow> out;
+std::vector<ColumnIndex::KeyTerm> ColumnIndex::BuildKeyTerms(
+    std::string_view key, std::string_view exclude_chars) const {
+  std::vector<KeyTerm> terms;
   const size_t q = options_.q;
-  if (!options_.build_postings || q == 0 || key.size() < q) return out;
-
-  // Key q-gram profile and weights (tf * idf). q-grams containing excluded
-  // (separator) characters are not used as search keys.
-  std::unordered_map<std::string, uint32_t> profile;
+  if (q == 0 || key.size() < q) return terms;
+  // Gram ids of the key (excluded/unknown grams dropped: an excluded gram
+  // must not be used as a search key, an unknown one retrieves nothing).
+  std::vector<uint32_t> ids;
+  ids.reserve(key.size() - q + 1);
   for (size_t i = 0; i + q <= key.size(); ++i) {
     std::string_view gram = key.substr(i, q);
-    bool clean = true;
-    for (char c : gram) {
-      if (exclude_chars.find(c) != std::string_view::npos) {
-        clean = false;
-        break;
-      }
+    if (!exclude_chars.empty() &&
+        gram.find_first_of(exclude_chars) != std::string_view::npos) {
+      continue;
     }
-    if (clean) profile[std::string(gram)]++;
+    const uint32_t id = dict_->Find(gram);
+    if (id != text::QGramDictionary::kNoGram) ids.push_back(id);
   }
-  // Accumulate Eq. 4 dot products row by row via the postings, rarest gram
-  // first, within the per-key posting budget.
-  std::vector<std::pair<int, const std::string*>> by_df;
-  by_df.reserve(profile.size());
-  for (const auto& [gram, key_tf] : profile) {
-    by_df.emplace_back(DocumentFrequency(gram), &gram);
+  std::sort(ids.begin(), ids.end());
+  for (size_t i = 0; i < ids.size();) {
+    size_t j = i + 1;
+    while (j < ids.size() && ids[j] == ids[i]) ++j;
+    terms.push_back({ids[i], static_cast<uint32_t>(j - i)});
+    i = j;
   }
-  std::sort(by_df.begin(), by_df.end(),
-            [](const auto& a, const auto& b) { return a.first < b.first; });
-  std::unordered_map<uint32_t, double> scores;
+  return terms;
+}
+
+std::vector<ColumnIndex::ScoredRow> ColumnIndex::AccumulateRarestFirst(
+    std::vector<KeyTerm> terms, bool idf_weighted, double threshold,
+    size_t top_r, RunBudget* budget) const {
+  // Rarest (most discriminative) grams first; ties broken by id so the
+  // accumulation order — and with it the floating-point rounding — is
+  // deterministic.
+  std::sort(terms.begin(), terms.end(),
+            [this](const KeyTerm& a, const KeyTerm& b) {
+              const int da = tfidf_->DocumentFrequencyById(a.id);
+              const int db = tfidf_->DocumentFrequencyById(b.id);
+              if (da != db) return da < db;
+              return a.id < b.id;
+            });
+  t_scratch.Begin(row_count_);
   size_t per_key_budget = options_.posting_budget;
-  for (const auto& [df, gram_ptr] : by_df) {
-    if (static_cast<size_t>(df) > per_key_budget) break;
-    double idf = tfidf_->Idf(*gram_ptr);
-    if (idf <= 0.0) continue;
-    const auto* plist = postings(*gram_ptr);
-    if (plist == nullptr) continue;
-    per_key_budget -= plist->size();
+  for (const KeyTerm& term : terms) {
+    const std::vector<Posting>& plist = postings_[term.id];
+    // A df-sized posting list costs df entries to scan; stopping on the
+    // actual list size keeps the subtraction below from underflowing.
+    if (plist.size() > per_key_budget) break;
+    double idf = 0.0;
+    if (idf_weighted) {
+      idf = tfidf_->IdfById(term.id);
+      if (idf <= 0.0) continue;
+    }
+    per_key_budget -= plist.size();
     // The run budget prunes the same way the per-key budget does: the
     // remaining grams are the most common (least informative) ones.
-    if (budget != nullptr && !budget->ChargePostings(plist->size())) break;
-    const double key_weight =
-        static_cast<double>(profile.at(*gram_ptr)) * idf;
-    for (const Posting& p : *plist) {
-      scores[p.row] += key_weight * (static_cast<double>(p.tf) * idf);
+    if (budget != nullptr && !budget->ChargePostings(plist.size())) break;
+    if (idf_weighted) {
+      const double key_weight = static_cast<double>(term.tf) * idf;
+      for (const Posting& p : plist) {
+        t_scratch.Add(p.row, key_weight * (static_cast<double>(p.tf) * idf));
+      }
+    } else {
+      for (const Posting& p : plist) t_scratch.Add(p.row, 1.0);
     }
   }
-  for (const auto& [row, score] : scores) {
+  std::vector<ScoredRow> out;
+  out.reserve(t_scratch.touched.size());
+  for (uint32_t row : t_scratch.touched) {
+    const double score = t_scratch.scores[row];
     if (score >= threshold) out.push_back({row, score});
   }
   std::sort(out.begin(), out.end(), [](const ScoredRow& a, const ScoredRow& b) {
@@ -199,44 +277,26 @@ std::vector<ColumnIndex::ScoredRow> ColumnIndex::SimilarRows(
   return out;
 }
 
+std::vector<ColumnIndex::ScoredRow> ColumnIndex::SimilarRows(
+    std::string_view key, double threshold, size_t top_r,
+    std::string_view exclude_chars, RunBudget* budget) const {
+  if (!options_.build_postings || options_.q == 0 || key.size() < options_.q) {
+    return {};
+  }
+  return AccumulateRarestFirst(BuildKeyTerms(key, exclude_chars),
+                               /*idf_weighted=*/true, threshold, top_r,
+                               budget);
+}
+
 std::vector<ColumnIndex::ScoredRow> ColumnIndex::SimilarRowsByCount(
     std::string_view key, double threshold, size_t top_r,
     RunBudget* budget) const {
-  std::vector<ScoredRow> out;
-  const size_t q = options_.q;
-  if (!options_.build_postings || q == 0 || key.size() < q) return out;
-
-  std::unordered_set<std::string> grams;
-  for (size_t i = 0; i + q <= key.size(); ++i) {
-    grams.insert(std::string(key.substr(i, q)));
+  if (!options_.build_postings || options_.q == 0 || key.size() < options_.q) {
+    return {};
   }
-  // Rarest grams first, within the posting budget (as in SimilarRows).
-  std::vector<std::pair<int, const std::string*>> by_df;
-  by_df.reserve(grams.size());
-  for (const auto& gram : grams) {
-    by_df.emplace_back(DocumentFrequency(gram), &gram);
-  }
-  std::sort(by_df.begin(), by_df.end(),
-            [](const auto& a, const auto& b) { return a.first < b.first; });
-  std::unordered_map<uint32_t, double> scores;
-  size_t per_key_budget = options_.posting_budget;
-  for (const auto& [df, gram_ptr] : by_df) {
-    if (static_cast<size_t>(df) > per_key_budget) break;
-    const auto* plist = postings(*gram_ptr);
-    if (plist == nullptr) continue;
-    per_key_budget -= plist->size();
-    if (budget != nullptr && !budget->ChargePostings(plist->size())) break;
-    for (const Posting& p : *plist) scores[p.row] += 1.0;
-  }
-  for (const auto& [row, score] : scores) {
-    if (score >= threshold) out.push_back({row, score});
-  }
-  std::sort(out.begin(), out.end(), [](const ScoredRow& a, const ScoredRow& b) {
-    if (a.score != b.score) return a.score > b.score;
-    return a.row < b.row;
-  });
-  if (out.size() > top_r) out.resize(top_r);
-  return out;
+  return AccumulateRarestFirst(BuildKeyTerms(key, {}),
+                               /*idf_weighted=*/false, threshold, top_r,
+                               budget);
 }
 
 }  // namespace mcsm::relational

@@ -5,12 +5,12 @@
 #include <memory>
 #include <string>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
 
 #include "common/deadline.h"
 #include "relational/pattern.h"
 #include "relational/table.h"
+#include "text/qgram.h"
 #include "text/tfidf.h"
 
 namespace mcsm::relational {
@@ -24,6 +24,13 @@ namespace mcsm::relational {
 /// make the two hot retrieval operations index-assisted rather than
 /// full-scan: tf-idf similarity retrieval (Section 3.3.1) and LIKE-pattern
 /// candidate retrieval (Section 3.4.1).
+///
+/// Layout: grams are interned once at construction into a dense-id
+/// dictionary; df, idf and postings are flat vectors indexed by gram id, so
+/// the retrieval hot path performs no per-lookup string allocation and no
+/// hash-map node chasing. All query methods are const and safe to call
+/// concurrently from the search's worker pool (similarity scoring uses a
+/// thread-local dense accumulator internally).
 class ColumnIndex {
  public:
   struct Options {
@@ -72,15 +79,17 @@ class ColumnIndex {
 
   /// Sum over the key's q-grams (with multiplicity) of their document
   /// frequency — the "count T2 where A includes q-grams of key" reading (a)
-  /// used by the column scorer.
-  long long TotalQGramHits(std::string_view key) const;
+  /// used by the column scorer. q-grams containing any character from
+  /// `exclude_chars` are skipped (separator handling, Section 6.1).
+  long long TotalQGramHits(std::string_view key,
+                           std::string_view exclude_chars = {}) const;
 
   /// Number of distinct rows containing at least one q-gram of `key` —
   /// reading (b). Requires postings.
   size_t RowsWithAnyQGram(std::string_view key) const;
 
-  /// tf-idf model over the column's instances (document frequencies shared
-  /// with this index).
+  /// tf-idf model over the column's instances (dictionary and document
+  /// frequencies shared with this index).
   const text::TfIdfModel& tfidf() const { return *tfidf_; }
 
   /// Rows whose value matches `pattern`, filtered through the inverted index
@@ -120,6 +129,30 @@ class ColumnIndex {
                                             RunBudget* budget = nullptr) const;
 
  private:
+  /// One search term of a key: an interned gram id and the key's term
+  /// frequency for it.
+  struct KeyTerm {
+    uint32_t id;
+    uint32_t tf;
+  };
+
+  /// Collects the key's q-grams as (id, tf) terms, skipping grams containing
+  /// `exclude_chars` and grams absent from this column (df 0 — they can
+  /// retrieve nothing).
+  std::vector<KeyTerm> BuildKeyTerms(std::string_view key,
+                                     std::string_view exclude_chars) const;
+
+  /// The accumulation loop shared by SimilarRows and SimilarRowsByCount:
+  /// walks the terms' posting lists rarest-gram-first within the per-key
+  /// posting budget (and `budget`), accumulating per-row scores — tf-idf
+  /// dot-product contributions when `idf_weighted`, 1.0 per posting
+  /// otherwise — into a thread-local dense array, then filters by
+  /// `threshold` and keeps the `top_r` best.
+  std::vector<ScoredRow> AccumulateRarestFirst(std::vector<KeyTerm> terms,
+                                               bool idf_weighted,
+                                               double threshold, size_t top_r,
+                                               RunBudget* budget) const;
+
   const Table& table_;
   size_t col_;
   Options options_;
@@ -128,8 +161,11 @@ class ColumnIndex {
   size_t min_length_ = 0;
   size_t max_length_ = 0;
   std::vector<std::string> sorted_distinct_;
-  std::unordered_map<std::string, int> document_frequency_;
-  std::unordered_map<std::string, std::vector<Posting>> postings_;
+  /// gram <-> dense id; shared with tfidf_ so both agree on ids.
+  std::shared_ptr<text::QGramDictionary> dict_;
+  /// Posting lists by gram id (empty unless options_.build_postings).
+  std::vector<std::vector<Posting>> postings_;
+  /// Owns df/idf by gram id (DocumentFrequency delegates here).
   std::unique_ptr<text::TfIdfModel> tfidf_;
 };
 

@@ -69,6 +69,36 @@ int SharedQGramsMasked(std::string_view a, std::string_view b,
   return shared;
 }
 
+uint32_t QGramDictionary::Intern(std::string_view gram) {
+  auto it = ids_.find(gram);
+  if (it != ids_.end()) return it->second;
+  uint32_t id = static_cast<uint32_t>(grams_.size());
+  grams_.emplace_back(gram);
+  ids_.emplace(grams_.back(), id);
+  return id;
+}
+
+uint32_t QGramDictionary::Find(std::string_view gram) const {
+  auto it = ids_.find(gram);
+  return it == ids_.end() ? kNoGram : it->second;
+}
+
+void QGramDictionary::FindIds(std::string_view s,
+                              std::vector<uint32_t>* out) const {
+  if (q_ == 0 || s.size() < q_) return;
+  for (size_t i = 0; i + q_ <= s.size(); ++i) {
+    out->push_back(Find(s.substr(i, q_)));
+  }
+}
+
+void QGramDictionary::InternIds(std::string_view s,
+                                std::vector<uint32_t>* out) {
+  if (q_ == 0 || s.size() < q_) return;
+  for (size_t i = 0; i + q_ <= s.size(); ++i) {
+    out->push_back(Intern(s.substr(i, q_)));
+  }
+}
+
 int SharedQGrams(std::string_view a, std::string_view b, size_t q) {
   auto pa = QGramProfile(a, q);
   auto pb = QGramProfile(b, q);

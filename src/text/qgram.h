@@ -2,6 +2,8 @@
 #define MCSM_TEXT_QGRAM_H_
 
 #include <cstddef>
+#include <cstdint>
+#include <functional>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -40,6 +42,56 @@ int SharedQGrams(std::string_view a, std::string_view b, size_t q);
 /// *unexplained* portion of the target instance.
 int SharedQGramsMasked(std::string_view a, std::string_view b,
                        const std::vector<bool>& b_allowed, size_t q);
+
+/// \brief Interning dictionary: q-gram string <-> dense uint32_t id.
+///
+/// Built once per column index / tf-idf model. Interning turns every hot
+/// per-gram statistic (df, idf, postings) into a flat vector indexed by id,
+/// and every later lookup into one transparent hash probe with no string
+/// allocation. Not thread-safe for Intern; Find and the accessors are
+/// read-only and safe to share across threads once building is done.
+class QGramDictionary {
+ public:
+  /// Sentinel id for grams that were never interned.
+  static constexpr uint32_t kNoGram = 0xFFFFFFFFu;
+
+  explicit QGramDictionary(size_t q) : q_(q) {}
+
+  size_t q() const { return q_; }
+  /// Number of distinct grams interned so far (ids are 0..size()-1).
+  size_t size() const { return grams_.size(); }
+
+  /// Id of `gram`, interning it if new.
+  uint32_t Intern(std::string_view gram);
+
+  /// Id of `gram`, or kNoGram when it was never interned. No allocation.
+  uint32_t Find(std::string_view gram) const;
+
+  /// The gram spelled by `id` (requires id < size()).
+  std::string_view gram(uint32_t id) const { return grams_[id]; }
+
+  /// Appends the ids of s's q-grams, in order and with multiplicity, to
+  /// `out`; grams never interned appear as kNoGram.
+  void FindIds(std::string_view s, std::vector<uint32_t>* out) const;
+
+  /// As FindIds but interning, so no kNoGram entries are produced.
+  void InternIds(std::string_view s, std::vector<uint32_t>* out);
+
+ private:
+  /// Heterogeneous hashing so std::string keys can be probed with a
+  /// string_view (C++20 transparent lookup) — the whole point of the class.
+  struct TransparentHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
+  size_t q_;
+  std::vector<std::string> grams_;
+  std::unordered_map<std::string, uint32_t, TransparentHash, std::equal_to<>>
+      ids_;
+};
 
 }  // namespace mcsm::text
 

@@ -1,38 +1,67 @@
 #include "text/tfidf.h"
 
+#include <algorithm>
 #include <cmath>
-#include <unordered_set>
-
-#include "text/qgram.h"
 
 namespace mcsm::text {
 
 TfIdfModel::TfIdfModel(const std::vector<std::string>& corpus, size_t q)
     : q_(q), corpus_size_(corpus.size()) {
+  auto dict = std::make_shared<QGramDictionary>(q);
+  std::vector<uint32_t> ids;  // per-instance scratch
   for (const auto& s : corpus) {
-    std::unordered_set<std::string> seen;
-    for (size_t i = 0; q > 0 && i + q <= s.size(); ++i) {
-      seen.insert(s.substr(i, q));
+    ids.clear();
+    dict->InternIds(s, &ids);
+    if (df_.size() < dict->size()) df_.resize(dict->size(), 0);
+    // Sort so duplicates are adjacent: df counts each gram once per instance.
+    std::sort(ids.begin(), ids.end());
+    for (size_t i = 0; i < ids.size(); ++i) {
+      if (i == 0 || ids[i] != ids[i - 1]) df_[ids[i]]++;
     }
-    for (const auto& gram : seen) document_frequency_[gram]++;
+  }
+  dict_ = std::move(dict);
+  ComputeIdf();
+}
+
+TfIdfModel::TfIdfModel(
+    const std::unordered_map<std::string, int>& document_frequency,
+    size_t corpus_size, size_t q)
+    : q_(q), corpus_size_(corpus_size) {
+  auto dict = std::make_shared<QGramDictionary>(q);
+  df_.reserve(document_frequency.size());
+  for (const auto& [gram, df] : document_frequency) {
+    uint32_t id = dict->Intern(gram);
+    if (df_.size() <= id) df_.resize(id + 1, 0);
+    df_[id] = df;
+  }
+  dict_ = std::move(dict);
+  ComputeIdf();
+}
+
+TfIdfModel::TfIdfModel(std::shared_ptr<const QGramDictionary> dictionary,
+                       std::vector<int> df_by_id, size_t corpus_size)
+    : q_(dictionary->q()),
+      corpus_size_(corpus_size),
+      dict_(std::move(dictionary)),
+      df_(std::move(df_by_id)) {
+  ComputeIdf();
+}
+
+void TfIdfModel::ComputeIdf() {
+  idf_.assign(df_.size(), 0.0);
+  if (corpus_size_ == 0) return;
+  const double n = static_cast<double>(corpus_size_);
+  for (size_t id = 0; id < df_.size(); ++id) {
+    if (df_[id] > 0) idf_[id] = std::log2(n / static_cast<double>(df_[id]));
   }
 }
 
-TfIdfModel::TfIdfModel(std::unordered_map<std::string, int> document_frequency,
-                       size_t corpus_size, size_t q)
-    : q_(q),
-      corpus_size_(corpus_size),
-      document_frequency_(std::move(document_frequency)) {}
-
 int TfIdfModel::DocumentFrequency(std::string_view gram) const {
-  auto it = document_frequency_.find(std::string(gram));
-  return it == document_frequency_.end() ? 0 : it->second;
+  return DocumentFrequencyById(dict_->Find(gram));
 }
 
 double TfIdfModel::Idf(std::string_view gram) const {
-  int n = DocumentFrequency(gram);
-  if (n <= 0 || corpus_size_ == 0) return 0.0;
-  return std::log2(static_cast<double>(corpus_size_) / static_cast<double>(n));
+  return IdfById(dict_->Find(gram));
 }
 
 std::unordered_map<std::string, double> TfIdfModel::WeightVector(

@@ -87,6 +87,36 @@ TEST(RunBudgetTest, GenerousDeadlineDoesNotTrip) {
   EXPECT_TRUE(budget.ChargePostings(1));
 }
 
+TEST(RunBudgetTest, ConcurrentChargingLosesNoWorkAndTripsOneAxis) {
+  // The search's workers charge the shared budget concurrently: the relaxed
+  // counters must still account for every unit, and the sticky CAS must
+  // record exactly one tripped axis.
+  BudgetLimits limits;
+  limits.max_postings_scanned = 1000;
+  RunBudget budget(limits);
+  constexpr int kThreads = 8;
+  constexpr int kChargesPerThread = 500;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&budget] {
+      for (int i = 0; i < kChargesPerThread; ++i) {
+        (void)budget.ChargePostings(1);
+        (void)budget.ChargePairs();
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(budget.postings_scanned(),
+            static_cast<uint64_t>(kThreads) * kChargesPerThread);
+  EXPECT_EQ(budget.pairs_aligned(),
+            static_cast<uint64_t>(kThreads) * kChargesPerThread);
+  EXPECT_TRUE(budget.Exhausted());
+  // Only the postings axis has a cap, so it must be the recorded trip no
+  // matter which thread crossed it.
+  EXPECT_EQ(budget.trip(), BudgetTrip::kPostings);
+}
+
 TEST(RunBudgetTest, TripNames) {
   EXPECT_STREQ(BudgetTripName(BudgetTrip::kNone), "none");
   EXPECT_STREQ(BudgetTripName(BudgetTrip::kWallClock), "wall-clock");

@@ -2,7 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <tuple>
+#include <vector>
+
 #include "core/matcher.h"
+#include "core/report.h"
 #include "datagen/datasets.h"
 
 namespace mcsm::core {
@@ -256,6 +261,109 @@ TEST(SearchTest, StatsAreRecorded) {
   EXPECT_GT(result->stats.recipes_built, 0u);
   EXPECT_GT(result->stats.pairs_scored, 0u);
   EXPECT_GT(result->stats.total_seconds(), 0.0);
+}
+
+// Determinism contract of the parallel pipeline: the same input must yield
+// byte-identical results for every thread count (workers fill pre-sized
+// slots merged in index order — see DESIGN.md). `seconds` fields are the
+// only permitted difference, so snapshots exclude them.
+struct RunSnapshot {
+  std::string formula;
+  size_t start_column = 0;
+  std::vector<std::tuple<size_t, std::string, size_t, double>> iterations;
+  size_t covered = 0;
+  std::string report;
+
+  bool operator==(const RunSnapshot&) const = default;
+};
+
+RunSnapshot SnapshotRun(const datagen::Dataset& data, SearchOptions options,
+                        size_t threads) {
+  options.num_threads = threads;
+  auto d = DiscoverTranslation(data.source, data.target, data.target_column,
+                               options);
+  EXPECT_TRUE(d.ok()) << d.status();
+  RunSnapshot snap;
+  if (!d.ok()) return snap;
+  snap.formula = d->formula().ToString(data.source.schema());
+  snap.start_column = d->search.start_column;
+  for (const auto& it : d->search.iterations) {
+    snap.iterations.emplace_back(it.chosen_column, it.formula, it.support,
+                                 it.score);
+  }
+  snap.covered = d->coverage.matched_rows();
+  snap.report = EvaluateTranslation(d->formula(), data.source, data.target,
+                                    data.target_column)
+                    .ToString();
+  return snap;
+}
+
+TEST(SearchParallelTest, CitationRunIsIdenticalAcrossThreadCounts) {
+  datagen::CitationOptions o;
+  o.rows = 3000;
+  auto data = datagen::MakeCitationDataset(o);
+  SearchOptions so;
+  so.sample_fraction = 0.02;
+  RunSnapshot one = SnapshotRun(data, so, 1);
+  RunSnapshot two = SnapshotRun(data, so, 2);
+  RunSnapshot eight = SnapshotRun(data, so, 8);
+  EXPECT_EQ(one, two);
+  EXPECT_EQ(one, eight);
+  EXPECT_FALSE(one.formula.empty());
+}
+
+TEST(SearchParallelTest, MergedNamesRunIsIdenticalAcrossThreadCounts) {
+  datagen::MergedNamesOptions o;
+  o.rows = 4000;
+  o.distinct_names = 800;
+  auto data = datagen::MakeMergedNamesDataset(o);
+  RunSnapshot one = SnapshotRun(data, FastOptions(), 1);
+  RunSnapshot two = SnapshotRun(data, FastOptions(), 2);
+  RunSnapshot eight = SnapshotRun(data, FastOptions(), 8);
+  EXPECT_EQ(one, two);
+  EXPECT_EQ(one, eight);
+  EXPECT_EQ(one.formula, "first[1-n]last[1-n]");
+}
+
+TEST(SearchParallelTest, BudgetTruncationTripsTheSameAxisAtAnyThreadCount) {
+  datagen::CitationOptions o;
+  o.rows = 3000;
+  auto data = datagen::MakeCitationDataset(o);
+  for (size_t threads : {1u, 2u, 8u}) {
+    SearchOptions so;
+    so.sample_fraction = 0.02;
+    so.num_threads = threads;
+    // Only the postings axis is capped, so it is the only axis that can
+    // trip; where exactly the trip lands may vary with scheduling, the
+    // recorded axis must not.
+    so.budget.max_postings_scanned = 2000;
+    TranslationSearch search(data.source, data.target, data.target_column, so);
+    auto result = search.Run();
+    ASSERT_TRUE(result.ok()) << result.status();
+    EXPECT_TRUE(result->truncated) << threads;
+    EXPECT_EQ(result->budget_trip, BudgetTrip::kPostings) << threads;
+    EXPECT_EQ(search.budget().trip(), BudgetTrip::kPostings);
+  }
+}
+
+TEST(SearchParallelTest, StepwiseScoresAreIdenticalAcrossThreadCounts) {
+  datagen::UserIdOptions o;
+  o.rows = 1000;
+  auto data = datagen::MakeUserIdDataset(o);
+  std::vector<std::vector<double>> per_thread_scores;
+  for (size_t threads : {1u, 2u, 8u}) {
+    SearchOptions so = FastOptions();
+    so.num_threads = threads;
+    TranslationSearch search(data.source, data.target, 0, so);
+    std::vector<double> scores;
+    auto col = search.SelectStartColumn(&scores);
+    ASSERT_TRUE(col.ok());
+    per_thread_scores.push_back(std::move(scores));
+  }
+  // Bitwise equality, not tolerance: the merge order fixes the float
+  // accumulation order.
+  EXPECT_EQ(per_thread_scores[0], per_thread_scores[1]);
+  EXPECT_EQ(per_thread_scores[0], per_thread_scores[2]);
 }
 
 }  // namespace
