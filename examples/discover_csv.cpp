@@ -11,8 +11,12 @@
 // rule (Section 7). --permissive skips malformed CSV rows (reporting how
 // many were dropped) instead of rejecting the file; --deadline-ms bounds the
 // search wall-clock — on expiry the best partial formula found so far is
-// printed, marked TRUNCATED. Without arguments, writes a small demo pair of
-// CSV files and runs on those.
+// printed, marked TRUNCATED. Ctrl-C during the search does the same thing:
+// the SIGINT handler trips the run budget (one atomic CAS, async-signal-safe)
+// and the search stops at its next check, printing the best partial formula
+// instead of dying with nothing. Without arguments, writes a small demo pair
+// of CSV files and runs on those.
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -32,6 +36,17 @@ namespace {
 int Fail(const Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
   return 1;
+}
+
+// SIGINT cancellation: the handler may only touch async-signal-safe state;
+// RunBudget::Cancel() is a single atomic compare-and-swap, so tripping the
+// search's budget from here is legal. The search then stops at its next
+// cooperative budget check and returns the best partial formula, which the
+// normal TRUNCATED path prints (budget axis: "cancelled").
+RunBudget* g_interrupt_budget = nullptr;
+
+void HandleInterrupt(int /*sig*/) {
+  if (g_interrupt_budget != nullptr) g_interrupt_budget->Cancel();
 }
 
 int RunDemo() {
@@ -110,6 +125,19 @@ int RealMain(int argc, const char** argv) {
 
   core::SqlEmitter::Options sql_options;
   sql_options.source_table = "t1";
+
+  // Route the deadline (if any) through a budget we also hand to the SIGINT
+  // handler, so Ctrl-C and --deadline-ms share the truncated-partial path.
+  RunBudget budget(options.budget);
+  options.shared_budget = &budget;
+  g_interrupt_budget = &budget;
+  std::signal(SIGINT, HandleInterrupt);
+  struct InterruptScope {
+    ~InterruptScope() {
+      std::signal(SIGINT, SIG_DFL);
+      g_interrupt_budget = nullptr;  // budget dies with this scope
+    }
+  } interrupt_scope;
 
   if (!all) {
     auto d = core::DiscoverTranslation(*source, *target, *column, options,

@@ -1,0 +1,153 @@
+// The discovery service daemon:
+//
+//   mcsm_serve [--port N] [--port-file PATH] [--workers N]
+//              [--job-workers N] [--max-queue N] [--cache-mb N]
+//              [--preload NAME=FILE.csv]...
+//
+// Serves the embedded HTTP API on 127.0.0.1 (see README "Serving"):
+// register CSV tables, submit discovery jobs with a per-job deadline_ms,
+// poll job state, scrape /metrics. --port 0 binds an ephemeral port;
+// --port-file writes the bound port to PATH so scripts (the CI smoke test)
+// can find it. --preload registers tables at startup without a client.
+//
+// SIGTERM/SIGINT drain gracefully: stop accepting, finish in-flight and
+// queued jobs, then exit 0. A second signal exits immediately.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "common/string_util.h"
+#include "service/http.h"
+#include "service/service.h"
+
+using namespace mcsm;
+
+namespace {
+
+volatile std::sig_atomic_t g_shutdown = 0;
+
+void HandleSignal(int /*sig*/) {
+  if (g_shutdown) _exit(130);  // second signal: hard exit
+  g_shutdown = 1;
+}
+
+int Fail(const char* what, const Status& status) {
+  std::fprintf(stderr, "error: %s: %s\n", what, status.ToString().c_str());
+  return 1;
+}
+
+Result<std::string> SlurpFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::NotFound(StrFormat("cannot open %s", path.c_str()));
+  }
+  std::string out;
+  char buffer[1 << 16];
+  size_t n = 0;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+    out.append(buffer, n);
+  }
+  std::fclose(f);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int port = 8080;
+  std::string port_file;
+  size_t http_workers = 4;
+  service::DiscoveryService::Options service_options;
+  std::vector<std::pair<std::string, std::string>> preloads;
+
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
+      port = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--port-file") == 0 && i + 1 < argc) {
+      port_file = argv[++i];
+    } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
+      http_workers = static_cast<size_t>(std::atol(argv[++i]));
+    } else if (std::strcmp(argv[i], "--job-workers") == 0 && i + 1 < argc) {
+      service_options.job_workers = static_cast<size_t>(std::atol(argv[++i]));
+    } else if (std::strcmp(argv[i], "--max-queue") == 0 && i + 1 < argc) {
+      service_options.max_queue = static_cast<size_t>(std::atol(argv[++i]));
+    } else if (std::strcmp(argv[i], "--cache-mb") == 0 && i + 1 < argc) {
+      service_options.cache_bytes =
+          static_cast<size_t>(std::atol(argv[++i])) * 1024 * 1024;
+    } else if (std::strcmp(argv[i], "--preload") == 0 && i + 1 < argc) {
+      std::string spec = argv[++i];
+      size_t eq = spec.find('=');
+      if (eq == std::string::npos || eq == 0 || eq + 1 >= spec.size()) {
+        std::fprintf(stderr, "--preload wants NAME=FILE.csv, got '%s'\n",
+                     spec.c_str());
+        return 2;
+      }
+      preloads.emplace_back(spec.substr(0, eq), spec.substr(eq + 1));
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--port N] [--port-file PATH] [--workers N] "
+                   "[--job-workers N] [--max-queue N] [--cache-mb N] "
+                   "[--preload NAME=FILE.csv]...\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  service::DiscoveryService discovery(service_options);
+  for (const auto& [name, path] : preloads) {
+    auto csv = SlurpFile(path);
+    if (!csv.ok()) return Fail("preload", csv.status());
+    auto entry = discovery.registry().RegisterCsv(name, csv.value());
+    if (!entry.ok()) return Fail(path.c_str(), entry.status());
+    std::printf("preloaded '%s' from %s: %zu rows, %zu columns\n",
+                name.c_str(), path.c_str(), entry.value().rows,
+                entry.value().columns);
+  }
+
+  service::HttpServer::Options http_options;
+  http_options.port = port;
+  http_options.workers = http_workers;
+  service::HttpServer server(
+      http_options,
+      [&discovery](const service::HttpRequest& request) {
+        return discovery.Handle(request);
+      });
+  if (Status st = server.Start(); !st.ok()) return Fail("start", st);
+
+  if (!port_file.empty()) {
+    std::FILE* f = std::fopen(port_file.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write --port-file %s\n", port_file.c_str());
+      return 1;
+    }
+    std::fprintf(f, "%d\n", server.port());
+    std::fclose(f);
+  }
+
+  struct sigaction action {};
+  action.sa_handler = HandleSignal;
+  sigaction(SIGTERM, &action, nullptr);
+  sigaction(SIGINT, &action, nullptr);
+
+  std::printf("mcsm_serve listening on 127.0.0.1:%d "
+              "(%zu http workers, %zu job workers, queue %zu)\n",
+              server.port(), http_workers, service_options.job_workers,
+              service_options.max_queue);
+  std::fflush(stdout);
+
+  while (!g_shutdown) {
+    pause();  // signals wake us
+  }
+
+  std::printf("draining: stopping listener, finishing jobs...\n");
+  std::fflush(stdout);
+  server.Shutdown();          // stop accepting, finish in-flight requests
+  discovery.jobs().Drain();   // queued + running jobs reach a terminal state
+  std::printf("drained; bye\n");
+  return 0;
+}

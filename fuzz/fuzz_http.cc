@@ -1,0 +1,55 @@
+// Fuzz harness for the service's HTTP request parser and JSON codec
+// (service/http.h, service/json.h): arbitrary bytes must either parse or
+// come back as an error Status — never crash, hang, or read out of bounds.
+// A successfully parsed request re-serializes its invariants (method
+// uppercase, path absolute, body within limits); successfully parsed JSON
+// must survive a Dump/Parse round trip.
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "common/check.h"
+#include "service/http.h"
+#include "service/json.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  if (size > (64u << 10)) return 0;  // keep iterations fast
+  std::string_view bytes(reinterpret_cast<const char*>(data), size);
+
+  // --- HTTP request parsing -----------------------------------------------
+  mcsm::service::HttpLimits limits;
+  limits.max_head_bytes = 8 * 1024;
+  limits.max_body_bytes = 32 * 1024;
+  size_t head_end = mcsm::service::FindHeadEnd(bytes);
+  MCSM_CHECK(head_end <= bytes.size());
+  if (head_end > 0) {
+    auto request =
+        mcsm::service::ParseHttpRequest(bytes, head_end, limits);
+    if (request.ok()) {
+      MCSM_CHECK(!request->method.empty());
+      for (char c : request->method) {
+        MCSM_CHECK(c >= 'A' && c <= 'Z');
+      }
+      MCSM_CHECK(!request->path.empty() && request->path[0] == '/');
+      MCSM_CHECK(request->headers.size() <= limits.max_headers);
+      MCSM_CHECK(request->body.size() <= limits.max_body_bytes);
+      // A parsed request always re-serializes into a response-sized echo
+      // without tripping anything.
+      mcsm::service::HttpResponse response;
+      response.body = request->body;
+      std::string wire = mcsm::service::SerializeResponse(response);
+      MCSM_CHECK(wire.size() >= request->body.size());
+    }
+  }
+
+  // --- JSON round trip ----------------------------------------------------
+  auto json = mcsm::service::Json::Parse(bytes);
+  if (json.ok()) {
+    std::string dumped = json->Dump();
+    auto reparsed = mcsm::service::Json::Parse(dumped);
+    MCSM_CHECK(reparsed.ok()) << "dump not reparseable: " << dumped;
+    MCSM_CHECK(reparsed->Dump() == dumped) << "round trip unstable";
+  }
+  return 0;
+}

@@ -14,6 +14,8 @@ const char* BudgetTripName(BudgetTrip trip) {
       return "pairs";
     case BudgetTrip::kFormulas:
       return "formulas";
+    case BudgetTrip::kCancelled:
+      return "cancelled";
   }
   return "unknown";
 }

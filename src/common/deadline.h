@@ -14,6 +14,7 @@ enum class BudgetTrip : uint8_t {
   kPostings,    ///< posting-entry scan cap reached (index retrieval)
   kPairs,       ///< pair-alignment cap reached (recipes built)
   kFormulas,    ///< candidate-formula cap reached
+  kCancelled,   ///< RunBudget::Cancel() called (job cancellation, Ctrl-C)
 };
 
 /// Human-readable axis name ("wall-clock", "postings", ...).
@@ -88,6 +89,13 @@ class RunBudget {
   /// True once any axis has tripped. Checks the wall clock (cheap: one
   /// steady_clock read when a deadline is set), so it is safe in loop heads.
   bool Exhausted();
+
+  /// Trips the budget with BudgetTrip::kCancelled: the owning run stops at
+  /// its next cooperative check and returns its best partial result tagged
+  /// truncated. Safe to call from any thread — and from a signal handler: it
+  /// is one atomic compare-and-swap, nothing else. Sticky like every other
+  /// trip; cancelling an already-tripped budget keeps the first axis.
+  void Cancel() { TripOnce(BudgetTrip::kCancelled); }
 
   /// The first axis that tripped, without re-reading the clock.
   BudgetTrip trip() const { return trip_.load(std::memory_order_relaxed); }

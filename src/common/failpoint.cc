@@ -39,7 +39,7 @@ Registry& GetRegistry() {
 
 constexpr const char* kAllSites[] = {
     kCsvRead, kCsvWrite, kIndexSimilar, kIndexPattern, kSamplerSample,
-    kSqlExecute,
+    kSqlExecute, kServiceAccept, kServiceJob,
 };
 
 bool IsRegisteredSite(std::string_view site) {

@@ -37,6 +37,8 @@ inline constexpr const char* kIndexSimilar = "index.similar";
 inline constexpr const char* kIndexPattern = "index.pattern";
 inline constexpr const char* kSamplerSample = "sampler.sample";
 inline constexpr const char* kSqlExecute = "sql.execute";
+inline constexpr const char* kServiceAccept = "service.accept";
+inline constexpr const char* kServiceJob = "service.job";
 
 /// All registered sites (for chaos-suite enumeration).
 std::vector<std::string> RegisteredSites();

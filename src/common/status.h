@@ -21,6 +21,7 @@ enum class StatusCode {
   kParseError,
   kTypeError,
   kInternal,
+  kResourceExhausted,
 };
 
 /// Returns a human-readable name for a status code ("OK", "InvalidArgument"...).
@@ -75,6 +76,11 @@ class [[nodiscard]] Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  /// A bounded resource (queue slot, byte budget) is full right now; the
+  /// caller may retry later. The service layer maps this to HTTP 429.
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
@@ -91,6 +97,9 @@ class [[nodiscard]] Status {
   bool IsParseError() const { return code() == StatusCode::kParseError; }
   bool IsTypeError() const { return code() == StatusCode::kTypeError; }
   bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsResourceExhausted() const {
+    return code() == StatusCode::kResourceExhausted;
+  }
 
   /// Renders as "OK" or "<CodeName>: <message>".
   std::string ToString() const;

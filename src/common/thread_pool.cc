@@ -1,5 +1,6 @@
 #include "common/thread_pool.h"
 
+#include <algorithm>
 #include <atomic>
 #include <memory>
 
@@ -17,6 +18,14 @@ ThreadPool::ThreadPool(size_t num_threads) {
     // Tasks must not throw (class contract); an escaping exception would
     // cross the thread boundary and terminate, which is the intended
     // fail-fast behaviour — hence the suppressed escape warning.
+    workers_.emplace_back([this] { WorkerLoop(); });  // NOLINT(bugprone-exception-escape)
+  }
+}
+
+ThreadPool::ThreadPool(Background background) {
+  size_ = std::max<size_t>(background.workers, 1);
+  workers_.reserve(size_);
+  for (size_t i = 0; i < size_; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });  // NOLINT(bugprone-exception-escape)
   }
 }

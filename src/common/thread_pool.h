@@ -24,6 +24,16 @@ class ThreadPool {
   /// `num_threads` == 0 picks std::thread::hardware_concurrency() (at least
   /// 1 when that reports 0).
   explicit ThreadPool(size_t num_threads = 0);
+
+  /// Tag selecting the background-only shape used by the service's job
+  /// manager: all threads are spawned workers, the caller never runs tasks
+  /// inline, and Submit() is therefore always asynchronous (an HTTP handler
+  /// must enqueue a discovery job, not execute it on the accept path).
+  struct Background {
+    size_t workers = 1;
+  };
+  explicit ThreadPool(Background background);
+
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -32,7 +42,8 @@ class ThreadPool {
   /// Total threads that run ParallelFor bodies (workers + the caller).
   size_t size() const { return size_; }
 
-  /// Enqueues one task. Runs it inline when the pool has no workers.
+  /// Enqueues one task. Runs it inline when the pool has no workers (never
+  /// the case for a Background pool, which always spawns its workers).
   void Submit(std::function<void()> task);
 
   /// Runs fn(0) ... fn(n-1) on the calling thread plus the workers and

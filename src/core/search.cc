@@ -37,12 +37,25 @@ TranslationSearch::TranslationSearch(const relational::Table& source,
       target_column_(target_column),
       options_(options),
       budget_(options_.budget),
+      active_budget_(options_.shared_budget != nullptr ? options_.shared_budget
+                                                       : &budget_),
       source_indexes_(source.num_columns()) {
-  relational::ColumnIndex::Options idx_options;
-  idx_options.q = options_.q;
-  idx_options.build_postings = true;
-  target_index_ = std::make_unique<relational::ColumnIndex>(
-      target_, target_column_, idx_options);
+  // A cached target index is accepted only when it is interchangeable with
+  // the one this search would build: same q, postings present, same column
+  // arity. Anything else falls back to a local build rather than erroring —
+  // a stale cache must never change results.
+  if (options_.target_index != nullptr &&
+      options_.target_index->q() == options_.q &&
+      options_.target_index->postings_built() &&
+      options_.target_index->column() == target_column_) {
+    target_index_ = options_.target_index;
+  } else {
+    relational::ColumnIndex::Options idx_options;
+    idx_options.q = options_.q;
+    idx_options.build_postings = true;
+    target_index_ = std::make_shared<relational::ColumnIndex>(
+        target_, target_column_, idx_options);
+  }
 
   if (options_.detect_separators) {
     separator_template_ = SeparatorDetector::Detect(target_, target_column_);
@@ -68,10 +81,18 @@ ThreadPool& TranslationSearch::pool() {
 
 const relational::ColumnIndex& TranslationSearch::SourceIndex(size_t column) {
   if (!source_indexes_[column]) {
+    if (options_.source_index_provider) {
+      auto cached = options_.source_index_provider(column);
+      if (cached != nullptr && cached->q() == options_.q &&
+          cached->column() == column) {
+        source_indexes_[column] = std::move(cached);
+        return *source_indexes_[column];
+      }
+    }
     relational::ColumnIndex::Options idx_options;
     idx_options.q = options_.q;
     idx_options.build_postings = false;
-    source_indexes_[column] = std::make_unique<relational::ColumnIndex>(
+    source_indexes_[column] = std::make_shared<relational::ColumnIndex>(
         source_, column, idx_options);
   }
   return *source_indexes_[column];
@@ -101,7 +122,7 @@ std::vector<std::string> TranslationSearch::SampleKeys(size_t column) {
 std::vector<size_t> TranslationSearch::SampleSourceRows(size_t column) {
   const auto& index = SourceIndex(column);
   size_t t = SampleCount(index.distinct_count());
-  return relational::SampleRows(source_.num_rows(), t, &budget_);
+  return relational::SampleRows(source_.num_rows(), t, active_budget_);
 }
 
 Result<std::vector<uint32_t>> TranslationSearch::SimilarTargetRows(
@@ -111,10 +132,10 @@ Result<std::vector<uint32_t>> TranslationSearch::SimilarTargetRows(
   if (options_.pair_mode == SearchOptions::PairScoreMode::kTfIdf) {
     scored = target_index_->SimilarRows(key, options_.pair_score_threshold,
                                         options_.top_r_pairs, separator_chars_,
-                                        &budget_);
+                                        active_budget_);
   } else {
     scored = target_index_->SimilarRowsByCount(
-        key, options_.pair_score_threshold, options_.top_r_pairs, &budget_);
+        key, options_.pair_score_threshold, options_.top_r_pairs, active_budget_);
   }
   *pairs_scored += scored.size();
   std::vector<uint32_t> rows;
@@ -131,13 +152,13 @@ void TranslationSearch::VoteRecipe(std::string_view key,
   text::RecipeAlignment alignment = text::AlignLcsAnchored(
       key, target, &mask, text::EditCosts{}, options_.lcs_tie_break);
   ++batch->recipes_built;
-  (void)budget_.ChargePairs();
+  (void)active_budget_->ChargePairs();
   auto formulas_or = BuildFormulasFromRecipe(
       target, fixed, alignment, key_column, key.size(),
       options_.max_variants_per_recipe, target_index_->fixed_width());
   if (!formulas_or.ok()) return;  // malformed recipe: skipped vote (see recipe.h)
   std::vector<TranslationFormula>& formulas = *formulas_or;
-  (void)budget_.ChargeFormulas(formulas.size());
+  (void)active_budget_->ChargeFormulas(formulas.size());
   // Votes are weighted by the number of characters the recipe explains: a
   // k-character serendipitous match is exponentially less probable than a
   // 1-character one (the same decay Eq. 1 models by raising to the power q),
@@ -197,7 +218,7 @@ Result<size_t> TranslationSearch::SelectStartColumn(
   // column order below, so the choice is identical for every thread count.
   std::vector<double> column_scores(text_columns.size(), 0.0);
   pool().ParallelFor(text_columns.size(), [&](size_t i) {
-    if (budget_.Exhausted()) return;
+    if (active_budget_->Exhausted()) return;
     const size_t col = text_columns[i];
     ColumnScorer::Options scorer_options;
     scorer_options.mode = options_.count_mode;
@@ -263,7 +284,7 @@ Result<std::vector<TranslationFormula>> TranslationSearch::BuildInitialFormulas(
     // stays serial (it charges the budget in a deterministic order).
     std::vector<std::pair<std::string_view, uint32_t>> pairs;
     for (size_t row : SampleSourceRows(column)) {
-      if (budget_.Exhausted()) break;
+      if (active_budget_->Exhausted()) break;
       std::string_view key = source_.CellText(row, column);
       if (key.empty()) continue;
       if (row >= linkage_.size() || linkage_[row] == kNoLink) continue;
@@ -271,14 +292,14 @@ Result<std::vector<TranslationFormula>> TranslationSearch::BuildInitialFormulas(
     }
     batches.resize(pairs.size());
     pool().ParallelFor(pairs.size(), [&](size_t i) {
-      if (budget_.Exhausted()) return;
+      if (active_budget_->Exhausted()) return;
       vote_pair(pairs[i].first, pairs[i].second, &batches[i]);
     });
   } else {
     std::vector<std::string> keys = SampleKeys(column);
     batches.resize(keys.size());
     pool().ParallelFor(keys.size(), [&](size_t i) {
-      if (budget_.Exhausted()) return;
+      if (active_budget_->Exhausted()) return;
       const std::string& key = keys[i];
       if (key.empty()) return;
       VoteBatch& batch = batches[i];
@@ -380,10 +401,10 @@ Result<bool> TranslationSearch::RefineOnce(TranslationFormula* formula,
   // processed in parallel, one slot each, merged in sample order below.
   size_t t = SampleCount(source_.num_rows());
   std::vector<size_t> sampled =
-      relational::SampleRows(source_.num_rows(), t, &budget_);
+      relational::SampleRows(source_.num_rows(), t, active_budget_);
   std::vector<VoteBatch> batches(sampled.size());
   pool().ParallelFor(sampled.size(), [&](size_t slot) {
-    if (budget_.Exhausted()) return;
+    if (active_budget_->Exhausted()) return;
     const size_t row = sampled[slot];
     VoteBatch& batch = batches[slot];
     auto pattern = formula->BuildPattern(source_, row);
@@ -398,7 +419,7 @@ Result<bool> TranslationSearch::RefineOnce(TranslationFormula* formula,
         }
       }
     } else {
-      target_rows = target_index_->RowsMatchingPattern(*pattern, &budget_);
+      target_rows = target_index_->RowsMatchingPattern(*pattern, active_budget_);
     }
 
     // Per-candidate fixed coverage (shared by all columns); invalid captures
@@ -553,8 +574,8 @@ Result<bool> TranslationSearch::RefineOnce(TranslationFormula* formula,
 
 SearchResult TranslationSearch::TruncatedResult(SearchResult attempt) {
   attempt.truncated = true;
-  attempt.budget_trip = budget_.trip();
-  stats_.postings_scanned = static_cast<size_t>(budget_.postings_scanned());
+  attempt.budget_trip = active_budget_->trip();
+  stats_.postings_scanned = static_cast<size_t>(active_budget_->postings_scanned());
   attempt.stats = stats_;
   return attempt;
 }
@@ -565,7 +586,7 @@ Result<SearchResult> TranslationSearch::Run() {
   if (!start_column_or.ok()) {
     // Anytime contract: a budget trip never surfaces as an error — return
     // whatever was found so far (here: nothing) tagged truncated.
-    if (budget_.Exhausted()) return TruncatedResult(SearchResult{});
+    if (active_budget_->Exhausted()) return TruncatedResult(SearchResult{});
     return start_column_or.status();
   }
 
@@ -595,7 +616,7 @@ Result<SearchResult> TranslationSearch::Run() {
   bool have_attempt = false;
   Status last_error = Status::NotFound("no start column produced a formula");
   for (size_t start_column : start_columns) {
-    if (budget_.Exhausted()) break;
+    if (active_budget_->Exhausted()) break;
     auto initial_formulas = BuildInitialFormulas(
         start_column, std::max<size_t>(1, options_.initial_candidates));
     if (!initial_formulas.ok()) {
@@ -603,13 +624,13 @@ Result<SearchResult> TranslationSearch::Run() {
       continue;
     }
     for (const TranslationFormula& initial : *initial_formulas) {
-      if (budget_.Exhausted()) break;
+      if (active_budget_->Exhausted()) break;
       SearchResult attempt;
       attempt.start_column = start_column;
       attempt.formula = initial;
       for (size_t iter = 0;
            iter < options_.max_iterations && !attempt.formula.IsComplete() &&
-           !budget_.Exhausted();
+           !active_budget_->Exhausted();
            ++iter) {
         IterationInfo info;
         MCSM_ASSIGN_OR_RETURN(bool improved,
@@ -628,7 +649,7 @@ Result<SearchResult> TranslationSearch::Run() {
         // when the budget tripped on the way: nothing was cut short that a
         // longer run would have improved.
         stats_.postings_scanned =
-            static_cast<size_t>(budget_.postings_scanned());
+            static_cast<size_t>(active_budget_->postings_scanned());
         attempt.stats = stats_;
         return attempt;
       }
@@ -639,12 +660,12 @@ Result<SearchResult> TranslationSearch::Run() {
       }
     }
   }
-  if (budget_.Exhausted()) {
+  if (active_budget_->Exhausted()) {
     return TruncatedResult(have_attempt ? std::move(best_attempt)
                                         : SearchResult{});
   }
   if (!have_attempt) return last_error;
-  stats_.postings_scanned = static_cast<size_t>(budget_.postings_scanned());
+  stats_.postings_scanned = static_cast<size_t>(active_budget_->postings_scanned());
   best_attempt.stats = stats_;
   return best_attempt;
 }

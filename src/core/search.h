@@ -1,6 +1,7 @@
 #ifndef MCSM_CORE_SEARCH_H_
 #define MCSM_CORE_SEARCH_H_
 
+#include <functional>
 #include <limits>
 #include <map>
 #include <memory>
@@ -136,6 +137,34 @@ struct SearchOptions {
   /// semantics) instead of erroring. The deadline clock starts when the
   /// TranslationSearch is constructed, so index building counts against it.
   BudgetLimits budget;
+
+  // --- Job-facing entry points (the discovery service) ---------------------
+  // The service runs many searches against the same tables, so the expensive
+  // artifacts are injected instead of rebuilt, and every job needs an
+  // external handle for cooperative cancellation. One-shot callers leave all
+  // three fields default and nothing changes.
+
+  /// When set, the search charges and checks THIS budget instead of
+  /// constructing its own from `budget` (which is then ignored). The owner —
+  /// the service's job manager, or discover_csv's Ctrl-C handler — can call
+  /// RunBudget::Cancel() from another thread (or a signal handler) and the
+  /// search stops at its next budget check, returning the best partial
+  /// formula tagged truncated with BudgetTrip::kCancelled. Must outlive the
+  /// search; not owned.
+  RunBudget* shared_budget = nullptr;
+
+  /// Prebuilt index over the target column (the service's index cache). Used
+  /// when its q matches `q` and it has postings; otherwise the search builds
+  /// its own as usual. Shared ownership keeps a cache-evicted index alive
+  /// for the duration of the job.
+  std::shared_ptr<const relational::ColumnIndex> target_index;
+
+  /// Cache hook for per-source-column indexes (built without postings).
+  /// Called at most once per column on first use; returning nullptr — or an
+  /// index with the wrong q — falls back to a local build. The provider is
+  /// invoked from worker threads and must be thread-safe.
+  std::function<std::shared_ptr<const relational::ColumnIndex>(size_t)>
+      source_index_provider;
 };
 
 /// One refinement iteration's outcome (Algorithm 5 pass).
@@ -245,8 +274,10 @@ class TranslationSearch {
   const SearchStats& stats() const { return stats_; }
   const relational::ColumnIndex& target_index() const { return *target_index_; }
 
-  /// The run budget (counters + trip state) for this search.
-  const RunBudget& budget() const { return budget_; }
+  /// The run budget (counters + trip state) for this search — the caller's
+  /// SearchOptions::shared_budget when one was injected, else the internally
+  /// owned budget built from SearchOptions::budget.
+  const RunBudget& budget() const { return *active_budget_; }
 
   /// Applies a complete formula to every source row, greedily pairing each
   /// produced value with an unused matching target row.
@@ -319,10 +350,17 @@ class TranslationSearch {
   SearchOptions options_;
   SearchStats stats_;
   RunBudget budget_;
+  /// options_.shared_budget when set, else &budget_. Every charge and
+  /// Exhausted() check in the pipeline goes through this pointer, so an
+  /// external owner tripping the shared budget (deadline or Cancel()) is the
+  /// cooperative cancellation point of the whole search.
+  RunBudget* active_budget_ = nullptr;
 
   std::unique_ptr<ThreadPool> pool_;
-  std::unique_ptr<relational::ColumnIndex> target_index_;
-  std::vector<std::unique_ptr<relational::ColumnIndex>> source_indexes_;
+  /// const + shared: query methods are thread-safe, and shared ownership
+  /// lets the service's index cache hand out one index to many jobs.
+  std::shared_ptr<const relational::ColumnIndex> target_index_;
+  std::vector<std::shared_ptr<const relational::ColumnIndex>> source_indexes_;
   std::optional<relational::SearchPattern> separator_template_;
   std::string separator_chars_;
   std::vector<size_t> linkage_;

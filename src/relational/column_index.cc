@@ -108,6 +108,26 @@ int ColumnIndex::DocumentFrequency(std::string_view gram) const {
   return tfidf_->DocumentFrequencyById(dict_->Find(gram));
 }
 
+size_t ColumnIndex::ApproxMemoryBytes() const {
+  size_t bytes = sizeof(*this);
+  for (const std::string& value : sorted_distinct_) {
+    bytes += sizeof(std::string) + value.capacity();
+  }
+  bytes += postings_.capacity() * sizeof(std::vector<Posting>);
+  for (const std::vector<Posting>& plist : postings_) {
+    bytes += plist.capacity() * sizeof(Posting);
+  }
+  if (dict_ != nullptr) {
+    // Per interned gram: the gram bytes (usually SSO'd into the string), the
+    // string object, one hash-map slot, and the df (int) + idf (double)
+    // vector entries owned by the tf-idf model.
+    bytes += dict_->size() *
+             (sizeof(std::string) + std::max(options_.q, sizeof(void*)) +
+              2 * sizeof(void*) + sizeof(int) + sizeof(double));
+  }
+  return bytes;
+}
+
 const std::vector<ColumnIndex::Posting>* ColumnIndex::postings(
     std::string_view gram) const {
   const uint32_t id = dict_->Find(gram);

@@ -54,6 +54,16 @@ class ColumnIndex {
   size_t q() const { return options_.q; }
   size_t row_count() const { return row_count_; }
   size_t column() const { return col_; }
+  /// True when the row-level inverted index was built (Options::build_postings).
+  bool postings_built() const { return options_.build_postings; }
+
+  /// Rough heap footprint of this index in bytes: distinct-value strings,
+  /// posting lists, the interning dictionary, and the tf-idf df/idf vectors.
+  /// The estimate is stable across calls (nothing here grows after
+  /// construction), which is what the service's byte-budgeted LRU cache
+  /// charges per entry. Deliberately an estimate: exact malloc accounting is
+  /// allocator-specific and not worth plumbing.
+  size_t ApproxMemoryBytes() const;
 
   /// Number of distinct non-null values.
   size_t distinct_count() const { return sorted_distinct_.size(); }

@@ -138,6 +138,13 @@ Result<Table> ReadCsv(std::string_view text, const CsvOptions& options,
   if (report == nullptr) report = &local_report;
   *report = CsvReadReport{};
 
+  // Strip a UTF-8 byte-order mark: spreadsheet exports routinely prepend
+  // EF BB BF, which would otherwise glue itself onto the first column name
+  // ("\xEF\xBB\xBFid" != "id" in every later lookup).
+  if (text.size() >= 3 && text.substr(0, 3) == "\xEF\xBB\xBF") {
+    text.remove_prefix(3);
+  }
+
   CsvReader reader(text, options.delimiter);
   if (reader.AtEnd()) {
     return Status::InvalidArgument("empty CSV input (no header row)");

@@ -1,0 +1,257 @@
+#include "service/job_manager.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "common/failpoint.h"
+#include "common/string_util.h"
+
+namespace mcsm::service {
+
+const char* JobStateName(JobState state) {
+  switch (state) {
+    case JobState::kQueued:
+      return "queued";
+    case JobState::kRunning:
+      return "running";
+    case JobState::kDone:
+      return "done";
+    case JobState::kFailed:
+      return "failed";
+    case JobState::kCancelled:
+      return "cancelled";
+  }
+  return "unknown";
+}
+
+JobManager::JobManager(const TableRegistry* registry, IndexCache* cache,
+                       Options options)
+    : registry_(registry),
+      cache_(cache),
+      options_(options),
+      pool_(ThreadPool::Background{std::max<size_t>(options.workers, 1)}) {}
+
+JobManager::~JobManager() { Drain(); }
+
+Result<uint64_t> JobManager::Submit(JobRequest request) {
+  TableEntry source = registry_->Find(request.source_table);
+  if (source.table == nullptr) {
+    return Status::NotFound(
+        StrFormat("source table '%s' is not registered",
+                  request.source_table.c_str()));
+  }
+  TableEntry target = registry_->Find(request.target_table);
+  if (target.table == nullptr) {
+    return Status::NotFound(
+        StrFormat("target table '%s' is not registered",
+                  request.target_table.c_str()));
+  }
+  if (request.target_column >= target.table->num_columns()) {
+    return Status::InvalidArgument(
+        StrFormat("target column %zu out of range (table has %zu columns)",
+                  request.target_column, target.table->num_columns()));
+  }
+  if (request.deadline_ms < 0) {
+    return Status::InvalidArgument("deadline_ms must be >= 0");
+  }
+
+  uint64_t id = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (queued_ >= options_.max_queue) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      return Status::ResourceExhausted(
+          StrFormat("job queue full (%zu queued); retry later",
+                    queued_));
+    }
+    id = next_id_++;
+    auto job = std::make_unique<Job>();
+    job->id = id;
+    job->request = std::move(request);
+    job->source = std::move(source);
+    job->target = std::move(target);
+    jobs_.emplace(id, std::move(job));
+    ++queued_;
+    ++active_;
+  }
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  pool_.Submit([this, id] { RunJob(id); });
+  return id;
+}
+
+bool JobManager::Cancel(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) return false;
+  Job* job = it->second.get();
+  job->cancel_requested = true;
+  if (job->state == JobState::kRunning && job->budget != nullptr) {
+    job->budget->Cancel();  // search stops at its next budget check
+  }
+  // Queued jobs flip to kCancelled when their pool task fires (RunJob sees
+  // the flag before doing any work); terminal jobs ignore the flag.
+  return true;
+}
+
+Result<JobSnapshot> JobManager::Get(uint64_t id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    return Status::NotFound(StrFormat("no job with id %llu",
+                                      static_cast<unsigned long long>(id)));
+  }
+  return SnapshotLocked(*it->second);
+}
+
+std::vector<JobSnapshot> JobManager::List() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<JobSnapshot> out;
+  out.reserve(jobs_.size());
+  for (const auto& [id, job] : jobs_) out.push_back(SnapshotLocked(*job));
+  std::sort(out.begin(), out.end(),
+            [](const JobSnapshot& a, const JobSnapshot& b) {
+              return a.id < b.id;
+            });
+  return out;
+}
+
+void JobManager::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  drained_cv_.wait(lock, [this] { return active_ == 0; });
+}
+
+JobSnapshot JobManager::SnapshotLocked(const Job& job) const {
+  if (job.state == JobState::kDone || job.state == JobState::kFailed ||
+      job.state == JobState::kCancelled) {
+    return job.result;  // terminal snapshot was sealed at transition
+  }
+  JobSnapshot snapshot;
+  snapshot.id = job.id;
+  snapshot.state = job.state;
+  snapshot.source_table = job.request.source_table;
+  snapshot.target_table = job.request.target_table;
+  snapshot.target_column = job.request.target_column;
+  return snapshot;
+}
+
+void JobManager::FinishLocked(Job* job, JobState terminal) {
+  job->state = terminal;
+  job->result.state = terminal;
+  job->result.run_seconds = job->run_seconds;
+  switch (terminal) {
+    case JobState::kDone:
+      completed_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case JobState::kFailed:
+      failed_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case JobState::kCancelled:
+      cancelled_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    default:
+      break;
+  }
+  --active_;
+  if (active_ == 0) drained_cv_.notify_all();
+}
+
+void JobManager::RunJob(uint64_t id) {
+  std::shared_ptr<const relational::Table> source_table;
+  std::shared_ptr<const relational::Table> target_table;
+  core::SearchOptions options;
+  size_t target_column = 0;
+  RunBudget* budget = nullptr;
+  uint64_t source_fp = 0;
+  uint64_t target_fp = 0;
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = jobs_.find(id);
+    if (it == jobs_.end()) return;
+    Job* job = it->second.get();
+    --queued_;
+    if (job->cancel_requested) {
+      job->result = SnapshotLocked(*job);
+      FinishLocked(job, JobState::kCancelled);
+      return;
+    }
+    job->state = JobState::kRunning;
+    BudgetLimits limits;
+    limits.wall_ms = job->request.deadline_ms;
+    job->budget = std::make_unique<RunBudget>(limits);
+    budget = job->budget.get();
+    source_table = job->source.table;
+    target_table = job->target.table;
+    source_fp = job->source.fingerprint;
+    target_fp = job->target.fingerprint;
+    options = job->request.options;
+    target_column = job->request.target_column;
+  }
+
+  const auto started = std::chrono::steady_clock::now();
+  auto seal = [&](auto&& fill, JobState terminal) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = jobs_.find(id);
+    if (it == jobs_.end()) return;
+    Job* job = it->second.get();
+    job->run_seconds = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - started)
+                           .count();
+    job->result = SnapshotLocked(*job);
+    fill(&job->result);
+    FinishLocked(job, terminal);
+  };
+
+  // Chaos site: MCSM_FAILPOINTS=service.job=error makes jobs fail cleanly
+  // (state kFailed, error populated, server keeps serving); delay:Nms models
+  // slow jobs to exercise queue backpressure and deadline trips.
+  if (Status st = failpoint::Trigger(failpoint::kServiceJob); !st.ok()) {
+    seal([&](JobSnapshot* r) { r->error = st.message(); }, JobState::kFailed);
+    return;
+  }
+
+  options.shared_budget = budget;
+  relational::ColumnIndex::Options target_index_options;
+  target_index_options.q = options.q;
+  target_index_options.build_postings = true;
+  options.target_index = cache_->GetOrBuild(target_table, target_fp,
+                                            target_column,
+                                            target_index_options);
+  options.source_index_provider =
+      [this, source_table, source_fp,
+       q = options.q](size_t column)
+      -> std::shared_ptr<const relational::ColumnIndex> {
+    relational::ColumnIndex::Options source_index_options;
+    source_index_options.q = q;
+    source_index_options.build_postings = false;
+    return cache_->GetOrBuild(source_table, source_fp, column,
+                              source_index_options);
+  };
+
+  auto discovered = core::DiscoverTranslation(*source_table, *target_table,
+                                              target_column, options);
+  if (!discovered.ok()) {
+    seal([&](JobSnapshot* r) { r->error = discovered.status().message(); },
+         JobState::kFailed);
+    return;
+  }
+  const core::DiscoveredTranslation& translation = discovered.value();
+  const bool was_cancelled =
+      translation.truncated() &&
+      translation.search.budget_trip == BudgetTrip::kCancelled;
+  seal(
+      [&](JobSnapshot* r) {
+        r->formula =
+            translation.formula().ToString(source_table->schema());
+        r->sql = translation.sql;
+        r->matched_rows = translation.coverage.matched_rows();
+        r->truncated = translation.truncated();
+        if (translation.truncated()) {
+          r->budget_trip = BudgetTripName(translation.search.budget_trip);
+        }
+      },
+      was_cancelled ? JobState::kCancelled : JobState::kDone);
+}
+
+}  // namespace mcsm::service

@@ -1,0 +1,168 @@
+#ifndef MCSM_SERVICE_JOB_MANAGER_H_
+#define MCSM_SERVICE_JOB_MANAGER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/deadline.h"
+#include "common/result.h"
+#include "common/thread_pool.h"
+#include "core/matcher.h"
+#include "service/registry.h"
+
+namespace mcsm::service {
+
+/// Lifecycle of one discovery job. Terminal states: done, failed, cancelled.
+/// A deadline_ms trip is NOT failed — the job lands in kDone with
+/// truncated=true and the best partial formula (anytime semantics).
+enum class JobState : uint8_t {
+  kQueued,
+  kRunning,
+  kDone,
+  kFailed,
+  kCancelled,
+};
+
+const char* JobStateName(JobState state);
+
+/// What a client submits: which registered tables to match and how long the
+/// run may take. `options` carries the search knobs; its budget/shared_budget
+/// fields are overwritten by the manager (deadline_ms is the one public
+/// latency control).
+struct JobRequest {
+  std::string source_table;
+  std::string target_table;
+  size_t target_column = 0;
+  /// Wall-clock execution budget in milliseconds, mapped onto RunBudget
+  /// (0 = unlimited). Measured from the moment the job starts RUNNING, so a
+  /// queued job does not burn its budget waiting for a worker.
+  int64_t deadline_ms = 0;
+  core::SearchOptions options;
+};
+
+/// Immutable view of a job for handlers: everything GET /jobs/{id} renders.
+struct JobSnapshot {
+  uint64_t id = 0;
+  JobState state = JobState::kQueued;
+  std::string source_table;
+  std::string target_table;
+  size_t target_column = 0;
+  /// Valid in kDone.
+  std::string formula;
+  std::string sql;
+  size_t matched_rows = 0;
+  bool truncated = false;
+  std::string budget_trip;  ///< axis name when truncated ("wall-clock", ...)
+  /// Valid in kFailed.
+  std::string error;
+  double run_seconds = 0;  ///< execution time (0 until the job ran)
+};
+
+/// \brief Async discovery-job manager: a bounded queue in front of a
+/// Background thread pool, with per-job RunBudget for deadlines and
+/// cooperative cancellation.
+///
+/// Backpressure: Submit rejects with ResourceExhausted (HTTP 429) once
+/// `max_queue` jobs are queued-not-yet-running. Running jobs don't count —
+/// the pool bounds those at `workers` — so total admitted-but-unfinished
+/// work is workers + max_queue.
+///
+/// Cancellation: a queued job flips straight to kCancelled; a running job
+/// gets its RunBudget tripped (one CAS) and stops at the search's next
+/// budget check, landing in kCancelled with whatever partial it had. Either
+/// way Cancel returns immediately.
+class JobManager {
+ public:
+  struct Options {
+    size_t workers = 2;
+    size_t max_queue = 16;
+  };
+
+  /// `registry` and `cache` must outlive the manager; both may be shared
+  /// with the HTTP handlers.
+  JobManager(const TableRegistry* registry, IndexCache* cache,
+             Options options);
+
+  /// Drains: queued jobs still run to completion before destruction returns
+  /// (the pool destructor finishes its queue). Cancel first for a fast exit.
+  ~JobManager();
+
+  JobManager(const JobManager&) = delete;
+  JobManager& operator=(const JobManager&) = delete;
+
+  /// Validates the request (tables exist, target column in range) and
+  /// enqueues it. Returns the job id, or ResourceExhausted when the queue is
+  /// full (map to 429), or NotFound/InvalidArgument for bad requests.
+  Result<uint64_t> Submit(JobRequest request);
+
+  /// Requests cancellation; returns false for unknown ids, true otherwise
+  /// (including jobs already terminal, where it is a no-op).
+  bool Cancel(uint64_t id);
+
+  /// Snapshot for GET /jobs/{id}; NotFound for unknown ids.
+  Result<JobSnapshot> Get(uint64_t id) const;
+
+  std::vector<JobSnapshot> List() const;
+
+  /// Blocks until every submitted job is terminal (SIGTERM drain).
+  void Drain();
+
+  /// Monotonic counters for /metrics.
+  uint64_t submitted() const { return submitted_.load(); }
+  uint64_t rejected() const { return rejected_.load(); }
+  uint64_t completed() const { return completed_.load(); }
+  uint64_t failed() const { return failed_.load(); }
+  uint64_t cancelled() const { return cancelled_.load(); }
+
+ private:
+  struct Job {
+    uint64_t id = 0;
+    JobState state = JobState::kQueued;
+    JobRequest request;
+    // Tables resolved at submit time, so a later re-registration of the
+    // name cannot change what this job runs against.
+    TableEntry source;
+    TableEntry target;
+    bool cancel_requested = false;
+    std::unique_ptr<RunBudget> budget;  ///< created when the job starts
+    JobSnapshot result;                 ///< filled at terminal transition
+    double run_seconds = 0;
+  };
+
+  void RunJob(uint64_t id);
+  /// Builds the snapshot under mu_.
+  JobSnapshot SnapshotLocked(const Job& job) const;
+  /// Terminal bookkeeping under mu_ (counter + drain wakeup).
+  void FinishLocked(Job* job, JobState terminal);
+
+  const TableRegistry* registry_;
+  IndexCache* cache_;
+  Options options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable drained_cv_;
+  std::unordered_map<uint64_t, std::unique_ptr<Job>> jobs_;
+  uint64_t next_id_ = 1;
+  size_t queued_ = 0;    ///< jobs admitted but not yet running
+  size_t active_ = 0;    ///< jobs not yet terminal (queued + running)
+
+  std::atomic<uint64_t> submitted_{0};
+  std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> completed_{0};
+  std::atomic<uint64_t> failed_{0};
+  std::atomic<uint64_t> cancelled_{0};
+
+  // Declared last: its destructor drains the task queue while the fields
+  // above are still alive for the running tasks.
+  ThreadPool pool_;
+};
+
+}  // namespace mcsm::service
+
+#endif  // MCSM_SERVICE_JOB_MANAGER_H_

@@ -1,0 +1,86 @@
+#ifndef MCSM_SERVICE_JSON_H_
+#define MCSM_SERVICE_JSON_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+
+namespace mcsm::service {
+
+/// \brief Minimal JSON value: parser + serializer for the service's
+/// request/response bodies. Dependency-free by design (the container bakes in
+/// no JSON library) and small on purpose: the service exchanges flat objects
+/// of strings, numbers and booleans, not arbitrary documents.
+///
+/// Representation notes:
+///  - numbers are doubles (like JavaScript); integral values serialize
+///    without a decimal point so ids and counts round-trip cleanly.
+///  - objects preserve insertion order (responses render deterministically,
+///    which the determinism tests rely on); key lookup is linear — fine for
+///    the handful of keys a request carries.
+///  - parsing enforces a nesting-depth cap so the fuzzer cannot overflow the
+///    stack with ten thousand '['s.
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  /// Null by default.
+  Json() = default;
+
+  static Json Bool(bool b);
+  static Json Number(double n);
+  static Json Str(std::string s);
+  static Json Array();
+  static Json Object();
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_object() const { return type_ == Type::kObject; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_string() const { return type_ == Type::kString; }
+
+  /// Scalar accessors with a fallback for wrong-type/absent values, so
+  /// handlers read optional fields in one line.
+  bool AsBool(bool fallback) const;
+  double AsNumber(double fallback) const;
+  std::string AsString(std::string fallback) const;
+
+  /// Array access. at() requires i < size().
+  size_t size() const { return array_.size(); }
+  const Json& at(size_t i) const { return array_[i]; }
+  void Append(Json value);
+
+  /// Object access: pointer to the member value, or nullptr when this is not
+  /// an object or has no such key.
+  const Json* Find(std::string_view key) const;
+  /// Sets (or replaces) an object member.
+  void Set(std::string key, Json value);
+
+  /// Compact serialization (no whitespace). Strings escape the two mandatory
+  /// characters, control characters, and nothing else — UTF-8 passes through.
+  std::string Dump() const;
+
+  /// Parses one JSON document; trailing non-whitespace is an error.
+  static Result<Json> Parse(std::string_view text);
+
+  /// Maximum container nesting Parse accepts.
+  static constexpr size_t kMaxDepth = 64;
+
+ private:
+  void DumpTo(std::string* out) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  std::vector<Json> array_;
+  std::vector<std::pair<std::string, Json>> object_;
+};
+
+}  // namespace mcsm::service
+
+#endif  // MCSM_SERVICE_JSON_H_

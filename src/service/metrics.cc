@@ -1,0 +1,38 @@
+#include "service/metrics.h"
+
+#include "common/string_util.h"
+
+namespace mcsm::service {
+
+void LatencyHistogram::Record(uint64_t elapsed_ms) {
+  size_t slot = kBoundsMs.size();  // overflow bucket by default
+  for (size_t i = 0; i < kBoundsMs.size(); ++i) {
+    if (elapsed_ms <= kBoundsMs[i]) {
+      slot = i;
+      break;
+    }
+  }
+  buckets_[slot].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_ms_.fetch_add(elapsed_ms, std::memory_order_relaxed);
+}
+
+void LatencyHistogram::Render(const std::string& name,
+                              std::string* out) const {
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < kBoundsMs.size(); ++i) {
+    cumulative += buckets_[i].load(std::memory_order_relaxed);
+    *out += StrFormat("%s_ms_le_%llu %llu\n", name.c_str(),
+                      static_cast<unsigned long long>(kBoundsMs[i]),
+                      static_cast<unsigned long long>(cumulative));
+  }
+  cumulative += buckets_[kBoundsMs.size()].load(std::memory_order_relaxed);
+  *out += StrFormat("%s_ms_le_inf %llu\n", name.c_str(),
+                    static_cast<unsigned long long>(cumulative));
+  *out += StrFormat("%s_ms_count %llu\n", name.c_str(),
+                    static_cast<unsigned long long>(count()));
+  *out += StrFormat("%s_ms_sum %llu\n", name.c_str(),
+                    static_cast<unsigned long long>(sum_ms()));
+}
+
+}  // namespace mcsm::service

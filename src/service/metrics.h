@@ -1,0 +1,41 @@
+#ifndef MCSM_SERVICE_METRICS_H_
+#define MCSM_SERVICE_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace mcsm::service {
+
+/// \brief Fixed-bucket latency histogram, lock-free on the record path.
+///
+/// Buckets are upper bounds in milliseconds; an observation lands in the
+/// first bucket whose bound it does not exceed, with a +Inf overflow bucket
+/// at the end. Rendering is cumulative (Prometheus-style "le" semantics) so
+/// scrapers can derive quantiles without the service taking a stance.
+class LatencyHistogram {
+ public:
+  static constexpr std::array<uint64_t, 12> kBoundsMs = {
+      1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000};
+
+  void Record(uint64_t elapsed_ms);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum_ms() const { return sum_ms_.load(std::memory_order_relaxed); }
+
+  /// Appends text-format lines: one "<name>_ms_le_<bound> <cumulative>" per
+  /// bucket (plus _inf), then "<name>_ms_count" and "<name>_ms_sum".
+  void Render(const std::string& name, std::string* out) const;
+
+ private:
+  // One extra slot for the +Inf overflow bucket.
+  std::array<std::atomic<uint64_t>, kBoundsMs.size() + 1> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_ms_{0};
+};
+
+}  // namespace mcsm::service
+
+#endif  // MCSM_SERVICE_METRICS_H_

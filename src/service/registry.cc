@@ -1,0 +1,167 @@
+#include "service/registry.h"
+
+#include <algorithm>
+#include <limits>
+#include <mutex>
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace mcsm::service {
+
+uint64_t FingerprintBytes(std::string_view bytes) {
+  uint64_t h = 1469598103934665603ull;  // FNV offset basis
+  for (char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;  // FNV prime
+  }
+  return h;
+}
+
+Result<TableEntry> TableRegistry::RegisterCsv(
+    const std::string& name, std::string_view csv_text,
+    const relational::CsvOptions& options) {
+  if (name.empty()) {
+    return Status::InvalidArgument("table name must be non-empty");
+  }
+  const uint64_t fingerprint = FingerprintBytes(csv_text);
+  {
+    std::shared_lock lock(mu_);
+    auto it = tables_.find(name);
+    if (it != tables_.end() && it->second.fingerprint == fingerprint) {
+      return it->second;  // byte-identical re-registration: no reparse
+    }
+  }
+
+  relational::CsvReadReport report;
+  MCSM_ASSIGN_OR_RETURN(relational::Table parsed,
+                        relational::ReadCsv(csv_text, options, &report));
+  TableEntry entry;
+  entry.name = name;
+  entry.fingerprint = fingerprint;
+  entry.table =
+      std::make_shared<const relational::Table>(std::move(parsed));
+  entry.rows = entry.table->num_rows();
+  entry.columns = entry.table->num_columns();
+  entry.rows_dropped = report.rows_dropped;
+
+  std::unique_lock lock(mu_);
+  tables_[name] = entry;  // replaces any previous binding for the name
+  return entry;
+}
+
+TableEntry TableRegistry::Find(const std::string& name) const {
+  std::shared_lock lock(mu_);
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return TableEntry{};
+  return it->second;
+}
+
+std::vector<TableEntry> TableRegistry::List() const {
+  std::shared_lock lock(mu_);
+  std::vector<TableEntry> out;
+  out.reserve(tables_.size());
+  for (const auto& [name, entry] : tables_) out.push_back(entry);
+  std::sort(out.begin(), out.end(),
+            [](const TableEntry& a, const TableEntry& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+size_t TableRegistry::size() const {
+  std::shared_lock lock(mu_);
+  return tables_.size();
+}
+
+IndexCache::IndexCache(size_t byte_budget) : byte_budget_(byte_budget) {}
+
+namespace {
+
+std::string CacheKey(uint64_t fingerprint, size_t column,
+                     const relational::ColumnIndex::Options& options) {
+  return StrFormat("%016llx/c%zu/q%zu/p%d",
+                   static_cast<unsigned long long>(fingerprint), column,
+                   options.q, options.build_postings ? 1 : 0);
+}
+
+}  // namespace
+
+std::shared_ptr<const relational::ColumnIndex> IndexCache::GetOrBuild(
+    const std::shared_ptr<const relational::Table>& table,
+    uint64_t fingerprint, size_t column,
+    const relational::ColumnIndex::Options& options) {
+  if (table == nullptr || column >= table->num_columns()) return nullptr;
+  const std::string key = CacheKey(fingerprint, column, options);
+  {
+    std::shared_lock lock(mu_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      // LRU touch without the exclusive lock: a relaxed store of a fresh
+      // global sequence number. Ties/races between concurrent hits only
+      // perturb eviction order among entries touched in the same instant.
+      it->second->last_used.store(
+          use_clock_.fetch_add(1, std::memory_order_relaxed) + 1,
+          std::memory_order_relaxed);
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second->index;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+
+  // Build outside any lock: index construction is the expensive part and
+  // must not serialize unrelated cache reads.
+  auto entry = std::make_unique<Entry>();
+  entry->table = table;
+  entry->index = std::make_shared<const relational::ColumnIndex>(
+      *table, column, options);
+  entry->bytes = entry->index->ApproxMemoryBytes();
+  entry->last_used.store(use_clock_.fetch_add(1, std::memory_order_relaxed) + 1,
+                         std::memory_order_relaxed);
+
+  std::unique_lock lock(mu_);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    // Lost the build race; adopt the winner and drop our copy.
+    return it->second->index;
+  }
+  bytes_ += entry->bytes;
+  auto index = entry->index;
+  entries_.emplace(key, std::move(entry));
+  EvictUnderLock();
+  return index;
+}
+
+void IndexCache::EvictUnderLock() {
+  // Evict lowest last-used until the budget holds. The newest entry is
+  // always the freshest sequence number, so a single oversized insert evicts
+  // everything else and then stops (entries_.size() > 1 guard).
+  while (bytes_ > byte_budget_ && entries_.size() > 1) {
+    auto victim = entries_.end();
+    uint64_t oldest = std::numeric_limits<uint64_t>::max();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      uint64_t used = it->second->last_used.load(std::memory_order_relaxed);
+      if (used < oldest) {
+        oldest = used;
+        victim = it;
+      }
+    }
+    if (victim == entries_.end()) break;
+    bytes_ -= victim->second->bytes;
+    entries_.erase(victim);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+IndexCacheStats IndexCache::stats() const {
+  IndexCacheStats stats;
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.evictions = evictions_.load(std::memory_order_relaxed);
+  std::shared_lock lock(mu_);
+  stats.bytes = bytes_;
+  stats.entries = entries_.size();
+  return stats;
+}
+
+}  // namespace mcsm::service

@@ -1,0 +1,123 @@
+#ifndef MCSM_SERVICE_REGISTRY_H_
+#define MCSM_SERVICE_REGISTRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/column_index.h"
+#include "relational/csv.h"
+#include "relational/table.h"
+
+namespace mcsm::service {
+
+/// FNV-1a over raw bytes — the content fingerprint that keys both table
+/// dedup and the index cache. Not cryptographic; collisions would only cost
+/// a spurious cache share between tables an operator uploaded with identical
+/// 64-bit fingerprints, which FNV makes vanishingly unlikely for this
+/// workload (dozens of tables, not billions).
+uint64_t FingerprintBytes(std::string_view bytes);
+
+/// One registered table, as returned to handlers and listings.
+struct TableEntry {
+  std::string name;
+  uint64_t fingerprint = 0;
+  std::shared_ptr<const relational::Table> table;
+  size_t rows = 0;
+  size_t columns = 0;
+  size_t rows_dropped = 0;  ///< permissive-CSV rows skipped at registration
+};
+
+/// \brief Named table store for the service. Tables are immutable once
+/// registered (shared_ptr<const Table>); re-registering a name with
+/// byte-identical content is a no-op returning the existing entry, while new
+/// content replaces the binding (in-flight jobs keep the old table alive
+/// through their shared_ptr). The registry never evicts — tables are the
+/// operator's working set; only derived indexes face a byte budget.
+class TableRegistry {
+ public:
+  /// Parses `csv_text` and registers it under `name`. Fingerprint-identical
+  /// re-registration returns the existing entry without reparsing.
+  Result<TableEntry> RegisterCsv(const std::string& name,
+                                 std::string_view csv_text,
+                                 const relational::CsvOptions& options = {});
+
+  /// nullopt-style lookup: empty entry (null table) when the name is absent.
+  TableEntry Find(const std::string& name) const;
+
+  std::vector<TableEntry> List() const;
+  size_t size() const;
+
+ private:
+  mutable std::shared_mutex mu_;
+  std::unordered_map<std::string, TableEntry> tables_;
+};
+
+/// Cache observability counters (monotonic; read by GET /metrics).
+struct IndexCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t bytes = 0;    ///< current charged bytes
+  uint64_t entries = 0;  ///< current entry count
+};
+
+/// \brief Byte-budgeted memoization of ColumnIndex builds, keyed by
+/// (table fingerprint, column, q, postings). The hot path — a repeat job
+/// against an already-indexed table — takes a shared lock and one relaxed
+/// atomic store; builds happen outside any lock, with a double-checked
+/// insert so concurrent first-users race benignly (one build wins, the
+/// loser's work is dropped).
+///
+/// Eviction is LRU by a global use-clock: entries carry an atomic last-used
+/// sequence number (bumped on hit without taking the exclusive lock), and
+/// inserts evict lowest-sequence entries until the budget holds. Evicted
+/// indexes stay alive for any job still holding the shared_ptr; "evicted"
+/// only means "next user rebuilds".
+class IndexCache {
+ public:
+  /// `byte_budget` caps the sum of ApproxMemoryBytes over cached entries.
+  /// One oversized index still caches (the alternative — rebuilding it for
+  /// every job — is strictly worse); it just evicts everything else.
+  explicit IndexCache(size_t byte_budget);
+
+  /// Returns the cached index for (fingerprint, column, options) or builds,
+  /// inserts and returns it. `table` is retained alongside the index: a
+  /// ColumnIndex references its Table, so cache entries keep their table
+  /// alive even if the registry re-binds the name.
+  std::shared_ptr<const relational::ColumnIndex> GetOrBuild(
+      const std::shared_ptr<const relational::Table>& table,
+      uint64_t fingerprint, size_t column,
+      const relational::ColumnIndex::Options& options);
+
+  IndexCacheStats stats() const;
+
+ private:
+  struct Entry {
+    std::shared_ptr<const relational::Table> table;
+    std::shared_ptr<const relational::ColumnIndex> index;
+    size_t bytes = 0;
+    std::atomic<uint64_t> last_used{0};
+  };
+
+  void EvictUnderLock();
+
+  const size_t byte_budget_;
+  mutable std::shared_mutex mu_;
+  std::unordered_map<std::string, std::unique_ptr<Entry>> entries_;
+  size_t bytes_ = 0;
+  std::atomic<uint64_t> use_clock_{0};
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+};
+
+}  // namespace mcsm::service
+
+#endif  // MCSM_SERVICE_REGISTRY_H_

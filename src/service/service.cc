@@ -1,0 +1,315 @@
+#include "service/service.h"
+
+#include <chrono>
+#include <cstdlib>
+
+#include "common/string_util.h"
+#include "service/json.h"
+
+namespace mcsm::service {
+
+namespace {
+
+HttpResponse JsonResponse(int status, const Json& body) {
+  HttpResponse response;
+  response.status = status;
+  response.body = body.Dump();
+  return response;
+}
+
+Json TableEntryJson(const TableEntry& entry) {
+  Json out = Json::Object();
+  out.Set("name", Json::Str(entry.name));
+  out.Set("fingerprint",
+          Json::Str(StrFormat("%016llx", static_cast<unsigned long long>(
+                                             entry.fingerprint))));
+  out.Set("rows", Json::Number(static_cast<double>(entry.rows)));
+  out.Set("columns", Json::Number(static_cast<double>(entry.columns)));
+  if (entry.rows_dropped > 0) {
+    out.Set("rows_dropped",
+            Json::Number(static_cast<double>(entry.rows_dropped)));
+  }
+  return out;
+}
+
+Json JobSnapshotJson(const JobSnapshot& snapshot) {
+  Json out = Json::Object();
+  out.Set("id", Json::Number(static_cast<double>(snapshot.id)));
+  out.Set("state", Json::Str(JobStateName(snapshot.state)));
+  out.Set("source_table", Json::Str(snapshot.source_table));
+  out.Set("target_table", Json::Str(snapshot.target_table));
+  out.Set("target_column",
+          Json::Number(static_cast<double>(snapshot.target_column)));
+  if (snapshot.state == JobState::kDone ||
+      snapshot.state == JobState::kCancelled) {
+    out.Set("formula", Json::Str(snapshot.formula));
+    out.Set("sql", Json::Str(snapshot.sql));
+    out.Set("matched_rows",
+            Json::Number(static_cast<double>(snapshot.matched_rows)));
+    out.Set("truncated", Json::Bool(snapshot.truncated));
+    if (snapshot.truncated) {
+      out.Set("budget_trip", Json::Str(snapshot.budget_trip));
+    }
+  }
+  if (snapshot.state == JobState::kFailed) {
+    out.Set("error", Json::Str(snapshot.error));
+  }
+  if (snapshot.state != JobState::kQueued &&
+      snapshot.state != JobState::kRunning) {
+    out.Set("run_seconds", Json::Number(snapshot.run_seconds));
+  }
+  return out;
+}
+
+/// Parses the {id} tail of /jobs/{id}; false for empty/non-numeric tails.
+bool ParseJobId(std::string_view tail, uint64_t* id) {
+  if (tail.empty() || tail.size() > 18) return false;
+  uint64_t value = 0;
+  for (char c : tail) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *id = value;
+  return true;
+}
+
+}  // namespace
+
+int HttpStatusFor(const Status& status) {
+  if (status.ok()) return 200;
+  if (status.IsNotFound()) return 404;
+  if (status.IsInvalidArgument() || status.IsParseError()) return 400;
+  if (status.IsResourceExhausted()) return 429;
+  return 500;
+}
+
+std::string ErrorBody(const Status& status) {
+  Json out = Json::Object();
+  out.Set("error", Json::Str(std::string(status.message())));
+  return out.Dump();
+}
+
+DiscoveryService::DiscoveryService(Options options)
+    : options_(options),
+      cache_(options.cache_bytes),
+      jobs_(&registry_, &cache_,
+            JobManager::Options{options.job_workers, options.max_queue}) {}
+
+HttpResponse DiscoveryService::Handle(const HttpRequest& request) {
+  const auto started = std::chrono::steady_clock::now();
+  HttpResponse response = Route(request);
+  const uint64_t elapsed_ms = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - started)
+          .count());
+  if (request.path == "/tables") {
+    tables_latency_.Record(elapsed_ms);
+  } else if (request.path == "/jobs" || request.path.rfind("/jobs/", 0) == 0) {
+    jobs_latency_.Record(elapsed_ms);
+  } else if (request.path == "/metrics") {
+    metrics_latency_.Record(elapsed_ms);
+  } else {
+    other_latency_.Record(elapsed_ms);
+  }
+  requests_total_.fetch_add(1, std::memory_order_relaxed);
+  if (response.status >= 400) {
+    requests_bad_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return response;
+}
+
+HttpResponse DiscoveryService::Route(const HttpRequest& request) {
+  if (request.path == "/healthz") {
+    if (request.method != "GET") {
+      return {405, "application/json", R"({"error":"method not allowed"})"};
+    }
+    Json out = Json::Object();
+    out.Set("status", Json::Str("ok"));
+    return JsonResponse(200, out);
+  }
+  if (request.path == "/metrics") {
+    if (request.method != "GET") {
+      return {405, "application/json", R"({"error":"method not allowed"})"};
+    }
+    HttpResponse response;
+    response.content_type = "text/plain";
+    response.body = RenderMetrics();
+    return response;
+  }
+  if (request.path == "/tables") {
+    if (request.method == "POST") return HandlePostTables(request);
+    if (request.method == "GET") return HandleGetTables();
+    return {405, "application/json", R"({"error":"method not allowed"})"};
+  }
+  if (request.path == "/jobs") {
+    if (request.method == "POST") return HandlePostJobs(request);
+    if (request.method == "GET") return HandleGetJobs();
+    return {405, "application/json", R"({"error":"method not allowed"})"};
+  }
+  if (request.path.rfind("/jobs/", 0) == 0) {
+    uint64_t id = 0;
+    if (!ParseJobId(std::string_view(request.path).substr(6), &id)) {
+      return {400, "application/json", R"({"error":"malformed job id"})"};
+    }
+    return HandleJobById(request, id);
+  }
+  return {404, "application/json", R"({"error":"no such endpoint"})"};
+}
+
+HttpResponse DiscoveryService::HandlePostTables(const HttpRequest& request) {
+  auto parsed = Json::Parse(request.body);
+  if (!parsed.ok()) {
+    return {400, "application/json", ErrorBody(parsed.status())};
+  }
+  const Json& body = parsed.value();
+  if (!body.is_object()) {
+    return {400, "application/json",
+            R"({"error":"request body must be a JSON object"})"};
+  }
+  const Json* name = body.Find("name");
+  const Json* csv = body.Find("csv");
+  if (name == nullptr || !name->is_string() || csv == nullptr ||
+      !csv->is_string()) {
+    return {400, "application/json",
+            R"({"error":"'name' and 'csv' string fields are required"})"};
+  }
+  relational::CsvOptions csv_options;
+  if (const Json* permissive = body.Find("permissive")) {
+    csv_options.permissive = permissive->AsBool(false);
+  }
+  auto entry = registry_.RegisterCsv(name->AsString(""), csv->AsString(""),
+                                     csv_options);
+  if (!entry.ok()) {
+    return {HttpStatusFor(entry.status()), "application/json",
+            ErrorBody(entry.status())};
+  }
+  return JsonResponse(200, TableEntryJson(entry.value()));
+}
+
+HttpResponse DiscoveryService::HandleGetTables() {
+  Json list = Json::Array();
+  for (const TableEntry& entry : registry_.List()) {
+    list.Append(TableEntryJson(entry));
+  }
+  Json out = Json::Object();
+  out.Set("tables", std::move(list));
+  return JsonResponse(200, out);
+}
+
+HttpResponse DiscoveryService::HandlePostJobs(const HttpRequest& request) {
+  auto parsed = Json::Parse(request.body);
+  if (!parsed.ok()) {
+    return {400, "application/json", ErrorBody(parsed.status())};
+  }
+  const Json& body = parsed.value();
+  if (!body.is_object()) {
+    return {400, "application/json",
+            R"({"error":"request body must be a JSON object"})"};
+  }
+  const Json* source = body.Find("source_table");
+  const Json* target = body.Find("target_table");
+  const Json* column = body.Find("target_column");
+  if (source == nullptr || !source->is_string() || target == nullptr ||
+      !target->is_string() || column == nullptr) {
+    return {400, "application/json",
+            R"({"error":"'source_table', 'target_table' and 'target_column' are required"})"};
+  }
+  JobRequest job;
+  job.source_table = source->AsString("");
+  job.target_table = target->AsString("");
+  double column_number = column->AsNumber(-1);
+  if (column_number < 0 || column_number > 1e9 ||
+      column_number != static_cast<double>(
+                           static_cast<uint64_t>(column_number))) {
+    return {400, "application/json",
+            R"({"error":"'target_column' must be a non-negative integer"})"};
+  }
+  job.target_column = static_cast<size_t>(column_number);
+  if (const Json* deadline = body.Find("deadline_ms")) {
+    double ms = deadline->AsNumber(-1);
+    if (ms < 0 || ms > 1e12) {
+      return {400, "application/json",
+              R"({"error":"'deadline_ms' must be a non-negative number"})"};
+    }
+    job.deadline_ms = static_cast<int64_t>(ms);
+  }
+  if (const Json* threads = body.Find("num_threads")) {
+    job.options.num_threads = static_cast<size_t>(threads->AsNumber(0));
+  }
+  if (const Json* separators = body.Find("detect_separators")) {
+    job.options.detect_separators = separators->AsBool(false);
+  }
+
+  auto submitted = jobs_.Submit(std::move(job));
+  if (!submitted.ok()) {
+    return {HttpStatusFor(submitted.status()), "application/json",
+            ErrorBody(submitted.status())};
+  }
+  Json out = Json::Object();
+  out.Set("id", Json::Number(static_cast<double>(submitted.value())));
+  out.Set("state", Json::Str("queued"));
+  return JsonResponse(202, out);
+}
+
+HttpResponse DiscoveryService::HandleGetJobs() {
+  Json list = Json::Array();
+  for (const JobSnapshot& snapshot : jobs_.List()) {
+    list.Append(JobSnapshotJson(snapshot));
+  }
+  Json out = Json::Object();
+  out.Set("jobs", std::move(list));
+  return JsonResponse(200, out);
+}
+
+HttpResponse DiscoveryService::HandleJobById(const HttpRequest& request,
+                                             uint64_t id) {
+  if (request.method == "GET") {
+    auto snapshot = jobs_.Get(id);
+    if (!snapshot.ok()) {
+      return {HttpStatusFor(snapshot.status()), "application/json",
+              ErrorBody(snapshot.status())};
+    }
+    return JsonResponse(200, JobSnapshotJson(snapshot.value()));
+  }
+  if (request.method == "DELETE") {
+    if (!jobs_.Cancel(id)) {
+      return {404, "application/json", R"({"error":"no such job"})"};
+    }
+    Json out = Json::Object();
+    out.Set("id", Json::Number(static_cast<double>(id)));
+    out.Set("cancel_requested", Json::Bool(true));
+    return JsonResponse(200, out);
+  }
+  return {405, "application/json", R"({"error":"method not allowed"})"};
+}
+
+std::string DiscoveryService::RenderMetrics() const {
+  std::string out;
+  const IndexCacheStats cache_stats = cache_.stats();
+  auto counter = [&out](const char* name, uint64_t value) {
+    out += StrFormat("%s %llu\n", name,
+                     static_cast<unsigned long long>(value));
+  };
+  counter("mcsm_requests_total",
+          requests_total_.load(std::memory_order_relaxed));
+  counter("mcsm_requests_bad",
+          requests_bad_.load(std::memory_order_relaxed));
+  counter("mcsm_tables_registered", registry_.size());
+  counter("mcsm_index_cache_hits", cache_stats.hits);
+  counter("mcsm_index_cache_misses", cache_stats.misses);
+  counter("mcsm_index_cache_evictions", cache_stats.evictions);
+  counter("mcsm_index_cache_bytes", cache_stats.bytes);
+  counter("mcsm_index_cache_entries", cache_stats.entries);
+  counter("mcsm_jobs_submitted", jobs_.submitted());
+  counter("mcsm_jobs_rejected", jobs_.rejected());
+  counter("mcsm_jobs_completed", jobs_.completed());
+  counter("mcsm_jobs_failed", jobs_.failed());
+  counter("mcsm_jobs_cancelled", jobs_.cancelled());
+  tables_latency_.Render("mcsm_http_tables", &out);
+  jobs_latency_.Render("mcsm_http_jobs", &out);
+  metrics_latency_.Render("mcsm_http_metrics", &out);
+  other_latency_.Render("mcsm_http_other", &out);
+  return out;
+}
+
+}  // namespace mcsm::service

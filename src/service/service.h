@@ -1,0 +1,83 @@
+#ifndef MCSM_SERVICE_SERVICE_H_
+#define MCSM_SERVICE_SERVICE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "service/http.h"
+#include "service/job_manager.h"
+#include "service/metrics.h"
+#include "service/registry.h"
+
+namespace mcsm::service {
+
+/// \brief The discovery service: routes HTTP requests onto the table
+/// registry, index cache and job manager, and renders /metrics.
+///
+/// Endpoints (all request/response bodies are JSON unless noted):
+///   POST   /tables      {"name","csv"[,"permissive"]} -> table entry
+///   GET    /tables      -> {"tables":[...]}
+///   POST   /jobs        {"source_table","target_table","target_column"
+///                        [,"deadline_ms"]} -> 202 {"id"} | 429 when full
+///   GET    /jobs        -> {"jobs":[...]}
+///   GET    /jobs/{id}   -> job snapshot (state, formula, truncated, ...)
+///   DELETE /jobs/{id}   -> requests cancellation
+///   GET    /metrics     -> text/plain counters + latency histograms
+///   GET    /healthz     -> {"status":"ok"}
+///
+/// Status mapping: NotFound->404, InvalidArgument/ParseError->400,
+/// ResourceExhausted->429 (queue backpressure), anything else->500. A job
+/// whose deadline trips is NOT an HTTP error: it completes as
+/// state=done, truncated=true.
+class DiscoveryService {
+ public:
+  struct Options {
+    size_t job_workers = 2;
+    size_t max_queue = 16;
+    size_t cache_bytes = 256 * 1024 * 1024;
+  };
+
+  explicit DiscoveryService(Options options);
+
+  /// The HttpServer handler. Thread-safe; called concurrently from the
+  /// server's worker pool.
+  HttpResponse Handle(const HttpRequest& request);
+
+  TableRegistry& registry() { return registry_; }
+  IndexCache& cache() { return cache_; }
+  JobManager& jobs() { return jobs_; }
+
+  /// Renders the /metrics text body (also used by tests directly).
+  std::string RenderMetrics() const;
+
+ private:
+  HttpResponse Route(const HttpRequest& request);
+  HttpResponse HandlePostTables(const HttpRequest& request);
+  HttpResponse HandleGetTables();
+  HttpResponse HandlePostJobs(const HttpRequest& request);
+  HttpResponse HandleGetJobs();
+  HttpResponse HandleJobById(const HttpRequest& request, uint64_t id);
+
+  Options options_;
+  TableRegistry registry_;
+  IndexCache cache_;
+  JobManager jobs_;
+
+  // Per-endpoint request latency (handler time, not socket time).
+  LatencyHistogram tables_latency_;
+  LatencyHistogram jobs_latency_;
+  LatencyHistogram metrics_latency_;
+  LatencyHistogram other_latency_;
+  std::atomic<uint64_t> requests_total_{0};
+  std::atomic<uint64_t> requests_bad_{0};  ///< 4xx/5xx responses
+};
+
+/// Maps a Status to the HTTP code documented on DiscoveryService.
+int HttpStatusFor(const Status& status);
+
+/// Renders {"error": "..."} with proper escaping.
+std::string ErrorBody(const Status& status);
+
+}  // namespace mcsm::service
+
+#endif  // MCSM_SERVICE_SERVICE_H_

@@ -7,7 +7,9 @@
 // leg), so every assertion must hold regardless of which sites the
 // environment arms on top of the programmatic ones.
 
+#include <set>
 #include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -16,6 +18,8 @@
 #include "datagen/datasets.h"
 #include "relational/csv.h"
 #include "relational/database.h"
+#include "service/job_manager.h"
+#include "service/registry.h"
 #include "sql/engine.h"
 
 namespace mcsm {
@@ -120,6 +124,116 @@ TEST_F(ChaosTest, DelayInjectionNeverAltersTheOutcome) {
     // uninjected run (delays only matter once a deadline budget is set).
     EXPECT_EQ(st.ok(), baseline.ok()) << st.ToString();
   }
+}
+
+// Submits `count` identical jobs against a fresh registry + cache + manager
+// and waits for every one to reach a terminal state. Returns those states.
+// Used under failpoint injection: the invariant is that jobs always land
+// somewhere terminal — failed is acceptable under an armed error site,
+// hanging or crashing never is.
+std::vector<service::JobState> RunServiceJobs(size_t count) {
+  const datagen::Dataset& data = ChaosDataset();
+  service::TableRegistry registry;
+  auto source = registry.RegisterCsv("people",
+                                     relational::WriteCsv(data.source));
+  auto target = registry.RegisterCsv("logins",
+                                     relational::WriteCsv(data.target));
+  std::vector<service::JobState> states;
+  if (!source.ok() || !target.ok()) return states;  // csv.read armed: fine
+
+  service::IndexCache cache(64 * 1024 * 1024);
+  service::JobManager manager(&registry, &cache,
+                              {/*workers=*/2, /*max_queue=*/count});
+  std::vector<uint64_t> ids;
+  for (size_t i = 0; i < count; ++i) {
+    service::JobRequest request;
+    request.source_table = "people";
+    request.target_table = "logins";
+    request.target_column = data.target_column;
+    request.options = ChaosSearchOptions();
+    auto id = manager.Submit(request);
+    if (id.ok()) ids.push_back(id.value());
+  }
+  manager.Drain();
+  for (uint64_t id : ids) {
+    auto snapshot = manager.Get(id);
+    if (snapshot.ok()) states.push_back(snapshot->state);
+  }
+  return states;
+}
+
+TEST_F(ChaosTest, ServiceJobsUnderErrorInjectionLandTerminal) {
+  for (const char* spec : {"error:injected", "error@2"}) {
+    SCOPED_TRACE(spec);
+    failpoint::DisarmAll();
+    ASSERT_TRUE(failpoint::Arm(failpoint::kServiceJob, spec).ok());
+    std::vector<service::JobState> states = RunServiceJobs(4);
+    ASSERT_EQ(states.size(), 4u);
+    for (service::JobState state : states) {
+      // Drain returned, so every job is terminal; under service.job error
+      // injection the only legal outcomes are failed (fault fired) or done
+      // (stride skipped this job).
+      EXPECT_TRUE(state == service::JobState::kFailed ||
+                  state == service::JobState::kDone)
+          << service::JobStateName(state);
+    }
+  }
+}
+
+TEST_F(ChaosTest, ServiceJobsUnderSearchFaultsLandTerminal) {
+  // Faults inside the search (index.similar) must surface per-job as failed
+  // or degrade to done — and never wedge the manager.
+  for (const char* spec : {"error:injected", "delay:10ms"}) {
+    SCOPED_TRACE(spec);
+    failpoint::DisarmAll();
+    ASSERT_TRUE(failpoint::Arm(failpoint::kIndexSimilar, spec).ok());
+    std::vector<service::JobState> states = RunServiceJobs(3);
+    ASSERT_EQ(states.size(), 3u);
+    for (service::JobState state : states) {
+      EXPECT_TRUE(state == service::JobState::kFailed ||
+                  state == service::JobState::kDone)
+          << service::JobStateName(state);
+    }
+  }
+}
+
+TEST_F(ChaosTest, ConcurrentServiceJobsAreDeterministic) {
+  // N identical concurrent jobs produce byte-identical formulas — including
+  // under a delay failpoint, which perturbs timing but may not perturb
+  // results.
+  failpoint::DisarmAll();
+  ASSERT_TRUE(failpoint::Arm(failpoint::kIndexSimilar, "delay:1ms").ok());
+  const datagen::Dataset& data = ChaosDataset();
+  service::TableRegistry registry;
+  auto source = registry.RegisterCsv("people",
+                                     relational::WriteCsv(data.source));
+  auto target = registry.RegisterCsv("logins",
+                                     relational::WriteCsv(data.target));
+  ASSERT_TRUE(source.ok());
+  ASSERT_TRUE(target.ok());
+  service::IndexCache cache(64 * 1024 * 1024);
+  service::JobManager manager(&registry, &cache, {4, 8});
+  std::vector<uint64_t> ids;
+  for (int i = 0; i < 6; ++i) {
+    service::JobRequest request;
+    request.source_table = "people";
+    request.target_table = "logins";
+    request.target_column = data.target_column;
+    request.options = ChaosSearchOptions();
+    auto id = manager.Submit(request);
+    ASSERT_TRUE(id.ok()) << id.status().ToString();
+    ids.push_back(id.value());
+  }
+  manager.Drain();
+  std::set<std::string> formulas;
+  for (uint64_t id : ids) {
+    auto snapshot = manager.Get(id);
+    ASSERT_TRUE(snapshot.ok());
+    ASSERT_EQ(snapshot->state, service::JobState::kDone)
+        << snapshot->error;
+    formulas.insert(snapshot->formula);
+  }
+  EXPECT_EQ(formulas.size(), 1u) << "jobs diverged";
 }
 
 TEST_F(ChaosTest, DelayPlusDeadlineYieldsTruncatedNotError) {

@@ -28,6 +28,18 @@ TEST(CsvTest, QuotedFieldMaySpanLines) {
   EXPECT_EQ(table->CellText(0, 0), "line1\nline2");
 }
 
+TEST(CsvTest, Utf8BomStripped) {
+  // Spreadsheet exports prepend EF BB BF; the first column name must not
+  // absorb it.
+  auto table = ReadCsv("\xEF\xBB\xBF" "first,last\nrobert,kerry\n");
+  ASSERT_TRUE(table.ok()) << table.status();
+  EXPECT_EQ(table->schema().column(0).name, "first");
+  EXPECT_TRUE(table->schema().FindColumn("first").has_value());
+  EXPECT_EQ(table->CellText(0, 0), "robert");
+  // A BOM alone is still an empty file.
+  EXPECT_FALSE(ReadCsv("\xEF\xBB\xBF").ok());
+}
+
 TEST(CsvTest, CrlfLineEndings) {
   auto table = ReadCsv("a,b\r\n1,2\r\n3,4\r\n");
   ASSERT_TRUE(table.ok()) << table.status();

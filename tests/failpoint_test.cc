@@ -26,11 +26,12 @@ TEST_F(FailpointTest, DisabledByDefault) {
 TEST_F(FailpointTest, RegisteredSitesListsAllCanonicalNames) {
   auto sites = RegisteredSites();
   for (const char* site : {kCsvRead, kCsvWrite, kIndexSimilar, kIndexPattern,
-                           kSamplerSample, kSqlExecute}) {
+                           kSamplerSample, kSqlExecute, kServiceAccept,
+                           kServiceJob}) {
     EXPECT_NE(std::find(sites.begin(), sites.end(), site), sites.end())
         << site;
   }
-  EXPECT_EQ(sites.size(), 6u);
+  EXPECT_EQ(sites.size(), 8u);
 }
 
 TEST_F(FailpointTest, ArmErrorTriggersInternal) {

@@ -1,0 +1,733 @@
+// Unit and integration coverage for the discovery service subsystem: JSON
+// parse/serialize, the HTTP request parser, the table registry, the
+// byte-budgeted index cache, the async job manager (deadlines, cancellation,
+// backpressure, determinism), the route layer, and one socket-level
+// end-to-end pass through HttpServer.
+
+#include <sys/socket.h>
+#include <netinet/in.h>
+#include <unistd.h>
+
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/failpoint.h"
+#include "core/matcher.h"
+#include "datagen/datasets.h"
+#include "relational/csv.h"
+#include "service/http.h"
+#include "service/job_manager.h"
+#include "service/json.h"
+#include "service/metrics.h"
+#include "service/registry.h"
+#include "service/service.h"
+
+namespace mcsm::service {
+namespace {
+
+// ---------------------------------------------------------------- JSON ----
+
+TEST(JsonTest, DumpsScalarsAndContainers) {
+  Json obj = Json::Object();
+  obj.Set("name", Json::Str("henry"));
+  obj.Set("count", Json::Number(3));
+  obj.Set("ratio", Json::Number(0.5));
+  obj.Set("ok", Json::Bool(true));
+  obj.Set("nothing", Json());
+  Json arr = Json::Array();
+  arr.Append(Json::Number(1));
+  arr.Append(Json::Number(2));
+  obj.Set("items", std::move(arr));
+  EXPECT_EQ(obj.Dump(),
+            R"({"name":"henry","count":3,"ratio":0.5,"ok":true,)"
+            R"("nothing":null,"items":[1,2]})");
+}
+
+TEST(JsonTest, EscapesStrings) {
+  Json s = Json::Str("a\"b\\c\nd\te\x01");
+  EXPECT_EQ(s.Dump(), "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
+}
+
+TEST(JsonTest, IntegralNumbersDumpWithoutDecimalPoint) {
+  EXPECT_EQ(Json::Number(42).Dump(), "42");
+  EXPECT_EQ(Json::Number(-7).Dump(), "-7");
+  EXPECT_EQ(Json::Number(2.5).Dump(), "2.5");
+}
+
+TEST(JsonTest, ParsesRoundTrip) {
+  const std::string text =
+      R"({"a":[1,2.5,-3],"b":{"c":"x","d":true},"e":null,"f":false})";
+  auto parsed = Json::Parse(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->Dump(), text);
+  const Json* a = parsed->Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->size(), 3u);
+  EXPECT_EQ(a->at(1).AsNumber(0), 2.5);
+  const Json* b = parsed->Find("b");
+  ASSERT_NE(b, nullptr);
+  ASSERT_NE(b->Find("c"), nullptr);
+  EXPECT_EQ(b->Find("c")->AsString(""), "x");
+}
+
+TEST(JsonTest, ParsesStringEscapes) {
+  auto parsed = Json::Parse(R"("a\"b\\c\ndAé")");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->AsString(""), "a\"b\\c\ndA\xC3\xA9");
+}
+
+TEST(JsonTest, ParsesSurrogatePair) {
+  auto parsed = Json::Parse(R"("😀")");  // U+1F600
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->AsString(""), "\xF0\x9F\x98\x80");
+  EXPECT_FALSE(Json::Parse(R"("\ud83d")").ok());       // unpaired high
+  EXPECT_FALSE(Json::Parse(R"("\ude00")").ok());       // unpaired low
+  EXPECT_FALSE(Json::Parse(R"("\ud83dxx")").ok());     // no low after high
+}
+
+TEST(JsonTest, RejectsMalformedDocuments) {
+  for (const char* bad :
+       {"", "{", "[1,", "{\"a\"}", "{\"a\":}", "[1 2]", "tru", "01", "1.",
+        "1e", "\"unterminated", "{}x", "nul", "\"\x01\"", "--1", "+1"}) {
+    EXPECT_FALSE(Json::Parse(bad).ok()) << bad;
+  }
+}
+
+TEST(JsonTest, WhitespaceTolerated) {
+  auto parsed = Json::Parse("  {\r\n \"a\" :\t[ 1 , 2 ] }  ");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->Dump(), R"({"a":[1,2]})");
+}
+
+TEST(JsonTest, DepthCapStopsDeepNesting) {
+  std::string deep(Json::kMaxDepth + 8, '[');
+  deep += std::string(Json::kMaxDepth + 8, ']');
+  EXPECT_FALSE(Json::Parse(deep).ok());
+  std::string ok_depth(8, '[');
+  ok_depth += std::string(8, ']');
+  EXPECT_TRUE(Json::Parse(ok_depth).ok());
+}
+
+TEST(JsonTest, SetReplacesExistingKey) {
+  Json obj = Json::Object();
+  obj.Set("k", Json::Number(1));
+  obj.Set("k", Json::Number(2));
+  EXPECT_EQ(obj.Dump(), R"({"k":2})");
+}
+
+// ---------------------------------------------------------------- HTTP ----
+
+HttpLimits TestLimits() { return HttpLimits{}; }
+
+TEST(HttpParserTest, ParsesRequestWithBody) {
+  const std::string raw =
+      "POST /jobs?x=1 HTTP/1.1\r\n"
+      "Host: localhost\r\n"
+      "Content-Type: application/json\r\n"
+      "Content-Length: 4\r\n"
+      "\r\n"
+      "abcd";
+  size_t head_end = FindHeadEnd(raw);
+  ASSERT_GT(head_end, 0u);
+  auto parsed = ParseHttpRequest(raw, head_end, TestLimits());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->method, "POST");
+  EXPECT_EQ(parsed->path, "/jobs");
+  EXPECT_EQ(parsed->query, "x=1");
+  EXPECT_EQ(parsed->Header("content-type"), "application/json");
+  EXPECT_EQ(parsed->Header("host"), "localhost");
+  EXPECT_EQ(parsed->body, "abcd");
+}
+
+TEST(HttpParserTest, HeaderNamesAreCaseFolded) {
+  const std::string raw =
+      "GET / HTTP/1.1\r\nX-ThInG:  padded value \r\n\r\n";
+  auto parsed = ParseHttpRequest(raw, FindHeadEnd(raw), TestLimits());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->Header("x-thing"), "padded value");
+}
+
+TEST(HttpParserTest, RejectsMalformedInput) {
+  auto reject = [](const std::string& raw) {
+    size_t head_end = FindHeadEnd(raw);
+    if (head_end == 0) return true;  // never completes: also a rejection
+    return !ParseHttpRequest(raw, head_end, TestLimits()).ok();
+  };
+  EXPECT_TRUE(reject("GET\r\n\r\n"));                      // no target
+  EXPECT_TRUE(reject("get / HTTP/1.1\r\n\r\n"));           // lowercase method
+  EXPECT_TRUE(reject("GET / HTTP/2.0\r\n\r\n"));           // bad version
+  EXPECT_TRUE(reject("GET relative HTTP/1.1\r\n\r\n"));    // non-absolute
+  EXPECT_TRUE(reject("GET / HTTP/1.1\r\nBad Header: x\r\n\r\n"));
+  EXPECT_TRUE(reject("GET / HTTP/1.1\r\n: empty\r\n\r\n"));
+  EXPECT_TRUE(
+      reject("GET / HTTP/1.1\r\nContent-Length: 12x\r\n\r\n"));
+  EXPECT_TRUE(
+      reject("GET / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"));
+}
+
+TEST(HttpParserTest, EnforcesLimits) {
+  HttpLimits limits;
+  limits.max_headers = 2;
+  const std::string raw =
+      "GET / HTTP/1.1\r\na: 1\r\nb: 2\r\nc: 3\r\n\r\n";
+  EXPECT_FALSE(ParseHttpRequest(raw, FindHeadEnd(raw), limits).ok());
+
+  HttpLimits body_limits;
+  body_limits.max_body_bytes = 2;
+  const std::string big =
+      "POST / HTTP/1.1\r\nContent-Length: 3\r\n\r\nabc";
+  EXPECT_FALSE(ParseHttpRequest(big, FindHeadEnd(big), body_limits).ok());
+}
+
+TEST(HttpParserTest, SerializeResponseIsWellFormed) {
+  HttpResponse response;
+  response.status = 429;
+  response.body = "{}";
+  std::string wire = SerializeResponse(response);
+  EXPECT_NE(wire.find("HTTP/1.1 429 Too Many Requests\r\n"),
+            std::string::npos);
+  EXPECT_NE(wire.find("Content-Length: 2\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("Connection: close\r\n"), std::string::npos);
+  EXPECT_EQ(wire.substr(wire.size() - 2), "{}");
+}
+
+// ------------------------------------------------------------- metrics ----
+
+TEST(MetricsTest, HistogramBucketsAreCumulative) {
+  LatencyHistogram histogram;
+  histogram.Record(1);
+  histogram.Record(3);
+  histogram.Record(40);
+  histogram.Record(999999);  // overflow bucket
+  EXPECT_EQ(histogram.count(), 4u);
+  std::string out;
+  histogram.Render("lat", &out);
+  EXPECT_NE(out.find("lat_ms_le_1 1\n"), std::string::npos);
+  EXPECT_NE(out.find("lat_ms_le_5 2\n"), std::string::npos);
+  EXPECT_NE(out.find("lat_ms_le_50 3\n"), std::string::npos);
+  EXPECT_NE(out.find("lat_ms_le_5000 3\n"), std::string::npos);
+  EXPECT_NE(out.find("lat_ms_le_inf 4\n"), std::string::npos);
+  EXPECT_NE(out.find("lat_ms_count 4\n"), std::string::npos);
+}
+
+// ------------------------------------------------------------ registry ----
+
+TEST(RegistryTest, FingerprintIsStableAndSensitive) {
+  EXPECT_EQ(FingerprintBytes("abc"), FingerprintBytes("abc"));
+  EXPECT_NE(FingerprintBytes("abc"), FingerprintBytes("abd"));
+  EXPECT_NE(FingerprintBytes(""), FingerprintBytes("a"));
+}
+
+TEST(RegistryTest, RegisterFindAndDedup) {
+  TableRegistry registry;
+  auto first = registry.RegisterCsv("t", "a,b\n1,2\n");
+  ASSERT_TRUE(first.ok()) << first.status();
+  EXPECT_EQ(first->rows, 1u);
+  EXPECT_EQ(first->columns, 2u);
+
+  // Identical content: same underlying table object (no reparse).
+  auto again = registry.RegisterCsv("t", "a,b\n1,2\n");
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->table.get(), first->table.get());
+
+  // New content under the same name replaces the binding...
+  auto replaced = registry.RegisterCsv("t", "a,b\n1,2\n3,4\n");
+  ASSERT_TRUE(replaced.ok());
+  EXPECT_EQ(replaced->rows, 2u);
+  EXPECT_NE(replaced->table.get(), first->table.get());
+  // ...while the old shared_ptr keeps the old table alive.
+  EXPECT_EQ(first->table->num_rows(), 1u);
+
+  EXPECT_EQ(registry.Find("t").table.get(), replaced->table.get());
+  EXPECT_EQ(registry.Find("missing").table, nullptr);
+  EXPECT_FALSE(registry.RegisterCsv("", "a\n1\n").ok());
+  EXPECT_FALSE(registry.RegisterCsv("bad", "").ok());
+}
+
+TEST(IndexCacheTest, HitsMissesAndSharing) {
+  TableRegistry registry;
+  auto entry = registry.RegisterCsv("t", "a,b\nhenry,warner\nanna,smith\n");
+  ASSERT_TRUE(entry.ok());
+
+  IndexCache cache(64 * 1024 * 1024);
+  relational::ColumnIndex::Options options;
+  options.q = 2;
+  auto first = cache.GetOrBuild(entry->table, entry->fingerprint, 0, options);
+  ASSERT_NE(first, nullptr);
+  auto second = cache.GetOrBuild(entry->table, entry->fingerprint, 0, options);
+  EXPECT_EQ(first.get(), second.get());
+
+  IndexCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_GT(stats.bytes, 0u);
+
+  // Different column / q / postings are distinct entries.
+  cache.GetOrBuild(entry->table, entry->fingerprint, 1, options);
+  relational::ColumnIndex::Options with_postings = options;
+  with_postings.build_postings = true;
+  cache.GetOrBuild(entry->table, entry->fingerprint, 0, with_postings);
+  EXPECT_EQ(cache.stats().entries, 3u);
+
+  EXPECT_EQ(cache.GetOrBuild(nullptr, 0, 0, options), nullptr);
+  EXPECT_EQ(cache.GetOrBuild(entry->table, entry->fingerprint, 99, options),
+            nullptr);
+}
+
+TEST(IndexCacheTest, EvictsLeastRecentlyUsedUnderByteBudget) {
+  TableRegistry registry;
+  auto entry = registry.RegisterCsv(
+      "t", "a,b,c\nhenry,warner,smith\nanna,jones,brown\n");
+  ASSERT_TRUE(entry.ok());
+
+  relational::ColumnIndex::Options options;
+  options.q = 2;
+  // Budget below two entries: inserting a second evicts the first unless it
+  // was just touched.
+  relational::ColumnIndex probe(*entry->table, 0, options);
+  IndexCache cache(probe.ApproxMemoryBytes() + probe.ApproxMemoryBytes() / 2);
+
+  auto a = cache.GetOrBuild(entry->table, entry->fingerprint, 0, options);
+  auto b = cache.GetOrBuild(entry->table, entry->fingerprint, 1, options);
+  IndexCacheStats stats = cache.stats();
+  EXPECT_GE(stats.evictions, 1u);
+  EXPECT_LE(stats.entries, 2u);
+
+  // The evicted index is still usable by holders of the shared_ptr.
+  ASSERT_NE(a, nullptr);
+  EXPECT_GT(a->distinct_count(), 0u);
+
+  // An oversized single entry still caches (everything else evicts).
+  IndexCache tiny(1);
+  auto c = tiny.GetOrBuild(entry->table, entry->fingerprint, 2, options);
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(tiny.stats().entries, 1u);
+}
+
+// --------------------------------------------------------- job manager ----
+
+class JobManagerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    failpoint::DisarmAll();
+    datagen::UserIdOptions options;
+    options.rows = 300;
+    dataset_ = datagen::MakeUserIdDataset(options);
+    auto source = registry_.RegisterCsv(
+        "people", relational::WriteCsv(dataset_.source));
+    ASSERT_TRUE(source.ok()) << source.status();
+    auto target = registry_.RegisterCsv(
+        "logins", relational::WriteCsv(dataset_.target));
+    ASSERT_TRUE(target.ok()) << target.status();
+  }
+  void TearDown() override { failpoint::DisarmAll(); }
+
+  JobRequest MakeRequest() {
+    JobRequest request;
+    request.source_table = "people";
+    request.target_table = "logins";
+    request.target_column = dataset_.target_column;
+    return request;
+  }
+
+  datagen::Dataset dataset_;
+  TableRegistry registry_;
+  IndexCache cache_{64 * 1024 * 1024};
+};
+
+TEST_F(JobManagerTest, RunsJobToDone) {
+  JobManager manager(&registry_, &cache_, {/*workers=*/2, /*max_queue=*/8});
+  auto id = manager.Submit(MakeRequest());
+  ASSERT_TRUE(id.ok()) << id.status();
+  manager.Drain();
+
+  auto snapshot = manager.Get(id.value());
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status();
+  EXPECT_EQ(snapshot->state, JobState::kDone);
+  EXPECT_FALSE(snapshot->truncated);
+  EXPECT_FALSE(snapshot->formula.empty());
+  EXPECT_GT(snapshot->matched_rows, 0u);
+  EXPECT_EQ(manager.completed(), 1u);
+
+  // The job warmed the cache: a second identical job hits it.
+  const uint64_t misses_before = cache_.stats().misses;
+  auto second = manager.Submit(MakeRequest());
+  ASSERT_TRUE(second.ok());
+  manager.Drain();
+  EXPECT_GT(cache_.stats().hits, 0u);
+  EXPECT_EQ(cache_.stats().misses, misses_before);
+}
+
+TEST_F(JobManagerTest, ValidatesRequests) {
+  JobManager manager(&registry_, &cache_, {2, 8});
+  JobRequest request = MakeRequest();
+  request.source_table = "nope";
+  EXPECT_TRUE(manager.Submit(request).status().IsNotFound());
+  request = MakeRequest();
+  request.target_column = 99;
+  EXPECT_TRUE(manager.Submit(request).status().IsInvalidArgument());
+  request = MakeRequest();
+  request.deadline_ms = -5;
+  EXPECT_TRUE(manager.Submit(request).status().IsInvalidArgument());
+  EXPECT_FALSE(manager.Get(12345).ok());
+  EXPECT_FALSE(manager.Cancel(12345));
+}
+
+TEST_F(JobManagerTest, RejectsWhenQueueFull) {
+  // One worker stalled by the service.job delay failpoint; queue of 1.
+  ASSERT_TRUE(failpoint::Arm(failpoint::kServiceJob, "delay:200ms").ok());
+  JobManager manager(&registry_, &cache_, {/*workers=*/1, /*max_queue=*/1});
+
+  auto first = manager.Submit(MakeRequest());   // taken by the worker
+  ASSERT_TRUE(first.ok());
+  // Give the worker a moment to pop the first job off the queue.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  auto second = manager.Submit(MakeRequest());  // sits in the queue
+  ASSERT_TRUE(second.ok());
+
+  // Queue is now full: the next submit must bounce with ResourceExhausted.
+  auto third = manager.Submit(MakeRequest());
+  EXPECT_TRUE(third.status().IsResourceExhausted()) << third.status();
+  EXPECT_EQ(manager.rejected(), 1u);
+
+  manager.Drain();
+  EXPECT_EQ(manager.completed(), 2u);
+}
+
+TEST_F(JobManagerTest, DeadlineProducesTruncatedDoneNotError) {
+  // Stall inside the search (index.similar delay) so a 1ms deadline trips
+  // mid-run; the job must land done+truncated, never failed.
+  ASSERT_TRUE(failpoint::Arm(failpoint::kIndexSimilar, "delay:30ms").ok());
+  JobManager manager(&registry_, &cache_, {2, 8});
+  JobRequest request = MakeRequest();
+  request.deadline_ms = 1;
+  auto id = manager.Submit(request);
+  ASSERT_TRUE(id.ok());
+  manager.Drain();
+  auto snapshot = manager.Get(id.value());
+  ASSERT_TRUE(snapshot.ok());
+  EXPECT_EQ(snapshot->state, JobState::kDone);
+  EXPECT_TRUE(snapshot->truncated);
+  EXPECT_EQ(snapshot->budget_trip, "wall-clock");
+}
+
+TEST_F(JobManagerTest, FailpointErrorLandsInFailed) {
+  ASSERT_TRUE(failpoint::Arm(failpoint::kServiceJob, "error:chaos").ok());
+  JobManager manager(&registry_, &cache_, {2, 8});
+  auto id = manager.Submit(MakeRequest());
+  ASSERT_TRUE(id.ok());
+  manager.Drain();
+  auto snapshot = manager.Get(id.value());
+  ASSERT_TRUE(snapshot.ok());
+  EXPECT_EQ(snapshot->state, JobState::kFailed);
+  EXPECT_NE(snapshot->error.find("chaos"), std::string::npos);
+  EXPECT_EQ(manager.failed(), 1u);
+}
+
+TEST_F(JobManagerTest, CancelQueuedJob) {
+  // Stall the single worker so the second job stays queued, cancel it, and
+  // verify it never ran.
+  ASSERT_TRUE(failpoint::Arm(failpoint::kServiceJob, "delay:150ms").ok());
+  JobManager manager(&registry_, &cache_, {/*workers=*/1, /*max_queue=*/4});
+  auto running = manager.Submit(MakeRequest());
+  ASSERT_TRUE(running.ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  auto queued = manager.Submit(MakeRequest());
+  ASSERT_TRUE(queued.ok());
+  EXPECT_TRUE(manager.Cancel(queued.value()));
+  manager.Drain();
+  auto snapshot = manager.Get(queued.value());
+  ASSERT_TRUE(snapshot.ok());
+  EXPECT_EQ(snapshot->state, JobState::kCancelled);
+  EXPECT_EQ(manager.cancelled(), 1u);
+}
+
+TEST_F(JobManagerTest, CancelRunningJobStopsViaBudget) {
+  // The index.similar delay gives Cancel a window while the search runs.
+  ASSERT_TRUE(failpoint::Arm(failpoint::kIndexSimilar, "delay:40ms").ok());
+  JobManager manager(&registry_, &cache_, {1, 4});
+  auto id = manager.Submit(MakeRequest());
+  ASSERT_TRUE(id.ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_TRUE(manager.Cancel(id.value()));
+  manager.Drain();
+  auto snapshot = manager.Get(id.value());
+  ASSERT_TRUE(snapshot.ok());
+  // Either the cancel landed mid-run (cancelled) or the job finished first
+  // (done) — both are valid races; what must never happen is failed/hang.
+  EXPECT_TRUE(snapshot->state == JobState::kCancelled ||
+              snapshot->state == JobState::kDone)
+      << JobStateName(snapshot->state);
+}
+
+TEST_F(JobManagerTest, ConcurrentIdenticalJobsAreByteIdentical) {
+  // Acceptance gate: >= 8 concurrent jobs against the cached index produce
+  // byte-identical formulas, equal to a direct single-threaded run.
+  core::SearchOptions direct_options;
+  direct_options.num_threads = 1;
+  auto direct = core::DiscoverTranslation(dataset_.source, dataset_.target,
+                                          dataset_.target_column,
+                                          direct_options);
+  ASSERT_TRUE(direct.ok()) << direct.status();
+  const std::string expected =
+      direct->formula().ToString(dataset_.source.schema());
+
+  JobManager manager(&registry_, &cache_, {/*workers=*/8, /*max_queue=*/16});
+  std::vector<uint64_t> ids;
+  for (int i = 0; i < 8; ++i) {
+    JobRequest request = MakeRequest();
+    request.options.num_threads = 2;
+    auto id = manager.Submit(request);
+    ASSERT_TRUE(id.ok()) << id.status();
+    ids.push_back(id.value());
+  }
+  manager.Drain();
+  for (uint64_t id : ids) {
+    auto snapshot = manager.Get(id);
+    ASSERT_TRUE(snapshot.ok());
+    ASSERT_EQ(snapshot->state, JobState::kDone)
+        << "job " << id << ": " << snapshot->error;
+    EXPECT_EQ(snapshot->formula, expected) << "job " << id;
+  }
+  EXPECT_GT(cache_.stats().hits, 0u);
+}
+
+// -------------------------------------------------------------- routes ----
+
+HttpRequest MakeHttpRequest(const std::string& method, const std::string& path,
+                            const std::string& body = "") {
+  HttpRequest request;
+  request.method = method;
+  request.path = path;
+  request.body = body;
+  return request;
+}
+
+class ServiceRouteTest : public ::testing::Test {
+ protected:
+  ServiceRouteTest() : service_(DiscoveryService::Options{2, 4, 16 << 20}) {}
+  void TearDown() override { failpoint::DisarmAll(); }
+
+  // Polls GET /jobs/{id} until the state is terminal.
+  Json WaitForJob(const std::string& id_text) {
+    for (int i = 0; i < 2000; ++i) {
+      HttpResponse response =
+          service_.Handle(MakeHttpRequest("GET", "/jobs/" + id_text));
+      auto body = Json::Parse(response.body);
+      if (!body.ok()) break;
+      const Json* state_field = body->Find("state");
+      if (state_field == nullptr) break;
+      std::string state = state_field->AsString("");
+      if (state != "queued" && state != "running") return body.value();
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    return Json();
+  }
+
+  DiscoveryService service_;
+};
+
+TEST_F(ServiceRouteTest, HealthzAndUnknownRoutes) {
+  EXPECT_EQ(service_.Handle(MakeHttpRequest("GET", "/healthz")).status, 200);
+  EXPECT_EQ(service_.Handle(MakeHttpRequest("POST", "/healthz")).status, 405);
+  EXPECT_EQ(service_.Handle(MakeHttpRequest("GET", "/nope")).status, 404);
+  EXPECT_EQ(service_.Handle(MakeHttpRequest("GET", "/jobs/abc")).status, 400);
+}
+
+TEST_F(ServiceRouteTest, FullTableAndJobFlow) {
+  Json table = Json::Object();
+  table.Set("name", Json::Str("people"));
+  table.Set("csv", Json::Str("first,last\nhenry,warner\nanna,smith\n"
+                             "bob,jones\ncarol,white\n"));
+  HttpResponse posted =
+      service_.Handle(MakeHttpRequest("POST", "/tables", table.Dump()));
+  ASSERT_EQ(posted.status, 200) << posted.body;
+
+  Json target = Json::Object();
+  target.Set("name", Json::Str("logins"));
+  target.Set("csv",
+             Json::Str("login\nhwarner\nasmith\nbjones\ncwhite\n"));
+  ASSERT_EQ(
+      service_.Handle(MakeHttpRequest("POST", "/tables", target.Dump()))
+          .status,
+      200);
+
+  HttpResponse listed = service_.Handle(MakeHttpRequest("GET", "/tables"));
+  auto tables = Json::Parse(listed.body);
+  ASSERT_TRUE(tables.ok());
+  EXPECT_EQ(tables->Find("tables")->size(), 2u);
+
+  Json job = Json::Object();
+  job.Set("source_table", Json::Str("people"));
+  job.Set("target_table", Json::Str("logins"));
+  job.Set("target_column", Json::Number(0));
+  HttpResponse accepted =
+      service_.Handle(MakeHttpRequest("POST", "/jobs", job.Dump()));
+  ASSERT_EQ(accepted.status, 202) << accepted.body;
+  auto accepted_body = Json::Parse(accepted.body);
+  ASSERT_TRUE(accepted_body.ok());
+  const Json* id = accepted_body->Find("id");
+  ASSERT_NE(id, nullptr);
+
+  Json done = WaitForJob(Json::Number(id->AsNumber(0)).Dump());
+  ASSERT_TRUE(done.is_object());
+  EXPECT_EQ(done.Find("state")->AsString(""), "done");
+  EXPECT_EQ(done.Find("formula")->AsString(""), "first[1-1]last[1-n]");
+
+  // Metrics text mentions the cache and the jobs counters.
+  HttpResponse metrics = service_.Handle(MakeHttpRequest("GET", "/metrics"));
+  EXPECT_EQ(metrics.status, 200);
+  EXPECT_EQ(metrics.content_type, "text/plain");
+  EXPECT_NE(metrics.body.find("mcsm_jobs_completed 1"), std::string::npos);
+  EXPECT_NE(metrics.body.find("mcsm_index_cache_misses"), std::string::npos);
+}
+
+TEST_F(ServiceRouteTest, BadRequestsAreMapped) {
+  EXPECT_EQ(service_.Handle(MakeHttpRequest("POST", "/tables", "notjson"))
+                .status,
+            400);
+  EXPECT_EQ(service_.Handle(MakeHttpRequest("POST", "/tables", "[]")).status,
+            400);
+  EXPECT_EQ(service_.Handle(MakeHttpRequest("POST", "/jobs",
+                                            R"({"source_table":"x"})"))
+                .status,
+            400);
+  // Unregistered tables: 404.
+  EXPECT_EQ(
+      service_
+          .Handle(MakeHttpRequest(
+              "POST", "/jobs",
+              R"({"source_table":"x","target_table":"y","target_column":0})"))
+          .status,
+      404);
+  // Unknown job id: 404 on GET and DELETE.
+  EXPECT_EQ(service_.Handle(MakeHttpRequest("GET", "/jobs/999")).status, 404);
+  EXPECT_EQ(service_.Handle(MakeHttpRequest("DELETE", "/jobs/999")).status,
+            404);
+}
+
+// ----------------------------------------------------------- end-to-end ----
+
+// Minimal blocking HTTP client for the socket-level test.
+std::string FetchOnce(int port, const std::string& raw_request) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return "";
+  }
+  size_t sent = 0;
+  while (sent < raw_request.size()) {
+    ssize_t n = ::send(fd, raw_request.data() + sent,
+                       raw_request.size() - sent, 0);
+    if (n <= 0) break;
+    sent += static_cast<size_t>(n);
+  }
+  std::string out;
+  char buffer[4096];
+  ssize_t n = 0;
+  while ((n = ::recv(fd, buffer, sizeof(buffer), 0)) > 0) {
+    out.append(buffer, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+TEST(HttpServerTest, ServesOverRealSockets) {
+  DiscoveryService service(DiscoveryService::Options{2, 4, 16 << 20});
+  HttpServer::Options options;
+  options.port = 0;  // ephemeral
+  options.workers = 2;
+  HttpServer server(options, [&service](const HttpRequest& request) {
+    return service.Handle(request);
+  });
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_GT(server.port(), 0);
+
+  std::string health = FetchOnce(
+      server.port(), "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_NE(health.find("HTTP/1.1 200 OK"), std::string::npos) << health;
+  EXPECT_NE(health.find(R"({"status":"ok"})"), std::string::npos);
+
+  const std::string body =
+      R"({"name":"t","csv":"a,b\nhenry,warner\n"})";
+  std::string posted = FetchOnce(
+      server.port(),
+      "POST /tables HTTP/1.1\r\nHost: x\r\nContent-Length: " +
+          std::to_string(body.size()) + "\r\n\r\n" + body);
+  EXPECT_NE(posted.find("HTTP/1.1 200 OK"), std::string::npos) << posted;
+  EXPECT_NE(posted.find("\"rows\":1"), std::string::npos) << posted;
+
+  std::string malformed = FetchOnce(server.port(), "BROKEN\r\n\r\n");
+  EXPECT_NE(malformed.find("HTTP/1.1 400"), std::string::npos) << malformed;
+
+  // Parallel requests through the worker pool.
+  std::vector<std::thread> clients;
+  std::vector<std::string> responses(8);
+  for (size_t i = 0; i < responses.size(); ++i) {
+    clients.emplace_back([&responses, i, port = server.port()] {
+      responses[i] =
+          FetchOnce(port, "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+    });
+  }
+  for (auto& t : clients) t.join();
+  for (const std::string& response : responses) {
+    EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+  }
+
+  server.Shutdown();
+  // After shutdown the port refuses connections (empty response).
+  EXPECT_EQ(FetchOnce(server.port(),
+                      "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n"),
+            "");
+}
+
+TEST(HttpServerTest, AcceptFailpointDropsConnectionsButServerSurvives) {
+  failpoint::DisarmAll();
+  ASSERT_TRUE(failpoint::Arm(failpoint::kServiceAccept, "error@2").ok());
+  HttpServer::Options options;
+  options.port = 0;
+  options.workers = 1;
+  HttpServer server(options, [](const HttpRequest&) {
+    HttpResponse response;
+    response.body = R"({"ok":true})";
+    return response;
+  });
+  ASSERT_TRUE(server.Start().ok());
+
+  // Sequential fetches: every 2nd accept is dropped on the floor (client
+  // sees an empty response), the others are served; the server never dies.
+  int served = 0;
+  int dropped = 0;
+  for (int i = 0; i < 6; ++i) {
+    std::string response = FetchOnce(
+        server.port(), "GET / HTTP/1.1\r\nHost: x\r\n\r\n");
+    if (response.empty()) {
+      ++dropped;
+    } else {
+      EXPECT_NE(response.find("200 OK"), std::string::npos);
+      ++served;
+    }
+  }
+  EXPECT_EQ(served, 3);
+  EXPECT_EQ(dropped, 3);
+
+  failpoint::DisarmAll();
+  EXPECT_NE(FetchOnce(server.port(), "GET / HTTP/1.1\r\nHost: x\r\n\r\n")
+                .find("200 OK"),
+            std::string::npos);
+  server.Shutdown();
+}
+
+}  // namespace
+}  // namespace mcsm::service

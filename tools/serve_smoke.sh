@@ -1,0 +1,151 @@
+#!/usr/bin/env bash
+# Smoke test for the discovery service daemon (examples/mcsm_serve): boots
+# the server on an ephemeral port, registers two tables, submits a job,
+# polls it to completion, verifies the index cache shows a hit on a second
+# identical job, exercises 429 backpressure, and checks graceful SIGTERM
+# drain (exit 0 with queued work finished). Run from anywhere:
+#
+#   tools/serve_smoke.sh <path-to-mcsm_serve>
+#
+# Designed to run under ASan/UBSan in CI — any sanitizer report fails the
+# server process and therefore the script.
+set -euo pipefail
+
+SERVE_BIN=${1:?usage: serve_smoke.sh <path-to-mcsm_serve>}
+WORKDIR=$(mktemp -d)
+SERVER_PID=""
+SLOW_PID=""
+trap '[ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null; [ -n "$SLOW_PID" ] && kill "$SLOW_PID" 2>/dev/null; rm -rf "$WORKDIR"' EXIT
+
+fail() { echo "FAIL: $*" >&2; exit 1; }
+
+# http VERB PATH [BODY] -> sets $HTTP_STATUS and $BODY (no subshell, so the
+# variables survive).
+http() {
+  local verb=$1 path=$2 payload=${3:-}
+  HTTP_STATUS=$(curl -s -o "$WORKDIR/resp" -w '%{http_code}' -X "$verb" \
+                ${payload:+-d "$payload"} "http://127.0.0.1:$PORT$path")
+  BODY=$(cat "$WORKDIR/resp")
+}
+
+# --- boot -------------------------------------------------------------------
+"$SERVE_BIN" --port 0 --port-file "$WORKDIR/port" \
+             --job-workers 2 --max-queue 2 >"$WORKDIR/serve.log" 2>&1 &
+SERVER_PID=$!
+for _ in $(seq 1 100); do
+  [ -s "$WORKDIR/port" ] && break
+  kill -0 "$SERVER_PID" 2>/dev/null || { cat "$WORKDIR/serve.log"; fail "server died at boot"; }
+  sleep 0.1
+done
+[ -s "$WORKDIR/port" ] || fail "server never wrote --port-file"
+PORT=$(cat "$WORKDIR/port")
+echo "server up on port $PORT (pid $SERVER_PID)"
+
+http GET /healthz
+[ "$HTTP_STATUS" = 200 ] || fail "healthz returned $HTTP_STATUS"
+echo "$BODY" | grep -q '"ok"' || fail "healthz body: $BODY"
+
+# --- register tables --------------------------------------------------------
+http POST /tables '{"name":"people","csv":"first,last\nhenry,warner\nanna,smith\nbob,jones\ncarol,white\ndave,brown\neve,black\n"}'
+[ "$HTTP_STATUS" = 200 ] || fail "POST /tables people -> $HTTP_STATUS: $BODY"
+http POST /tables '{"name":"logins","csv":"login\nhwarner\nasmith\nbjones\ncwhite\ndbrown\neblack\n"}'
+[ "$HTTP_STATUS" = 200 ] || fail "POST /tables logins -> $HTTP_STATUS: $BODY"
+
+# --- submit + poll a job ----------------------------------------------------
+http POST /jobs '{"source_table":"people","target_table":"logins","target_column":0,"deadline_ms":30000}'
+[ "$HTTP_STATUS" = 202 ] || fail "POST /jobs -> $HTTP_STATUS: $BODY"
+JOB_ID=$(echo "$BODY" | sed -n 's/.*"id":\([0-9]*\).*/\1/p')
+[ -n "$JOB_ID" ] || fail "no job id in: $BODY"
+
+STATE=""
+for _ in $(seq 1 100); do
+  http GET "/jobs/$JOB_ID"
+  STATE=$(echo "$BODY" | sed -n 's/.*"state":"\([a-z]*\)".*/\1/p')
+  [ "$STATE" = done ] && break
+  [ "$STATE" = failed ] && fail "job failed: $BODY"
+  sleep 0.1
+done
+[ "$STATE" = done ] || fail "job never finished (state=$STATE)"
+echo "$BODY" | grep -q '"formula":"first\[1-1\]last\[1-n\]"' \
+  || fail "unexpected formula: $BODY"
+echo "job $JOB_ID done: $BODY"
+
+# --- cache hit on the second identical job ----------------------------------
+http POST /jobs '{"source_table":"people","target_table":"logins","target_column":0}'
+[ "$HTTP_STATUS" = 202 ] || fail "second POST /jobs -> $HTTP_STATUS"
+JOB2=$(echo "$BODY" | sed -n 's/.*"id":\([0-9]*\).*/\1/p')
+for _ in $(seq 1 100); do
+  http GET "/jobs/$JOB2"
+  echo "$BODY" | grep -q '"state":"done"' && break
+  sleep 0.1
+done
+echo "$BODY" | grep -q '"state":"done"' || fail "second job never finished: $BODY"
+
+http GET /metrics
+[ "$HTTP_STATUS" = 200 ] || fail "GET /metrics -> $HTTP_STATUS"
+HITS=$(echo "$BODY" | sed -n 's/^mcsm_index_cache_hits \([0-9]*\)$/\1/p')
+[ -n "$HITS" ] && [ "$HITS" -gt 0 ] || fail "expected cache hits > 0; metrics: $BODY"
+echo "cache hits: $HITS"
+
+# --- 429 backpressure -------------------------------------------------------
+# A second server with the service.job delay failpoint armed: every job
+# stalls 500ms before running, so 1 worker + 1 queue slot saturate
+# deterministically and later submits must bounce with 429.
+SLOW_PID=""
+MCSM_FAILPOINTS="service.job=delay:500ms" \
+  "$SERVE_BIN" --port 0 --port-file "$WORKDIR/slow_port" \
+               --job-workers 1 --max-queue 1 >"$WORKDIR/slow.log" 2>&1 &
+SLOW_PID=$!
+for _ in $(seq 1 100); do
+  [ -s "$WORKDIR/slow_port" ] && break
+  sleep 0.1
+done
+[ -s "$WORKDIR/slow_port" ] || fail "slow server never wrote --port-file"
+MAIN_PORT=$PORT
+PORT=$(cat "$WORKDIR/slow_port")
+http POST /tables '{"name":"people","csv":"first,last\nhenry,warner\nanna,smith\n"}'
+[ "$HTTP_STATUS" = 200 ] || fail "slow server POST /tables -> $HTTP_STATUS"
+http POST /tables '{"name":"logins","csv":"login\nhwarner\nasmith\n"}'
+[ "$HTTP_STATUS" = 200 ] || fail "slow server POST /tables -> $HTTP_STATUS"
+SAW_429=0
+for _ in $(seq 1 6); do
+  http POST /jobs '{"source_table":"people","target_table":"logins","target_column":0}'
+  [ "$HTTP_STATUS" = 429 ] && SAW_429=1
+done
+[ "$SAW_429" = 1 ] || fail "expected a 429 from the saturated queue"
+http GET /metrics
+REJECTED=$(echo "$BODY" | sed -n 's/^mcsm_jobs_rejected \([0-9]*\)$/\1/p')
+[ -n "$REJECTED" ] && [ "$REJECTED" -gt 0 ] || fail "rejected counter not incremented"
+echo "backpressure: $REJECTED rejected with 429"
+
+# SIGTERM with jobs still queued/delayed: the drain must finish them all and
+# exit 0 — this is the chaos leg of the drain contract.
+kill -TERM "$SLOW_PID"
+for _ in $(seq 1 200); do
+  kill -0 "$SLOW_PID" 2>/dev/null || break
+  sleep 0.1
+done
+if kill -0 "$SLOW_PID" 2>/dev/null; then
+  kill -9 "$SLOW_PID"; fail "slow server did not drain within 20s of SIGTERM"
+fi
+wait "$SLOW_PID" && RC=0 || RC=$?
+SLOW_PID=""
+[ "$RC" = 0 ] || { cat "$WORKDIR/slow.log"; fail "slow server exited $RC after SIGTERM"; }
+grep -q "drained; bye" "$WORKDIR/slow.log" || fail "slow server drain banner missing"
+PORT=$MAIN_PORT
+
+# --- graceful drain ---------------------------------------------------------
+kill -TERM "$SERVER_PID"
+for _ in $(seq 1 100); do
+  kill -0 "$SERVER_PID" 2>/dev/null || break
+  sleep 0.1
+done
+if kill -0 "$SERVER_PID" 2>/dev/null; then
+  kill -9 "$SERVER_PID"; fail "server did not drain within 10s of SIGTERM"
+fi
+wait "$SERVER_PID" && RC=0 || RC=$?
+SERVER_PID=""
+[ "$RC" = 0 ] || { cat "$WORKDIR/serve.log"; fail "server exited $RC after SIGTERM"; }
+grep -q "drained; bye" "$WORKDIR/serve.log" || { cat "$WORKDIR/serve.log"; fail "drain banner missing from log"; }
+
+echo "serve smoke: OK"
