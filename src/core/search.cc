@@ -41,13 +41,17 @@ TranslationSearch::TranslationSearch(const relational::Table& source,
                                                        : &budget_),
       source_indexes_(source.num_columns()) {
   // A cached target index is accepted only when it is interchangeable with
-  // the one this search would build: same q, postings present, same column
-  // arity. Anything else falls back to a local build rather than erroring —
-  // a stale cache must never change results.
+  // the one this search would build: same q, postings present, same column,
+  // and built over a table of the same row count (a cheap identity proxy —
+  // the service keys its cache by content fingerprint, this guards against a
+  // caller handing in an index for a different table). Anything else falls
+  // back to a local build rather than erroring — a stale cache must never
+  // change results.
   if (options_.target_index != nullptr &&
       options_.target_index->q() == options_.q &&
       options_.target_index->postings_built() &&
-      options_.target_index->column() == target_column_) {
+      options_.target_index->column() == target_column_ &&
+      options_.target_index->row_count() == target_.num_rows()) {
     target_index_ = options_.target_index;
   } else {
     relational::ColumnIndex::Options idx_options;
@@ -84,7 +88,8 @@ const relational::ColumnIndex& TranslationSearch::SourceIndex(size_t column) {
     if (options_.source_index_provider) {
       auto cached = options_.source_index_provider(column);
       if (cached != nullptr && cached->q() == options_.q &&
-          cached->column() == column) {
+          cached->column() == column &&
+          cached->row_count() == source_.num_rows()) {
         source_indexes_[column] = std::move(cached);
         return *source_indexes_[column];
       }

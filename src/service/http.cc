@@ -263,12 +263,13 @@ Status HttpServer::Start() {
 }
 
 void HttpServer::Shutdown() {
-  bool expected = false;
-  if (!stopping_.compare_exchange_strong(expected, true)) {
-    // A second caller still waits for the first shutdown to finish its joins.
-    if (accept_thread_.joinable()) accept_thread_.join();
-    return;
-  }
+  // Serialized under a mutex: a second caller blocks until the first one
+  // finished its joins, then returns — two threads must never race on
+  // accept_thread_.join().
+  std::lock_guard<std::mutex> lock(shutdown_mu_);
+  if (shutdown_done_) return;
+  shutdown_done_ = true;
+  stopping_.store(true, std::memory_order_release);
   if (listen_fd_ >= 0) {
     // shutdown() wakes the blocking accept(); close() alone is not reliable
     // for that across platforms. The close itself waits until the accept

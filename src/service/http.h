@@ -5,6 +5,7 @@
 #include <cstddef>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <thread>
@@ -107,6 +108,8 @@ class HttpServer {
   int listen_fd_ = -1;
   int port_ = 0;
   std::atomic<bool> stopping_{false};
+  std::mutex shutdown_mu_;      ///< Serializes Shutdown() callers.
+  bool shutdown_done_ = false;  ///< Guarded by shutdown_mu_.
   std::thread accept_thread_;
   std::unique_ptr<ThreadPool> pool_;
 };

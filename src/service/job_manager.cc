@@ -139,6 +139,11 @@ void JobManager::FinishLocked(Job* job, JobState terminal) {
   job->state = terminal;
   job->result.state = terminal;
   job->result.run_seconds = job->run_seconds;
+  // Only the sealed snapshot is served from here on: drop the table pins and
+  // budget so a replaced table is not kept alive by finished jobs.
+  job->source = TableEntry{};
+  job->target = TableEntry{};
+  job->budget.reset();
   switch (terminal) {
     case JobState::kDone:
       completed_.fetch_add(1, std::memory_order_relaxed);
@@ -151,6 +156,11 @@ void JobManager::FinishLocked(Job* job, JobState terminal) {
       break;
     default:
       break;
+  }
+  terminal_order_.push_back(job->id);
+  while (terminal_order_.size() > options_.max_terminal) {
+    jobs_.erase(terminal_order_.front());
+    terminal_order_.pop_front();
   }
   --active_;
   if (active_ == 0) drained_cv_.notify_all();

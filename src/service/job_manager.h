@@ -4,6 +4,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -77,11 +78,19 @@ struct JobSnapshot {
 /// gets its RunBudget tripped (one CAS) and stops at the search's next
 /// budget check, landing in kCancelled with whatever partial it had. Either
 /// way Cancel returns immediately.
+///
+/// Retention: at its terminal transition a job drops its table pins and
+/// budget (only the sealed snapshot is served afterwards), and once more
+/// than `max_terminal` terminal jobs exist the oldest are evicted — so
+/// neither jobs_ nor replaced tables grow without bound over the service
+/// lifetime. Get/Cancel on an evicted id return NotFound/false.
 class JobManager {
  public:
   struct Options {
     size_t workers = 2;
     size_t max_queue = 16;
+    /// Terminal jobs retained for GET /jobs/{id}; oldest evicted beyond this.
+    size_t max_terminal = 256;
   };
 
   /// `registry` and `cache` must outlive the manager; both may be shared
@@ -148,6 +157,8 @@ class JobManager {
   mutable std::mutex mu_;
   std::condition_variable drained_cv_;
   std::unordered_map<uint64_t, std::unique_ptr<Job>> jobs_;
+  /// Terminal job ids, oldest first — the retention-eviction order.
+  std::deque<uint64_t> terminal_order_;
   uint64_t next_id_ = 1;
   size_t queued_ = 0;    ///< jobs admitted but not yet running
   size_t active_ = 0;    ///< jobs not yet terminal (queued + running)

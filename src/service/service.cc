@@ -1,7 +1,9 @@
 #include "service/service.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
+#include <thread>
 
 #include "common/string_util.h"
 #include "service/json.h"
@@ -93,7 +95,8 @@ DiscoveryService::DiscoveryService(Options options)
     : options_(options),
       cache_(options.cache_bytes),
       jobs_(&registry_, &cache_,
-            JobManager::Options{options.job_workers, options.max_queue}) {}
+            JobManager::Options{options.job_workers, options.max_queue,
+                                options.retained_jobs}) {}
 
 HttpResponse DiscoveryService::Handle(const HttpRequest& request) {
   const auto started = std::chrono::steady_clock::now();
@@ -234,7 +237,20 @@ HttpResponse DiscoveryService::HandlePostJobs(const HttpRequest& request) {
     job.deadline_ms = static_cast<int64_t>(ms);
   }
   if (const Json* threads = body.Find("num_threads")) {
-    job.options.num_threads = static_cast<size_t>(threads->AsNumber(0));
+    double thread_number = threads->AsNumber(-1);
+    if (thread_number < 0 || thread_number > 1e9 ||
+        thread_number != static_cast<double>(
+                             static_cast<uint64_t>(thread_number))) {
+      return {400, "application/json",
+              R"({"error":"'num_threads' must be a non-negative integer"})"};
+    }
+    // Clamped: a request-supplied pool size must not be able to make a
+    // worker spawn an absurd thread count (std::thread failure terminates
+    // the process). 0 keeps the search's auto-sizing.
+    const size_t cap =
+        std::max<size_t>(std::thread::hardware_concurrency(), 1);
+    job.options.num_threads =
+        std::min(static_cast<size_t>(thread_number), cap);
   }
   if (const Json* separators = body.Find("detect_separators")) {
     job.options.detect_separators = separators->AsBool(false);

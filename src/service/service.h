@@ -35,6 +35,8 @@ class DiscoveryService {
     size_t job_workers = 2;
     size_t max_queue = 16;
     size_t cache_bytes = 256 * 1024 * 1024;
+    /// Terminal jobs retained for GET /jobs/{id}; oldest evicted beyond this.
+    size_t retained_jobs = 256;
   };
 
   explicit DiscoveryService(Options options);

@@ -346,6 +346,35 @@ TEST(SearchParallelTest, BudgetTruncationTripsTheSameAxisAtAnyThreadCount) {
   }
 }
 
+TEST(SearchTest, InjectedIndexForDifferentTableIsRejected) {
+  // A cached index whose q/column/postings all match but which was built
+  // over a DIFFERENT table must be rejected (row-count mismatch) and fall
+  // back to a local build — injecting it must not change results.
+  datagen::UserIdOptions o;
+  o.rows = 2000;
+  auto data = datagen::MakeUserIdDataset(o);
+  datagen::UserIdOptions stale_options = o;
+  stale_options.rows = 400;
+  auto stale = datagen::MakeUserIdDataset(stale_options);
+
+  relational::ColumnIndex::Options idx;
+  idx.q = 2;
+  idx.build_postings = true;
+  SearchOptions injected_options = FastOptions();
+  injected_options.target_index =
+      std::make_shared<relational::ColumnIndex>(stale.target, 0, idx);
+
+  auto clean = DiscoverTranslation(data.source, data.target, 0, FastOptions());
+  auto injected =
+      DiscoverTranslation(data.source, data.target, 0, injected_options);
+  ASSERT_TRUE(clean.ok()) << clean.status();
+  ASSERT_TRUE(injected.ok()) << injected.status();
+  EXPECT_EQ(injected->formula().ToString(data.source.schema()),
+            clean->formula().ToString(data.source.schema()));
+  EXPECT_EQ(injected->coverage.matched_rows(),
+            clean->coverage.matched_rows());
+}
+
 TEST(SearchParallelTest, StepwiseScoresAreIdenticalAcrossThreadCounts) {
   datagen::UserIdOptions o;
   o.rows = 1000;

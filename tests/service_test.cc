@@ -466,6 +466,29 @@ TEST_F(JobManagerTest, CancelRunningJobStopsViaBudget) {
       << JobStateName(snapshot->state);
 }
 
+TEST_F(JobManagerTest, TerminalJobRetentionEvictsOldest) {
+  JobManager manager(&registry_, &cache_,
+                     {/*workers=*/2, /*max_queue=*/8, /*max_terminal=*/2});
+  std::vector<uint64_t> ids;
+  for (int i = 0; i < 4; ++i) {
+    auto id = manager.Submit(MakeRequest());
+    ASSERT_TRUE(id.ok()) << id.status();
+    manager.Drain();  // per-job, so terminal order matches submit order
+    ids.push_back(id.value());
+  }
+  // Only the newest two terminal jobs are retained.
+  EXPECT_FALSE(manager.Get(ids[0]).ok());
+  EXPECT_FALSE(manager.Get(ids[1]).ok());
+  EXPECT_EQ(manager.List().size(), 2u);
+  auto third = manager.Get(ids[2]);
+  ASSERT_TRUE(third.ok());
+  // The sealed snapshot still serves the result after the job dropped its
+  // table pins at the terminal transition.
+  EXPECT_EQ(third->state, JobState::kDone);
+  EXPECT_FALSE(third->formula.empty());
+  EXPECT_EQ(manager.completed(), 4u);
+}
+
 TEST_F(JobManagerTest, ConcurrentIdenticalJobsAreByteIdentical) {
   // Acceptance gate: >= 8 concurrent jobs against the cached index produce
   // byte-identical formulas, equal to a direct single-threaded run.
@@ -612,6 +635,56 @@ TEST_F(ServiceRouteTest, BadRequestsAreMapped) {
             404);
 }
 
+TEST_F(ServiceRouteTest, NumThreadsValidated) {
+  // Validation happens before table lookup, so no tables are needed here.
+  const char* negative =
+      R"({"source_table":"x","target_table":"y","target_column":0,"num_threads":-4})";
+  const char* fractional =
+      R"({"source_table":"x","target_table":"y","target_column":0,"num_threads":1.5})";
+  const char* huge =
+      R"({"source_table":"x","target_table":"y","target_column":0,"num_threads":10000000000})";
+  EXPECT_EQ(service_.Handle(MakeHttpRequest("POST", "/jobs", negative)).status,
+            400);
+  EXPECT_EQ(
+      service_.Handle(MakeHttpRequest("POST", "/jobs", fractional)).status,
+      400);
+  EXPECT_EQ(service_.Handle(MakeHttpRequest("POST", "/jobs", huge)).status,
+            400);
+}
+
+TEST_F(ServiceRouteTest, LargeNumThreadsIsClampedNotFatal) {
+  Json table = Json::Object();
+  table.Set("name", Json::Str("people"));
+  table.Set("csv", Json::Str("first,last\nhenry,warner\nanna,smith\n"));
+  ASSERT_EQ(
+      service_.Handle(MakeHttpRequest("POST", "/tables", table.Dump())).status,
+      200);
+  Json target = Json::Object();
+  target.Set("name", Json::Str("logins"));
+  target.Set("csv", Json::Str("login\nhwarner\nasmith\n"));
+  ASSERT_EQ(
+      service_.Handle(MakeHttpRequest("POST", "/tables", target.Dump()))
+          .status,
+      200);
+
+  // 1e9 passes validation but must be clamped to hardware concurrency —
+  // the job completes instead of killing the worker on thread exhaustion.
+  Json job = Json::Object();
+  job.Set("source_table", Json::Str("people"));
+  job.Set("target_table", Json::Str("logins"));
+  job.Set("target_column", Json::Number(0));
+  job.Set("num_threads", Json::Number(1e9));
+  HttpResponse accepted =
+      service_.Handle(MakeHttpRequest("POST", "/jobs", job.Dump()));
+  ASSERT_EQ(accepted.status, 202) << accepted.body;
+  auto accepted_body = Json::Parse(accepted.body);
+  ASSERT_TRUE(accepted_body.ok());
+  Json done =
+      WaitForJob(Json::Number(accepted_body->Find("id")->AsNumber(0)).Dump());
+  ASSERT_TRUE(done.is_object());
+  EXPECT_EQ(done.Find("state")->AsString(""), "done");
+}
+
 // ----------------------------------------------------------- end-to-end ----
 
 // Minimal blocking HTTP client for the socket-level test.
@@ -727,6 +800,28 @@ TEST(HttpServerTest, AcceptFailpointDropsConnectionsButServerSurvives) {
                 .find("200 OK"),
             std::string::npos);
   server.Shutdown();
+}
+
+TEST(HttpServerTest, ConcurrentShutdownIsSafe) {
+  HttpServer::Options options;
+  options.port = 0;
+  options.workers = 2;
+  HttpServer server(options, [](const HttpRequest&) {
+    return HttpResponse{};
+  });
+  ASSERT_TRUE(server.Start().ok());
+
+  // Racing Shutdown callers (e.g. signal path vs. destructor) must
+  // serialize — exactly one performs the joins, the rest wait it out.
+  std::vector<std::thread> callers;
+  for (int i = 0; i < 4; ++i) {
+    callers.emplace_back([&server] { server.Shutdown(); });
+  }
+  for (auto& t : callers) t.join();
+  EXPECT_EQ(FetchOnce(server.port(),
+                      "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n"),
+            "");
+  server.Shutdown();  // still idempotent after the race
 }
 
 }  // namespace
