@@ -17,6 +17,7 @@ int main(int argc, char** argv) {
   search_options.sample_fraction = 0.01;  // the paper's 1% sampling
   search_options.max_sample = 4000;
   search_options.num_threads = cli.threads();
+  search_options.env.trace = cli.trace();
 
   bench::Stopwatch watch;
   auto d = core::DiscoverTranslation(data.source, data.target,

@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
   search_options.max_sample = 2000;
   search_options.initial_candidates = 1;  // time the paper's single pass
   search_options.num_threads = cli.threads();
+  search_options.env.trace = cli.trace();
 
   bench::Stopwatch total_watch;
   std::printf("%-8s %10s %10s %10s %10s   (cumulative seconds)\n", "percent",
@@ -34,7 +35,7 @@ int main(int argc, char** argv) {
     core::TranslationSearch search(data.source, data.target, 0, search_options);
     auto column = search.SelectStartColumn();
     if (!column.ok()) continue;
-    auto formula = search.BuildInitialFormula(*column);
+    auto formula = search.BuildInitialFormula(column->best_column);
     if (!formula.ok()) continue;
     double step1 = search.stats().step1_seconds;
     double step2 = step1 + search.stats().step2_seconds;

@@ -16,17 +16,17 @@ int main() {
   core::SearchOptions search_options;
   core::TranslationSearch search(data.source, data.target, data.target_column,
                                  search_options);
-  std::vector<double> scores;
-  auto best = search.SelectStartColumn(&scores);
+  auto best = search.SelectStartColumn();
   if (!best.ok()) {
     std::printf("column selection failed: %s\n", best.status().ToString().c_str());
     return 1;
   }
+  const std::vector<double>& scores = best->scores;
 
   std::printf("%-10s %14s\n", "column", "score");
   for (size_t c = 0; c < scores.size(); ++c) {
     std::printf("%-10s %14.0f%s\n", data.source.schema().column(c).name.c_str(),
-                scores[c], c == *best ? "   <- selected" : "");
+                scores[c], c == best->best_column ? "   <- selected" : "");
   }
   std::printf("\n# paper Table 2: first 14194, middle 12391, last 16374, "
               "text 6151,\n#                time 354, numb 792, addr 5505\n");

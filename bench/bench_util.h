@@ -4,45 +4,72 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <thread>
+#include <utility>
 
 #include "common/env.h"
+#include "common/trace.h"
 #include "core/matcher.h"
 #include "datagen/datasets.h"
 
 namespace mcsm::bench {
 
 /// Common benchmark CLI: `--json <path>` (or `--json=<path>`) appends one
-/// machine-readable result row per measurement, and `--threads <N>` sets the
-/// search worker count (default: MCSM_THREADS, else hardware concurrency).
-/// Unknown flags are ignored so each bench keeps its own knobs.
+/// machine-readable result row per measurement, `--threads <N>` sets the
+/// search worker count (default: MCSM_THREADS, else hardware concurrency),
+/// and `--trace <path>` streams JSONL trace events for every measured run
+/// (the --json rows then also report trace_events/trace_spans). Unknown
+/// flags are ignored so each bench keeps its own knobs.
 class BenchCli {
  public:
   BenchCli(int argc, char** argv, std::string bench)
       : bench_(std::move(bench)),
         threads_(static_cast<size_t>(
             std::max<int64_t>(GetEnvInt("MCSM_THREADS", 0), 0))) {
+    std::string trace_path;
     for (int i = 1; i < argc; ++i) {
       std::string value;
       if (Consume("--json", argc, argv, &i, &value)) {
         json_path_ = value;
       } else if (Consume("--threads", argc, argv, &i, &value)) {
         threads_ = static_cast<size_t>(std::strtoull(value.c_str(), nullptr, 10));
+      } else if (Consume("--trace", argc, argv, &i, &value)) {
+        trace_path = value;
       }
     }
     if (threads_ == 0) {
       threads_ = std::thread::hardware_concurrency();
       if (threads_ == 0) threads_ = 1;
     }
+    if (!trace_path.empty()) {
+      auto opened = JsonlTraceSink::Open(trace_path);
+      if (!opened.ok()) {
+        std::fprintf(stderr, "bench: %s\n",
+                     opened.status().ToString().c_str());
+        std::exit(2);
+      }
+      jsonl_sink_ = std::move(opened.value());
+      // The in-memory counter sink feeds the --json row counters; the tee
+      // fans each event out to both.
+      counter_sink_ = std::make_unique<InMemoryTraceSink>();
+      tee_sink_ = std::make_unique<TeeTraceSink>(jsonl_sink_.get(),
+                                                 counter_sink_.get());
+    }
   }
 
   /// Resolved worker count; feed into SearchOptions::num_threads.
   size_t threads() const { return threads_; }
 
+  /// The trace sink to put in SearchOptions::Env::trace, or nullptr when
+  /// --trace was not given (the null path costs one branch per event site).
+  TraceSink* trace() const { return tee_sink_.get(); }
+
   /// Appends `{"bench": ..., "dataset": ..., "wall_ms": ..., "threads": ...}`
-  /// to the --json file (no-op when --json was not given).
+  /// to the --json file (no-op when --json was not given). When tracing,
+  /// the row also carries the cumulative trace_events/trace_spans counters.
   void Row(const std::string& dataset, double wall_ms) const {
     if (json_path_.empty()) return;
     std::FILE* f = std::fopen(json_path_.c_str(), "a");
@@ -53,8 +80,14 @@ class BenchCli {
     }
     std::fprintf(f,
                  "{\"bench\": \"%s\", \"dataset\": \"%s\", \"wall_ms\": %.3f, "
-                 "\"threads\": %zu}\n",
+                 "\"threads\": %zu",
                  bench_.c_str(), dataset.c_str(), wall_ms, threads_);
+    if (counter_sink_ != nullptr) {
+      std::fprintf(f, ", \"trace_events\": %llu, \"trace_spans\": %llu",
+                   static_cast<unsigned long long>(counter_sink_->event_count()),
+                   static_cast<unsigned long long>(counter_sink_->span_count()));
+    }
+    std::fprintf(f, "}\n");
     std::fclose(f);
   }
 
@@ -77,6 +110,9 @@ class BenchCli {
   std::string bench_;
   std::string json_path_;
   size_t threads_ = 0;
+  std::unique_ptr<JsonlTraceSink> jsonl_sink_;
+  std::unique_ptr<InMemoryTraceSink> counter_sink_;
+  std::unique_ptr<TeeTraceSink> tee_sink_;
 };
 
 /// Wall-clock stopwatch for experiment phases.

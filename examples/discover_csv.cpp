@@ -3,6 +3,7 @@
 //   discover_csv <source.csv> <target.csv> <target-column>
 //                [--separators] [--fraction F] [--all]
 //                [--permissive] [--deadline-ms N]
+//                [--trace FILE] [--explain]
 //
 // Loads two CSV files (header row = column names, all columns TEXT), runs
 // the multi-column substring search and prints the discovered translation
@@ -14,14 +15,20 @@
 // printed, marked TRUNCATED. Ctrl-C during the search does the same thing:
 // the SIGINT handler trips the run budget (one atomic CAS, async-signal-safe)
 // and the search stops at its next check, printing the best partial formula
-// instead of dying with nothing. Without arguments, writes a small demo pair
-// of CSV files and runs on those.
+// instead of dying with nothing. --trace FILE writes one JSON trace event
+// per line (JSONL) describing every scoring/voting/refinement decision;
+// --explain prints a human-readable "why this formula won" report after the
+// run. Both may be combined. Without arguments, writes a small demo pair of
+// CSV files and runs on those.
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 
+#include "common/trace.h"
+#include "core/explain.h"
 #include "core/matcher.h"
 #include "core/rule_merger.h"
 #include "datagen/datasets.h"
@@ -72,7 +79,8 @@ int RealMain(int argc, const char** argv) {
     std::fprintf(stderr,
                  "usage: %s <source.csv> <target.csv> <target-column> "
                  "[--separators] [--fraction F] [--all] "
-                 "[--permissive] [--deadline-ms N]\n",
+                 "[--permissive] [--deadline-ms N] "
+                 "[--trace FILE] [--explain]\n",
                  argv[0]);
     return 2;
   }
@@ -80,6 +88,12 @@ int RealMain(int argc, const char** argv) {
   core::SearchOptions options;
   relational::CsvOptions csv_options;
   bool all = false;
+  bool explain = false;
+  const char* trace_path = nullptr;
+  // The deadline goes into a local BudgetLimits (not options.env.budget):
+  // it feeds the shared RunBudget below, and Env::Validate rejects setting
+  // both a shared budget and per-search limits.
+  BudgetLimits deadline;
   for (int i = 4; i < argc; ++i) {
     if (std::strcmp(argv[i], "--separators") == 0) {
       options.detect_separators = true;
@@ -90,11 +104,36 @@ int RealMain(int argc, const char** argv) {
     } else if (std::strcmp(argv[i], "--permissive") == 0) {
       csv_options.permissive = true;
     } else if (std::strcmp(argv[i], "--deadline-ms") == 0 && i + 1 < argc) {
-      options.budget.wall_ms = std::atol(argv[++i]);
+      deadline.wall_ms = std::atol(argv[++i]);
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--explain") == 0) {
+      explain = true;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
       return 2;
     }
+  }
+
+  // Trace plumbing: --trace streams JSONL to a file; --explain captures
+  // events in memory for the end-of-run report; both tee into one sink.
+  std::unique_ptr<JsonlTraceSink> jsonl_sink;
+  std::unique_ptr<InMemoryTraceSink> memory_sink;
+  std::unique_ptr<TeeTraceSink> tee_sink;
+  if (trace_path != nullptr) {
+    auto opened = JsonlTraceSink::Open(trace_path);
+    if (!opened.ok()) return Fail(opened.status());
+    jsonl_sink = std::move(opened.value());
+  }
+  if (explain) memory_sink = std::make_unique<InMemoryTraceSink>();
+  if (jsonl_sink != nullptr && memory_sink != nullptr) {
+    tee_sink =
+        std::make_unique<TeeTraceSink>(jsonl_sink.get(), memory_sink.get());
+    options.env.trace = tee_sink.get();
+  } else if (jsonl_sink != nullptr) {
+    options.env.trace = jsonl_sink.get();
+  } else if (memory_sink != nullptr) {
+    options.env.trace = memory_sink.get();
   }
 
   auto report_drops = [](const char* path,
@@ -128,8 +167,8 @@ int RealMain(int argc, const char** argv) {
 
   // Route the deadline (if any) through a budget we also hand to the SIGINT
   // handler, so Ctrl-C and --deadline-ms share the truncated-partial path.
-  RunBudget budget(options.budget);
-  options.shared_budget = &budget;
+  RunBudget budget(deadline);
+  options.env.shared_budget = &budget;
   g_interrupt_budget = &budget;
   std::signal(SIGINT, HandleInterrupt);
   struct InterruptScope {
@@ -138,6 +177,12 @@ int RealMain(int argc, const char** argv) {
       g_interrupt_budget = nullptr;  // budget dies with this scope
     }
   } interrupt_scope;
+
+  auto print_explain = [&memory_sink] {
+    if (memory_sink == nullptr) return;
+    std::printf("\n%s", core::ExplainText(memory_sink->CanonicalEvents())
+                            .c_str());
+  };
 
   if (!all) {
     auto d = core::DiscoverTranslation(*source, *target, *column, options,
@@ -152,6 +197,7 @@ int RealMain(int argc, const char** argv) {
     std::printf("coverage: %zu / %zu rows\n", d->coverage.matched_rows(),
                 target->num_rows());
     std::printf("sql     : %s\n", d->sql.c_str());
+    print_explain();
     return 0;
   }
 
@@ -177,6 +223,7 @@ int RealMain(int argc, const char** argv) {
                   coverage.matched_rows());
     }
   }
+  print_explain();
   return 0;
 }
 

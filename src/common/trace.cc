@@ -1,0 +1,271 @@
+#include "common/trace.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <charconv>
+#include <cstring>
+#include <functional>
+#include <thread>
+
+#include "common/status.h"
+#include "common/string_util.h"
+
+namespace mcsm {
+
+const char* TraceEventKindName(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kSpanBegin:
+      return "span_begin";
+    case TraceEventKind::kSpanEnd:
+      return "span_end";
+    case TraceEventKind::kCounter:
+      return "counter";
+    case TraceEventKind::kDecision:
+      return "decision";
+  }
+  return "unknown";
+}
+
+std::string FormatTraceDouble(double v) {
+  char buf[64];
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  if (ec != std::errc()) return "0";  // cannot happen for a 64-byte buffer
+  return std::string(buf, ptr);
+}
+
+std::string TraceEvent::Id() const {
+  std::string id;
+  id.reserve(64 + phase.size() + name.size() + detail.size());
+  id += phase;
+  id += '/';
+  id += name;
+  id += "|k=";
+  id += TraceEventKindName(kind);
+  id += "|it=";
+  id += std::to_string(iteration);
+  id += "|c=";
+  id += std::to_string(column);
+  id += "|s=";
+  id += std::to_string(sample);
+  id += "|v=";
+  id += FormatTraceDouble(value);
+  id += "|d=";
+  id += detail;
+  id += "|m=";
+  for (const auto& [key, val] : metrics) {
+    id += key;
+    id += ':';
+    id += FormatTraceDouble(val);
+    id += ',';
+  }
+  return id;
+}
+
+void AppendJsonEscaped(std::string_view s, std::string* out) {
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += static_cast<char>(c);
+        }
+    }
+  }
+}
+
+void AppendTraceEventJson(const TraceEvent& event, std::string* out) {
+  *out += "{\"kind\":\"";
+  *out += TraceEventKindName(event.kind);
+  *out += "\",\"phase\":\"";
+  AppendJsonEscaped(event.phase, out);
+  *out += "\",\"name\":\"";
+  AppendJsonEscaped(event.name, out);
+  *out += '"';
+  if (event.iteration >= 0) {
+    *out += ",\"iteration\":";
+    *out += std::to_string(event.iteration);
+  }
+  if (event.column >= 0) {
+    *out += ",\"column\":";
+    *out += std::to_string(event.column);
+  }
+  if (event.sample >= 0) {
+    *out += ",\"sample\":";
+    *out += std::to_string(event.sample);
+  }
+  *out += ",\"value\":";
+  *out += FormatTraceDouble(event.value);
+  if (!event.detail.empty()) {
+    *out += ",\"detail\":\"";
+    AppendJsonEscaped(event.detail, out);
+    *out += '"';
+  }
+  if (!event.metrics.empty()) {
+    *out += ",\"metrics\":{";
+    bool first = true;
+    for (const auto& [key, val] : event.metrics) {
+      if (!first) *out += ',';
+      first = false;
+      *out += '"';
+      AppendJsonEscaped(key, out);
+      *out += "\":";
+      *out += FormatTraceDouble(val);
+    }
+    *out += '}';
+  }
+  if (event.elapsed_ms >= 0) {
+    *out += ",\"elapsed_ms\":";
+    *out += FormatTraceDouble(event.elapsed_ms);
+  }
+  *out += '}';
+}
+
+std::string TraceEventsToJson(const std::vector<TraceEvent>& events) {
+  std::string out = "{\"schema_version\":1,\"events\":[";
+  bool first = true;
+  for (const TraceEvent& event : events) {
+    if (!first) out += ',';
+    first = false;
+    AppendTraceEventJson(event, &out);
+  }
+  out += "]}";
+  return out;
+}
+
+void TraceSink::SpanBegin(std::string_view phase, std::string_view name) {
+  TraceEvent event;
+  event.kind = TraceEventKind::kSpanBegin;
+  event.phase = phase;
+  event.name = name;
+  Emit(std::move(event));
+}
+
+void TraceSink::SpanEnd(std::string_view phase, std::string_view name,
+                        double elapsed_ms) {
+  TraceEvent event;
+  event.kind = TraceEventKind::kSpanEnd;
+  event.phase = phase;
+  event.name = name;
+  event.elapsed_ms = elapsed_ms;
+  Emit(std::move(event));
+}
+
+void TraceSink::Counter(std::string_view phase, std::string_view name,
+                        double value) {
+  TraceEvent event;
+  event.kind = TraceEventKind::kCounter;
+  event.phase = phase;
+  event.name = name;
+  event.value = value;
+  Emit(std::move(event));
+}
+
+TraceSpan::TraceSpan(TraceSink* sink, std::string phase, std::string name)
+    : sink_(sink), phase_(std::move(phase)), name_(std::move(name)) {
+  if (sink_ == nullptr) return;
+  start_ = std::chrono::steady_clock::now();
+  sink_->SpanBegin(phase_, name_);
+}
+
+TraceSpan::~TraceSpan() {
+  if (sink_ == nullptr) return;
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start_)
+          .count();
+  sink_->SpanEnd(phase_, name_, elapsed_ms);
+}
+
+InMemoryTraceSink::InMemoryTraceSink() : shards_(new Shard[kShards]) {}
+
+InMemoryTraceSink::~InMemoryTraceSink() = default;
+
+InMemoryTraceSink::Shard& InMemoryTraceSink::ShardForThisThread() {
+  const size_t h = std::hash<std::thread::id>{}(std::this_thread::get_id());
+  return shards_[h % kShards];
+}
+
+void InMemoryTraceSink::Emit(TraceEvent event) {
+  events_.fetch_add(1, std::memory_order_relaxed);
+  if (event.kind == TraceEventKind::kSpanBegin) {
+    spans_.fetch_add(1, std::memory_order_relaxed);
+  }
+  Shard& shard = ShardForThisThread();
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.events.push_back(std::move(event));
+}
+
+std::vector<TraceEvent> InMemoryTraceSink::Events() const {
+  std::vector<TraceEvent> out;
+  for (size_t i = 0; i < kShards; ++i) {
+    std::lock_guard<std::mutex> lock(shards_[i].mu);
+    out.insert(out.end(), shards_[i].events.begin(), shards_[i].events.end());
+  }
+  return out;
+}
+
+std::vector<TraceEvent> InMemoryTraceSink::CanonicalEvents() const {
+  std::vector<TraceEvent> out = Events();
+  std::sort(out.begin(), out.end(), [](const TraceEvent& a,
+                                       const TraceEvent& b) {
+    return a.Id() < b.Id();
+  });
+  return out;
+}
+
+void InMemoryTraceSink::Clear() {
+  for (size_t i = 0; i < kShards; ++i) {
+    std::lock_guard<std::mutex> lock(shards_[i].mu);
+    shards_[i].events.clear();
+  }
+  events_.store(0, std::memory_order_relaxed);
+  spans_.store(0, std::memory_order_relaxed);
+}
+
+Result<std::unique_ptr<JsonlTraceSink>> JsonlTraceSink::Open(
+    const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return Status::InvalidArgument(
+        StrFormat("cannot open trace file '%s': %s", path.c_str(),
+                  std::strerror(errno)));
+  }
+  return std::unique_ptr<JsonlTraceSink>(new JsonlTraceSink(file));
+}
+
+JsonlTraceSink::~JsonlTraceSink() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fclose(file_);
+}
+
+void JsonlTraceSink::Emit(TraceEvent event) {
+  events_.fetch_add(1, std::memory_order_relaxed);
+  if (event.kind == TraceEventKind::kSpanBegin) {
+    spans_.fetch_add(1, std::memory_order_relaxed);
+  }
+  std::string line;
+  AppendTraceEventJson(event, &line);
+  line += '\n';
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fwrite(line.data(), 1, line.size(), file_);
+}
+
+}  // namespace mcsm

@@ -1,0 +1,209 @@
+#ifndef MCSM_COMMON_TRACE_H_
+#define MCSM_COMMON_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+
+namespace mcsm {
+
+/// \brief Dependency-free structured tracing for the discovery pipeline.
+///
+/// Every stage of the search emits typed events through a nullable
+/// `TraceSink*` (SearchOptions::Env::trace). The disabled path is one branch:
+/// emit sites test the pointer before constructing an event, so untraced runs
+/// pay a single predictable-not-taken comparison per site.
+///
+/// Events carry a deterministic identity — phase, name, iteration, column,
+/// sample index, value, detail, metrics — and NEVER wall-clock ordering or
+/// timing. Worker threads may interleave arbitrarily, so traces from 1-, 2-
+/// and 8-thread runs of the same search are permutations of the same event
+/// set; tests compare the sorted Id() multiset. Span-end events additionally
+/// record `elapsed_ms`, which is explicitly excluded from Id() (timing is
+/// diagnostic, not identity). See DESIGN.md §8.
+
+/// Typed event kinds.
+enum class TraceEventKind : uint8_t {
+  kSpanBegin = 0,  ///< a pipeline phase starts
+  kSpanEnd,        ///< ...and ends (elapsed_ms filled in)
+  kCounter,        ///< a named quantity (value = the count)
+  kDecision,       ///< a scoring/selection decision with its evidence
+};
+
+/// Lower-case wire name ("span_begin", "span_end", "counter", "decision").
+const char* TraceEventKindName(TraceEventKind kind);
+
+/// One trace event. String fields use stable identifiers (phase/name from a
+/// small fixed vocabulary, detail = rendered formulas or axis names), numeric
+/// fields use deterministic pipeline coordinates (iteration number, column
+/// index, sample slot) — never thread ids or timestamps.
+struct TraceEvent {
+  TraceEventKind kind = TraceEventKind::kDecision;
+  std::string phase;       ///< pipeline phase: "step1", "step2", "refine", ...
+  std::string name;        ///< event name within the phase
+  int64_t iteration = -1;  ///< refinement iteration (-1 = n/a)
+  int64_t column = -1;     ///< source column index (-1 = n/a)
+  int64_t sample = -1;     ///< sample slot index (-1 = n/a)
+  double value = 0;        ///< primary quantity (score, count, ...)
+  std::string detail;      ///< free-form but deterministic (formula, axis, ...)
+  /// Named score breakdown (e.g. ScoreTrans terms), in emission order.
+  std::vector<std::pair<std::string, double>> metrics;
+  /// Span-end wall time. Diagnostic only: EXCLUDED from Id() so traces stay
+  /// permutation-comparable across runs and thread counts.
+  double elapsed_ms = -1;
+
+  /// Deterministic identity string covering every field except elapsed_ms.
+  std::string Id() const;
+};
+
+/// Shortest round-trip decimal rendering of `v` (std::to_chars): the same
+/// double always renders to the same bytes, machine-independently.
+std::string FormatTraceDouble(double v);
+
+/// Appends `s` JSON-escaped (no surrounding quotes) to `*out`.
+void AppendJsonEscaped(std::string_view s, std::string* out);
+
+/// Appends one event as a single-line JSON object. Unset coordinates
+/// (iteration/column/sample = -1), empty detail/metrics, and elapsed_ms < 0
+/// are omitted; kind/phase/name/value are always present.
+void AppendTraceEventJson(const TraceEvent& event, std::string* out);
+
+/// Renders a whole trace as `{"schema_version":1,"events":[...]}` (the
+/// service's GET /v1/jobs/{id}/trace body; also valid check_trace.py input).
+std::string TraceEventsToJson(const std::vector<TraceEvent>& events);
+
+/// \brief Abstract sink. Implementations must tolerate concurrent Emit()
+/// calls from the search's worker pool.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+
+  /// Records one event. Thread-safe.
+  virtual void Emit(TraceEvent event) = 0;
+
+  // Convenience emitters (forward to Emit). On a null sink pointer, call
+  // sites skip these entirely — do not add null checks here.
+  void SpanBegin(std::string_view phase, std::string_view name);
+  void SpanEnd(std::string_view phase, std::string_view name,
+               double elapsed_ms);
+  void Counter(std::string_view phase, std::string_view name, double value);
+};
+
+/// \brief RAII span: emits kSpanBegin on construction and kSpanEnd (with
+/// elapsed_ms) on destruction. A null sink makes both no-ops. Spans are
+/// emitted from the orchestrating thread only (begin/end pairs never race
+/// their own phase).
+class TraceSpan {
+ public:
+  TraceSpan(TraceSink* sink, std::string phase, std::string name);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  TraceSink* sink_;
+  std::string phase_;
+  std::string name_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// \brief Lock-sharded in-memory sink. Emit() appends to one of kShards
+/// thread-keyed shards (uncontended in the common case); Events() snapshots
+/// all shards in shard order. Event order within the snapshot is NOT
+/// deterministic across thread counts — consumers needing a canonical order
+/// use CanonicalEvents() (sorted by Id()).
+class InMemoryTraceSink : public TraceSink {
+ public:
+  InMemoryTraceSink();
+  ~InMemoryTraceSink() override;
+
+  void Emit(TraceEvent event) override;
+
+  /// Copies out every event recorded so far (shard concatenation order).
+  std::vector<TraceEvent> Events() const;
+  /// Events() sorted by Id(): the canonical permutation-independent order.
+  std::vector<TraceEvent> CanonicalEvents() const;
+
+  uint64_t event_count() const {
+    return events_.load(std::memory_order_relaxed);
+  }
+  uint64_t span_count() const { return spans_.load(std::memory_order_relaxed); }
+
+  void Clear();
+
+ private:
+  static constexpr size_t kShards = 16;
+  struct Shard {
+    mutable std::mutex mu;
+    std::vector<TraceEvent> events;
+  };
+  Shard& ShardForThisThread();
+
+  std::unique_ptr<Shard[]> shards_;
+  std::atomic<uint64_t> events_{0};
+  std::atomic<uint64_t> spans_{0};
+};
+
+/// \brief JSONL file sink: one JSON object per line, flushed on close.
+/// Writes are serialized under one mutex (tracing to a file trades
+/// throughput for a streamable artifact; use InMemoryTraceSink when emit
+/// cost matters).
+class JsonlTraceSink : public TraceSink {
+ public:
+  /// Opens (truncates) `path` for writing.
+  static Result<std::unique_ptr<JsonlTraceSink>> Open(const std::string& path);
+  ~JsonlTraceSink() override;
+
+  void Emit(TraceEvent event) override;
+
+  uint64_t event_count() const {
+    return events_.load(std::memory_order_relaxed);
+  }
+  uint64_t span_count() const { return spans_.load(std::memory_order_relaxed); }
+
+ private:
+  explicit JsonlTraceSink(std::FILE* file) : file_(file) {}
+
+  std::FILE* file_;
+  std::mutex mu_;
+  std::atomic<uint64_t> events_{0};
+  std::atomic<uint64_t> spans_{0};
+};
+
+/// \brief Discards everything. Exists so "tracing enabled but routed
+/// nowhere" is expressible; the truly-disabled path is a null TraceSink*.
+class NullTraceSink : public TraceSink {
+ public:
+  void Emit(TraceEvent event) override { (void)event; }
+};
+
+/// \brief Duplicates every event to two sinks (e.g. --trace=FILE --explain
+/// wants both the JSONL artifact and the in-memory report source).
+class TeeTraceSink : public TraceSink {
+ public:
+  TeeTraceSink(TraceSink* first, TraceSink* second)
+      : first_(first), second_(second) {}
+
+  void Emit(TraceEvent event) override {
+    if (first_ != nullptr) first_->Emit(event);
+    if (second_ != nullptr) second_->Emit(std::move(event));
+  }
+
+ private:
+  TraceSink* first_;
+  TraceSink* second_;
+};
+
+}  // namespace mcsm
+
+#endif  // MCSM_COMMON_TRACE_H_

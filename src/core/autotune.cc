@@ -19,7 +19,8 @@ Result<Probe> RunProbe(const relational::Table& source,
   Probe probe;
   probe.fraction = fraction;
   TranslationSearch search(source, target, target_column, options);
-  MCSM_ASSIGN_OR_RETURN(probe.start_column, search.SelectStartColumn());
+  MCSM_ASSIGN_OR_RETURN(ColumnSelection selection, search.SelectStartColumn());
+  probe.start_column = selection.best_column;
   auto formula = search.BuildInitialFormula(probe.start_column);
   if (formula.ok()) probe.initial_formula = formula->ToString();
   return probe;

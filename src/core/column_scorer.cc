@@ -12,7 +12,8 @@ double ColumnScorer::ScoreKeys(const std::vector<std::string>& keys,
   if (keys.empty()) return 0.0;
   const size_t q = target_index.q();
   double hit_count = 0.0;
-  for (const auto& key : keys) {
+  for (size_t j = 0; j < keys.size(); ++j) {
+    const auto& key = keys[j];
     if (key.empty()) continue;
     double localc = 0.0;
     if (options.mode == CountMode::kTotalHits) {
@@ -21,7 +22,19 @@ double ColumnScorer::ScoreKeys(const std::vector<std::string>& keys,
     } else {
       localc = static_cast<double>(target_index.RowsWithAnyQGram(key));
     }
-    hit_count += localc / static_cast<double>(key.size());
+    const double contribution = localc / static_cast<double>(key.size());
+    if (options.trace != nullptr) {
+      // Eq. 1 per-key evidence: HitCount(j) / length(key_j).
+      TraceEvent event;
+      event.phase = "step1";
+      event.name = "key_score";
+      event.column = options.trace_column;
+      event.sample = static_cast<int64_t>(j);
+      event.value = contribution;
+      event.detail = key;
+      options.trace->Emit(std::move(event));
+    }
+    hit_count += contribution;
   }
   double average_overlap = hit_count / static_cast<double>(keys.size());
   return std::pow(average_overlap, static_cast<double>(q));

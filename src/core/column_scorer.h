@@ -2,10 +2,12 @@
 #define MCSM_CORE_COLUMN_SCORER_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
+#include "common/trace.h"
 #include "relational/column_index.h"
 
 namespace mcsm::core {
@@ -35,6 +37,13 @@ class ColumnScorer {
     CountMode mode = CountMode::kTotalHits;
     /// Characters never used in search q-grams (separator template active).
     std::string excluded_chars;
+    /// When set, ScoreKeys emits one "key_score" decision per sampled key
+    /// (phase "step1", column = trace_column, sample = key index, value =
+    /// the key's normalized hit contribution). Null disables with a single
+    /// branch. Not owned.
+    TraceSink* trace = nullptr;
+    /// The source column the keys were sampled from (trace identity).
+    int64_t trace_column = -1;
   };
 
   /// Scores one source column (its index provides the distinct values to

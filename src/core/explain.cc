@@ -1,0 +1,358 @@
+#include "core/explain.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/string_util.h"
+
+namespace mcsm::core {
+
+namespace {
+
+/// One scored line of the report (a candidate formula, an initial
+/// candidate, or an outcome decision).
+struct Line {
+  int64_t column = -1;
+  int64_t sample = -1;
+  double value = 0;
+  std::string detail;
+  std::vector<std::pair<std::string, double>> metrics;
+
+  double Metric(const char* key, double fallback = 0) const {
+    for (const auto& [k, v] : metrics) {
+      if (k == key) return v;
+    }
+    return fallback;
+  }
+};
+
+Line ToLine(const TraceEvent& event) {
+  Line line;
+  line.column = event.column;
+  line.sample = event.sample;
+  line.value = event.value;
+  line.detail = event.detail;
+  line.metrics = event.metrics;
+  return line;
+}
+
+struct IterationReport {
+  std::vector<Line> candidates;  ///< score desc, detail asc
+  bool has_winner = false;
+  Line winner;
+  bool no_improvement = false;
+  Line kept;
+};
+
+/// The canonicalized decision model assembled from any permutation of the
+/// trace (sorting keys never involve emission order).
+struct Model {
+  std::vector<Line> column_scores;  ///< score desc, column asc
+  bool has_start = false;
+  Line start;
+  std::vector<Line> initial;  ///< (column, rank) asc
+  std::map<int64_t, IterationReport> iterations;
+  std::vector<Line> rejects;    ///< coverage_reject, Id-sorted
+  std::vector<Line> accepted;   ///< usually 0 or 1
+  std::vector<Line> trips;      ///< budget_trip
+  std::vector<Line> failpoints;
+  size_t total_events = 0;
+  size_t recipe_events = 0;
+  size_t key_score_events = 0;
+};
+
+Model BuildModel(const std::vector<TraceEvent>& events) {
+  Model model;
+  model.total_events = events.size();
+  for (const TraceEvent& event : events) {
+    if (event.phase == "step1" && event.name == "column_score") {
+      model.column_scores.push_back(ToLine(event));
+    } else if (event.phase == "step1" && event.name == "start_column") {
+      model.has_start = true;
+      model.start = ToLine(event);
+    } else if (event.phase == "step1" && event.name == "key_score") {
+      ++model.key_score_events;
+    } else if (event.phase == "step2" && event.name == "initial_candidate") {
+      model.initial.push_back(ToLine(event));
+    } else if (event.name == "recipe") {
+      ++model.recipe_events;
+    } else if (event.phase == "refine" && event.name == "candidate_formula") {
+      model.iterations[event.iteration].candidates.push_back(ToLine(event));
+    } else if (event.phase == "refine" && event.name == "iteration_winner") {
+      IterationReport& it = model.iterations[event.iteration];
+      it.has_winner = true;
+      it.winner = ToLine(event);
+    } else if (event.phase == "refine" && event.name == "no_improvement") {
+      IterationReport& it = model.iterations[event.iteration];
+      it.no_improvement = true;
+      it.kept = ToLine(event);
+    } else if (event.phase == "run" && event.name == "coverage_reject") {
+      model.rejects.push_back(ToLine(event));
+    } else if (event.phase == "run" && event.name == "accepted") {
+      model.accepted.push_back(ToLine(event));
+    } else if (event.phase == "run" && event.name == "budget_trip") {
+      model.trips.push_back(ToLine(event));
+    } else if (event.name == "failpoint") {
+      model.failpoints.push_back(ToLine(event));
+    }
+  }
+
+  auto by_score_then_detail = [](const Line& a, const Line& b) {
+    if (a.value != b.value) return a.value > b.value;
+    if (a.detail != b.detail) return a.detail < b.detail;
+    return a.column < b.column;
+  };
+  std::sort(model.column_scores.begin(), model.column_scores.end(),
+            [](const Line& a, const Line& b) {
+              if (a.value != b.value) return a.value > b.value;
+              return a.column < b.column;
+            });
+  std::sort(model.initial.begin(), model.initial.end(),
+            [](const Line& a, const Line& b) {
+              if (a.column != b.column) return a.column < b.column;
+              return a.sample < b.sample;
+            });
+  for (auto& [iter, report] : model.iterations) {
+    std::sort(report.candidates.begin(), report.candidates.end(),
+              by_score_then_detail);
+  }
+  auto by_detail = [](const Line& a, const Line& b) {
+    if (a.detail != b.detail) return a.detail < b.detail;
+    if (a.column != b.column) return a.column < b.column;
+    return a.value < b.value;
+  };
+  std::sort(model.rejects.begin(), model.rejects.end(), by_detail);
+  std::sort(model.accepted.begin(), model.accepted.end(), by_detail);
+  std::sort(model.trips.begin(), model.trips.end(), by_detail);
+  std::sort(model.failpoints.begin(), model.failpoints.end(), by_detail);
+  return model;
+}
+
+void AppendLineJson(const Line& line, std::string* out) {
+  *out += '{';
+  if (line.column >= 0) {
+    *out += "\"column\":";
+    *out += std::to_string(line.column);
+    *out += ',';
+  }
+  *out += "\"value\":";
+  *out += FormatTraceDouble(line.value);
+  if (!line.detail.empty()) {
+    *out += ",\"detail\":\"";
+    AppendJsonEscaped(line.detail, out);
+    *out += '"';
+  }
+  if (!line.metrics.empty()) {
+    *out += ",\"metrics\":{";
+    bool first = true;
+    for (const auto& [k, v] : line.metrics) {
+      if (!first) *out += ',';
+      first = false;
+      *out += '"';
+      AppendJsonEscaped(k, out);
+      *out += "\":";
+      *out += FormatTraceDouble(v);
+    }
+    *out += '}';
+  }
+  *out += '}';
+}
+
+}  // namespace
+
+std::string ExplainText(const std::vector<TraceEvent>& events,
+                        const ExplainOptions& options) {
+  Model model = BuildModel(events);
+  std::string out;
+  out += "=== discovery explain ===\n";
+  out += StrFormat("trace: %zu events (%zu recipe alignments, %zu key probes)\n",
+                   model.total_events, model.recipe_events,
+                   model.key_score_events);
+
+  out += "step 1 - column selection (Eq. 1)\n";
+  if (model.column_scores.empty()) {
+    out += "  (no column scores traced)\n";
+  }
+  for (const Line& line : model.column_scores) {
+    bool selected = model.has_start && line.column == model.start.column;
+    out += StrFormat("  column %lld  score %s%s\n",
+                     static_cast<long long>(line.column),
+                     FormatTraceDouble(line.value).c_str(),
+                     selected ? "   << selected" : "");
+  }
+
+  out += "step 2 - initial formula candidates\n";
+  if (model.initial.empty()) {
+    out += "  (none reached min_support)\n";
+  }
+  size_t shown = 0;
+  for (const Line& line : model.initial) {
+    if (shown >= options.max_initial_candidates) {
+      out += StrFormat("  ... %zu more\n", model.initial.size() - shown);
+      break;
+    }
+    ++shown;
+    out += StrFormat("  #%lld  %s  (column %lld, support %s, weighted %s)\n",
+                     static_cast<long long>(line.sample), line.detail.c_str(),
+                     static_cast<long long>(line.column),
+                     FormatTraceDouble(line.Metric("support")).c_str(),
+                     FormatTraceDouble(line.value).c_str());
+  }
+
+  out += "refinement (Eq. 5 ScoreTrans)\n";
+  if (model.iterations.empty()) {
+    out += "  (no refinement iterations)\n";
+  }
+  for (const auto& [iter, report] : model.iterations) {
+    out += StrFormat("  iteration %lld:\n", static_cast<long long>(iter));
+    size_t listed = 0;
+    for (const Line& cand : report.candidates) {
+      if (listed >= options.max_candidates_per_iteration) {
+        out += StrFormat("    ... %zu more candidates\n",
+                         report.candidates.size() - listed);
+        break;
+      }
+      ++listed;
+      out += StrFormat(
+          "    candidate %s  score %s  (freq %s / width %s, support %s, "
+          "column %lld)\n",
+          cand.detail.c_str(), FormatTraceDouble(cand.value).c_str(),
+          FormatTraceDouble(cand.Metric("frequency")).c_str(),
+          FormatTraceDouble(cand.Metric("width_penalty")).c_str(),
+          FormatTraceDouble(cand.Metric("support")).c_str(),
+          static_cast<long long>(cand.column));
+    }
+    if (report.has_winner) {
+      out += StrFormat("    -> winner %s  (column %lld, score %s)\n",
+                       report.winner.detail.c_str(),
+                       static_cast<long long>(report.winner.column),
+                       FormatTraceDouble(report.winner.value).c_str());
+    } else if (report.no_improvement) {
+      out += StrFormat("    -> no improvement, kept %s\n",
+                       report.kept.detail.c_str());
+    }
+  }
+
+  out += "outcome\n";
+  for (const Line& line : model.failpoints) {
+    out += StrFormat("  failpoint: %s\n", line.detail.c_str());
+  }
+  for (const Line& line : model.rejects) {
+    out += StrFormat("  rejected %s  coverage %s (floor %s)\n",
+                     line.detail.c_str(),
+                     FormatTraceDouble(line.value).c_str(),
+                     FormatTraceDouble(line.Metric("floor")).c_str());
+  }
+  for (const Line& line : model.trips) {
+    out += StrFormat("  budget tripped: %s\n", line.detail.c_str());
+  }
+  for (const Line& line : model.accepted) {
+    out += StrFormat("  accepted %s  coverage %s (floor %s)\n",
+                     line.detail.c_str(),
+                     FormatTraceDouble(line.value).c_str(),
+                     FormatTraceDouble(line.Metric("floor")).c_str());
+  }
+  if (model.rejects.empty() && model.accepted.empty() && model.trips.empty() &&
+      model.failpoints.empty()) {
+    out += "  (no outcome decisions traced)\n";
+  }
+  return out;
+}
+
+std::string ExplainJson(const std::vector<TraceEvent>& events,
+                        const ExplainOptions& options) {
+  Model model = BuildModel(events);
+  std::string out = "{\"schema_version\":1";
+  out += ",\"event_count\":";
+  out += std::to_string(model.total_events);
+  out += ",\"recipe_count\":";
+  out += std::to_string(model.recipe_events);
+
+  out += ",\"step1\":{\"scores\":[";
+  bool first = true;
+  for (const Line& line : model.column_scores) {
+    if (!first) out += ',';
+    first = false;
+    AppendLineJson(line, &out);
+  }
+  out += ']';
+  if (model.has_start) {
+    out += ",\"selected\":";
+    out += std::to_string(model.start.column);
+  }
+  out += '}';
+
+  out += ",\"initial_candidates\":[";
+  first = true;
+  size_t shown = 0;
+  for (const Line& line : model.initial) {
+    if (shown >= options.max_initial_candidates) break;
+    ++shown;
+    if (!first) out += ',';
+    first = false;
+    AppendLineJson(line, &out);
+  }
+  out += ']';
+
+  out += ",\"iterations\":[";
+  first = true;
+  for (const auto& [iter, report] : model.iterations) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"iteration\":";
+    out += std::to_string(iter);
+    out += ",\"candidates\":[";
+    bool cfirst = true;
+    size_t listed = 0;
+    for (const Line& cand : report.candidates) {
+      if (listed >= options.max_candidates_per_iteration) break;
+      ++listed;
+      if (!cfirst) out += ',';
+      cfirst = false;
+      AppendLineJson(cand, &out);
+    }
+    out += ']';
+    if (report.has_winner) {
+      out += ",\"winner\":";
+      AppendLineJson(report.winner, &out);
+    } else if (report.no_improvement) {
+      out += ",\"no_improvement\":";
+      AppendLineJson(report.kept, &out);
+    }
+    out += '}';
+  }
+  out += ']';
+
+  out += ",\"outcome\":{\"rejected\":[";
+  first = true;
+  for (const Line& line : model.rejects) {
+    if (!first) out += ',';
+    first = false;
+    AppendLineJson(line, &out);
+  }
+  out += "],\"accepted\":[";
+  first = true;
+  for (const Line& line : model.accepted) {
+    if (!first) out += ',';
+    first = false;
+    AppendLineJson(line, &out);
+  }
+  out += "],\"budget_trips\":[";
+  first = true;
+  for (const Line& line : model.trips) {
+    if (!first) out += ',';
+    first = false;
+    AppendLineJson(line, &out);
+  }
+  out += "],\"failpoints\":[";
+  first = true;
+  for (const Line& line : model.failpoints) {
+    if (!first) out += ',';
+    first = false;
+    AppendLineJson(line, &out);
+  }
+  out += "]}}";
+  return out;
+}
+
+}  // namespace mcsm::core

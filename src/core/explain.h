@@ -1,0 +1,39 @@
+#ifndef MCSM_CORE_EXPLAIN_H_
+#define MCSM_CORE_EXPLAIN_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/trace.h"
+
+namespace mcsm::core {
+
+/// \brief Renders a discovery trace into the "why this formula won" decision
+/// log, in text or JSON.
+///
+/// Input is any permutation of the event set a traced search emitted (see
+/// common/trace.h — 1/2/8-thread traces are permutations of each other); the
+/// report canonicalizes internally, so the rendering is byte-identical for
+/// every thread count. Events the report does not understand are counted but
+/// otherwise ignored, so the renderer stays forward-compatible with new
+/// event names.
+
+struct ExplainOptions {
+  /// Top-N candidate formulas shown per refinement iteration (by score).
+  size_t max_candidates_per_iteration = 5;
+  /// Top-N initial candidates shown for step 2.
+  size_t max_initial_candidates = 5;
+};
+
+/// Human-readable decision log.
+std::string ExplainText(const std::vector<TraceEvent>& events,
+                        const ExplainOptions& options = {});
+
+/// The same report as one JSON object (schema_version 1).
+std::string ExplainJson(const std::vector<TraceEvent>& events,
+                        const ExplainOptions& options = {});
+
+}  // namespace mcsm::core
+
+#endif  // MCSM_CORE_EXPLAIN_H_

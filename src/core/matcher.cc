@@ -11,6 +11,7 @@ Result<DiscoveredTranslation> DiscoverTranslation(
   if (target_column >= target.num_columns()) {
     return Status::OutOfRange("target column index out of range");
   }
+  MCSM_RETURN_IF_ERROR(options.Validate());
   TranslationSearch search(source, target, target_column, options);
   DiscoveredTranslation out;
   MCSM_ASSIGN_OR_RETURN(out.search, search.Run());
@@ -34,6 +35,17 @@ Result<std::vector<DiscoveredTranslation>> DiscoverAllTranslations(
   std::vector<DiscoveredTranslation> out;
   for (size_t round = 0; round < max_formulas; ++round) {
     if (source.num_rows() == 0 || target.num_rows() == 0) break;
+    if (TraceSink* trace = options.env.trace) {
+      // Match-and-remove round boundary: rows remaining when it starts.
+      TraceEvent event;
+      event.phase = "matcher";
+      event.name = "round";
+      event.iteration = static_cast<int64_t>(round);
+      event.value = static_cast<double>(source.num_rows());
+      event.metrics.emplace_back("target_rows",
+                                 static_cast<double>(target.num_rows()));
+      trace->Emit(std::move(event));
+    }
     auto discovered =
         DiscoverTranslation(source, target, target_column, options);
     if (!discovered.ok()) {

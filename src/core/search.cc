@@ -28,6 +28,48 @@ double SecondsSince(Clock::time_point start) {
 
 }  // namespace
 
+Status SearchOptions::Env::Validate() const {
+  if (budget.wall_ms < 0) {
+    return Status::InvalidArgument("env.budget.wall_ms must be >= 0");
+  }
+  if (shared_budget != nullptr && !budget.unlimited()) {
+    return Status::InvalidArgument(
+        "env.budget is ignored when env.shared_budget is set; configure the "
+        "limits on the shared budget instead");
+  }
+  return Status::OK();
+}
+
+Status SearchOptions::Validate() const {
+  if (q < 1) {
+    return Status::InvalidArgument("q must be >= 1");
+  }
+  if (!(sample_fraction > 0.0) || sample_fraction > 1.0) {
+    return Status::InvalidArgument(
+        StrFormat("sample_fraction must be in (0, 1], got %g", sample_fraction));
+  }
+  if (max_sample < min_sample) {
+    return Status::InvalidArgument(
+        StrFormat("max_sample (%zu) must be >= min_sample (%zu)", max_sample,
+                  min_sample));
+  }
+  if (sigma < 0.0) {
+    return Status::InvalidArgument("sigma must be >= 0");
+  }
+  if (max_iterations < 1) {
+    return Status::InvalidArgument("max_iterations must be >= 1");
+  }
+  if (top_r_pairs < 1) {
+    return Status::InvalidArgument("top_r_pairs must be >= 1");
+  }
+  if (min_coverage_fraction < 0.0 || min_coverage_fraction > 1.0) {
+    return Status::InvalidArgument(
+        StrFormat("min_coverage_fraction must be in [0, 1], got %g",
+                  min_coverage_fraction));
+  }
+  return env.Validate();
+}
+
 TranslationSearch::TranslationSearch(const relational::Table& source,
                                      const relational::Table& target,
                                      size_t target_column,
@@ -36,9 +78,11 @@ TranslationSearch::TranslationSearch(const relational::Table& source,
       target_(target),
       target_column_(target_column),
       options_(options),
-      budget_(options_.budget),
-      active_budget_(options_.shared_budget != nullptr ? options_.shared_budget
-                                                       : &budget_),
+      budget_(options_.env.budget),
+      active_budget_(options_.env.shared_budget != nullptr
+                         ? options_.env.shared_budget
+                         : &budget_),
+      trace_(options_.env.trace),
       source_indexes_(source.num_columns()) {
   // A cached target index is accepted only when it is interchangeable with
   // the one this search would build: same q, postings present, same column,
@@ -47,12 +91,12 @@ TranslationSearch::TranslationSearch(const relational::Table& source,
   // caller handing in an index for a different table). Anything else falls
   // back to a local build rather than erroring — a stale cache must never
   // change results.
-  if (options_.target_index != nullptr &&
-      options_.target_index->q() == options_.q &&
-      options_.target_index->postings_built() &&
-      options_.target_index->column() == target_column_ &&
-      options_.target_index->row_count() == target_.num_rows()) {
-    target_index_ = options_.target_index;
+  if (options_.env.target_index != nullptr &&
+      options_.env.target_index->q() == options_.q &&
+      options_.env.target_index->postings_built() &&
+      options_.env.target_index->column() == target_column_ &&
+      options_.env.target_index->row_count() == target_.num_rows()) {
+    target_index_ = options_.env.target_index;
   } else {
     relational::ColumnIndex::Options idx_options;
     idx_options.q = options_.q;
@@ -85,8 +129,8 @@ ThreadPool& TranslationSearch::pool() {
 
 const relational::ColumnIndex& TranslationSearch::SourceIndex(size_t column) {
   if (!source_indexes_[column]) {
-    if (options_.source_index_provider) {
-      auto cached = options_.source_index_provider(column);
+    if (options_.env.source_index_provider) {
+      auto cached = options_.env.source_index_provider(column);
       if (cached != nullptr && cached->q() == options_.q &&
           cached->column() == column &&
           cached->row_count() == source_.num_rows()) {
@@ -130,9 +174,22 @@ std::vector<size_t> TranslationSearch::SampleSourceRows(size_t column) {
   return relational::SampleRows(source_.num_rows(), t, active_budget_);
 }
 
+Status TranslationSearch::TracedFailpoint(const char* site, const char* phase) {
+  if (!failpoint::Enabled()) return Status::OK();
+  Status triggered = failpoint::Trigger(site);
+  if (!triggered.ok() && trace_ != nullptr) {
+    TraceEvent event;
+    event.phase = phase;
+    event.name = "failpoint";
+    event.detail = std::string(site) + ": " + triggered.message();
+    trace_->Emit(std::move(event));
+  }
+  return triggered;
+}
+
 Result<std::vector<uint32_t>> TranslationSearch::SimilarTargetRows(
     std::string_view key, size_t* pairs_scored) {
-  MCSM_FAILPOINT(failpoint::kIndexSimilar);
+  MCSM_RETURN_IF_ERROR(TracedFailpoint(failpoint::kIndexSimilar, "step2"));
   std::vector<relational::ColumnIndex::ScoredRow> scored;
   if (options_.pair_mode == SearchOptions::PairScoreMode::kTfIdf) {
     scored = target_index_->SimilarRows(key, options_.pair_score_threshold,
@@ -152,12 +209,28 @@ Result<std::vector<uint32_t>> TranslationSearch::SimilarTargetRows(
 void TranslationSearch::VoteRecipe(std::string_view key,
                                    std::string_view target,
                                    const FixedCoverage& fixed,
-                                   size_t key_column, VoteBatch* batch) {
+                                   size_t key_column,
+                                   const TraceCtx& trace_ctx,
+                                   VoteBatch* batch) {
   std::vector<bool> mask = fixed.FreeMask();
   text::RecipeAlignment alignment = text::AlignLcsAnchored(
       key, target, &mask, text::EditCosts{}, options_.lcs_tie_break);
   ++batch->recipes_built;
   (void)active_budget_->ChargePairs();
+  if (trace_ != nullptr) {
+    // One alignment event per (key, target instance) pair. Identity comes
+    // from the pipeline coordinates + the pair itself, so the multiset is
+    // thread-count independent.
+    TraceEvent event;
+    event.phase = trace_ctx.phase;
+    event.name = "recipe";
+    event.iteration = trace_ctx.iteration;
+    event.column = static_cast<int64_t>(key_column);
+    event.sample = trace_ctx.sample;
+    event.value = static_cast<double>(alignment.matched_chars());
+    event.detail = std::string(key) + " -> " + std::string(target);
+    trace_->Emit(std::move(event));
+  }
   auto formulas_or = BuildFormulasFromRecipe(
       target, fixed, alignment, key_column, key.size(),
       options_.max_variants_per_recipe, target_index_->fixed_width());
@@ -205,12 +278,11 @@ void TranslationSearch::MergeBatch(VoteBatch&& batch, VoteMap* votes,
   }
 }
 
-Result<size_t> TranslationSearch::SelectStartColumn(
-    std::vector<double>* scores_out) {
+Result<ColumnSelection> TranslationSearch::SelectStartColumn() {
   auto start = Clock::now();
-  if (scores_out != nullptr) {
-    scores_out->assign(source_.num_columns(), 0.0);
-  }
+  TraceSpan span(trace_, "step1", "select_start_column");
+  ColumnSelection selection;
+  selection.scores.assign(source_.num_columns(), 0.0);
   std::vector<size_t> text_columns;
   for (size_t col = 0; col < source_.num_columns(); ++col) {
     if (source_.schema().column(col).type == relational::ColumnType::kText) {
@@ -228,35 +300,54 @@ Result<size_t> TranslationSearch::SelectStartColumn(
     ColumnScorer::Options scorer_options;
     scorer_options.mode = options_.count_mode;
     scorer_options.excluded_chars = separator_chars_;
+    scorer_options.trace = trace_;
+    scorer_options.trace_column = static_cast<int64_t>(col);
     std::vector<std::string> keys = SampleKeys(col);
     column_scores[i] =
         ColumnScorer::ScoreKeys(keys, *target_index_, scorer_options);
   });
   double best_score = 0.0;
-  size_t best_column = std::numeric_limits<size_t>::max();
   for (size_t i = 0; i < text_columns.size(); ++i) {
-    if (scores_out != nullptr) (*scores_out)[text_columns[i]] = column_scores[i];
+    selection.scores[text_columns[i]] = column_scores[i];
+    if (trace_ != nullptr) {
+      // Eq. 1 score of every text column (the Algorithm 2 evidence).
+      TraceEvent event;
+      event.phase = "step1";
+      event.name = "column_score";
+      event.column = static_cast<int64_t>(text_columns[i]);
+      event.value = column_scores[i];
+      trace_->Emit(std::move(event));
+    }
     if (column_scores[i] > best_score) {
       best_score = column_scores[i];
-      best_column = text_columns[i];
+      selection.best_column = text_columns[i];
     }
   }
   stats_.step1_seconds += SecondsSince(start);
-  if (best_column == std::numeric_limits<size_t>::max()) {
+  if (selection.best_column == std::numeric_limits<size_t>::max()) {
     return Status::NotFound("no source column shares q-grams with the target");
   }
-  return best_column;
+  if (trace_ != nullptr) {
+    TraceEvent event;
+    event.phase = "step1";
+    event.name = "start_column";
+    event.column = static_cast<int64_t>(selection.best_column);
+    event.value = best_score;
+    trace_->Emit(std::move(event));
+  }
+  return selection;
 }
 
 Result<std::vector<TranslationFormula>> TranslationSearch::BuildInitialFormulas(
     size_t column, size_t k) {
   auto start = Clock::now();
-  MCSM_FAILPOINT(failpoint::kSamplerSample);
+  TraceSpan span(trace_, "step2", "build_initial");
+  MCSM_RETURN_IF_ERROR(TracedFailpoint(failpoint::kSamplerSample, "step2"));
   VoteMap votes;
   double total = 0;
 
   auto vote_pair = [&](std::string_view key, uint32_t target_row,
-                       VoteBatch* batch) {
+                       size_t sample_slot, VoteBatch* batch) {
     std::string_view target = target_.CellText(target_row, target_column_);
     if (target.empty()) return;
     FixedCoverage fixed = FixedCoverage::None(target.size());
@@ -277,7 +368,10 @@ Result<std::vector<TranslationFormula>> TranslationSearch::BuildInitialFormulas(
       if (!built.ok()) return;
       fixed = std::move(built).value();
     }
-    VoteRecipe(key, target, fixed, column, batch);
+    TraceCtx ctx;
+    ctx.phase = "step2";
+    ctx.sample = static_cast<int64_t>(sample_slot);
+    VoteRecipe(key, target, fixed, column, ctx, batch);
   };
 
   // One slot per sampled key (or linked pair): retrieval + alignment run in
@@ -298,7 +392,7 @@ Result<std::vector<TranslationFormula>> TranslationSearch::BuildInitialFormulas(
     batches.resize(pairs.size());
     pool().ParallelFor(pairs.size(), [&](size_t i) {
       if (active_budget_->Exhausted()) return;
-      vote_pair(pairs[i].first, pairs[i].second, &batches[i]);
+      vote_pair(pairs[i].first, pairs[i].second, i, &batches[i]);
     });
   } else {
     std::vector<std::string> keys = SampleKeys(column);
@@ -313,7 +407,21 @@ Result<std::vector<TranslationFormula>> TranslationSearch::BuildInitialFormulas(
         batch.status = rows_or.status();
         return;
       }
-      for (uint32_t target_row : *rows_or) vote_pair(key, target_row, &batch);
+      if (trace_ != nullptr) {
+        // Pair retrieval per sampled key (Algorithm 3): how many candidate
+        // target instances the index produced for this key.
+        TraceEvent event;
+        event.phase = "step2";
+        event.name = "pairs_retrieved";
+        event.column = static_cast<int64_t>(column);
+        event.sample = static_cast<int64_t>(i);
+        event.value = static_cast<double>(rows_or->size());
+        event.detail = key;
+        trace_->Emit(std::move(event));
+      }
+      for (uint32_t target_row : *rows_or) {
+        vote_pair(key, target_row, i, &batch);
+      }
     });
   }
   for (VoteBatch& batch : batches) {
@@ -353,6 +461,20 @@ Result<std::vector<TranslationFormula>> TranslationSearch::BuildInitialFormulas(
   });
   std::vector<TranslationFormula> out;
   for (const Ranked& r : ranked) {
+    if (trace_ != nullptr) {
+      // The surviving initial candidates in rank order (sample = rank).
+      TraceEvent event;
+      event.phase = "step2";
+      event.name = "initial_candidate";
+      event.column = static_cast<int64_t>(r.entry->column);
+      event.sample = static_cast<int64_t>(out.size());
+      event.value = r.entry->weighted_count;
+      event.detail = r.entry->formula.ToString(source_.schema());
+      event.metrics.emplace_back("support",
+                                 static_cast<double>(r.entry->count));
+      event.metrics.emplace_back("weighted_count", r.entry->weighted_count);
+      trace_->Emit(std::move(event));
+    }
     out.push_back(r.entry->formula);
     if (out.size() >= k) break;
   }
@@ -377,9 +499,23 @@ Result<bool> TranslationSearch::RefineOnce(TranslationFormula* formula,
   if (formula->empty()) {
     return Status::InvalidArgument("cannot refine an empty formula");
   }
+  // Iteration number for trace identity: refinement passes completed so far
+  // across the whole run (deterministic — branch order never depends on
+  // scheduling).
+  const int64_t iteration =
+      static_cast<int64_t>(stats_.iteration_seconds.size());
+  if (trace_ != nullptr) {
+    TraceEvent event;
+    event.kind = TraceEventKind::kSpanBegin;
+    event.phase = "refine";
+    event.name = "iteration";
+    event.iteration = iteration;
+    event.detail = formula->ToString(source_.schema());
+    trace_->Emit(std::move(event));
+  }
   // Fires once per refinement pass, not per row, so a delay spec slows the
   // search instead of multiplying into an apparent hang.
-  MCSM_FAILPOINT(failpoint::kIndexPattern);
+  MCSM_RETURN_IF_ERROR(TracedFailpoint(failpoint::kIndexPattern, "refine"));
   const std::string current_rendered = formula->ToString();
 
   // The formula's non-Unknown regions, in order (they pair with the pattern's
@@ -456,6 +592,16 @@ Result<bool> TranslationSearch::RefineOnce(TranslationFormula* formula,
     // target instance shares several fields and rises to the top, while a
     // candidate that matches one field by coincidence ranks below it — the
     // "primitive form of record linkage" of Section 2.
+    if (trace_ != nullptr) {
+      // Pattern retrieval outcome for this sampled row (Algorithm 5).
+      TraceEvent event;
+      event.phase = "refine";
+      event.name = "pattern_candidates";
+      event.iteration = iteration;
+      event.sample = static_cast<int64_t>(slot);
+      event.value = static_cast<double>(candidates.size());
+      trace_->Emit(std::move(event));
+    }
     if (candidates.size() > options_.max_pattern_rows) {
       std::vector<long long> row_similarity(candidates.size(), 0);
       for (size_t ci = 0; ci < candidates.size(); ++ci) {
@@ -508,7 +654,11 @@ Result<bool> TranslationSearch::RefineOnce(TranslationFormula* formula,
       }
       for (size_t ci = 0; ci < candidates.size(); ++ci) {
         if (filter && !sharing[ci]) continue;
-        VoteRecipe(key, candidates[ci].target, candidates[ci].fixed, col,
+        TraceCtx ctx;
+        ctx.phase = "refine";
+        ctx.iteration = iteration;
+        ctx.sample = static_cast<int64_t>(slot);
+        VoteRecipe(key, candidates[ci].target, candidates[ci].fixed, col, ctx,
                    &batch);
       }
     }
@@ -549,6 +699,21 @@ Result<bool> TranslationSearch::RefineOnce(TranslationFormula* formula,
       denominator = std::max(1.0, idx.avg_length() - options_.sigma);
     }
     double score = frequency / denominator;
+    if (trace_ != nullptr) {
+      // Eq. 5 ScoreTrans breakdown for every surviving candidate formula.
+      TraceEvent event;
+      event.phase = "refine";
+      event.name = "candidate_formula";
+      event.iteration = iteration;
+      event.column = static_cast<int64_t>(entry.column);
+      event.value = score;
+      event.detail = entry.formula.ToString(source_.schema());
+      event.metrics.emplace_back("frequency", frequency);
+      event.metrics.emplace_back("width_penalty", denominator);
+      event.metrics.emplace_back("support", static_cast<double>(entry.count));
+      event.metrics.emplace_back("weighted_count", entry.weighted_count);
+      trace_->Emit(std::move(event));
+    }
     if (best == nullptr || score > best_score ||
         (score == best_score &&
          entry.formula.KnownFixedChars() > best->formula.KnownFixedChars())) {
@@ -562,6 +727,29 @@ Result<bool> TranslationSearch::RefineOnce(TranslationFormula* formula,
   if (info != nullptr) {
     info->seconds = seconds;
     info->candidates_considered = candidates_considered;
+  }
+  if (trace_ != nullptr) {
+    TraceEvent winner;
+    winner.phase = "refine";
+    winner.name = best != nullptr ? "iteration_winner" : "no_improvement";
+    winner.iteration = iteration;
+    if (best != nullptr) {
+      winner.column = static_cast<int64_t>(best->column);
+      winner.value = best_score;
+      winner.detail = best->formula.ToString(source_.schema());
+      winner.metrics.emplace_back("support",
+                                  static_cast<double>(best->count));
+    } else {
+      winner.detail = formula->ToString(source_.schema());
+    }
+    trace_->Emit(std::move(winner));
+    TraceEvent end;
+    end.kind = TraceEventKind::kSpanEnd;
+    end.phase = "refine";
+    end.name = "iteration";
+    end.iteration = iteration;
+    end.elapsed_ms = seconds * 1e3;
+    trace_->Emit(std::move(end));
   }
   if (best == nullptr) {
     if (info != nullptr) info->formula = current_rendered;
@@ -582,18 +770,27 @@ SearchResult TranslationSearch::TruncatedResult(SearchResult attempt) {
   attempt.budget_trip = active_budget_->trip();
   stats_.postings_scanned = static_cast<size_t>(active_budget_->postings_scanned());
   attempt.stats = stats_;
+  if (trace_ != nullptr) {
+    TraceEvent event;
+    event.phase = "run";
+    event.name = "budget_trip";
+    event.detail = BudgetTripName(attempt.budget_trip);
+    event.value = static_cast<double>(attempt.stats.postings_scanned);
+    trace_->Emit(std::move(event));
+  }
   return attempt;
 }
 
 Result<SearchResult> TranslationSearch::Run() {
-  std::vector<double> scores;
-  auto start_column_or = SelectStartColumn(&scores);
-  if (!start_column_or.ok()) {
+  TraceSpan run_span(trace_, "run", "search");
+  auto selection_or = SelectStartColumn();
+  if (!selection_or.ok()) {
     // Anytime contract: a budget trip never surfaces as an error — return
     // whatever was found so far (here: nothing) tagged truncated.
     if (active_budget_->Exhausted()) return TruncatedResult(SearchResult{});
-    return start_column_or.status();
+    return selection_or.status();
   }
+  const std::vector<double>& scores = selection_or->scores;
 
   // Start columns in descending Step-1 score order (zero scores skipped).
   std::vector<size_t> start_columns;
@@ -648,6 +845,20 @@ Result<SearchResult> TranslationSearch::Run() {
         covered = ComputeCoverage(attempt.formula, source_, target_,
                                   target_column_)
                       .matched_rows();
+      }
+      if (trace_ != nullptr) {
+        // Coverage validation verdict for this branch (the feedback loop).
+        TraceEvent event;
+        event.phase = "run";
+        event.name = covered >= coverage_floor ? "accepted" : "coverage_reject";
+        event.column = static_cast<int64_t>(start_column);
+        event.value = static_cast<double>(covered);
+        event.detail = attempt.formula.ToString(source_.schema());
+        event.metrics.emplace_back("floor",
+                                   static_cast<double>(coverage_floor));
+        event.metrics.emplace_back("complete",
+                                   attempt.formula.IsComplete() ? 1.0 : 0.0);
+        trace_->Emit(std::move(event));
       }
       if (covered >= coverage_floor) {
         // A formula that passes coverage validation is a full success even

@@ -12,6 +12,7 @@
 #include "common/deadline.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "core/column_scorer.h"
 #include "core/formula.h"
 #include "core/recipe.h"
@@ -130,41 +131,70 @@ struct SearchOptions {
   /// scheduling (see DESIGN.md).
   size_t num_threads = 0;
 
-  /// Cost caps for the run (wall-clock deadline + work-unit counters).
-  /// Default: unlimited — the paper's open-ended greedy loop. When any axis
-  /// trips, the search stops where it is and returns the best partial
-  /// formula found so far with SearchResult::truncated set (anytime
-  /// semantics) instead of erroring. The deadline clock starts when the
-  /// TranslationSearch is constructed, so index building counts against it.
-  BudgetLimits budget;
+  // --- Execution environment (SearchOptions::Env) --------------------------
+  // Everything injected from OUTSIDE the algorithm lives here: cost caps,
+  // the shared cancellation handle, prebuilt indexes, and tracing. The knobs
+  // above change WHAT is discovered; Env only changes how the run is
+  // metered, fed, and observed — for any valid Env the discovered formula is
+  // identical (modulo anytime truncation when a budget trips). One-shot
+  // callers leave every field default and nothing changes.
+  struct Env {
+    /// Cost caps for the run (wall-clock deadline + work-unit counters).
+    /// Default: unlimited — the paper's open-ended greedy loop. When any
+    /// axis trips, the search stops where it is and returns the best partial
+    /// formula found so far with SearchResult::truncated set (anytime
+    /// semantics) instead of erroring. The deadline clock starts when the
+    /// TranslationSearch is constructed, so index building counts against
+    /// it.
+    BudgetLimits budget;
 
-  // --- Job-facing entry points (the discovery service) ---------------------
-  // The service runs many searches against the same tables, so the expensive
-  // artifacts are injected instead of rebuilt, and every job needs an
-  // external handle for cooperative cancellation. One-shot callers leave all
-  // three fields default and nothing changes.
+    /// When set, the search charges and checks THIS budget instead of
+    /// constructing its own from `budget` (`budget` must then stay
+    /// unlimited — Validate() rejects the ambiguous combination). The
+    /// owner — the service's job manager, or discover_csv's Ctrl-C
+    /// handler — can call RunBudget::Cancel() from another thread (or a
+    /// signal handler) and the search stops at its next budget check,
+    /// returning the best partial formula tagged truncated with
+    /// BudgetTrip::kCancelled. Must outlive the search; not owned.
+    RunBudget* shared_budget = nullptr;
 
-  /// When set, the search charges and checks THIS budget instead of
-  /// constructing its own from `budget` (which is then ignored). The owner —
-  /// the service's job manager, or discover_csv's Ctrl-C handler — can call
-  /// RunBudget::Cancel() from another thread (or a signal handler) and the
-  /// search stops at its next budget check, returning the best partial
-  /// formula tagged truncated with BudgetTrip::kCancelled. Must outlive the
-  /// search; not owned.
-  RunBudget* shared_budget = nullptr;
+    /// Prebuilt index over the target column (the service's index cache).
+    /// Used when its q matches `q` and it has postings; otherwise the
+    /// search builds its own as usual. Shared ownership keeps a
+    /// cache-evicted index alive for the duration of the job.
+    std::shared_ptr<const relational::ColumnIndex> target_index;
 
-  /// Prebuilt index over the target column (the service's index cache). Used
-  /// when its q matches `q` and it has postings; otherwise the search builds
-  /// its own as usual. Shared ownership keeps a cache-evicted index alive
-  /// for the duration of the job.
-  std::shared_ptr<const relational::ColumnIndex> target_index;
+    /// Cache hook for per-source-column indexes (built without postings).
+    /// Called at most once per column on first use; returning nullptr — or
+    /// an index with the wrong q — falls back to a local build. The
+    /// provider is invoked from worker threads and must be thread-safe.
+    std::function<std::shared_ptr<const relational::ColumnIndex>(size_t)>
+        source_index_provider;
 
-  /// Cache hook for per-source-column indexes (built without postings).
-  /// Called at most once per column on first use; returning nullptr — or an
-  /// index with the wrong q — falls back to a local build. The provider is
-  /// invoked from worker threads and must be thread-safe.
-  std::function<std::shared_ptr<const relational::ColumnIndex>(size_t)>
-      source_index_provider;
+    /// Structured trace sink for the run (see common/trace.h). Null (the
+    /// default) disables tracing entirely: every emit site is a single
+    /// pointer test. Not owned; must outlive the search. The sink's Emit()
+    /// is called from worker threads and must be thread-safe (all the
+    /// sinks in common/trace.h are).
+    TraceSink* trace = nullptr;
+
+    /// Env-only validation (budget sanity, shared_budget/budget exclusivity).
+    Status Validate() const;
+  };
+  Env env;
+
+  /// Validates the algorithm knobs AND env. Entry points that accept
+  /// caller-supplied options (DiscoverTranslation, the service's job intake)
+  /// call this and surface InvalidArgument — HTTP 400 in the service —
+  /// instead of ad-hoc per-field checks.
+  Status Validate() const;
+};
+
+/// Step 1 outcome (Algorithm 2): the chosen start column plus every source
+/// column's Eq. 1 score, indexed by column (non-text columns score 0).
+struct ColumnSelection {
+  size_t best_column = std::numeric_limits<size_t>::max();
+  std::vector<double> scores;
 };
 
 /// One refinement iteration's outcome (Algorithm 5 pass).
@@ -243,9 +273,10 @@ class TranslationSearch {
   /// information. NotFound when no formula reaches min_support.
   Result<SearchResult> Run();
 
-  /// Step 1 (Algorithm 2): returns the best start column; optionally
-  /// reports every column's score.
-  Result<size_t> SelectStartColumn(std::vector<double>* scores_out = nullptr);
+  /// Step 1 (Algorithm 2): picks the best start column and reports every
+  /// column's Eq. 1 score. NotFound when no source column shares q-grams
+  /// with the target.
+  Result<ColumnSelection> SelectStartColumn();
 
   /// Step 2 (Algorithms 3+4): initial partial formula from `column`.
   Result<TranslationFormula> BuildInitialFormula(size_t column);
@@ -326,6 +357,11 @@ class TranslationSearch {
   /// Packages the current best attempt as a truncated anytime result.
   SearchResult TruncatedResult(SearchResult attempt);
 
+  /// Evaluates a failpoint site; a triggered error is first annotated into
+  /// the trace (kind=decision, name="failpoint", detail="site: message") so
+  /// injected faults show up in the decision log. OK when unarmed.
+  Status TracedFailpoint(const char* site, const char* phase);
+
   /// Collates formulas from one recipe into `counter`.
   struct FormulaVotes {
     TranslationFormula formula;
@@ -334,9 +370,19 @@ class TranslationSearch {
     size_t column = 0;
   };
   using VoteMap = std::map<std::string, FormulaVotes>;
+
+  /// Deterministic trace coordinates of a vote site: the pipeline phase plus
+  /// the iteration number and sample slot (never thread ids or timestamps),
+  /// so recipe events from 1- and 8-thread runs are the same multiset.
+  /// Inert when tracing is disabled.
+  struct TraceCtx {
+    const char* phase = "step2";
+    int64_t iteration = -1;
+    int64_t sample = -1;
+  };
   void VoteRecipe(std::string_view key, std::string_view target,
                   const FixedCoverage& fixed, size_t key_column,
-                  VoteBatch* batch);
+                  const TraceCtx& trace_ctx, VoteBatch* batch);
 
   /// Folds one slot's votes and counters into the shared vote map and stats.
   /// Per-vote weight goes to `*total` and/or `(*column_totals)[column]`
@@ -355,6 +401,9 @@ class TranslationSearch {
   /// external owner tripping the shared budget (deadline or Cancel()) is the
   /// cooperative cancellation point of the whole search.
   RunBudget* active_budget_ = nullptr;
+  /// options_.env.trace: null = tracing disabled (the only cost then is one
+  /// pointer test per emit site).
+  TraceSink* trace_ = nullptr;
 
   std::unique_ptr<ThreadPool> pool_;
   /// const + shared: query methods are thread-safe, and shared ownership

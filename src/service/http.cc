@@ -211,6 +211,9 @@ std::string SerializeResponse(const HttpResponse& response) {
                               StatusText(response.status));
   out += StrFormat("Content-Type: %s\r\n", response.content_type.c_str());
   out += StrFormat("Content-Length: %zu\r\n", response.body.size());
+  for (const auto& [name, value] : response.headers) {
+    out += StrFormat("%s: %s\r\n", name.c_str(), value.c_str());
+  }
   out += "Connection: close\r\n\r\n";
   out += response.body;
   return out;
@@ -340,7 +343,7 @@ void HttpServer::HandleConnection(int fd) {
       if (head_end == 0) {
         if (buffer.size() > limits.max_head_bytes) {
           response = {413, "application/json",
-                      R"({"error":"header section too large"})"};
+                      R"({"error":"header section too large"})", {}};
           break;
         }
         continue;
@@ -350,7 +353,7 @@ void HttpServer::HandleConnection(int fd) {
       size_t content_length = PeekContentLength(buffer.substr(0, head_end));
       if (content_length > limits.max_body_bytes) {
         response = {413, "application/json",
-                    R"({"error":"body too large"})"};
+                    R"({"error":"body too large"})", {}};
         break;
       }
       need = head_end + content_length;
@@ -362,7 +365,8 @@ void HttpServer::HandleConnection(int fd) {
       if (!parsed.ok()) {
         response = {400, "application/json",
                     StrFormat(R"({"error":"%s"})",
-                              parsed.status().message().c_str())};
+                              parsed.status().message().c_str()),
+                    {}};
       } else {
         request = std::move(parsed).value();
         have_request = true;

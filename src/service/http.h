@@ -35,6 +35,10 @@ struct HttpResponse {
   int status = 200;
   std::string content_type = "application/json";
   std::string body;
+  /// Extra response headers (e.g. "Deprecation" on legacy unversioned
+  /// routes). Content-Type/Content-Length/Connection are emitted by
+  /// SerializeResponse and must not be duplicated here.
+  std::vector<std::pair<std::string, std::string>> headers;
 };
 
 /// Parser limits. The fuzzer drives the parser with these defaults; the

@@ -6,6 +6,7 @@
 
 #include "common/failpoint.h"
 #include "common/string_util.h"
+#include "core/explain.h"
 
 namespace mcsm::service {
 
@@ -55,6 +56,11 @@ Result<uint64_t> JobManager::Submit(JobRequest request) {
   if (request.deadline_ms < 0) {
     return Status::InvalidArgument("deadline_ms must be >= 0");
   }
+  // One validation path for every search knob a client can set
+  // (SearchOptions::Validate); InvalidArgument maps to HTTP 400. The env
+  // fields are still manager-owned — RunJob overwrites them below — so a
+  // request can only fail on its algorithm knobs.
+  MCSM_RETURN_IF_ERROR(request.options.Validate());
 
   uint64_t id = 0;
   {
@@ -71,6 +77,12 @@ Result<uint64_t> JobManager::Submit(JobRequest request) {
     job->request = std::move(request);
     job->source = std::move(source);
     job->target = std::move(target);
+    if (job->request.trace) {
+      // Created at submit so even a cancelled-before-running traced job has
+      // a (possibly empty) trace to serve.
+      job->trace_sink = std::make_shared<InMemoryTraceSink>();
+      traced_.fetch_add(1, std::memory_order_relaxed);
+    }
     jobs_.emplace(id, std::move(job));
     ++queued_;
     ++active_;
@@ -104,6 +116,27 @@ Result<JobSnapshot> JobManager::Get(uint64_t id) const {
   return SnapshotLocked(*it->second);
 }
 
+Result<std::string> JobManager::TraceJson(uint64_t id) const {
+  std::shared_ptr<InMemoryTraceSink> sink;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = jobs_.find(id);
+    if (it == jobs_.end()) {
+      return Status::NotFound(StrFormat(
+          "no job with id %llu", static_cast<unsigned long long>(id)));
+    }
+    if (it->second->trace_sink == nullptr) {
+      return Status::NotFound(StrFormat(
+          "job %llu was not traced (submit with \"trace\": true)",
+          static_cast<unsigned long long>(id)));
+    }
+    sink = it->second->trace_sink;
+  }
+  // Rendering happens outside mu_ — the sink is internally synchronized and
+  // shared ownership keeps it alive even if the job is evicted meanwhile.
+  return TraceEventsToJson(sink->CanonicalEvents());
+}
+
 std::vector<JobSnapshot> JobManager::List() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<JobSnapshot> out;
@@ -132,6 +165,7 @@ JobSnapshot JobManager::SnapshotLocked(const Job& job) const {
   snapshot.source_table = job.request.source_table;
   snapshot.target_table = job.request.target_table;
   snapshot.target_column = job.request.target_column;
+  snapshot.traced = job.request.trace;
   return snapshot;
 }
 
@@ -172,6 +206,9 @@ void JobManager::RunJob(uint64_t id) {
   core::SearchOptions options;
   size_t target_column = 0;
   RunBudget* budget = nullptr;
+  // Local ref keeps the sink alive for the whole run even if the job entry
+  // is evicted concurrently.
+  std::shared_ptr<InMemoryTraceSink> trace_sink;
   uint64_t source_fp = 0;
   uint64_t target_fp = 0;
 
@@ -191,6 +228,7 @@ void JobManager::RunJob(uint64_t id) {
     limits.wall_ms = job->request.deadline_ms;
     job->budget = std::make_unique<RunBudget>(limits);
     budget = job->budget.get();
+    trace_sink = job->trace_sink;
     source_table = job->source.table;
     target_table = job->target.table;
     source_fp = job->source.fingerprint;
@@ -201,6 +239,16 @@ void JobManager::RunJob(uint64_t id) {
 
   const auto started = std::chrono::steady_clock::now();
   auto seal = [&](auto&& fill, JobState terminal) {
+    // The explain report renders outside mu_ (the sink is internally
+    // synchronized, and by now the search has finished emitting).
+    std::string explain;
+    if (trace_sink != nullptr) {
+      explain = core::ExplainText(trace_sink->CanonicalEvents());
+      trace_events_.fetch_add(trace_sink->event_count(),
+                              std::memory_order_relaxed);
+      trace_spans_.fetch_add(trace_sink->span_count(),
+                             std::memory_order_relaxed);
+    }
     std::lock_guard<std::mutex> lock(mu_);
     auto it = jobs_.find(id);
     if (it == jobs_.end()) return;
@@ -210,6 +258,7 @@ void JobManager::RunJob(uint64_t id) {
                            .count();
     job->result = SnapshotLocked(*job);
     fill(&job->result);
+    if (trace_sink != nullptr) job->result.explain = std::move(explain);
     FinishLocked(job, terminal);
   };
 
@@ -221,14 +270,15 @@ void JobManager::RunJob(uint64_t id) {
     return;
   }
 
-  options.shared_budget = budget;
+  options.env.shared_budget = budget;
+  options.env.trace = trace_sink.get();
   relational::ColumnIndex::Options target_index_options;
   target_index_options.q = options.q;
   target_index_options.build_postings = true;
-  options.target_index = cache_->GetOrBuild(target_table, target_fp,
-                                            target_column,
-                                            target_index_options);
-  options.source_index_provider =
+  options.env.target_index = cache_->GetOrBuild(target_table, target_fp,
+                                                target_column,
+                                                target_index_options);
+  options.env.source_index_provider =
       [this, source_table, source_fp,
        q = options.q](size_t column)
       -> std::shared_ptr<const relational::ColumnIndex> {

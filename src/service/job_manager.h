@@ -14,6 +14,7 @@
 #include "common/deadline.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "core/matcher.h"
 #include "service/registry.h"
 
@@ -44,6 +45,11 @@ struct JobRequest {
   /// (0 = unlimited). Measured from the moment the job starts RUNNING, so a
   /// queued job does not burn its budget waiting for a worker.
   int64_t deadline_ms = 0;
+  /// Capture a structured trace of the run (POST /v1/jobs {"trace": true}).
+  /// The trace is held in memory with the job — readable via
+  /// GET /v1/jobs/{id}/trace until the job is evicted by retention — and the
+  /// result snapshot gains an `explain` decision log.
+  bool trace = false;
   core::SearchOptions options;
 };
 
@@ -63,6 +69,10 @@ struct JobSnapshot {
   /// Valid in kFailed.
   std::string error;
   double run_seconds = 0;  ///< execution time (0 until the job ran)
+  /// True when the job was submitted with trace=true.
+  bool traced = false;
+  /// The "why this formula won" decision log (terminal traced jobs only).
+  std::string explain;
 };
 
 /// \brief Async discovery-job manager: a bounded queue in front of a
@@ -117,6 +127,11 @@ class JobManager {
   /// Snapshot for GET /jobs/{id}; NotFound for unknown ids.
   Result<JobSnapshot> Get(uint64_t id) const;
 
+  /// The captured trace as `{"schema_version":1,"events":[...]}` in the
+  /// canonical (Id-sorted) order. NotFound for unknown ids AND for jobs that
+  /// were not submitted with trace=true — both map to HTTP 404.
+  Result<std::string> TraceJson(uint64_t id) const;
+
   std::vector<JobSnapshot> List() const;
 
   /// Blocks until every submitted job is terminal (SIGTERM drain).
@@ -128,6 +143,9 @@ class JobManager {
   uint64_t completed() const { return completed_.load(); }
   uint64_t failed() const { return failed_.load(); }
   uint64_t cancelled() const { return cancelled_.load(); }
+  uint64_t traced() const { return traced_.load(); }
+  uint64_t trace_events() const { return trace_events_.load(); }
+  uint64_t trace_spans() const { return trace_spans_.load(); }
 
  private:
   struct Job {
@@ -140,6 +158,10 @@ class JobManager {
     TableEntry target;
     bool cancel_requested = false;
     std::unique_ptr<RunBudget> budget;  ///< created when the job starts
+    /// Per-job trace capture (trace=true requests). Unlike budget/pins this
+    /// survives the terminal transition — it IS the artifact the trace
+    /// endpoint serves — and is bounded by max_terminal retention.
+    std::shared_ptr<InMemoryTraceSink> trace_sink;
     JobSnapshot result;                 ///< filled at terminal transition
     double run_seconds = 0;
   };
@@ -168,6 +190,9 @@ class JobManager {
   std::atomic<uint64_t> completed_{0};
   std::atomic<uint64_t> failed_{0};
   std::atomic<uint64_t> cancelled_{0};
+  std::atomic<uint64_t> traced_{0};
+  std::atomic<uint64_t> trace_events_{0};
+  std::atomic<uint64_t> trace_spans_{0};
 
   // Declared last: its destructor drains the task queue while the fields
   // above are still alive for the running tasks.

@@ -12,10 +12,32 @@ namespace mcsm::service {
 
 namespace {
 
-HttpResponse JsonResponse(int status, const Json& body) {
+/// Current wire-format version, included in every JSON response.
+constexpr int kSchemaVersion = 1;
+
+HttpResponse JsonResponse(int status, Json body) {
+  if (body.is_object()) {
+    body.Set("schema_version",
+             Json::Number(static_cast<double>(kSchemaVersion)));
+  }
   HttpResponse response;
   response.status = status;
   response.body = body.Dump();
+  return response;
+}
+
+/// JSON error with schema_version — replaces the raw string literals so
+/// every JSON response, errors included, carries the version field.
+HttpResponse ErrorResponse(int status, std::string_view message) {
+  Json out = Json::Object();
+  out.Set("error", Json::Str(std::string(message)));
+  return JsonResponse(status, std::move(out));
+}
+
+HttpResponse StatusResponse(const Status& status) {
+  HttpResponse response;
+  response.status = HttpStatusFor(status);
+  response.body = ErrorBody(status);
   return response;
 }
 
@@ -60,6 +82,10 @@ Json JobSnapshotJson(const JobSnapshot& snapshot) {
       snapshot.state != JobState::kRunning) {
     out.Set("run_seconds", Json::Number(snapshot.run_seconds));
   }
+  out.Set("traced", Json::Bool(snapshot.traced));
+  if (!snapshot.explain.empty()) {
+    out.Set("explain", Json::Str(snapshot.explain));
+  }
   return out;
 }
 
@@ -88,6 +114,7 @@ int HttpStatusFor(const Status& status) {
 std::string ErrorBody(const Status& status) {
   Json out = Json::Object();
   out.Set("error", Json::Str(std::string(status.message())));
+  out.Set("schema_version", Json::Number(1));
   return out.Dump();
 }
 
@@ -98,6 +125,23 @@ DiscoveryService::DiscoveryService(Options options)
             JobManager::Options{options.job_workers, options.max_queue,
                                 options.retained_jobs}) {}
 
+namespace {
+
+/// Strips the "/v1" API prefix; `*versioned` reports whether it was present.
+/// "/v1/jobs" -> "/jobs"; "/jobs" stays (a deprecated alias).
+std::string_view NormalizePath(std::string_view path, bool* versioned) {
+  constexpr std::string_view kPrefix = "/v1/";
+  if (path.size() >= kPrefix.size() &&
+      path.substr(0, kPrefix.size()) == kPrefix) {
+    if (versioned != nullptr) *versioned = true;
+    return path.substr(3);  // keep the leading '/'
+  }
+  if (versioned != nullptr) *versioned = false;
+  return path;
+}
+
+}  // namespace
+
 HttpResponse DiscoveryService::Handle(const HttpRequest& request) {
   const auto started = std::chrono::steady_clock::now();
   HttpResponse response = Route(request);
@@ -105,11 +149,12 @@ HttpResponse DiscoveryService::Handle(const HttpRequest& request) {
       std::chrono::duration_cast<std::chrono::milliseconds>(
           std::chrono::steady_clock::now() - started)
           .count());
-  if (request.path == "/tables") {
+  const std::string_view path = NormalizePath(request.path, nullptr);
+  if (path == "/tables") {
     tables_latency_.Record(elapsed_ms);
-  } else if (request.path == "/jobs" || request.path.rfind("/jobs/", 0) == 0) {
+  } else if (path == "/jobs" || path.rfind("/jobs/", 0) == 0) {
     jobs_latency_.Record(elapsed_ms);
-  } else if (request.path == "/metrics") {
+  } else if (path == "/metrics") {
     metrics_latency_.Record(elapsed_ms);
   } else {
     other_latency_.Record(elapsed_ms);
@@ -122,59 +167,78 @@ HttpResponse DiscoveryService::Handle(const HttpRequest& request) {
 }
 
 HttpResponse DiscoveryService::Route(const HttpRequest& request) {
-  if (request.path == "/healthz") {
+  bool versioned = false;
+  const std::string_view path = NormalizePath(request.path, &versioned);
+  HttpResponse response = RouteNormalized(request, path);
+  if (!versioned) {
+    // Deprecated unversioned alias: identical behaviour, flagged response.
+    response.headers.emplace_back("Deprecation", "true");
+  }
+  return response;
+}
+
+HttpResponse DiscoveryService::RouteNormalized(const HttpRequest& request,
+                                               std::string_view path) {
+  if (path == "/healthz") {
     if (request.method != "GET") {
-      return {405, "application/json", R"({"error":"method not allowed"})"};
+      return ErrorResponse(405, "method not allowed");
     }
     Json out = Json::Object();
     out.Set("status", Json::Str("ok"));
-    return JsonResponse(200, out);
+    return JsonResponse(200, std::move(out));
   }
-  if (request.path == "/metrics") {
+  if (path == "/metrics") {
     if (request.method != "GET") {
-      return {405, "application/json", R"({"error":"method not allowed"})"};
+      return ErrorResponse(405, "method not allowed");
     }
     HttpResponse response;
     response.content_type = "text/plain";
     response.body = RenderMetrics();
     return response;
   }
-  if (request.path == "/tables") {
+  if (path == "/tables") {
     if (request.method == "POST") return HandlePostTables(request);
     if (request.method == "GET") return HandleGetTables();
-    return {405, "application/json", R"({"error":"method not allowed"})"};
+    return ErrorResponse(405, "method not allowed");
   }
-  if (request.path == "/jobs") {
+  if (path == "/jobs") {
     if (request.method == "POST") return HandlePostJobs(request);
     if (request.method == "GET") return HandleGetJobs();
-    return {405, "application/json", R"({"error":"method not allowed"})"};
+    return ErrorResponse(405, "method not allowed");
   }
-  if (request.path.rfind("/jobs/", 0) == 0) {
-    uint64_t id = 0;
-    if (!ParseJobId(std::string_view(request.path).substr(6), &id)) {
-      return {400, "application/json", R"({"error":"malformed job id"})"};
+  if (path.rfind("/jobs/", 0) == 0) {
+    std::string_view tail = path.substr(6);
+    bool want_trace = false;
+    constexpr std::string_view kTraceSuffix = "/trace";
+    if (tail.size() > kTraceSuffix.size() &&
+        tail.substr(tail.size() - kTraceSuffix.size()) == kTraceSuffix) {
+      want_trace = true;
+      tail.remove_suffix(kTraceSuffix.size());
     }
+    uint64_t id = 0;
+    if (!ParseJobId(tail, &id)) {
+      return ErrorResponse(400, "malformed job id");
+    }
+    if (want_trace) return HandleJobTrace(request, id);
     return HandleJobById(request, id);
   }
-  return {404, "application/json", R"({"error":"no such endpoint"})"};
+  return ErrorResponse(404, "no such endpoint");
 }
 
 HttpResponse DiscoveryService::HandlePostTables(const HttpRequest& request) {
   auto parsed = Json::Parse(request.body);
   if (!parsed.ok()) {
-    return {400, "application/json", ErrorBody(parsed.status())};
+    return StatusResponse(parsed.status());
   }
   const Json& body = parsed.value();
   if (!body.is_object()) {
-    return {400, "application/json",
-            R"({"error":"request body must be a JSON object"})"};
+    return ErrorResponse(400, "request body must be a JSON object");
   }
   const Json* name = body.Find("name");
   const Json* csv = body.Find("csv");
   if (name == nullptr || !name->is_string() || csv == nullptr ||
       !csv->is_string()) {
-    return {400, "application/json",
-            R"({"error":"'name' and 'csv' string fields are required"})"};
+    return ErrorResponse(400, "'name' and 'csv' string fields are required");
   }
   relational::CsvOptions csv_options;
   if (const Json* permissive = body.Find("permissive")) {
@@ -183,8 +247,7 @@ HttpResponse DiscoveryService::HandlePostTables(const HttpRequest& request) {
   auto entry = registry_.RegisterCsv(name->AsString(""), csv->AsString(""),
                                      csv_options);
   if (!entry.ok()) {
-    return {HttpStatusFor(entry.status()), "application/json",
-            ErrorBody(entry.status())};
+    return StatusResponse(entry.status());
   }
   return JsonResponse(200, TableEntryJson(entry.value()));
 }
@@ -202,20 +265,19 @@ HttpResponse DiscoveryService::HandleGetTables() {
 HttpResponse DiscoveryService::HandlePostJobs(const HttpRequest& request) {
   auto parsed = Json::Parse(request.body);
   if (!parsed.ok()) {
-    return {400, "application/json", ErrorBody(parsed.status())};
+    return StatusResponse(parsed.status());
   }
   const Json& body = parsed.value();
   if (!body.is_object()) {
-    return {400, "application/json",
-            R"({"error":"request body must be a JSON object"})"};
+    return ErrorResponse(400, "request body must be a JSON object");
   }
   const Json* source = body.Find("source_table");
   const Json* target = body.Find("target_table");
   const Json* column = body.Find("target_column");
   if (source == nullptr || !source->is_string() || target == nullptr ||
       !target->is_string() || column == nullptr) {
-    return {400, "application/json",
-            R"({"error":"'source_table', 'target_table' and 'target_column' are required"})"};
+    return ErrorResponse(
+        400, "'source_table', 'target_table' and 'target_column' are required");
   }
   JobRequest job;
   job.source_table = source->AsString("");
@@ -224,15 +286,15 @@ HttpResponse DiscoveryService::HandlePostJobs(const HttpRequest& request) {
   if (column_number < 0 || column_number > 1e9 ||
       column_number != static_cast<double>(
                            static_cast<uint64_t>(column_number))) {
-    return {400, "application/json",
-            R"({"error":"'target_column' must be a non-negative integer"})"};
+    return ErrorResponse(400,
+                         "'target_column' must be a non-negative integer");
   }
   job.target_column = static_cast<size_t>(column_number);
   if (const Json* deadline = body.Find("deadline_ms")) {
     double ms = deadline->AsNumber(-1);
     if (ms < 0 || ms > 1e12) {
-      return {400, "application/json",
-              R"({"error":"'deadline_ms' must be a non-negative number"})"};
+      return ErrorResponse(400,
+                           "'deadline_ms' must be a non-negative number");
     }
     job.deadline_ms = static_cast<int64_t>(ms);
   }
@@ -241,8 +303,8 @@ HttpResponse DiscoveryService::HandlePostJobs(const HttpRequest& request) {
     if (thread_number < 0 || thread_number > 1e9 ||
         thread_number != static_cast<double>(
                              static_cast<uint64_t>(thread_number))) {
-      return {400, "application/json",
-              R"({"error":"'num_threads' must be a non-negative integer"})"};
+      return ErrorResponse(400,
+                           "'num_threads' must be a non-negative integer");
     }
     // Clamped: a request-supplied pool size must not be able to make a
     // worker spawn an absurd thread count (std::thread failure terminates
@@ -255,11 +317,23 @@ HttpResponse DiscoveryService::HandlePostJobs(const HttpRequest& request) {
   if (const Json* separators = body.Find("detect_separators")) {
     job.options.detect_separators = separators->AsBool(false);
   }
+  if (const Json* trace = body.Find("trace")) {
+    job.trace = trace->AsBool(false);
+  }
+  // Algorithm knobs: passed through raw and validated in one place —
+  // SearchOptions::Validate at Submit — so the HTTP layer does not
+  // duplicate (and drift from) the search layer's rules.
+  if (const Json* q = body.Find("q")) {
+    job.options.q = static_cast<size_t>(
+        std::max(0.0, std::min(q->AsNumber(0), 64.0)));
+  }
+  if (const Json* fraction = body.Find("sample_fraction")) {
+    job.options.sample_fraction = fraction->AsNumber(-1);
+  }
 
   auto submitted = jobs_.Submit(std::move(job));
   if (!submitted.ok()) {
-    return {HttpStatusFor(submitted.status()), "application/json",
-            ErrorBody(submitted.status())};
+    return StatusResponse(submitted.status());
   }
   Json out = Json::Object();
   out.Set("id", Json::Number(static_cast<double>(submitted.value())));
@@ -282,21 +356,36 @@ HttpResponse DiscoveryService::HandleJobById(const HttpRequest& request,
   if (request.method == "GET") {
     auto snapshot = jobs_.Get(id);
     if (!snapshot.ok()) {
-      return {HttpStatusFor(snapshot.status()), "application/json",
-              ErrorBody(snapshot.status())};
+      return StatusResponse(snapshot.status());
     }
     return JsonResponse(200, JobSnapshotJson(snapshot.value()));
   }
   if (request.method == "DELETE") {
     if (!jobs_.Cancel(id)) {
-      return {404, "application/json", R"({"error":"no such job"})"};
+      return ErrorResponse(404, "no such job");
     }
     Json out = Json::Object();
     out.Set("id", Json::Number(static_cast<double>(id)));
     out.Set("cancel_requested", Json::Bool(true));
     return JsonResponse(200, out);
   }
-  return {405, "application/json", R"({"error":"method not allowed"})"};
+  return ErrorResponse(405, "method not allowed");
+}
+
+HttpResponse DiscoveryService::HandleJobTrace(const HttpRequest& request,
+                                              uint64_t id) {
+  if (request.method != "GET") {
+    return ErrorResponse(405, "method not allowed");
+  }
+  auto trace = jobs_.TraceJson(id);
+  if (!trace.ok()) {
+    return StatusResponse(trace.status());
+  }
+  // The body already carries schema_version (TraceEventsToJson emits it),
+  // so it goes out verbatim rather than through JsonResponse.
+  HttpResponse response;
+  response.body = std::move(trace.value());
+  return response;
 }
 
 std::string DiscoveryService::RenderMetrics() const {
@@ -321,6 +410,9 @@ std::string DiscoveryService::RenderMetrics() const {
   counter("mcsm_jobs_completed", jobs_.completed());
   counter("mcsm_jobs_failed", jobs_.failed());
   counter("mcsm_jobs_cancelled", jobs_.cancelled());
+  counter("mcsm_jobs_traced", jobs_.traced());
+  counter("mcsm_trace_events_total", jobs_.trace_events());
+  counter("mcsm_trace_spans_total", jobs_.trace_spans());
   tables_latency_.Render("mcsm_http_tables", &out);
   jobs_latency_.Render("mcsm_http_jobs", &out);
   metrics_latency_.Render("mcsm_http_metrics", &out);

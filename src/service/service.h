@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 #include "service/http.h"
 #include "service/job_manager.h"
@@ -14,18 +15,28 @@ namespace mcsm::service {
 /// \brief The discovery service: routes HTTP requests onto the table
 /// registry, index cache and job manager, and renders /metrics.
 ///
-/// Endpoints (all request/response bodies are JSON unless noted):
-///   POST   /tables      {"name","csv"[,"permissive"]} -> table entry
-///   GET    /tables      -> {"tables":[...]}
-///   POST   /jobs        {"source_table","target_table","target_column"
-///                        [,"deadline_ms"]} -> 202 {"id"} | 429 when full
-///   GET    /jobs        -> {"jobs":[...]}
-///   GET    /jobs/{id}   -> job snapshot (state, formula, truncated, ...)
-///   DELETE /jobs/{id}   -> requests cancellation
-///   GET    /metrics     -> text/plain counters + latency histograms
-///   GET    /healthz     -> {"status":"ok"}
+/// The API is versioned under /v1/ and every JSON response carries
+/// "schema_version": 1. The original unversioned paths remain as deprecated
+/// aliases: they behave identically but answer with a "Deprecation: true"
+/// response header. Endpoints (all request/response bodies are JSON unless
+/// noted):
+///   POST   /v1/tables         {"name","csv"[,"permissive"]} -> table entry
+///   GET    /v1/tables         -> {"tables":[...]}
+///   POST   /v1/jobs           {"source_table","target_table","target_column"
+///                              [,"deadline_ms","trace","num_threads","q",
+///                              "sample_fraction","detect_separators"]}
+///                             -> 202 {"id"} | 429 when full
+///   GET    /v1/jobs           -> {"jobs":[...]}
+///   GET    /v1/jobs/{id}      -> job snapshot (state, formula, truncated,
+///                                explain when traced, ...)
+///   GET    /v1/jobs/{id}/trace -> {"schema_version","events":[...]}; 404
+///                                for unknown ids AND untraced jobs
+///   DELETE /v1/jobs/{id}      -> requests cancellation
+///   GET    /v1/metrics        -> text/plain counters + latency histograms
+///   GET    /v1/healthz        -> {"status":"ok"}
 ///
-/// Status mapping: NotFound->404, InvalidArgument/ParseError->400,
+/// Status mapping: NotFound->404, InvalidArgument/ParseError->400 (incl.
+/// SearchOptions::Validate failures at job intake),
 /// ResourceExhausted->429 (queue backpressure), anything else->500. A job
 /// whose deadline trips is NOT an HTTP error: it completes as
 /// state=done, truncated=true.
@@ -54,11 +65,15 @@ class DiscoveryService {
 
  private:
   HttpResponse Route(const HttpRequest& request);
+  /// Dispatches an already /v1-stripped path.
+  HttpResponse RouteNormalized(const HttpRequest& request,
+                               std::string_view path);
   HttpResponse HandlePostTables(const HttpRequest& request);
   HttpResponse HandleGetTables();
   HttpResponse HandlePostJobs(const HttpRequest& request);
   HttpResponse HandleGetJobs();
   HttpResponse HandleJobById(const HttpRequest& request, uint64_t id);
+  HttpResponse HandleJobTrace(const HttpRequest& request, uint64_t id);
 
   Options options_;
   TableRegistry registry_;

@@ -240,7 +240,7 @@ TEST_F(ChaosTest, DelayPlusDeadlineYieldsTruncatedNotError) {
   failpoint::DisarmAll();
   ASSERT_TRUE(failpoint::Arm(failpoint::kIndexPattern, "delay:50ms").ok());
   core::SearchOptions options = ChaosSearchOptions();
-  options.budget.wall_ms = 75;
+  options.env.budget.wall_ms = 75;
   const datagen::Dataset& data = ChaosDataset();
   auto d = core::DiscoverTranslation(data.source, data.target,
                                      data.target_column, options);

@@ -1,0 +1,86 @@
+#include "core/explain.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/trace.h"
+#include "core/matcher.h"
+#include "datagen/datasets.h"
+
+namespace mcsm::core {
+namespace {
+
+// The explain report is a pure function of the canonical event set, so the
+// same search explained at different thread counts must render byte-identical
+// text — that is the "golden" property these tests pin down (the dataset is
+// the deterministic quickstart/userid generator, so the content assertions
+// are stable too).
+
+struct Explained {
+  std::string formula;
+  std::string text;
+  std::string json;
+};
+
+Explained RunExplained(size_t threads) {
+  datagen::UserIdOptions o;
+  o.rows = 1500;
+  auto data = datagen::MakeUserIdDataset(o);
+  InMemoryTraceSink sink;
+  SearchOptions options;
+  options.sample_fraction = 0.10;
+  options.num_threads = threads;
+  options.env.trace = &sink;
+  auto d = DiscoverTranslation(data.source, data.target, 0, options);
+  EXPECT_TRUE(d.ok()) << d.status();
+  Explained out;
+  if (d.ok()) out.formula = d->formula().ToString(data.source.schema());
+  auto events = sink.CanonicalEvents();
+  out.text = ExplainText(events);
+  out.json = ExplainJson(events);
+  return out;
+}
+
+TEST(ExplainTest, ReportNamesTheWinningFormulaAndSections) {
+  Explained run = RunExplained(1);
+  EXPECT_NE(run.text.find("=== discovery explain ==="), std::string::npos);
+  EXPECT_NE(run.text.find("step 1"), std::string::npos);
+  EXPECT_NE(run.text.find("step 2"), std::string::npos);
+  EXPECT_NE(run.text.find("<< selected"), std::string::npos);
+  EXPECT_NE(run.text.find("outcome"), std::string::npos);
+  // The accepted formula from the search result appears in the outcome.
+  EXPECT_NE(run.text.find("accepted " + run.formula), std::string::npos)
+      << run.text;
+}
+
+TEST(ExplainTest, JsonReportCarriesSchemaAndOutcome) {
+  Explained run = RunExplained(1);
+  EXPECT_NE(run.json.find("\"schema_version\":1"), std::string::npos);
+  EXPECT_NE(run.json.find("\"step1\""), std::string::npos);
+  EXPECT_NE(run.json.find("\"iterations\""), std::string::npos);
+  EXPECT_NE(run.json.find("\"outcome\""), std::string::npos);
+  EXPECT_NE(run.json.find(run.formula), std::string::npos);
+}
+
+TEST(ExplainTest, ReportIsByteIdenticalAcrossThreadCounts) {
+  Explained one = RunExplained(1);
+  Explained two = RunExplained(2);
+  Explained eight = RunExplained(8);
+  EXPECT_EQ(one.formula, two.formula);
+  EXPECT_EQ(one.formula, eight.formula);
+  EXPECT_EQ(one.text, two.text);
+  EXPECT_EQ(one.text, eight.text);
+  EXPECT_EQ(one.json, two.json);
+  EXPECT_EQ(one.json, eight.json);
+}
+
+TEST(ExplainTest, EmptyTraceRendersEmptyReport) {
+  std::string text = ExplainText({});
+  EXPECT_NE(text.find("=== discovery explain ==="), std::string::npos);
+  std::string json = ExplainJson({});
+  EXPECT_NE(json.find("\"event_count\":0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mcsm::core

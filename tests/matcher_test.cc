@@ -91,7 +91,7 @@ TEST(DiscoverTranslationTest, TinyWorkBudgetReturnsTruncated) {
   o.rows = 2000;
   auto data = datagen::MakeUserIdDataset(o);
   SearchOptions options = FastOptions();
-  options.budget.max_pairs_aligned = 1;  // trips on the second alignment
+  options.env.budget.max_pairs_aligned = 1;  // trips on the second alignment
   auto d = DiscoverTranslation(data.source, data.target, 0, options);
   ASSERT_TRUE(d.ok()) << d.status().ToString();
   EXPECT_TRUE(d->truncated());
@@ -103,7 +103,7 @@ TEST(DiscoverTranslationTest, TinyFormulaBudgetReturnsTruncated) {
   o.rows = 2000;
   auto data = datagen::MakeUserIdDataset(o);
   SearchOptions options = FastOptions();
-  options.budget.max_candidate_formulas = 2;
+  options.env.budget.max_candidate_formulas = 2;
   auto d = DiscoverTranslation(data.source, data.target, 0, options);
   ASSERT_TRUE(d.ok()) << d.status().ToString();
   EXPECT_TRUE(d->truncated());
@@ -115,7 +115,7 @@ TEST(DiscoverAllTest, TruncatedRoundIsSurfacedAndStopsTheLoop) {
   o.rows = 2000;
   auto data = datagen::MakeUserIdDataset(o);
   SearchOptions options = FastOptions();
-  options.budget.max_pairs_aligned = 1;
+  options.env.budget.max_pairs_aligned = 1;
   auto all = DiscoverAllTranslations(data.source, data.target, 0, options);
   ASSERT_TRUE(all.ok()) << all.status().ToString();
   ASSERT_EQ(all->size(), 1u);
@@ -131,7 +131,7 @@ TEST(DiscoverTranslationTest, CitationDeadline50msTruncates) {
   o.rows = 30000;
   auto data = datagen::MakeCitationDataset(o);
   SearchOptions options = FastOptions();
-  options.budget.wall_ms = 50;
+  options.env.budget.wall_ms = 50;
   auto d = DiscoverTranslation(data.source, data.target, data.target_column,
                                options);
   ASSERT_TRUE(d.ok()) << d.status().ToString();

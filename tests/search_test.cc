@@ -142,9 +142,9 @@ TEST(SearchTest, StepwiseApiReportsScores) {
   o.rows = 1000;
   auto data = datagen::MakeUserIdDataset(o);
   TranslationSearch search(data.source, data.target, 0, FastOptions());
-  std::vector<double> scores;
-  auto col = search.SelectStartColumn(&scores);
+  auto col = search.SelectStartColumn();
   ASSERT_TRUE(col.ok());
+  const std::vector<double>& scores = col->scores;
   ASSERT_EQ(scores.size(), data.source.num_columns());
   // The name columns must outscore every noise column (Table 2's shape;
   // the paper's own first/last scores are within 15%% of each other, so the
@@ -158,7 +158,7 @@ TEST(SearchTest, StepwiseApiReportsScores) {
       EXPECT_GT(scores[first], scores[c]) << name;
     }
   }
-  EXPECT_TRUE(*col == last || *col == first);
+  EXPECT_TRUE(col->best_column == last || col->best_column == first);
 }
 
 TEST(SearchTest, InitialFormulaFromStartColumn) {
@@ -336,7 +336,7 @@ TEST(SearchParallelTest, BudgetTruncationTripsTheSameAxisAtAnyThreadCount) {
     // Only the postings axis is capped, so it is the only axis that can
     // trip; where exactly the trip lands may vary with scheduling, the
     // recorded axis must not.
-    so.budget.max_postings_scanned = 2000;
+    so.env.budget.max_postings_scanned = 2000;
     TranslationSearch search(data.source, data.target, data.target_column, so);
     auto result = search.Run();
     ASSERT_TRUE(result.ok()) << result.status();
@@ -361,7 +361,7 @@ TEST(SearchTest, InjectedIndexForDifferentTableIsRejected) {
   idx.q = 2;
   idx.build_postings = true;
   SearchOptions injected_options = FastOptions();
-  injected_options.target_index =
+  injected_options.env.target_index =
       std::make_shared<relational::ColumnIndex>(stale.target, 0, idx);
 
   auto clean = DiscoverTranslation(data.source, data.target, 0, FastOptions());
@@ -384,10 +384,9 @@ TEST(SearchParallelTest, StepwiseScoresAreIdenticalAcrossThreadCounts) {
     SearchOptions so = FastOptions();
     so.num_threads = threads;
     TranslationSearch search(data.source, data.target, 0, so);
-    std::vector<double> scores;
-    auto col = search.SelectStartColumn(&scores);
+    auto col = search.SelectStartColumn();
     ASSERT_TRUE(col.ok());
-    per_thread_scores.push_back(std::move(scores));
+    per_thread_scores.push_back(std::move(col->scores));
   }
   // Bitwise equality, not tolerance: the merge order fixes the float
   // accumulation order.

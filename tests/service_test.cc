@@ -685,6 +685,145 @@ TEST_F(ServiceRouteTest, LargeNumThreadsIsClampedNotFatal) {
   EXPECT_EQ(done.Find("state")->AsString(""), "done");
 }
 
+bool HasDeprecationHeader(const HttpResponse& response) {
+  for (const auto& [name, value] : response.headers) {
+    if (name == "Deprecation") return value == "true";
+  }
+  return false;
+}
+
+TEST_F(ServiceRouteTest, V1RoutesAndDeprecatedAliases) {
+  // /v1/ is the canonical surface; the unversioned paths answer identically
+  // but flag themselves with a Deprecation header.
+  HttpResponse v1 = service_.Handle(MakeHttpRequest("GET", "/v1/healthz"));
+  EXPECT_EQ(v1.status, 200);
+  EXPECT_FALSE(HasDeprecationHeader(v1));
+  HttpResponse legacy = service_.Handle(MakeHttpRequest("GET", "/healthz"));
+  EXPECT_EQ(legacy.status, 200);
+  EXPECT_TRUE(HasDeprecationHeader(legacy));
+  EXPECT_EQ(v1.body, legacy.body);
+
+  // Every JSON response carries the wire-format version — success and error.
+  auto ok_body = Json::Parse(v1.body);
+  ASSERT_TRUE(ok_body.ok());
+  EXPECT_EQ(ok_body->Find("schema_version")->AsNumber(0), 1);
+  HttpResponse missing = service_.Handle(MakeHttpRequest("GET", "/v1/nope"));
+  EXPECT_EQ(missing.status, 404);
+  auto err_body = Json::Parse(missing.body);
+  ASSERT_TRUE(err_body.ok());
+  EXPECT_EQ(err_body->Find("schema_version")->AsNumber(0), 1);
+
+  EXPECT_EQ(service_.Handle(MakeHttpRequest("GET", "/v1/metrics")).status,
+            200);
+  EXPECT_EQ(service_.Handle(MakeHttpRequest("GET", "/v1/tables")).status,
+            200);
+}
+
+TEST_F(ServiceRouteTest, SearchKnobsValidatedAtIntake) {
+  Json table = Json::Object();
+  table.Set("name", Json::Str("people"));
+  table.Set("csv", Json::Str("first,last\nhenry,warner\nanna,smith\n"));
+  ASSERT_EQ(service_.Handle(MakeHttpRequest("POST", "/v1/tables",
+                                            table.Dump())).status,
+            200);
+  Json target = Json::Object();
+  target.Set("name", Json::Str("logins"));
+  target.Set("csv", Json::Str("login\nhwarner\nasmith\n"));
+  ASSERT_EQ(service_.Handle(MakeHttpRequest("POST", "/v1/tables",
+                                            target.Dump())).status,
+            200);
+
+  // SearchOptions::Validate runs at Submit; bad knobs map to 400.
+  Json job = Json::Object();
+  job.Set("source_table", Json::Str("people"));
+  job.Set("target_table", Json::Str("logins"));
+  job.Set("target_column", Json::Number(0));
+  job.Set("sample_fraction", Json::Number(1.5));
+  EXPECT_EQ(service_.Handle(MakeHttpRequest("POST", "/v1/jobs", job.Dump()))
+                .status,
+            400);
+  job.Set("sample_fraction", Json::Number(0));
+  EXPECT_EQ(service_.Handle(MakeHttpRequest("POST", "/v1/jobs", job.Dump()))
+                .status,
+            400);
+  job.Set("sample_fraction", Json::Number(0.5));
+  job.Set("q", Json::Number(0));
+  EXPECT_EQ(service_.Handle(MakeHttpRequest("POST", "/v1/jobs", job.Dump()))
+                .status,
+            400);
+}
+
+TEST_F(ServiceRouteTest, TracedJobServesTraceAndExplain) {
+  Json table = Json::Object();
+  table.Set("name", Json::Str("people"));
+  table.Set("csv", Json::Str("first,last\nhenry,warner\nanna,smith\n"
+                             "bob,jones\ncarol,white\n"));
+  ASSERT_EQ(service_.Handle(MakeHttpRequest("POST", "/v1/tables",
+                                            table.Dump())).status,
+            200);
+  Json target = Json::Object();
+  target.Set("name", Json::Str("logins"));
+  target.Set("csv", Json::Str("login\nhwarner\nasmith\nbjones\ncwhite\n"));
+  ASSERT_EQ(service_.Handle(MakeHttpRequest("POST", "/v1/tables",
+                                            target.Dump())).status,
+            200);
+
+  auto submit = [&](bool trace) -> std::string {
+    Json job = Json::Object();
+    job.Set("source_table", Json::Str("people"));
+    job.Set("target_table", Json::Str("logins"));
+    job.Set("target_column", Json::Number(0));
+    if (trace) job.Set("trace", Json::Bool(true));
+    HttpResponse accepted =
+        service_.Handle(MakeHttpRequest("POST", "/v1/jobs", job.Dump()));
+    EXPECT_EQ(accepted.status, 202) << accepted.body;
+    auto body = Json::Parse(accepted.body);
+    EXPECT_TRUE(body.ok());
+    return Json::Number(body->Find("id")->AsNumber(0)).Dump();
+  };
+
+  const std::string traced_id = submit(true);
+  const std::string untraced_id = submit(false);
+
+  Json done = WaitForJob(traced_id);
+  ASSERT_TRUE(done.is_object());
+  EXPECT_EQ(done.Find("state")->AsString(""), "done");
+  EXPECT_TRUE(done.Find("traced")->AsBool(false));
+  // The terminal snapshot carries the rendered decision log.
+  const Json* explain = done.Find("explain");
+  ASSERT_NE(explain, nullptr);
+  EXPECT_NE(explain->AsString("").find("discovery explain"),
+            std::string::npos);
+
+  HttpResponse trace = service_.Handle(
+      MakeHttpRequest("GET", "/v1/jobs/" + traced_id + "/trace"));
+  EXPECT_EQ(trace.status, 200) << trace.body;
+  auto trace_body = Json::Parse(trace.body);
+  ASSERT_TRUE(trace_body.ok());
+  EXPECT_EQ(trace_body->Find("schema_version")->AsNumber(0), 1);
+  const Json* events = trace_body->Find("events");
+  ASSERT_NE(events, nullptr);
+  EXPECT_GT(events->size(), 0u);
+
+  // An untraced job 404s on the trace endpoint; so does an unknown id.
+  WaitForJob(untraced_id);
+  EXPECT_EQ(service_
+                .Handle(MakeHttpRequest("GET", "/v1/jobs/" + untraced_id +
+                                                   "/trace"))
+                .status,
+            404);
+  EXPECT_EQ(service_.Handle(MakeHttpRequest("GET", "/v1/jobs/999/trace"))
+                .status,
+            404);
+
+  // Trace activity shows in /metrics.
+  HttpResponse metrics =
+      service_.Handle(MakeHttpRequest("GET", "/v1/metrics"));
+  EXPECT_NE(metrics.body.find("mcsm_jobs_traced 1"), std::string::npos);
+  EXPECT_EQ(metrics.body.find("mcsm_trace_events_total 0\n"),
+            std::string::npos);
+}
+
 // ----------------------------------------------------------- end-to-end ----
 
 // Minimal blocking HTTP client for the socket-level test.
@@ -728,9 +867,17 @@ TEST(HttpServerTest, ServesOverRealSockets) {
   ASSERT_GT(server.port(), 0);
 
   std::string health = FetchOnce(
-      server.port(), "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n");
+      server.port(), "GET /v1/healthz HTTP/1.1\r\nHost: x\r\n\r\n");
   EXPECT_NE(health.find("HTTP/1.1 200 OK"), std::string::npos) << health;
-  EXPECT_NE(health.find(R"({"status":"ok"})"), std::string::npos);
+  EXPECT_NE(health.find(R"("status":"ok")"), std::string::npos) << health;
+  EXPECT_NE(health.find(R"("schema_version":1)"), std::string::npos);
+
+  // The deprecated unversioned alias serves the same body plus the header.
+  std::string legacy = FetchOnce(
+      server.port(), "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_NE(legacy.find("Deprecation: true\r\n"), std::string::npos)
+      << legacy;
+  EXPECT_NE(legacy.find(R"("status":"ok")"), std::string::npos);
 
   const std::string body =
       R"({"name":"t","csv":"a,b\nhenry,warner\n"})";

@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Validates a discovery trace artifact.
+
+Accepts either format the pipeline produces:
+  - JSONL (discover_csv --trace FILE, JsonlTraceSink): one event per line
+  - a single JSON object {"schema_version":1,"events":[...]} (the service's
+    GET /v1/jobs/{id}/trace body, TraceEventsToJson)
+
+Checks every event against the wire schema (kind vocabulary, required
+fields, coordinate/metric types) and that span begin/end events balance per
+(phase, name). Exits 0 on a valid trace, 1 otherwise, printing a summary
+either way. Usage:
+
+  tools/check_trace.py <trace.jsonl | trace.json>
+"""
+import collections
+import json
+import sys
+
+KINDS = {"span_begin", "span_end", "counter", "decision"}
+ALLOWED_KEYS = {
+    "kind", "phase", "name", "iteration", "column", "sample",
+    "value", "detail", "metrics", "elapsed_ms",
+}
+
+
+def check_event(event, errors, where):
+    if not isinstance(event, dict):
+        errors.append(f"{where}: event is not an object")
+        return None
+    unknown = set(event) - ALLOWED_KEYS
+    if unknown:
+        errors.append(f"{where}: unknown keys {sorted(unknown)}")
+    for key in ("kind", "phase", "name"):
+        if not isinstance(event.get(key), str) or not event[key]:
+            errors.append(f"{where}: '{key}' must be a non-empty string")
+            return None
+    if event["kind"] not in KINDS:
+        errors.append(f"{where}: bad kind '{event['kind']}'")
+        return None
+    if not isinstance(event.get("value"), (int, float)):
+        errors.append(f"{where}: 'value' must be a number")
+    for coord in ("iteration", "column", "sample"):
+        if coord in event and (not isinstance(event[coord], int)
+                               or event[coord] < 0):
+            errors.append(f"{where}: '{coord}' must be a non-negative int")
+    if "detail" in event and not isinstance(event["detail"], str):
+        errors.append(f"{where}: 'detail' must be a string")
+    if "metrics" in event:
+        metrics = event["metrics"]
+        if not isinstance(metrics, dict) or not all(
+                isinstance(v, (int, float)) for v in metrics.values()):
+            errors.append(f"{where}: 'metrics' must map names to numbers")
+    if "elapsed_ms" in event:
+        if event["kind"] != "span_end":
+            errors.append(f"{where}: 'elapsed_ms' only belongs on span_end")
+        elif not isinstance(event["elapsed_ms"], (int, float)) \
+                or event["elapsed_ms"] < 0:
+            errors.append(f"{where}: 'elapsed_ms' must be a number >= 0")
+    return event
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    path = sys.argv[1]
+    with open(path, "r", encoding="utf-8") as f:
+        text = f.read()
+
+    errors = []
+    events = []
+    stripped = text.lstrip()
+    if stripped.startswith("{") and '"events"' in stripped.split("\n", 1)[0]:
+        # Single-object service form.
+        try:
+            doc = json.loads(text)
+        except json.JSONDecodeError as e:
+            print(f"FAIL: {path}: not valid JSON: {e}", file=sys.stderr)
+            return 1
+        if doc.get("schema_version") != 1:
+            errors.append("document: schema_version must be 1")
+        raw_events = doc.get("events")
+        if not isinstance(raw_events, list):
+            errors.append("document: 'events' must be a list")
+            raw_events = []
+        for i, event in enumerate(raw_events):
+            checked = check_event(event, errors, f"events[{i}]")
+            if checked is not None:
+                events.append(checked)
+    else:
+        # JSONL form.
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            if not line.strip():
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError as e:
+                errors.append(f"line {lineno}: not valid JSON: {e}")
+                continue
+            checked = check_event(event, errors, f"line {lineno}")
+            if checked is not None:
+                events.append(checked)
+
+    # Span balance: every (phase, name) must close as often as it opens.
+    spans = collections.Counter()
+    kinds = collections.Counter()
+    for event in events:
+        kinds[event["kind"]] += 1
+        key = (event["phase"], event["name"])
+        if event["kind"] == "span_begin":
+            spans[key] += 1
+        elif event["kind"] == "span_end":
+            spans[key] -= 1
+    for (phase, name), depth in sorted(spans.items()):
+        if depth != 0:
+            errors.append(
+                f"span {phase}/{name}: {depth:+d} unbalanced begin/end")
+
+    summary = ", ".join(f"{k}={kinds[k]}" for k in sorted(kinds)) or "empty"
+    if errors:
+        for error in errors[:20]:
+            print(f"FAIL: {error}", file=sys.stderr)
+        if len(errors) > 20:
+            print(f"FAIL: ... and {len(errors) - 20} more", file=sys.stderr)
+        print(f"check_trace: {path}: {len(events)} events ({summary}); "
+              f"{len(errors)} error(s)", file=sys.stderr)
+        return 1
+    print(f"check_trace: {path}: OK — {len(events)} events ({summary})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,8 +2,11 @@
 # Smoke test for the discovery service daemon (examples/mcsm_serve): boots
 # the server on an ephemeral port, registers two tables, submits a job,
 # polls it to completion, verifies the index cache shows a hit on a second
-# identical job, exercises 429 backpressure, and checks graceful SIGTERM
-# drain (exit 0 with queued work finished). Run from anywhere:
+# identical job, runs a traced job end-to-end (trace endpoint validated with
+# check_trace.py, explain field present), checks the deprecated unversioned
+# aliases still answer (with a Deprecation header), exercises 429
+# backpressure, and checks graceful SIGTERM drain (exit 0 with queued work
+# finished). Run from anywhere:
 #
 #   tools/serve_smoke.sh <path-to-mcsm_serve>
 #
@@ -41,25 +44,37 @@ done
 PORT=$(cat "$WORKDIR/port")
 echo "server up on port $PORT (pid $SERVER_PID)"
 
-http GET /healthz
+http GET /v1/healthz
 [ "$HTTP_STATUS" = 200 ] || fail "healthz returned $HTTP_STATUS"
 echo "$BODY" | grep -q '"ok"' || fail "healthz body: $BODY"
+echo "$BODY" | grep -q '"schema_version":1' || fail "no schema_version: $BODY"
+
+# --- deprecated unversioned aliases -----------------------------------------
+# The pre-/v1 paths answer identically but carry a Deprecation header.
+curl -s -D "$WORKDIR/headers" -o "$WORKDIR/resp" "http://127.0.0.1:$PORT/healthz"
+grep -qi '^Deprecation: true' "$WORKDIR/headers" \
+  || fail "unversioned /healthz lacks Deprecation header"
+grep -q '"ok"' "$WORKDIR/resp" || fail "unversioned /healthz body broken"
+curl -s -D "$WORKDIR/headers" -o /dev/null "http://127.0.0.1:$PORT/v1/healthz"
+grep -qi '^Deprecation' "$WORKDIR/headers" \
+  && fail "/v1/healthz must not carry a Deprecation header"
+echo "deprecated aliases: OK"
 
 # --- register tables --------------------------------------------------------
-http POST /tables '{"name":"people","csv":"first,last\nhenry,warner\nanna,smith\nbob,jones\ncarol,white\ndave,brown\neve,black\n"}'
+http POST /v1/tables '{"name":"people","csv":"first,last\nhenry,warner\nanna,smith\nbob,jones\ncarol,white\ndave,brown\neve,black\n"}'
 [ "$HTTP_STATUS" = 200 ] || fail "POST /tables people -> $HTTP_STATUS: $BODY"
-http POST /tables '{"name":"logins","csv":"login\nhwarner\nasmith\nbjones\ncwhite\ndbrown\neblack\n"}'
+http POST /v1/tables '{"name":"logins","csv":"login\nhwarner\nasmith\nbjones\ncwhite\ndbrown\neblack\n"}'
 [ "$HTTP_STATUS" = 200 ] || fail "POST /tables logins -> $HTTP_STATUS: $BODY"
 
 # --- submit + poll a job ----------------------------------------------------
-http POST /jobs '{"source_table":"people","target_table":"logins","target_column":0,"deadline_ms":30000}'
+http POST /v1/jobs '{"source_table":"people","target_table":"logins","target_column":0,"deadline_ms":30000}'
 [ "$HTTP_STATUS" = 202 ] || fail "POST /jobs -> $HTTP_STATUS: $BODY"
 JOB_ID=$(echo "$BODY" | sed -n 's/.*"id":\([0-9]*\).*/\1/p')
 [ -n "$JOB_ID" ] || fail "no job id in: $BODY"
 
 STATE=""
 for _ in $(seq 1 100); do
-  http GET "/jobs/$JOB_ID"
+  http GET "/v1/jobs/$JOB_ID"
   STATE=$(echo "$BODY" | sed -n 's/.*"state":"\([a-z]*\)".*/\1/p')
   [ "$STATE" = done ] && break
   [ "$STATE" = failed ] && fail "job failed: $BODY"
@@ -71,21 +86,50 @@ echo "$BODY" | grep -q '"formula":"first\[1-1\]last\[1-n\]"' \
 echo "job $JOB_ID done: $BODY"
 
 # --- cache hit on the second identical job ----------------------------------
-http POST /jobs '{"source_table":"people","target_table":"logins","target_column":0}'
+http POST /v1/jobs '{"source_table":"people","target_table":"logins","target_column":0}'
 [ "$HTTP_STATUS" = 202 ] || fail "second POST /jobs -> $HTTP_STATUS"
 JOB2=$(echo "$BODY" | sed -n 's/.*"id":\([0-9]*\).*/\1/p')
 for _ in $(seq 1 100); do
-  http GET "/jobs/$JOB2"
+  http GET "/v1/jobs/$JOB2"
   echo "$BODY" | grep -q '"state":"done"' && break
   sleep 0.1
 done
 echo "$BODY" | grep -q '"state":"done"' || fail "second job never finished: $BODY"
 
-http GET /metrics
+http GET /v1/metrics
 [ "$HTTP_STATUS" = 200 ] || fail "GET /metrics -> $HTTP_STATUS"
 HITS=$(echo "$BODY" | sed -n 's/^mcsm_index_cache_hits \([0-9]*\)$/\1/p')
 [ -n "$HITS" ] && [ "$HITS" -gt 0 ] || fail "expected cache hits > 0; metrics: $BODY"
 echo "cache hits: $HITS"
+
+# --- traced job: trace endpoint + explain + check_trace.py ------------------
+http POST /v1/jobs '{"source_table":"people","target_table":"logins","target_column":0,"trace":true}'
+[ "$HTTP_STATUS" = 202 ] || fail "traced POST /v1/jobs -> $HTTP_STATUS: $BODY"
+TRACED_ID=$(echo "$BODY" | sed -n 's/.*"id":\([0-9]*\).*/\1/p')
+for _ in $(seq 1 100); do
+  http GET "/v1/jobs/$TRACED_ID"
+  echo "$BODY" | grep -q '"state":"done"' && break
+  sleep 0.1
+done
+echo "$BODY" | grep -q '"state":"done"' || fail "traced job never finished: $BODY"
+echo "$BODY" | grep -q '"traced":true' || fail "snapshot not marked traced: $BODY"
+echo "$BODY" | grep -q '"explain":' || fail "no explain field on traced job: $BODY"
+
+http GET "/v1/jobs/$TRACED_ID/trace"
+[ "$HTTP_STATUS" = 200 ] || fail "GET trace -> $HTTP_STATUS: $BODY"
+echo "$BODY" > "$WORKDIR/trace.json"
+python3 "$(dirname "$0")/check_trace.py" "$WORKDIR/trace.json" \
+  || fail "check_trace.py rejected the service trace"
+
+# Untraced jobs 404 on the trace endpoint.
+http GET "/v1/jobs/$JOB_ID/trace"
+[ "$HTTP_STATUS" = 404 ] || fail "untraced job trace -> $HTTP_STATUS (want 404)"
+
+http GET /v1/metrics
+echo "$BODY" | grep -q '^mcsm_jobs_traced 1$' || fail "mcsm_jobs_traced != 1"
+TRACE_EVENTS=$(echo "$BODY" | sed -n 's/^mcsm_trace_events_total \([0-9]*\)$/\1/p')
+[ -n "$TRACE_EVENTS" ] && [ "$TRACE_EVENTS" -gt 0 ] || fail "trace events counter empty"
+echo "traced job: OK ($TRACE_EVENTS events)"
 
 # --- 429 backpressure -------------------------------------------------------
 # A second server with the service.job delay failpoint armed: every job
@@ -103,17 +147,17 @@ done
 [ -s "$WORKDIR/slow_port" ] || fail "slow server never wrote --port-file"
 MAIN_PORT=$PORT
 PORT=$(cat "$WORKDIR/slow_port")
-http POST /tables '{"name":"people","csv":"first,last\nhenry,warner\nanna,smith\n"}'
+http POST /v1/tables '{"name":"people","csv":"first,last\nhenry,warner\nanna,smith\n"}'
 [ "$HTTP_STATUS" = 200 ] || fail "slow server POST /tables -> $HTTP_STATUS"
-http POST /tables '{"name":"logins","csv":"login\nhwarner\nasmith\n"}'
+http POST /v1/tables '{"name":"logins","csv":"login\nhwarner\nasmith\n"}'
 [ "$HTTP_STATUS" = 200 ] || fail "slow server POST /tables -> $HTTP_STATUS"
 SAW_429=0
 for _ in $(seq 1 6); do
-  http POST /jobs '{"source_table":"people","target_table":"logins","target_column":0}'
+  http POST /v1/jobs '{"source_table":"people","target_table":"logins","target_column":0}'
   [ "$HTTP_STATUS" = 429 ] && SAW_429=1
 done
 [ "$SAW_429" = 1 ] || fail "expected a 429 from the saturated queue"
-http GET /metrics
+http GET /v1/metrics
 REJECTED=$(echo "$BODY" | sed -n 's/^mcsm_jobs_rejected \([0-9]*\)$/\1/p')
 [ -n "$REJECTED" ] && [ "$REJECTED" -gt 0 ] || fail "rejected counter not incremented"
 echo "backpressure: $REJECTED rejected with 429"
