@@ -1,0 +1,218 @@
+#ifndef MCSM_COMMON_ANNOTATIONS_H_
+#define MCSM_COMMON_ANNOTATIONS_H_
+
+#include <mutex>
+#include <shared_mutex>
+
+/// \file
+/// \brief Clang thread-safety-analysis annotations + annotated lock types.
+///
+/// The discovery pipeline and service enforce a byte-identical-results
+/// determinism contract across thread counts, which makes lock discipline
+/// load-bearing: every mutex-guarded member must only be touched with its
+/// mutex held. The TSan CI leg checks that dynamically; this header makes it
+/// statically checkable with Clang's `-Wthread-safety` analysis
+/// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html), gated behind the
+/// `MCSM_THREAD_SAFETY` CMake option and the thread-safety CI leg.
+///
+/// Usage pattern (see common/thread_pool.h for the canonical example):
+///
+///   class Queue {
+///    public:
+///     void Push(int v) {
+///       MutexLock lock(mu_);
+///       items_.push_back(v);            // OK: mu_ held
+///     }
+///    private:
+///     Mutex mu_;
+///     std::vector<int> items_ MCSM_GUARDED_BY(mu_);
+///   };
+///
+/// `std::mutex` / `std::shared_mutex` are NOT annotatable (libstdc++ carries
+/// no capability attributes), so the project rule — enforced by
+/// tools/lint.py rule LK001 — is: member mutexes use the annotated `Mutex` /
+/// `SharedMutex` wrappers below, condition variables use
+/// `std::condition_variable_any` (which accepts any BasicLockable, i.e. the
+/// annotated types), and every mutex member guards at least one thing via
+/// MCSM_GUARDED_BY / MCSM_REQUIRES / MCSM_ACQUIRE.
+///
+/// On GCC (and any non-Clang compiler) every macro expands to nothing and
+/// the wrappers compile down to the wrapped standard types — zero overhead,
+/// no behaviour change.
+
+#if defined(__clang__)
+#define MCSM_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define MCSM_THREAD_ANNOTATION_(x)  // no-op off clang
+#endif
+
+/// Marks a type as a capability (a lock). The string names the capability
+/// kind in diagnostics ("mutex", "shared_mutex").
+#define MCSM_CAPABILITY(x) MCSM_THREAD_ANNOTATION_(capability(x))
+
+/// Marks an RAII type whose constructor acquires and destructor releases.
+#define MCSM_SCOPED_CAPABILITY MCSM_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Data member may only be accessed while holding the given capability.
+#define MCSM_GUARDED_BY(x) MCSM_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Pointer member: the *pointee* may only be accessed while holding the
+/// capability (the pointer itself is unrestricted).
+#define MCSM_PT_GUARDED_BY(x) MCSM_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Lock-ordering declarations (deadlock prevention).
+#define MCSM_ACQUIRED_BEFORE(...) \
+  MCSM_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define MCSM_ACQUIRED_AFTER(...) \
+  MCSM_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+
+/// Function requires the capability held (exclusively / shared) on entry,
+/// and does not release it.
+#define MCSM_REQUIRES(...) \
+  MCSM_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define MCSM_REQUIRES_SHARED(...) \
+  MCSM_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability (must not already be held).
+#define MCSM_ACQUIRE(...) \
+  MCSM_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define MCSM_ACQUIRE_SHARED(...) \
+  MCSM_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases the capability (must be held on entry).
+#define MCSM_RELEASE(...) \
+  MCSM_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define MCSM_RELEASE_SHARED(...) \
+  MCSM_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+#define MCSM_RELEASE_GENERIC(...) \
+  MCSM_THREAD_ANNOTATION_(release_generic_capability(__VA_ARGS__))
+
+/// Function attempts the acquisition; the first argument is the return value
+/// that signals success.
+#define MCSM_TRY_ACQUIRE(...) \
+  MCSM_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+#define MCSM_TRY_ACQUIRE_SHARED(...) \
+  MCSM_THREAD_ANNOTATION_(try_acquire_shared_capability(__VA_ARGS__))
+
+/// Function must NOT be called with the capability held (non-reentrancy).
+#define MCSM_EXCLUDES(...) MCSM_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion that the capability is held (for code paths the static
+/// analysis cannot follow, e.g. lambdas handed to a wait loop).
+#define MCSM_ASSERT_CAPABILITY(x) \
+  MCSM_THREAD_ANNOTATION_(assert_capability(x))
+#define MCSM_ASSERT_SHARED_CAPABILITY(x) \
+  MCSM_THREAD_ANNOTATION_(assert_shared_capability(x))
+
+/// Function returns a reference to the given capability.
+#define MCSM_RETURN_CAPABILITY(x) MCSM_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Escape hatch: turns the analysis off for one function. Every use needs a
+/// comment explaining why the discipline holds anyway.
+#define MCSM_NO_THREAD_SAFETY_ANALYSIS \
+  MCSM_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+namespace mcsm {
+
+/// \brief Annotated exclusive mutex: `std::mutex` carrying the capability
+/// attribute so `-Wthread-safety` can check GUARDED_BY / REQUIRES contracts.
+/// Satisfies BasicLockable/Lockable (usable with std::condition_variable_any
+/// and std::scoped_lock), but prefer the MutexLock RAII type below — it is
+/// the annotated scoped form the analysis understands.
+class MCSM_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() MCSM_ACQUIRE() { mu_.lock(); }
+  void unlock() MCSM_RELEASE() { mu_.unlock(); }
+  bool try_lock() MCSM_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// Declares (to the analysis and to readers) that the calling context
+  /// already holds this mutex — the annotated escape hatch for predicates
+  /// and callbacks invoked from under an existing lock.
+  void AssertHeld() const MCSM_ASSERT_CAPABILITY(this) {}
+
+ private:
+  std::mutex mu_;
+};
+
+/// \brief Annotated reader/writer mutex over `std::shared_mutex`.
+class MCSM_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() MCSM_ACQUIRE() { mu_.lock(); }
+  void unlock() MCSM_RELEASE() { mu_.unlock(); }
+  bool try_lock() MCSM_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  void lock_shared() MCSM_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void unlock_shared() MCSM_RELEASE_SHARED() { mu_.unlock_shared(); }
+  bool try_lock_shared() MCSM_TRY_ACQUIRE_SHARED(true) {
+    return mu_.try_lock_shared();
+  }
+
+  void AssertHeld() const MCSM_ASSERT_CAPABILITY(this) {}
+  void AssertReaderHeld() const MCSM_ASSERT_SHARED_CAPABILITY(this) {}
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// \brief RAII exclusive lock on a Mutex. Exposes lock()/unlock() so it is
+/// itself BasicLockable — the form std::condition_variable_any::wait() needs
+/// (wait unlocks and relocks around the block; the analysis sees the
+/// capability held across the call, which matches the before/after states).
+class MCSM_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) MCSM_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() MCSM_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  // For condition_variable_any::wait only; the lock must be held again when
+  // the scope ends (wait() guarantees reacquisition).
+  void lock() MCSM_ACQUIRE() { mu_.lock(); }
+  void unlock() MCSM_RELEASE() { mu_.unlock(); }
+
+ private:
+  Mutex& mu_;
+};
+
+/// \brief RAII shared (reader) lock on a SharedMutex.
+class MCSM_SCOPED_CAPABILITY ReaderLock {
+ public:
+  explicit ReaderLock(SharedMutex& mu) MCSM_ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_.lock_shared();
+  }
+  ~ReaderLock() MCSM_RELEASE_GENERIC() { mu_.unlock_shared(); }
+
+  ReaderLock(const ReaderLock&) = delete;
+  ReaderLock& operator=(const ReaderLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// \brief RAII exclusive (writer) lock on a SharedMutex.
+class MCSM_SCOPED_CAPABILITY WriterLock {
+ public:
+  explicit WriterLock(SharedMutex& mu) MCSM_ACQUIRE(mu) : mu_(mu) {
+    mu_.lock();
+  }
+  ~WriterLock() MCSM_RELEASE_GENERIC() { mu_.unlock(); }
+
+  WriterLock(const WriterLock&) = delete;
+  WriterLock& operator=(const WriterLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+}  // namespace mcsm
+
+#endif  // MCSM_COMMON_ANNOTATIONS_H_

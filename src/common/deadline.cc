@@ -35,10 +35,17 @@ RunBudget RunBudget::ForMillis(int64_t wall_ms) {
 
 void RunBudget::TripOnce(BudgetTrip axis) {
   BudgetTrip expected = BudgetTrip::kNone;
+  // ordering: relaxed — the trip is a pure control flag: no data is
+  // published through it (each worker's partial results reach the merge via
+  // ThreadPool::ParallelFor's acq_rel barrier), and relaxed CAS keeps
+  // Cancel() async-signal-safe. Audited 2026-08: no acquire/release upgrade
+  // needed; the CAS alone guarantees exactly one winning axis.
   trip_.compare_exchange_strong(expected, axis, std::memory_order_relaxed);
 }
 
 bool RunBudget::CheckDeadline() {
+  // ordering: relaxed — sticky-flag read; a stale kNone only delays the stop
+  // by one charge, it cannot un-trip the budget.
   if (trip_.load(std::memory_order_relaxed) != BudgetTrip::kNone) return false;
   if (has_deadline_ && Clock::now() >= deadline_) {
     TripOnce(BudgetTrip::kWallClock);
@@ -48,6 +55,8 @@ bool RunBudget::CheckDeadline() {
 }
 
 bool RunBudget::ChargePostings(uint64_t n) {
+  // ordering: relaxed — only the accumulated total matters; no thread reads
+  // other data through this counter (same for the two charges below).
   const uint64_t total =
       postings_scanned_.fetch_add(n, std::memory_order_relaxed) + n;
   if (!CheckDeadline()) return false;
@@ -60,6 +69,7 @@ bool RunBudget::ChargePostings(uint64_t n) {
 }
 
 bool RunBudget::ChargePairs(uint64_t n) {
+  // ordering: relaxed — accumulation only, see ChargePostings.
   const uint64_t total =
       pairs_aligned_.fetch_add(n, std::memory_order_relaxed) + n;
   if (!CheckDeadline()) return false;
@@ -71,6 +81,7 @@ bool RunBudget::ChargePairs(uint64_t n) {
 }
 
 bool RunBudget::ChargeFormulas(uint64_t n) {
+  // ordering: relaxed — accumulation only, see ChargePostings.
   const uint64_t total =
       candidate_formulas_.fetch_add(n, std::memory_order_relaxed) + n;
   if (!CheckDeadline()) return false;

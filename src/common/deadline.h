@@ -98,15 +98,19 @@ class RunBudget {
   void Cancel() { TripOnce(BudgetTrip::kCancelled); }
 
   /// The first axis that tripped, without re-reading the clock.
+  // ordering: relaxed — sticky flag read; see TripOnce() in deadline.cc.
   BudgetTrip trip() const { return trip_.load(std::memory_order_relaxed); }
 
   uint64_t postings_scanned() const {
+    // ordering: relaxed — monotonic counter read (reporting only).
     return postings_scanned_.load(std::memory_order_relaxed);
   }
   uint64_t pairs_aligned() const {
+    // ordering: relaxed — monotonic counter read (reporting only).
     return pairs_aligned_.load(std::memory_order_relaxed);
   }
   uint64_t candidate_formulas() const {
+    // ordering: relaxed — monotonic counter read (reporting only).
     return candidate_formulas_.load(std::memory_order_relaxed);
   }
   const BudgetLimits& limits() const { return limits_; }
@@ -124,6 +128,34 @@ class RunBudget {
   std::atomic<uint64_t> postings_scanned_{0};
   std::atomic<uint64_t> pairs_aligned_{0};
   std::atomic<uint64_t> candidate_formulas_{0};
+};
+
+/// \brief Steady-clock stopwatch for diagnostic timings (per-phase seconds
+/// in SearchStats, span elapsed_ms).
+///
+/// This is the sanctioned funnel for wall-clock reads in the deterministic
+/// layers: tools/lint.py rule CD001 bans direct clock access in src/core,
+/// src/text and src/relational so that wall time can never leak into result
+/// or trace *identity* — timings measured here are diagnostic outputs only
+/// (TraceEvent::elapsed_ms is excluded from Id(), SearchStats seconds are
+/// not part of any fingerprint). Deadline enforcement goes through
+/// RunBudget, not this class.
+class WallTimer {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Starts timing at construction.
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Seconds elapsed since construction (or the last Restart()).
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  void Restart() { start_ = Clock::now(); }
+
+ private:
+  Clock::time_point start_;
 };
 
 }  // namespace mcsm

@@ -5,6 +5,7 @@
 namespace mcsm {
 
 double GetEnvDouble(const char* name, double def) {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read-only; nothing calls setenv.
   const char* v = std::getenv(name);
   if (v == nullptr || *v == '\0') return def;
   char* end = nullptr;
@@ -14,6 +15,7 @@ double GetEnvDouble(const char* name, double def) {
 }
 
 int64_t GetEnvInt(const char* name, int64_t def) {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read-only; nothing calls setenv.
   const char* v = std::getenv(name);
   if (v == nullptr || *v == '\0') return def;
   char* end = nullptr;
@@ -23,6 +25,7 @@ int64_t GetEnvInt(const char* name, int64_t def) {
 }
 
 std::string GetEnvString(const char* name, const std::string& def) {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read-only; nothing calls setenv.
   const char* v = std::getenv(name);
   if (v == nullptr) return def;
   return std::string(v);

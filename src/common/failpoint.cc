@@ -5,9 +5,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <map>
-#include <mutex>
 #include <thread>
 
+#include "common/annotations.h"
 #include "common/result.h"
 #include "common/string_util.h"
 
@@ -28,8 +28,8 @@ struct Spec {
 /// Armed sites. Guarded by a mutex: the map is only touched when a failpoint
 /// is armed (tests, chaos runs), never on the production fast path.
 struct Registry {
-  std::mutex mu;
-  std::map<std::string, Spec, std::less<>> armed;
+  Mutex mu;
+  std::map<std::string, Spec, std::less<>> armed MCSM_GUARDED_BY(mu);
 };
 
 Registry& GetRegistry() {
@@ -118,10 +118,17 @@ std::atomic<bool> g_env_loaded{false};
 
 void EnsureEnvLoaded() {
   bool expected = false;
+  // Audited 2026-08: a loser may observe g_armed_count == 0 while the winner
+  // is still parsing — a benign, documented first-call race ("the first call
+  // parses"), not an ordering bug, so no upgrade is needed.
+  // ordering: acq_rel — the winner's release publishes nothing by itself
+  // (arming happens after, under the registry mutex); the acquire side keeps
+  // a losing thread from speculating past the latch.
   if (!g_env_loaded.compare_exchange_strong(expected, true,
                                             std::memory_order_acq_rel)) {
     return;
   }
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read-only; nothing calls setenv.
   const char* env = std::getenv("MCSM_FAILPOINTS");
   if (env != nullptr && *env != '\0') {
     Status st = ArmFromSpecList(env);
@@ -144,7 +151,7 @@ Status Trigger(std::string_view site) {
   Spec fire;
   {
     Registry& registry = GetRegistry();
-    std::lock_guard<std::mutex> lock(registry.mu);
+    MutexLock lock(registry.mu);
     auto it = registry.armed.find(site);
     if (it == registry.armed.end()) return Status::OK();
     Spec& spec = it->second;
@@ -170,10 +177,12 @@ Status Arm(std::string_view site, std::string_view spec_text) {
   }
   MCSM_ASSIGN_OR_RETURN(Spec spec, ParseSpec(spec_text));
   Registry& registry = GetRegistry();
-  std::lock_guard<std::mutex> lock(registry.mu);
+  MutexLock lock(registry.mu);
   auto [it, inserted] = registry.armed.insert_or_assign(std::string(site), spec);
   (void)it;
   if (inserted) {
+    // ordering: relaxed — the count is an advisory gate for Enabled(); the
+    // armed map itself is published by the registry mutex.
     internal::g_armed_count.fetch_add(1, std::memory_order_relaxed);
   }
   return Status::OK();
@@ -197,17 +206,20 @@ Status ArmFromSpecList(std::string_view list) {
 void Disarm(std::string_view site) {
   internal::EnsureEnvLoaded();
   Registry& registry = GetRegistry();
-  std::lock_guard<std::mutex> lock(registry.mu);
+  MutexLock lock(registry.mu);
   auto it = registry.armed.find(site);
   if (it == registry.armed.end()) return;
   registry.armed.erase(it);
+  // ordering: relaxed — advisory gate, see Arm(); the erase is published by
+  // the registry mutex.
   internal::g_armed_count.fetch_sub(1, std::memory_order_relaxed);
 }
 
 void DisarmAll() {
   internal::EnsureEnvLoaded();
   Registry& registry = GetRegistry();
-  std::lock_guard<std::mutex> lock(registry.mu);
+  MutexLock lock(registry.mu);
+  // ordering: relaxed — advisory gate, see Arm().
   internal::g_armed_count.fetch_sub(static_cast<int>(registry.armed.size()),
                                     std::memory_order_relaxed);
   registry.armed.clear();
@@ -215,6 +227,7 @@ void DisarmAll() {
 
 void ReloadFromEnv() {
   DisarmAll();
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read-only; nothing calls setenv.
   const char* env = std::getenv("MCSM_FAILPOINTS");
   if (env != nullptr && *env != '\0') {
     // The env was validated at startup (EnsureEnvLoaded aborts otherwise).

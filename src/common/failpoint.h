@@ -54,6 +54,10 @@ void EnsureEnvLoaded();
 /// MCSM_FAILPOINTS; afterwards it is a single relaxed load.
 inline bool Enabled() {
   internal::EnsureEnvLoaded();
+  // ordering: relaxed — advisory gate only. A stale 0 skips Trigger() for a
+  // site armed microseconds ago (acceptable: arming is not synchronized with
+  // in-flight operations); a 1 sends the caller to Trigger(), whose registry
+  // mutex provides the real synchronization.
   return internal::g_armed_count.load(std::memory_order_relaxed) != 0;
 }
 

@@ -34,7 +34,7 @@ ThreadPool::ThreadPool(Background background) {
 // double join) that cannot occur in this teardown sequence.
 ThreadPool::~ThreadPool() {  // NOLINT(bugprone-exception-escape)
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -47,7 +47,7 @@ void ThreadPool::Submit(std::function<void()> task) {
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     queue_.push_back(std::move(task));
   }
   cv_.notify_one();
@@ -57,8 +57,11 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      // Explicit wait loop (not the predicate overload): the thread-safety
+      // analysis cannot see that a predicate lambda runs under mu_, while
+      // the guarded reads below sit visibly inside the MutexLock scope.
+      while (!stop_ && queue_.empty()) cv_.wait(lock);
       if (queue_.empty()) return;  // stop_ set and nothing left to drain
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -81,8 +84,10 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   struct Shared {
     std::atomic<size_t> next{0};
     std::atomic<size_t> active;
-    std::mutex mu;
-    std::condition_variable done;
+    // Pairs with `done` for the completion wakeup; the waited state (active)
+    // is atomic, so the mutex guards no plain member.
+    Mutex mu;  // lint: allow(LK001): cv-pairing mutex, predicate state is the atomic above
+    std::condition_variable_any done;
     explicit Shared(size_t helpers) : active(helpers) {}
   };
   auto shared = std::make_shared<Shared>(helpers);
@@ -93,26 +98,34 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
     // anything fn captures by reference stays valid while helpers run it.
     Submit([shared, fn, n] {
       size_t i;
+      // ordering: relaxed — the index counter only partitions work; fn(i)
+      // writes are published by the acq_rel fetch_sub / acquire load below.
       while ((i = shared->next.fetch_add(1, std::memory_order_relaxed)) < n) {
         fn(i);
       }
+      // ordering: acq_rel — release publishes this helper's fn(i) writes to
+      // the caller; acquire chains earlier helpers' writes through the last
+      // decrement so the caller's acquire load observes all of them.
       if (shared->active.fetch_sub(1, std::memory_order_acq_rel) == 1) {
         // Lock before notifying so the caller cannot miss the wakeup between
         // its predicate check and its wait.
-        std::lock_guard<std::mutex> lock(shared->mu);
+        MutexLock lock(shared->mu);
         shared->done.notify_all();
       }
     });
   }
 
   size_t i;
+  // ordering: relaxed — same scheduling counter as the helper loop above.
   while ((i = shared->next.fetch_add(1, std::memory_order_relaxed)) < n) {
     fn(i);
   }
-  std::unique_lock<std::mutex> lock(shared->mu);
-  shared->done.wait(lock, [&shared] {
-    return shared->active.load(std::memory_order_acquire) == 0;
-  });
+  MutexLock lock(shared->mu);
+  // ordering: acquire — pairs with the helpers' acq_rel fetch_sub so every
+  // fn(i) write is visible once active reads 0.
+  while (shared->active.load(std::memory_order_acquire) != 0) {
+    shared->done.wait(lock);
+  }
 }
 
 }  // namespace mcsm

@@ -5,9 +5,10 @@
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/annotations.h"
 
 namespace mcsm {
 
@@ -58,11 +59,13 @@ class ThreadPool {
   void WorkerLoop();
 
   size_t size_ = 1;
+  // Written in the constructor, joined in the destructor; never mutated
+  // while workers run, so the vector itself needs no lock.
   std::vector<std::thread> workers_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  bool stop_ = false;
+  Mutex mu_;
+  std::condition_variable_any cv_;
+  std::deque<std::function<void()>> queue_ MCSM_GUARDED_BY(mu_);
+  bool stop_ MCSM_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace mcsm

@@ -204,19 +204,21 @@ InMemoryTraceSink::Shard& InMemoryTraceSink::ShardForThisThread() {
 }
 
 void InMemoryTraceSink::Emit(TraceEvent event) {
+  // ordering: relaxed — monotonic counters; the events themselves are
+  // published by the shard mutex below.
   events_.fetch_add(1, std::memory_order_relaxed);
   if (event.kind == TraceEventKind::kSpanBegin) {
-    spans_.fetch_add(1, std::memory_order_relaxed);
+    spans_.fetch_add(1, std::memory_order_relaxed);  // ordering: relaxed — as above
   }
   Shard& shard = ShardForThisThread();
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   shard.events.push_back(std::move(event));
 }
 
 std::vector<TraceEvent> InMemoryTraceSink::Events() const {
   std::vector<TraceEvent> out;
   for (size_t i = 0; i < kShards; ++i) {
-    std::lock_guard<std::mutex> lock(shards_[i].mu);
+    MutexLock lock(shards_[i].mu);
     out.insert(out.end(), shards_[i].events.begin(), shards_[i].events.end());
   }
   return out;
@@ -233,9 +235,11 @@ std::vector<TraceEvent> InMemoryTraceSink::CanonicalEvents() const {
 
 void InMemoryTraceSink::Clear() {
   for (size_t i = 0; i < kShards; ++i) {
-    std::lock_guard<std::mutex> lock(shards_[i].mu);
+    MutexLock lock(shards_[i].mu);
     shards_[i].events.clear();
   }
+  // ordering: relaxed — counter reset; Clear() is only called quiescently
+  // (between runs), concurrent Emit() would be racy regardless of ordering.
   events_.store(0, std::memory_order_relaxed);
   spans_.store(0, std::memory_order_relaxed);
 }
@@ -246,25 +250,27 @@ Result<std::unique_ptr<JsonlTraceSink>> JsonlTraceSink::Open(
   if (file == nullptr) {
     return Status::InvalidArgument(
         StrFormat("cannot open trace file '%s': %s", path.c_str(),
-                  std::strerror(errno)));
+                  std::strerror(errno)));  // NOLINT(concurrency-mt-unsafe)
   }
   return std::unique_ptr<JsonlTraceSink>(new JsonlTraceSink(file));
 }
 
 JsonlTraceSink::~JsonlTraceSink() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::fclose(file_);
 }
 
 void JsonlTraceSink::Emit(TraceEvent event) {
+  // ordering: relaxed — monotonic counters; the line itself is serialized
+  // under mu_ below.
   events_.fetch_add(1, std::memory_order_relaxed);
   if (event.kind == TraceEventKind::kSpanBegin) {
-    spans_.fetch_add(1, std::memory_order_relaxed);
+    spans_.fetch_add(1, std::memory_order_relaxed);  // ordering: relaxed — as above
   }
   std::string line;
   AppendTraceEventJson(event, &line);
   line += '\n';
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::fwrite(line.data(), 1, line.size(), file_);
 }
 

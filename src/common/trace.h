@@ -6,12 +6,12 @@
 #include <cstdint>
 #include <cstdio>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/result.h"
 
 namespace mcsm {
@@ -135,8 +135,11 @@ class InMemoryTraceSink : public TraceSink {
   std::vector<TraceEvent> CanonicalEvents() const;
 
   uint64_t event_count() const {
+    // ordering: relaxed — monotonic counter; readers need a count, not a
+    // happens-before edge (shard contents are read under the shard locks).
     return events_.load(std::memory_order_relaxed);
   }
+  // ordering: relaxed — same monotonic-counter discipline as event_count().
   uint64_t span_count() const { return spans_.load(std::memory_order_relaxed); }
 
   void Clear();
@@ -144,8 +147,8 @@ class InMemoryTraceSink : public TraceSink {
  private:
   static constexpr size_t kShards = 16;
   struct Shard {
-    mutable std::mutex mu;
-    std::vector<TraceEvent> events;
+    mutable Mutex mu;
+    std::vector<TraceEvent> events MCSM_GUARDED_BY(mu);
   };
   Shard& ShardForThisThread();
 
@@ -167,15 +170,17 @@ class JsonlTraceSink : public TraceSink {
   void Emit(TraceEvent event) override;
 
   uint64_t event_count() const {
+    // ordering: relaxed — monotonic counter read, no ordering needed.
     return events_.load(std::memory_order_relaxed);
   }
+  // ordering: relaxed — monotonic counter read, no ordering needed.
   uint64_t span_count() const { return spans_.load(std::memory_order_relaxed); }
 
  private:
   explicit JsonlTraceSink(std::FILE* file) : file_(file) {}
 
-  std::FILE* file_;
-  std::mutex mu_;
+  Mutex mu_;
+  std::FILE* file_ MCSM_PT_GUARDED_BY(mu_);  ///< stream writes serialize on mu_
   std::atomic<uint64_t> events_{0};
   std::atomic<uint64_t> spans_{0};
 };

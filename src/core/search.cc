@@ -1,7 +1,6 @@
 #include "core/search.h"
 
 #include <algorithm>
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cmath>
@@ -17,16 +16,6 @@
 #include "text/qgram.h"
 
 namespace mcsm::core {
-
-namespace {
-
-using Clock = std::chrono::steady_clock;
-
-double SecondsSince(Clock::time_point start) {
-  return std::chrono::duration<double>(Clock::now() - start).count();
-}
-
-}  // namespace
 
 Status SearchOptions::Env::Validate() const {
   if (budget.wall_ms < 0) {
@@ -279,7 +268,9 @@ void TranslationSearch::MergeBatch(VoteBatch&& batch, VoteMap* votes,
 }
 
 Result<ColumnSelection> TranslationSearch::SelectStartColumn() {
-  auto start = Clock::now();
+  // Diagnostic timing only (never part of result/trace identity): wall-clock
+  // access in core goes through WallTimer/RunBudget, enforced by lint CD001.
+  WallTimer timer;
   TraceSpan span(trace_, "step1", "select_start_column");
   ColumnSelection selection;
   selection.scores.assign(source_.num_columns(), 0.0);
@@ -323,7 +314,7 @@ Result<ColumnSelection> TranslationSearch::SelectStartColumn() {
       selection.best_column = text_columns[i];
     }
   }
-  stats_.step1_seconds += SecondsSince(start);
+  stats_.step1_seconds += timer.Seconds();
   if (selection.best_column == std::numeric_limits<size_t>::max()) {
     return Status::NotFound("no source column shares q-grams with the target");
   }
@@ -340,7 +331,7 @@ Result<ColumnSelection> TranslationSearch::SelectStartColumn() {
 
 Result<std::vector<TranslationFormula>> TranslationSearch::BuildInitialFormulas(
     size_t column, size_t k) {
-  auto start = Clock::now();
+  WallTimer timer;
   TraceSpan span(trace_, "step2", "build_initial");
   MCSM_RETURN_IF_ERROR(TracedFailpoint(failpoint::kSamplerSample, "step2"));
   VoteMap votes;
@@ -478,7 +469,7 @@ Result<std::vector<TranslationFormula>> TranslationSearch::BuildInitialFormulas(
     out.push_back(r.entry->formula);
     if (out.size() >= k) break;
   }
-  stats_.step2_seconds += SecondsSince(start);
+  stats_.step2_seconds += timer.Seconds();
   if (out.empty()) {
     return Status::NotFound(StrFormat(
         "no initial translation formula reached min_support=%zu for column %zu",
@@ -495,7 +486,7 @@ Result<TranslationFormula> TranslationSearch::BuildInitialFormula(
 
 Result<bool> TranslationSearch::RefineOnce(TranslationFormula* formula,
                                            IterationInfo* info) {
-  auto start = Clock::now();
+  WallTimer timer;
   if (formula->empty()) {
     return Status::InvalidArgument("cannot refine an empty formula");
   }
@@ -671,6 +662,7 @@ Result<bool> TranslationSearch::RefineOnce(TranslationFormula* formula,
   }
 
   // Score candidates (Eq. 5) and adopt the best true refinement.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read-only; nothing calls setenv.
   const bool debug_votes = std::getenv("MCSM_DEBUG_VOTES") != nullptr;
   double global_total = 0;
   for (double ct : column_totals) global_total += ct;
@@ -722,7 +714,7 @@ Result<bool> TranslationSearch::RefineOnce(TranslationFormula* formula,
     }
   }
 
-  double seconds = SecondsSince(start);
+  double seconds = timer.Seconds();
   stats_.iteration_seconds.push_back(seconds);
   if (info != nullptr) {
     info->seconds = seconds;

@@ -227,7 +227,7 @@ HttpServer::~HttpServer() { Shutdown(); }
 Status HttpServer::Start() {
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) {
-    return Status::Internal(
+    return Status::Internal(  // NOLINTNEXTLINE(concurrency-mt-unsafe)
         StrFormat("socket() failed: %s", std::strerror(errno)));
   }
   int one = 1;
@@ -239,15 +239,15 @@ Status HttpServer::Start() {
   addr.sin_port = htons(static_cast<uint16_t>(options_.port));
   if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
       0) {
-    Status st = Status::Internal(StrFormat("bind(127.0.0.1:%d) failed: %s",
-                                           options_.port,
-                                           std::strerror(errno)));
+    Status st = Status::Internal(StrFormat(
+        "bind(127.0.0.1:%d) failed: %s", options_.port,
+        std::strerror(errno)));  // NOLINT(concurrency-mt-unsafe)
     ::close(listen_fd_);
     listen_fd_ = -1;
     return st;
   }
   if (::listen(listen_fd_, 64) < 0) {
-    Status st = Status::Internal(
+    Status st = Status::Internal(  // NOLINTNEXTLINE(concurrency-mt-unsafe)
         StrFormat("listen() failed: %s", std::strerror(errno)));
     ::close(listen_fd_);
     listen_fd_ = -1;
@@ -269,9 +269,13 @@ void HttpServer::Shutdown() {
   // Serialized under a mutex: a second caller blocks until the first one
   // finished its joins, then returns — two threads must never race on
   // accept_thread_.join().
-  std::lock_guard<std::mutex> lock(shutdown_mu_);
+  MutexLock lock(shutdown_mu_);
   if (shutdown_done_) return;
   shutdown_done_ = true;
+  // ordering: release — pairs with the accept loop's acquire loads so a
+  // worker that observes stopping_ also observes everything this thread did
+  // before initiating shutdown (belt-and-braces; the listener shutdown()
+  // below is what actually wakes the loop).
   stopping_.store(true, std::memory_order_release);
   if (listen_fd_ >= 0) {
     // shutdown() wakes the blocking accept(); close() alone is not reliable
@@ -292,6 +296,8 @@ void HttpServer::AcceptLoop() {
   // Shutdown() only mutates the member after joining this thread. The
   // local keeps that contract visible (and TSan-clean) here.
   const int listen_fd = listen_fd_;
+  // ordering: acquire — pairs with Shutdown()'s release store (both loads in
+  // this loop), see the comment there.
   while (!stopping_.load(std::memory_order_acquire)) {
     int fd = ::accept(listen_fd, nullptr, nullptr);
     if (fd < 0) {
@@ -299,6 +305,7 @@ void HttpServer::AcceptLoop() {
       // Listener closed (shutdown) or fatal error: either way, stop.
       return;
     }
+    // ordering: acquire — see loop condition above.
     if (stopping_.load(std::memory_order_acquire)) {
       ::close(fd);
       return;

@@ -5,13 +5,13 @@
 #include <cstddef>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
 
@@ -109,11 +109,16 @@ class HttpServer {
 
   Options options_;
   Handler handler_;
+  // listen_fd_/port_/accept_thread_/pool_ are written by Start() before any
+  // concurrency exists and torn down by the first Shutdown() caller after
+  // the accept thread is joined — their discipline is thread start/join
+  // happens-before, not a lock (the accept thread must never block on
+  // shutdown_mu_, or Shutdown()'s join-under-lock would deadlock).
   int listen_fd_ = -1;
   int port_ = 0;
   std::atomic<bool> stopping_{false};
-  std::mutex shutdown_mu_;      ///< Serializes Shutdown() callers.
-  bool shutdown_done_ = false;  ///< Guarded by shutdown_mu_.
+  Mutex shutdown_mu_;  ///< Serializes Shutdown() callers.
+  bool shutdown_done_ MCSM_GUARDED_BY(shutdown_mu_) = false;
   std::thread accept_thread_;
   std::unique_ptr<ThreadPool> pool_;
 };

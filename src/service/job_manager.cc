@@ -64,8 +64,9 @@ Result<uint64_t> JobManager::Submit(JobRequest request) {
 
   uint64_t id = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (queued_ >= options_.max_queue) {
+      // ordering: relaxed — monotonic metrics counter.
       rejected_.fetch_add(1, std::memory_order_relaxed);
       return Status::ResourceExhausted(
           StrFormat("job queue full (%zu queued); retry later",
@@ -81,19 +82,21 @@ Result<uint64_t> JobManager::Submit(JobRequest request) {
       // Created at submit so even a cancelled-before-running traced job has
       // a (possibly empty) trace to serve.
       job->trace_sink = std::make_shared<InMemoryTraceSink>();
+      // ordering: relaxed — monotonic metrics counter.
       traced_.fetch_add(1, std::memory_order_relaxed);
     }
     jobs_.emplace(id, std::move(job));
     ++queued_;
     ++active_;
   }
+  // ordering: relaxed — monotonic metrics counter.
   submitted_.fetch_add(1, std::memory_order_relaxed);
   pool_.Submit([this, id] { RunJob(id); });
   return id;
 }
 
 bool JobManager::Cancel(uint64_t id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = jobs_.find(id);
   if (it == jobs_.end()) return false;
   Job* job = it->second.get();
@@ -107,7 +110,7 @@ bool JobManager::Cancel(uint64_t id) {
 }
 
 Result<JobSnapshot> JobManager::Get(uint64_t id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = jobs_.find(id);
   if (it == jobs_.end()) {
     return Status::NotFound(StrFormat("no job with id %llu",
@@ -119,7 +122,7 @@ Result<JobSnapshot> JobManager::Get(uint64_t id) const {
 Result<std::string> JobManager::TraceJson(uint64_t id) const {
   std::shared_ptr<InMemoryTraceSink> sink;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = jobs_.find(id);
     if (it == jobs_.end()) {
       return Status::NotFound(StrFormat(
@@ -138,7 +141,7 @@ Result<std::string> JobManager::TraceJson(uint64_t id) const {
 }
 
 std::vector<JobSnapshot> JobManager::List() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<JobSnapshot> out;
   out.reserve(jobs_.size());
   for (const auto& [id, job] : jobs_) out.push_back(SnapshotLocked(*job));
@@ -150,8 +153,12 @@ std::vector<JobSnapshot> JobManager::List() const {
 }
 
 void JobManager::Drain() {
-  std::unique_lock<std::mutex> lock(mu_);
-  drained_cv_.wait(lock, [this] { return active_ == 0; });
+  MutexLock lock(mu_);
+  // Explicit wait loop (not the predicate overload): the thread-safety
+  // analysis cannot see that a predicate lambda runs with mu_ held.
+  while (active_ != 0) {
+    drained_cv_.wait(lock);
+  }
 }
 
 JobSnapshot JobManager::SnapshotLocked(const Job& job) const {
@@ -178,14 +185,18 @@ void JobManager::FinishLocked(Job* job, JobState terminal) {
   job->source = TableEntry{};
   job->target = TableEntry{};
   job->budget.reset();
+  // ordering: relaxed — monotonic metrics counters; the terminal-state
+  // transition itself is published by mu_, not by these.
   switch (terminal) {
     case JobState::kDone:
       completed_.fetch_add(1, std::memory_order_relaxed);
       break;
     case JobState::kFailed:
+      // ordering: relaxed — see above.
       failed_.fetch_add(1, std::memory_order_relaxed);
       break;
     case JobState::kCancelled:
+      // ordering: relaxed — see above.
       cancelled_.fetch_add(1, std::memory_order_relaxed);
       break;
     default:
@@ -213,7 +224,7 @@ void JobManager::RunJob(uint64_t id) {
   uint64_t target_fp = 0;
 
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = jobs_.find(id);
     if (it == jobs_.end()) return;
     Job* job = it->second.get();
@@ -244,12 +255,13 @@ void JobManager::RunJob(uint64_t id) {
     std::string explain;
     if (trace_sink != nullptr) {
       explain = core::ExplainText(trace_sink->CanonicalEvents());
+      // ordering: relaxed — monotonic metrics counters.
       trace_events_.fetch_add(trace_sink->event_count(),
                               std::memory_order_relaxed);
       trace_spans_.fetch_add(trace_sink->span_count(),
                              std::memory_order_relaxed);
     }
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = jobs_.find(id);
     if (it == jobs_.end()) return;
     Job* job = it->second.get();

@@ -6,11 +6,11 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/deadline.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
@@ -138,14 +138,14 @@ class JobManager {
   void Drain();
 
   /// Monotonic counters for /metrics.
-  uint64_t submitted() const { return submitted_.load(); }
-  uint64_t rejected() const { return rejected_.load(); }
-  uint64_t completed() const { return completed_.load(); }
-  uint64_t failed() const { return failed_.load(); }
-  uint64_t cancelled() const { return cancelled_.load(); }
-  uint64_t traced() const { return traced_.load(); }
-  uint64_t trace_events() const { return trace_events_.load(); }
-  uint64_t trace_spans() const { return trace_spans_.load(); }
+  uint64_t submitted() const { return Counter(submitted_); }
+  uint64_t rejected() const { return Counter(rejected_); }
+  uint64_t completed() const { return Counter(completed_); }
+  uint64_t failed() const { return Counter(failed_); }
+  uint64_t cancelled() const { return Counter(cancelled_); }
+  uint64_t traced() const { return Counter(traced_); }
+  uint64_t trace_events() const { return Counter(trace_events_); }
+  uint64_t trace_spans() const { return Counter(trace_spans_); }
 
  private:
   struct Job {
@@ -166,24 +166,31 @@ class JobManager {
     double run_seconds = 0;
   };
 
+  // ordering: relaxed — monotonic metrics counters; readers tolerate a
+  // slightly stale value and never infer other state from them.
+  static uint64_t Counter(const std::atomic<uint64_t>& counter) {
+    return counter.load(std::memory_order_relaxed);
+  }
+
   void RunJob(uint64_t id);
   /// Builds the snapshot under mu_.
-  JobSnapshot SnapshotLocked(const Job& job) const;
+  JobSnapshot SnapshotLocked(const Job& job) const MCSM_REQUIRES(mu_);
   /// Terminal bookkeeping under mu_ (counter + drain wakeup).
-  void FinishLocked(Job* job, JobState terminal);
+  void FinishLocked(Job* job, JobState terminal) MCSM_REQUIRES(mu_);
 
   const TableRegistry* registry_;
   IndexCache* cache_;
   Options options_;
 
-  mutable std::mutex mu_;
-  std::condition_variable drained_cv_;
-  std::unordered_map<uint64_t, std::unique_ptr<Job>> jobs_;
+  mutable Mutex mu_;
+  std::condition_variable_any drained_cv_;
+  std::unordered_map<uint64_t, std::unique_ptr<Job>> jobs_
+      MCSM_GUARDED_BY(mu_);
   /// Terminal job ids, oldest first — the retention-eviction order.
-  std::deque<uint64_t> terminal_order_;
-  uint64_t next_id_ = 1;
-  size_t queued_ = 0;    ///< jobs admitted but not yet running
-  size_t active_ = 0;    ///< jobs not yet terminal (queued + running)
+  std::deque<uint64_t> terminal_order_ MCSM_GUARDED_BY(mu_);
+  uint64_t next_id_ MCSM_GUARDED_BY(mu_) = 1;
+  size_t queued_ MCSM_GUARDED_BY(mu_) = 0;  ///< admitted, not yet running
+  size_t active_ MCSM_GUARDED_BY(mu_) = 0;  ///< not yet terminal
 
   std::atomic<uint64_t> submitted_{0};
   std::atomic<uint64_t> rejected_{0};

@@ -12,6 +12,9 @@ void LatencyHistogram::Record(uint64_t elapsed_ms) {
       break;
     }
   }
+  // ordering: relaxed — independent monotonic counters; a concurrent Render
+  // may see the bucket bump before the count bump (or vice versa), which only
+  // skews one in-flight scrape by one observation.
   buckets_[slot].fetch_add(1, std::memory_order_relaxed);
   count_.fetch_add(1, std::memory_order_relaxed);
   sum_ms_.fetch_add(elapsed_ms, std::memory_order_relaxed);
@@ -20,12 +23,15 @@ void LatencyHistogram::Record(uint64_t elapsed_ms) {
 void LatencyHistogram::Render(const std::string& name,
                               std::string* out) const {
   uint64_t cumulative = 0;
+  // ordering: relaxed — see Record(); scrape-time reads of independent
+  // counters need no cross-counter consistency.
   for (size_t i = 0; i < kBoundsMs.size(); ++i) {
     cumulative += buckets_[i].load(std::memory_order_relaxed);
     *out += StrFormat("%s_ms_le_%llu %llu\n", name.c_str(),
                       static_cast<unsigned long long>(kBoundsMs[i]),
                       static_cast<unsigned long long>(cumulative));
   }
+  // ordering: relaxed — see above.
   cumulative += buckets_[kBoundsMs.size()].load(std::memory_order_relaxed);
   *out += StrFormat("%s_ms_le_inf %llu\n", name.c_str(),
                     static_cast<unsigned long long>(cumulative));

@@ -22,6 +22,9 @@ class LatencyHistogram {
 
   void Record(uint64_t elapsed_ms);
 
+  // ordering: relaxed — monotonic metrics counters; a scrape may observe a
+  // count/sum pair from slightly different instants, which Prometheus-style
+  // consumers tolerate by design.
   uint64_t count() const { return count_.load(std::memory_order_relaxed); }
   uint64_t sum_ms() const { return sum_ms_.load(std::memory_order_relaxed); }
 

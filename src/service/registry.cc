@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <limits>
-#include <mutex>
 #include <utility>
 
 #include "common/string_util.h"
@@ -26,7 +25,7 @@ Result<TableEntry> TableRegistry::RegisterCsv(
   }
   const uint64_t fingerprint = FingerprintBytes(csv_text);
   {
-    std::shared_lock lock(mu_);
+    ReaderLock lock(mu_);
     auto it = tables_.find(name);
     if (it != tables_.end() && it->second.fingerprint == fingerprint) {
       return it->second;  // byte-identical re-registration: no reparse
@@ -45,20 +44,20 @@ Result<TableEntry> TableRegistry::RegisterCsv(
   entry.columns = entry.table->num_columns();
   entry.rows_dropped = report.rows_dropped;
 
-  std::unique_lock lock(mu_);
+  WriterLock lock(mu_);
   tables_[name] = entry;  // replaces any previous binding for the name
   return entry;
 }
 
 TableEntry TableRegistry::Find(const std::string& name) const {
-  std::shared_lock lock(mu_);
+  ReaderLock lock(mu_);
   auto it = tables_.find(name);
   if (it == tables_.end()) return TableEntry{};
   return it->second;
 }
 
 std::vector<TableEntry> TableRegistry::List() const {
-  std::shared_lock lock(mu_);
+  ReaderLock lock(mu_);
   std::vector<TableEntry> out;
   out.reserve(tables_.size());
   for (const auto& [name, entry] : tables_) out.push_back(entry);
@@ -70,7 +69,7 @@ std::vector<TableEntry> TableRegistry::List() const {
 }
 
 size_t TableRegistry::size() const {
-  std::shared_lock lock(mu_);
+  ReaderLock lock(mu_);
   return tables_.size();
 }
 
@@ -94,12 +93,14 @@ std::shared_ptr<const relational::ColumnIndex> IndexCache::GetOrBuild(
   if (table == nullptr || column >= table->num_columns()) return nullptr;
   const std::string key = CacheKey(fingerprint, column, options);
   {
-    std::shared_lock lock(mu_);
+    ReaderLock lock(mu_);
     auto it = entries_.find(key);
     if (it != entries_.end()) {
       // LRU touch without the exclusive lock: a relaxed store of a fresh
       // global sequence number. Ties/races between concurrent hits only
       // perturb eviction order among entries touched in the same instant.
+      // ordering: relaxed — last_used/use_clock order eviction heuristically,
+      // they never publish data; hits_ is a monotonic counter.
       it->second->last_used.store(
           use_clock_.fetch_add(1, std::memory_order_relaxed) + 1,
           std::memory_order_relaxed);
@@ -107,6 +108,7 @@ std::shared_ptr<const relational::ColumnIndex> IndexCache::GetOrBuild(
       return it->second->index;
     }
   }
+  // ordering: relaxed — monotonic counter (metrics only).
   misses_.fetch_add(1, std::memory_order_relaxed);
 
   // Build outside any lock: index construction is the expensive part and
@@ -116,10 +118,11 @@ std::shared_ptr<const relational::ColumnIndex> IndexCache::GetOrBuild(
   entry->index = std::make_shared<const relational::ColumnIndex>(
       *table, column, options);
   entry->bytes = entry->index->ApproxMemoryBytes();
+  // ordering: relaxed — eviction-heuristic sequence number, see the hit path.
   entry->last_used.store(use_clock_.fetch_add(1, std::memory_order_relaxed) + 1,
                          std::memory_order_relaxed);
 
-  std::unique_lock lock(mu_);
+  WriterLock lock(mu_);
   auto it = entries_.find(key);
   if (it != entries_.end()) {
     // Lost the build race; adopt the winner and drop our copy.
@@ -140,6 +143,8 @@ void IndexCache::EvictUnderLock() {
     auto victim = entries_.end();
     uint64_t oldest = std::numeric_limits<uint64_t>::max();
     for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      // ordering: relaxed — heuristic LRU scan; a stale value only perturbs
+      // which entry is evicted, never correctness.
       uint64_t used = it->second->last_used.load(std::memory_order_relaxed);
       if (used < oldest) {
         oldest = used;
@@ -149,16 +154,18 @@ void IndexCache::EvictUnderLock() {
     if (victim == entries_.end()) break;
     bytes_ -= victim->second->bytes;
     entries_.erase(victim);
+    // ordering: relaxed — monotonic counter (metrics only).
     evictions_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
 IndexCacheStats IndexCache::stats() const {
   IndexCacheStats stats;
+  // ordering: relaxed — monotonic counter reads (metrics only).
   stats.hits = hits_.load(std::memory_order_relaxed);
   stats.misses = misses_.load(std::memory_order_relaxed);
   stats.evictions = evictions_.load(std::memory_order_relaxed);
-  std::shared_lock lock(mu_);
+  ReaderLock lock(mu_);
   stats.bytes = bytes_;
   stats.entries = entries_.size();
   return stats;

@@ -4,12 +4,12 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/result.h"
 #include "relational/column_index.h"
 #include "relational/csv.h"
@@ -55,8 +55,8 @@ class TableRegistry {
   size_t size() const;
 
  private:
-  mutable std::shared_mutex mu_;
-  std::unordered_map<std::string, TableEntry> tables_;
+  mutable SharedMutex mu_;
+  std::unordered_map<std::string, TableEntry> tables_ MCSM_GUARDED_BY(mu_);
 };
 
 /// Cache observability counters (monotonic; read by GET /metrics).
@@ -106,12 +106,13 @@ class IndexCache {
     std::atomic<uint64_t> last_used{0};
   };
 
-  void EvictUnderLock();
+  void EvictUnderLock() MCSM_REQUIRES(mu_);
 
   const size_t byte_budget_;
-  mutable std::shared_mutex mu_;
-  std::unordered_map<std::string, std::unique_ptr<Entry>> entries_;
-  size_t bytes_ = 0;
+  mutable SharedMutex mu_;
+  std::unordered_map<std::string, std::unique_ptr<Entry>> entries_
+      MCSM_GUARDED_BY(mu_);
+  size_t bytes_ MCSM_GUARDED_BY(mu_) = 0;
   std::atomic<uint64_t> use_clock_{0};
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};

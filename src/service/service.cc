@@ -159,6 +159,7 @@ HttpResponse DiscoveryService::Handle(const HttpRequest& request) {
   } else {
     other_latency_.Record(elapsed_ms);
   }
+  // ordering: relaxed — monotonic metrics counters.
   requests_total_.fetch_add(1, std::memory_order_relaxed);
   if (response.status >= 400) {
     requests_bad_.fetch_add(1, std::memory_order_relaxed);
@@ -395,6 +396,7 @@ std::string DiscoveryService::RenderMetrics() const {
     out += StrFormat("%s %llu\n", name,
                      static_cast<unsigned long long>(value));
   };
+  // ordering: relaxed — scrape-time reads of monotonic counters.
   counter("mcsm_requests_total",
           requests_total_.load(std::memory_order_relaxed));
   counter("mcsm_requests_bad",

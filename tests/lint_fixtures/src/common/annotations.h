@@ -1,0 +1,23 @@
+// Fixture: LK001 exemption — the wrapper header itself may (must) spell the
+// raw primitives it wraps. No findings expected anywhere in this file.
+#ifndef FIXTURE_ANNOTATIONS_H_
+#define FIXTURE_ANNOTATIONS_H_
+
+#include <mutex>
+#include <shared_mutex>
+
+namespace fixture {
+
+class Mutex {
+ private:
+  std::mutex mu_;
+};
+
+class SharedMutex {
+ private:
+  std::shared_mutex mu_;
+};
+
+}  // namespace fixture
+
+#endif  // FIXTURE_ANNOTATIONS_H_

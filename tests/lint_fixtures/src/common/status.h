@@ -1,0 +1,14 @@
+// expect: ND001  (this fixture dropped the [[nodiscard]] annotation)
+#ifndef FIXTURE_STATUS_H_
+#define FIXTURE_STATUS_H_
+
+namespace fixture {
+
+class Status {
+ public:
+  bool ok() const { return true; }
+};
+
+}  // namespace fixture
+
+#endif  // FIXTURE_STATUS_H_

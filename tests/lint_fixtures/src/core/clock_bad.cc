@@ -1,0 +1,30 @@
+// Fixture: CD001 — nondeterminism sources in the deterministic engine.
+// An expect-marker comment pins the exact line each finding must anchor to.
+#include <chrono>
+
+namespace fixture {
+
+double Bad() {
+  auto t0 = std::chrono::steady_clock::now();  // expect: CD001
+  auto t1 = std::chrono::system_clock::now();  // expect: CD001
+  (void)t0;
+  (void)t1;
+  int noise = rand();  // expect: CD001
+  return static_cast<double>(noise);
+}
+
+double Suppressed() {
+  // Deliberate use, suppressed on the specific line:
+  auto t = std::chrono::steady_clock::now();  // lint: allow(CD001)
+  (void)t;
+  return 0.0;
+}
+
+int FalsePositives() {
+  // A mention of std::chrono::steady_clock in a comment is not a finding.
+  const char* s = "std::chrono::steady_clock::now() and rand() in a string";
+  int operand(int);  // 'rand(' inside an identifier must not match
+  return s != nullptr ? 1 : 0;
+}
+
+}  // namespace fixture

@@ -1,0 +1,33 @@
+// Fixture: scanner stripping — nothing in comments, strings, chars or raw
+// strings may fire a rule, and line numbers must survive multi-line
+// constructs intact.
+
+namespace fixture {
+
+/* A block comment mentioning std::chrono::steady_clock::now() and rand()
+   and std::mutex guard_free_mu_;
+   and worker.detach(); spanning
+   several lines must stay silent. */
+
+const char* kQuery = R"sql(
+  SELECT assert(std::chrono::system_clock)
+  FROM std::mutex
+  WHERE detach() AND rand()
+)sql";
+
+const char* kEscaped = "quoted \" rand( \" still a string";
+const char kTick = '\'';
+const int kSeparated = 1'000'000;  // digit separator, not a char literal
+
+/* After two multi-line constructs above, a real finding must land on the
+   correct physical line: */
+void LineNumberCheck() {
+  int x = rand();  // expect: CD001
+  (void)x;
+  (void)kQuery;
+  (void)kEscaped;
+  (void)kTick;
+  (void)kSeparated;
+}
+
+}  // namespace fixture

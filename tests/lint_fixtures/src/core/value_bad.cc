@@ -1,0 +1,19 @@
+// Fixture: VD001 — unchecked .value() access, plus AS001 bare assert.
+#include <cassert>
+#include <optional>
+
+namespace fixture {
+
+int Bad(std::optional<int> result) {
+  assert(result.has_value());  // expect: AS001
+  return result.value();  // expect: VD001
+}
+
+int Good(std::optional<int> result) {
+  if (!result.ok()) {
+    return 0;
+  }
+  return result.value();
+}
+
+}  // namespace fixture

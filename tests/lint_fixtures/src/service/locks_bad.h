@@ -1,0 +1,41 @@
+// Fixture: LK001 — lock discipline.
+#ifndef FIXTURE_LOCKS_BAD_H_
+#define FIXTURE_LOCKS_BAD_H_
+
+#include "common/annotations.h"
+
+namespace fixture {
+
+class Bad {
+ private:
+  std::mutex raw_mu_;  // expect: LK001
+  Mutex orphan_mu_;  // expect: LK001
+};
+
+class Good {
+ private:
+  Mutex mu_;
+  int value_ MCSM_GUARDED_BY(mu_) = 0;
+};
+
+class SharedGood {
+  void RehashLocked() MCSM_REQUIRES(shared_mu_);
+
+ private:
+  mutable SharedMutex shared_mu_;
+  int table_ MCSM_GUARDED_BY(shared_mu_) = 0;
+};
+
+class SuppressedWithRationale {
+ private:
+  Mutex cv_mu_;  // lint: allow(LK001): pairs a condition_variable_any; state is atomic
+};
+
+class SuppressedWithoutRationale {
+ private:
+  Mutex lazy_mu_;  // lint: allow(LK001)  // expect: LK001
+};
+
+}  // namespace fixture
+
+#endif  // FIXTURE_LOCKS_BAD_H_

@@ -1,0 +1,31 @@
+// Fixture: MO001 — non-seq_cst memory orders need an // ordering: rationale.
+#include <atomic>
+
+namespace fixture {
+
+std::atomic<int> g_counter{0};
+std::atomic<bool> g_flag{false};
+
+void Bad() {
+  g_counter.fetch_add(1, std::memory_order_relaxed);  // expect: MO001
+  g_flag.store(true, std::memory_order_release);  // expect: MO001
+}
+
+void Good() {
+  // ordering: relaxed — monotonic test counter, nothing reads it for sync.
+  g_counter.fetch_add(1, std::memory_order_relaxed);
+  g_flag.store(true);  // seq_cst default needs no rationale
+  // ordering: release — pairs with the acquire load in GoodReader.
+  g_flag.store(true, std::memory_order_release);
+}
+
+bool GoodReader() {
+  // ordering: acquire — pairs with the release store in Good.
+  return g_flag.load(std::memory_order_acquire);
+}
+
+void SuppressedLine() {
+  g_counter.fetch_add(1, std::memory_order_relaxed);  // lint: allow(MO001)
+}
+
+}  // namespace fixture

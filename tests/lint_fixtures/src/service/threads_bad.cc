@@ -1,0 +1,18 @@
+// Fixture: TH001 — thread hygiene.
+#include <thread>
+
+namespace fixture {
+
+void Bad() {
+  std::thread worker([] {});
+  worker.detach();  // expect: TH001
+  auto* leaked = new std::thread([] {});  // expect: TH001
+  (void)leaked;
+}
+
+void Good() {
+  std::thread worker([] {});
+  worker.join();
+}
+
+}  // namespace fixture

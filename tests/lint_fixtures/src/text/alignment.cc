@@ -1,0 +1,15 @@
+// Fixture: SS001 — raw substr in a SafeSubstr-adopted file (this path shadows
+// src/text/alignment.cc, which is in SAFE_SUBSTR_FILES).
+#include <string>
+
+namespace fixture {
+
+std::string Bad(const std::string& s) {
+  return s.substr(1, 5);  // expect: SS001
+}
+
+std::string Suppressed(const std::string& s) {
+  return s.substr(0);  // lint: allow(SS001)
+}
+
+}  // namespace fixture

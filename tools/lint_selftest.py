@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Fixture-driven self-test for tools/lint.py.
+
+Every file under tests/lint_fixtures/ mirrors a src/-relative path (the
+analyzer scopes several rules by path, so e.g. a fixture at
+tests/lint_fixtures/src/text/alignment.cc exercises the SS001 file list).
+Lines that must produce a finding carry an exact-line marker:
+
+    int x = rand();  // expect: CD001
+
+The test runs lint_file with the fixture tree as the root and asserts the
+finding set equals the marker set — every expected finding fires on its
+marked line, and nothing else fires (so suppressions and stripped
+comments/strings/raw-strings are verified to stay silent). It also asserts
+strip_code preserves line structure for every fixture.
+
+Exit status: 0 OK, 1 mismatch.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import re
+import sys
+from pathlib import Path
+
+TOOLS_DIR = Path(__file__).resolve().parent
+FIXTURES = TOOLS_DIR.parent / "tests" / "lint_fixtures"
+
+EXPECT_RE = re.compile(r"//\s*expect:\s*(?P<rules>[A-Z0-9, ]+)")
+
+
+def load_lint():
+    spec = importlib.util.spec_from_file_location("mcsm_lint",
+                                                  TOOLS_DIR / "lint.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def main() -> int:
+    lint = load_lint()
+    files = sorted(p for p in FIXTURES.rglob("*")
+                   if p.suffix in {".h", ".cc", ".cpp"})
+    if not files:
+        print(f"lint_selftest: no fixtures under {FIXTURES}", file=sys.stderr)
+        return 1
+
+    failures: list[str] = []
+    for path in files:
+        rel = path.relative_to(FIXTURES).as_posix()
+        text = path.read_text(encoding="utf-8")
+
+        # The scanner must never drift from the file's physical lines —
+        # every finding's line number depends on this.
+        stripped = lint.strip_code(text)
+        n_lines = len(text.splitlines())
+        if len(stripped) != n_lines:
+            failures.append(
+                f"{rel}: strip_code returned {len(stripped)} lines for a "
+                f"{n_lines}-line file")
+            continue
+
+        expected: set[tuple[str, int, str]] = set()
+        for i, line in enumerate(text.splitlines(), start=1):
+            m = EXPECT_RE.search(line)
+            if m:
+                for rule in m.group("rules").split(","):
+                    expected.add((rel, i, rule.strip()))
+
+        got = {(f.path, f.line, f.rule)
+               for f in lint.lint_file(FIXTURES, path)}
+
+        for miss in sorted(expected - got):
+            failures.append(
+                f"{miss[0]}:{miss[1]}: expected {miss[2]}, linter was silent")
+        for extra in sorted(got - expected):
+            failures.append(
+                f"{extra[0]}:{extra[1]}: unexpected finding {extra[2]}")
+
+    if failures:
+        print("\n".join(failures))
+        print(f"lint_selftest: FAIL ({len(failures)} problem(s) across "
+              f"{len(files)} fixtures)", file=sys.stderr)
+        return 1
+    print(f"lint_selftest: OK ({len(files)} fixtures)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
