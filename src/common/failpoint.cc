@@ -39,7 +39,7 @@ Registry& GetRegistry() {
 
 constexpr const char* kAllSites[] = {
     kCsvRead, kCsvWrite, kIndexSimilar, kIndexPattern, kSamplerSample,
-    kSqlExecute, kServiceAccept, kServiceJob,
+    kSqlExecute, kServiceAccept, kServiceJob, kClientConnect, kClientRead,
 };
 
 bool IsRegisteredSite(std::string_view site) {

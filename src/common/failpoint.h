@@ -39,6 +39,8 @@ inline constexpr const char* kSamplerSample = "sampler.sample";
 inline constexpr const char* kSqlExecute = "sql.execute";
 inline constexpr const char* kServiceAccept = "service.accept";
 inline constexpr const char* kServiceJob = "service.job";
+inline constexpr const char* kClientConnect = "client.connect";
+inline constexpr const char* kClientRead = "client.read";
 
 /// All registered sites (for chaos-suite enumeration).
 std::vector<std::string> RegisteredSites();

@@ -1,0 +1,465 @@
+#include "service/client.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "common/failpoint.h"
+#include "common/string_util.h"
+#include "service/http.h"
+#include "service/io_util.h"
+
+namespace mcsm::service {
+
+namespace {
+
+/// RAII socket close.
+struct FdCloser {
+  int fd = -1;
+  ~FdCloser() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+/// Non-blocking connect with a poll()-based timeout, EINTR-safe. The socket
+/// is left in blocking mode with SO_RCVTIMEO/SO_SNDTIMEO deadlines applied.
+Status ConnectWithTimeout(int fd, const std::string& host, int port,
+                          int connect_timeout_ms, int io_timeout_ms) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  const char* ip = host == "localhost" ? "127.0.0.1" : host.c_str();
+  if (::inet_pton(AF_INET, ip, &addr.sin_addr) != 1) {
+    return Status::InvalidArgument(
+        StrFormat("client: '%s' is not an IPv4 address", host.c_str()));
+  }
+
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    if (errno != EINPROGRESS) {
+      return Status::Internal(  // NOLINTNEXTLINE(concurrency-mt-unsafe)
+          StrFormat("connect(%s:%d) failed: %s", host.c_str(), port,
+                    std::strerror(errno)));
+    }
+    // Await writability, re-arming poll() with the remaining time after
+    // EINTR so a signal cannot silently extend the deadline.
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(connect_timeout_ms);
+    for (;;) {
+      const auto remaining =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              deadline - std::chrono::steady_clock::now())
+              .count();
+      if (remaining <= 0) {
+        return Status::Internal(StrFormat("connect(%s:%d) timed out",
+                                          host.c_str(), port));
+      }
+      pollfd pfd{};
+      pfd.fd = fd;
+      pfd.events = POLLOUT;
+      int rc = ::poll(&pfd, 1, static_cast<int>(remaining));
+      if (rc < 0) {
+        if (errno == EINTR) continue;
+        return Status::Internal(  // NOLINTNEXTLINE(concurrency-mt-unsafe)
+            StrFormat("poll() during connect failed: %s",
+                      std::strerror(errno)));
+      }
+      if (rc == 0) {
+        return Status::Internal(StrFormat("connect(%s:%d) timed out",
+                                          host.c_str(), port));
+      }
+      break;
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) < 0 || err != 0) {
+      return Status::Internal(
+          StrFormat("connect(%s:%d) failed: %s", host.c_str(), port,
+                    std::strerror(err != 0 ? err : errno)));  // NOLINT(concurrency-mt-unsafe)
+    }
+  }
+
+  ::fcntl(fd, F_SETFL, flags);  // back to blocking for deadline-based I/O
+  timeval tv{};
+  tv.tv_sec = io_timeout_ms / 1000;
+  tv.tv_usec = (io_timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  return Status::OK();
+}
+
+std::string SerializeRequest(const ClientRequest& request) {
+  std::string out = StrFormat("%s %s HTTP/1.1\r\n", request.method.c_str(),
+                              request.path.c_str());
+  out += StrFormat("Host: %s:%d\r\n", request.host.c_str(), request.port);
+  if (!request.body.empty() || request.method == "POST" ||
+      request.method == "PUT") {
+    out += StrFormat("Content-Type: %s\r\n", request.content_type.c_str());
+  }
+  out += StrFormat("Content-Length: %zu\r\n", request.body.size());
+  out += "Connection: close\r\n\r\n";
+  out += request.body;
+  return out;
+}
+
+/// splitmix64 step — the same generator common/rng.cc seeds with; inlined
+/// here so a schedule is a tiny value type.
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// Best-effort Content-Length scan over a raw response head, mirroring the
+/// server's PeekContentLength: used only to decide when to stop reading;
+/// ParseHttpResponse re-validates strictly. Returns 0 when absent/malformed
+/// (0 also means "EOF-framed" for Connection: close responses without a
+/// body, which reads the same way).
+size_t PeekContentLength(std::string_view head) {
+  size_t cursor = 0;
+  while (cursor < head.size()) {
+    size_t eol = head.find("\r\n", cursor);
+    if (eol == std::string_view::npos) eol = head.size();
+    std::string_view line = head.substr(cursor, eol - cursor);
+    cursor = eol + 2;
+    size_t colon = line.find(':');
+    if (colon == std::string_view::npos) continue;
+    if (ToLower(line.substr(0, colon)) != "content-length") continue;
+    std::string_view value = Trim(line.substr(colon + 1));
+    size_t length = 0;
+    for (char c : value) {
+      if (c < '0' || c > '9') return 0;
+      if (length > (1u << 30)) return length;  // already past any sane limit
+      length = length * 10 + static_cast<size_t>(c - '0');
+    }
+    return length;
+  }
+  return 0;
+}
+
+/// Parses a Retry-After header value (delta-seconds form only; HTTP-date is
+/// ignored). Returns the delay in ms, or -1 when absent/malformed.
+int ParseRetryAfterMs(std::string_view value) {
+  if (value.empty() || value.size() > 6) return -1;
+  int64_t seconds = 0;
+  for (char c : value) {
+    if (c < '0' || c > '9') return -1;
+    seconds = seconds * 10 + (c - '0');
+  }
+  return static_cast<int>(seconds * 1000);
+}
+
+}  // namespace
+
+bool MethodIsIdempotent(std::string_view method) {
+  return method == "GET" || method == "HEAD" || method == "DELETE" ||
+         method == "PUT" || method == "OPTIONS";
+}
+
+std::string_view ClientResponse::Header(std::string_view lowered_name) const {
+  for (const auto& [name, value] : headers) {
+    if (name == lowered_name) return value;
+  }
+  return {};
+}
+
+const char* SendOutcomeName(SendOutcome outcome) {
+  switch (outcome) {
+    case SendOutcome::kNotSent:
+      return "not-sent";
+    case SendOutcome::kMaybeSent:
+      return "maybe-sent";
+    case SendOutcome::kResponded:
+      return "responded";
+  }
+  return "unknown";
+}
+
+Result<ClientResponse> ParseHttpResponse(std::string_view data,
+                                         size_t head_end,
+                                         size_t max_body_bytes) {
+  if (head_end < 4 || head_end > data.size()) {
+    return Status::ParseError("client: invalid response head boundary");
+  }
+  std::string_view head = data.substr(0, head_end - 2);  // keep final "\r\n"
+
+  ClientResponse response;
+
+  // Status line: HTTP/1.x SP status-code SP reason CRLF
+  size_t line_end = head.find("\r\n");
+  if (line_end == std::string_view::npos) {
+    return Status::ParseError("client: missing status line terminator");
+  }
+  std::string_view line = head.substr(0, line_end);
+  if (line.substr(0, 5) != "HTTP/") {
+    return Status::ParseError("client: response does not start with HTTP/");
+  }
+  size_t sp1 = line.find(' ');
+  if (sp1 == std::string_view::npos || sp1 + 4 > line.size()) {
+    return Status::ParseError("client: malformed status line");
+  }
+  std::string_view code = line.substr(sp1 + 1, 3);
+  int status = 0;
+  for (char c : code) {
+    if (c < '0' || c > '9') {
+      return Status::ParseError("client: non-numeric status code");
+    }
+    status = status * 10 + (c - '0');
+  }
+  if (status < 100 || status > 599) {
+    return Status::ParseError("client: status code out of range");
+  }
+  response.status = status;
+
+  // Header fields (same grammar the server parser accepts).
+  size_t cursor = line_end + 2;
+  while (cursor < head.size()) {
+    size_t eol = head.find("\r\n", cursor);
+    if (eol == std::string_view::npos) {
+      return Status::ParseError("client: header line missing CRLF");
+    }
+    std::string_view field = head.substr(cursor, eol - cursor);
+    cursor = eol + 2;
+    if (field.empty()) break;
+    size_t colon = field.find(':');
+    if (colon == std::string_view::npos || colon == 0) {
+      return Status::ParseError("client: malformed header field");
+    }
+    response.headers.emplace_back(
+        ToLower(field.substr(0, colon)),
+        std::string(Trim(field.substr(colon + 1))));
+  }
+
+  std::string_view length_header = response.Header("content-length");
+  if (!length_header.empty()) {
+    if (length_header.size() > 10) {
+      return Status::ParseError("client: content-length too large");
+    }
+    size_t content_length = 0;
+    for (char c : length_header) {
+      if (c < '0' || c > '9') {
+        return Status::ParseError("client: non-numeric content-length");
+      }
+      content_length = content_length * 10 + static_cast<size_t>(c - '0');
+    }
+    if (content_length > max_body_bytes) {
+      return Status::ParseError("client: response body too large");
+    }
+    if (data.size() - head_end < content_length) {
+      return Status::ParseError("client: truncated response body");
+    }
+    response.body = std::string(data.substr(head_end, content_length));
+  } else {
+    // Connection: close framing — everything after the head is the body.
+    if (data.size() - head_end > max_body_bytes) {
+      return Status::ParseError("client: response body too large");
+    }
+    response.body = std::string(data.substr(head_end));
+  }
+  return response;
+}
+
+HttpClient::HttpClient() : HttpClient(Options()) {}
+
+HttpClient::HttpClient(Options options) : options_(options) {}
+
+Result<ClientResponse> HttpClient::Do(const ClientRequest& request,
+                                      SendOutcome* outcome) const {
+  auto report = [outcome](SendOutcome o) {
+    if (outcome != nullptr) *outcome = o;
+  };
+  report(SendOutcome::kNotSent);
+
+  // Chaos: a dropped or slow link before any byte moves.
+  MCSM_FAILPOINT(failpoint::kClientConnect);
+
+  FdCloser sock{::socket(AF_INET, SOCK_STREAM, 0)};
+  if (sock.fd < 0) {
+    return Status::Internal(  // NOLINTNEXTLINE(concurrency-mt-unsafe)
+        StrFormat("socket() failed: %s", std::strerror(errno)));
+  }
+  MCSM_RETURN_IF_ERROR(ConnectWithTimeout(sock.fd, request.host,
+                                          request.port,
+                                          options_.connect_timeout_ms,
+                                          options_.io_timeout_ms));
+
+  const std::string wire = SerializeRequest(request);
+  size_t sent = 0;
+  Status send_status = SendAll(sock.fd, wire.data(), wire.size(), &sent);
+  if (!send_status.ok()) {
+    // Nothing out yet -> the server cannot have seen the request. Any byte
+    // out -> it may have: the head alone can be enough for the server to
+    // act on (our own server rejects a request only after the full body,
+    // but the classification must not depend on the peer's parser).
+    report(sent == 0 ? SendOutcome::kNotSent : SendOutcome::kMaybeSent);
+    return send_status;
+  }
+  report(SendOutcome::kMaybeSent);
+
+  std::string buffer;
+  size_t head_end = 0;
+  size_t need = 0;
+  char chunk[4096];
+  for (;;) {
+    // Chaos: a stalled or cut link while awaiting the response.
+    if (Status st = failpoint::Trigger(failpoint::kClientRead); !st.ok()) {
+      return Status::Internal(StrFormat(
+          "read from %s:%d failed: %s", request.host.c_str(), request.port,
+          std::string(st.message()).c_str()));
+    }
+    ssize_t n = RecvSome(sock.fd, chunk, sizeof(chunk));
+    if (n < 0) {
+      return Status::Internal(  // NOLINTNEXTLINE(concurrency-mt-unsafe)
+          StrFormat("read from %s:%d failed: %s", request.host.c_str(),
+                    request.port, std::strerror(errno)));
+    }
+    if (n == 0) {
+      if (head_end != 0 && need == 0) break;  // EOF-delimited body complete
+      return Status::Internal(StrFormat(
+          "connection to %s:%d closed before a complete response",
+          request.host.c_str(), request.port));
+    }
+    if (buffer.size() + static_cast<size_t>(n) >
+        options_.max_response_bytes + (16 * 1024)) {
+      return Status::Internal("response exceeds max_response_bytes");
+    }
+    buffer.append(chunk, static_cast<size_t>(n));
+    if (head_end == 0) {
+      head_end = FindHeadEnd(buffer);
+      if (head_end == 0) continue;
+      // Decide framing: with Content-Length we can stop exactly; without,
+      // read to EOF (need stays 0). Strict validation happens in
+      // ParseHttpResponse once everything arrived.
+      size_t content_length =
+          PeekContentLength(std::string_view(buffer).substr(0, head_end));
+      if (content_length > 0) need = head_end + content_length;
+    }
+    if (head_end != 0 && need != 0 && buffer.size() >= need) break;
+  }
+
+  auto parsed =
+      ParseHttpResponse(buffer, head_end, options_.max_response_bytes);
+  if (!parsed.ok()) return parsed.status();
+  report(SendOutcome::kResponded);
+  return parsed;
+}
+
+BackoffSchedule::BackoffSchedule(const RetryPolicy& policy)
+    : policy_(policy), state_(policy.jitter_seed) {}
+
+int BackoffSchedule::DelayMs(size_t attempt) {
+  if (attempt == 0) return 0;
+  int64_t delay = policy_.base_backoff_ms;
+  for (size_t i = 1; i < attempt && delay < policy_.max_backoff_ms; ++i) {
+    delay *= 2;
+  }
+  delay = std::min<int64_t>(delay, policy_.max_backoff_ms);
+  if (delay <= 1) return static_cast<int>(std::max<int64_t>(delay, 0));
+  // Deterministic jitter in [delay/2, delay]: enough spread to de-sync
+  // peers, never less than half the nominal wait.
+  const int64_t half = delay / 2;
+  const uint64_t draw = SplitMix64(&state_) % static_cast<uint64_t>(half + 1);
+  return static_cast<int>(half + static_cast<int64_t>(draw));
+}
+
+RetryingClient::RetryingClient(HttpClient::Options client_options,
+                               RetryPolicy policy, Sleeper sleeper)
+    : client_(client_options),
+      policy_(policy),
+      sleeper_(std::move(sleeper)) {}
+
+Result<ClientResponse> RetryingClient::Do(const ClientRequest& request,
+                                          RetryStats* stats) const {
+  const bool idempotent =
+      request.idempotent || MethodIsIdempotent(request.method);
+  BackoffSchedule schedule(policy_);
+  const size_t max_attempts = std::max<size_t>(policy_.max_attempts, 1);
+  Result<ClientResponse> last = Status::Internal("retry loop never ran");
+
+  auto sleep_ms = [this, stats](int delay) {
+    if (delay <= 0) return;
+    if (stats != nullptr) stats->delays_ms.push_back(delay);
+    if (sleeper_ != nullptr) {
+      sleeper_(delay);
+    } else {
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+    }
+  };
+
+  for (size_t attempt = 1; attempt <= max_attempts; ++attempt) {
+    SendOutcome outcome = SendOutcome::kNotSent;
+    last = client_.Do(request, &outcome);
+    if (stats != nullptr) {
+      stats->attempts = attempt;
+      stats->last_outcome = outcome;
+    }
+
+    int retry_after_ms = -1;
+    bool retryable = false;
+    if (!last.ok()) {
+      // Transport failure: retry is safe iff the request cannot have been
+      // acted on, or acting on it twice is harmless.
+      retryable = outcome == SendOutcome::kNotSent ||
+                  (outcome == SendOutcome::kMaybeSent && idempotent);
+    } else {
+      const ClientResponse& response = last.value();
+      if (response.status == 429 || response.status == 503) {
+        // The server explicitly refused before accepting the request
+        // (backpressure / draining) — safe to retry any method.
+        retryable = true;
+        retry_after_ms = ParseRetryAfterMs(response.Header("retry-after"));
+      } else if (response.status >= 500) {
+        // The handler may have executed before failing.
+        retryable = idempotent;
+      } else {
+        return last;  // success or a definitive 4xx
+      }
+    }
+
+    if (!retryable || attempt == max_attempts) return last;
+    int delay = schedule.DelayMs(attempt);
+    if (retry_after_ms >= 0) {
+      // Honor the server's hint, bounded by the policy cap; never retry
+      // sooner than the server asked.
+      delay = std::min(std::max(delay, retry_after_ms),
+                       policy_.max_retry_after_ms);
+    }
+    sleep_ms(delay);
+  }
+  return last;
+}
+
+}  // namespace mcsm::service

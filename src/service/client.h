@@ -1,0 +1,161 @@
+#ifndef MCSM_SERVICE_CLIENT_H_
+#define MCSM_SERVICE_CLIENT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+
+namespace mcsm::service {
+
+/// \file
+/// \brief Blocking HTTP/1.1 client for replica-to-replica and router traffic
+/// (the counterpart of service/http.h's server). Dependency-free like the
+/// rest of the service: raw sockets, connect timeout via non-blocking
+/// connect + poll, read/write deadlines via SO_RCVTIMEO/SO_SNDTIMEO, all
+/// I/O EINTR-safe through service/io_util.h.
+///
+/// Failure classification is the load-bearing part: a retry layer must never
+/// replay a non-idempotent request that the server may already have
+/// accepted. Do() therefore reports a SendOutcome alongside any error:
+///   kNotSent    nothing reached the server (connect failed, or the failure
+///               happened before the first request byte went out) — always
+///               safe to retry;
+///   kMaybeSent  request bytes left this host but no response arrived — only
+///               idempotent requests may retry;
+///   kResponded  a complete response was parsed — "retry" decisions move to
+///               the status code (429/503 mean the request was refused
+///               before acceptance and are safe for any method).
+
+/// One outgoing request. `idempotent` widens the retry policy beyond the
+/// method heuristic (MethodIsIdempotent below): table registration is a
+/// POST, but re-registering identical content is a fingerprint-keyed no-op
+/// on the server, so the router marks it idempotent explicitly.
+struct ClientRequest {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  std::string method = "GET";
+  std::string path = "/";
+  std::string body;
+  std::string content_type = "application/json";
+  bool idempotent = false;
+};
+
+/// GET/HEAD/DELETE/PUT/OPTIONS are idempotent by RFC 9110 semantics (and by
+/// this service's actual behaviour: DELETE /v1/jobs/{id} cancels at most
+/// once).
+bool MethodIsIdempotent(std::string_view method);
+
+struct ClientResponse {
+  int status = 0;
+  std::vector<std::pair<std::string, std::string>> headers;  ///< names lowered
+  std::string body;
+
+  /// Case-insensitive lookup (argument must be lowercase); empty when absent.
+  std::string_view Header(std::string_view lowered_name) const;
+};
+
+enum class SendOutcome : uint8_t { kNotSent, kMaybeSent, kResponded };
+
+const char* SendOutcomeName(SendOutcome outcome);
+
+/// Parses a complete serialized response (status line + headers + body).
+/// `head_end` is FindHeadEnd's result over `data`. With a Content-Length the
+/// body must be complete; without one the remainder of `data` is the body
+/// (Connection: close framing). Exposed for tests.
+Result<ClientResponse> ParseHttpResponse(std::string_view data,
+                                         size_t head_end,
+                                         size_t max_body_bytes);
+
+/// \brief One-request-per-connection HTTP/1.1 client. Stateless and
+/// thread-safe: Do() opens a socket, sends, reads to completion, closes.
+class HttpClient {
+ public:
+  struct Options {
+    int connect_timeout_ms = 1000;
+    int io_timeout_ms = 5000;          ///< per-socket read/write deadline
+    size_t max_response_bytes = 16 * 1024 * 1024;
+  };
+
+  HttpClient();  ///< default Options
+  explicit HttpClient(Options options);
+
+  /// Executes the request. On error, `*outcome` (when non-null) reports how
+  /// far the request got — the retry layer's safety input. Failpoints:
+  /// `client.connect` fires before the connect (error = connection dropped,
+  /// delay = slow link); `client.read` fires before every receive.
+  Result<ClientResponse> Do(const ClientRequest& request,
+                            SendOutcome* outcome = nullptr) const;
+
+ private:
+  Options options_;
+};
+
+/// \brief Capped exponential backoff with deterministic jitter.
+///
+/// The full delay sequence is a pure function of the policy (seed included):
+/// attempt k waits jitter(min(cap, base·2^(k-1))) where jitter draws
+/// uniformly from [d/2, d] using the seeded Rng — so tests can assert the
+/// exact schedule and two routers with different seeds do not thundering-herd
+/// a recovering replica in lockstep.
+struct RetryPolicy {
+  size_t max_attempts = 4;       ///< total tries, including the first
+  int base_backoff_ms = 50;
+  int max_backoff_ms = 2000;
+  uint64_t jitter_seed = 0;
+  /// Cap on an honored Retry-After header (seconds are converted to ms and
+  /// clamped here so a hostile/buggy server cannot park the client).
+  int max_retry_after_ms = 10000;
+};
+
+/// Deterministic delay sequence for one request's retries. DelayMs(k) is the
+/// wait before attempt k+1 (k >= 1); calls must be made in order since the
+/// jitter stream advances.
+class BackoffSchedule {
+ public:
+  explicit BackoffSchedule(const RetryPolicy& policy);
+  int DelayMs(size_t attempt);
+
+ private:
+  RetryPolicy policy_;
+  uint64_t state_;  ///< splitmix64 jitter stream
+};
+
+/// Telemetry for one retried call (tests assert on it; the router feeds its
+/// counters from it).
+struct RetryStats {
+  size_t attempts = 0;
+  std::vector<int> delays_ms;    ///< waits actually taken, in order
+  SendOutcome last_outcome = SendOutcome::kNotSent;
+};
+
+/// \brief HttpClient + RetryPolicy: retries connect failures always, I/O
+/// failures and 5xx only for idempotent requests, and 429/503 for any method
+/// (the server refused before accepting), honoring Retry-After when present.
+/// Each Do() builds a fresh BackoffSchedule from the policy, so a given
+/// (policy, failure pattern) pair always produces the same schedule.
+class RetryingClient {
+ public:
+  /// `sleeper` is injectable so tests run without real waits.
+  using Sleeper = std::function<void(int delay_ms)>;
+
+  RetryingClient(HttpClient::Options client_options, RetryPolicy policy,
+                 Sleeper sleeper = nullptr);
+
+  Result<ClientResponse> Do(const ClientRequest& request,
+                            RetryStats* stats = nullptr) const;
+
+ private:
+  HttpClient client_;
+  RetryPolicy policy_;
+  Sleeper sleeper_;
+};
+
+}  // namespace mcsm::service
+
+#endif  // MCSM_SERVICE_CLIENT_H_

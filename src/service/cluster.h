@@ -1,0 +1,245 @@
+#ifndef MCSM_SERVICE_CLUSTER_H_
+#define MCSM_SERVICE_CLUSTER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/annotations.h"
+#include "common/result.h"
+#include "service/client.h"
+#include "service/http.h"
+#include "service/metrics.h"
+
+namespace mcsm::service {
+
+/// \file
+/// \brief Cluster layer over the /v1 protocol: a static member list, a
+/// consistent-hash ring keyed by table fingerprint, health-gated membership
+/// via /v1/healthz, and a router that forwards /v1/tables and /v1/jobs to
+/// the owning replica — replaying jobs on a healthy peer when the owner
+/// dies. Replay is safe because discovery is deterministic (the PR 3/5
+/// contract): same tables + same options = byte-identical results, so a
+/// replayed job cannot disagree with the one the dead owner was running.
+
+/// One replica address.
+struct Member {
+  std::string host;
+  int port = 0;
+
+  std::string Key() const;  ///< "host:port", the ring/display identity
+  bool operator==(const Member& other) const {
+    return host == other.host && port == other.port;
+  }
+};
+
+/// Parses "host:port,host:port,..." (the --route-to flag).
+Result<std::vector<Member>> ParseMemberList(std::string_view spec);
+
+/// Health-gated membership states. kUnknown (never probed yet) is treated
+/// as eligible for routing so a cold router does not refuse traffic while
+/// the first probe sweep is in flight.
+enum class MemberState : uint8_t { kUnknown, kUp, kDraining, kDown };
+
+const char* MemberStateName(MemberState state);
+
+/// \brief Consistent-hash ring over the member list. Each member owns
+/// `vnodes` points hashed from "host:port#i"; a key's owner is the first
+/// point clockwise. Succession(key) yields every member exactly once in
+/// ring order — the failover sequence. The ring is immutable after
+/// construction (membership *state* changes are the health checker's job;
+/// the member *list* is static, per the static-cluster design).
+class HashRing {
+ public:
+  explicit HashRing(std::vector<Member> members, size_t vnodes = 64);
+
+  const std::vector<Member>& members() const { return members_; }
+
+  /// Index into members() of the key's owner. Requires a non-empty ring.
+  size_t OwnerIndex(uint64_t key) const;
+
+  /// Member indexes in failover order: owner first, then each remaining
+  /// member in ring order, each exactly once.
+  std::vector<size_t> Succession(uint64_t key) const;
+
+ private:
+  struct Point {
+    uint64_t hash;
+    size_t member;
+  };
+
+  std::vector<Member> members_;
+  std::vector<Point> points_;  ///< sorted by hash
+};
+
+/// \brief Background health prober: one thread sweeping GET /v1/healthz on
+/// every member each `interval_ms`. A 200 {"status":"ok"} marks the member
+/// kUp (and resets its failure streak); a 503 {"status":"draining"} marks
+/// kDraining (the replica is shutting down — stop routing new work to it);
+/// anything else (connect refused, timeout, 5xx) counts one failure, and
+/// `down_after` consecutive failures mark kDown.
+///
+/// Probes use the raw HttpClient with short timeouts and no retries — a
+/// health check that retries just delays the verdict the retry policy needs.
+class HealthChecker {
+ public:
+  struct Options {
+    int interval_ms = 500;
+    int timeout_ms = 500;   ///< connect + I/O deadline per probe
+    int down_after = 2;     ///< consecutive failures before kDown
+  };
+
+  HealthChecker(std::vector<Member> members, Options options);
+  ~HealthChecker();  ///< Stop()s.
+
+  HealthChecker(const HealthChecker&) = delete;
+  HealthChecker& operator=(const HealthChecker&) = delete;
+
+  /// Starts the background sweep thread (idempotent).
+  void Start();
+
+  /// Stops and joins the sweep thread (idempotent; safe without Start()).
+  void Stop();
+
+  /// One synchronous sweep over all members. The background thread calls
+  /// this; tests call it directly for deterministic transitions.
+  void ProbeOnce();
+
+  MemberState state(size_t member_index) const;
+  std::vector<MemberState> States() const;
+  const std::vector<Member>& members() const { return members_; }
+  uint64_t probes() const {
+    // ordering: relaxed — monotonic metrics counter.
+    return probes_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::vector<Member> members_;
+  Options options_;
+  HttpClient client_;
+
+  mutable Mutex mu_;
+  std::condition_variable_any stop_cv_;
+  bool stopping_ MCSM_GUARDED_BY(mu_) = false;
+  std::vector<MemberState> states_ MCSM_GUARDED_BY(mu_);
+  std::vector<int> fail_streak_ MCSM_GUARDED_BY(mu_);
+
+  std::atomic<uint64_t> probes_{0};
+  std::thread thread_;  ///< started by Start(), joined by Stop()
+};
+
+/// \brief The routing tier: an HttpServer handler that owns no tables and
+/// runs no jobs, but knows where everything lives.
+///
+/// - POST /v1/tables: fingerprints the CSV, remembers it in the router
+///   catalog (the replay source of truth), and registers it on the owning
+///   replica (ring key = the table's own content fingerprint).
+/// - POST /v1/jobs: ring key = the *target* table's fingerprint, so jobs
+///   against one target land on one replica and reuse its warmed index
+///   cache (shared-nothing, fingerprint-keyed warmup). The router lazily
+///   pushes both tables to the chosen replica before submitting, then maps
+///   its own job id to (member, remote id).
+/// - GET /v1/jobs/{id}: polls the assignee with the retry policy; when the
+///   assignee is unreachable or unhealthy, fails over — re-registers the
+///   tables on the next healthy ring member, resubmits the job there, and
+///   keeps serving the poll. Terminal snapshots are cached so a finished
+///   job survives its replica.
+/// - DELETE /v1/jobs/{id}: forwarded to the current assignee.
+///
+/// Thread-safe: Handle() is called concurrently from the server pool; all
+/// maps live under one mutex, network I/O happens outside it.
+class ClusterRouter {
+ public:
+  struct Options {
+    HttpClient::Options client;
+    RetryPolicy retry;
+    size_t vnodes = 64;
+  };
+
+  /// `health` must outlive the router (it is shared with the server main).
+  ClusterRouter(std::vector<Member> members, const HealthChecker* health,
+                Options options);
+
+  /// The HttpServer handler.
+  HttpResponse Handle(const HttpRequest& request);
+
+  /// Prometheus-style router counters + per-member states.
+  std::string RenderMetrics() const;
+
+ private:
+  struct CatalogEntry {
+    std::string csv;
+    uint64_t fingerprint = 0;
+    bool permissive = false;
+  };
+
+  struct RoutedJob {
+    uint64_t router_id = 0;
+    std::string body;          ///< original POST /v1/jobs body (for replay)
+    std::string source_table;
+    std::string target_table;
+    uint64_t ring_key = 0;     ///< target-table fingerprint
+    size_t assignee = 0;       ///< members_ index
+    uint64_t remote_id = 0;
+    bool terminal = false;
+    bool failing_over = false; ///< one replayer at a time
+    std::string last_snapshot; ///< last JSON snapshot (router ids), cached
+  };
+
+  HttpResponse Route(const HttpRequest& request, std::string_view path);
+  HttpResponse HandlePostTables(const HttpRequest& request);
+  HttpResponse HandleGetTables();
+  HttpResponse HandlePostJobs(const HttpRequest& request);
+  HttpResponse HandleGetJobs();
+  HttpResponse HandleJobById(const HttpRequest& request, uint64_t id);
+
+  /// Members eligible for new work (kUp/kUnknown), in `ring_key` failover
+  /// order, optionally excluding one index.
+  std::vector<size_t> EligibleSuccession(uint64_t ring_key,
+                                         size_t exclude) const;
+
+  /// Ensures `name` (from the catalog) is registered on member `m`.
+  /// Idempotent: re-registration of identical content is a server-side
+  /// no-op, and a per-(member, fingerprint) memo skips the wire entirely.
+  Status EnsureTableOn(size_t m, const std::string& name);
+
+  /// Submits `job`'s body to member `m` (tables pushed first) and updates
+  /// the assignment under mu_. Returns the replica's 202 body on success.
+  Result<ClientResponse> SubmitJobOn(size_t m, uint64_t router_id);
+
+  /// Rewrites the replica-local "id" in a job snapshot to the router id.
+  std::string RewriteSnapshotId(const std::string& body,
+                                uint64_t router_id) const;
+
+  std::vector<Member> members_;
+  const HealthChecker* health_;
+  Options options_;
+  HashRing ring_;
+  RetryingClient rpc_;
+
+  mutable Mutex mu_;
+  std::unordered_map<std::string, CatalogEntry> catalog_
+      MCSM_GUARDED_BY(mu_);
+  /// fingerprints known registered per member ("m#fingerprint" keys).
+  std::unordered_set<std::string> pushed_ MCSM_GUARDED_BY(mu_);
+  std::unordered_map<uint64_t, RoutedJob> jobs_ MCSM_GUARDED_BY(mu_);
+  uint64_t next_id_ MCSM_GUARDED_BY(mu_) = 1;
+
+  std::atomic<uint64_t> requests_total_{0};
+  std::atomic<uint64_t> forwarded_total_{0};
+  std::atomic<uint64_t> failovers_total_{0};
+  std::atomic<uint64_t> replays_total_{0};
+  std::atomic<uint64_t> tables_pushed_total_{0};
+  LatencyHistogram forward_latency_;
+};
+
+}  // namespace mcsm::service
+
+#endif  // MCSM_SERVICE_CLUSTER_H_

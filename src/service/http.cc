@@ -13,6 +13,7 @@
 
 #include "common/failpoint.h"
 #include "common/string_util.h"
+#include "service/io_util.h"
 
 namespace mcsm::service {
 
@@ -337,8 +338,7 @@ void HttpServer::HandleConnection(int fd) {
 
   char chunk[4096];
   for (;;) {
-    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
-    if (n < 0 && errno == EINTR) continue;
+    ssize_t n = RecvSome(fd, chunk, sizeof(chunk));
     if (n <= 0) {
       // Timeout, reset, or premature close before a full request arrived.
       ::close(fd);
@@ -387,13 +387,8 @@ void HttpServer::HandleConnection(int fd) {
   }
 
   std::string wire = SerializeResponse(response);
-  size_t sent = 0;
-  while (sent < wire.size()) {
-    ssize_t n = ::send(fd, wire.data() + sent, wire.size() - sent, MSG_NOSIGNAL);
-    if (n < 0 && errno == EINTR) continue;
-    if (n <= 0) break;
-    sent += static_cast<size_t>(n);
-  }
+  // Best-effort: a peer that hung up mid-response is its own problem.
+  (void)SendAll(fd, wire.data(), wire.size());
   ::close(fd);
 }
 

@@ -1,0 +1,43 @@
+#include "service/io_util.h"
+
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/string_util.h"
+
+namespace mcsm::service {
+
+ssize_t RecvSome(int fd, char* buffer, size_t capacity) {
+  for (;;) {
+    ssize_t n = ::recv(fd, buffer, capacity, 0);
+    if (n < 0 && errno == EINTR) continue;
+    return n;
+  }
+}
+
+Status SendAll(int fd, const char* data, size_t size, size_t* sent) {
+  size_t done = 0;
+  if (sent != nullptr) *sent = 0;
+  while (done < size) {
+    ssize_t n = ::send(fd, data + done, size - done, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(  // NOLINTNEXTLINE(concurrency-mt-unsafe)
+          StrFormat("send() failed after %zu/%zu bytes: %s", done, size,
+                    std::strerror(errno)));
+    }
+    if (n == 0) {
+      // send() returning 0 on a stream socket means the peer is gone.
+      return Status::Internal(
+          StrFormat("send() made no progress after %zu/%zu bytes", done,
+                    size));
+    }
+    done += static_cast<size_t>(n);
+    if (sent != nullptr) *sent = done;
+  }
+  return Status::OK();
+}
+
+}  // namespace mcsm::service

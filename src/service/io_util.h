@@ -1,0 +1,35 @@
+#ifndef MCSM_SERVICE_IO_UTIL_H_
+#define MCSM_SERVICE_IO_UTIL_H_
+
+#include <sys/types.h>
+
+#include <cstddef>
+
+#include "common/status.h"
+
+namespace mcsm::service {
+
+/// \file
+/// \brief EINTR/short-write-safe socket I/O, shared by the embedded HTTP
+/// server (service/http.cc) and the cluster client (service/client.cc).
+///
+/// POSIX read/write on sockets may return early: -1/EINTR when a signal
+/// lands mid-call, or a short count when the kernel buffer fills. Every raw
+/// loop in the service funnels through these two helpers so the retry
+/// discipline lives in exactly one place.
+
+/// One recv() that retries EINTR. Returns the byte count (> 0), 0 on orderly
+/// EOF, or -1 with errno set for any other error (including EAGAIN when an
+/// SO_RCVTIMEO receive deadline expires).
+ssize_t RecvSome(int fd, char* buffer, size_t capacity);
+
+/// Writes the whole buffer, retrying EINTR and continuing after short
+/// writes. Sends with MSG_NOSIGNAL so a peer reset surfaces as EPIPE, not
+/// SIGPIPE. `sent` (optional) reports how many bytes went out even on
+/// failure — the client uses it to distinguish "request never left" from
+/// "request may have been accepted" when deciding whether a retry is safe.
+Status SendAll(int fd, const char* data, size_t size, size_t* sent = nullptr);
+
+}  // namespace mcsm::service
+
+#endif  // MCSM_SERVICE_IO_UTIL_H_

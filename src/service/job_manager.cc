@@ -10,6 +10,23 @@
 
 namespace mcsm::service {
 
+namespace {
+
+/// Merges `cap` into `limits`: each nonzero cap axis becomes the minimum of
+/// the two (0 = unlimited on either side). wall_ms is left alone — the
+/// deadline is a latency control, not a degradation axis.
+void TightenLimits(BudgetLimits* limits, const BudgetLimits& cap) {
+  auto tighten = [](uint64_t* axis, uint64_t cap_value) {
+    if (cap_value == 0) return;
+    *axis = (*axis == 0) ? cap_value : std::min(*axis, cap_value);
+  };
+  tighten(&limits->max_postings_scanned, cap.max_postings_scanned);
+  tighten(&limits->max_pairs_aligned, cap.max_pairs_aligned);
+  tighten(&limits->max_candidate_formulas, cap.max_candidate_formulas);
+}
+
+}  // namespace
+
 const char* JobStateName(JobState state) {
   switch (state) {
     case JobState::kQueued:
@@ -71,6 +88,16 @@ Result<uint64_t> JobManager::Submit(JobRequest request) {
       return Status::ResourceExhausted(
           StrFormat("job queue full (%zu queued); retry later",
                     queued_));
+    }
+    // Admission gate: past the watermark, new jobs run with tightened work
+    // caps — the service answers with truncated-but-valid partials (still
+    // machine-independent, the caps are work units) before it sheds its
+    // first request.
+    if (options_.degrade_at > 0 && queued_ >= options_.degrade_at) {
+      TightenLimits(&request.limits, options_.degraded_limits);
+      request.degraded = true;
+      // ordering: relaxed — monotonic metrics counter.
+      degraded_.fetch_add(1, std::memory_order_relaxed);
     }
     id = next_id_++;
     auto job = std::make_unique<Job>();
@@ -161,6 +188,26 @@ void JobManager::Drain() {
   }
 }
 
+size_t JobManager::queue_depth() const {
+  MutexLock lock(mu_);
+  return queued_;
+}
+
+int JobManager::RetryAfterSeconds() const {
+  const uint64_t depth = static_cast<uint64_t>(queue_depth());
+  // ordering: relaxed — monotonic metrics counters; a slightly stale mean
+  // only shifts an advisory hint.
+  const uint64_t runs = runs_measured_.load(std::memory_order_relaxed);
+  const uint64_t mean_ms =
+      runs > 0 ? run_ms_total_.load(std::memory_order_relaxed) / runs : 500;
+  const uint64_t workers = std::max<uint64_t>(options_.workers, 1);
+  // Time to drain the queue ahead of a resubmission, rounded up to seconds.
+  const uint64_t wait_ms = (depth + 1) * std::max<uint64_t>(mean_ms, 1);
+  const uint64_t seconds = (wait_ms / workers + 999) / 1000;
+  return static_cast<int>(std::min<uint64_t>(std::max<uint64_t>(seconds, 1),
+                                             60));
+}
+
 JobSnapshot JobManager::SnapshotLocked(const Job& job) const {
   if (job.state == JobState::kDone || job.state == JobState::kFailed ||
       job.state == JobState::kCancelled) {
@@ -173,6 +220,7 @@ JobSnapshot JobManager::SnapshotLocked(const Job& job) const {
   snapshot.target_table = job.request.target_table;
   snapshot.target_column = job.request.target_column;
   snapshot.traced = job.request.trace;
+  snapshot.degraded = job.request.degraded;
   return snapshot;
 }
 
@@ -235,7 +283,8 @@ void JobManager::RunJob(uint64_t id) {
       return;
     }
     job->state = JobState::kRunning;
-    BudgetLimits limits;
+    // Admission-gate work caps (if any) plus the client's deadline.
+    BudgetLimits limits = job->request.limits;
     limits.wall_ms = job->request.deadline_ms;
     job->budget = std::make_unique<RunBudget>(limits);
     budget = job->budget.get();
@@ -268,6 +317,12 @@ void JobManager::RunJob(uint64_t id) {
     job->run_seconds = std::chrono::duration<double>(
                            std::chrono::steady_clock::now() - started)
                            .count();
+    // ordering: relaxed — monotonic accumulators; RetryAfterSeconds only
+    // needs an approximate mean.
+    run_ms_total_.fetch_add(
+        static_cast<uint64_t>(job->run_seconds * 1000.0),
+        std::memory_order_relaxed);
+    runs_measured_.fetch_add(1, std::memory_order_relaxed);
     job->result = SnapshotLocked(*job);
     fill(&job->result);
     if (trace_sink != nullptr) job->result.explain = std::move(explain);

@@ -50,6 +50,15 @@ struct JobRequest {
   /// GET /v1/jobs/{id}/trace until the job is evicted by retention — and the
   /// result snapshot gains an `explain` decision log.
   bool trace = false;
+  /// Work-unit caps applied to the run (wall_ms is ignored: deadline_ms is
+  /// the one wall-clock control). Normally empty; the admission gate
+  /// tightens these under load so an overloaded replica degrades to
+  /// truncated-but-valid partials instead of queueing unbounded work.
+  BudgetLimits limits;
+  /// Set by the admission gate when `limits` were tightened under load; the
+  /// snapshot reports it so clients can tell a degraded partial from a
+  /// deadline trip.
+  bool degraded = false;
   core::SearchOptions options;
 };
 
@@ -66,6 +75,8 @@ struct JobSnapshot {
   size_t matched_rows = 0;
   bool truncated = false;
   std::string budget_trip;  ///< axis name when truncated ("wall-clock", ...)
+  /// True when the admission gate ran this job with tightened work caps.
+  bool degraded = false;
   /// Valid in kFailed.
   std::string error;
   double run_seconds = 0;  ///< execution time (0 until the job ran)
@@ -101,6 +112,14 @@ class JobManager {
     size_t max_queue = 16;
     /// Terminal jobs retained for GET /jobs/{id}; oldest evicted beyond this.
     size_t max_terminal = 256;
+    /// Queue-depth watermark at which admission degrades new jobs by
+    /// tightening their work caps to `degraded_limits` (0 = never degrade).
+    /// Must be below max_queue for degradation to precede shedding.
+    size_t degrade_at = 0;
+    /// Caps merged (min-of-nonzero) into a degraded job's limits. Work-unit
+    /// axes only: caps are machine-independent, so a degraded partial is
+    /// byte-identical wherever it runs — wall_ms here is ignored.
+    BudgetLimits degraded_limits;
   };
 
   /// `registry` and `cache` must outlive the manager; both may be shared
@@ -137,9 +156,19 @@ class JobManager {
   /// Blocks until every submitted job is terminal (SIGTERM drain).
   void Drain();
 
+  /// Jobs admitted but not yet running (the admission gate's watermark
+  /// input; also what Retry-After is derived from).
+  size_t queue_depth() const;
+
+  /// Suggested client wait before resubmitting after a 429: queue depth ×
+  /// mean observed job latency ÷ workers, clamped to [1s, 60s]. With no
+  /// latency history yet a 500 ms prior is assumed.
+  int RetryAfterSeconds() const;
+
   /// Monotonic counters for /metrics.
   uint64_t submitted() const { return Counter(submitted_); }
   uint64_t rejected() const { return Counter(rejected_); }
+  uint64_t degraded() const { return Counter(degraded_); }
   uint64_t completed() const { return Counter(completed_); }
   uint64_t failed() const { return Counter(failed_); }
   uint64_t cancelled() const { return Counter(cancelled_); }
@@ -194,6 +223,11 @@ class JobManager {
 
   std::atomic<uint64_t> submitted_{0};
   std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> degraded_{0};
+  /// Run-latency accumulator feeding RetryAfterSeconds (jobs that actually
+  /// executed; cancelled-before-running jobs are excluded).
+  std::atomic<uint64_t> run_ms_total_{0};
+  std::atomic<uint64_t> runs_measured_{0};
   std::atomic<uint64_t> completed_{0};
   std::atomic<uint64_t> failed_{0};
   std::atomic<uint64_t> cancelled_{0};

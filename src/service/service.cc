@@ -75,6 +75,9 @@ Json JobSnapshotJson(const JobSnapshot& snapshot) {
       out.Set("budget_trip", Json::Str(snapshot.budget_trip));
     }
   }
+  if (snapshot.degraded) {
+    out.Set("degraded", Json::Bool(true));
+  }
   if (snapshot.state == JobState::kFailed) {
     out.Set("error", Json::Str(snapshot.error));
   }
@@ -123,7 +126,8 @@ DiscoveryService::DiscoveryService(Options options)
       cache_(options.cache_bytes),
       jobs_(&registry_, &cache_,
             JobManager::Options{options.job_workers, options.max_queue,
-                                options.retained_jobs}) {}
+                                options.retained_jobs, options.degrade_at,
+                                options.degraded_limits}) {}
 
 namespace {
 
@@ -185,6 +189,12 @@ HttpResponse DiscoveryService::RouteNormalized(const HttpRequest& request,
       return ErrorResponse(405, "method not allowed");
     }
     Json out = Json::Object();
+    if (draining()) {
+      // SIGTERM drain in progress: health-gated routers read this as "stop
+      // sending new work"; in-flight jobs still finish and can be polled.
+      out.Set("status", Json::Str("draining"));
+      return JsonResponse(503, std::move(out));
+    }
     out.Set("status", Json::Str("ok"));
     return JsonResponse(200, std::move(out));
   }
@@ -334,7 +344,14 @@ HttpResponse DiscoveryService::HandlePostJobs(const HttpRequest& request) {
 
   auto submitted = jobs_.Submit(std::move(job));
   if (!submitted.ok()) {
-    return StatusResponse(submitted.status());
+    HttpResponse response = StatusResponse(submitted.status());
+    if (submitted.status().IsResourceExhausted()) {
+      // Shed: tell the client when resubmitting is likely to succeed
+      // (queue depth × mean job latency, see JobManager::RetryAfterSeconds).
+      response.headers.emplace_back(
+          "Retry-After", StrFormat("%d", jobs_.RetryAfterSeconds()));
+    }
+    return response;
   }
   Json out = Json::Object();
   out.Set("id", Json::Number(static_cast<double>(submitted.value())));
@@ -409,6 +426,12 @@ std::string DiscoveryService::RenderMetrics() const {
   counter("mcsm_index_cache_entries", cache_stats.entries);
   counter("mcsm_jobs_submitted", jobs_.submitted());
   counter("mcsm_jobs_rejected", jobs_.rejected());
+  // Load-shedding ladder: degraded (admitted with tightened caps) fills
+  // before shed (429'd); shed aliases rejected for dashboard clarity.
+  counter("mcsm_jobs_degraded_total", jobs_.degraded());
+  counter("mcsm_jobs_shed_total", jobs_.rejected());
+  counter("mcsm_jobs_queue_depth", jobs_.queue_depth());
+  counter("mcsm_service_draining", draining() ? 1 : 0);
   counter("mcsm_jobs_completed", jobs_.completed());
   counter("mcsm_jobs_failed", jobs_.failed());
   counter("mcsm_jobs_cancelled", jobs_.cancelled());

@@ -48,6 +48,13 @@ class DiscoveryService {
     size_t cache_bytes = 256 * 1024 * 1024;
     /// Terminal jobs retained for GET /jobs/{id}; oldest evicted beyond this.
     size_t retained_jobs = 256;
+    /// Queue-depth watermark where admission starts degrading jobs
+    /// (tightened work caps -> truncated-but-valid partials) instead of
+    /// queueing full-cost work. 0 = degrade disabled. Must be < max_queue to
+    /// take effect before shedding.
+    size_t degrade_at = 0;
+    /// Work caps merged into degraded jobs (see JobManager::Options).
+    BudgetLimits degraded_limits;
   };
 
   explicit DiscoveryService(Options options);
@@ -59,6 +66,12 @@ class DiscoveryService {
   TableRegistry& registry() { return registry_; }
   IndexCache& cache() { return cache_; }
   JobManager& jobs() { return jobs_; }
+
+  /// Flips /v1/healthz to 503 {"status":"draining"} so health-gated routers
+  /// stop sending new work while in-flight jobs finish. Call at the start of
+  /// SIGTERM drain, while the HTTP server is still answering.
+  void BeginDrain() { draining_.store(true); }
+  bool draining() const { return draining_.load(); }
 
   /// Renders the /metrics text body (also used by tests directly).
   std::string RenderMetrics() const;
@@ -87,6 +100,8 @@ class DiscoveryService {
   LatencyHistogram other_latency_;
   std::atomic<uint64_t> requests_total_{0};
   std::atomic<uint64_t> requests_bad_{0};  ///< 4xx/5xx responses
+  /// Set once by BeginDrain (seq_cst: rarely touched, never on a hot path).
+  std::atomic<bool> draining_{false};
 };
 
 /// Maps a Status to the HTTP code documented on DiscoveryService.

@@ -142,8 +142,10 @@ std::vector<service::JobState> RunServiceJobs(size_t count) {
   if (!source.ok() || !target.ok()) return states;  // csv.read armed: fine
 
   service::IndexCache cache(64 * 1024 * 1024);
-  service::JobManager manager(&registry, &cache,
-                              {/*workers=*/2, /*max_queue=*/count});
+  service::JobManager::Options options;
+  options.workers = 2;
+  options.max_queue = count;
+  service::JobManager manager(&registry, &cache, options);
   std::vector<uint64_t> ids;
   for (size_t i = 0; i < count; ++i) {
     service::JobRequest request;
@@ -212,7 +214,10 @@ TEST_F(ChaosTest, ConcurrentServiceJobsAreDeterministic) {
   ASSERT_TRUE(source.ok());
   ASSERT_TRUE(target.ok());
   service::IndexCache cache(64 * 1024 * 1024);
-  service::JobManager manager(&registry, &cache, {4, 8});
+  service::JobManager::Options options;
+  options.workers = 4;
+  options.max_queue = 8;
+  service::JobManager manager(&registry, &cache, options);
   std::vector<uint64_t> ids;
   for (int i = 0; i < 6; ++i) {
     service::JobRequest request;

@@ -1,0 +1,394 @@
+// Coverage for the blocking HTTP client and its retry layer: response
+// parsing, deterministic backoff schedules, outcome classification (the
+// retry-safety contract), Retry-After handling, and the client.connect /
+// client.read failpoints — all against a real HttpServer on a loopback
+// socket where a live peer is needed.
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/failpoint.h"
+#include "service/client.h"
+#include "service/http.h"
+
+namespace mcsm::service {
+namespace {
+
+// ------------------------------------------------------ response parsing ----
+
+Result<ClientResponse> ParseWire(const std::string& wire) {
+  return ParseHttpResponse(wire, FindHeadEnd(wire), 1 << 20);
+}
+
+TEST(ClientParseTest, ParsesContentLengthFramedResponse) {
+  auto parsed = ParseWire(
+      "HTTP/1.1 200 OK\r\nContent-Type: application/json\r\n"
+      "Content-Length: 11\r\nConnection: close\r\n\r\n{\"ok\":true}");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->status, 200);
+  EXPECT_EQ(parsed->body, "{\"ok\":true}");
+  // Header names are lowered at parse time; lookup wants lowercase.
+  EXPECT_EQ(parsed->Header("content-type"), "application/json");
+  EXPECT_EQ(parsed->Header("absent"), "");
+}
+
+TEST(ClientParseTest, ParsesEofFramedResponse) {
+  auto parsed = ParseWire("HTTP/1.1 404 Not Found\r\n\r\nmissing");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->status, 404);
+  EXPECT_EQ(parsed->body, "missing");
+}
+
+TEST(ClientParseTest, RejectsMalformedResponses) {
+  // Not HTTP at all.
+  EXPECT_FALSE(ParseWire("SMTP/1.1 200 OK\r\n\r\n").ok());
+  // Non-numeric and out-of-range status codes.
+  EXPECT_FALSE(ParseWire("HTTP/1.1 2xx OK\r\n\r\n").ok());
+  EXPECT_FALSE(ParseWire("HTTP/1.1 999 Huh\r\n\r\n").ok());
+  // Body shorter than Content-Length promises.
+  EXPECT_FALSE(
+      ParseWire("HTTP/1.1 200 OK\r\nContent-Length: 50\r\n\r\nshort").ok());
+  // Header without a name.
+  EXPECT_FALSE(ParseWire("HTTP/1.1 200 OK\r\n: bad\r\n\r\n").ok());
+}
+
+TEST(ClientParseTest, EnforcesBodyCap) {
+  const std::string big(64, 'x');
+  const std::string wire =
+      "HTTP/1.1 200 OK\r\nContent-Length: 64\r\n\r\n" + big;
+  EXPECT_TRUE(ParseHttpResponse(wire, FindHeadEnd(wire), 64).ok());
+  EXPECT_FALSE(ParseHttpResponse(wire, FindHeadEnd(wire), 63).ok());
+}
+
+TEST(ClientTest, MethodIdempotencyHeuristic) {
+  EXPECT_TRUE(MethodIsIdempotent("GET"));
+  EXPECT_TRUE(MethodIsIdempotent("DELETE"));
+  EXPECT_TRUE(MethodIsIdempotent("PUT"));
+  EXPECT_FALSE(MethodIsIdempotent("POST"));
+  EXPECT_FALSE(MethodIsIdempotent("PATCH"));
+}
+
+// ------------------------------------------------------- backoff schedule ----
+
+TEST(BackoffScheduleTest, DeterministicUnderFixedSeed) {
+  RetryPolicy policy;
+  policy.base_backoff_ms = 50;
+  policy.max_backoff_ms = 2000;
+  policy.jitter_seed = 42;
+
+  BackoffSchedule a(policy);
+  BackoffSchedule b(policy);
+  std::vector<int> first;
+  std::vector<int> second;
+  for (size_t attempt = 1; attempt <= 8; ++attempt) {
+    first.push_back(a.DelayMs(attempt));
+    second.push_back(b.DelayMs(attempt));
+  }
+  // The schedule is a pure function of the policy, seed included.
+  EXPECT_EQ(first, second);
+
+  // Each delay is jittered within [nominal/2, nominal] of the capped
+  // exponential; the last attempts are pinned to the cap's window.
+  int64_t nominal = policy.base_backoff_ms;
+  for (size_t i = 0; i < first.size(); ++i) {
+    EXPECT_GE(first[i], nominal / 2) << "attempt " << i + 1;
+    EXPECT_LE(first[i], nominal) << "attempt " << i + 1;
+    nominal = std::min<int64_t>(nominal * 2, policy.max_backoff_ms);
+  }
+  EXPECT_GE(first.back(), policy.max_backoff_ms / 2);
+  EXPECT_LE(first.back(), policy.max_backoff_ms);
+}
+
+TEST(BackoffScheduleTest, DifferentSeedsDesynchronize) {
+  RetryPolicy policy;
+  policy.jitter_seed = 1;
+  RetryPolicy other = policy;
+  other.jitter_seed = 2;
+  BackoffSchedule a(policy);
+  BackoffSchedule b(other);
+  bool any_difference = false;
+  for (size_t attempt = 1; attempt <= 8; ++attempt) {
+    if (a.DelayMs(attempt) != b.DelayMs(attempt)) any_difference = true;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+// --------------------------------------------------------- live-server ----
+
+/// Starts an HttpServer around `handler` on an ephemeral port.
+class LiveServer {
+ public:
+  explicit LiveServer(HttpServer::Handler handler)
+      : server_(MakeOptions(), std::move(handler)) {
+    Status started = server_.Start();
+    EXPECT_TRUE(started.ok()) << started.ToString();
+  }
+  ~LiveServer() { server_.Shutdown(); }
+
+  int port() { return server_.port(); }
+  void Shutdown() { server_.Shutdown(); }
+
+ private:
+  static HttpServer::Options MakeOptions() {
+    HttpServer::Options options;
+    options.port = 0;
+    options.workers = 2;
+    return options;
+  }
+  HttpServer server_;
+};
+
+/// A loopback port with nothing listening on it: bind + release, then the
+/// kernel refuses connections to it (racy in theory, reliable in a test).
+int ClosedPort() {
+  HttpServer::Options options;
+  options.port = 0;
+  HttpServer probe(options, [](const HttpRequest&) { return HttpResponse{}; });
+  EXPECT_TRUE(probe.Start().ok());
+  int port = probe.port();
+  probe.Shutdown();
+  return port;
+}
+
+RetryPolicy TestPolicy() {
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  policy.base_backoff_ms = 10;
+  policy.max_backoff_ms = 100;
+  policy.jitter_seed = 7;
+  return policy;
+}
+
+ClientRequest Get(int port, const std::string& path) {
+  ClientRequest request;
+  request.port = port;
+  request.method = "GET";
+  request.path = path;
+  return request;
+}
+
+ClientRequest Post(int port, const std::string& path,
+                   const std::string& body) {
+  ClientRequest request;
+  request.port = port;
+  request.method = "POST";
+  request.path = path;
+  request.body = body;
+  return request;
+}
+
+TEST(HttpClientTest, RoundTripsAgainstRealServer) {
+  LiveServer server([](const HttpRequest& request) {
+    HttpResponse response;
+    response.body = "{\"method\":\"" + request.method + "\",\"echo\":\"" +
+                    request.body + "\"}";
+    return response;
+  });
+
+  HttpClient client;
+  SendOutcome outcome = SendOutcome::kNotSent;
+  auto got = client.Do(Post(server.port(), "/v1/echo", "payload"), &outcome);
+  ASSERT_TRUE(got.ok()) << got.status();
+  EXPECT_EQ(got->status, 200);
+  EXPECT_EQ(got->body, "{\"method\":\"POST\",\"echo\":\"payload\"}");
+  EXPECT_EQ(outcome, SendOutcome::kResponded);
+}
+
+TEST(HttpClientTest, ConnectRefusedIsNotSent) {
+  HttpClient::Options options;
+  options.connect_timeout_ms = 300;
+  HttpClient client(options);
+  SendOutcome outcome = SendOutcome::kResponded;
+  auto got = client.Do(Get(ClosedPort(), "/"), &outcome);
+  EXPECT_FALSE(got.ok());
+  EXPECT_EQ(outcome, SendOutcome::kNotSent);
+}
+
+TEST(HttpClientTest, RejectsNonNumericHost) {
+  HttpClient client;
+  ClientRequest request = Get(1, "/");
+  request.host = "no-dns-in-this-client.example";
+  auto got = client.Do(request);
+  EXPECT_FALSE(got.ok());
+  EXPECT_TRUE(got.status().IsInvalidArgument()) << got.status();
+}
+
+// ------------------------------------------------------------ retrying ----
+
+/// Sleeper that never sleeps; delays land in RetryStats regardless.
+RetryingClient::Sleeper NoSleep() {
+  return [](int) {};
+}
+
+TEST(RetryingClientTest, GivesUpAtAttemptCapWithReproducibleSchedule) {
+  const int port = ClosedPort();
+  RetryPolicy policy = TestPolicy();
+
+  RetryingClient client(HttpClient::Options{}, policy, NoSleep());
+  RetryStats stats;
+  auto got = client.Do(Get(port, "/"), &stats);
+  EXPECT_FALSE(got.ok());
+  EXPECT_EQ(stats.attempts, policy.max_attempts);
+  EXPECT_EQ(stats.last_outcome, SendOutcome::kNotSent);
+  // One wait between consecutive attempts, none after the last.
+  ASSERT_EQ(stats.delays_ms.size(), policy.max_attempts - 1);
+
+  // Same policy (and seed) -> byte-identical delay sequence on a rerun.
+  RetryStats again;
+  EXPECT_FALSE(client.Do(Get(port, "/"), &again).ok());
+  EXPECT_EQ(again.delays_ms, stats.delays_ms);
+
+  // And the waits match the capped-exponential jitter windows.
+  int64_t nominal = policy.base_backoff_ms;
+  for (int delay : stats.delays_ms) {
+    EXPECT_GE(delay, nominal / 2);
+    EXPECT_LE(delay, nominal);
+    nominal = std::min<int64_t>(nominal * 2, policy.max_backoff_ms);
+  }
+}
+
+TEST(RetryingClientTest, NeverRetriesAcceptedNonIdempotentRequest) {
+  std::atomic<int> hits{0};
+  LiveServer server([&hits](const HttpRequest&) {
+    hits.fetch_add(1);
+    HttpResponse response;
+    response.status = 500;  // the handler may have executed: unsafe to replay
+    response.body = "{\"error\":\"boom\"}";
+    return response;
+  });
+
+  RetryingClient client(HttpClient::Options{}, TestPolicy(), NoSleep());
+  RetryStats stats;
+  auto got = client.Do(Post(server.port(), "/v1/jobs", "{}"), &stats);
+  ASSERT_TRUE(got.ok()) << got.status();  // a 500 is a response, not an error
+  EXPECT_EQ(got->status, 500);
+  EXPECT_EQ(stats.attempts, 1u);  // no second POST
+  EXPECT_EQ(hits.load(), 1);
+
+  // The same 500 IS retried for an idempotent method.
+  RetryStats get_stats;
+  auto get_got = client.Do(Get(server.port(), "/v1/jobs"), &get_stats);
+  ASSERT_TRUE(get_got.ok());
+  EXPECT_EQ(get_stats.attempts, TestPolicy().max_attempts);
+}
+
+TEST(RetryingClientTest, MaybeSentPostIsNotRetriedButMarkedIdempotentIs) {
+  failpoint::DisarmAll();
+  LiveServer server([](const HttpRequest&) {
+    HttpResponse response;
+    response.body = "{}";
+    return response;
+  });
+
+  // The request bytes go out, then the read fails: the server may already
+  // be acting on the POST.
+  ASSERT_TRUE(failpoint::Arm(failpoint::kClientRead, "error").ok());
+  RetryingClient client(HttpClient::Options{}, TestPolicy(), NoSleep());
+  RetryStats stats;
+  auto got = client.Do(Post(server.port(), "/v1/jobs", "{}"), &stats);
+  EXPECT_FALSE(got.ok());
+  EXPECT_EQ(stats.attempts, 1u);
+  EXPECT_EQ(stats.last_outcome, SendOutcome::kMaybeSent);
+
+  // Explicitly-idempotent POSTs (table registration) may retry through the
+  // same failure.
+  ClientRequest idempotent_post = Post(server.port(), "/v1/tables", "{}");
+  idempotent_post.idempotent = true;
+  RetryStats marked;
+  EXPECT_FALSE(client.Do(idempotent_post, &marked).ok());
+  EXPECT_EQ(marked.attempts, TestPolicy().max_attempts);
+  failpoint::DisarmAll();
+}
+
+TEST(RetryingClientTest, RetriesBackpressureForAnyMethodHonoringRetryAfter) {
+  std::atomic<int> hits{0};
+  LiveServer server([&hits](const HttpRequest&) {
+    HttpResponse response;
+    if (hits.fetch_add(1) == 0) {
+      response.status = 429;  // refused before acceptance: replay is safe
+      response.headers.emplace_back("Retry-After", "2");
+      response.body = "{\"error\":\"queue full\"}";
+    } else {
+      response.status = 202;
+      response.body = "{\"id\":1}";
+    }
+    return response;
+  });
+
+  RetryingClient client(HttpClient::Options{}, TestPolicy(), NoSleep());
+  RetryStats stats;
+  auto got = client.Do(Post(server.port(), "/v1/jobs", "{}"), &stats);
+  ASSERT_TRUE(got.ok()) << got.status();
+  EXPECT_EQ(got->status, 202);
+  EXPECT_EQ(stats.attempts, 2u);
+  // The server asked for 2s; the jittered backoff (<=100ms) is raised to it.
+  ASSERT_EQ(stats.delays_ms.size(), 1u);
+  EXPECT_EQ(stats.delays_ms[0], 2000);
+}
+
+TEST(RetryingClientTest, RetryAfterIsCappedByPolicy) {
+  std::atomic<int> hits{0};
+  LiveServer server([&hits](const HttpRequest&) {
+    HttpResponse response;
+    if (hits.fetch_add(1) == 0) {
+      response.status = 503;
+      response.headers.emplace_back("Retry-After", "999");  // hostile park
+      response.body = "{\"status\":\"draining\"}";
+    } else {
+      response.body = "{}";
+    }
+    return response;
+  });
+
+  RetryPolicy policy = TestPolicy();
+  policy.max_retry_after_ms = 250;
+  RetryingClient client(HttpClient::Options{}, policy, NoSleep());
+  RetryStats stats;
+  auto got = client.Do(Get(server.port(), "/"), &stats);
+  ASSERT_TRUE(got.ok());
+  ASSERT_EQ(stats.delays_ms.size(), 1u);
+  EXPECT_EQ(stats.delays_ms[0], 250);
+}
+
+TEST(RetryingClientTest, ConnectFailpointExhaustsRetries) {
+  failpoint::DisarmAll();
+  LiveServer server([](const HttpRequest&) {
+    HttpResponse response;
+    response.body = "{}";
+    return response;
+  });
+
+  ASSERT_TRUE(failpoint::Arm(failpoint::kClientConnect, "error").ok());
+  RetryingClient client(HttpClient::Options{}, TestPolicy(), NoSleep());
+  RetryStats stats;
+  auto got = client.Do(Get(server.port(), "/"), &stats);
+  EXPECT_FALSE(got.ok());
+  EXPECT_EQ(stats.attempts, TestPolicy().max_attempts);
+  EXPECT_EQ(stats.last_outcome, SendOutcome::kNotSent);
+
+  failpoint::DisarmAll();
+  EXPECT_TRUE(client.Do(Get(server.port(), "/")).ok());
+}
+
+TEST(RetryingClientTest, ReadDelayFailpointIsSurvivable) {
+  failpoint::DisarmAll();
+  LiveServer server([](const HttpRequest&) {
+    HttpResponse response;
+    response.body = "{\"slow\":true}";
+    return response;
+  });
+
+  // Every 2nd receive stalls 50ms — the response still completes.
+  ASSERT_TRUE(failpoint::Arm(failpoint::kClientRead, "delay:50ms@2").ok());
+  HttpClient client;
+  auto got = client.Do(Get(server.port(), "/"));
+  ASSERT_TRUE(got.ok()) << got.status();
+  EXPECT_EQ(got->body, "{\"slow\":true}");
+  failpoint::DisarmAll();
+}
+
+}  // namespace
+}  // namespace mcsm::service

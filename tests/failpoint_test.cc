@@ -27,11 +27,11 @@ TEST_F(FailpointTest, RegisteredSitesListsAllCanonicalNames) {
   auto sites = RegisteredSites();
   for (const char* site : {kCsvRead, kCsvWrite, kIndexSimilar, kIndexPattern,
                            kSamplerSample, kSqlExecute, kServiceAccept,
-                           kServiceJob}) {
+                           kServiceJob, kClientConnect, kClientRead}) {
     EXPECT_NE(std::find(sites.begin(), sites.end(), site), sites.end())
         << site;
   }
-  EXPECT_EQ(sites.size(), 8u);
+  EXPECT_EQ(sites.size(), 10u);
 }
 
 TEST_F(FailpointTest, ArmErrorTriggersInternal) {

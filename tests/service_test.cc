@@ -341,8 +341,17 @@ class JobManagerTest : public ::testing::Test {
   IndexCache cache_{64 * 1024 * 1024};
 };
 
+// Builds JobManager options by name so appending fields to Options (the
+// admission-gate knobs) never trips -Wmissing-field-initializers here.
+JobManager::Options WorkerOptions(size_t workers, size_t max_queue) {
+  JobManager::Options options;
+  options.workers = workers;
+  options.max_queue = max_queue;
+  return options;
+}
+
 TEST_F(JobManagerTest, RunsJobToDone) {
-  JobManager manager(&registry_, &cache_, {/*workers=*/2, /*max_queue=*/8});
+  JobManager manager(&registry_, &cache_, WorkerOptions(2, 8));
   auto id = manager.Submit(MakeRequest());
   ASSERT_TRUE(id.ok()) << id.status();
   manager.Drain();
@@ -365,7 +374,7 @@ TEST_F(JobManagerTest, RunsJobToDone) {
 }
 
 TEST_F(JobManagerTest, ValidatesRequests) {
-  JobManager manager(&registry_, &cache_, {2, 8});
+  JobManager manager(&registry_, &cache_, WorkerOptions(2, 8));
   JobRequest request = MakeRequest();
   request.source_table = "nope";
   EXPECT_TRUE(manager.Submit(request).status().IsNotFound());
@@ -382,7 +391,7 @@ TEST_F(JobManagerTest, ValidatesRequests) {
 TEST_F(JobManagerTest, RejectsWhenQueueFull) {
   // One worker stalled by the service.job delay failpoint; queue of 1.
   ASSERT_TRUE(failpoint::Arm(failpoint::kServiceJob, "delay:200ms").ok());
-  JobManager manager(&registry_, &cache_, {/*workers=*/1, /*max_queue=*/1});
+  JobManager manager(&registry_, &cache_, WorkerOptions(1, 1));
 
   auto first = manager.Submit(MakeRequest());   // taken by the worker
   ASSERT_TRUE(first.ok());
@@ -400,11 +409,76 @@ TEST_F(JobManagerTest, RejectsWhenQueueFull) {
   EXPECT_EQ(manager.completed(), 2u);
 }
 
+TEST_F(JobManagerTest, DegradesBeforeShedding) {
+  // One worker stalled; watermark at queue depth 1, shed at 3. The ladder
+  // must be: full-cost job, degraded jobs, THEN the first 429.
+  ASSERT_TRUE(failpoint::Arm(failpoint::kServiceJob, "delay:200ms").ok());
+  JobManager::Options options;
+  options.workers = 1;
+  options.max_queue = 3;
+  options.degrade_at = 1;
+  options.degraded_limits.max_candidate_formulas = 256;
+  JobManager manager(&registry_, &cache_, options);
+
+  auto first = manager.Submit(MakeRequest());  // taken by the worker
+  ASSERT_TRUE(first.ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  auto second = manager.Submit(MakeRequest());  // depth 0 -> full cost
+  ASSERT_TRUE(second.ok());
+  auto third = manager.Submit(MakeRequest());   // depth 1 -> degraded
+  ASSERT_TRUE(third.ok());
+  auto fourth = manager.Submit(MakeRequest());  // depth 2 -> degraded
+  ASSERT_TRUE(fourth.ok());
+  EXPECT_EQ(manager.degraded(), 2u);
+  EXPECT_EQ(manager.rejected(), 0u) << "degradation must precede shedding";
+
+  auto fifth = manager.Submit(MakeRequest());   // depth 3 = max_queue -> shed
+  EXPECT_TRUE(fifth.status().IsResourceExhausted());
+  EXPECT_EQ(manager.rejected(), 1u);
+  EXPECT_GE(manager.RetryAfterSeconds(), 1);
+  EXPECT_LE(manager.RetryAfterSeconds(), 60);
+
+  manager.Drain();
+  // Degraded jobs still complete as valid (possibly truncated) results.
+  auto full = manager.Get(second.value());
+  ASSERT_TRUE(full.ok());
+  EXPECT_FALSE(full->degraded);
+  auto capped = manager.Get(third.value());
+  ASSERT_TRUE(capped.ok());
+  EXPECT_EQ(capped->state, JobState::kDone);
+  EXPECT_TRUE(capped->degraded);
+  EXPECT_FALSE(capped->formula.empty());
+}
+
+TEST_F(JobManagerTest, DegradedWorkCapsAreDeterministic) {
+  // The same degraded caps produce byte-identical results on repeat runs —
+  // the property that makes degraded replay safe across replicas.
+  JobManager::Options options;
+  options.workers = 1;
+  options.max_queue = 8;
+  JobManager manager(&registry_, &cache_, options);
+  std::vector<std::string> formulas;
+  for (int run = 0; run < 2; ++run) {
+    JobRequest request = MakeRequest();
+    request.limits.max_candidate_formulas = 256;  // what the gate would set
+    request.degraded = true;
+    auto id = manager.Submit(request);
+    ASSERT_TRUE(id.ok());
+    manager.Drain();
+    auto snapshot = manager.Get(id.value());
+    ASSERT_TRUE(snapshot.ok());
+    EXPECT_EQ(snapshot->state, JobState::kDone);
+    EXPECT_TRUE(snapshot->degraded);
+    formulas.push_back(snapshot->formula);
+  }
+  EXPECT_EQ(formulas[0], formulas[1]);
+}
+
 TEST_F(JobManagerTest, DeadlineProducesTruncatedDoneNotError) {
   // Stall inside the search (index.similar delay) so a 1ms deadline trips
   // mid-run; the job must land done+truncated, never failed.
   ASSERT_TRUE(failpoint::Arm(failpoint::kIndexSimilar, "delay:30ms").ok());
-  JobManager manager(&registry_, &cache_, {2, 8});
+  JobManager manager(&registry_, &cache_, WorkerOptions(2, 8));
   JobRequest request = MakeRequest();
   request.deadline_ms = 1;
   auto id = manager.Submit(request);
@@ -419,7 +493,7 @@ TEST_F(JobManagerTest, DeadlineProducesTruncatedDoneNotError) {
 
 TEST_F(JobManagerTest, FailpointErrorLandsInFailed) {
   ASSERT_TRUE(failpoint::Arm(failpoint::kServiceJob, "error:chaos").ok());
-  JobManager manager(&registry_, &cache_, {2, 8});
+  JobManager manager(&registry_, &cache_, WorkerOptions(2, 8));
   auto id = manager.Submit(MakeRequest());
   ASSERT_TRUE(id.ok());
   manager.Drain();
@@ -434,7 +508,7 @@ TEST_F(JobManagerTest, CancelQueuedJob) {
   // Stall the single worker so the second job stays queued, cancel it, and
   // verify it never ran.
   ASSERT_TRUE(failpoint::Arm(failpoint::kServiceJob, "delay:150ms").ok());
-  JobManager manager(&registry_, &cache_, {/*workers=*/1, /*max_queue=*/4});
+  JobManager manager(&registry_, &cache_, WorkerOptions(1, 4));
   auto running = manager.Submit(MakeRequest());
   ASSERT_TRUE(running.ok());
   std::this_thread::sleep_for(std::chrono::milliseconds(30));
@@ -451,7 +525,7 @@ TEST_F(JobManagerTest, CancelQueuedJob) {
 TEST_F(JobManagerTest, CancelRunningJobStopsViaBudget) {
   // The index.similar delay gives Cancel a window while the search runs.
   ASSERT_TRUE(failpoint::Arm(failpoint::kIndexSimilar, "delay:40ms").ok());
-  JobManager manager(&registry_, &cache_, {1, 4});
+  JobManager manager(&registry_, &cache_, WorkerOptions(1, 4));
   auto id = manager.Submit(MakeRequest());
   ASSERT_TRUE(id.ok());
   std::this_thread::sleep_for(std::chrono::milliseconds(20));
@@ -467,8 +541,9 @@ TEST_F(JobManagerTest, CancelRunningJobStopsViaBudget) {
 }
 
 TEST_F(JobManagerTest, TerminalJobRetentionEvictsOldest) {
-  JobManager manager(&registry_, &cache_,
-                     {/*workers=*/2, /*max_queue=*/8, /*max_terminal=*/2});
+  JobManager::Options retention = WorkerOptions(2, 8);
+  retention.max_terminal = 2;
+  JobManager manager(&registry_, &cache_, retention);
   std::vector<uint64_t> ids;
   for (int i = 0; i < 4; ++i) {
     auto id = manager.Submit(MakeRequest());
@@ -501,7 +576,7 @@ TEST_F(JobManagerTest, ConcurrentIdenticalJobsAreByteIdentical) {
   const std::string expected =
       direct->formula().ToString(dataset_.source.schema());
 
-  JobManager manager(&registry_, &cache_, {/*workers=*/8, /*max_queue=*/16});
+  JobManager manager(&registry_, &cache_, WorkerOptions(8, 16));
   std::vector<uint64_t> ids;
   for (int i = 0; i < 8; ++i) {
     JobRequest request = MakeRequest();
@@ -532,9 +607,17 @@ HttpRequest MakeHttpRequest(const std::string& method, const std::string& path,
   return request;
 }
 
+DiscoveryService::Options RouteOptions() {
+  DiscoveryService::Options options;
+  options.job_workers = 2;
+  options.max_queue = 4;
+  options.cache_bytes = 16 << 20;
+  return options;
+}
+
 class ServiceRouteTest : public ::testing::Test {
  protected:
-  ServiceRouteTest() : service_(DiscoveryService::Options{2, 4, 16 << 20}) {}
+  ServiceRouteTest() : service_(RouteOptions()) {}
   void TearDown() override { failpoint::DisarmAll(); }
 
   // Polls GET /jobs/{id} until the state is terminal.
@@ -561,6 +644,70 @@ TEST_F(ServiceRouteTest, HealthzAndUnknownRoutes) {
   EXPECT_EQ(service_.Handle(MakeHttpRequest("POST", "/healthz")).status, 405);
   EXPECT_EQ(service_.Handle(MakeHttpRequest("GET", "/nope")).status, 404);
   EXPECT_EQ(service_.Handle(MakeHttpRequest("GET", "/jobs/abc")).status, 400);
+}
+
+TEST_F(ServiceRouteTest, HealthzReportsDrainingOnceDrainBegins) {
+  EXPECT_EQ(service_.Handle(MakeHttpRequest("GET", "/v1/healthz")).status,
+            200);
+  service_.BeginDrain();
+  HttpResponse health =
+      service_.Handle(MakeHttpRequest("GET", "/v1/healthz"));
+  EXPECT_EQ(health.status, 503);
+  EXPECT_NE(health.body.find("\"status\":\"draining\""), std::string::npos)
+      << health.body;
+  // Only health flips: data-plane endpoints keep answering during drain so
+  // routers can poll in-flight jobs to completion.
+  EXPECT_EQ(service_.Handle(MakeHttpRequest("GET", "/v1/jobs")).status, 200);
+  std::string metrics =
+      service_.Handle(MakeHttpRequest("GET", "/v1/metrics")).body;
+  EXPECT_NE(metrics.find("mcsm_service_draining 1"), std::string::npos);
+}
+
+TEST_F(ServiceRouteTest, ShedJobsCarryRetryAfter) {
+  // Stall the workers so submissions pile up to the queue cap; service_
+  // runs 2 workers with max_queue 4 (fixture options).
+  ASSERT_TRUE(failpoint::Arm(failpoint::kServiceJob, "delay:300ms").ok());
+  Json table = Json::Object();
+  table.Set("name", Json::Str("people"));
+  table.Set("csv", Json::Str("first,last\nhenry,warner\nanna,smith\n"));
+  ASSERT_EQ(
+      service_.Handle(MakeHttpRequest("POST", "/v1/tables", table.Dump()))
+          .status,
+      200);
+  Json target = Json::Object();
+  target.Set("name", Json::Str("logins"));
+  target.Set("csv", Json::Str("login\nhwarner\nasmith\n"));
+  ASSERT_EQ(
+      service_.Handle(MakeHttpRequest("POST", "/v1/tables", target.Dump()))
+          .status,
+      200);
+
+  Json job = Json::Object();
+  job.Set("source_table", Json::Str("people"));
+  job.Set("target_table", Json::Str("logins"));
+  job.Set("target_column", Json::Number(0));
+  const std::string body = job.Dump();
+
+  // Submit until the queue sheds; the 429 must carry Retry-After seconds.
+  HttpResponse shed;
+  for (int i = 0; i < 32 && shed.status != 429; ++i) {
+    shed = service_.Handle(MakeHttpRequest("POST", "/v1/jobs", body));
+  }
+  ASSERT_EQ(shed.status, 429) << shed.body;
+  bool has_retry_after = false;
+  for (const auto& [name, value] : shed.headers) {
+    if (name == "Retry-After") {
+      has_retry_after = true;
+      EXPECT_GE(std::atoi(value.c_str()), 1) << value;
+      EXPECT_LE(std::atoi(value.c_str()), 60) << value;
+    }
+  }
+  EXPECT_TRUE(has_retry_after);
+  std::string metrics =
+      service_.Handle(MakeHttpRequest("GET", "/v1/metrics")).body;
+  EXPECT_NE(metrics.find("mcsm_jobs_shed_total"), std::string::npos);
+  failpoint::DisarmAll();  // let the backlog finish at full speed
+  service_.jobs().Drain();
 }
 
 TEST_F(ServiceRouteTest, FullTableAndJobFlow) {
@@ -856,7 +1003,7 @@ std::string FetchOnce(int port, const std::string& raw_request) {
 }
 
 TEST(HttpServerTest, ServesOverRealSockets) {
-  DiscoveryService service(DiscoveryService::Options{2, 4, 16 << 20});
+  DiscoveryService service(RouteOptions());
   HttpServer::Options options;
   options.port = 0;  // ephemeral
   options.workers = 2;

@@ -1,0 +1,232 @@
+#!/usr/bin/env bash
+# Smoke test for fault-tolerant multi-replica serving (README "Clustering"):
+# boots three replica servers plus one router (mcsm_serve --route-to), posts
+# two tables through the router, runs one job end-to-end, then SIGKILLs the
+# replica that owns a second in-flight job and verifies the router replays it
+# on a survivor with a byte-identical formula — which must also byte-match
+# what the single-node discover_csv CLI prints for the same CSVs (the
+# determinism contract that makes failover-by-replay sound). Finishes with
+# router metrics checks (replays, member marked down) and graceful drains.
+# Run from anywhere:
+#
+#   tools/cluster_smoke.sh <path-to-mcsm_serve> <path-to-discover_csv>
+#
+# The replicas run with a service.job delay failpoint so the kill lands
+# mid-run deterministically. The router inherits this script's environment,
+# so CI can arm client-side failpoints for a chaos leg, e.g.:
+#
+#   MCSM_FAILPOINTS="client.read=delay:200ms@3" tools/cluster_smoke.sh ...
+#
+# Designed to run under ASan/UBSan in CI — any sanitizer report fails the
+# affected process and therefore the script.
+set -euo pipefail
+
+SERVE_BIN=${1:?usage: cluster_smoke.sh <path-to-mcsm_serve> <path-to-discover_csv>}
+DISCOVER_BIN=${2:?usage: cluster_smoke.sh <path-to-mcsm_serve> <path-to-discover_csv>}
+WORKDIR=$(mktemp -d)
+REPLICA_PIDS=()
+ROUTER_PID=""
+cleanup() {
+  [ -n "$ROUTER_PID" ] && kill "$ROUTER_PID" 2>/dev/null
+  for pid in "${REPLICA_PIDS[@]:-}"; do kill "$pid" 2>/dev/null; done
+  rm -rf "$WORKDIR"
+}
+trap cleanup EXIT
+
+fail() { echo "FAIL: $*" >&2; exit 1; }
+
+# http VERB PATH [BODY] -> sets $HTTP_STATUS and $BODY (no subshell, so the
+# variables survive). Talks to whatever $PORT points at.
+http() {
+  local verb=$1 path=$2 payload=${3:-}
+  HTTP_STATUS=$(curl -s -o "$WORKDIR/resp" -w '%{http_code}' -X "$verb" \
+                ${payload:+-d "$payload"} "http://127.0.0.1:$PORT$path")
+  BODY=$(cat "$WORKDIR/resp")
+}
+
+json_field() {  # json_field KEY <<< uses $BODY; prints the string/number value
+  echo "$BODY" | sed -n "s/.*\"$1\":\"\\([^\"]*\\)\".*/\\1/p; t; s/.*\"$1\":\\([0-9][0-9]*\\).*/\\1/p"
+}
+
+# --- fixture CSVs + single-node baseline ------------------------------------
+cat > "$WORKDIR/people.csv" <<'CSV'
+first,last
+henry,warner
+anna,smith
+bob,jones
+carol,white
+dave,brown
+eve,black
+CSV
+cat > "$WORKDIR/logins.csv" <<'CSV'
+login
+hwarner
+asmith
+bjones
+cwhite
+dbrown
+eblack
+CSV
+
+"$DISCOVER_BIN" "$WORKDIR/people.csv" "$WORKDIR/logins.csv" login \
+  > "$WORKDIR/baseline.log" 2>&1 \
+  || { cat "$WORKDIR/baseline.log"; fail "discover_csv baseline failed"; }
+BASELINE=$(sed -n 's/^formula : //p' "$WORKDIR/baseline.log")
+[ -n "$BASELINE" ] || fail "no formula in discover_csv output"
+echo "single-node baseline formula: $BASELINE"
+
+# --- boot three replicas + the router ---------------------------------------
+# service.job delay keeps every job in flight for 300ms so the SIGKILL below
+# lands mid-run deterministically. Client-side failpoint sites from the
+# caller's MCSM_FAILPOINTS only fire in the router (the sole HttpClient
+# user), so the replicas override the variable without losing coverage.
+for i in 1 2 3; do
+  MCSM_FAILPOINTS="service.job=delay:300ms" \
+    "$SERVE_BIN" --port 0 --port-file "$WORKDIR/replica$i.port" \
+                 --job-workers 1 --max-queue 4 \
+                 >"$WORKDIR/replica$i.log" 2>&1 &
+  REPLICA_PIDS+=($!)
+done
+MEMBERS=""
+REPLICA_PORTS=()
+for i in 1 2 3; do
+  for _ in $(seq 1 100); do
+    [ -s "$WORKDIR/replica$i.port" ] && break
+    kill -0 "${REPLICA_PIDS[$((i-1))]}" 2>/dev/null \
+      || { cat "$WORKDIR/replica$i.log"; fail "replica $i died at boot"; }
+    sleep 0.1
+  done
+  [ -s "$WORKDIR/replica$i.port" ] || fail "replica $i never wrote --port-file"
+  RPORT=$(cat "$WORKDIR/replica$i.port")
+  REPLICA_PORTS+=("$RPORT")
+  MEMBERS="${MEMBERS:+$MEMBERS,}127.0.0.1:$RPORT"
+done
+echo "replicas up: $MEMBERS"
+
+"$SERVE_BIN" --port 0 --port-file "$WORKDIR/router.port" \
+             --route-to "$MEMBERS" --health-interval-ms 100 \
+             >"$WORKDIR/router.log" 2>&1 &
+ROUTER_PID=$!
+for _ in $(seq 1 100); do
+  [ -s "$WORKDIR/router.port" ] && break
+  kill -0 "$ROUTER_PID" 2>/dev/null \
+    || { cat "$WORKDIR/router.log"; fail "router died at boot"; }
+  sleep 0.1
+done
+[ -s "$WORKDIR/router.port" ] || fail "router never wrote --port-file"
+PORT=$(cat "$WORKDIR/router.port")
+echo "router up on port $PORT"
+
+http GET /v1/healthz
+[ "$HTTP_STATUS" = 200 ] || fail "router healthz -> $HTTP_STATUS"
+echo "$BODY" | grep -q '"role":"router"' || fail "router healthz body: $BODY"
+
+# --- register tables through the router -------------------------------------
+for spec in "people:people.csv" "logins:logins.csv"; do
+  NAME=${spec%%:*}; FILE=${spec#*:}
+  PAYLOAD=$(python3 -c 'import json,sys; print(json.dumps({"name": sys.argv[1], "csv": open(sys.argv[2]).read()}))' \
+            "$NAME" "$WORKDIR/$FILE")
+  http POST /v1/tables "$PAYLOAD"
+  [ "$HTTP_STATUS" = 200 ] || fail "POST /tables $NAME -> $HTTP_STATUS: $BODY"
+done
+http GET /v1/tables
+echo "$BODY" | grep -q '"people"' || fail "catalog missing people: $BODY"
+echo "$BODY" | grep -q '"logins"' || fail "catalog missing logins: $BODY"
+
+submit_job() {  # -> sets $JOB_ID and $ASSIGNEE
+  http POST /v1/jobs '{"source_table":"people","target_table":"logins","target_column":0,"deadline_ms":30000}'
+  [ "$HTTP_STATUS" = 202 ] || fail "POST /jobs -> $HTTP_STATUS: $BODY"
+  JOB_ID=$(json_field id)
+  ASSIGNEE=$(json_field member)
+  [ -n "$JOB_ID" ] || fail "no job id in: $BODY"
+  [ -n "$ASSIGNEE" ] || fail "no member in: $BODY"
+}
+
+poll_job_done() {  # poll_job_done ID -> sets $BODY to the terminal snapshot
+  local id=$1 state=""
+  for _ in $(seq 1 200); do
+    http GET "/v1/jobs/$id"
+    state=$(json_field state)
+    [ "$state" = done ] && return 0
+    [ "$state" = failed ] && fail "job $id failed: $BODY"
+    sleep 0.1
+  done
+  fail "job $id never finished (state=$state)"
+}
+
+# --- happy-path job through the router --------------------------------------
+submit_job
+echo "job $JOB_ID assigned to $ASSIGNEE"
+poll_job_done "$JOB_ID"
+FORMULA1=$(json_field formula)
+[ "$FORMULA1" = "$BASELINE" ] \
+  || fail "routed formula '$FORMULA1' != single-node '$BASELINE'"
+echo "routed job matches single-node baseline"
+
+# --- kill the owner mid-run; the router must replay on a survivor -----------
+submit_job
+VICTIM_PORT=${ASSIGNEE##*:}
+VICTIM_PID=""
+for i in 0 1 2; do
+  [ "${REPLICA_PORTS[$i]}" = "$VICTIM_PORT" ] && VICTIM_PID=${REPLICA_PIDS[$i]}
+done
+[ -n "$VICTIM_PID" ] || fail "assignee $ASSIGNEE is not a known replica"
+kill -9 "$VICTIM_PID"   # job is mid-run (300ms failpoint delay): hard death
+echo "killed replica $ASSIGNEE (pid $VICTIM_PID) with job $JOB_ID in flight"
+
+poll_job_done "$JOB_ID"
+FORMULA2=$(json_field formula)
+[ "$FORMULA2" = "$BASELINE" ] \
+  || fail "replayed formula '$FORMULA2' != single-node '$BASELINE'"
+echo "replayed job matches single-node baseline byte-for-byte"
+
+# --- router metrics reflect the failover ------------------------------------
+http GET /v1/metrics
+[ "$HTTP_STATUS" = 200 ] || fail "router /metrics -> $HTTP_STATUS"
+REPLAYS=$(echo "$BODY" | sed -n 's/^mcsm_router_replays_total \([0-9]*\)$/\1/p')
+[ -n "$REPLAYS" ] && [ "$REPLAYS" -ge 1 ] || fail "no replays counted: $BODY"
+# Give the health checker a couple of 100ms sweeps to confirm the death.
+DOWN_SEEN=0
+for _ in $(seq 1 50); do
+  http GET /v1/metrics
+  if echo "$BODY" | grep -q "mcsm_cluster_member_state{member=\"127.0.0.1:$VICTIM_PORT\",state=\"down\"}"; then
+    DOWN_SEEN=1; break
+  fi
+  sleep 0.1
+done
+[ "$DOWN_SEEN" = 1 ] || fail "victim never marked down in: $BODY"
+echo "router metrics: $REPLAYS replay(s), victim marked down"
+
+# --- graceful drains --------------------------------------------------------
+kill -TERM "$ROUTER_PID"
+for _ in $(seq 1 100); do
+  kill -0 "$ROUTER_PID" 2>/dev/null || break
+  sleep 0.1
+done
+if kill -0 "$ROUTER_PID" 2>/dev/null; then
+  kill -9 "$ROUTER_PID"; fail "router did not stop within 10s of SIGTERM"
+fi
+wait "$ROUTER_PID" && RC=0 || RC=$?
+ROUTER_PID=""
+[ "$RC" = 0 ] || { cat "$WORKDIR/router.log"; fail "router exited $RC"; }
+grep -q "drained; bye" "$WORKDIR/router.log" || fail "router drain banner missing"
+
+for i in 0 1 2; do
+  PID=${REPLICA_PIDS[$i]}
+  [ "${REPLICA_PORTS[$i]}" = "$VICTIM_PORT" ] && continue  # already SIGKILLed
+  kill -TERM "$PID" 2>/dev/null || true
+  for _ in $(seq 1 200); do
+    kill -0 "$PID" 2>/dev/null || break
+    sleep 0.1
+  done
+  if kill -0 "$PID" 2>/dev/null; then
+    kill -9 "$PID"; fail "replica $((i+1)) did not drain after SIGTERM"
+  fi
+  wait "$PID" && RC=0 || RC=$?
+  [ "$RC" = 0 ] || { cat "$WORKDIR/replica$((i+1)).log"; fail "replica $((i+1)) exited $RC"; }
+  grep -q "drained; bye" "$WORKDIR/replica$((i+1)).log" \
+    || fail "replica $((i+1)) drain banner missing"
+done
+REPLICA_PIDS=()
+
+echo "cluster smoke: OK"
