@@ -1,0 +1,92 @@
+// Fuzz harness for the block-compressed posting layer (DESIGN.md §11).
+// Two phases per input:
+//   1. Adversarial decode: the first 16 bytes are reinterpreted as a
+//      PostingBlockMeta and the rest as the arena; DecodePostingBlock must
+//      either reject the meta or decode without reading out of bounds (ASan
+//      is the oracle — offsets/counts/widths are attacker-controlled).
+//   2. Construction round-trip: the same bytes are read as (delta, tf)
+//      pairs to build a well-formed list; Build → Decode must reproduce it
+//      exactly, and Intersect must agree with a naive reference.
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "common/check.h"
+#include "relational/postings.h"
+
+namespace {
+
+using mcsm::relational::DecodePostingBlock;
+using mcsm::relational::kPostingBlockSize;
+using mcsm::relational::Posting;
+using mcsm::relational::PostingBlockMeta;
+using mcsm::relational::PostingStore;
+
+void AdversarialDecode(const uint8_t* data, size_t size) {
+  if (size < sizeof(PostingBlockMeta)) return;
+  PostingBlockMeta meta;
+  std::memcpy(&meta, data, sizeof(meta));
+  const uint8_t* arena = data + sizeof(meta);
+  const size_t arena_size = size - sizeof(meta);
+  uint32_t rows[kPostingBlockSize];
+  uint32_t tfs[kPostingBlockSize];
+  // Both with and without the tf stream; a rejected meta must be rejected
+  // identically on both calls (it never depends on the tfs pointer).
+  const bool with_tfs = DecodePostingBlock(meta, arena, arena_size, rows, tfs);
+  const bool without = DecodePostingBlock(meta, arena, arena_size, rows,
+                                          nullptr);
+  MCSM_CHECK(with_tfs == without);
+}
+
+void RoundTrip(const uint8_t* data, size_t size) {
+  // Read (delta, tf) byte pairs into an ascending list; +1 keeps rows
+  // strictly ascending and tfs positive, as the encoder requires.
+  std::vector<Posting> list;
+  uint32_t row = data[0];
+  for (size_t i = 1; i + 1 < size; i += 2) {
+    row += static_cast<uint32_t>(data[i]) + 1;
+    // An occasional wide gap / tf exercises the 2- and 4-byte widths.
+    const uint32_t tf = data[i + 1] == 0xFF
+                            ? 0x12345u
+                            : static_cast<uint32_t>(data[i + 1]) + 1;
+    if (data[i] == 0xFE) row += 0x20000u;
+    list.push_back({row, tf});
+  }
+  std::vector<std::vector<Posting>> lists;
+  lists.push_back(list);
+  PostingStore store = PostingStore::Build(std::move(lists));
+  MCSM_CHECK(store.Count(0) == list.size());
+
+  std::vector<uint32_t> rows;
+  std::vector<uint32_t> tfs;
+  MCSM_CHECK(store.Decode(0, &rows, &tfs) == list.size());
+  for (size_t i = 0; i < list.size(); ++i) {
+    MCSM_CHECK(rows[i] == list[i].row);
+    MCSM_CHECK(tfs[i] == list[i].tf);
+  }
+
+  // Intersect every other decoded row plus some misses; the survivors must
+  // be exactly the present candidates.
+  std::vector<uint32_t> cand;
+  std::vector<uint32_t> expected;
+  for (size_t i = 0; i < rows.size(); i += 2) {
+    cand.push_back(rows[i]);
+    expected.push_back(rows[i]);
+    if (rows[i] + 1 <= 0xFFFFFFFEu &&
+        (i + 1 >= rows.size() || rows[i + 1] != rows[i] + 1)) {
+      cand.push_back(rows[i] + 1);  // a guaranteed miss between postings
+    }
+  }
+  store.Intersect(0, &cand);
+  MCSM_CHECK(cand == expected);
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  if (size == 0 || size > 4096) return 0;
+  AdversarialDecode(data, size);
+  RoundTrip(data, size);
+  return 0;
+}

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "text/simd.h"
+
 namespace mcsm::relational {
 
 namespace {
@@ -102,6 +104,15 @@ ColumnIndex::ColumnIndex(const Table& table, size_t col, Options options)
   sorted_distinct_.reserve(values.size());
   for (std::string_view value : values) sorted_distinct_.emplace_back(value);
   tfidf_ = std::make_unique<text::TfIdfModel>(dict_, std::move(df), non_null);
+  // Interning is done: flat fast-lookup tables for query-time FindIds, and
+  // the block-compressed layout for the postings (unless the legacy layout
+  // was requested for differential testing).
+  dict_->Freeze();
+  if (options_.build_postings && !options_.use_legacy_postings) {
+    store_ = PostingStore::Build(std::move(postings_));
+    postings_.clear();
+    postings_.shrink_to_fit();
+  }
 }
 
 int ColumnIndex::DocumentFrequency(std::string_view gram) const {
@@ -113,11 +124,13 @@ size_t ColumnIndex::ApproxMemoryBytes() const {
   for (const std::string& value : sorted_distinct_) {
     bytes += sizeof(std::string) + value.capacity();
   }
+  bytes += store_.ApproxMemoryBytes();
   bytes += postings_.capacity() * sizeof(std::vector<Posting>);
   for (const std::vector<Posting>& plist : postings_) {
     bytes += plist.capacity() * sizeof(Posting);
   }
   if (dict_ != nullptr) {
+    bytes += dict_->ApproxFastLookupBytes();
     // Per interned gram: the gram bytes (usually SSO'd into the string), the
     // string object, one hash-map slot, and the df (int) + idf (double)
     // vector entries owned by the tf-idf model.
@@ -128,14 +141,21 @@ size_t ColumnIndex::ApproxMemoryBytes() const {
   return bytes;
 }
 
-const std::vector<ColumnIndex::Posting>* ColumnIndex::postings(
+std::vector<ColumnIndex::Posting> ColumnIndex::DecodedPostings(
     std::string_view gram) const {
+  std::vector<Posting> out;
   const uint32_t id = dict_->Find(gram);
-  if (id == text::QGramDictionary::kNoGram || id >= postings_.size()) {
-    return nullptr;
+  if (id == text::QGramDictionary::kNoGram) return out;
+  if (options_.use_legacy_postings) {
+    if (id < postings_.size()) out = postings_[id];
+    return out;
   }
-  const std::vector<Posting>& plist = postings_[id];
-  return plist.empty() ? nullptr : &plist;
+  std::vector<uint32_t> rows;
+  std::vector<uint32_t> tfs;
+  const size_t n = store_.Decode(id, &rows, &tfs);
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) out.push_back({rows[i], tfs[i]});
+  return out;
 }
 
 long long ColumnIndex::TotalQGramHits(std::string_view key,
@@ -143,22 +163,42 @@ long long ColumnIndex::TotalQGramHits(std::string_view key,
   long long total = 0;
   const size_t q = options_.q;
   if (q == 0 || key.size() < q) return 0;
+  if (exclude_chars.empty()) {
+    // Batched id resolution (SIMD table lookups when frozen); unknown grams
+    // come back as kNoGram, which DocumentFrequencyById counts as 0.
+    thread_local std::vector<uint32_t> ids;
+    ids.clear();
+    dict_->FindIds(key, &ids);
+    for (uint32_t id : ids) total += tfidf_->DocumentFrequencyById(id);
+    return total;
+  }
   for (size_t i = 0; i + q <= key.size(); ++i) {
     std::string_view gram = key.substr(i, q);
-    if (!exclude_chars.empty() &&
-        gram.find_first_of(exclude_chars) != std::string_view::npos) {
-      continue;
-    }
+    if (gram.find_first_of(exclude_chars) != std::string_view::npos) continue;
     total += tfidf_->DocumentFrequencyById(dict_->Find(gram));
   }
   return total;
 }
 
 size_t ColumnIndex::RowsWithAnyQGram(std::string_view key) const {
-  if (postings_.empty()) return 0;
+  if (!options_.build_postings) return 0;
   t_scratch.Begin(row_count_);
+  if (options_.use_legacy_postings) {
+    for (const KeyTerm& term : BuildKeyTerms(key, {})) {
+      for (const Posting& p : postings_[term.id]) t_scratch.Add(p.row, 1.0);
+    }
+    return t_scratch.touched.size();
+  }
+  uint32_t rows[kPostingBlockSize];
   for (const KeyTerm& term : BuildKeyTerms(key, {})) {
-    for (const Posting& p : postings_[term.id]) t_scratch.Add(p.row, 1.0);
+    auto [blk, end] = store_.Blocks(term.id);
+    for (; blk != end; ++blk) {
+      if (!DecodePostingBlock(*blk, store_.data(), store_.data_size(), rows,
+                              nullptr)) {
+        break;
+      }
+      for (uint16_t j = 0; j < blk->count; ++j) t_scratch.Add(rows[j], 1.0);
+    }
   }
   return t_scratch.touched.size();
 }
@@ -169,36 +209,96 @@ std::vector<uint32_t> ColumnIndex::RowsMatchingPattern(
   const size_t q = options_.q;
   std::string_view literal = pattern.LongestLiteral();
 
-  // Index-assisted path: the rarest q-gram of the longest literal must occur
-  // in every matching row.
+  // Index-assisted path: every q-gram of the longest literal must occur in
+  // every matching row.
   if (options_.build_postings && q > 0 && literal.size() >= q) {
-    std::string_view best_gram;
-    int best_df = -1;
-    for (size_t i = 0; i + q <= literal.size(); ++i) {
-      std::string_view gram = literal.substr(i, q);
-      int df = DocumentFrequency(gram);
-      if (best_df < 0 || df < best_df) {
-        best_df = df;
-        best_gram = gram;
+    if (options_.use_legacy_postings) {
+      // Legacy layout: scan the single rarest gram's list, verify each row.
+      std::string_view best_gram;
+      int best_df = -1;
+      for (size_t i = 0; i + q <= literal.size(); ++i) {
+        std::string_view gram = literal.substr(i, q);
+        int df = DocumentFrequency(gram);
+        if (best_df < 0 || df < best_df) {
+          best_df = df;
+          best_gram = gram;
+        }
       }
-    }
-    if (best_df == 0) return out;  // literal can appear in no row
-    const auto* plist = postings(best_gram);
-    if (plist != nullptr) {
+      if (best_df == 0) return out;  // literal can appear in no row
+      const uint32_t best_id = dict_->Find(best_gram);
+      if (best_id == text::QGramDictionary::kNoGram ||
+          best_id >= postings_.size()) {
+        return out;
+      }
+      const std::vector<Posting>& plist = postings_[best_id];
       // Verification is charged in blocks so a huge posting list cannot
       // overshoot a small budget by much.
       constexpr size_t kBlock = 256;
-      for (size_t i = 0; i < plist->size(); i += kBlock) {
-        size_t end = std::min(i + kBlock, plist->size());
+      for (size_t i = 0; i < plist.size(); i += kBlock) {
+        size_t end = std::min(i + kBlock, plist.size());
         if (budget != nullptr && !budget->ChargePostings(end - i)) break;
         for (size_t j = i; j < end; ++j) {
-          const Posting& p = (*plist)[j];
+          const Posting& p = plist[j];
           if (pattern.Matches(table_.CellText(p.row, col_))) {
             out.push_back(p.row);
           }
         }
       }
       return out;
+    }
+
+    // Compressed layout: intersect the posting lists of the literal's rarest
+    // grams (galloping over the block skip entries) before verification.
+    // Every matching row contains *all* of the literal's grams, so the
+    // intersection only sheds non-matching candidates — the verified output
+    // is identical to the legacy single-gram scan.
+    thread_local std::vector<uint32_t> gram_ids;
+    gram_ids.clear();
+    dict_->FindIds(literal, &gram_ids);
+    std::sort(gram_ids.begin(), gram_ids.end());
+    gram_ids.erase(std::unique(gram_ids.begin(), gram_ids.end()),
+                   gram_ids.end());
+    // kNoGram sorts last; any unknown gram means the literal occurs nowhere.
+    if (!gram_ids.empty() &&
+        gram_ids.back() == text::QGramDictionary::kNoGram) {
+      return out;
+    }
+    // Rarest first: the shortest list seeds the candidates, the next-rarest
+    // lists shrink them fastest.
+    std::sort(gram_ids.begin(), gram_ids.end(),
+              [this](uint32_t a, uint32_t b) {
+                const uint32_t ca = store_.Count(a);
+                const uint32_t cb = store_.Count(b);
+                if (ca != cb) return ca < cb;
+                return a < b;
+              });
+    thread_local std::vector<uint32_t> candidates;
+    candidates.clear();
+    uint32_t rows[kPostingBlockSize];
+    auto [blk, blk_end] = store_.Blocks(gram_ids.front());
+    for (; blk != blk_end; ++blk) {
+      // Decoding is charged like the legacy scan; on exhaustion the rows
+      // decoded so far are verified (same anytime semantics).
+      if (budget != nullptr && !budget->ChargePostings(blk->count)) break;
+      if (!DecodePostingBlock(*blk, store_.data(), store_.data_size(), rows,
+                              nullptr)) {
+        break;
+      }
+      candidates.insert(candidates.end(), rows, rows + blk->count);
+    }
+    // Beyond a few grams the intersection is already tight; more lists cost
+    // decode work without shedding candidates. Intersection is purely a
+    // pre-filter (every survivor is pattern-verified below), so stopping
+    // early once the candidate set is small never changes the result.
+    constexpr size_t kMaxIntersectGrams = 4;
+    constexpr size_t kSmallEnoughToVerify = 32;
+    for (size_t g = 1; g < gram_ids.size() && g < kMaxIntersectGrams &&
+                       candidates.size() > kSmallEnoughToVerify;
+         ++g) {
+      store_.Intersect(gram_ids[g], &candidates, budget);
+    }
+    for (uint32_t row : candidates) {
+      if (pattern.Matches(table_.CellText(row, col_))) out.push_back(row);
     }
     return out;
   }
@@ -224,19 +324,26 @@ std::vector<ColumnIndex::KeyTerm> ColumnIndex::BuildKeyTerms(
   if (q == 0 || key.size() < q) return terms;
   // Gram ids of the key (excluded/unknown grams dropped: an excluded gram
   // must not be used as a search key, an unknown one retrieves nothing).
-  std::vector<uint32_t> ids;
-  ids.reserve(key.size() - q + 1);
-  for (size_t i = 0; i + q <= key.size(); ++i) {
-    std::string_view gram = key.substr(i, q);
-    if (!exclude_chars.empty() &&
-        gram.find_first_of(exclude_chars) != std::string_view::npos) {
-      continue;
+  thread_local std::vector<uint32_t> ids;
+  ids.clear();
+  if (exclude_chars.empty()) {
+    // Batched resolution through the frozen tables (SIMD lookups); unknown
+    // grams come back as kNoGram and are dropped after the sort below.
+    dict_->FindIds(key, &ids);
+  } else {
+    for (size_t i = 0; i + q <= key.size(); ++i) {
+      std::string_view gram = key.substr(i, q);
+      if (gram.find_first_of(exclude_chars) != std::string_view::npos) {
+        continue;
+      }
+      const uint32_t id = dict_->Find(gram);
+      if (id != text::QGramDictionary::kNoGram) ids.push_back(id);
     }
-    const uint32_t id = dict_->Find(gram);
-    if (id != text::QGramDictionary::kNoGram) ids.push_back(id);
   }
   std::sort(ids.begin(), ids.end());
+  // kNoGram is the max uint32, so unknown grams form the sorted tail.
   for (size_t i = 0; i < ids.size();) {
+    if (ids[i] == text::QGramDictionary::kNoGram) break;
     size_t j = i + 1;
     while (j < ids.size() && ids[j] == ids[i]) ++j;
     terms.push_back({ids[i], static_cast<uint32_t>(j - i)});
@@ -260,27 +367,67 @@ std::vector<ColumnIndex::ScoredRow> ColumnIndex::AccumulateRarestFirst(
             });
   t_scratch.Begin(row_count_);
   size_t per_key_budget = options_.posting_budget;
+  const bool legacy = options_.use_legacy_postings;
+  // Per-block decode scratch lives on the stack (~2 KB, L1-resident); the
+  // whole accumulation loop allocates nothing.
+  uint32_t rows[kPostingBlockSize];
+  uint32_t tfs[kPostingBlockSize];
+  double contribs[kPostingBlockSize];
   for (const KeyTerm& term : terms) {
-    const std::vector<Posting>& plist = postings_[term.id];
+    const size_t count =
+        legacy ? postings_[term.id].size() : store_.Count(term.id);
     // A df-sized posting list costs df entries to scan; stopping on the
     // actual list size keeps the subtraction below from underflowing.
-    if (plist.size() > per_key_budget) break;
+    if (count > per_key_budget) break;
     double idf = 0.0;
     if (idf_weighted) {
       idf = tfidf_->IdfById(term.id);
       if (idf <= 0.0) continue;
     }
-    per_key_budget -= plist.size();
+    per_key_budget -= count;
     // The run budget prunes the same way the per-key budget does: the
     // remaining grams are the most common (least informative) ones.
-    if (budget != nullptr && !budget->ChargePostings(plist.size())) break;
+    // Charging the whole list up front (rather than per block) keeps the
+    // cut-off — and with it the result — byte-identical to the legacy
+    // layout under any budget.
+    if (budget != nullptr && !budget->ChargePostings(count)) break;
+    if (legacy) {
+      const std::vector<Posting>& plist = postings_[term.id];
+      if (idf_weighted) {
+        const double key_weight = static_cast<double>(term.tf) * idf;
+        for (const Posting& p : plist) {
+          t_scratch.Add(p.row, key_weight * (static_cast<double>(p.tf) * idf));
+        }
+      } else {
+        for (const Posting& p : plist) t_scratch.Add(p.row, 1.0);
+      }
+      continue;
+    }
+    auto [blk, end] = store_.Blocks(term.id);
     if (idf_weighted) {
+      // Same contribution expression as the legacy loop, evaluated per lane
+      // by the SIMD kernel: two ordered multiplies, no reassociation, so the
+      // accumulated doubles are bit-identical across layouts and tiers.
       const double key_weight = static_cast<double>(term.tf) * idf;
-      for (const Posting& p : plist) {
-        t_scratch.Add(p.row, key_weight * (static_cast<double>(p.tf) * idf));
+      for (; blk != end; ++blk) {
+        if (!DecodePostingBlock(*blk, store_.data(), store_.data_size(), rows,
+                                tfs)) {
+          break;
+        }
+        text::simd::TfContributions(key_weight, idf, tfs, blk->count,
+                                    contribs);
+        for (uint16_t j = 0; j < blk->count; ++j) {
+          t_scratch.Add(rows[j], contribs[j]);
+        }
       }
     } else {
-      for (const Posting& p : plist) t_scratch.Add(p.row, 1.0);
+      for (; blk != end; ++blk) {
+        if (!DecodePostingBlock(*blk, store_.data(), store_.data_size(), rows,
+                                nullptr)) {
+          break;
+        }
+        for (uint16_t j = 0; j < blk->count; ++j) t_scratch.Add(rows[j], 1.0);
+      }
     }
   }
   std::vector<ScoredRow> out;
@@ -289,11 +436,21 @@ std::vector<ColumnIndex::ScoredRow> ColumnIndex::AccumulateRarestFirst(
     const double score = t_scratch.scores[row];
     if (score >= threshold) out.push_back({row, score});
   }
-  std::sort(out.begin(), out.end(), [](const ScoredRow& a, const ScoredRow& b) {
+  const auto by_score = [](const ScoredRow& a, const ScoredRow& b) {
     if (a.score != b.score) return a.score > b.score;
     return a.row < b.row;
-  });
-  if (out.size() > top_r) out.resize(top_r);
+  };
+  if (out.size() > top_r) {
+    // (score desc, row asc) is a total order over distinct rows, so selecting
+    // the top_r elements and sorting only those yields the exact prefix a
+    // full sort would produce — byte-identical results without paying
+    // O(n log n) on candidate sets that dwarf top_r (the common case: whole
+    // tables score above threshold but callers keep ~8 pairs).
+    std::nth_element(out.begin(), out.begin() + static_cast<ptrdiff_t>(top_r),
+                     out.end(), by_score);
+    out.resize(top_r);
+  }
+  std::sort(out.begin(), out.end(), by_score);
   return out;
 }
 

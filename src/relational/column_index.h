@@ -9,6 +9,7 @@
 
 #include "common/deadline.h"
 #include "relational/pattern.h"
+#include "relational/postings.h"
 #include "relational/table.h"
 #include "text/qgram.h"
 #include "text/tfidf.h"
@@ -26,11 +27,16 @@ namespace mcsm::relational {
 /// candidate retrieval (Section 3.4.1).
 ///
 /// Layout: grams are interned once at construction into a dense-id
-/// dictionary; df, idf and postings are flat vectors indexed by gram id, so
-/// the retrieval hot path performs no per-lookup string allocation and no
-/// hash-map node chasing. All query methods are const and safe to call
-/// concurrently from the search's worker pool (similarity scoring uses a
-/// thread-local dense accumulator internally).
+/// dictionary (frozen into a flat fast-lookup table afterwards — see
+/// text/qgram.h); df and idf are flat vectors indexed by gram id, and the
+/// row-level inverted index is a block-compressed PostingStore (delta-coded
+/// row ids + separate tf stream in 128-entry blocks with skip entries, one
+/// shared arena — see relational/postings.h). The retrieval hot path
+/// performs no per-lookup string allocation, no hash-map node chasing, and
+/// decodes blocks into thread-local/stack scratch, so it stays
+/// zero-allocation in steady state. All query methods are const and safe to
+/// call concurrently from the search's worker pool (similarity scoring uses
+/// a thread-local dense accumulator internally).
 class ColumnIndex {
  public:
   struct Options {
@@ -41,13 +47,16 @@ class ColumnIndex {
     /// discriminative ones), so the budget prunes only the low-signal tail
     /// of very common grams.
     size_t posting_budget = 20000;
+    /// Keeps the uncompressed per-gram `std::vector<Posting>` layout instead
+    /// of the block-compressed PostingStore. Retrieval results are
+    /// byte-identical between the two layouts (enforced by differential
+    /// tests); legacy exists for that comparison and as a rollback lever,
+    /// not for production use.
+    bool use_legacy_postings = false;
   };
 
   /// An inverted-index entry: the row and the q-gram's term frequency there.
-  struct Posting {
-    uint32_t row;
-    uint32_t tf;
-  };
+  using Posting = mcsm::relational::Posting;
 
   ColumnIndex(const Table& table, size_t col, Options options);
 
@@ -84,8 +93,10 @@ class ColumnIndex {
   /// Number of rows containing `gram` at least once.
   int DocumentFrequency(std::string_view gram) const;
 
-  /// Posting list for `gram`, or nullptr (also when postings were not built).
-  const std::vector<Posting>* postings(std::string_view gram) const;
+  /// Decoded posting list for `gram` (empty when `gram` is unknown or
+  /// postings were not built). Allocates — a test/inspection accessor, not
+  /// the hot path; retrieval decodes blocks into reusable scratch instead.
+  std::vector<Posting> DecodedPostings(std::string_view gram) const;
 
   /// Sum over the key's q-grams (with multiplicity) of their document
   /// frequency — the "count T2 where A includes q-grams of key" reading (a)
@@ -103,11 +114,14 @@ class ColumnIndex {
   const text::TfIdfModel& tfidf() const { return *tfidf_; }
 
   /// Rows whose value matches `pattern`, filtered through the inverted index
-  /// when possible (rarest q-gram of the pattern's longest literal), verified
-  /// exactly. Falls back to a scan when no usable literal exists or postings
-  /// were not built. `budget`, when given, is charged per row/posting
-  /// examined; on exhaustion the scan stops and the rows found so far are
-  /// returned (anytime semantics — the caller reports truncation).
+  /// when possible, verified exactly. The compressed layout intersects the
+  /// posting lists of the literal's rarest q-grams (up to four, galloping
+  /// over the per-block skip entries) before verification; the legacy layout
+  /// scans the single rarest gram's list. Falls back to a scan when no
+  /// usable literal exists or postings were not built. `budget`, when given,
+  /// is charged per row/posting examined; on exhaustion the scan stops and
+  /// the rows found so far are returned (anytime semantics — the caller
+  /// reports truncation).
   std::vector<uint32_t> RowsMatchingPattern(const SearchPattern& pattern,
                                             RunBudget* budget = nullptr) const;
 
@@ -173,7 +187,11 @@ class ColumnIndex {
   std::vector<std::string> sorted_distinct_;
   /// gram <-> dense id; shared with tfidf_ so both agree on ids.
   std::shared_ptr<text::QGramDictionary> dict_;
-  /// Posting lists by gram id (empty unless options_.build_postings).
+  /// Block-compressed posting lists by gram id (the default layout; empty
+  /// unless options_.build_postings).
+  PostingStore store_;
+  /// Uncompressed posting lists by gram id (only when
+  /// options_.use_legacy_postings; kept for differential testing).
   std::vector<std::vector<Posting>> postings_;
   /// Owns df/idf by gram id (DocumentFrequency delegates here).
   std::unique_ptr<text::TfIdfModel> tfidf_;

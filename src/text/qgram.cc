@@ -2,7 +2,23 @@
 
 #include <algorithm>
 
+#include "common/check.h"
+#include "text/simd.h"
+
 namespace mcsm::text {
+
+namespace {
+
+/// Per-thread scratch for the frozen FindIds path (packed windows and their
+/// hash buckets): query-time lookups stay zero-allocation in steady state.
+struct LookupScratch {
+  std::vector<uint32_t> packed;
+  std::vector<uint32_t> buckets;
+};
+
+thread_local LookupScratch t_lookup;
+
+}  // namespace
 
 std::vector<std::string> QGrams(std::string_view s, size_t q) {
   std::vector<std::string> out;
@@ -46,9 +62,97 @@ std::vector<std::string> QGramsExcluding(std::string_view s, size_t q,
   return out;
 }
 
+namespace {
+
+// Packs the q bytes at s[i..i+q) into a u32 key (little-endian). Only
+// equality matters to callers, so the byte order is arbitrary but fixed.
+inline uint32_t PackGramKey(std::string_view s, size_t i, size_t q) {
+  uint32_t packed = 0;
+  for (size_t j = 0; j < q; ++j) {
+    packed |= static_cast<uint32_t>(static_cast<unsigned char>(s[i + j]))
+              << (8 * j);
+  }
+  return packed;
+}
+
+// Reusable scratch for the packed-gram fast paths below, plus a memo of the
+// last `a` side: refinement calls SharedQGramsMasked with the same key
+// against every candidate in a row, so the sorted key profile is rebuilt
+// once per (key, q) instead of once per call. One struct = one TLS guard
+// per call.
+struct SharedGramScratch {
+  std::string last_a;
+  size_t last_q = 0;
+  std::vector<uint32_t> ga;
+  std::vector<uint32_t> gb;
+
+  // Returns the sorted packed grams of `a`, reusing the previous result
+  // when (a, q) is unchanged.
+  const std::vector<uint32_t>& SortedGramsOfA(std::string_view a, size_t q) {
+    if (q == last_q && a == last_a) return ga;
+    ga.clear();
+    for (size_t i = 0; i + q <= a.size(); ++i) {
+      ga.push_back(PackGramKey(a, i, q));
+    }
+    std::sort(ga.begin(), ga.end());
+    last_a.assign(a.data(), a.size());
+    last_q = q;
+    return ga;
+  }
+};
+
+thread_local SharedGramScratch t_shared_grams;
+
+// Multiset-intersection size of two sorted key arrays: exactly
+// sum_over_grams(min(count_a, count_b)), what the map-based profiles used
+// to compute.
+inline int SortedSharedCount(const std::vector<uint32_t>& ga,
+                             const std::vector<uint32_t>& gb) {
+  int shared = 0;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < ga.size() && j < gb.size()) {
+    if (ga[i] < gb[j]) {
+      ++i;
+    } else if (gb[j] < ga[i]) {
+      ++j;
+    } else {
+      ++shared;
+      ++i;
+      ++j;
+    }
+  }
+  return shared;
+}
+
+}  // namespace
+
 int SharedQGramsMasked(std::string_view a, std::string_view b,
                        const std::vector<bool>& b_allowed, size_t q) {
   if (q == 0 || a.size() < q || b.size() < q) return 0;
+  if (q <= 4) {
+    // The refinement loop (Eq.5 vote scoring) calls this tens of millions of
+    // times per search on short values; packing grams into u32 keys and
+    // merging two sorted arrays replaces the two per-call hash maps (and
+    // their per-gram string allocations) that used to dominate whole-run
+    // profiles.
+    SharedGramScratch& scratch = t_shared_grams;
+    const std::vector<uint32_t>& ga = scratch.SortedGramsOfA(a, q);
+    std::vector<uint32_t>& gb = scratch.gb;
+    gb.clear();
+    for (size_t i = 0; i + q <= b.size(); ++i) {
+      bool free = true;
+      for (size_t j = i; j < i + q; ++j) {
+        if (!b_allowed[j]) {
+          free = false;
+          break;
+        }
+      }
+      if (free) gb.push_back(PackGramKey(b, i, q));
+    }
+    std::sort(gb.begin(), gb.end());
+    return SortedSharedCount(ga, gb);
+  }
   auto pa = QGramProfile(a, q);
   std::unordered_map<std::string, int> pb;
   for (size_t i = 0; i + q <= b.size(); ++i) {
@@ -72,20 +176,140 @@ int SharedQGramsMasked(std::string_view a, std::string_view b,
 uint32_t QGramDictionary::Intern(std::string_view gram) {
   auto it = ids_.find(gram);
   if (it != ids_.end()) return it->second;
+  if (frozen_) {
+    // The flat tables describe a stale gram set from here on; drop them.
+    // Callers re-Freeze() after their last Intern.
+    frozen_ = false;
+    direct_.clear();
+    oa_keys_.clear();
+    oa_ids_.clear();
+  }
   uint32_t id = static_cast<uint32_t>(grams_.size());
   grams_.emplace_back(gram);
   ids_.emplace(grams_.back(), id);
   return id;
 }
 
+uint32_t QGramDictionary::Pack32(std::string_view gram) {
+  uint32_t packed = 0;
+  for (size_t i = 0; i < gram.size(); ++i) {
+    packed |= static_cast<uint32_t>(static_cast<unsigned char>(gram[i]))
+              << (8 * i);
+  }
+  return packed;
+}
+
+uint32_t QGramDictionary::FindPacked(uint32_t packed) const {
+  if (q_ <= 2) return direct_[packed];
+  uint32_t h = (packed * simd::kHashMult) >> oa_shift_;
+  while (true) {
+    const uint32_t id = oa_ids_[h];
+    if (id == kNoGram || oa_keys_[h] == packed) return id;
+    h = (h + 1) & oa_mask_;
+  }
+}
+
+void QGramDictionary::Freeze() {
+  frozen_ = false;
+  direct_.clear();
+  oa_keys_.clear();
+  oa_ids_.clear();
+  if (q_ == 0 || q_ > 4) return;
+  // Every interned gram must pack into q_ bytes; Intern() accepts arbitrary
+  // strings, so a foreign-length gram (possible via the precomputed-df
+  // TfIdfModel constructor) keeps the dictionary on the hash-map path.
+  for (const std::string& g : grams_) {
+    if (g.size() != q_) return;
+  }
+  if (q_ <= 2) {
+    direct_.assign(q_ == 1 ? 256u : 65536u, kNoGram);
+    for (uint32_t id = 0; id < grams_.size(); ++id) {
+      direct_[Pack32(grams_[id])] = id;
+    }
+  } else {
+    // Load factor <= 0.5 keeps linear-probe chains short and guarantees an
+    // empty slot terminates every miss probe.
+    size_t capacity = 16;
+    while (capacity < 2 * grams_.size()) capacity *= 2;
+    oa_mask_ = static_cast<uint32_t>(capacity - 1);
+    oa_shift_ = 32;
+    for (size_t c = capacity; c > 1; c /= 2) --oa_shift_;
+    oa_keys_.assign(capacity, 0);
+    oa_ids_.assign(capacity, kNoGram);
+    for (uint32_t id = 0; id < grams_.size(); ++id) {
+      const uint32_t packed = Pack32(grams_[id]);
+      uint32_t h = (packed * simd::kHashMult) >> oa_shift_;
+      while (oa_ids_[h] != kNoGram) h = (h + 1) & oa_mask_;
+      oa_keys_[h] = packed;
+      oa_ids_[h] = id;
+    }
+  }
+  frozen_ = true;
+}
+
+size_t QGramDictionary::ApproxFastLookupBytes() const {
+  return (direct_.capacity() + oa_keys_.capacity() + oa_ids_.capacity()) *
+         sizeof(uint32_t);
+}
+
 uint32_t QGramDictionary::Find(std::string_view gram) const {
+  if (frozen_) {
+    // Freeze() verified every interned gram has length q_, so any other
+    // length cannot be present.
+    if (gram.size() != q_) return kNoGram;
+    return FindPacked(Pack32(gram));
+  }
   auto it = ids_.find(gram);
   return it == ids_.end() ? kNoGram : it->second;
+}
+
+void QGramDictionary::FindIdsFrozen(std::string_view s,
+                                    std::vector<uint32_t>* out) const {
+  const size_t windows = s.size() - q_ + 1;
+  const size_t base = out->size();
+  out->resize(base + windows);
+  uint32_t* dst = out->data() + base;
+  if (q_ == 2) {
+    // One direct-address load per bigram; AVX2 runs 8 windows per iteration.
+    simd::LookupGrams2(s, direct_.data(), dst);
+    return;
+  }
+  if (q_ == 1) {
+    for (size_t i = 0; i < windows; ++i) {
+      dst[i] = direct_[static_cast<unsigned char>(s[i])];
+    }
+    return;
+  }
+  // q == 3..4: pack the windows, hash them in batch (8 per AVX2 iteration),
+  // then resolve each bucket with a scalar linear probe.
+  t_lookup.packed.resize(windows);
+  t_lookup.buckets.resize(windows);
+  for (size_t i = 0; i < windows; ++i) {
+    t_lookup.packed[i] = Pack32(s.substr(i, q_));
+  }
+  simd::HashBatch32(t_lookup.packed.data(), windows, oa_shift_,
+                    t_lookup.buckets.data());
+  for (size_t i = 0; i < windows; ++i) {
+    const uint32_t packed = t_lookup.packed[i];
+    uint32_t h = t_lookup.buckets[i];
+    while (true) {
+      const uint32_t id = oa_ids_[h];
+      if (id == kNoGram || oa_keys_[h] == packed) {
+        dst[i] = id;
+        break;
+      }
+      h = (h + 1) & oa_mask_;
+    }
+  }
 }
 
 void QGramDictionary::FindIds(std::string_view s,
                               std::vector<uint32_t>* out) const {
   if (q_ == 0 || s.size() < q_) return;
+  if (frozen_) {
+    FindIdsFrozen(s, out);
+    return;
+  }
   for (size_t i = 0; i + q_ <= s.size(); ++i) {
     out->push_back(Find(s.substr(i, q_)));
   }
@@ -100,6 +324,19 @@ void QGramDictionary::InternIds(std::string_view s,
 }
 
 int SharedQGrams(std::string_view a, std::string_view b, size_t q) {
+  if (q == 0 || a.size() < q || b.size() < q) return 0;
+  if (q <= 4) {
+    // Same packed sort+merge fast path as SharedQGramsMasked, minus the mask.
+    SharedGramScratch& scratch = t_shared_grams;
+    const std::vector<uint32_t>& ga = scratch.SortedGramsOfA(a, q);
+    std::vector<uint32_t>& gb = scratch.gb;
+    gb.clear();
+    for (size_t i = 0; i + q <= b.size(); ++i) {
+      gb.push_back(PackGramKey(b, i, q));
+    }
+    std::sort(gb.begin(), gb.end());
+    return SortedSharedCount(ga, gb);
+  }
   auto pa = QGramProfile(a, q);
   auto pb = QGramProfile(b, q);
   // Iterate over the smaller profile.

@@ -50,6 +50,14 @@ int SharedQGramsMasked(std::string_view a, std::string_view b,
 /// and every later lookup into one transparent hash probe with no string
 /// allocation. Not thread-safe for Intern; Find and the accessors are
 /// read-only and safe to share across threads once building is done.
+///
+/// After interning, Freeze() builds a flat fast-lookup structure for short
+/// grams (q <= 4, the practical range — the paper uses q = 2 throughout):
+/// bigrams and unigrams get a direct-address table (one load per probe, no
+/// hashing at all), 3- and 4-grams a linear-probed open-addressing table
+/// over the gram bytes packed into a uint32. Frozen FindIds dispatches to
+/// the batched SIMD kernels in text/simd.h (8-16 grams per iteration); the
+/// results are bit-identical to the hash-map path at every dispatch tier.
 class QGramDictionary {
  public:
   /// Sentinel id for grams that were never interned.
@@ -61,7 +69,7 @@ class QGramDictionary {
   /// Number of distinct grams interned so far (ids are 0..size()-1).
   size_t size() const { return grams_.size(); }
 
-  /// Id of `gram`, interning it if new.
+  /// Id of `gram`, interning it if new. Invalidates a prior Freeze().
   uint32_t Intern(std::string_view gram);
 
   /// Id of `gram`, or kNoGram when it was never interned. No allocation.
@@ -77,7 +85,31 @@ class QGramDictionary {
   /// As FindIds but interning, so no kNoGram entries are produced.
   void InternIds(std::string_view s, std::vector<uint32_t>* out);
 
+  /// Builds the flat fast-lookup tables for the current gram set. Call once
+  /// after the last Intern (ColumnIndex / TfIdfModel construction does).
+  /// No-op for q == 0 or q > 4, and when any interned gram's length differs
+  /// from q (defensive: such grams cannot be packed) — lookups then stay on
+  /// the hash map, with identical results.
+  void Freeze();
+
+  /// True when Find/FindIds run on the flat tables (after Freeze, until the
+  /// next Intern).
+  bool frozen() const { return frozen_; }
+
+  /// Heap bytes of the fast-lookup tables (0 when not frozen). Counted by
+  /// ColumnIndex::ApproxMemoryBytes so cache charges follow the layout.
+  size_t ApproxFastLookupBytes() const;
+
  private:
+  /// `gram` packed little-endian into a uint32 (requires gram.size() <= 4).
+  static uint32_t Pack32(std::string_view gram);
+
+  /// Fast-path probe of a packed gram (requires frozen_).
+  uint32_t FindPacked(uint32_t packed) const;
+
+  /// Batched frozen FindIds over the windows of `s` (requires frozen_).
+  void FindIdsFrozen(std::string_view s, std::vector<uint32_t>* out) const;
+
   /// Heterogeneous hashing so std::string keys can be probed with a
   /// string_view (C++20 transparent lookup) — the whole point of the class.
   struct TransparentHash {
@@ -91,6 +123,18 @@ class QGramDictionary {
   std::vector<std::string> grams_;
   std::unordered_map<std::string, uint32_t, TransparentHash, std::equal_to<>>
       ids_;
+
+  /// Fast-lookup state (valid while frozen_):
+  /// q <= 2 — direct_[packed gram] = id (256 or 65536 entries);
+  /// q == 3..4 — linear-probed table: slot h holds (oa_keys_[h], oa_ids_[h]),
+  /// empty slots marked by oa_ids_[h] == kNoGram, bucket = multiply-shift
+  /// hash of the packed gram (simd::kHashMult, shift oa_shift_).
+  bool frozen_ = false;
+  std::vector<uint32_t> direct_;
+  std::vector<uint32_t> oa_keys_;
+  std::vector<uint32_t> oa_ids_;
+  uint32_t oa_mask_ = 0;
+  uint32_t oa_shift_ = 0;
 };
 
 }  // namespace mcsm::text

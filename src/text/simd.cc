@@ -1,0 +1,339 @@
+#include "text/simd.h"
+
+#include <atomic>
+#include <cstring>
+#include <string>
+
+#include "common/check.h"
+#include "common/env.h"
+
+// The only translation unit allowed to see intrinsics headers (lint rule
+// SI001). Vector functions carry per-function target attributes instead of
+// file-level -mavx2 flags, so one object file holds every tier and nothing
+// above the baseline ISA can leak into code that runs unconditionally.
+#if defined(MCSM_SIMD_ENABLED) && defined(__x86_64__) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define MCSM_SIMD_X86 1
+#include <immintrin.h>
+#else
+#define MCSM_SIMD_X86 0
+#endif
+
+namespace mcsm::text::simd {
+
+namespace {
+
+inline uint32_t ReadLE(const uint8_t* p, uint32_t width) {
+  switch (width) {
+    case 1:
+      return p[0];
+    case 2:
+      return static_cast<uint32_t>(p[0]) | static_cast<uint32_t>(p[1]) << 8;
+    default: {
+      uint32_t v;
+      std::memcpy(&v, p, sizeof(v));
+      return v;
+    }
+  }
+}
+
+// --- Scalar reference kernels ----------------------------------------------
+// These are the semantics; the vector paths below must match them bit for
+// bit (tests/simd_test.cc diffs every kernel at every detected tier).
+
+void LookupGrams2Scalar(const char* s, size_t windows, const uint32_t* table,
+                        uint32_t* out) {
+  const auto* u = reinterpret_cast<const unsigned char*>(s);
+  for (size_t i = 0; i < windows; ++i) {
+    const uint32_t packed =
+        static_cast<uint32_t>(u[i]) | static_cast<uint32_t>(u[i + 1]) << 8;
+    out[i] = table[packed];
+  }
+}
+
+void HashBatch32Scalar(const uint32_t* packed, size_t n, uint32_t shift,
+                       uint32_t* out) {
+  for (size_t i = 0; i < n; ++i) out[i] = (packed[i] * kHashMult) >> shift;
+}
+
+void DeltaDecodeScalar(uint32_t base, const uint8_t* bytes, size_t count,
+                       uint32_t width, uint32_t* out_rows) {
+  uint32_t acc = base;
+  out_rows[0] = acc;
+  for (size_t i = 1; i < count; ++i) {
+    acc += ReadLE(bytes + (i - 1) * width, width);
+    out_rows[i] = acc;
+  }
+}
+
+void WidenU32Scalar(const uint8_t* bytes, size_t count, uint32_t width,
+                    uint32_t* out) {
+  for (size_t i = 0; i < count; ++i) out[i] = ReadLE(bytes + i * width, width);
+}
+
+void TfContributionsScalar(double key_weight, double idf, const uint32_t* tf,
+                           size_t count, double* out) {
+  for (size_t i = 0; i < count; ++i) {
+    out[i] = key_weight * (static_cast<double>(tf[i]) * idf);
+  }
+}
+
+#if MCSM_SIMD_X86
+
+// --- SSE4.2 tier -----------------------------------------------------------
+
+/// Widening load of 4 deltas starting at `p` (little-endian, `width` bytes
+/// each) into 4 uint32 lanes.
+__attribute__((target("sse4.2"))) inline __m128i Load4Deltas(const uint8_t* p,
+                                                             uint32_t width) {
+  switch (width) {
+    case 1: {
+      uint32_t raw;
+      std::memcpy(&raw, p, sizeof(raw));
+      return _mm_cvtepu8_epi32(_mm_cvtsi32_si128(static_cast<int>(raw)));
+    }
+    case 2:
+      return _mm_cvtepu16_epi32(
+          _mm_loadl_epi64(reinterpret_cast<const __m128i*>(p)));
+    default:
+      return _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+  }
+}
+
+__attribute__((target("sse4.2"))) void DeltaDecodeSse42(
+    uint32_t base, const uint8_t* bytes, size_t count, uint32_t width,
+    uint32_t* out_rows) {
+  out_rows[0] = base;
+  const size_t deltas = count - 1;
+  // Running total lives in every lane; each step computes the in-register
+  // inclusive prefix sum of 4 deltas, adds the running total, and broadcasts
+  // the new last lane. Integer adds — identical to the scalar loop.
+  __m128i run = _mm_set1_epi32(static_cast<int>(base));
+  size_t i = 0;
+  for (; i + 4 <= deltas; i += 4) {
+    __m128i d = Load4Deltas(bytes + i * width, width);
+    d = _mm_add_epi32(d, _mm_slli_si128(d, 4));
+    d = _mm_add_epi32(d, _mm_slli_si128(d, 8));
+    const __m128i rows = _mm_add_epi32(d, run);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out_rows + 1 + i), rows);
+    run = _mm_shuffle_epi32(rows, _MM_SHUFFLE(3, 3, 3, 3));
+  }
+  uint32_t acc = static_cast<uint32_t>(_mm_cvtsi128_si32(run));
+  for (; i < deltas; ++i) {
+    acc += ReadLE(bytes + i * width, width);
+    out_rows[1 + i] = acc;
+  }
+}
+
+__attribute__((target("sse4.2"))) void WidenU32Sse42(const uint8_t* bytes,
+                                                     size_t count,
+                                                     uint32_t width,
+                                                     uint32_t* out) {
+  size_t i = 0;
+  if (width == 1) {
+    for (; i + 4 <= count; i += 4) {
+      uint32_t raw;
+      std::memcpy(&raw, bytes + i, sizeof(raw));
+      _mm_storeu_si128(
+          reinterpret_cast<__m128i*>(out + i),
+          _mm_cvtepu8_epi32(_mm_cvtsi32_si128(static_cast<int>(raw))));
+    }
+  } else if (width == 2) {
+    for (; i + 4 <= count; i += 4) {
+      _mm_storeu_si128(
+          reinterpret_cast<__m128i*>(out + i),
+          _mm_cvtepu16_epi32(
+              _mm_loadl_epi64(reinterpret_cast<const __m128i*>(bytes + i * 2))));
+    }
+  } else {
+    std::memcpy(out, bytes, count * sizeof(uint32_t));
+    return;
+  }
+  for (; i < count; ++i) out[i] = ReadLE(bytes + i * width, width);
+}
+
+// --- AVX2 tier -------------------------------------------------------------
+
+__attribute__((target("avx2"))) void LookupGrams2Avx2(const char* s,
+                                                      size_t windows,
+                                                      const uint32_t* table,
+                                                      uint32_t* out) {
+  const auto* u = reinterpret_cast<const unsigned char*>(s);
+  size_t i = 0;
+  // 8 bigram windows per iteration: widen bytes [i, i+8) and [i+1, i+9) to
+  // 32-bit lanes, OR them into the packed bigram values, gather the ids.
+  for (; i + 8 <= windows; i += 8) {
+    const __m128i lo =
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(u + i));
+    const __m128i hi =
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(u + i + 1));
+    const __m256i idx = _mm256_or_si256(
+        _mm256_cvtepu8_epi32(lo),
+        _mm256_slli_epi32(_mm256_cvtepu8_epi32(hi), 8));
+    const __m256i ids = _mm256_i32gather_epi32(
+        reinterpret_cast<const int*>(table), idx, 4);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), ids);
+  }
+  LookupGrams2Scalar(s + i, windows - i, table, out + i);
+}
+
+__attribute__((target("avx2"))) void HashBatch32Avx2(const uint32_t* packed,
+                                                     size_t n, uint32_t shift,
+                                                     uint32_t* out) {
+  const __m256i mult = _mm256_set1_epi32(static_cast<int>(kHashMult));
+  const __m128i sh = _mm_cvtsi32_si128(static_cast<int>(shift));
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(packed + i));
+    const __m256i h = _mm256_srl_epi32(_mm256_mullo_epi32(v, mult), sh);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), h);
+  }
+  HashBatch32Scalar(packed + i, n - i, shift, out + i);
+}
+
+__attribute__((target("avx2"))) void TfContributionsAvx2(double key_weight,
+                                                         double idf,
+                                                         const uint32_t* tf,
+                                                         size_t count,
+                                                         double* out) {
+  const __m256d vidf = _mm256_set1_pd(idf);
+  const __m256d vkw = _mm256_set1_pd(key_weight);
+  size_t i = 0;
+  // Same expression as the scalar loop — kw * (double(tf) * idf), two
+  // multiplies, no FMA contraction possible — so each lane rounds exactly
+  // like its scalar counterpart.
+  for (; i + 4 <= count; i += 4) {
+    const __m128i t =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(tf + i));
+    const __m256d td = _mm256_cvtepi32_pd(t);  // tf < 2^31: signed convert ok
+    _mm256_storeu_pd(out + i, _mm256_mul_pd(vkw, _mm256_mul_pd(td, vidf)));
+  }
+  TfContributionsScalar(key_weight, idf, tf + i, count - i, out + i);
+}
+
+#endif  // MCSM_SIMD_X86
+
+// --- Dispatch --------------------------------------------------------------
+
+Level Detect() {
+#if MCSM_SIMD_X86
+  if (__builtin_cpu_supports("avx2")) return Level::kAVX2;
+  if (__builtin_cpu_supports("sse4.2")) return Level::kSSE42;
+#endif
+  return Level::kScalar;
+}
+
+Level ParseLevelName(const std::string& name, Level fallback) {
+  if (name == "scalar") return Level::kScalar;
+  if (name == "sse42") return Level::kSSE42;
+  if (name == "avx2") return Level::kAVX2;
+  return fallback;
+}
+
+/// Active tier, or -1 before first resolution. Resolution is idempotent
+/// (cpuid + env are stable), so the benign first-use race re-resolves to the
+/// same value on every thread.
+std::atomic<int> g_active{-1};
+
+}  // namespace
+
+const char* LevelName(Level level) {
+  switch (level) {
+    case Level::kScalar:
+      return "scalar";
+    case Level::kSSE42:
+      return "sse42";
+    case Level::kAVX2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+Level DetectedLevel() {
+  static const Level detected = Detect();
+  return detected;
+}
+
+Level ActiveLevel() {
+  // ordering: relaxed — the value is a self-contained int; no other memory
+  // is published through it, and re-resolving on a racy first read is
+  // idempotent (see g_active).
+  int v = g_active.load(std::memory_order_relaxed);
+  if (v >= 0) return static_cast<Level>(v);
+  Level level = ParseLevelName(GetEnvString("MCSM_SIMD_LEVEL", ""),
+                               DetectedLevel());
+  if (level > DetectedLevel()) level = DetectedLevel();
+  // ordering: relaxed — same rationale as the load above.
+  g_active.store(static_cast<int>(level), std::memory_order_relaxed);
+  return level;
+}
+
+void SetActiveLevelForTesting(Level level) {
+  if (level > DetectedLevel()) level = DetectedLevel();
+  // ordering: relaxed — test-only toggle of a self-contained int.
+  g_active.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+// --- Kernel entry points ---------------------------------------------------
+
+void LookupGrams2(std::string_view s, const uint32_t* table, uint32_t* out) {
+  if (s.size() < 2) return;
+  const size_t windows = s.size() - 1;
+#if MCSM_SIMD_X86
+  if (ActiveLevel() >= Level::kAVX2) {
+    LookupGrams2Avx2(s.data(), windows, table, out);
+    return;
+  }
+#endif
+  LookupGrams2Scalar(s.data(), windows, table, out);
+}
+
+void HashBatch32(const uint32_t* packed, size_t n, uint32_t shift,
+                 uint32_t* out) {
+#if MCSM_SIMD_X86
+  if (ActiveLevel() >= Level::kAVX2) {
+    HashBatch32Avx2(packed, n, shift, out);
+    return;
+  }
+#endif
+  HashBatch32Scalar(packed, n, shift, out);
+}
+
+void DeltaDecode(uint32_t base, const uint8_t* bytes, size_t count,
+                 uint32_t width, uint32_t* out_rows) {
+  if (count == 0) return;
+  MCSM_DCHECK(width == 1 || width == 2 || width == 4);
+#if MCSM_SIMD_X86
+  if (ActiveLevel() >= Level::kSSE42) {
+    DeltaDecodeSse42(base, bytes, count, width, out_rows);
+    return;
+  }
+#endif
+  DeltaDecodeScalar(base, bytes, count, width, out_rows);
+}
+
+void WidenU32(const uint8_t* bytes, size_t count, uint32_t width,
+              uint32_t* out) {
+  MCSM_DCHECK(width == 1 || width == 2 || width == 4);
+#if MCSM_SIMD_X86
+  if (ActiveLevel() >= Level::kSSE42) {
+    WidenU32Sse42(bytes, count, width, out);
+    return;
+  }
+#endif
+  WidenU32Scalar(bytes, count, width, out);
+}
+
+void TfContributions(double key_weight, double idf, const uint32_t* tf,
+                     size_t count, double* out) {
+#if MCSM_SIMD_X86
+  if (ActiveLevel() >= Level::kAVX2) {
+    TfContributionsAvx2(key_weight, idf, tf, count, out);
+    return;
+  }
+#endif
+  TfContributionsScalar(key_weight, idf, tf, count, out);
+}
+
+}  // namespace mcsm::text::simd

@@ -1,0 +1,89 @@
+#ifndef MCSM_TEXT_SIMD_H_
+#define MCSM_TEXT_SIMD_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace mcsm::text::simd {
+
+/// \brief The one SIMD funnel of the engine.
+///
+/// Every vectorized kernel in the deterministic core lives behind this
+/// header; intrinsics headers (`immintrin.h`) may be included from
+/// `text/simd.cc` only (lint rule SI001), so instruction-set concerns never
+/// leak into the algorithmic code.
+///
+/// Contract: every kernel produces bit-for-bit identical output at every
+/// Level. Integer kernels are trivially exact; the one floating-point kernel
+/// (TfContributions) evaluates the same two-multiply expression per element
+/// in both paths, so IEEE-754 rounding is identical lane by lane — no
+/// reassociation, no FMA contraction (see DESIGN.md §11). This is what lets
+/// the PR 3/5 determinism contract survive runtime dispatch: scalar and SIMD
+/// replicas of a cluster, or a cache entry built before a binary upgrade,
+/// agree byte-for-byte.
+
+/// Instruction-set tiers, ordered. Dispatch picks the highest tier that is
+/// (a) compiled in (CMake option MCSM_SIMD, on by default for x86-64),
+/// (b) supported by the running CPU, and (c) not vetoed by the
+/// MCSM_SIMD_LEVEL environment variable ("scalar" | "sse42" | "avx2").
+enum class Level : int {
+  kScalar = 0,  ///< portable C++, always available
+  kSSE42 = 1,   ///< 128-bit integer kernels (delta prefix sums)
+  kAVX2 = 2,    ///< 256-bit gathers/hashing/double math
+};
+
+/// Human-readable tier name ("scalar", "sse42", "avx2").
+const char* LevelName(Level level);
+
+/// Highest tier compiled in and supported by this CPU (cpuid probe, cached).
+Level DetectedLevel();
+
+/// The tier kernels currently dispatch to: DetectedLevel() clamped by
+/// MCSM_SIMD_LEVEL and SetActiveLevelForTesting. Cheap (one relaxed load).
+Level ActiveLevel();
+
+/// Forces dispatch to `level` (clamped to DetectedLevel()) — differential
+/// tests pin the scalar path and diff it against the vector paths. Not for
+/// production use; racy only in the benign "next call re-reads" sense.
+void SetActiveLevelForTesting(Level level);
+
+/// Multiplier of the 32-bit multiply-shift gram hash (2^32 / golden ratio,
+/// odd). Shared with QGramDictionary so scalar probes agree with HashBatch32.
+inline constexpr uint32_t kHashMult = 0x9E3779B1u;
+
+/// out[i] = table[s[i] | s[i+1] << 8] for the |s|-1 bigram windows of `s`.
+/// `table` has 65536 entries (the direct-address bigram dictionary).
+/// AVX2 path: 8 windows per iteration via widening loads + a 256-bit gather.
+void LookupGrams2(std::string_view s, const uint32_t* table, uint32_t* out);
+
+/// out[i] = (packed[i] * kHashMult) >> shift — the open-addressing bucket of
+/// each packed q-gram (q = 3..4). `shift` is 32 - log2(table capacity).
+/// AVX2 path: 8 hashes per iteration.
+void HashBatch32(const uint32_t* packed, size_t n, uint32_t shift,
+                 uint32_t* out);
+
+/// Decodes one posting block's row ids: out_rows[0] = base and
+/// out_rows[i] = out_rows[i-1] + delta[i-1], where the `count-1` deltas are
+/// stored little-endian in `bytes`, `width` (1, 2 or 4) bytes each.
+/// SSE4.2 path: widening loads + 4-lane prefix sums.
+/// `bytes` must hold (count-1)*width readable bytes (the caller bounds-checks
+/// — DecodePostingBlock in relational/postings.h is the validated entry).
+void DeltaDecode(uint32_t base, const uint8_t* bytes, size_t count,
+                 uint32_t width, uint32_t* out_rows);
+
+/// Widens `count` little-endian unsigned values of `width` (1, 2 or 4) bytes
+/// to uint32 (the tf stream of a posting block).
+void WidenU32(const uint8_t* bytes, size_t count, uint32_t width,
+              uint32_t* out);
+
+/// out[i] = key_weight * (double(tf[i]) * idf) — the per-posting tf-idf
+/// contribution of the rarest-first accumulator (paper Eq. 4 terms).
+/// AVX2 path: 4 doubles per iteration, same two multiplies per lane as the
+/// scalar expression (bit-identical, no reassociation).
+void TfContributions(double key_weight, double idf, const uint32_t* tf,
+                     size_t count, double* out);
+
+}  // namespace mcsm::text::simd
+
+#endif  // MCSM_TEXT_SIMD_H_

@@ -19,6 +19,7 @@ TfIdfModel::TfIdfModel(const std::vector<std::string>& corpus, size_t q)
       if (i == 0 || ids[i] != ids[i - 1]) df_[ids[i]]++;
     }
   }
+  dict->Freeze();
   dict_ = std::move(dict);
   ComputeIdf();
 }
@@ -34,6 +35,7 @@ TfIdfModel::TfIdfModel(
     if (df_.size() <= id) df_.resize(id + 1, 0);
     df_[id] = df;
   }
+  dict->Freeze();
   dict_ = std::move(dict);
   ComputeIdf();
 }

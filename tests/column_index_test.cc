@@ -51,12 +51,11 @@ TEST(ColumnIndexTest, DocumentFrequencyCountsRows) {
 TEST(ColumnIndexTest, PostingsCarryTermFrequency) {
   Table t = MakeTable({"banana", "fig"});
   ColumnIndex idx(t, 0, WithPostings());
-  const auto* plist = idx.postings("an");
-  ASSERT_NE(plist, nullptr);
-  ASSERT_EQ(plist->size(), 1u);
-  EXPECT_EQ((*plist)[0].row, 0u);
-  EXPECT_EQ((*plist)[0].tf, 2u);
-  EXPECT_EQ(idx.postings("zz"), nullptr);
+  const std::vector<ColumnIndex::Posting> plist = idx.DecodedPostings("an");
+  ASSERT_EQ(plist.size(), 1u);
+  EXPECT_EQ(plist[0].row, 0u);
+  EXPECT_EQ(plist[0].tf, 2u);
+  EXPECT_TRUE(idx.DecodedPostings("zz").empty());
 }
 
 TEST(ColumnIndexTest, TotalQGramHitsSumsDf) {

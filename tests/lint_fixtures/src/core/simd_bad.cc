@@ -1,0 +1,18 @@
+// SI001 fixture: intrinsics headers are banned outside src/text/simd.cc —
+// algorithmic code calls the runtime-dispatched kernels via text/simd.h.
+#include <immintrin.h>  // expect: SI001
+#include <emmintrin.h>  // expect: SI001
+#include <smmintrin.h>  // expect: SI001
+#include <x86intrin.h>  // expect: SI001
+#include "immintrin.h"  // expect: SI001
+
+// A deliberate, suppressed escape hatch stays silent.
+#include <nmmintrin.h>  // lint: allow(SI001)
+
+// Mentions in comments or strings must not fire: immintrin.h, and the
+// legitimate funnel include spelled as text: #include <immintrin.h>.
+#include "text/simd.h"
+
+const char* kDoc = "#include <immintrin.h> belongs in text/simd.cc only";
+
+int SimdFixture() { return kDoc != nullptr ? 1 : 0; }

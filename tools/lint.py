@@ -42,6 +42,11 @@ LK001 additionally requires a rationale: `// lint: allow(LK001): <why>`):
   MO001  every non-seq_cst std::memory_order argument needs an adjacent
          `// ordering:` comment (within the preceding few lines) saying why
          the weaker order is sound. Keeps relaxed/acquire/release use audited.
+  SI001  intrinsics headers (immintrin.h and friends) may be included from
+         src/text/simd.cc only — the one SIMD funnel with runtime dispatch
+         and scalar fallback. Everything else calls the kernels through
+         text/simd.h, so instruction-set concerns (and the bit-identical
+         determinism contract) stay in one audited file.
 
 Usage: tools/lint.py [--root DIR] [paths...]   (default: src/)
 Exit status: 0 clean, 1 findings, 2 usage error.
@@ -79,6 +84,10 @@ DETERMINISTIC_DIRS = ("src/core/", "src/text/", "src/relational/")
 # wraps them in the annotated capability types everything else must use.
 SYNC_WRAPPER_FILE = "src/common/annotations.h"
 
+# The one file allowed to include intrinsics headers (rule SI001): the SIMD
+# dispatch funnel. Everything else goes through text/simd.h.
+SIMD_FUNNEL_FILE = "src/text/simd.cc"
+
 ASSERT_RE = re.compile(r"(?<![\w.])assert\s*\(")
 VALUE_CALL_RE = re.compile(r"\.\s*value\s*\(\s*\)")
 SUBSTR_RE = re.compile(r"\.\s*substr\s*\(")
@@ -111,6 +120,13 @@ MEMORY_ORDER_RE = re.compile(
     r"\bmemory_order(?:::|_)(?:relaxed|acquire|release|acq_rel|consume)\b")
 ORDERING_COMMENT_RE = re.compile(r"//.*ordering:")
 MEMORY_ORDER_LOOKBACK = 6
+# x86 intrinsics headers: the umbrella immintrin/x86intrin, the per-ISA
+# *mmintrin family (xmmintrin, emmintrin, smmintrin, nmmintrin, ...), and
+# avx*intrin. Matched on the RAW line: quoted includes are blanked by
+# strip_code, and angle-bracket includes must be caught either way.
+INTRINSICS_INCLUDE_RE = re.compile(
+    r'^\s*#\s*include\s*[<"](?:[a-z]+mmintrin|immintrin|x86intrin'
+    r'|x86gprintrin|avx[a-z0-9]*intrin)\.h[>"]')
 
 RAW_STRING_PREFIX_RE = re.compile(r'(?:u8|[uUL])?R$')
 
@@ -252,6 +268,7 @@ def lint_file(root: Path, path: Path) -> list[Finding]:
     check_substr = rel in SAFE_SUBSTR_FILES
     deterministic = rel.startswith(DETERMINISTIC_DIRS)
     sync_wrapper = rel == SYNC_WRAPPER_FILE
+    simd_funnel = rel == SIMD_FUNNEL_FILE
 
     for i, raw in enumerate(lines, start=1):
         cl = code[i - 1]
@@ -333,6 +350,15 @@ def lint_file(root: Path, path: Path) -> list[Finding]:
                             "detached or raw-owned thread; use ThreadPool or "
                             "a joined std::thread member (detach makes "
                             "shutdown racy, new std::thread leaks ownership)"))
+
+        # SI001 — intrinsics headers only in the SIMD funnel.
+        if not simd_funnel and INTRINSICS_INCLUDE_RE.search(raw):
+            if not suppressed(raw, "SI001"):
+                findings.append(
+                    Finding(rel, i, "SI001",
+                            "intrinsics header outside src/text/simd.cc; "
+                            "call the dispatched kernels in text/simd.h "
+                            "instead of spelling instruction sets here"))
 
         # MO001 — non-seq_cst memory orders need an adjacent rationale.
         if MEMORY_ORDER_RE.search(cl):
