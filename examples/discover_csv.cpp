@@ -3,7 +3,7 @@
 //   discover_csv <source.csv> <target.csv> <target-column>
 //                [--separators] [--fraction F] [--all]
 //                [--permissive] [--deadline-ms N]
-//                [--trace FILE] [--explain]
+//                [--trace FILE] [--explain] [--emit-program FILE]
 //
 // Loads two CSV files (header row = column names, all columns TEXT), runs
 // the multi-column substring search and prints the discovered translation
@@ -18,8 +18,11 @@
 // instead of dying with nothing. --trace FILE writes one JSON trace event
 // per line (JSONL) describing every scoring/voting/refinement decision;
 // --explain prints a human-readable "why this formula won" report after the
-// run. Both may be combined. Without arguments, writes a small demo pair of
-// CSV files and runs on those.
+// run. Both may be combined. --emit-program FILE compiles the discovered
+// formula to VM bytecode (DESIGN.md §12), writes the wire form to FILE for
+// later replay by `translate_csv --program FILE`, and prints the disassembly
+// to stderr. Without arguments, writes a small demo pair of CSV files and
+// runs on those.
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -33,6 +36,7 @@
 #include "core/rule_merger.h"
 #include "datagen/datasets.h"
 #include "relational/csv.h"
+#include "vm/compiler.h"
 
 using namespace mcsm;
 
@@ -80,7 +84,7 @@ int RealMain(int argc, const char** argv) {
                  "usage: %s <source.csv> <target.csv> <target-column> "
                  "[--separators] [--fraction F] [--all] "
                  "[--permissive] [--deadline-ms N] "
-                 "[--trace FILE] [--explain]\n",
+                 "[--trace FILE] [--explain] [--emit-program FILE]\n",
                  argv[0]);
     return 2;
   }
@@ -90,6 +94,7 @@ int RealMain(int argc, const char** argv) {
   bool all = false;
   bool explain = false;
   const char* trace_path = nullptr;
+  const char* emit_program_path = nullptr;
   // The deadline goes into a local BudgetLimits (not options.env.budget):
   // it feeds the shared RunBudget below, and Env::Validate rejects setting
   // both a shared budget and per-search limits.
@@ -109,6 +114,8 @@ int RealMain(int argc, const char** argv) {
       trace_path = argv[++i];
     } else if (std::strcmp(argv[i], "--explain") == 0) {
       explain = true;
+    } else if (std::strcmp(argv[i], "--emit-program") == 0 && i + 1 < argc) {
+      emit_program_path = argv[++i];
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
       return 2;
@@ -184,6 +191,30 @@ int RealMain(int argc, const char** argv) {
                             .c_str());
   };
 
+  // --emit-program: compile the formula to VM bytecode, write the wire form
+  // for `translate_csv --program`, and show the disassembly on stderr.
+  auto emit_program = [&](const core::TranslationFormula& formula) -> Status {
+    if (emit_program_path == nullptr) return Status::OK();
+    auto program = vm::CompileFormula(formula, source->schema());
+    if (!program.ok()) return program.status();
+    const std::string wire = program->Serialize();
+    std::FILE* f = std::fopen(emit_program_path, "wb");
+    if (f == nullptr) {
+      return Status::Internal(std::string("cannot write ") +
+                              emit_program_path);
+    }
+    const size_t written = std::fwrite(wire.data(), 1, wire.size(), f);
+    std::fclose(f);
+    if (written != wire.size()) {
+      return Status::Internal(std::string("short write to ") +
+                              emit_program_path);
+    }
+    std::printf("program : %zu wire bytes -> %s\n", wire.size(),
+                emit_program_path);
+    std::fprintf(stderr, "%s", program->Disassemble().c_str());
+    return Status::OK();
+  };
+
   if (!all) {
     auto d = core::DiscoverTranslation(*source, *target, *column, options,
                                        sql_options);
@@ -197,6 +228,8 @@ int RealMain(int argc, const char** argv) {
     std::printf("coverage: %zu / %zu rows\n", d->coverage.matched_rows(),
                 target->num_rows());
     std::printf("sql     : %s\n", d->sql.c_str());
+    Status emitted = emit_program(d->formula());
+    if (!emitted.ok()) return Fail(emitted);
     print_explain();
     return 0;
   }
@@ -214,6 +247,15 @@ int RealMain(int argc, const char** argv) {
     std::printf("  sql: %s\n", d.sql.c_str());
     if (d.truncated()) continue;  // partial formula: not mergeable
     formulas.push_back(d.formula());
+  }
+  if (emit_program_path != nullptr) {
+    if (formulas.empty()) {
+      std::fprintf(stderr,
+                   "error: --emit-program: no complete formula discovered\n");
+      return 1;
+    }
+    Status emitted = emit_program(formulas.front());  // the dominant formula
+    if (!emitted.ok()) return Fail(emitted);
   }
   if (formulas.size() > 1) {
     for (const auto& rule : core::MergeRules(formulas)) {

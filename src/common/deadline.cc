@@ -16,6 +16,8 @@ const char* BudgetTripName(BudgetTrip trip) {
       return "formulas";
     case BudgetTrip::kCancelled:
       return "cancelled";
+    case BudgetTrip::kRows:
+      return "rows";
   }
   return "unknown";
 }
@@ -88,6 +90,18 @@ bool RunBudget::ChargeFormulas(uint64_t n) {
   if (limits_.max_candidate_formulas != 0 &&
       total > limits_.max_candidate_formulas) {
     TripOnce(BudgetTrip::kFormulas);
+    return false;
+  }
+  return true;
+}
+
+bool RunBudget::ChargeRows(uint64_t n) {
+  // ordering: relaxed — accumulation only, see ChargePostings.
+  const uint64_t total =
+      rows_translated_.fetch_add(n, std::memory_order_relaxed) + n;
+  if (!CheckDeadline()) return false;
+  if (limits_.max_rows_translated != 0 && total > limits_.max_rows_translated) {
+    TripOnce(BudgetTrip::kRows);
     return false;
   }
   return true;

@@ -15,6 +15,7 @@ enum class BudgetTrip : uint8_t {
   kPairs,       ///< pair-alignment cap reached (recipes built)
   kFormulas,    ///< candidate-formula cap reached
   kCancelled,   ///< RunBudget::Cancel() called (job cancellation, Ctrl-C)
+  kRows,        ///< translated-row cap reached (bulk translation, vm/)
 };
 
 /// Human-readable axis name ("wall-clock", "postings", ...).
@@ -39,10 +40,14 @@ struct BudgetLimits {
   uint64_t max_pairs_aligned = 0;
   /// Cap on candidate formulas generated (0 = unlimited).
   uint64_t max_candidate_formulas = 0;
+  /// Cap on rows translated by the bulk-translation VM (0 = unlimited).
+  /// Unused by discovery; the translate path in src/vm charges it per batch.
+  uint64_t max_rows_translated = 0;
 
   bool unlimited() const {
     return wall_ms == 0 && max_postings_scanned == 0 &&
-           max_pairs_aligned == 0 && max_candidate_formulas == 0;
+           max_pairs_aligned == 0 && max_candidate_formulas == 0 &&
+           max_rows_translated == 0;
   }
 };
 
@@ -85,6 +90,8 @@ class RunBudget {
   bool ChargePairs(uint64_t n = 1);
   /// Charges `n` candidate formulas; returns true while within budget.
   bool ChargeFormulas(uint64_t n = 1);
+  /// Charges `n` translated rows; returns true while within budget.
+  bool ChargeRows(uint64_t n);
 
   /// True once any axis has tripped. Checks the wall clock (cheap: one
   /// steady_clock read when a deadline is set), so it is safe in loop heads.
@@ -113,6 +120,10 @@ class RunBudget {
     // ordering: relaxed — monotonic counter read (reporting only).
     return candidate_formulas_.load(std::memory_order_relaxed);
   }
+  uint64_t rows_translated() const {
+    // ordering: relaxed — monotonic counter read (reporting only).
+    return rows_translated_.load(std::memory_order_relaxed);
+  }
   const BudgetLimits& limits() const { return limits_; }
 
  private:
@@ -128,6 +139,7 @@ class RunBudget {
   std::atomic<uint64_t> postings_scanned_{0};
   std::atomic<uint64_t> pairs_aligned_{0};
   std::atomic<uint64_t> candidate_formulas_{0};
+  std::atomic<uint64_t> rows_translated_{0};
 };
 
 /// \brief Steady-clock stopwatch for diagnostic timings (per-phase seconds

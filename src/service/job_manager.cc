@@ -7,6 +7,8 @@
 #include "common/failpoint.h"
 #include "common/string_util.h"
 #include "core/explain.h"
+#include "vm/compiler.h"
+#include "vm/executor.h"
 
 namespace mcsm::service {
 
@@ -26,6 +28,16 @@ void TightenLimits(BudgetLimits* limits, const BudgetLimits& cap) {
 }
 
 }  // namespace
+
+const char* JobModeName(JobMode mode) {
+  switch (mode) {
+    case JobMode::kDiscover:
+      return "discover";
+    case JobMode::kTranslate:
+      return "translate";
+  }
+  return "unknown";
+}
 
 const char* JobStateName(JobState state) {
   switch (state) {
@@ -53,22 +65,43 @@ JobManager::JobManager(const TableRegistry* registry, IndexCache* cache,
 JobManager::~JobManager() { Drain(); }
 
 Result<uint64_t> JobManager::Submit(JobRequest request) {
+  if (request.mode == JobMode::kDiscover && !request.program_wire.empty()) {
+    return Status::InvalidArgument(
+        "'program' is only valid with \"mode\": \"translate\"");
+  }
   TableEntry source = registry_->Find(request.source_table);
   if (source.table == nullptr) {
     return Status::NotFound(
         StrFormat("source table '%s' is not registered",
                   request.source_table.c_str()));
   }
-  TableEntry target = registry_->Find(request.target_table);
-  if (target.table == nullptr) {
-    return Status::NotFound(
-        StrFormat("target table '%s' is not registered",
-                  request.target_table.c_str()));
-  }
-  if (request.target_column >= target.table->num_columns()) {
-    return Status::InvalidArgument(
-        StrFormat("target column %zu out of range (table has %zu columns)",
-                  request.target_column, target.table->num_columns()));
+  // Translate-with-program skips discovery, so it needs no target table at
+  // all; decode the program up front so a malformed wire form is a 400 at
+  // submit, not a failed job later.
+  const bool translate_with_program =
+      request.mode == JobMode::kTranslate && !request.program_wire.empty();
+  TableEntry target;
+  if (translate_with_program) {
+    auto program = vm::Program::Deserialize(request.program_wire);
+    if (!program.ok()) return program.status();
+    if (program->min_columns() > source.table->num_columns()) {
+      return Status::InvalidArgument(
+          StrFormat("program needs %u source columns, table '%s' has %zu",
+                    program->min_columns(), request.source_table.c_str(),
+                    source.table->num_columns()));
+    }
+  } else {
+    target = registry_->Find(request.target_table);
+    if (target.table == nullptr) {
+      return Status::NotFound(
+          StrFormat("target table '%s' is not registered",
+                    request.target_table.c_str()));
+    }
+    if (request.target_column >= target.table->num_columns()) {
+      return Status::InvalidArgument(
+          StrFormat("target column %zu out of range (table has %zu columns)",
+                    request.target_column, target.table->num_columns()));
+    }
   }
   if (request.deadline_ms < 0) {
     return Status::InvalidArgument("deadline_ms must be >= 0");
@@ -79,6 +112,7 @@ Result<uint64_t> JobManager::Submit(JobRequest request) {
   // request can only fail on its algorithm knobs.
   MCSM_RETURN_IF_ERROR(request.options.Validate());
 
+  const JobMode mode = request.mode;
   uint64_t id = 0;
   {
     MutexLock lock(mu_);
@@ -118,6 +152,10 @@ Result<uint64_t> JobManager::Submit(JobRequest request) {
   }
   // ordering: relaxed — monotonic metrics counter.
   submitted_.fetch_add(1, std::memory_order_relaxed);
+  if (mode == JobMode::kTranslate) {
+    // ordering: relaxed — monotonic metrics counter.
+    translate_jobs_.fetch_add(1, std::memory_order_relaxed);
+  }
   pool_.Submit([this, id] { RunJob(id); });
   return id;
 }
@@ -216,6 +254,7 @@ JobSnapshot JobManager::SnapshotLocked(const Job& job) const {
   JobSnapshot snapshot;
   snapshot.id = job.id;
   snapshot.state = job.state;
+  snapshot.mode = job.request.mode;
   snapshot.source_table = job.request.source_table;
   snapshot.target_table = job.request.target_table;
   snapshot.target_column = job.request.target_column;
@@ -264,6 +303,8 @@ void JobManager::RunJob(uint64_t id) {
   std::shared_ptr<const relational::Table> target_table;
   core::SearchOptions options;
   size_t target_column = 0;
+  JobMode mode = JobMode::kDiscover;
+  std::string program_wire;
   RunBudget* budget = nullptr;
   // Local ref keeps the sink alive for the whole run even if the job entry
   // is evicted concurrently.
@@ -295,6 +336,8 @@ void JobManager::RunJob(uint64_t id) {
     target_fp = job->target.fingerprint;
     options = job->request.options;
     target_column = job->request.target_column;
+    mode = job->request.mode;
+    program_wire = job->request.program_wire;
   }
 
   const auto started = std::chrono::steady_clock::now();
@@ -337,46 +380,121 @@ void JobManager::RunJob(uint64_t id) {
     return;
   }
 
-  options.env.shared_budget = budget;
-  options.env.trace = trace_sink.get();
-  relational::ColumnIndex::Options target_index_options;
-  target_index_options.q = options.q;
-  target_index_options.build_postings = true;
-  options.env.target_index = cache_->GetOrBuild(target_table, target_fp,
-                                                target_column,
-                                                target_index_options);
-  options.env.source_index_provider =
-      [this, source_table, source_fp,
-       q = options.q](size_t column)
-      -> std::shared_ptr<const relational::ColumnIndex> {
-    relational::ColumnIndex::Options source_index_options;
-    source_index_options.q = q;
-    source_index_options.build_postings = false;
-    return cache_->GetOrBuild(source_table, source_fp, column,
-                              source_index_options);
-  };
+  // Translate-with-program jobs replay a saved program and skip discovery
+  // entirely; everything else discovers first.
+  vm::Program program;
+  std::string formula_text;
+  std::string sql_text;
+  size_t matched_rows = 0;
+  if (mode == JobMode::kTranslate && !program_wire.empty()) {
+    auto decoded = vm::Program::Deserialize(program_wire);
+    if (!decoded.ok()) {  // validated at Submit; a failure here is hostile
+      seal([&](JobSnapshot* r) { r->error = decoded.status().message(); },
+           JobState::kFailed);
+      return;
+    }
+    program = std::move(decoded.value());
+  } else {
+    options.env.shared_budget = budget;
+    options.env.trace = trace_sink.get();
+    relational::ColumnIndex::Options target_index_options;
+    target_index_options.q = options.q;
+    target_index_options.build_postings = true;
+    options.env.target_index = cache_->GetOrBuild(target_table, target_fp,
+                                                  target_column,
+                                                  target_index_options);
+    options.env.source_index_provider =
+        [this, source_table, source_fp,
+         q = options.q](size_t column)
+        -> std::shared_ptr<const relational::ColumnIndex> {
+      relational::ColumnIndex::Options source_index_options;
+      source_index_options.q = q;
+      source_index_options.build_postings = false;
+      return cache_->GetOrBuild(source_table, source_fp, column,
+                                source_index_options);
+    };
 
-  auto discovered = core::DiscoverTranslation(*source_table, *target_table,
-                                              target_column, options);
-  if (!discovered.ok()) {
-    seal([&](JobSnapshot* r) { r->error = discovered.status().message(); },
+    auto discovered = core::DiscoverTranslation(*source_table, *target_table,
+                                                target_column, options);
+    if (!discovered.ok()) {
+      seal([&](JobSnapshot* r) { r->error = discovered.status().message(); },
+           JobState::kFailed);
+      return;
+    }
+    const core::DiscoveredTranslation& translation = discovered.value();
+    const bool was_cancelled =
+        translation.truncated() &&
+        translation.search.budget_trip == BudgetTrip::kCancelled;
+    if (mode == JobMode::kDiscover) {
+      seal(
+          [&](JobSnapshot* r) {
+            r->formula =
+                translation.formula().ToString(source_table->schema());
+            r->sql = translation.sql;
+            r->matched_rows = translation.coverage.matched_rows();
+            r->truncated = translation.truncated();
+            if (translation.truncated()) {
+              r->budget_trip = BudgetTripName(translation.search.budget_trip);
+            }
+          },
+          was_cancelled ? JobState::kCancelled : JobState::kDone);
+      return;
+    }
+    formula_text = translation.formula().ToString(source_table->schema());
+    sql_text = translation.sql;
+    matched_rows = translation.coverage.matched_rows();
+    if (was_cancelled) {
+      // Cancelled mid-discovery: no rows were translated.
+      seal(
+          [&](JobSnapshot* r) {
+            r->formula = formula_text;
+            r->truncated = true;
+            r->budget_trip = BudgetTripName(BudgetTrip::kCancelled);
+          },
+          JobState::kCancelled);
+      return;
+    }
+    auto compiled =
+        vm::CompileFormula(translation.formula(), source_table->schema());
+    if (!compiled.ok()) {
+      // E.g. the deadline tripped before discovery completed the formula —
+      // there is nothing runnable to translate with.
+      seal([&](JobSnapshot* r) { r->error = compiled.status().message(); },
+           JobState::kFailed);
+      return;
+    }
+    program = std::move(compiled.value());
+  }
+
+  // Bulk translation: charges the same per-job budget (rows + remaining
+  // deadline), so cancel/deadline semantics match discovery jobs.
+  vm::TranslateOptions translate_options;
+  translate_options.num_threads = options.num_threads;
+  translate_options.budget = budget;
+  auto translated = vm::Translate(program, *source_table, translate_options);
+  if (!translated.ok()) {
+    seal([&](JobSnapshot* r) { r->error = translated.status().message(); },
          JobState::kFailed);
     return;
   }
-  const core::DiscoveredTranslation& translation = discovered.value();
+  const vm::TranslateResult& result = translated.value();
+  // ordering: relaxed — monotonic metrics counter (mcsm_translate_rows_total).
+  translate_rows_.fetch_add(result.output_rows(), std::memory_order_relaxed);
   const bool was_cancelled =
-      translation.truncated() &&
-      translation.search.budget_trip == BudgetTrip::kCancelled;
+      result.truncated && result.budget_trip == BudgetTrip::kCancelled;
   seal(
       [&](JobSnapshot* r) {
-        r->formula =
-            translation.formula().ToString(source_table->schema());
-        r->sql = translation.sql;
-        r->matched_rows = translation.coverage.matched_rows();
-        r->truncated = translation.truncated();
-        if (translation.truncated()) {
-          r->budget_trip = BudgetTripName(translation.search.budget_trip);
+        r->formula = formula_text;
+        r->sql = sql_text;
+        r->matched_rows = matched_rows;
+        r->rows_in = result.rows_processed;
+        r->rows_translated = result.output_rows();
+        r->truncated = result.truncated;
+        if (result.truncated) {
+          r->budget_trip = BudgetTripName(result.budget_trip);
         }
+        r->program = program.Disassemble();
+        r->program_wire_hex = vm::BytesToHex(program.Serialize());
       },
       was_cancelled ? JobState::kCancelled : JobState::kDone);
 }

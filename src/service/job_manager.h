@@ -33,14 +33,30 @@ enum class JobState : uint8_t {
 
 const char* JobStateName(JobState state);
 
+/// What a job does: discover a translation formula (the default), or bulk-
+/// translate the source table with the formula bytecode VM (DESIGN.md §12) —
+/// discovering first, or replaying a client-supplied wire program.
+enum class JobMode : uint8_t {
+  kDiscover,
+  kTranslate,
+};
+
+const char* JobModeName(JobMode mode);
+
 /// What a client submits: which registered tables to match and how long the
 /// run may take. `options` carries the search knobs; its budget/shared_budget
 /// fields are overwritten by the manager (deadline_ms is the one public
 /// latency control).
 struct JobRequest {
+  JobMode mode = JobMode::kDiscover;
   std::string source_table;
   std::string target_table;
   size_t target_column = 0;
+  /// Translate mode only: raw wire bytes of a saved vm::Program (the HTTP
+  /// layer decodes the hex `program` field into this). When empty, the job
+  /// discovers a formula first and compiles it; when set, target_table /
+  /// target_column are not needed and discovery is skipped entirely.
+  std::string program_wire;
   /// Wall-clock execution budget in milliseconds, mapped onto RunBudget
   /// (0 = unlimited). Measured from the moment the job starts RUNNING, so a
   /// queued job does not burn its budget waiting for a worker.
@@ -66,6 +82,7 @@ struct JobRequest {
 struct JobSnapshot {
   uint64_t id = 0;
   JobState state = JobState::kQueued;
+  JobMode mode = JobMode::kDiscover;
   std::string source_table;
   std::string target_table;
   size_t target_column = 0;
@@ -84,6 +101,14 @@ struct JobSnapshot {
   bool traced = false;
   /// The "why this formula won" decision log (terminal traced jobs only).
   std::string explain;
+  /// Translate-mode jobs (valid in kDone/kCancelled): source rows executed
+  /// (the processed prefix when truncated) and covered rows produced.
+  size_t rows_in = 0;
+  size_t rows_translated = 0;
+  /// Translate-mode jobs: the program that ran — human-readable disassembly
+  /// plus the hex wire form a client can save and replay.
+  std::string program;
+  std::string program_wire_hex;
 };
 
 /// \brief Async discovery-job manager: a bounded queue in front of a
@@ -175,6 +200,8 @@ class JobManager {
   uint64_t traced() const { return Counter(traced_); }
   uint64_t trace_events() const { return Counter(trace_events_); }
   uint64_t trace_spans() const { return Counter(trace_spans_); }
+  uint64_t translate_jobs() const { return Counter(translate_jobs_); }
+  uint64_t translate_rows() const { return Counter(translate_rows_); }
 
  private:
   struct Job {
@@ -234,6 +261,8 @@ class JobManager {
   std::atomic<uint64_t> traced_{0};
   std::atomic<uint64_t> trace_events_{0};
   std::atomic<uint64_t> trace_spans_{0};
+  std::atomic<uint64_t> translate_jobs_{0};
+  std::atomic<uint64_t> translate_rows_{0};
 
   // Declared last: its destructor drains the task queue while the fields
   // above are still alive for the running tasks.

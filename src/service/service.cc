@@ -7,6 +7,7 @@
 
 #include "common/string_util.h"
 #include "service/json.h"
+#include "vm/program.h"
 
 namespace mcsm::service {
 
@@ -60,6 +61,7 @@ Json JobSnapshotJson(const JobSnapshot& snapshot) {
   Json out = Json::Object();
   out.Set("id", Json::Number(static_cast<double>(snapshot.id)));
   out.Set("state", Json::Str(JobStateName(snapshot.state)));
+  out.Set("mode", Json::Str(JobModeName(snapshot.mode)));
   out.Set("source_table", Json::Str(snapshot.source_table));
   out.Set("target_table", Json::Str(snapshot.target_table));
   out.Set("target_column",
@@ -73,6 +75,14 @@ Json JobSnapshotJson(const JobSnapshot& snapshot) {
     out.Set("truncated", Json::Bool(snapshot.truncated));
     if (snapshot.truncated) {
       out.Set("budget_trip", Json::Str(snapshot.budget_trip));
+    }
+    if (snapshot.mode == JobMode::kTranslate) {
+      out.Set("rows_in",
+              Json::Number(static_cast<double>(snapshot.rows_in)));
+      out.Set("rows_translated",
+              Json::Number(static_cast<double>(snapshot.rows_translated)));
+      out.Set("program", Json::Str(snapshot.program));
+      out.Set("program_wire", Json::Str(snapshot.program_wire_hex));
     }
   }
   if (snapshot.degraded) {
@@ -282,25 +292,49 @@ HttpResponse DiscoveryService::HandlePostJobs(const HttpRequest& request) {
   if (!body.is_object()) {
     return ErrorResponse(400, "request body must be a JSON object");
   }
+  JobRequest job;
+  if (const Json* mode = body.Find("mode")) {
+    const std::string mode_name = mode->AsString("");
+    if (mode_name == "translate") {
+      job.mode = JobMode::kTranslate;
+    } else if (mode_name != "discover") {
+      return ErrorResponse(400,
+                           "'mode' must be \"discover\" or \"translate\"");
+    }
+  }
+  if (const Json* program = body.Find("program")) {
+    if (!program->is_string()) {
+      return ErrorResponse(400, "'program' must be a hex string");
+    }
+    auto wire = vm::HexToBytes(program->AsString(""));
+    if (!wire.ok()) return StatusResponse(wire.status());
+    job.program_wire = std::move(wire.value());
+  }
   const Json* source = body.Find("source_table");
   const Json* target = body.Find("target_table");
   const Json* column = body.Find("target_column");
-  if (source == nullptr || !source->is_string() || target == nullptr ||
-      !target->is_string() || column == nullptr) {
+  // A translate job replaying a saved program needs no target at all;
+  // everything else discovers and therefore needs the full triple.
+  const bool needs_target =
+      !(job.mode == JobMode::kTranslate && !job.program_wire.empty());
+  if (source == nullptr || !source->is_string() ||
+      (needs_target &&
+       (target == nullptr || !target->is_string() || column == nullptr))) {
     return ErrorResponse(
         400, "'source_table', 'target_table' and 'target_column' are required");
   }
-  JobRequest job;
   job.source_table = source->AsString("");
-  job.target_table = target->AsString("");
-  double column_number = column->AsNumber(-1);
-  if (column_number < 0 || column_number > 1e9 ||
-      column_number != static_cast<double>(
-                           static_cast<uint64_t>(column_number))) {
-    return ErrorResponse(400,
-                         "'target_column' must be a non-negative integer");
+  if (target != nullptr) job.target_table = target->AsString("");
+  if (column != nullptr) {
+    double column_number = column->AsNumber(-1);
+    if (column_number < 0 || column_number > 1e9 ||
+        column_number != static_cast<double>(
+                             static_cast<uint64_t>(column_number))) {
+      return ErrorResponse(400,
+                           "'target_column' must be a non-negative integer");
+    }
+    job.target_column = static_cast<size_t>(column_number);
   }
-  job.target_column = static_cast<size_t>(column_number);
   if (const Json* deadline = body.Find("deadline_ms")) {
     double ms = deadline->AsNumber(-1);
     if (ms < 0 || ms > 1e12) {
@@ -436,6 +470,8 @@ std::string DiscoveryService::RenderMetrics() const {
   counter("mcsm_jobs_failed", jobs_.failed());
   counter("mcsm_jobs_cancelled", jobs_.cancelled());
   counter("mcsm_jobs_traced", jobs_.traced());
+  counter("mcsm_translate_jobs_total", jobs_.translate_jobs());
+  counter("mcsm_translate_rows_total", jobs_.translate_rows());
   counter("mcsm_trace_events_total", jobs_.trace_events());
   counter("mcsm_trace_spans_total", jobs_.trace_spans());
   tables_latency_.Render("mcsm_http_tables", &out);

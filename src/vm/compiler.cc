@@ -1,0 +1,107 @@
+#include "vm/compiler.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace mcsm::vm {
+
+using core::Region;
+using core::TranslationFormula;
+
+Result<Program> CompileFormula(const TranslationFormula& formula,
+                               const relational::Schema& schema) {
+  if (!formula.IsComplete()) {
+    return Status::InvalidArgument(
+        "cannot compile a formula with unknown regions: " +
+        formula.ToString(schema));
+  }
+  if (formula.empty()) {
+    return Status::InvalidArgument("cannot compile an empty formula");
+  }
+
+  // Pass 1: allocate one register per referenced column (first-reference
+  // order, so codegen is deterministic) and fold every span's length
+  // requirement into the register's single hoisted guard.
+  std::vector<size_t> reg_columns;          // register -> source column
+  std::vector<uint32_t> reg_min_len;        // register -> hoisted guard
+  const auto register_for = [&](size_t column) {
+    for (size_t r = 0; r < reg_columns.size(); ++r) {
+      if (reg_columns[r] == column) return r;
+    }
+    reg_columns.push_back(column);
+    reg_min_len.push_back(0);
+    return reg_columns.size() - 1;
+  };
+  for (const Region& r : formula.regions()) {
+    if (r.kind != Region::Kind::kColumnSpan) continue;
+    if (r.column >= schema.num_columns()) {
+      return Status::OutOfRange(
+          StrFormat("formula references column %zu beyond schema (%zu)",
+                    r.column, schema.num_columns()));
+    }
+    // The Region contract is 1-based positions with start <= end; a formula
+    // violating it never comes out of discovery, but compile is also fed
+    // deserialized/fuzzed formulas, so reject instead of underflowing.
+    if (r.start == 0 || (!r.to_end && r.end < r.start)) {
+      return Status::InvalidArgument(
+          StrFormat("span with invalid range [%zu-%zu]", r.start, r.end));
+    }
+    const size_t need = r.to_end ? r.start : r.end;
+    if (need > UINT32_MAX) {
+      return Status::InvalidArgument("span position exceeds u32 range");
+    }
+    const size_t reg = register_for(r.column);
+    reg_min_len[reg] =
+        std::max(reg_min_len[reg], static_cast<uint32_t>(need));
+  }
+  if (reg_columns.size() > Program::kMaxRegisters) {
+    return Status::InvalidArgument(
+        StrFormat("formula references %zu columns (vm limit %u)",
+                  reg_columns.size(), Program::kMaxRegisters));
+  }
+
+  // Pass 2: loads + guards up front, then the emit sequence, then ret.
+  Program program;
+  program.set_num_registers(static_cast<uint32_t>(reg_columns.size()));
+  program.set_min_columns(
+      reg_columns.empty()
+          ? 0
+          : static_cast<uint32_t>(
+                *std::max_element(reg_columns.begin(), reg_columns.end()) +
+                1));
+  for (size_t reg = 0; reg < reg_columns.size(); ++reg) {
+    program.Append({OpCode::kLoadCol, static_cast<uint32_t>(reg),
+                    static_cast<uint32_t>(reg_columns[reg]), 0});
+    if (reg_min_len[reg] > 0) {
+      program.Append({OpCode::kGuardLen, static_cast<uint32_t>(reg),
+                      reg_min_len[reg], 0});
+    }
+  }
+  for (const Region& r : formula.regions()) {
+    switch (r.kind) {
+      case Region::Kind::kLiteral:
+        if (!r.literal.empty()) program.AppendLiteral(r.literal);
+        break;
+      case Region::Kind::kColumnSpan: {
+        const auto reg = static_cast<uint32_t>(register_for(r.column));
+        const auto start0 = static_cast<uint32_t>(r.start - 1);
+        if (r.to_end) {
+          program.Append({OpCode::kEmitTail, reg, start0, 0});
+        } else {
+          program.Append({OpCode::kEmitSub, reg, start0,
+                          static_cast<uint32_t>(r.end - r.start + 1)});
+        }
+        break;
+      }
+      case Region::Kind::kUnknown:
+        return Status::Internal("unknown region survived IsComplete() check");
+    }
+  }
+  program.Append({OpCode::kRet, 0, 0, 0});
+  MCSM_RETURN_IF_ERROR(program.Validate());
+  return program;
+}
+
+}  // namespace mcsm::vm

@@ -102,6 +102,44 @@ HITS=$(echo "$BODY" | sed -n 's/^mcsm_index_cache_hits \([0-9]*\)$/\1/p')
 [ -n "$HITS" ] && [ "$HITS" -gt 0 ] || fail "expected cache hits > 0; metrics: $BODY"
 echo "cache hits: $HITS"
 
+# --- bulk-translate job: discover-then-translate, then replay by program ----
+http POST /v1/jobs '{"mode":"translate","source_table":"people","target_table":"logins","target_column":0,"deadline_ms":30000}'
+[ "$HTTP_STATUS" = 202 ] || fail "translate POST /v1/jobs -> $HTTP_STATUS: $BODY"
+TR_ID=$(echo "$BODY" | sed -n 's/.*"id":\([0-9]*\).*/\1/p')
+for _ in $(seq 1 100); do
+  http GET "/v1/jobs/$TR_ID"
+  echo "$BODY" | grep -q '"state":"done"' && break
+  echo "$BODY" | grep -q '"state":"failed"' && fail "translate job failed: $BODY"
+  sleep 0.1
+done
+echo "$BODY" | grep -q '"state":"done"' || fail "translate job never finished: $BODY"
+echo "$BODY" | grep -q '"mode":"translate"' || fail "no translate mode: $BODY"
+echo "$BODY" | grep -q '"rows_translated":6' \
+  || fail "expected 6 translated rows: $BODY"
+echo "$BODY" | grep -q '"program_wire":"' || fail "no program_wire: $BODY"
+PROGRAM_HEX=$(echo "$BODY" | sed -n 's/.*"program_wire":"\([0-9a-f]*\)".*/\1/p')
+[ -n "$PROGRAM_HEX" ] || fail "could not extract program hex: $BODY"
+# Replay the saved program without a target table (discovery skipped).
+http POST /v1/jobs "{\"mode\":\"translate\",\"source_table\":\"people\",\"program\":\"$PROGRAM_HEX\"}"
+[ "$HTTP_STATUS" = 202 ] || fail "replay POST /v1/jobs -> $HTTP_STATUS: $BODY"
+REPLAY_ID=$(echo "$BODY" | sed -n 's/.*"id":\([0-9]*\).*/\1/p')
+for _ in $(seq 1 100); do
+  http GET "/v1/jobs/$REPLAY_ID"
+  echo "$BODY" | grep -q '"state":"done"' && break
+  echo "$BODY" | grep -q '"state":"failed"' && fail "replay job failed: $BODY"
+  sleep 0.1
+done
+echo "$BODY" | grep -q '"rows_translated":6' \
+  || fail "replay expected 6 translated rows: $BODY"
+# A corrupt program is a 400 at submit, not a failed job.
+http POST /v1/jobs '{"mode":"translate","source_table":"people","program":"deadbeef"}'
+[ "$HTTP_STATUS" = 400 ] || fail "corrupt program -> $HTTP_STATUS (want 400): $BODY"
+http GET /v1/metrics
+TRANSLATED=$(echo "$BODY" | sed -n 's/^mcsm_translate_rows_total \([0-9]*\)$/\1/p')
+[ -n "$TRANSLATED" ] && [ "$TRANSLATED" -ge 12 ] \
+  || fail "expected mcsm_translate_rows_total >= 12; metrics: $BODY"
+echo "translate jobs: OK (rows_total=$TRANSLATED)"
+
 # --- traced job: trace endpoint + explain + check_trace.py ------------------
 http POST /v1/jobs '{"source_table":"people","target_table":"logins","target_column":0,"trace":true}'
 [ "$HTTP_STATUS" = 202 ] || fail "traced POST /v1/jobs -> $HTTP_STATUS: $BODY"
