@@ -15,9 +15,9 @@ int main() {
   options.rows = 8000;
   datagen::Dataset data = datagen::MakeDateFormatDataset(options);
   std::printf("source dates look like  %s\n",
-              std::string(data.source.CellText(0, 0)).c_str());
+              std::string(data.source.TextAt(0, 0)).c_str());
   std::printf("target dates look like  %s (unlinked, shuffled)\n",
-              std::string(data.target.CellText(0, 0)).c_str());
+              std::string(data.target.TextAt(0, 0)).c_str());
 
   // Show the separator template the detector infers on the target column.
   auto tmpl = core::SeparatorDetector::Detect(data.target, data.target_column);
@@ -43,7 +43,7 @@ int main() {
   for (size_t row = 0; row < 5; ++row) {
     auto out = d->formula().Apply(data.source, row);
     std::printf("  %s  ->  %s\n",
-                std::string(data.source.CellText(row, 0)).c_str(),
+                std::string(data.source.TextAt(row, 0)).c_str(),
                 out.has_value() ? out->c_str() : "(not covered)");
   }
   return 0;

@@ -41,6 +41,8 @@ inline constexpr const char* kServiceAccept = "service.accept";
 inline constexpr const char* kServiceJob = "service.job";
 inline constexpr const char* kClientConnect = "client.connect";
 inline constexpr const char* kClientRead = "client.read";
+inline constexpr const char* kPagerRead = "pager.read";
+inline constexpr const char* kPagerWrite = "pager.write";
 
 /// All registered sites (for chaos-suite enumeration).
 std::vector<std::string> RegisteredSites();

@@ -108,7 +108,8 @@ std::optional<std::string> TranslationFormula::Apply(
         break;
       case Region::Kind::kColumnSpan: {
         MCSM_DCHECK(r.start >= 1);
-        std::string_view value = source.CellText(row, r.column);
+        const relational::TextView cell = source.TextAt(row, r.column);
+        const std::string_view value = cell.view();
         if (r.to_end) {
           // Needs at least one character from `start`.
           if (value.size() < r.start) return std::nullopt;
@@ -142,7 +143,8 @@ std::optional<relational::SearchPattern> TranslationFormula::BuildPattern(
         break;
       case Region::Kind::kColumnSpan: {
         MCSM_DCHECK(r.start >= 1);
-        std::string_view value = source.CellText(row, r.column);
+        const relational::TextView cell = source.TextAt(row, r.column);
+        const std::string_view value = cell.view();
         if (r.to_end) {
           if (value.size() < r.start) return std::nullopt;
           segments.push_back(

@@ -78,8 +78,8 @@ Result<std::vector<DiscoveredTranslation>> DiscoverAllTranslations(
       target_rows.push_back(m.target_row);
     }
     out.push_back(std::move(d));
-    source.RemoveRows(source_rows);
-    target.RemoveRows(target_rows);
+    MCSM_RETURN_IF_ERROR(source.RemoveRows(source_rows));
+    MCSM_RETURN_IF_ERROR(target.RemoveRows(target_rows));
   }
   return out;
 }

@@ -16,10 +16,12 @@ TranslationReport EvaluateTranslation(const TranslationFormula& formula,
   report.source_rows = source.num_rows();
   report.target_rows = target.num_rows();
 
+  // The pinned column keeps the map's view keys valid for the matching pass.
+  const relational::PinnedColumn target_values(target.Column(target_column));
   std::unordered_map<std::string_view, std::vector<size_t>> by_value;
   size_t usable_targets = 0;
   for (size_t row = target.num_rows(); row > 0; --row) {
-    std::string_view v = target.CellText(row - 1, target_column);
+    std::string_view v = target_values.at(row - 1);
     if (v.empty()) continue;
     by_value[v].push_back(row - 1);
     ++usable_targets;

@@ -137,9 +137,11 @@ Coverage MergedRule::ComputeCoverage(const relational::Table& source,
   Coverage coverage;
   auto expansions = Expansions();
   // Target value -> unused rows (as in TranslationSearch::ComputeCoverage).
+  // The pinned column keeps the map's view keys valid for the matching pass.
+  const relational::PinnedColumn target_values(target.Column(target_column));
   std::unordered_map<std::string_view, std::vector<size_t>> by_value;
   for (size_t row = target.num_rows(); row > 0; --row) {
-    std::string_view v = target.CellText(row - 1, target_column);
+    std::string_view v = target_values.at(row - 1);
     if (!v.empty()) by_value[v].push_back(row - 1);
   }
   for (size_t row = 0; row < source.num_rows(); ++row) {

@@ -339,7 +339,9 @@ Result<std::vector<TranslationFormula>> TranslationSearch::BuildInitialFormulas(
 
   auto vote_pair = [&](std::string_view key, uint32_t target_row,
                        size_t sample_slot, VoteBatch* batch) {
-    std::string_view target = target_.CellText(target_row, target_column_);
+    const relational::TextView target_cell =
+        target_.TextAt(target_row, target_column_);
+    const std::string_view target = target_cell.view();
     if (target.empty()) return;
     FixedCoverage fixed = FixedCoverage::None(target.size());
     if (separator_template_.has_value()) {
@@ -371,11 +373,14 @@ Result<std::vector<TranslationFormula>> TranslationSearch::BuildInitialFormulas(
   std::vector<VoteBatch> batches;
   if (!linkage_.empty()) {
     // Section 6.2: candidate pairs come from the known row linkage. Sampling
-    // stays serial (it charges the budget in a deterministic order).
+    // stays serial (it charges the budget in a deterministic order). The
+    // pinned column keeps the key views valid through the parallel voting
+    // below.
+    const relational::PinnedColumn key_column(source_.Column(column));
     std::vector<std::pair<std::string_view, uint32_t>> pairs;
     for (size_t row : SampleSourceRows(column)) {
       if (active_budget_->Exhausted()) break;
-      std::string_view key = source_.CellText(row, column);
+      std::string_view key = key_column.at(row);
       if (key.empty()) continue;
       if (row >= linkage_.size() || linkage_[row] == kNoLink) continue;
       pairs.emplace_back(key, static_cast<uint32_t>(linkage_[row]));
@@ -546,7 +551,7 @@ Result<bool> TranslationSearch::RefineOnce(TranslationFormula* formula,
     if (!linkage_.empty()) {
       if (row < linkage_.size() && linkage_[row] != kNoLink) {
         uint32_t linked = static_cast<uint32_t>(linkage_[row]);
-        if (pattern->Matches(target_.CellText(linked, target_column_))) {
+        if (pattern->Matches(target_.TextAt(linked, target_column_))) {
           target_rows.push_back(linked);
         }
       }
@@ -558,20 +563,22 @@ Result<bool> TranslationSearch::RefineOnce(TranslationFormula* formula,
     // are dropped up front.
     struct Candidate {
       uint32_t row;
-      std::string_view target;
+      // TextView, not string_view: each candidate carries the pin that keeps
+      // its target bytes valid for the rest of the slot.
+      relational::TextView target;
       FixedCoverage fixed;
       std::vector<bool> free_mask;
     };
     std::vector<Candidate> candidates;
     candidates.reserve(target_rows.size());
     for (uint32_t t_row : target_rows) {
-      std::string_view target = target_.CellText(t_row, target_column_);
+      relational::TextView target = target_.TextAt(t_row, target_column_);
       auto spans = pattern->CaptureLiterals(target);
       if (!spans.has_value()) continue;
       auto fixed =
           FixedCoverage::FromCapture(target.size(), *spans, fixed_regions);
       if (!fixed.ok()) continue;
-      Candidate cand{t_row, target, std::move(fixed).value(), {}};
+      Candidate cand{t_row, std::move(target), std::move(fixed).value(), {}};
       cand.free_mask = cand.fixed.FreeMask();
       candidates.push_back(std::move(cand));
     }
@@ -597,7 +604,8 @@ Result<bool> TranslationSearch::RefineOnce(TranslationFormula* formula,
       std::vector<long long> row_similarity(candidates.size(), 0);
       for (size_t ci = 0; ci < candidates.size(); ++ci) {
         for (size_t col : text_columns) {
-          std::string_view key = source_.CellText(row, col);
+          const relational::TextView key_cell = source_.TextAt(row, col);
+          const std::string_view key = key_cell.view();
           if (key.size() >= options_.q) {
             row_similarity[ci] += text::SharedQGramsMasked(
                 key, candidates[ci].target, candidates[ci].free_mask,
@@ -619,7 +627,8 @@ Result<bool> TranslationSearch::RefineOnce(TranslationFormula* formula,
     }
 
     for (size_t col : text_columns) {
-      std::string_view key = source_.CellText(row, col);
+      const relational::TextView key_cell = source_.TextAt(row, col);
+      const std::string_view key = key_cell.view();
       if (key.empty()) continue;
       // Algorithm 6's "and contains q-grams of key" (see RefinementFilter).
       bool filter = options_.refinement_filter !=
@@ -884,10 +893,12 @@ Coverage TranslationSearch::ComputeCoverage(const TranslationFormula& formula,
                                             size_t target_column) {
   Coverage coverage;
   if (!formula.IsComplete()) return coverage;
-  // Target value -> queue of unused rows holding it.
+  // Target value -> queue of unused rows holding it. The pinned column keeps
+  // the map's view keys valid for the whole matching pass below.
+  const relational::PinnedColumn target_values(target.Column(target_column));
   std::unordered_map<std::string_view, std::vector<size_t>> by_value;
   for (size_t row = target.num_rows(); row > 0; --row) {
-    std::string_view v = target.CellText(row - 1, target_column);
+    std::string_view v = target_values.at(row - 1);
     if (!v.empty()) by_value[v].push_back(row - 1);
   }
   for (size_t row = 0; row < source.num_rows(); ++row) {

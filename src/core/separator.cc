@@ -28,10 +28,11 @@ SearchPattern TemplateFromChars(const std::vector<char>& chars) {
 
 bool MatchesAll(const relational::Table& table, size_t column,
                 const SearchPattern& pattern) {
+  const relational::ColumnView view = table.Column(column);
+  relational::TextCursor cell(view);
   for (size_t row = 0; row < table.num_rows(); ++row) {
-    const relational::Value& v = table.cell(row, column);
-    if (!v.is_text()) continue;
-    if (!pattern.Matches(v.text())) return false;
+    if (!view.IsText(row)) continue;
+    if (!pattern.Matches(cell.Get(row))) return false;
   }
   return true;
 }
@@ -57,10 +58,12 @@ SearchPattern ExtendTemplate(const relational::Table& table, size_t column,
       for (int direction : {+1, -1}) {
         char candidate = '\0';
         bool consistent = true;
+        const relational::ColumnView view = table.Column(column);
+        relational::TextCursor cell(view);
         for (size_t row = 0; row < table.num_rows() && consistent; ++row) {
-          const relational::Value& v = table.cell(row, column);
-          if (!v.is_text()) continue;
-          auto spans = pattern.CaptureLiterals(v.text());
+          if (!view.IsText(row)) continue;
+          const std::string_view s = cell.Get(row);
+          auto spans = pattern.CaptureLiterals(s);
           if (!spans.has_value()) {
             consistent = false;
             break;
@@ -69,7 +72,7 @@ SearchPattern ExtendTemplate(const relational::Table& table, size_t column,
           size_t pos;  // position of the adjacent character
           if (direction > 0) {
             pos = span.end();
-            if (pos >= v.text().size()) {
+            if (pos >= s.size()) {
               consistent = false;
               break;
             }
@@ -80,7 +83,7 @@ SearchPattern ExtendTemplate(const relational::Table& table, size_t column,
             }
             pos = span.start - 1;
           }
-          char c = v.text()[pos];
+          char c = s[pos];
           if (!SeparatorDetector::IsSeparatorChar(c)) {
             consistent = false;
           } else if (candidate == '\0') {
@@ -117,10 +120,11 @@ bool SeparatorDetector::IsSeparatorChar(char c) { return !IsAlnumAscii(c); }
 size_t SeparatorDetector::AverageLength(const relational::Table& table,
                                         size_t column) {
   size_t total = 0, count = 0;
+  const relational::ColumnView view = table.Column(column);
+  relational::TextCursor cell(view);
   for (size_t row = 0; row < table.num_rows(); ++row) {
-    const relational::Value& v = table.cell(row, column);
-    if (!v.is_text()) continue;
-    total += v.text().size();
+    if (!view.IsText(row)) continue;
+    total += cell.Get(row).size();
     ++count;
   }
   if (count == 0) return 0;
@@ -134,13 +138,15 @@ std::optional<relational::SearchPattern> SeparatorDetector::DetectFixedWidth(
   // instance carries the same separator character.
   size_t width = 0;
   bool first = true;
+  const relational::ColumnView view = table.Column(column);
+  relational::TextCursor cell(view);
   for (size_t row = 0; row < table.num_rows(); ++row) {
-    const relational::Value& v = table.cell(row, column);
-    if (!v.is_text()) continue;
+    if (!view.IsText(row)) continue;
+    const size_t len = cell.Get(row).size();
     if (first) {
-      width = v.text().size();
+      width = len;
       first = false;
-    } else if (v.text().size() != width) {
+    } else if (len != width) {
       return std::nullopt;
     }
   }
@@ -151,9 +157,8 @@ std::optional<relational::SearchPattern> SeparatorDetector::DetectFixedWidth(
     char candidate = '\0';
     bool consistent = true;
     for (size_t row = 0; row < table.num_rows(); ++row) {
-      const relational::Value& v = table.cell(row, column);
-      if (!v.is_text()) continue;
-      char c = v.text()[j];
+      if (!view.IsText(row)) continue;
+      char c = cell.Get(row)[j];
       if (!IsSeparatorChar(c)) {
         consistent = false;
         break;
@@ -181,10 +186,12 @@ std::vector<SeparatorDetector::HistogramEntry> SeparatorDetector::BuildHistogram
 
   // counts[j][c] over relative positions 1..avg.
   std::vector<std::map<char, size_t>> counts(avg + 1);
+  const relational::ColumnView view = table.Column(column);
+  relational::TextCursor cell(view);
   for (size_t row = 0; row < table.num_rows(); ++row) {
-    const relational::Value& v = table.cell(row, column);
-    if (!v.is_text() || v.text().empty()) continue;
-    const std::string& s = v.text();
+    if (!view.IsText(row)) continue;
+    const std::string_view s = cell.Get(row);
+    if (s.empty()) continue;
     for (size_t j = 1; j <= avg; ++j) {
       // Relative position j maps to character round(j/avg * len), clamped.
       size_t idx = static_cast<size_t>(std::llround(

@@ -53,17 +53,21 @@ ColumnIndex::ColumnIndex(const Table& table, size_t col, Options options)
   row_count_ = table.num_rows();
   size_t non_null = 0;
   size_t total_length = 0;
-  // Scratch views into the table's stable cell storage; sort+unique below
-  // replaces the former std::set (one pass, no node allocations).
+  // Scratch views into the column's segment bytes; sort+unique below
+  // replaces the former std::set (one pass, no node allocations). The
+  // PinnedColumn keeps every segment resident until the owned copies into
+  // sorted_distinct_ below — after the constructor returns, the index holds
+  // no references into table storage.
   std::vector<std::string_view> values;
   values.reserve(row_count_);
   std::vector<uint32_t> row_ids;  // gram ids of the current row
   std::vector<int> df;            // document frequency by gram id
 
+  const ColumnView view = table.Column(col);
+  const PinnedColumn pinned(view);
   for (size_t row = 0; row < row_count_; ++row) {
-    const Value& v = table.cell(row, col);
-    if (!v.is_text()) continue;
-    const std::string& s = v.text();
+    if (!view.IsText(row)) continue;
+    const std::string_view s = pinned.at(row);
     ++non_null;
     total_length += s.size();
     if (non_null == 1) {
@@ -208,6 +212,9 @@ std::vector<uint32_t> ColumnIndex::RowsMatchingPattern(
   std::vector<uint32_t> out;
   const size_t q = options_.q;
   std::string_view literal = pattern.LongestLiteral();
+  // Candidates arrive in ascending row order on every path below, so a
+  // cursor pays one segment load per segment, not one per verification.
+  TextCursor cell(table_.Column(col_));
 
   // Index-assisted path: every q-gram of the longest literal must occur in
   // every matching row.
@@ -239,7 +246,7 @@ std::vector<uint32_t> ColumnIndex::RowsMatchingPattern(
         if (budget != nullptr && !budget->ChargePostings(end - i)) break;
         for (size_t j = i; j < end; ++j) {
           const Posting& p = plist[j];
-          if (pattern.Matches(table_.CellText(p.row, col_))) {
+          if (pattern.Matches(cell.Get(p.row))) {
             out.push_back(p.row);
           }
         }
@@ -298,7 +305,7 @@ std::vector<uint32_t> ColumnIndex::RowsMatchingPattern(
       store_.Intersect(gram_ids[g], &candidates, budget);
     }
     for (uint32_t row : candidates) {
-      if (pattern.Matches(table_.CellText(row, col_))) out.push_back(row);
+      if (pattern.Matches(cell.Get(row))) out.push_back(row);
     }
     return out;
   }
@@ -309,7 +316,7 @@ std::vector<uint32_t> ColumnIndex::RowsMatchingPattern(
     size_t end = std::min(start + kBlock, row_count_);
     if (budget != nullptr && !budget->ChargePostings(end - start)) break;
     for (size_t row = start; row < end; ++row) {
-      if (pattern.Matches(table_.CellText(row, col_))) {
+      if (pattern.Matches(cell.Get(row))) {
         out.push_back(static_cast<uint32_t>(row));
       }
     }

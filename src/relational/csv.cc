@@ -1,10 +1,12 @@
 #include "relational/csv.h"
 
 #include <fstream>
-#include <sstream>
+#include <utility>
 
+#include "common/check.h"
 #include "common/failpoint.h"
 #include "common/string_util.h"
+#include "relational/column_store.h"
 
 namespace mcsm::relational {
 
@@ -17,109 +19,103 @@ struct Field {
   bool quoted = false;
 };
 
-/// Streaming CSV record reader over a string.
-class CsvReader {
- public:
-  CsvReader(std::string_view text, char delimiter)
-      : text_(text), delimiter_(delimiter) {}
-
-  bool AtEnd() const { return pos_ >= text_.size(); }
-
-  /// Reads one record (handles quoted fields spanning newlines). Returns
-  /// ParseError for unterminated quotes or stray quote characters.
-  Result<std::vector<Field>> ReadRecord() {
-    std::vector<Field> fields;
-    Field current;
-    bool in_quotes = false;
-    bool saw_any = false;
-    while (pos_ < text_.size()) {
-      char c = text_[pos_];
-      if (in_quotes) {
-        if (c == '"') {
-          if (pos_ + 1 < text_.size() && text_[pos_ + 1] == '"') {
-            current.text.push_back('"');
-            pos_ += 2;
-          } else {
-            in_quotes = false;
-            ++pos_;
-          }
-        } else {
-          current.text.push_back(c);
-          ++pos_;
-        }
-        continue;
-      }
-      if (c == '"') {
-        if (!current.text.empty()) {
-          return Status::ParseError(
-              StrFormat("stray quote at offset %zu", pos_));
-        }
-        current.quoted = true;
-        in_quotes = true;
-        ++pos_;
-        saw_any = true;
-        continue;
-      }
-      if (c == delimiter_) {
-        fields.push_back(std::move(current));
-        current = Field{};
-        ++pos_;
-        saw_any = true;
-        continue;
-      }
-      if (c == '\n' || c == '\r') {
-        // Consume the line ending (\r\n or \n or \r).
-        if (c == '\r' && pos_ + 1 < text_.size() && text_[pos_ + 1] == '\n') {
-          ++pos_;
-        }
-        ++pos_;
-        fields.push_back(std::move(current));
-        return fields;
-      }
-      current.text.push_back(c);
-      ++pos_;
-      saw_any = true;
-    }
+/// \brief Scans one record off the front of `text` (handles quoted fields
+/// spanning newlines). Chunk-boundary aware: when the record (or a
+/// lookahead the grammar needs — `\r\n`, `""`) is not completed by `text`
+/// and `final` is false, sets `*need_more` instead of consuming anything.
+///
+/// On success `*consumed` is the bytes to advance (past the line ending);
+/// on a parse error it is the error position (where permissive resync
+/// starts). `base_offset` keeps error messages in whole-input offsets, so
+/// chunked and single-shot parses report identical errors.
+Status ScanRecord(std::string_view text, bool final, uint64_t base_offset,
+                  char delimiter, std::vector<Field>* fields, bool* need_more,
+                  size_t* consumed) {
+  fields->clear();
+  *need_more = false;
+  Field current;
+  bool in_quotes = false;
+  bool saw_any = false;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    char c = text[pos];
     if (in_quotes) {
-      return Status::ParseError("unterminated quoted field at end of input");
-    }
-    if (saw_any || !current.text.empty() || current.quoted) {
-      fields.push_back(std::move(current));
-    }
-    return fields;
-  }
-
-  /// Error recovery for permissive mode: skips to just past the next line
-  /// ending, abandoning the malformed record. After an unterminated quote
-  /// the quoting state is unknowable, so resyncing on a raw newline is the
-  /// best available heuristic (it may split a quoted field — that fragment
-  /// then fails the field-count check and is dropped too, still accounted).
-  void SkipToNextRecord() {
-    while (pos_ < text_.size() && text_[pos_] != '\n' && text_[pos_] != '\r') {
-      ++pos_;
-    }
-    if (pos_ < text_.size()) {
-      if (text_[pos_] == '\r' && pos_ + 1 < text_.size() &&
-          text_[pos_ + 1] == '\n') {
-        ++pos_;
+      if (c == '"') {
+        if (pos + 1 < text.size() && text[pos + 1] == '"') {
+          current.text.push_back('"');
+          pos += 2;
+        } else if (pos + 1 >= text.size() && !final) {
+          // Closing quote or the first half of an escaped ""? The next
+          // chunk decides.
+          *need_more = true;
+          return Status::OK();
+        } else {
+          in_quotes = false;
+          ++pos;
+        }
+      } else {
+        current.text.push_back(c);
+        ++pos;
       }
-      ++pos_;
+      continue;
     }
+    if (c == '"') {
+      if (!current.text.empty()) {
+        *consumed = pos;
+        return Status::ParseError(
+            StrFormat("stray quote at offset %zu", base_offset + pos));
+      }
+      current.quoted = true;
+      in_quotes = true;
+      ++pos;
+      saw_any = true;
+      continue;
+    }
+    if (c == delimiter) {
+      fields->push_back(std::move(current));
+      current = Field{};
+      ++pos;
+      saw_any = true;
+      continue;
+    }
+    if (c == '\n' || c == '\r') {
+      if (c == '\r') {
+        if (pos + 1 >= text.size() && !final) {
+          *need_more = true;  // "\r\n" may straddle the chunk boundary
+          return Status::OK();
+        }
+        if (pos + 1 < text.size() && text[pos + 1] == '\n') ++pos;
+      }
+      ++pos;
+      fields->push_back(std::move(current));
+      *consumed = pos;
+      return Status::OK();
+    }
+    current.text.push_back(c);
+    ++pos;
   }
+  if (!final) {
+    *need_more = true;
+    return Status::OK();
+  }
+  if (in_quotes) {
+    *consumed = text.size();
+    return Status::ParseError("unterminated quoted field at end of input");
+  }
+  if (saw_any || !current.text.empty() || current.quoted) {
+    fields->push_back(std::move(current));
+  }
+  *consumed = text.size();
+  return Status::OK();
+}
 
- private:
-  std::string_view text_;
-  char delimiter_;
-  size_t pos_ = 0;
-};
-
-std::string EscapeField(const std::string& field, char delimiter) {
-  bool needs_quoting = field.find(delimiter) != std::string::npos ||
-                       field.find('"') != std::string::npos ||
-                       field.find('\n') != std::string::npos ||
-                       field.find('\r') != std::string::npos ||
+std::string EscapeField(std::string_view field, char delimiter) {
+  bool needs_quoting = field.find(delimiter) != std::string_view::npos ||
+                       field.find('"') != std::string_view::npos ||
+                       field.find('\n') != std::string_view::npos ||
+                       field.find('\r') != std::string_view::npos ||
                        field.empty();
-  if (!needs_quoting) return field;
+  if (!needs_quoting) return std::string(field);
   std::string out = "\"";
   for (char c : field) {
     out.push_back(c);
@@ -131,90 +127,186 @@ std::string EscapeField(const std::string& field, char delimiter) {
 
 }  // namespace
 
-Result<Table> ReadCsv(std::string_view text, const CsvOptions& options,
-                      CsvReadReport* report) {
-  MCSM_FAILPOINT(failpoint::kCsvRead);
-  CsvReadReport local_report;
-  if (report == nullptr) report = &local_report;
-  *report = CsvReadReport{};
+CsvStreamParser::CsvStreamParser(const CsvOptions& options,
+                                 CsvReadReport* report,
+                                 const TableOptions& table_options)
+    : options_(options),
+      report_(report != nullptr ? report : &local_report_),
+      table_options_(table_options) {
+  *report_ = CsvReadReport{};
+}
 
+Status CsvStreamParser::Feed(std::string_view chunk) {
+  MCSM_CHECK(!finished_);
+  buffer_.append(chunk);
+  return Drain(/*final=*/false);
+}
+
+Result<Table> CsvStreamParser::Finish() {
+  MCSM_CHECK(!finished_);
+  finished_ = true;
+  MCSM_RETURN_IF_ERROR(Drain(/*final=*/true));
+  if (!header_done_) {
+    return Status::InvalidArgument("empty CSV input (no header row)");
+  }
+  return std::move(table_);
+}
+
+Status CsvStreamParser::Drain(bool final) {
+  if (!failed_.ok()) return failed_;
   // Strip a UTF-8 byte-order mark: spreadsheet exports routinely prepend
   // EF BB BF, which would otherwise glue itself onto the first column name
   // ("\xEF\xBB\xBFid" != "id" in every later lookup).
-  if (text.size() >= 3 && text.substr(0, 3) == "\xEF\xBB\xBF") {
-    text.remove_prefix(3);
-  }
-
-  CsvReader reader(text, options.delimiter);
-  if (reader.AtEnd()) {
-    return Status::InvalidArgument("empty CSV input (no header row)");
-  }
-  // Header errors stay fatal in both modes: without a schema, no row can be
-  // kept, so "permissively" continuing would just drop the whole file.
-  MCSM_ASSIGN_OR_RETURN(auto header, reader.ReadRecord());
-  if (header.empty()) {
-    return Status::InvalidArgument("empty CSV header row");
-  }
-  std::vector<std::string> names;
-  names.reserve(header.size());
-  for (const auto& f : header) {
-    if (f.text.empty()) {
-      return Status::InvalidArgument("empty column name in CSV header");
+  if (!bom_checked_) {
+    if (buffer_.size() < 3 && !final) return Status::OK();
+    if (buffer_.size() >= 3 && buffer_.compare(0, 3, "\xEF\xBB\xBF") == 0) {
+      buffer_.erase(0, 3);
     }
-    names.push_back(f.text);
+    bom_checked_ = true;
   }
-  Table table = Table::WithTextColumns(names);
-
-  size_t line = 1;
-  while (!reader.AtEnd()) {
-    ++line;
-    auto record_or = reader.ReadRecord();
-    if (!record_or.ok()) {
-      if (!options.permissive) return record_or.status();
-      ++report->rows_dropped;
-      report->RecordError(StrFormat("record %zu: %s", line,
-                                    record_or.status().message().c_str()));
-      reader.SkipToNextRecord();
+  size_t pos = 0;
+  while (true) {
+    if (skipping_) {
+      // Permissive resync: discard to just past the next line ending,
+      // abandoning the malformed record. After an unterminated quote the
+      // quoting state is unknowable, so resyncing on a raw newline is the
+      // best available heuristic (it may split a quoted field — that
+      // fragment then fails the field-count check and is dropped too,
+      // still accounted).
+      size_t i = pos;
+      while (i < buffer_.size() && buffer_[i] != '\n' && buffer_[i] != '\r') {
+        ++i;
+      }
+      if (i >= buffer_.size()) {
+        pos = i;
+        if (final) skipping_ = false;
+        break;
+      }
+      if (buffer_[i] == '\r') {
+        if (i + 1 >= buffer_.size() && !final) {
+          pos = i;  // "\r\n" may straddle the chunk boundary
+          break;
+        }
+        if (i + 1 < buffer_.size() && buffer_[i + 1] == '\n') ++i;
+      }
+      pos = i + 1;
+      skipping_ = false;
       continue;
     }
-    auto& record = *record_or;
+    if (pos >= buffer_.size()) break;
+    std::vector<Field> record;
+    bool need_more = false;
+    size_t rec_consumed = 0;
+    Status st =
+        ScanRecord(std::string_view(buffer_).substr(pos), final,
+                   consumed_ + pos, options_.delimiter, &record, &need_more,
+                   &rec_consumed);
+    if (st.ok() && need_more) break;
+    if (!header_done_) {
+      // Header errors stay fatal in both modes: without a schema, no row
+      // can be kept, so "permissively" continuing would just drop the
+      // whole file.
+      if (!st.ok()) {
+        failed_ = st;
+        return failed_;
+      }
+      pos += rec_consumed;
+      if (record.empty()) {
+        failed_ = Status::InvalidArgument("empty CSV header row");
+        return failed_;
+      }
+      names_.clear();
+      names_.reserve(record.size());
+      for (const auto& f : record) {
+        if (f.text.empty()) {
+          failed_ = Status::InvalidArgument("empty column name in CSV header");
+          return failed_;
+        }
+        names_.push_back(f.text);
+      }
+      table_ = Table::WithTextColumns(names_, table_options_);
+      header_done_ = true;
+      continue;
+    }
+    ++line_;
+    if (!st.ok()) {
+      if (!options_.permissive) {
+        failed_ = st;
+        return failed_;
+      }
+      ++report_->rows_dropped;
+      report_->RecordError(
+          StrFormat("record %zu: %s", line_, st.message().c_str()));
+      pos += rec_consumed;
+      skipping_ = true;
+      continue;
+    }
+    pos += rec_consumed;
     if (record.empty()) continue;  // trailing blank line
     if (record.size() == 1 && record[0].text.empty() && !record[0].quoted) {
       continue;  // blank line
     }
-    if (record.size() != names.size()) {
-      Status st = Status::ParseError(
-          StrFormat("record %zu has %zu fields, header has %zu", line,
-                    record.size(), names.size()));
-      if (!options.permissive) return st;
-      ++report->rows_dropped;
-      report->RecordError(st.message());
+    if (record.size() != names_.size()) {
+      Status arity = Status::ParseError(
+          StrFormat("record %zu has %zu fields, header has %zu", line_,
+                    record.size(), names_.size()));
+      if (!options_.permissive) {
+        failed_ = arity;
+        return failed_;
+      }
+      ++report_->rows_dropped;
+      report_->RecordError(arity.message());
       continue;
     }
     std::vector<Value> row;
     row.reserve(record.size());
     for (auto& f : record) {
-      if (options.empty_as_null && f.text.empty() && !f.quoted) {
+      if (options_.empty_as_null && f.text.empty() && !f.quoted) {
         row.push_back(Value::MakeNull());
       } else {
         row.emplace_back(std::move(f.text));
       }
     }
-    // All columns are TEXT, so AppendRow can only fail on arity — checked
-    // above. Propagate rather than drop: a failure here is an internal bug.
-    MCSM_RETURN_IF_ERROR(table.AppendRow(std::move(row)));
-    ++report->rows_kept;
+    // All columns are TEXT and arity is checked above, so a failure here is
+    // a storage-layer error (e.g. spill write) — propagate, never drop.
+    Status append = table_.AppendRow(std::move(row));
+    if (!append.ok()) {
+      failed_ = append;
+      return failed_;
+    }
+    ++report_->rows_kept;
   }
-  return table;
+  consumed_ += pos;
+  buffer_.erase(0, pos);
+  return Status::OK();
+}
+
+Result<Table> ReadCsv(std::string_view text, const CsvOptions& options,
+                      CsvReadReport* report) {
+  MCSM_FAILPOINT(failpoint::kCsvRead);
+  CsvStreamParser parser(options, report);
+  MCSM_RETURN_IF_ERROR(parser.Feed(text));
+  return parser.Finish();
 }
 
 Result<Table> ReadCsvFile(const std::string& path, const CsvOptions& options,
                           CsvReadReport* report) {
+  MCSM_FAILPOINT(failpoint::kCsvRead);
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::NotFound("cannot open CSV file: " + path);
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return ReadCsv(buffer.str(), options, report);
+  CsvStreamParser parser(options, report);
+  // Stream in fixed chunks: the file never has to fit in memory, and paged
+  // tables spill as they grow.
+  std::vector<char> chunk(1 << 20);
+  while (in) {
+    in.read(chunk.data(), static_cast<std::streamsize>(chunk.size()));
+    const std::streamsize got = in.gcount();
+    if (got <= 0) break;
+    MCSM_RETURN_IF_ERROR(
+        parser.Feed(std::string_view(chunk.data(), static_cast<size_t>(got))));
+  }
+  if (in.bad()) return Status::Internal("read failed: " + path);
+  return parser.Finish();
 }
 
 std::string WriteCsv(const Table& table, const CsvOptions& options) {
@@ -225,13 +317,26 @@ std::string WriteCsv(const Table& table, const CsvOptions& options) {
     out += EscapeField(schema.column(c).name, options.delimiter);
   }
   out.push_back('\n');
+  // Per-column cursors: row-major emission over columnar storage pays one
+  // segment pin per column per segment, not one per cell.
+  std::vector<ColumnView> views;
+  std::vector<TextCursor> cursors;
+  views.reserve(schema.num_columns());
+  cursors.reserve(schema.num_columns());
+  for (size_t c = 0; c < schema.num_columns(); ++c) {
+    views.push_back(table.Column(c));
+    cursors.emplace_back(views[c]);
+  }
   for (size_t r = 0; r < table.num_rows(); ++r) {
     for (size_t c = 0; c < schema.num_columns(); ++c) {
       if (c) out.push_back(options.delimiter);
-      const Value& v = table.cell(r, c);
-      if (v.is_null()) continue;  // NULL -> empty unquoted field
-      out += EscapeField(v.is_text() ? v.text() : v.ToDisplayString(),
-                         options.delimiter);
+      if (views[c].IsNull(r)) continue;  // NULL -> empty unquoted field
+      if (views[c].type() == ColumnType::kText) {
+        out += EscapeField(cursors[c].Get(r), options.delimiter);
+      } else {
+        out += EscapeField(views[c].GetValue(r).ToDisplayString(),
+                           options.delimiter);
+      }
     }
     out.push_back('\n');
   }

@@ -48,13 +48,58 @@ struct CsvReadReport {
   }
 };
 
+/// \brief Incremental CSV ingestion: feed chunks, finish into a Table.
+///
+/// The streaming core behind ReadCsv/ReadCsvFile (which feed one chunk /
+/// file-sized chunks respectively) and TableRegistry's incremental
+/// fingerprint-while-parse path. Chunk boundaries are invisible to the
+/// grammar: a record (or quoted field) split across Feed() calls is carried
+/// until its terminator arrives, so any chunking of the same bytes yields a
+/// byte-identical table and report.
+class CsvStreamParser {
+ public:
+  /// `report` may be null; `table_options` configures the storage backend of
+  /// the table being built (paged ingest streams straight to spill).
+  CsvStreamParser(const CsvOptions& options, CsvReadReport* report,
+                  const TableOptions& table_options);
+  CsvStreamParser(const CsvOptions& options, CsvReadReport* report)
+      : CsvStreamParser(options, report, TableOptions::FromEnv()) {}
+
+  /// Consumes one chunk; parses every record completed by it.
+  Status Feed(std::string_view chunk);
+
+  /// Flushes the final (unterminated) record and returns the table.
+  Result<Table> Finish();
+
+ private:
+  /// Parses completed records out of buffer_; `final` also consumes the
+  /// unterminated tail record.
+  Status Drain(bool final);
+
+  CsvOptions options_;
+  CsvReadReport* report_;
+  CsvReadReport local_report_;
+  TableOptions table_options_;
+  std::string buffer_;         ///< unconsumed carry (partial record)
+  uint64_t consumed_ = 0;      ///< bytes consumed before buffer_ (offsets)
+  bool bom_checked_ = false;
+  bool skipping_ = false;      ///< permissive resync spans chunk boundaries
+  bool header_done_ = false;
+  std::vector<std::string> names_;
+  Table table_;
+  size_t line_ = 1;            ///< 1-based record counter (header is 1)
+  bool finished_ = false;
+  Status failed_ = Status::OK();  ///< sticky fatal parse error
+};
+
 /// Parses CSV text into a table (header row defines the schema). `report`,
 /// when given, receives kept/dropped-row accounting for both strict and
 /// permissive mode.
 Result<Table> ReadCsv(std::string_view text, const CsvOptions& options = {},
                       CsvReadReport* report = nullptr);
 
-/// Reads a CSV file from disk.
+/// Reads a CSV file from disk, streaming it in chunks — the file never has
+/// to fit in memory (pair with MCSM_PAGE_BUDGET for larger-than-RAM tables).
 Result<Table> ReadCsvFile(const std::string& path,
                           const CsvOptions& options = {},
                           CsvReadReport* report = nullptr);

@@ -1,0 +1,190 @@
+#include "relational/pager.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <utility>
+
+#include "common/check.h"
+#include "common/failpoint.h"
+#include "common/string_util.h"
+
+namespace mcsm::relational {
+
+namespace {
+
+/// Temp directory for spill files: TMPDIR when set, /tmp otherwise.
+std::string SpillDir() {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read-only; nothing calls setenv.
+  const char* dir = std::getenv("TMPDIR");
+  if (dir != nullptr && *dir != '\0') return dir;
+  return "/tmp";
+}
+
+}  // namespace
+
+Result<std::shared_ptr<Pager>> Pager::Create(uint64_t budget_bytes) {
+  std::string path = SpillDir() + "/mcsm_spill_XXXXXX";
+  // mkstemp wants a mutable template; std::string gives us one in place.
+  int fd = ::mkstemp(path.data());
+  if (fd < 0) {
+    return Status::Internal(StrFormat("cannot create spill file in %s: %s",
+                                      SpillDir().c_str(),
+                                      std::strerror(errno)));
+  }
+  // Unlink immediately: the fd keeps the file alive, the name does not — the
+  // kernel reclaims the space on close (or process death), so a crashed run
+  // can never leave spill files behind.
+  ::unlink(path.c_str());
+  return std::shared_ptr<Pager>(new Pager(budget_bytes, fd));
+}
+
+Pager::Pager(uint64_t budget_bytes, int fd)
+    : budget_bytes_(budget_bytes), fd_(fd) {}
+
+Pager::~Pager() { ::close(fd_); }
+
+Result<uint32_t> Pager::Write(const char* data, size_t size) {
+  MCSM_FAILPOINT(failpoint::kPagerWrite);
+  MCSM_CHECK(size > 0 && size <= UINT32_MAX);
+  MutexLock lock(mu_);
+  const uint64_t offset = file_bytes_;
+  size_t written = 0;
+  while (written < size) {
+    ssize_t n = ::pwrite(fd_, data + written, size - written,
+                         static_cast<off_t>(offset + written));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(
+          StrFormat("spill write failed: %s", std::strerror(errno)));
+    }
+    written += static_cast<size_t>(n);
+  }
+  MCSM_CHECK(pages_.size() < UINT32_MAX);
+  const auto page_id = static_cast<uint32_t>(pages_.size());
+  pages_.push_back({offset, static_cast<uint32_t>(size)});
+  file_bytes_ += size;
+  stats_.spilled_pages += 1;
+  stats_.spilled_bytes += size;
+  // Warm insert: the segment that was just sealed is exactly what the
+  // caller's index build or scan touches next.
+  CacheInsert(page_id, std::make_shared<const PageData>(data, data + size));
+  return page_id;
+}
+
+Result<PagePin> Pager::Load(uint32_t page_id) const {
+  MutexLock lock(mu_);
+  MCSM_CHECK(page_id < pages_.size());
+  auto it = cache_.find(page_id);
+  if (it != cache_.end()) {
+    stats_.cache_hits += 1;
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    return it->second.pin;
+  }
+  stats_.cache_misses += 1;
+  Status injected = Status::OK();
+  if (failpoint::Enabled()) injected = failpoint::Trigger(failpoint::kPagerRead);
+  const PageMeta meta = pages_[page_id];
+  auto data = std::make_shared<PageData>(meta.bytes);
+  Status read_status = injected;
+  if (read_status.ok()) {
+    size_t got = 0;
+    while (got < meta.bytes) {
+      ssize_t n = ::pread(fd_, data->data() + got, meta.bytes - got,
+                          static_cast<off_t>(meta.offset + got));
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) {
+        read_status = Status::Internal(
+            StrFormat("spill read failed at page %u: %s", page_id,
+                      n < 0 ? std::strerror(errno) : "short read"));
+        break;
+      }
+      got += static_cast<size_t>(n);
+    }
+  }
+  if (!read_status.ok()) {
+    // Latch the first failure: the hot read path degrades to empty views,
+    // and Table::storage_status() is how the degradation stays observable.
+    if (first_error_.ok()) first_error_ = read_status;
+    return read_status;
+  }
+  PagePin pin = std::move(data);
+  CacheInsert(page_id, pin);
+  return pin;
+}
+
+void Pager::CacheInsert(uint32_t page_id, PagePin pin) const {
+  const uint32_t bytes = static_cast<uint32_t>(pin->size());
+  auto it = cache_.find(page_id);
+  if (it != cache_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    return;  // already resident (racing loads); keep the existing pin
+  }
+  lru_.push_front(page_id);
+  cache_.emplace(page_id, CacheEntry{std::move(pin), lru_.begin()});
+  cached_bytes_ += bytes;
+  while (cached_bytes_ > budget_bytes_ && !lru_.empty()) {
+    const uint32_t victim = lru_.back();
+    auto vit = cache_.find(victim);
+    MCSM_CHECK(vit != cache_.end());
+    cached_bytes_ -= vit->second.pin->size();
+    cache_.erase(vit);
+    lru_.pop_back();
+    stats_.evictions += 1;
+  }
+  stats_.resident_pages = cache_.size();
+  stats_.resident_bytes = cached_bytes_;
+}
+
+bool Pager::Resident(uint32_t page_id) const {
+  MutexLock lock(mu_);
+  return cache_.find(page_id) != cache_.end();
+}
+
+uint32_t Pager::PageBytes(uint32_t page_id) const {
+  MutexLock lock(mu_);
+  MCSM_CHECK(page_id < pages_.size());
+  return pages_[page_id].bytes;
+}
+
+Status Pager::first_error() const {
+  MutexLock lock(mu_);
+  return first_error_;
+}
+
+PagerStats Pager::Stats() const {
+  MutexLock lock(mu_);
+  PagerStats stats = stats_;
+  stats.resident_pages = cache_.size();
+  stats.resident_bytes = cached_bytes_;
+  return stats;
+}
+
+std::shared_ptr<Pager> PagerSource::GetOrCreate() {
+  MutexLock lock(mu_);
+  if (pager_ != nullptr) return pager_;
+  if (!error_.ok()) return nullptr;  // creation already failed; stay degraded
+  Result<std::shared_ptr<Pager>> created = Pager::Create(budget_bytes_);
+  if (!created.ok()) {
+    error_ = created.status();
+    return nullptr;
+  }
+  pager_ = *std::move(created);
+  return pager_;
+}
+
+std::shared_ptr<Pager> PagerSource::TryGet() const {
+  MutexLock lock(mu_);
+  return pager_;
+}
+
+Status PagerSource::status() const {
+  MutexLock lock(mu_);
+  return error_;
+}
+
+}  // namespace mcsm::relational

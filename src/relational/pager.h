@@ -1,0 +1,156 @@
+#ifndef MCSM_RELATIONAL_PAGER_H_
+#define MCSM_RELATIONAL_PAGER_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/annotations.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace mcsm::relational {
+
+/// Bytes of one spilled segment, loaded back into memory. Immutable once
+/// published; readers share ownership so cache eviction can never invalidate
+/// a view that is still in use.
+using PageData = std::vector<char>;
+
+/// A pin on a loaded page: holding one keeps the bytes alive regardless of
+/// what the cache evicts. Copying a pin is one shared_ptr refcount bump.
+using PagePin = std::shared_ptr<const PageData>;
+
+/// Cache / spill accounting for one Pager (see Table::Stats()).
+struct PagerStats {
+  uint64_t spilled_pages = 0;    ///< pages written to the backing file
+  uint64_t spilled_bytes = 0;    ///< bytes written to the backing file
+  uint64_t resident_pages = 0;   ///< pages currently held by the cache
+  uint64_t resident_bytes = 0;   ///< bytes currently held by the cache
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t evictions = 0;
+};
+
+/// \brief Spill file + byte-budgeted LRU page cache for columnar segments.
+///
+/// The backing store is one append-only temporary file (created with mkstemp
+/// and unlinked immediately, so the kernel reclaims it on process exit no
+/// matter how we die). Sealed text segments are written once at ingest and
+/// never rewritten; compaction (RemoveRows) appends fresh pages and simply
+/// abandons the old ones, which keeps every write sequential and makes the
+/// file safe to share between copied tables — each copy owns disjoint page
+/// ids, and reads are positional (pread).
+///
+/// Loads go through an LRU cache capped at `budget_bytes`. The cache stores
+/// PagePins; eviction drops the cache's reference, never the bytes a reader
+/// still pins, so concurrent readers race-freely keep whatever they are
+/// looking at while the budget squeezes everything else out.
+///
+/// I/O is failpoint-injectable (`pager.write`, `pager.read`) for chaos runs.
+/// Write errors propagate to the caller (ingest fails loudly); read errors
+/// additionally latch into `first_error()` so a degraded read path — which
+/// surfaces empty views — is still observable after the fact.
+///
+/// Determinism: the cache affects only *where* bytes are read from (memory
+/// vs disk), never which bytes a row maps to, so results are byte-identical
+/// at any budget, thread count, or eviction order.
+class Pager {
+ public:
+  /// Creates a pager with its backing temp file. `budget_bytes` caps the
+  /// cache (0 means "cache nothing": every read goes to disk).
+  static Result<std::shared_ptr<Pager>> Create(uint64_t budget_bytes);
+
+  ~Pager();
+  Pager(const Pager&) = delete;
+  Pager& operator=(const Pager&) = delete;
+
+  /// Appends one sealed segment to the backing file and caches it (warm
+  /// ingest: the pages just written are the ones index construction reads
+  /// next). Returns the new page id.
+  Result<uint32_t> Write(const char* data, size_t size);
+
+  /// Returns the page's bytes, from cache or disk. The returned pin keeps
+  /// the bytes alive after eviction.
+  Result<PagePin> Load(uint32_t page_id) const;
+
+  /// True when the page is currently cache-resident (stats/tests only —
+  /// the answer can change the moment the lock drops).
+  bool Resident(uint32_t page_id) const;
+
+  /// Size in bytes of the given page.
+  uint32_t PageBytes(uint32_t page_id) const;
+
+  /// First read error observed (OK when none). Read failures degrade to
+  /// empty views on the hot path; this is where they stay visible.
+  Status first_error() const;
+
+  PagerStats Stats() const;
+  uint64_t budget_bytes() const { return budget_bytes_; }
+
+ private:
+  explicit Pager(uint64_t budget_bytes, int fd);
+
+  /// Inserts a pin into the cache and evicts LRU entries over budget.
+  void CacheInsert(uint32_t page_id, PagePin pin) const MCSM_REQUIRES(mu_);
+
+  struct PageMeta {
+    uint64_t offset = 0;  ///< byte offset in the backing file
+    uint32_t bytes = 0;
+  };
+  struct CacheEntry {
+    PagePin pin;
+    std::list<uint32_t>::iterator lru_it;
+  };
+
+  const uint64_t budget_bytes_;
+  const int fd_;
+
+  // The cache and its accounting are logically mutable state behind const
+  // Load(): reads fill the cache but never change which bytes a page holds.
+  mutable Mutex mu_;
+  std::vector<PageMeta> pages_ MCSM_GUARDED_BY(mu_);
+  uint64_t file_bytes_ MCSM_GUARDED_BY(mu_) = 0;
+  /// LRU order, most-recent at the front; cache_ maps page id -> pin + node.
+  mutable std::list<uint32_t> lru_ MCSM_GUARDED_BY(mu_);
+  mutable std::unordered_map<uint32_t, CacheEntry> cache_ MCSM_GUARDED_BY(mu_);
+  mutable uint64_t cached_bytes_ MCSM_GUARDED_BY(mu_) = 0;
+  mutable PagerStats stats_ MCSM_GUARDED_BY(mu_);
+  mutable Status first_error_ MCSM_GUARDED_BY(mu_) = Status::OK();
+};
+
+/// \brief Lazily-created shared pager handle.
+///
+/// A table configured with a page budget holds one of these; the spill file
+/// (and its fd) only comes into existence when a text column actually seals
+/// its first segment, so small tables under a global MCSM_PAGE_BUDGET never
+/// touch the filesystem. Copied tables share the source — and therefore the
+/// spill file.
+class PagerSource {
+ public:
+  explicit PagerSource(uint64_t budget_bytes) : budget_bytes_(budget_bytes) {}
+
+  /// Returns the pager, creating it on first call. Returns nullptr when
+  /// creation failed (the error latches into status(); callers degrade by
+  /// keeping segments resident).
+  std::shared_ptr<Pager> GetOrCreate();
+
+  /// The pager if it exists yet, nullptr otherwise.
+  std::shared_ptr<Pager> TryGet() const;
+
+  /// Creation failure, if any (OK while healthy or not yet created).
+  Status status() const;
+
+  uint64_t budget_bytes() const { return budget_bytes_; }
+
+ private:
+  const uint64_t budget_bytes_;
+  mutable Mutex mu_;
+  std::shared_ptr<Pager> pager_ MCSM_GUARDED_BY(mu_);
+  Status error_ MCSM_GUARDED_BY(mu_) = Status::OK();
+};
+
+}  // namespace mcsm::relational
+
+#endif  // MCSM_RELATIONAL_PAGER_H_

@@ -1,7 +1,9 @@
 #include "relational/table.h"
 
 #include <algorithm>
+#include <utility>
 
+#include "common/env.h"
 #include "common/string_util.h"
 
 namespace mcsm::relational {
@@ -14,11 +16,72 @@ std::optional<size_t> Schema::FindColumn(std::string_view name) const {
   return std::nullopt;
 }
 
+TableOptions TableOptions::FromEnv() {
+  TableOptions options;
+  options.use_legacy_store = GetEnvInt("MCSM_LEGACY_STORE", 0) != 0;
+  options.page_budget_bytes =
+      static_cast<uint64_t>(std::max<int64_t>(0, GetEnvInt("MCSM_PAGE_BUDGET", 0)));
+  options.segment_bytes =
+      static_cast<size_t>(std::max<int64_t>(0, GetEnvInt("MCSM_PAGE_BYTES", 0)));
+  return options;
+}
+
+Table::Table(Schema schema, const TableOptions& options)
+    : schema_(std::move(schema)), options_(options) {
+  if (options_.use_legacy_store) {
+    legacy_.resize(schema_.num_columns());
+    return;
+  }
+  // The PagerSource is lazy: the spill file only gets created when a text
+  // column seals its first segment, so small tables under a global
+  // MCSM_PAGE_BUDGET stay purely in-memory.
+  std::shared_ptr<PagerSource> source;
+  if (options_.page_budget_bytes > 0) {
+    source = std::make_shared<PagerSource>(options_.page_budget_bytes);
+  }
+  std::vector<ColumnType> types;
+  types.reserve(schema_.num_columns());
+  for (const ColumnDef& def : schema_.columns()) types.push_back(def.type);
+  store_ = ColumnStore(types, std::move(source), options_.segment_bytes);
+}
+
 Table Table::WithTextColumns(const std::vector<std::string>& names) {
+  return WithTextColumns(names, TableOptions::FromEnv());
+}
+
+Table Table::WithTextColumns(const std::vector<std::string>& names,
+                             const TableOptions& options) {
   std::vector<ColumnDef> defs;
   defs.reserve(names.size());
   for (const auto& n : names) defs.push_back({n, ColumnType::kText});
-  return Table(Schema(std::move(defs)));
+  return Table(Schema(std::move(defs)), options);
+}
+
+Status Table::CheckValue(size_t col, Value* value) const {
+  if (value->is_null()) return Status::OK();
+  switch (schema_.column(col).type) {
+    case ColumnType::kText:
+      if (!value->is_text()) {
+        return Status::TypeError("non-text value for TEXT column " +
+                                 schema_.column(col).name);
+      }
+      break;
+    case ColumnType::kInteger:
+      if (!value->is_integer()) {
+        return Status::TypeError("non-integer value for INTEGER column " +
+                                 schema_.column(col).name);
+      }
+      break;
+    case ColumnType::kReal:
+      if (value->is_integer()) {
+        *value = Value(static_cast<double>(value->integer()));
+      } else if (!value->is_real()) {
+        return Status::TypeError("non-numeric value for REAL column " +
+                                 schema_.column(col).name);
+      }
+      break;
+  }
+  return Status::OK();
 }
 
 Status Table::AppendRow(std::vector<Value> row) {
@@ -28,34 +91,16 @@ Status Table::AppendRow(std::vector<Value> row) {
                   schema_.num_columns()));
   }
   for (size_t i = 0; i < row.size(); ++i) {
-    Value& v = row[i];
-    if (v.is_null()) continue;
-    switch (schema_.column(i).type) {
-      case ColumnType::kText:
-        if (!v.is_text()) {
-          return Status::TypeError("non-text value for TEXT column " +
-                                   schema_.column(i).name);
-        }
-        break;
-      case ColumnType::kInteger:
-        if (!v.is_integer()) {
-          return Status::TypeError("non-integer value for INTEGER column " +
-                                   schema_.column(i).name);
-        }
-        break;
-      case ColumnType::kReal:
-        if (v.is_integer()) {
-          v = Value(static_cast<double>(v.integer()));
-        } else if (!v.is_real()) {
-          return Status::TypeError("non-numeric value for REAL column " +
-                                   schema_.column(i).name);
-        }
-        break;
+    MCSM_RETURN_IF_ERROR(CheckValue(i, &row[i]));
+  }
+  if (options_.use_legacy_store) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      legacy_[i].push_back(std::move(row[i]));
     }
+  } else {
+    MCSM_RETURN_IF_ERROR(store_.AppendRow(row));
   }
-  for (size_t i = 0; i < row.size(); ++i) {
-    columns_[i].push_back(std::move(row[i]));
-  }
+  ++num_rows_;
   return Status::OK();
 }
 
@@ -67,66 +112,147 @@ Status Table::AppendTextRow(const std::vector<std::string>& row) {
 }
 
 Status Table::SetCell(size_t row, size_t col, Value value) {
-  if (col >= schema_.num_columns() || row >= num_rows()) {
+  if (col >= schema_.num_columns() || row >= num_rows_) {
     return Status::OutOfRange("cell index out of range");
   }
-  if (!value.is_null()) {
-    switch (schema_.column(col).type) {
-      case ColumnType::kText:
-        if (!value.is_text()) {
-          return Status::TypeError("non-text value for TEXT column " +
-                                   schema_.column(col).name);
-        }
-        break;
-      case ColumnType::kInteger:
-        if (!value.is_integer()) {
-          return Status::TypeError("non-integer value for INTEGER column " +
-                                   schema_.column(col).name);
-        }
-        break;
-      case ColumnType::kReal:
-        if (value.is_integer()) {
-          value = Value(static_cast<double>(value.integer()));
-        } else if (!value.is_real()) {
-          return Status::TypeError("non-numeric value for REAL column " +
-                                   schema_.column(col).name);
-        }
-        break;
-    }
+  MCSM_RETURN_IF_ERROR(CheckValue(col, &value));
+  if (options_.use_legacy_store) {
+    legacy_[col][row] = std::move(value);
+    return Status::OK();
   }
-  columns_[col][row] = std::move(value);
-  return Status::OK();
+  return store_.Set(row, col, value);
+}
+
+ColumnView Table::Column(size_t col) const {
+  if (options_.use_legacy_store) {
+    return ColumnView(&legacy_[col], schema_.column(col).type);
+  }
+  return store_.View(col);
 }
 
 std::vector<Value> Table::GetRow(size_t row) const {
   std::vector<Value> out;
-  out.reserve(columns_.size());
-  for (const auto& col : columns_) out.push_back(col[row]);
+  out.reserve(schema_.num_columns());
+  for (size_t c = 0; c < schema_.num_columns(); ++c) {
+    out.push_back(ValueAt(row, c));
+  }
   return out;
 }
 
-void Table::RemoveRows(const std::vector<size_t>& rows) {
-  if (rows.empty()) return;
-  std::vector<bool> remove(num_rows(), false);
+Status Table::RemoveRows(const std::vector<size_t>& rows) {
+  if (rows.empty()) return Status::OK();
+  std::vector<bool> remove(num_rows_, false);
+  size_t flagged = 0;
   for (size_t r : rows) {
-    if (r < remove.size()) remove[r] = true;
-  }
-  for (auto& col : columns_) {
-    size_t write = 0;
-    for (size_t read = 0; read < col.size(); ++read) {
-      if (!remove[read]) {
-        if (write != read) col[write] = std::move(col[read]);
-        ++write;
-      }
+    if (r < remove.size() && !remove[r]) {
+      remove[r] = true;
+      ++flagged;
     }
-    col.resize(write);
   }
+  if (flagged == 0) return Status::OK();
+  if (options_.use_legacy_store) {
+    for (auto& col : legacy_) {
+      size_t write = 0;
+      for (size_t read = 0; read < col.size(); ++read) {
+        if (!remove[read]) {
+          if (write != read) col[write] = std::move(col[read]);
+          ++write;
+        }
+      }
+      col.resize(write);
+    }
+  } else {
+    MCSM_RETURN_IF_ERROR(store_.RemoveRows(remove));
+  }
+  num_rows_ -= flagged;
+  return Status::OK();
 }
 
 void Table::Truncate(size_t n) {
-  for (auto& col : columns_) {
-    if (col.size() > n) col.resize(n);
+  if (n >= num_rows_) return;
+  if (options_.use_legacy_store) {
+    for (auto& col : legacy_) {
+      if (col.size() > n) col.resize(n);
+    }
+  } else {
+    store_.Truncate(n);
   }
+  num_rows_ = n;
+}
+
+namespace {
+
+/// Legacy-store footprint: the Value vectors plus heap-allocated (non-SSO)
+/// text payloads. libstdc++'s SSO buffer holds 15 chars, so capacity() > 15
+/// implies a heap block of capacity()+1 bytes.
+uint64_t LegacyColumnBytes(const std::vector<Value>& col) {
+  uint64_t bytes = col.capacity() * sizeof(Value);
+  for (const Value& v : col) {
+    if (v.is_text() && v.text().capacity() > 15) {
+      bytes += v.text().capacity() + 1;
+    }
+  }
+  return bytes;
+}
+
+}  // namespace
+
+TableStats Table::Stats() const {
+  TableStats stats;
+  stats.rows = num_rows_;
+  stats.columns = schema_.num_columns();
+  if (options_.use_legacy_store) {
+    stats.encoding = "legacy";
+    for (const auto& col : legacy_) {
+      stats.resident_bytes += LegacyColumnBytes(col);
+    }
+    return stats;
+  }
+  stats.encoding =
+      store_.pager_source() != nullptr ? "columnar+paged" : "columnar";
+  for (size_t c = 0; c < store_.num_columns(); ++c) {
+    const ColumnData& col = store_.column_data(c);
+    stats.resident_bytes += col.nulls.byte_size();
+    switch (col.type) {
+      case ColumnType::kText: {
+        stats.resident_bytes += col.text.meta_bytes();
+        for (size_t k = 0; k < col.text.num_sealed_segments(); ++k) {
+          const uint32_t bytes = col.text.SegmentBytes(k);
+          if (!col.text.SegmentSpilled(k)) {
+            stats.resident_pages += 1;
+            stats.resident_bytes += bytes;
+          } else {
+            stats.spilled_bytes += bytes;
+            if (col.text.SegmentResident(k)) {
+              stats.resident_pages += 1;
+              stats.resident_bytes += bytes;
+            } else {
+              stats.spilled_pages += 1;
+            }
+          }
+        }
+        break;
+      }
+      case ColumnType::kInteger:
+        stats.resident_bytes += col.ints.capacity() * sizeof(int64_t);
+        break;
+      case ColumnType::kReal:
+        stats.resident_bytes += col.reals.capacity() * sizeof(double);
+        break;
+    }
+  }
+  return stats;
+}
+
+Status Table::storage_status() const {
+  if (options_.use_legacy_store || store_.pager_source() == nullptr) {
+    return Status::OK();
+  }
+  const PagerSource& source = *store_.pager_source();
+  MCSM_RETURN_IF_ERROR(source.status());  // spill-file creation failure
+  std::shared_ptr<Pager> pager = source.TryGet();
+  if (pager != nullptr) return pager->first_error();
+  return Status::OK();
 }
 
 }  // namespace mcsm::relational

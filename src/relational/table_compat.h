@@ -1,0 +1,34 @@
+#ifndef MCSM_RELATIONAL_TABLE_COMPAT_H_
+#define MCSM_RELATIONAL_TABLE_COMPAT_H_
+
+#include <string>
+
+#include "relational/table.h"
+
+namespace mcsm::relational::compat {
+
+/// \file
+/// \brief One-PR compatibility shim for the retired Table accessors.
+///
+/// The reference-returning surface (`Table::cell()`, `Table::column()`,
+/// `Table::CellText()`) is gone — views over arena storage replaced it, and
+/// lint rule TS001 bans the old spellings everywhere but here. These free
+/// functions are the migration crutch for straggling call sites: they
+/// materialize copies (safe under paging, but paying an allocation the view
+/// API avoids), so every use is a TODO to move to Column()/TextAt().
+/// Scheduled for deletion in the next PR.
+
+/// `table.cell(row, col)` replacement: the cell as an owned Value.
+inline Value CellValue(const Table& table, size_t row, size_t col) {
+  return table.ValueAt(row, col);
+}
+
+/// `table.CellText(row, col)` replacement: the text payload as an owned
+/// string (empty for NULL and non-text cells, like CellText was).
+inline std::string CellTextCopy(const Table& table, size_t row, size_t col) {
+  return std::string(table.TextAt(row, col).view());
+}
+
+}  // namespace mcsm::relational::compat
+
+#endif  // MCSM_RELATIONAL_TABLE_COMPAT_H_

@@ -4,18 +4,25 @@
 #include <limits>
 #include <utility>
 
+#include "common/failpoint.h"
 #include "common/string_util.h"
 
 namespace mcsm::service {
 
 uint64_t FingerprintBytes(std::string_view bytes) {
-  uint64_t h = 1469598103934665603ull;  // FNV offset basis
-  for (char c : bytes) {
-    h ^= static_cast<unsigned char>(c);
-    h *= 1099511628211ull;  // FNV prime
-  }
-  return h;
+  Fingerprinter fp;
+  fp.Update(bytes);
+  return fp.Digest();
 }
+
+namespace {
+
+/// Chunk size for the streaming fingerprint + parse passes. Small enough to
+/// exercise the chunked parser on real bodies, large enough to amortize the
+/// per-chunk call overhead.
+constexpr size_t kIngestChunkBytes = 256 * 1024;
+
+}  // namespace
 
 Result<TableEntry> TableRegistry::RegisterCsv(
     const std::string& name, std::string_view csv_text,
@@ -23,7 +30,14 @@ Result<TableEntry> TableRegistry::RegisterCsv(
   if (name.empty()) {
     return Status::InvalidArgument("table name must be non-empty");
   }
-  const uint64_t fingerprint = FingerprintBytes(csv_text);
+  // Pass 1 — incremental fingerprint (chunked exactly like the parse pass):
+  // cheap relative to parsing, and it lets a byte-identical re-registration
+  // skip the parse entirely.
+  Fingerprinter fp;
+  for (size_t pos = 0; pos < csv_text.size(); pos += kIngestChunkBytes) {
+    fp.Update(csv_text.substr(pos, kIngestChunkBytes));
+  }
+  const uint64_t fingerprint = fp.Digest();
   {
     ReaderLock lock(mu_);
     auto it = tables_.find(name);
@@ -32,9 +46,18 @@ Result<TableEntry> TableRegistry::RegisterCsv(
     }
   }
 
+  // Pass 2 — streaming parse. The body arrives in memory today (HTTP), but
+  // the table it builds streams into columnar storage and spills under
+  // MCSM_PAGE_BUDGET as it grows. Same failpoint semantics as the ReadCsv
+  // path this replaces: one kCsvRead trigger per actual parse (a dedup hit
+  // above never parses, so it never trips).
+  MCSM_FAILPOINT(failpoint::kCsvRead);
   relational::CsvReadReport report;
-  MCSM_ASSIGN_OR_RETURN(relational::Table parsed,
-                        relational::ReadCsv(csv_text, options, &report));
+  relational::CsvStreamParser parser(options, &report);
+  for (size_t pos = 0; pos < csv_text.size(); pos += kIngestChunkBytes) {
+    MCSM_RETURN_IF_ERROR(parser.Feed(csv_text.substr(pos, kIngestChunkBytes)));
+  }
+  MCSM_ASSIGN_OR_RETURN(relational::Table parsed, parser.Finish());
   TableEntry entry;
   entry.name = name;
   entry.fingerprint = fingerprint;

@@ -17,6 +17,26 @@
 
 namespace mcsm::service {
 
+/// \brief Incremental FNV-1a content fingerprint.
+///
+/// Byte-stream hashing is associative over chunk boundaries, so feeding a
+/// body in arbitrary pieces (streaming ingest) yields exactly the digest
+/// FingerprintBytes computes over the whole — the property RegisterCsv's
+/// single-pass fingerprint-while-parse path depends on.
+class Fingerprinter {
+ public:
+  void Update(std::string_view bytes) {
+    for (char c : bytes) {
+      hash_ ^= static_cast<unsigned char>(c);
+      hash_ *= 1099511628211ull;  // FNV prime
+    }
+  }
+  uint64_t Digest() const { return hash_; }
+
+ private:
+  uint64_t hash_ = 1469598103934665603ull;  // FNV offset basis
+};
+
 /// FNV-1a over raw bytes — the content fingerprint that keys both table
 /// dedup and the index cache. Not cryptographic; collisions would only cost
 /// a spurious cache share between tables an operator uploaded with identical

@@ -164,7 +164,7 @@ HttpResponse DiscoveryService::Handle(const HttpRequest& request) {
           std::chrono::steady_clock::now() - started)
           .count());
   const std::string_view path = NormalizePath(request.path, nullptr);
-  if (path == "/tables") {
+  if (path == "/tables" || path.rfind("/tables/", 0) == 0) {
     tables_latency_.Record(elapsed_ms);
   } else if (path == "/jobs" || path.rfind("/jobs/", 0) == 0) {
     jobs_latency_.Record(elapsed_ms);
@@ -221,6 +221,9 @@ HttpResponse DiscoveryService::RouteNormalized(const HttpRequest& request,
     if (request.method == "POST") return HandlePostTables(request);
     if (request.method == "GET") return HandleGetTables();
     return ErrorResponse(405, "method not allowed");
+  }
+  if (path.rfind("/tables/", 0) == 0) {
+    return HandleTableByName(request, std::string(path.substr(8)));
   }
   if (path == "/jobs") {
     if (request.method == "POST") return HandlePostJobs(request);
@@ -281,6 +284,40 @@ HttpResponse DiscoveryService::HandleGetTables() {
   Json out = Json::Object();
   out.Set("tables", std::move(list));
   return JsonResponse(200, out);
+}
+
+HttpResponse DiscoveryService::HandleTableByName(const HttpRequest& request,
+                                                 const std::string& name) {
+  if (request.method != "GET") {
+    return ErrorResponse(405, "method not allowed");
+  }
+  if (name.empty()) {
+    return ErrorResponse(400, "table name must be non-empty");
+  }
+  const TableEntry entry = registry_.Find(name);
+  if (entry.table == nullptr) {
+    return ErrorResponse(404, "no such table: " + name);
+  }
+  Json out = TableEntryJson(entry);
+  const relational::TableStats stats = entry.table->Stats();
+  Json storage = Json::Object();
+  storage.Set("encoding", Json::Str(stats.encoding));
+  storage.Set("resident_bytes",
+              Json::Number(static_cast<double>(stats.resident_bytes)));
+  storage.Set("spilled_bytes",
+              Json::Number(static_cast<double>(stats.spilled_bytes)));
+  storage.Set("resident_pages",
+              Json::Number(static_cast<double>(stats.resident_pages)));
+  storage.Set("spilled_pages",
+              Json::Number(static_cast<double>(stats.spilled_pages)));
+  out.Set("storage", std::move(storage));
+  // A latched spill-I/O error means reads may degrade to empty views; the
+  // table still serves, so it is reported, not turned into an HTTP failure.
+  const Status storage_status = entry.table->storage_status();
+  if (!storage_status.ok()) {
+    out.Set("storage_error", Json::Str(std::string(storage_status.message())));
+  }
+  return JsonResponse(200, std::move(out));
 }
 
 HttpResponse DiscoveryService::HandlePostJobs(const HttpRequest& request) {

@@ -22,6 +22,8 @@ namespace mcsm::service {
 /// noted):
 ///   POST   /v1/tables         {"name","csv"[,"permissive"]} -> table entry
 ///   GET    /v1/tables         -> {"tables":[...]}
+///   GET    /v1/tables/{name}  -> table entry + "storage" stats (encoding,
+///                                resident/spilled bytes and pages)
 ///   POST   /v1/jobs           {"source_table","target_table","target_column"
 ///                              [,"deadline_ms","trace","num_threads","q",
 ///                              "sample_fraction","detect_separators"]}
@@ -83,6 +85,8 @@ class DiscoveryService {
                                std::string_view path);
   HttpResponse HandlePostTables(const HttpRequest& request);
   HttpResponse HandleGetTables();
+  HttpResponse HandleTableByName(const HttpRequest& request,
+                                 const std::string& name);
   HttpResponse HandlePostJobs(const HttpRequest& request);
   HttpResponse HandleGetJobs();
   HttpResponse HandleJobById(const HttpRequest& request, uint64_t id);

@@ -139,7 +139,7 @@ Result<ResultSet> Engine::ExecuteDelete(const DeleteStatement& del) {
     }
     doomed.push_back(row);
   }
-  table->RemoveRows(doomed);
+  MCSM_RETURN_IF_ERROR(table->RemoveRows(doomed));
   return ResultSet{};
 }
 
@@ -282,7 +282,7 @@ Result<ResultSet> Engine::ExecuteSelect(const SelectStatement& select) {
         if (out.expr == nullptr) {
           if (rows.empty()) return Status::InvalidArgument(
               "SELECT * over an empty aggregate group");
-          row.push_back(table->cell(rows[0], out.direct_column));
+          row.push_back(table->ValueAt(rows[0], out.direct_column));
         } else if (ContainsAggregate(*out.expr)) {
           MCSM_ASSIGN_OR_RETURN(Value v, EvalAggregate(*out.expr, table, rows));
           row.push_back(std::move(v));
@@ -322,7 +322,7 @@ Result<ResultSet> Engine::ExecuteSelect(const SelectStatement& select) {
       row.reserve(outputs.size());
       for (const auto& out : outputs) {
         if (out.expr == nullptr) {
-          row.push_back(table->cell(r, out.direct_column));
+          row.push_back(table->ValueAt(r, out.direct_column));
         } else {
           MCSM_ASSIGN_OR_RETURN(Value v, EvalScalar(*out.expr, table, r));
           row.push_back(std::move(v));

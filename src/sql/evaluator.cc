@@ -171,7 +171,7 @@ Result<Value> EvalScalar(const Expr& expr, const relational::Table* table,
       if (!col.has_value()) {
         return Status::NotFound("no such column: " + expr.name);
       }
-      return table->cell(row, *col);
+      return table->ValueAt(row, *col);
     }
     case ExprKind::kUnary: {
       MCSM_ASSIGN_OR_RETURN(Value v, EvalScalar(*expr.args[0], table, row));

@@ -20,6 +20,16 @@ size_t Executor::ExecuteRange(const relational::Table& source, size_t begin,
   const std::string_view literals = program_->literals();
   if (out->offsets.empty()) out->offsets.push_back(0);
 
+  // One cursor per source column: the range walks rows in order, so each
+  // kLoadCol pays one segment pin per segment instead of one per row. A
+  // loaded view stays valid until the same column's next load — one row
+  // later, after this row's guards and emits have consumed it.
+  std::vector<relational::TextCursor> cells;
+  cells.reserve(source.num_columns());
+  for (size_t c = 0; c < source.num_columns(); ++c) {
+    cells.emplace_back(source.Column(c));
+  }
+
   size_t row = begin;
   while (row < end) {
     const size_t quantum = std::min(kChargeQuantum, end - row);
@@ -31,7 +41,7 @@ size_t Executor::ExecuteRange(const relational::Table& source, size_t begin,
       bool covered = true;
       for (const Instruction& instr : code) {
         if (instr.op == OpCode::kLoadCol) {
-          regs_[instr.a] = source.CellText(row, instr.b);
+          regs_[instr.a] = cells[instr.b].Get(row);
         } else if (instr.op == OpCode::kGuardLen) {
           if (regs_[instr.a].size() < instr.b) {
             covered = false;

@@ -12,20 +12,20 @@ TEST(CsvTest, ParsesHeaderAndRows) {
   ASSERT_TRUE(table.ok()) << table.status();
   EXPECT_EQ(table->num_rows(), 2u);
   EXPECT_EQ(table->schema().column(0).name, "first");
-  EXPECT_EQ(table->CellText(1, 1), "norman");
+  EXPECT_EQ(table->TextAt(1, 1).view(), "norman");
 }
 
 TEST(CsvTest, HandlesQuotingAndEscapes) {
   auto table = ReadCsv("name,quote\n\"smith, jr\",\"he said \"\"hi\"\"\"\n");
   ASSERT_TRUE(table.ok()) << table.status();
-  EXPECT_EQ(table->CellText(0, 0), "smith, jr");
-  EXPECT_EQ(table->CellText(0, 1), "he said \"hi\"");
+  EXPECT_EQ(table->TextAt(0, 0).view(), "smith, jr");
+  EXPECT_EQ(table->TextAt(0, 1).view(), "he said \"hi\"");
 }
 
 TEST(CsvTest, QuotedFieldMaySpanLines) {
   auto table = ReadCsv("a,b\n\"line1\nline2\",x\n");
   ASSERT_TRUE(table.ok()) << table.status();
-  EXPECT_EQ(table->CellText(0, 0), "line1\nline2");
+  EXPECT_EQ(table->TextAt(0, 0).view(), "line1\nline2");
 }
 
 TEST(CsvTest, Utf8BomStripped) {
@@ -35,7 +35,7 @@ TEST(CsvTest, Utf8BomStripped) {
   ASSERT_TRUE(table.ok()) << table.status();
   EXPECT_EQ(table->schema().column(0).name, "first");
   EXPECT_TRUE(table->schema().FindColumn("first").has_value());
-  EXPECT_EQ(table->CellText(0, 0), "robert");
+  EXPECT_EQ(table->TextAt(0, 0).view(), "robert");
   // A BOM alone is still an empty file.
   EXPECT_FALSE(ReadCsv("\xEF\xBB\xBF").ok());
 }
@@ -44,19 +44,19 @@ TEST(CsvTest, CrlfLineEndings) {
   auto table = ReadCsv("a,b\r\n1,2\r\n3,4\r\n");
   ASSERT_TRUE(table.ok()) << table.status();
   EXPECT_EQ(table->num_rows(), 2u);
-  EXPECT_EQ(table->CellText(1, 1), "4");
+  EXPECT_EQ(table->TextAt(1, 1).view(), "4");
 }
 
 TEST(CsvTest, EmptyUnquotedFieldsBecomeNull) {
   auto table = ReadCsv("a,b\nx,\n,y\n");
   ASSERT_TRUE(table.ok()) << table.status();
-  EXPECT_TRUE(table->cell(0, 1).is_null());
-  EXPECT_TRUE(table->cell(1, 0).is_null());
+  EXPECT_TRUE(table->ValueAt(0, 1).is_null());
+  EXPECT_TRUE(table->ValueAt(1, 0).is_null());
   // Quoted empty stays an empty string.
   auto quoted = ReadCsv("a,b\n\"\",y\n");
   ASSERT_TRUE(quoted.ok());
-  ASSERT_TRUE(quoted->cell(0, 0).is_text());
-  EXPECT_EQ(quoted->cell(0, 0).text(), "");
+  ASSERT_TRUE(quoted->ValueAt(0, 0).is_text());
+  EXPECT_EQ(quoted->ValueAt(0, 0).text(), "");
 }
 
 TEST(CsvTest, EmptyAsNullCanBeDisabled) {
@@ -64,8 +64,8 @@ TEST(CsvTest, EmptyAsNullCanBeDisabled) {
   options.empty_as_null = false;
   auto table = ReadCsv("a,b\nx,\n", options);
   ASSERT_TRUE(table.ok());
-  ASSERT_TRUE(table->cell(0, 1).is_text());
-  EXPECT_EQ(table->cell(0, 1).text(), "");
+  ASSERT_TRUE(table->ValueAt(0, 1).is_text());
+  EXPECT_EQ(table->ValueAt(0, 1).text(), "");
 }
 
 TEST(CsvTest, CustomDelimiter) {
@@ -73,14 +73,14 @@ TEST(CsvTest, CustomDelimiter) {
   options.delimiter = ';';
   auto table = ReadCsv("a;b\n1,5;2\n", options);
   ASSERT_TRUE(table.ok());
-  EXPECT_EQ(table->CellText(0, 0), "1,5");
+  EXPECT_EQ(table->TextAt(0, 0).view(), "1,5");
 }
 
 TEST(CsvTest, MissingNewlineAtEof) {
   auto table = ReadCsv("a,b\n1,2");
   ASSERT_TRUE(table.ok());
   EXPECT_EQ(table->num_rows(), 1u);
-  EXPECT_EQ(table->CellText(0, 1), "2");
+  EXPECT_EQ(table->TextAt(0, 1).view(), "2");
 }
 
 TEST(CsvTest, BlankLinesSkipped) {
@@ -109,7 +109,7 @@ TEST(CsvTest, RoundTrip) {
   ASSERT_EQ(back->num_rows(), t.num_rows());
   for (size_t r = 0; r < t.num_rows(); ++r) {
     for (size_t c = 0; c < t.num_columns(); ++c) {
-      EXPECT_EQ(back->cell(r, c), t.cell(r, c)) << r << "," << c;
+      EXPECT_EQ(back->ValueAt(r, c), t.ValueAt(r, c)) << r << "," << c;
     }
   }
 }
@@ -121,7 +121,7 @@ TEST(CsvTest, FileRoundTrip) {
   ASSERT_TRUE(WriteCsvFile(t, path).ok());
   auto back = ReadCsvFile(path);
   ASSERT_TRUE(back.ok()) << back.status();
-  EXPECT_EQ(back->CellText(0, 0), "hello");
+  EXPECT_EQ(back->TextAt(0, 0).view(), "hello");
   std::remove(path.c_str());
   EXPECT_TRUE(ReadCsvFile("/nonexistent/file.csv").status().IsNotFound());
 }
@@ -138,8 +138,8 @@ TEST(CsvPermissiveTest, SkipsRowsWithWrongFieldCount) {
                        &report);
   ASSERT_TRUE(table.ok()) << table.status();
   EXPECT_EQ(table->num_rows(), 2u);
-  EXPECT_EQ(table->CellText(0, 0), "1");
-  EXPECT_EQ(table->CellText(1, 1), "7");
+  EXPECT_EQ(table->TextAt(0, 0).view(), "1");
+  EXPECT_EQ(table->TextAt(1, 1).view(), "7");
   EXPECT_EQ(report.rows_kept, 2u);
   EXPECT_EQ(report.rows_dropped, 2u);
   ASSERT_EQ(report.first_errors.size(), 2u);
@@ -154,7 +154,7 @@ TEST(CsvPermissiveTest, ResyncsAfterStrayQuote) {
       ReadCsv("a,b\nx,y\nbad\"row,z\np,q\n", Permissive(), &report);
   ASSERT_TRUE(table.ok()) << table.status();
   EXPECT_EQ(table->num_rows(), 2u);
-  EXPECT_EQ(table->CellText(1, 0), "p");
+  EXPECT_EQ(table->TextAt(1, 0).view(), "p");
   EXPECT_EQ(report.rows_dropped, 1u);
   EXPECT_NE(report.first_errors[0].find("quote"), std::string::npos);
 }

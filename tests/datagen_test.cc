@@ -95,11 +95,11 @@ TEST(DatasetTest, GeneratorsAreDeterministic) {
   ASSERT_EQ(a.source.num_rows(), b.source.num_rows());
   for (size_t r = 0; r < a.source.num_rows(); ++r) {
     for (size_t c = 0; c < a.source.num_columns(); ++c) {
-      EXPECT_EQ(a.source.cell(r, c), b.source.cell(r, c));
+      EXPECT_EQ(a.source.ValueAt(r, c), b.source.ValueAt(r, c));
     }
   }
   for (size_t r = 0; r < a.target.num_rows(); ++r) {
-    EXPECT_EQ(a.target.cell(r, 0), b.target.cell(r, 0));
+    EXPECT_EQ(a.target.ValueAt(r, 0), b.target.ValueAt(r, 0));
   }
 }
 
@@ -111,7 +111,7 @@ TEST(DatasetTest, DifferentSeedsDiffer) {
   auto b = MakeUserIdDataset(o2);
   int differing = 0;
   for (size_t r = 0; r < 100; ++r) {
-    if (!(a.source.cell(r, 0) == b.source.cell(r, 0))) ++differing;
+    if (!(a.source.ValueAt(r, 0) == b.source.ValueAt(r, 0))) ++differing;
   }
   EXPECT_GT(differing, 50);
 }
@@ -127,12 +127,12 @@ TEST(DatasetTest, UserIdHasExpectedStructure) {
   size_t dominant = 0;
   std::multiset<std::string> logins;
   for (size_t r = 0; r < data.target.num_rows(); ++r) {
-    logins.insert(std::string(data.target.CellText(r, 0)));
+    logins.insert(std::string(data.target.TextAt(r, 0).view()));
   }
   for (size_t r = 0; r < data.source.num_rows(); ++r) {
     std::string expected =
-        std::string(data.source.CellText(r, 0).substr(0, 1)) +
-        std::string(data.source.CellText(r, 2));
+        std::string(data.source.TextAt(r, 0).view().substr(0, 1)) +
+        std::string(data.source.TextAt(r, 2).view());
     auto it = logins.find(expected);
     if (it != logins.end()) {
       logins.erase(it);
@@ -160,10 +160,10 @@ TEST(DatasetTest, UserIdWithDatesAddsColumns) {
   EXPECT_TRUE(data.source.schema().FindColumn("birth").has_value());
   EXPECT_TRUE(data.target.schema().FindColumn("dob").has_value());
   // birth is mm-dd-yyyy (10 chars), dob is mm/dd/yy (8 chars).
-  EXPECT_EQ(data.source.CellText(0, *data.source.schema().FindColumn("birth"))
+  EXPECT_EQ(data.source.TextAt(0, *data.source.schema().FindColumn("birth"))
                 .size(),
             10u);
-  EXPECT_EQ(data.target.CellText(0, 1).size(), 8u);
+  EXPECT_EQ(data.target.TextAt(0, 1).view().size(), 8u);
 }
 
 TEST(DatasetTest, TimeTargetIsConcatenation) {
@@ -172,13 +172,13 @@ TEST(DatasetTest, TimeTargetIsConcatenation) {
   auto data = MakeTimeDataset(o);
   std::multiset<std::string> times;
   for (size_t r = 0; r < data.target.num_rows(); ++r) {
-    times.insert(std::string(data.target.CellText(r, 0)));
+    times.insert(std::string(data.target.TextAt(r, 0).view()));
   }
   // Every source row's hrs||mins||secs appears in the target.
   for (size_t r = 0; r < data.source.num_rows(); ++r) {
-    std::string expected = std::string(data.source.CellText(r, 2)) +
-                           std::string(data.source.CellText(r, 1)) +
-                           std::string(data.source.CellText(r, 0));
+    std::string expected = std::string(data.source.TextAt(r, 2).view()) +
+                           std::string(data.source.TextAt(r, 1).view()) +
+                           std::string(data.source.TextAt(r, 0).view());
     auto it = times.find(expected);
     ASSERT_NE(it, times.end()) << expected;
     times.erase(it);
@@ -195,7 +195,7 @@ TEST(DatasetTest, MergedNamesVariants) {
   o.comma_separator = true;
   auto comma = MakeMergedNamesDataset(o);
   for (size_t r = 0; r < comma.target.num_rows(); ++r) {
-    EXPECT_NE(comma.target.CellText(r, 0).find(", "), std::string_view::npos);
+    EXPECT_NE(comma.target.TextAt(r, 0).view().find(", "), std::string_view::npos);
   }
 }
 
@@ -208,12 +208,12 @@ TEST(DatasetTest, CitationHasSeventeenColumns) {
   // citation = year || title || author1 for every record.
   std::multiset<std::string> citations;
   for (size_t r = 0; r < data.target.num_rows(); ++r) {
-    citations.insert(std::string(data.target.CellText(r, 0)));
+    citations.insert(std::string(data.target.TextAt(r, 0).view()));
   }
   for (size_t r = 0; r < data.source.num_rows(); ++r) {
-    std::string expected = std::string(data.source.CellText(r, 0)) +
-                           std::string(data.source.CellText(r, 1)) +
-                           std::string(data.source.CellText(r, 2));
+    std::string expected = std::string(data.source.TextAt(r, 0).view()) +
+                           std::string(data.source.TextAt(r, 1).view()) +
+                           std::string(data.source.TextAt(r, 2).view());
     EXPECT_NE(citations.find(expected), citations.end());
   }
 }
@@ -230,14 +230,14 @@ TEST(DatasetTest, CrossCitationOverlapCounts) {
 
   std::multiset<std::string> citations;
   for (size_t r = 0; r < data.target.num_rows(); ++r) {
-    citations.insert(std::string(data.target.CellText(r, 0)));
+    citations.insert(std::string(data.target.TextAt(r, 0).view()));
   }
   size_t exact = 0, swapped = 0;
   for (size_t r = 0; r < data.source.num_rows(); ++r) {
-    std::string year(data.source.CellText(r, 0));
-    std::string title(data.source.CellText(r, 1));
-    std::string a1(data.source.CellText(r, 2));
-    std::string a2(data.source.CellText(r, 3));
+    std::string year(data.source.TextAt(r, 0).view());
+    std::string title(data.source.TextAt(r, 1).view());
+    std::string a1(data.source.TextAt(r, 2).view());
+    std::string a2(data.source.TextAt(r, 3).view());
     if (citations.count(year + title + a1) != 0) ++exact;
     if (!a2.empty() && citations.count(year + title + a2) != 0) ++swapped;
   }
@@ -251,10 +251,10 @@ TEST(DatasetTest, DateFormatExpectedTranslationHolds) {
   auto data = MakeDateFormatDataset(o);
   std::multiset<std::string> targets;
   for (size_t r = 0; r < data.target.num_rows(); ++r) {
-    targets.insert(std::string(data.target.CellText(r, 0)));
+    targets.insert(std::string(data.target.TextAt(r, 0).view()));
   }
   for (size_t r = 0; r < data.source.num_rows(); ++r) {
-    std::string d(data.source.CellText(r, 0));  // yyyy/mm/dd
+    std::string d(data.source.TextAt(r, 0).view());  // yyyy/mm/dd
     std::string expected = d.substr(5, 2) + "/" + d.substr(8, 2) + "/" +
                            d.substr(0, 4);
     EXPECT_NE(targets.find(expected), targets.end()) << d;

@@ -27,11 +27,12 @@ TEST_F(FailpointTest, RegisteredSitesListsAllCanonicalNames) {
   auto sites = RegisteredSites();
   for (const char* site : {kCsvRead, kCsvWrite, kIndexSimilar, kIndexPattern,
                            kSamplerSample, kSqlExecute, kServiceAccept,
-                           kServiceJob, kClientConnect, kClientRead}) {
+                           kServiceJob, kClientConnect, kClientRead,
+                           kPagerRead, kPagerWrite}) {
     EXPECT_NE(std::find(sites.begin(), sites.end(), site), sites.end())
         << site;
   }
-  EXPECT_EQ(sites.size(), 10u);
+  EXPECT_EQ(sites.size(), 12u);
 }
 
 TEST_F(FailpointTest, ArmErrorTriggersInternal) {

@@ -1,0 +1,16 @@
+// Fixture: TS001 exemption — this path mirrors the real compat shim
+// (src/relational/table_compat.h), the one file allowed to spell the
+// retired accessors. Nothing below may produce a finding.
+namespace fixture {
+
+struct FakeTable {
+  int cell(int, int) const { return 0; }
+  const char* CellText(int, int) const { return ""; }
+};
+
+inline int CellValue(const FakeTable& t) { return t.cell(0, 0); }
+inline const char* CellTextCopy(const FakeTable& t) {
+  return t.CellText(0, 0);
+}
+
+}  // namespace fixture

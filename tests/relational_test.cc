@@ -53,9 +53,10 @@ TEST(TableTest, AppendAndAccess) {
   ASSERT_TRUE(t.AppendTextRow({"x", "y"}).ok());
   ASSERT_TRUE(t.AppendRow({Value("p"), Value::MakeNull()}).ok());
   EXPECT_EQ(t.num_rows(), 2u);
-  EXPECT_EQ(t.CellText(0, 0), "x");
-  EXPECT_EQ(t.CellText(1, 1), "");  // NULL renders as empty view
-  EXPECT_TRUE(t.cell(1, 1).is_null());
+  EXPECT_EQ(t.TextAt(0, 0).view(), "x");
+  EXPECT_EQ(t.TextAt(1, 1).view(), "");  // NULL renders as empty view
+  EXPECT_TRUE(t.ValueAt(1, 1).is_null());
+  EXPECT_TRUE(t.IsNull(1, 1));
 }
 
 TEST(TableTest, TypeChecking) {
@@ -63,7 +64,7 @@ TEST(TableTest, TypeChecking) {
   EXPECT_TRUE(t.AppendRow({Value(int64_t{1}), Value(2.5)}).ok());
   // Integers widen into REAL columns.
   EXPECT_TRUE(t.AppendRow({Value(int64_t{1}), Value(int64_t{3})}).ok());
-  EXPECT_TRUE(t.cell(1, 1).is_real());
+  EXPECT_TRUE(t.ValueAt(1, 1).is_real());
   // Text into INTEGER fails.
   EXPECT_TRUE(t.AppendRow({Value("x"), Value(1.0)}).IsTypeError());
   // Wrong arity fails.
@@ -75,12 +76,13 @@ TEST(TableTest, RemoveRows) {
   for (int i = 0; i < 6; ++i) {
     ASSERT_TRUE(t.AppendTextRow({std::to_string(i)}).ok());
   }
-  t.RemoveRows({1, 3, 3, 99});  // duplicates and out-of-range ignored
+  // Duplicates and out-of-range indices are ignored.
+  ASSERT_TRUE(t.RemoveRows({1, 3, 3, 99}).ok());
   ASSERT_EQ(t.num_rows(), 4u);
-  EXPECT_EQ(t.CellText(0, 0), "0");
-  EXPECT_EQ(t.CellText(1, 0), "2");
-  EXPECT_EQ(t.CellText(2, 0), "4");
-  EXPECT_EQ(t.CellText(3, 0), "5");
+  EXPECT_EQ(t.TextAt(0, 0).view(), "0");
+  EXPECT_EQ(t.TextAt(1, 0).view(), "2");
+  EXPECT_EQ(t.TextAt(2, 0).view(), "4");
+  EXPECT_EQ(t.TextAt(3, 0).view(), "5");
 }
 
 TEST(TableTest, Truncate) {

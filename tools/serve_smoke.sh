@@ -66,6 +66,16 @@ http POST /v1/tables '{"name":"people","csv":"first,last\nhenry,warner\nanna,smi
 http POST /v1/tables '{"name":"logins","csv":"login\nhwarner\nasmith\nbjones\ncwhite\ndbrown\neblack\n"}'
 [ "$HTTP_STATUS" = 200 ] || fail "POST /tables logins -> $HTTP_STATUS: $BODY"
 
+# --- per-table storage stats ------------------------------------------------
+http GET /v1/tables/people
+[ "$HTTP_STATUS" = 200 ] || fail "GET /tables/people -> $HTTP_STATUS: $BODY"
+echo "$BODY" | grep -q '"storage"' || fail "no storage stats: $BODY"
+echo "$BODY" | grep -q '"encoding":"' || fail "no encoding: $BODY"
+echo "$BODY" | grep -q '"rows":6' || fail "wrong rows in: $BODY"
+http GET /v1/tables/nope
+[ "$HTTP_STATUS" = 404 ] || fail "GET /tables/nope -> $HTTP_STATUS (want 404)"
+echo "table storage stats: OK"
+
 # --- submit + poll a job ----------------------------------------------------
 http POST /v1/jobs '{"source_table":"people","target_table":"logins","target_column":0,"deadline_ms":30000}'
 [ "$HTTP_STATUS" = 202 ] || fail "POST /jobs -> $HTTP_STATUS: $BODY"
